@@ -1,0 +1,49 @@
+//! Microbenchmarks of the ABFT checksum machinery: encoding,
+//! verification and single-error correction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use adcc_core::abft::checksum::{correct_single, encode_ac, encode_br, verify_full};
+use adcc_linalg::dense::Matrix;
+use adcc_sim::parray::PMatrix;
+use adcc_sim::system::{MemorySystem, SystemConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_checksum");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for n in [32usize, 128] {
+        let a = Matrix::random(n, n, 1);
+        let b = Matrix::random(n, n, 2);
+        g.throughput(Throughput::Elements((n * n) as u64));
+
+        g.bench_with_input(BenchmarkId::new("encode", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box((encode_ac(&a).rows(), encode_br(&b).cols())))
+        });
+
+        let cf = encode_ac(&a).mul_naive(&encode_br(&b));
+        g.bench_with_input(BenchmarkId::new("verify_sim", n), &n, |bench, _| {
+            let mut sys = MemorySystem::new(SystemConfig::nvm_only(256 << 10, 64 << 20));
+            let m = PMatrix::<f64>::alloc_nvm(&mut sys, n + 1, n + 1);
+            m.array().seed_slice(&mut sys, cf.data());
+            bench.iter(|| std::hint::black_box(verify_full(&mut sys, &m).is_consistent()))
+        });
+
+        g.bench_with_input(BenchmarkId::new("detect_and_correct", n), &n, |bench, _| {
+            let mut sys = MemorySystem::new(SystemConfig::nvm_only(256 << 10, 64 << 20));
+            let m = PMatrix::<f64>::alloc_nvm(&mut sys, n + 1, n + 1);
+            m.array().seed_slice(&mut sys, cf.data());
+            bench.iter(|| {
+                let good = m.get(&mut sys, 3, 4);
+                m.set(&mut sys, 3, 4, good + 5.0);
+                let report = verify_full(&mut sys, &m);
+                std::hint::black_box(correct_single(&mut sys, &m, &report))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Microbenchmarks of the crash emulator itself: element access
+//! throughput on hits and misses, flush costs, crash snapshots.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use adcc_sim::parray::PArray;
+use adcc_sim::system::{MemorySystem, SystemConfig};
+
+fn bench(c: &mut Criterion) {
+    let n = 64 * 1024usize; // elements
+
+    let mut g = c.benchmark_group("micro_sim");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.throughput(Throughput::Elements(n as u64));
+
+    g.bench_function("sequential_read_mostly_hits", |b| {
+        let mut sys = MemorySystem::new(SystemConfig::nvm_only(1 << 20, 16 << 20));
+        let arr = PArray::<f64>::alloc_nvm(&mut sys, n);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..n {
+                acc += arr.get(&mut sys, i);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    g.bench_function("sequential_read_all_misses", |b| {
+        // Cache far smaller than the array: every line is a miss.
+        let mut sys = MemorySystem::new(SystemConfig::nvm_only(8 << 10, 16 << 20));
+        let arr = PArray::<f64>::alloc_nvm(&mut sys, n);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..n {
+                acc += arr.get(&mut sys, i);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    g.bench_function("random_write_evictions", |b| {
+        let mut sys = MemorySystem::new(SystemConfig::nvm_only(8 << 10, 16 << 20));
+        let arr = PArray::<f64>::alloc_nvm(&mut sys, n);
+        let mut x = 12345usize;
+        b.iter(|| {
+            for _ in 0..n {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let i = (x >> 33) % n;
+                arr.set(&mut sys, i, 1.0);
+            }
+        })
+    });
+
+    g.bench_function("persist_range_hetero", |b| {
+        let mut sys = MemorySystem::new(SystemConfig::heterogeneous(64 << 10, 256 << 10, 16 << 20));
+        let arr = PArray::<f64>::alloc_nvm(&mut sys, n);
+        b.iter(|| {
+            for i in (0..n).step_by(8) {
+                arr.set(&mut sys, i, 2.0);
+            }
+            sys.persist_range(arr.base(), arr.byte_len());
+            sys.sfence();
+        })
+    });
+
+    g.finish();
+
+    let mut g = c.benchmark_group("micro_crash");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("crash_snapshot_16mb", |b| {
+        let mut sys = MemorySystem::new(SystemConfig::nvm_only(64 << 10, 16 << 20));
+        let arr = PArray::<f64>::alloc_nvm(&mut sys, 1024);
+        arr.fill(&mut sys, 3.0);
+        b.iter(|| std::hint::black_box(sys.crash().len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! The wall-clock complement to the simulated figures: native
+//! (un-simulated) CG on host DRAM, with each persistence mechanism doing
+//! *real* work. The paper's ordering — history extension ≈ native <
+//! checkpoint < undo log — must hold on real hardware too.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use adcc_bench::{NativeCg, NativeMechanism};
+use adcc_linalg::spd::CgClass;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wallclock_cg_mechanisms");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let class = CgClass {
+        name: "bench",
+        n: 50_000,
+        extras_per_row: 12,
+    };
+    let a = class.matrix(9);
+    let b = class.rhs(&a);
+    let iters = 5usize;
+
+    let mechanisms: [(&str, fn(usize) -> NativeMechanism); 4] = [
+        ("native", |_| NativeMechanism::None),
+        ("history(algo)", |_| NativeMechanism::history()),
+        ("checkpoint", NativeMechanism::checkpoint),
+        ("undo-log", NativeMechanism::undo_log),
+    ];
+
+    for (name, make) in mechanisms {
+        g.bench_with_input(BenchmarkId::new("mech", name), &name, |bench, _| {
+            bench.iter(|| {
+                let mut cg = NativeCg::new(a.clone(), b.clone());
+                let mut mech = make(a.n());
+                for _ in 0..iters {
+                    mech.run_iteration(&mut cg);
+                }
+                std::hint::black_box(cg.rho)
+            })
+        });
+    }
+    g.finish();
+
+    // Rayon-parallel SpMV throughput (the HPC-native path).
+    let mut g = c.benchmark_group("wallclock_spmv");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("serial", |bench| {
+        let mut y = vec![0.0; a.n()];
+        bench.iter(|| {
+            a.spmv(&b, &mut y);
+            std::hint::black_box(y[0])
+        })
+    });
+    g.bench_function("rayon", |bench| {
+        let mut y = vec![0.0; a.n()];
+        bench.iter(|| {
+            a.spmv_par(&b, &mut y);
+            std::hint::black_box(y[0])
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,331 @@
+//! Diskless checkpointing with N+1 parity (paper §I, refs \[4\], \[8\]–\[10\]).
+//!
+//! Plank & Li's diskless checkpointing avoids stable storage entirely:
+//! each of `N` application processes keeps its checkpoint in (volatile or
+//! local) memory, and a dedicated parity process stores the bitwise XOR of
+//! all of them. Any **single** lost checkpoint is reconstructed as the XOR
+//! of the parity with the `N - 1` surviving copies.
+//!
+//! We simulate the local process (rank 0) faithfully — its checkpoint data
+//! is read out of the simulated memory system with charged accesses — and
+//! model the peer ranks functionally: peer `i`'s checkpoint payload is a
+//! deterministic function of `(i, seq)`, standing in for remote state we
+//! do not simulate. The parity arithmetic, the network cost accounting,
+//! and the reconstruction path are all real.
+
+use adcc_sim::clock::Bucket;
+use adcc_sim::line::LINE_SIZE;
+use adcc_sim::system::MemorySystem;
+
+use crate::multilevel::RemoteTiming;
+
+/// XOR `src` into `dst` element-wise.
+fn xor_into(dst: &mut [u8], src: &[u8]) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= *s;
+    }
+}
+
+/// Deterministic payload of peer `rank` at checkpoint `seq` (a stand-in
+/// for the peer's application state).
+pub fn peer_payload(rank: usize, seq: u64, bytes: usize) -> Vec<u8> {
+    let mut x = (rank as u64 + 1)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(seq.wrapping_mul(0xD1B5_4A32_D192_ED03))
+        | 1;
+    let mut out = vec![0u8; bytes];
+    for chunk in out.chunks_mut(8) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let b = x.to_le_bytes();
+        let n = chunk.len();
+        chunk.copy_from_slice(&b[..n]);
+    }
+    out
+}
+
+/// The parity process's state: XOR of all ranks' checkpoint payloads plus
+/// the group's sequence number. Survives any single node loss by
+/// definition of the scheme (it lives on its own node).
+#[derive(Debug, Clone, Default)]
+pub struct ParityNode {
+    parity: Vec<u8>,
+    seq: Option<u64>,
+}
+
+impl ParityNode {
+    pub fn new() -> Self {
+        ParityNode::default()
+    }
+
+    pub fn seq(&self) -> Option<u64> {
+        self.seq
+    }
+}
+
+/// A diskless N+1 parity checkpoint group, seen from rank 0.
+pub struct DisklessCheckpoint {
+    /// Total application ranks (including rank 0).
+    pub ranks: usize,
+    /// Payload bytes per rank (all ranks checkpoint the same amount, the
+    /// usual SPMD assumption).
+    pub bytes: usize,
+    timing: RemoteTiming,
+    /// Rank 0's in-memory checkpoint copy (diskless: RAM, not storage).
+    local_copy: Vec<u8>,
+    local_seq: Option<u64>,
+    next_seq: u64,
+}
+
+impl DisklessCheckpoint {
+    pub fn new(ranks: usize, bytes: usize, timing: RemoteTiming) -> Self {
+        assert!(ranks >= 2, "parity needs at least two application ranks");
+        DisklessCheckpoint {
+            ranks,
+            bytes,
+            timing,
+            local_copy: Vec::new(),
+            local_seq: None,
+            next_seq: 1,
+        }
+    }
+
+    /// Sequence number of rank 0's in-memory checkpoint, if any.
+    pub fn local_seq(&self) -> Option<u64> {
+        self.local_seq
+    }
+
+    /// Charged serialization of rank 0's registered regions.
+    fn serialize_local(&self, sys: &mut MemorySystem, regions: &[(u64, usize)]) -> Vec<u8> {
+        let total: usize = regions.iter().map(|r| r.1).sum();
+        assert_eq!(total, self.bytes, "region payload must match group size");
+        let mut payload = vec![0u8; total];
+        let mut off = 0usize;
+        let mut buf = [0u8; LINE_SIZE];
+        for &(addr, len) in regions {
+            let mut done = 0usize;
+            while done < len {
+                let take = LINE_SIZE.min(len - done);
+                sys.read_bytes(addr + done as u64, &mut buf[..take]);
+                payload[off + done..off + done + take].copy_from_slice(&buf[..take]);
+                done += take;
+            }
+            off += len;
+        }
+        payload
+    }
+
+    /// Take a group checkpoint: every rank stores its payload locally in
+    /// RAM and contributes to the parity via a reduction to the parity
+    /// node. Rank 0's copy and costs are simulated; peers are modelled.
+    /// Returns the group sequence number.
+    pub fn checkpoint(
+        &mut self,
+        sys: &mut MemorySystem,
+        regions: &[(u64, usize)],
+        parity: &mut ParityNode,
+    ) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+
+        let prev = sys.clock_mut().set_bucket(Bucket::CkptCopy);
+        let local = self.serialize_local(sys, regions);
+
+        // Parity reduction: in the classic scheme the XOR is computed
+        // along a reduction tree; rank 0 pays one send of its payload and
+        // the XOR work for its reduction step.
+        sys.charge_flops((self.bytes as u64) / 8);
+        sys.clock_mut().set_bucket(Bucket::Io);
+        sys.charge_io(self.timing.transfer_cost_ps(self.bytes as u64));
+
+        let mut p = local.clone();
+        for rank in 1..self.ranks {
+            xor_into(&mut p, &peer_payload(rank, seq, self.bytes));
+        }
+        parity.parity = p;
+        parity.seq = Some(seq);
+
+        self.local_copy = local;
+        self.local_seq = Some(seq);
+        sys.clock_mut().set_bucket(prev);
+        seq
+    }
+
+    /// Restore rank 0 from its own in-memory copy (a plain rollback, no
+    /// node was lost).
+    pub fn restore_local(&self, sys: &mut MemorySystem, regions: &[(u64, usize)]) -> Option<u64> {
+        let seq = self.local_seq?;
+        write_payload(sys, regions, &self.local_copy);
+        Some(seq)
+    }
+
+    /// Reconstruct rank 0's checkpoint after rank 0's node was lost:
+    /// gather the parity and the `N - 1` surviving peers' payloads
+    /// (charged network receives) and XOR them together into the fresh
+    /// system's regions.
+    pub fn reconstruct_rank0(
+        sys: &mut MemorySystem,
+        regions: &[(u64, usize)],
+        ranks: usize,
+        timing: RemoteTiming,
+        parity: &ParityNode,
+    ) -> Option<u64> {
+        let seq = parity.seq?;
+        let bytes = parity.parity.len();
+        let prev = sys.clock_mut().set_bucket(Bucket::Io);
+        // Receive parity + N-1 peer payloads.
+        for _ in 0..ranks {
+            sys.charge_io(timing.transfer_cost_ps(bytes as u64));
+        }
+        let mut payload = parity.parity.clone();
+        for rank in 1..ranks {
+            xor_into(&mut payload, &peer_payload(rank, seq, bytes));
+        }
+        sys.charge_flops((bytes as u64 * (ranks as u64 - 1)) / 8);
+        write_payload(sys, regions, &payload);
+        sys.clock_mut().set_bucket(prev);
+        Some(seq)
+    }
+}
+
+/// Charged write of a flat payload into `regions`.
+fn write_payload(sys: &mut MemorySystem, regions: &[(u64, usize)], payload: &[u8]) {
+    let total: usize = regions.iter().map(|r| r.1).sum();
+    assert_eq!(total, payload.len(), "region set changed");
+    let mut off = 0usize;
+    for &(addr, len) in regions {
+        let mut done = 0usize;
+        while done < len {
+            let take = LINE_SIZE.min(len - done);
+            sys.write_bytes(addr + done as u64, &payload[off + done..off + done + take]);
+            done += take;
+        }
+        off += len;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcc_sim::parray::PArray;
+    use adcc_sim::system::SystemConfig;
+
+    fn sys() -> MemorySystem {
+        MemorySystem::new(SystemConfig::nvm_only(4096, 1 << 20))
+    }
+
+    #[test]
+    fn xor_is_its_own_inverse() {
+        let a = peer_payload(1, 7, 256);
+        let b = peer_payload(2, 7, 256);
+        let mut x = a.clone();
+        xor_into(&mut x, &b);
+        xor_into(&mut x, &b);
+        assert_eq!(x, a);
+    }
+
+    #[test]
+    fn peer_payloads_are_deterministic_and_distinct() {
+        assert_eq!(peer_payload(1, 3, 128), peer_payload(1, 3, 128));
+        assert_ne!(peer_payload(1, 3, 128), peer_payload(2, 3, 128));
+        assert_ne!(peer_payload(1, 3, 128), peer_payload(1, 4, 128));
+    }
+
+    #[test]
+    fn reconstruction_recovers_rank0_exactly() {
+        let mut s = sys();
+        let a = PArray::<f64>::alloc_nvm(&mut s, 64);
+        for i in 0..64 {
+            a.set(&mut s, i, (i as f64).sin());
+        }
+        let regions = [(a.base(), a.byte_len())];
+        let mut parity = ParityNode::new();
+        let mut dl = DisklessCheckpoint::new(4, a.byte_len(), RemoteTiming::burst_buffer());
+        let seq = dl.checkpoint(&mut s, &regions, &mut parity);
+        assert_eq!(seq, 1);
+        let want = a.load_vec(&mut s);
+
+        // Node loss: rank 0 restarts on a fresh machine.
+        let mut fresh = sys();
+        let _a2 = PArray::<f64>::alloc_nvm(&mut fresh, 64);
+        let got = DisklessCheckpoint::reconstruct_rank0(
+            &mut fresh,
+            &regions,
+            4,
+            RemoteTiming::burst_buffer(),
+            &parity,
+        );
+        assert_eq!(got, Some(1));
+        assert_eq!(a.load_vec(&mut fresh), want);
+    }
+
+    #[test]
+    fn local_restore_is_a_plain_rollback() {
+        let mut s = sys();
+        let a = PArray::<u64>::alloc_nvm(&mut s, 16);
+        a.fill(&mut s, 5);
+        let regions = [(a.base(), a.byte_len())];
+        let mut parity = ParityNode::new();
+        let mut dl = DisklessCheckpoint::new(2, a.byte_len(), RemoteTiming::burst_buffer());
+        dl.checkpoint(&mut s, &regions, &mut parity);
+        a.fill(&mut s, 9); // diverge
+        assert_eq!(dl.restore_local(&mut s, &regions), Some(1));
+        assert_eq!(a.load_vec(&mut s), vec![5; 16]);
+    }
+
+    #[test]
+    fn newer_checkpoint_supersedes_parity() {
+        let mut s = sys();
+        let a = PArray::<u64>::alloc_nvm(&mut s, 16);
+        let regions = [(a.base(), a.byte_len())];
+        let mut parity = ParityNode::new();
+        let mut dl = DisklessCheckpoint::new(3, a.byte_len(), RemoteTiming::burst_buffer());
+        a.fill(&mut s, 1);
+        dl.checkpoint(&mut s, &regions, &mut parity);
+        a.fill(&mut s, 2);
+        dl.checkpoint(&mut s, &regions, &mut parity);
+        assert_eq!(parity.seq(), Some(2));
+        let mut fresh = sys();
+        let _a2 = PArray::<u64>::alloc_nvm(&mut fresh, 16);
+        DisklessCheckpoint::reconstruct_rank0(
+            &mut fresh,
+            &regions,
+            3,
+            RemoteTiming::burst_buffer(),
+            &parity,
+        );
+        assert_eq!(a.load_vec(&mut fresh), vec![2; 16]);
+    }
+
+    #[test]
+    fn reconstruction_cost_scales_with_ranks() {
+        let cost = |ranks: usize| {
+            let mut s = sys();
+            let a = PArray::<u64>::alloc_nvm(&mut s, 256);
+            let regions = [(a.base(), a.byte_len())];
+            let mut parity = ParityNode::new();
+            let mut dl = DisklessCheckpoint::new(ranks, a.byte_len(), RemoteTiming::pfs());
+            dl.checkpoint(&mut s, &regions, &mut parity);
+            let mut fresh = sys();
+            let _a2 = PArray::<u64>::alloc_nvm(&mut fresh, 256);
+            let t0 = fresh.now();
+            DisklessCheckpoint::reconstruct_rank0(
+                &mut fresh,
+                &regions,
+                ranks,
+                RemoteTiming::pfs(),
+                &parity,
+            );
+            (fresh.now() - t0).ps()
+        };
+        assert!(cost(8) > cost(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_rank_group_rejected() {
+        DisklessCheckpoint::new(1, 64, RemoteTiming::pfs());
+    }
+}

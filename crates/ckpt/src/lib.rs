@@ -1,0 +1,42 @@
+//! # adcc-ckpt — checkpoint/restart mechanisms (the traditional baseline)
+//!
+//! The paper's evaluation compares against the "most common method to
+//! establish a consistent and correct state": application-level
+//! checkpointing, in three flavors —
+//!
+//! * [`hdd::HddCheckpoint`] — checkpoint to a local hard drive (test
+//!   case 2; +60.4% for CG),
+//! * [`mem::MemCheckpoint`] on the NVM-only system (test case 3; +4.2%),
+//! * [`mem::MemCheckpoint`] on the heterogeneous NVM/DRAM system, which
+//!   must additionally flush the volatile DRAM cache (test case 4;
+//!   +43.6%).
+//!
+//! The NVM checkpoint is double-buffered (two slots with sequence numbers
+//! and completion marks), so a crash *during* checkpointing never corrupts
+//! the last valid checkpoint — the classic two-copy protocol.
+//!
+//! Beyond the paper's three baselines, this crate also implements the
+//! checkpoint-overhead mitigations the paper's introduction surveys, so
+//! the algorithm-directed approach can be compared against the *best*
+//! traditional techniques, not just the plain ones:
+//!
+//! * [`incremental::IncrementalCheckpoint`] — page-granular dirty
+//!   tracking, copies only modified pages (refs \[4\]–\[7\]),
+//! * [`multilevel::MultilevelCheckpoint`] — hierarchical local-NVM +
+//!   remote-node checkpointing (SCR/FTI style, refs \[1\]–\[3\]),
+//! * [`diskless::DisklessCheckpoint`] — N+1 XOR parity across peer
+//!   processes, no stable storage at all (Plank & Li, refs \[4\], \[8\]–\[10\]).
+
+pub mod diskless;
+pub mod hdd;
+pub mod incremental;
+pub mod manager;
+pub mod mem;
+pub mod multilevel;
+
+pub use diskless::{DisklessCheckpoint, ParityNode};
+pub use hdd::HddCheckpoint;
+pub use incremental::{IncrementalCheckpoint, IncrementalLayout, IncrementalReport};
+pub use manager::{CkptManager, CkptTarget};
+pub use mem::{MemCheckpoint, MemCheckpointLayout};
+pub use multilevel::{MultilevelCheckpoint, MultilevelReport, RemoteStore, RemoteTiming};

@@ -1,0 +1,272 @@
+//! Checksum encoding (Eqs. 3–4), verification (Eq. 6) and single-error
+//! correction for full-checksum matrices.
+
+use adcc_linalg::dense::Matrix;
+use adcc_sim::parray::PMatrix;
+use adcc_sim::system::MemorySystem;
+
+/// Relative tolerance for checksum comparisons, scaled by the magnitude of
+/// the row/column (floating-point summation differs in order between the
+/// checksum row and the recomputed sum).
+pub const CKSUM_RTOL: f64 = 1e-9;
+/// Absolute floor for the comparison tolerance.
+pub const CKSUM_ATOL: f64 = 1e-9;
+
+/// Column-checksum encoding (Eq. 3): append a row of column sums.
+/// Input `m x k`, output `(m+1) x k`.
+pub fn encode_ac(a: &Matrix) -> Matrix {
+    let (m, k) = (a.rows(), a.cols());
+    let mut out = Matrix::zeros(m + 1, k);
+    for i in 0..m {
+        for j in 0..k {
+            out.set(i, j, a.get(i, j));
+        }
+    }
+    for j in 0..k {
+        out.set(m, j, a.col_sum(j));
+    }
+    out
+}
+
+/// Row-checksum encoding (Eq. 4): append a column of row sums.
+/// Input `k x n`, output `k x (n+1)`.
+pub fn encode_br(b: &Matrix) -> Matrix {
+    let (k, n) = (b.rows(), b.cols());
+    let mut out = Matrix::zeros(k, n + 1);
+    for i in 0..k {
+        for j in 0..n {
+            out.set(i, j, b.get(i, j));
+        }
+        out.set(i, n, b.row_sum(i));
+    }
+    out
+}
+
+/// Which rows/columns of a full-checksum matrix failed verification.
+#[derive(Debug, Clone, Default)]
+pub struct ChecksumReport {
+    pub bad_rows: Vec<usize>,
+    pub bad_cols: Vec<usize>,
+}
+
+impl ChecksumReport {
+    /// No inconsistency detected.
+    pub fn is_consistent(&self) -> bool {
+        self.bad_rows.is_empty() && self.bad_cols.is_empty()
+    }
+
+    /// Exactly one element can be pinpointed (one bad row and one bad
+    /// column).
+    pub fn is_single_error(&self) -> bool {
+        self.bad_rows.len() == 1 && self.bad_cols.len() == 1
+    }
+}
+
+#[inline]
+fn mismatch(sum: f64, stored: f64, magnitude: f64) -> bool {
+    !(sum.is_finite() && stored.is_finite())
+        || (sum - stored).abs() > CKSUM_RTOL * magnitude.max(stored.abs()) + CKSUM_ATOL
+}
+
+/// Verify the full checksum relationship (Eq. 6) of an `(m+1) x (n+1)`
+/// matrix in simulated memory; data rows/cols are `0..m` / `0..n`, the
+/// checksum row is `m`, the checksum column is `n`. Charged reads + FLOPs.
+pub fn verify_full(sys: &mut MemorySystem, mat: &PMatrix<f64>) -> ChecksumReport {
+    let m = mat.rows() - 1;
+    let n = mat.cols() - 1;
+    let mut report = ChecksumReport::default();
+    // Row sums vs checksum column, and column sums accumulated in one pass.
+    let mut col_sums = vec![0.0f64; n];
+    let mut col_mags = vec![0.0f64; n];
+    for i in 0..m {
+        let mut sum = 0.0;
+        let mut mag = 0.0;
+        for j in 0..n {
+            let v = mat.get(sys, i, j);
+            sum += v;
+            mag += v.abs();
+            col_sums[j] += v;
+            col_mags[j] += v.abs();
+        }
+        let stored = mat.get(sys, i, n);
+        if mismatch(sum, stored, mag) {
+            report.bad_rows.push(i);
+        }
+    }
+    sys.charge_flops((m * n * 3) as u64);
+    for (j, (&sum, &mag)) in col_sums.iter().zip(col_mags.iter()).enumerate() {
+        let stored = mat.get(sys, m, j);
+        if mismatch(sum, stored, mag) {
+            report.bad_cols.push(j);
+        }
+    }
+    report
+}
+
+/// Verify only the row checksums of rows `rows` (used by the second-loop
+/// recovery, where only row checksums are maintained). Returns the bad
+/// row indices.
+pub fn verify_rows(
+    sys: &mut MemorySystem,
+    mat: &PMatrix<f64>,
+    rows: std::ops::Range<usize>,
+) -> Vec<usize> {
+    let n = mat.cols() - 1;
+    let mut bad = Vec::new();
+    for i in rows {
+        let mut sum = 0.0;
+        let mut mag = 0.0;
+        for j in 0..n {
+            let v = mat.get(sys, i, j);
+            sum += v;
+            mag += v.abs();
+        }
+        let stored = mat.get(sys, i, n);
+        sys.charge_flops(3 * n as u64);
+        if mismatch(sum, stored, mag) {
+            bad.push(i);
+        }
+    }
+    bad
+}
+
+/// Attempt single-element correction: if the report pinpoints exactly one
+/// element `(r, c)`, overwrite it with the value implied by its row
+/// checksum and re-verify. Returns whether the matrix is now consistent.
+pub fn correct_single(
+    sys: &mut MemorySystem,
+    mat: &PMatrix<f64>,
+    report: &ChecksumReport,
+) -> bool {
+    if !report.is_single_error() {
+        return false;
+    }
+    let r = report.bad_rows[0];
+    let c = report.bad_cols[0];
+    let n = mat.cols() - 1;
+    // Correct value = row checksum - sum of the row's other data elements.
+    let mut others = 0.0;
+    for j in 0..n {
+        if j != c {
+            others += mat.get(sys, r, j);
+        }
+    }
+    let fixed = mat.get(sys, r, n) - others;
+    mat.set(sys, r, c, fixed);
+    sys.charge_flops(n as u64);
+    verify_full(sys, mat).is_consistent()
+}
+
+/// Host-side full-checksum verification for tests.
+pub fn verify_full_host(m: &Matrix) -> ChecksumReport {
+    let rows = m.rows() - 1;
+    let cols = m.cols() - 1;
+    let mut report = ChecksumReport::default();
+    for i in 0..rows {
+        let sum: f64 = (0..cols).map(|j| m.get(i, j)).sum();
+        let mag: f64 = (0..cols).map(|j| m.get(i, j).abs()).sum();
+        if mismatch(sum, m.get(i, cols), mag) {
+            report.bad_rows.push(i);
+        }
+    }
+    for j in 0..cols {
+        let sum: f64 = (0..rows).map(|i| m.get(i, j)).sum();
+        let mag: f64 = (0..rows).map(|i| m.get(i, j).abs()).sum();
+        if mismatch(sum, m.get(rows, j), mag) {
+            report.bad_cols.push(j);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcc_sim::system::SystemConfig;
+
+    #[test]
+    fn encoding_shapes_and_sums() {
+        let a = Matrix::random(5, 4, 1);
+        let ac = encode_ac(&a);
+        assert_eq!((ac.rows(), ac.cols()), (6, 4));
+        for j in 0..4 {
+            assert!((ac.get(5, j) - a.col_sum(j)).abs() < 1e-12);
+        }
+        let b = Matrix::random(4, 7, 2);
+        let br = encode_br(&b);
+        assert_eq!((br.rows(), br.cols()), (4, 8));
+        for i in 0..4 {
+            assert!((br.get(i, 7) - b.row_sum(i)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn product_of_encoded_matrices_has_full_checksums() {
+        // Cf = Ac x Br carries both checksum structures (Eq. 5).
+        let a = Matrix::random(6, 5, 3);
+        let b = Matrix::random(5, 7, 4);
+        let cf = encode_ac(&a).mul_naive(&encode_br(&b));
+        assert!(verify_full_host(&cf).is_consistent());
+    }
+
+    #[test]
+    fn verification_detects_corruption_in_sim() {
+        let a = Matrix::random(6, 5, 5);
+        let b = Matrix::random(5, 7, 6);
+        let cf = encode_ac(&a).mul_naive(&encode_br(&b));
+        let mut sys = MemorySystem::new(SystemConfig::nvm_only(32 << 10, 8 << 20));
+        let m = PMatrix::<f64>::alloc_nvm(&mut sys, 7, 8);
+        m.array().seed_slice(&mut sys, cf.data());
+        assert!(verify_full(&mut sys, &m).is_consistent());
+
+        let v = m.get(&mut sys, 2, 3);
+        m.set(&mut sys, 2, 3, v + 1.0);
+        let report = verify_full(&mut sys, &m);
+        assert_eq!(report.bad_rows, vec![2]);
+        assert_eq!(report.bad_cols, vec![3]);
+        assert!(report.is_single_error());
+    }
+
+    #[test]
+    fn single_error_is_corrected_exactly() {
+        let a = Matrix::random(8, 8, 7);
+        let b = Matrix::random(8, 8, 8);
+        let cf = encode_ac(&a).mul_naive(&encode_br(&b));
+        let mut sys = MemorySystem::new(SystemConfig::nvm_only(32 << 10, 8 << 20));
+        let m = PMatrix::<f64>::alloc_nvm(&mut sys, 9, 9);
+        m.array().seed_slice(&mut sys, cf.data());
+        let original = m.get(&mut sys, 4, 5);
+        m.set(&mut sys, 4, 5, -999.0);
+        let report = verify_full(&mut sys, &m);
+        assert!(correct_single(&mut sys, &m, &report));
+        assert!((m.get(&mut sys, 4, 5) - original).abs() < 1e-7);
+    }
+
+    #[test]
+    fn multi_error_is_not_correctable() {
+        let a = Matrix::random(6, 6, 9);
+        let b = Matrix::random(6, 6, 10);
+        let cf = encode_ac(&a).mul_naive(&encode_br(&b));
+        let mut sys = MemorySystem::new(SystemConfig::nvm_only(32 << 10, 8 << 20));
+        let m = PMatrix::<f64>::alloc_nvm(&mut sys, 7, 7);
+        m.array().seed_slice(&mut sys, cf.data());
+        m.set(&mut sys, 1, 1, 100.0);
+        m.set(&mut sys, 2, 4, -100.0);
+        let report = verify_full(&mut sys, &m);
+        assert!(!report.is_consistent());
+        assert!(!correct_single(&mut sys, &m, &report));
+    }
+
+    #[test]
+    fn row_only_verification() {
+        let a = Matrix::random(6, 6, 11);
+        let b = Matrix::random(6, 6, 12);
+        let cf = encode_ac(&a).mul_naive(&encode_br(&b));
+        let mut sys = MemorySystem::new(SystemConfig::nvm_only(32 << 10, 8 << 20));
+        let m = PMatrix::<f64>::alloc_nvm(&mut sys, 7, 7);
+        m.array().seed_slice(&mut sys, cf.data());
+        assert!(verify_rows(&mut sys, &m, 0..6).is_empty());
+        m.set(&mut sys, 3, 0, 1e6);
+        assert_eq!(verify_rows(&mut sys, &m, 0..6), vec![3]);
+    }
+}

@@ -1,0 +1,43 @@
+//! Algorithm-directed crash consistence for ABFT matrix multiplication
+//! (paper §III-C).
+//!
+//! `C = A × B` is computed on checksum-encoded matrices: `Ac` carries an
+//! extra row of column sums, `Br` an extra column of row sums, so the full
+//! product `Cf = Ac × Br` carries both (Eqs. 3–6). The paper restructures
+//! the classic rank-k-update ABFT loop (Fig. 5) into two loops (Fig. 6):
+//!
+//! 1. each rank-k panel product is stored in its own *temporal matrix*
+//!    `Cˢ_tmp` whose row/column checksums are flushed, and
+//! 2. the temporal matrices are added row-block by row-block into `C_tmp`,
+//!    whose row checksums are flushed per block.
+//!
+//! Because flushed checksums are never overwritten, they reliably identify
+//! inconsistent blocks/row-blocks in NVM after a crash; only those are
+//! recomputed (or, for isolated single-element damage, corrected in place).
+
+pub mod checksum;
+pub mod original;
+pub mod two_loop;
+pub mod variants;
+
+pub use checksum::{encode_ac, encode_br, ChecksumReport};
+pub use original::OriginalAbft;
+pub use two_loop::{AbftRecovery, BlockStatus, TwoLoopAbft};
+
+/// Crash-site phases for ABFT MM.
+pub mod sites {
+    /// End of one rank-k iteration of the original ABFT loop (Fig. 5).
+    pub const PH_ORIG_ITER: u32 = 20;
+    /// End of one sub-matrix multiplication (Fig. 6 first loop).
+    pub const PH_LOOP1: u32 = 21;
+    /// End of one sub-matrix addition row block (Fig. 6 second loop).
+    pub const PH_LOOP2: u32 = 22;
+}
+
+/// Phase markers persisted by the two-loop algorithm so recovery knows
+/// which loop was interrupted.
+pub mod phases {
+    pub const LOOP1: u64 = 0;
+    pub const LOOP2: u64 = 1;
+    pub const DONE: u64 = 2;
+}

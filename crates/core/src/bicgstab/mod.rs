@@ -1,0 +1,32 @@
+//! Algorithm-directed crash consistence for BiCGSTAB (an extension
+//! beyond the paper; DESIGN.md §5a).
+//!
+//! CG's invariants rely on symmetry (A-conjugacy of search directions).
+//! BiCGSTAB is the workhorse for *nonsymmetric* systems, and it shows the
+//! paper's recipe surviving a harder invariant landscape:
+//!
+//! * the **residual identity** `r(i+1) = b − A·x(i+1)` still holds and is
+//!   still one SpMV to check; but
+//! * the search direction `p(i+1) = r(i+1) + β_i (p(i) − ω_i v(i))` has no
+//!   orthogonality shortcut — verifying it needs the iteration's scalars
+//!   `(α_i, ω_i, β_i)`.
+//!
+//! The fix is in the paper's own currency: the three scalars fit in one
+//! cache line, so the runtime extension flushes **one scalar line per
+//! iteration** (plus the iteration counter), and recovery recomputes
+//! `v(i) = A·p(i)` to check the direction recurrence. Two SpMVs per
+//! candidate instead of CG's one — still O(recovery), never O(runtime).
+
+pub mod extended;
+pub mod plain;
+
+pub use extended::{BiRecovery, ExtendedBiCgStab};
+pub use plain::bicgstab_host;
+
+/// Crash-site phases for BiCGSTAB (see [`adcc_sim::crash::CrashSite`]).
+pub mod sites {
+    /// After the `x`/`r` updates of one iteration.
+    pub const PH_AFTER_XR: u32 = 60;
+    /// End of one main-loop iteration (after the `p` update).
+    pub const PH_ITER_END: u32 = 61;
+}

@@ -1,0 +1,99 @@
+//! Host-side BiCGSTAB reference (x0 = 0, r̂ = b), with the exact
+//! arithmetic order the simulated implementation reproduces.
+
+use adcc_linalg::csr::CsrMatrix;
+
+/// Run `iters` BiCGSTAB iterations from `x0 = 0`; returns the iterate.
+/// No convergence tricks (no early exit, no restarting) — the recovery
+/// experiments need a fixed, deterministic iteration schedule.
+pub fn bicgstab_host(a: &CsrMatrix, b: &[f64], iters: usize) -> Vec<f64> {
+    let n = a.n();
+    assert_eq!(b.len(), n);
+    let r_hat = b.to_vec();
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut p = b.to_vec();
+    let mut v = vec![0.0; n];
+    let mut s = vec![0.0; n];
+    let mut t = vec![0.0; n];
+    let mut rho: f64 = dot(&r, &r_hat);
+    for _ in 0..iters {
+        a.spmv(&p, &mut v);
+        let alpha = rho / dot(&v, &r_hat);
+        for j in 0..n {
+            s[j] = r[j] - alpha * v[j];
+        }
+        a.spmv(&s, &mut t);
+        let omega = dot(&t, &s) / dot(&t, &t);
+        for j in 0..n {
+            x[j] += alpha * p[j] + omega * s[j];
+        }
+        for j in 0..n {
+            r[j] = s[j] - omega * t[j];
+        }
+        let rho_new = dot(&r, &r_hat);
+        let beta = (rho_new / rho) * (alpha / omega);
+        for j in 0..n {
+            p[j] = r[j] + beta * (p[j] - omega * v[j]);
+        }
+        rho = rho_new;
+    }
+    x
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcc_linalg::spd::CgClass;
+
+    #[test]
+    fn bicgstab_converges_on_dominant_system() {
+        let class = CgClass::TEST;
+        let a = class.matrix(91);
+        let b = class.rhs(&a);
+        // Solution is the ones vector (b = A·1).
+        let x = bicgstab_host(&a, &b, 30);
+        let err = x.iter().map(|v| (v - 1.0).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-8, "BiCGSTAB failed to converge, err={err}");
+    }
+
+    #[test]
+    fn bicgstab_converges_faster_than_jacobi() {
+        let class = CgClass::TEST;
+        let a = class.matrix(92);
+        let b = class.rhs(&a);
+        let bi = bicgstab_host(&a, &b, 10);
+        let jac = crate::jacobi::jacobi_host(&a, &b, 10);
+        let err = |x: &[f64]| x.iter().map(|v| (v - 1.0f64).abs()).fold(0.0, f64::max);
+        assert!(
+            err(&bi) < err(&jac),
+            "Krylov should beat stationary: {} vs {}",
+            err(&bi),
+            err(&jac)
+        );
+    }
+
+    #[test]
+    fn residual_identity_holds() {
+        let class = CgClass::TEST;
+        let a = class.matrix(93);
+        let b = class.rhs(&a);
+        let x = bicgstab_host(&a, &b, 6);
+        // Recompute r from scratch and compare to b - A x (the identity
+        // recovery relies on; here we just sanity-check magnitudes).
+        let mut ax = vec![0.0; a.n()];
+        a.spmv(&x, &mut ax);
+        let resid: f64 = b
+            .iter()
+            .zip(&ax)
+            .map(|(bi, ai)| (bi - ai).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        let norm_b: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(resid < norm_b, "residual should have shrunk");
+    }
+}

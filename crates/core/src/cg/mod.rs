@@ -1,0 +1,42 @@
+//! Algorithm-directed crash consistence for the Conjugate Gradient method
+//! (paper §III-B).
+//!
+//! CG solves `Ax = b` for sparse SPD `A`. The paper's scheme extends the
+//! four work vectors `p, q, r, z` with an iteration-history dimension and
+//! flushes exactly one cache line per iteration (the one holding the loop
+//! index). Recovery exploits two invariants that hold between consecutive
+//! iterations' data:
+//!
+//! ```text
+//! p(i+1)ᵀ · q(i)      = 0              (A-conjugacy of search directions)
+//! r(i+1)              = b − A · z(i+1) (residual identity, x0 = 0)
+//! ```
+//!
+//! Scanning backwards from the crashed iteration, the first iteration whose
+//! NVM data satisfies both invariants is a correct restart point.
+//!
+//! Note on fidelity: the paper's Fig. 1 pseudocode contains two well-known
+//! typos (`r ← r − αp` should use `q`, and `p ← p + βp` should be
+//! `p ← r + βp`); we implement standard CG, from which the stated
+//! invariants actually follow.
+
+pub mod extended;
+pub mod plain;
+pub mod variants;
+
+pub use extended::{CgRecovery, CgSolution, ExtendedCg};
+pub use plain::{cg_host, PlainCg};
+
+/// Crash-site phases for CG (see [`adcc_sim::crash::CrashSite`]).
+pub mod sites {
+    /// After `q ← A·p` (Fig. 2 line 4).
+    pub const PH_AFTER_Q: u32 = 10;
+    /// After the `z` update (Fig. 2 line 6).
+    pub const PH_AFTER_Z: u32 = 11;
+    /// After the `r` update (Fig. 2 line 8).
+    pub const PH_AFTER_R: u32 = 12;
+    /// After the `p` update — the paper's "Line 10" crash point.
+    pub const PH_LINE10: u32 = 13;
+    /// End of one main-loop iteration.
+    pub const PH_ITER_END: u32 = 14;
+}

@@ -1,0 +1,173 @@
+//! Host-side LU reference: generation, factorization, reconstruction.
+
+use adcc_linalg::dense::Matrix;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A dense, strictly diagonally dominant matrix (unpivoted LU is stable on
+/// these): random entries in [-1, 1] plus `rowsum + 1` on the diagonal.
+pub fn dominant_matrix(n: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Matrix::zeros(n, n);
+    for i in 0..n {
+        let mut rowsum = 0.0;
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let v: f64 = rng.random_range(-1.0..1.0);
+            m.set(i, j, v);
+            rowsum += v.abs();
+        }
+        m.set(i, i, rowsum + 1.0);
+    }
+    m
+}
+
+/// Textbook right-looking unpivoted LU. Returns the combined factor
+/// matrix (`L` strictly below the diagonal with unit diagonal implied,
+/// `U` on and above).
+pub fn lu_host(a: &Matrix) -> Matrix {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "LU needs a square matrix");
+    let mut f = a.clone();
+    for k in 0..n {
+        let pivot = f.get(k, k);
+        assert!(pivot != 0.0, "zero pivot at step {k}");
+        for i in k + 1..n {
+            let l = f.get(i, k) / pivot;
+            f.set(i, k, l);
+            for j in k + 1..n {
+                let v = f.get(i, j) - l * f.get(k, j);
+                f.set(i, j, v);
+            }
+        }
+    }
+    f
+}
+
+/// Multiply the `L` and `U` stored in a combined factor matrix back into
+/// a full matrix (for verification against the input).
+pub fn lu_reconstruct(f: &Matrix) -> Matrix {
+    let n = f.rows();
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            let mut s = 0.0;
+            // (L·U)[i][j] = Σ_k L[i][k] · U[k][j], L unit diagonal.
+            let kmax = i.min(j);
+            for k in 0..=kmax {
+                let l = if k == i { 1.0 } else { f.get(i, k) };
+                let u = f.get(k, j);
+                s += l * u;
+            }
+            a.set(i, j, s);
+        }
+    }
+    a
+}
+
+/// Solve `A·x = b` from a combined factor (forward + back substitution).
+pub fn lu_solve(f: &Matrix, b: &[f64]) -> Vec<f64> {
+    let n = f.rows();
+    assert_eq!(b.len(), n);
+    // Ly = b (unit lower).
+    let mut y = b.to_vec();
+    for i in 0..n {
+        for k in 0..i {
+            y[i] -= f.get(i, k) * y[k];
+        }
+    }
+    // Ux = y.
+    let mut x = y;
+    for i in (0..n).rev() {
+        for k in i + 1..n {
+            x[i] -= f.get(i, k) * x[k];
+        }
+        x[i] /= f.get(i, i);
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominant_matrix_is_dominant() {
+        let m = dominant_matrix(40, 3);
+        for i in 0..40 {
+            let off: f64 = (0..40)
+                .filter(|&j| j != i)
+                .map(|j| m.get(i, j).abs())
+                .sum();
+            assert!(m.get(i, i) > off);
+        }
+    }
+
+    #[test]
+    fn lu_reconstructs_input() {
+        let a = dominant_matrix(24, 7);
+        let f = lu_host(&a);
+        let back = lu_reconstruct(&f);
+        assert!(
+            a.max_abs_diff(&back) < 1e-10,
+            "LU·reconstruct diverged by {}",
+            a.max_abs_diff(&back)
+        );
+    }
+
+    #[test]
+    fn lu_solve_solves() {
+        let a = dominant_matrix(16, 9);
+        let f = lu_host(&a);
+        // b = A·1 so x = 1.
+        let ones = vec![1.0; 16];
+        let mut b = vec![0.0; 16];
+        for i in 0..16 {
+            b[i] = (0..16).map(|j| a.get(i, j) * ones[j]).sum();
+        }
+        let x = lu_solve(&f, &b);
+        for v in x {
+            assert!((v - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn l_column_checksum_invariant_holds() {
+        // The invariant the NVM recovery relies on, checked on the host:
+        // running the checksum row through the same eliminations yields
+        // column sums of L.
+        let n = 20;
+        let a = dominant_matrix(n, 11);
+        // Augmented factorization, column version.
+        let mut f = vec![vec![0.0f64; n + 1]; n]; // f[col][row]
+        for j in 0..n {
+            for i in 0..n {
+                f[j][i] = a.get(i, j);
+            }
+            f[j][n] = (0..n).map(|i| a.get(i, j)).sum();
+        }
+        for c in 0..n {
+            for k in 0..c {
+                let w_k = f[c][k];
+                for i in k + 1..=n {
+                    f[c][i] -= f[k][i] * w_k;
+                }
+            }
+            // Apply within-column elimination then divide.
+            let pivot = f[c][c];
+            for i in c + 1..=n {
+                f[c][i] /= pivot;
+            }
+        }
+        for j in 0..n {
+            let want: f64 = 1.0 + (j + 1..n).map(|i| f[j][i]).sum::<f64>();
+            assert!(
+                (f[j][n] - want).abs() < 1e-9 * want.abs().max(1.0),
+                "column {j}: checksum {} vs L-sum {want}",
+                f[j][n]
+            );
+        }
+    }
+}

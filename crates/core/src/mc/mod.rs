@@ -1,0 +1,37 @@
+//! Algorithm-directed crash consistence for Monte-Carlo transport
+//! (paper §III-D).
+//!
+//! The workload is modelled on XSBench: each lookup samples a neutron
+//! energy and a material, binary-searches per-nuclide energy grids,
+//! interpolates five microscopic cross sections per nuclide and
+//! accumulates them into the five-element `macro_xs_vector`. The paper's
+//! extension turns the result into something with verifiable physical
+//! meaning: a CDF over the five macroscopic cross sections selects an
+//! *interaction type*, counted across all lookups — with enough samples
+//! the five counters converge to equal shares.
+//!
+//! The crash-consistence findings reproduced here:
+//!
+//! * the "basic idea" (flush only the loop index, rely on eviction) loses
+//!   the counter updates stranded in cache, visibly skewing the counts
+//!   after restart (Fig. 10);
+//! * selectively flushing `macro_xs_vector`, the counters and the loop
+//!   index every 0.01% of lookups bounds the loss and restores correct
+//!   statistics (Figs. 11–12) at negligible cost (Fig. 13).
+
+pub mod grids;
+pub mod rng;
+pub mod sim;
+pub mod variants;
+
+pub use grids::{McProblem, SimMcGrids};
+pub use sim::{McMode, McRecovery, McSim};
+
+/// Number of interaction types / cross-section channels.
+pub const XS_CHANNELS: usize = 5;
+
+/// Crash-site phases for MC.
+pub mod sites {
+    /// End of one lookup iteration; index = lookup number.
+    pub const PH_LOOKUP: u32 = 30;
+}

@@ -1,0 +1,54 @@
+//! Shared recovery-reporting types.
+
+use adcc_sim::clock::SimTime;
+
+/// What a post-crash recovery cost and recovered, in the units the paper
+/// reports (Figs. 3 and 7 break recomputation into "detecting where to
+/// restart" and "resuming computation time", normalized by the average
+/// cost of one work unit — an iteration, a sub-matrix multiplication, or a
+/// sub-matrix addition).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryReport {
+    /// Simulated time spent deciding where to restart.
+    pub detect_time: SimTime,
+    /// Simulated time spent re-executing lost work.
+    pub resume_time: SimTime,
+    /// Work units lost to the crash (recomputed).
+    pub lost_units: u64,
+    /// The work-unit index execution resumed from.
+    pub restart_unit: u64,
+}
+
+impl RecoveryReport {
+    /// Total recomputation time.
+    pub fn total(&self) -> SimTime {
+        self.detect_time + self.resume_time
+    }
+
+    /// The paper's normalization: recomputation cost in units of the
+    /// average per-unit execution time.
+    pub fn normalized(&self, avg_unit_time: SimTime) -> f64 {
+        if avg_unit_time.ps() == 0 {
+            return 0.0;
+        }
+        self.total().ps() as f64 / avg_unit_time.ps() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_normalization() {
+        let r = RecoveryReport {
+            detect_time: SimTime(300),
+            resume_time: SimTime(700),
+            lost_units: 2,
+            restart_unit: 13,
+        };
+        assert_eq!(r.total(), SimTime(1000));
+        assert!((r.normalized(SimTime(500)) - 2.0).abs() < 1e-12);
+        assert_eq!(r.normalized(SimTime(0)), 0.0);
+    }
+}

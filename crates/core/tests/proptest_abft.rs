@@ -1,0 +1,86 @@
+//! Property tests for the ABFT checksum machinery: detection and
+//! single-error correction over random matrices and corruption sites.
+
+use proptest::prelude::*;
+
+use adcc_core::abft::checksum::{correct_single, encode_ac, encode_br, verify_full};
+use adcc_linalg::dense::Matrix;
+use adcc_sim::parray::PMatrix;
+use adcc_sim::system::{MemorySystem, SystemConfig};
+
+fn seeded_cf(n: usize, seed: u64) -> Matrix {
+    let a = Matrix::random(n, n, seed);
+    let b = Matrix::random(n, n, seed + 1);
+    encode_ac(&a).mul_naive(&encode_br(&b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any single corrupted data element is located and repaired.
+    #[test]
+    fn single_corruption_is_always_corrected(
+        n in 4usize..16,
+        r_frac in 0.0f64..1.0,
+        c_frac in 0.0f64..1.0,
+        delta in prop::sample::select(vec![1e-3f64, 1.0, 1e3, -5.0, 1e6]),
+        seed in 0u64..500,
+    ) {
+        let cf = seeded_cf(n, seed);
+        let r = ((r_frac * n as f64) as usize).min(n - 1);
+        let c = ((c_frac * n as f64) as usize).min(n - 1);
+        let mut sys = MemorySystem::new(SystemConfig::nvm_only(64 << 10, 16 << 20));
+        let m = PMatrix::<f64>::alloc_nvm(&mut sys, n + 1, n + 1);
+        m.array().seed_slice(&mut sys, cf.data());
+
+        let original = m.get(&mut sys, r, c);
+        m.set(&mut sys, r, c, original + delta);
+        let report = verify_full(&mut sys, &m);
+        prop_assert!(!report.is_consistent(), "corruption must be detected");
+        prop_assert!(report.is_single_error(), "must localize to one element");
+        prop_assert!(correct_single(&mut sys, &m, &report));
+        let fixed = m.get(&mut sys, r, c);
+        prop_assert!(
+            (fixed - original).abs() <= 1e-7 * original.abs().max(1.0),
+            "repaired value {fixed} vs original {original}"
+        );
+    }
+
+    /// Corruption at two distinct sites is detected and never silently
+    /// "corrected" into a consistent-looking matrix.
+    #[test]
+    fn double_corruption_is_detected_not_miscorrected(
+        n in 4usize..16,
+        seed in 0u64..500,
+    ) {
+        let cf = seeded_cf(n, seed);
+        let mut sys = MemorySystem::new(SystemConfig::nvm_only(64 << 10, 16 << 20));
+        let m = PMatrix::<f64>::alloc_nvm(&mut sys, n + 1, n + 1);
+        m.array().seed_slice(&mut sys, cf.data());
+
+        let v00 = m.get(&mut sys, 0, 0);
+        let v23 = m.get(&mut sys, 2, 3);
+        m.set(&mut sys, 0, 0, v00 + 7.0);
+        m.set(&mut sys, 2, 3, v23 - 11.0);
+        let report = verify_full(&mut sys, &m);
+        prop_assert!(!report.is_consistent());
+        // Either correction refuses, or (if it proceeded) it must not
+        // claim consistency afterwards.
+        let corrected = correct_single(&mut sys, &m, &report);
+        prop_assert!(!corrected, "two errors must not be single-corrected");
+    }
+
+    /// An uncorrupted checksum product always verifies, at any rank used
+    /// to compute it.
+    #[test]
+    fn clean_products_always_verify(
+        n in 4usize..14,
+        seed in 0u64..500,
+    ) {
+        let cf = seeded_cf(n, seed);
+        let mut sys = MemorySystem::new(SystemConfig::nvm_only(64 << 10, 16 << 20));
+        let m = PMatrix::<f64>::alloc_nvm(&mut sys, n + 1, n + 1);
+        m.array().seed_slice(&mut sys, cf.data());
+        prop_assert!(verify_full(&mut sys, &m).is_consistent());
+    }
+}

@@ -1,0 +1,107 @@
+//! `repro` — regenerate the paper's evaluation figures.
+//!
+//! ```text
+//! repro <fig3|fig4|fig7|fig8|fig10|fig12|fig13|intro|ablation|all> [--quick] [--csv]
+//! ```
+//!
+//! `--quick` runs reduced problem sizes (seconds instead of minutes);
+//! `--csv` prints CSV instead of markdown tables.
+
+use adcc_harness::platform::Scale;
+use adcc_harness::report::Table;
+use adcc_harness::{ablation, ablation_ext, ext, fig10, fig13, fig3, fig4, fig7, fig8, intro};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <fig3|fig4|fig7|fig8|fig10|fig12|fig13|intro|ablation|\n\
+         \x20       ext|ext-jacobi|ext-lu|ext-stencil|\n\
+         \x20       ablation-ext|ablation-flush|ablation-policy|ablation-epoch|\n\
+         \x20       ablation-battery|ckpt-strategies|all> [--quick] [--csv]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
+
+    let mut tables: Vec<Table> = Vec::new();
+    let start = std::time::Instant::now();
+    match what {
+        "fig3" => tables.push(fig3::run(scale)),
+        "fig4" => tables.push(fig4::run(scale)),
+        "fig7" => tables.push(fig7::run(scale)),
+        "fig8" => tables.push(fig8::run(scale)),
+        "fig10" => tables.push(fig10::run(scale)),
+        "fig12" => tables.push(fig10::run_fig12(scale)),
+        "fig13" => tables.push(fig13::run(scale)),
+        "intro" => tables.push(intro::run(scale)),
+        "ablation" => tables.extend(ablation::run(scale)),
+        "ext" => tables.extend(ext::run(scale)),
+        "ext-jacobi" => {
+            tables.push(ext::jacobi_recompute(scale));
+            tables.push(ext::jacobi_runtime(scale));
+        }
+        "ext-lu" => {
+            tables.push(ext::lu_recompute(scale));
+            tables.push(ext::lu_runtime(scale));
+        }
+        "ext-stencil" => {
+            tables.push(ext::stencil_recompute(scale));
+            tables.push(ext::stencil_runtime(scale));
+        }
+        "ext-bicgstab" => tables.push(ext::bicgstab_recompute(scale)),
+        "ablation-ext" => tables.extend(ablation_ext::run(scale)),
+        "ablation-flush" => tables.push(ablation_ext::flush_instruction(scale)),
+        "ablation-policy" => tables.push(ablation_ext::replacement_policy(scale)),
+        "ablation-epoch" => tables.push(ablation_ext::epoch_persistency()),
+        "ablation-battery" => tables.push(ablation_ext::battery_backed(scale)),
+        "ckpt-strategies" => tables.push(ablation_ext::ckpt_strategies(scale)),
+        "all" => {
+            eprintln!("[repro] fig3 ...");
+            tables.push(fig3::run(scale));
+            eprintln!("[repro] fig4 ...");
+            tables.push(fig4::run(scale));
+            eprintln!("[repro] fig7 ...");
+            tables.push(fig7::run(scale));
+            eprintln!("[repro] fig8 ...");
+            tables.push(fig8::run(scale));
+            eprintln!("[repro] fig10 ...");
+            tables.push(fig10::run(scale));
+            eprintln!("[repro] fig12 ...");
+            tables.push(fig10::run_fig12(scale));
+            eprintln!("[repro] fig13 ...");
+            tables.push(fig13::run(scale));
+            eprintln!("[repro] intro ...");
+            tables.push(intro::run(scale));
+            eprintln!("[repro] ablation ...");
+            tables.extend(ablation::run(scale));
+            eprintln!("[repro] ext ...");
+            tables.extend(ext::run(scale));
+            eprintln!("[repro] ablation-ext ...");
+            tables.extend(ablation_ext::run(scale));
+        }
+        _ => usage(),
+    }
+    for t in &tables {
+        if csv {
+            println!("{}", t.to_csv());
+        } else {
+            t.print();
+        }
+    }
+    eprintln!(
+        "\n[repro] done in {:.1}s (host wall clock; table times are simulated)",
+        start.elapsed().as_secs_f64()
+    );
+}

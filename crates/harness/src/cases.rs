@@ -1,0 +1,78 @@
+//! The paper's seven test cases (§III-A).
+
+use crate::platform::Platform;
+
+/// One of the seven mechanisms compared throughout the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Case {
+    /// (1) Native execution, no checkpoint, no algorithm extension.
+    Native,
+    /// (2) Checkpoint to a local hard drive.
+    CkptHdd,
+    /// (3) Checkpoint into NVM on the NVM-only system.
+    CkptNvm,
+    /// (4) Checkpoint into NVM on the heterogeneous NVM/DRAM system
+    /// (CPU-cache CLFLUSH + DRAM-cache flush).
+    CkptNvmDram,
+    /// (5) Intel-PMEM-style undo-log transactions on the NVM-only system.
+    PmemNvm,
+    /// (6) Algorithm-directed approach on the NVM-only system.
+    AlgoNvm,
+    /// (7) Algorithm-directed approach on the heterogeneous system.
+    AlgoNvmDram,
+}
+
+impl Case {
+    pub const ALL: [Case; 7] = [
+        Case::Native,
+        Case::CkptHdd,
+        Case::CkptNvm,
+        Case::CkptNvmDram,
+        Case::PmemNvm,
+        Case::AlgoNvm,
+        Case::AlgoNvmDram,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Case::Native => "native",
+            Case::CkptHdd => "ckpt-hdd",
+            Case::CkptNvm => "ckpt-nvm",
+            Case::CkptNvmDram => "ckpt-nvm/dram",
+            Case::PmemNvm => "pmem-nvm",
+            Case::AlgoNvm => "algo-nvm",
+            Case::AlgoNvmDram => "algo-nvm/dram",
+        }
+    }
+
+    /// Which platform the case runs on (cases 4 and 7 use the
+    /// heterogeneous system; everything else runs NVM-only, like the
+    /// paper).
+    pub fn platform(self) -> Platform {
+        match self {
+            Case::CkptNvmDram | Case::AlgoNvmDram => Platform::Hetero,
+            _ => Platform::NvmOnly,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_cases_with_unique_names() {
+        let mut names: Vec<&str> = Case::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn hetero_cases_are_4_and_7() {
+        assert_eq!(Case::CkptNvmDram.platform(), Platform::Hetero);
+        assert_eq!(Case::AlgoNvmDram.platform(), Platform::Hetero);
+        assert_eq!(Case::Native.platform(), Platform::NvmOnly);
+        assert_eq!(Case::PmemNvm.platform(), Platform::NvmOnly);
+    }
+}

@@ -1,0 +1,119 @@
+//! Figure 3: CG recomputation cost (detect + resume, normalized by the
+//! average per-iteration time) across input classes, crash at the paper's
+//! site — "Line 10 (Figure 2) in the 15th iteration of the main loop".
+
+use adcc_core::cg::{sites, ExtendedCg};
+use adcc_linalg::csr::CsrMatrix;
+use adcc_linalg::spd::CgClass;
+use adcc_sim::crash::{CrashEmulator, CrashSite, CrashTrigger};
+use adcc_sim::system::MemorySystem;
+
+use crate::platform::{Platform, Scale};
+use crate::report::Table;
+
+/// Iterations of the main loop (the paper crashes in the 15th).
+pub const CG_ITERS: usize = 15;
+/// Crash iteration (0-based): the 15th iteration.
+pub const CRASH_ITER: u64 = 14;
+
+/// NVM bytes needed for an extended-CG run of this matrix.
+pub fn cg_nvm_capacity(a: &CsrMatrix, iters: usize) -> usize {
+    let histories = 4 * (iters + 1) * a.n() * 8;
+    let matrix = a.nnz() * 12 + (a.n() + 1) * 4;
+    let vectors = 8 * a.n() * 8;
+    histories + matrix + vectors + (8 << 20)
+}
+
+/// Result of one class's crash experiment.
+#[derive(Debug, Clone)]
+pub struct Fig3Row {
+    pub class: &'static str,
+    pub n: usize,
+    pub lost_iterations: u64,
+    pub detect_norm: f64,
+    pub resume_norm: f64,
+}
+
+/// Run the Fig. 3 experiment for one class on the heterogeneous platform.
+pub fn run_class(class: CgClass, seed: u64) -> Fig3Row {
+    let a = class.matrix(seed);
+    let b = class.rhs(&a);
+    let cfg = Platform::Hetero.cg_config(cg_nvm_capacity(&a, CG_ITERS));
+
+    // Crash-free run: average per-iteration time for normalization.
+    let mut sys = MemorySystem::new(cfg.clone());
+    let (cg, rho0) = ExtendedCg::setup(&mut sys, &a, &b, CG_ITERS);
+    let (_, _, per_iter) = cg.timed_full_run(sys, rho0);
+
+    // Crashed run.
+    let mut sys = MemorySystem::new(cfg.clone());
+    let (cg, rho0) = ExtendedCg::setup(&mut sys, &a, &b, CG_ITERS);
+    let trig = CrashTrigger::AtSite {
+        site: CrashSite::new(sites::PH_LINE10, CRASH_ITER),
+        occurrence: 1,
+    };
+    let mut emu = CrashEmulator::from_system(sys, trig);
+    let image = cg
+        .run(&mut emu, 0, CG_ITERS, rho0)
+        .crashed()
+        .expect("crash trigger must fire");
+    let rec = cg.recover_and_resume(&image, cfg);
+
+    Fig3Row {
+        class: class.name,
+        n: class.n,
+        lost_iterations: rec.report.lost_units,
+        detect_norm: rec.report.detect_time.ps() as f64 / per_iter.ps() as f64,
+        resume_norm: rec.report.resume_time.ps() as f64 / per_iter.ps() as f64,
+    }
+}
+
+/// Run the whole figure.
+pub fn run(scale: Scale) -> Table {
+    let classes: &[CgClass] = if scale.is_quick() {
+        &[CgClass::S, CgClass::W]
+    } else {
+        &CgClass::ALL
+    };
+    let mut t = Table::new(
+        "Fig. 3 — CG recomputation cost vs input class (crash at iteration 15, NVM/DRAM platform)",
+        &[
+            "class",
+            "n",
+            "iterations lost",
+            "detect (iters)",
+            "resume (iters)",
+            "total (iters)",
+        ],
+    );
+    for class in classes {
+        let r = run_class(*class, 12345);
+        t.row(vec![
+            r.class.to_string(),
+            r.n.to_string(),
+            r.lost_iterations.to_string(),
+            format!("{:.2}", r.detect_norm),
+            format!("{:.2}", r.resume_norm),
+            format!("{:.2}", r.detect_norm + r.resume_norm),
+        ]);
+    }
+    t.note("Paper: classes S and W lose all 15 iterations; classes B and C lose only 1.");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_class_loses_everything_large_class_loses_little() {
+        let small = run_class(CgClass::S, 1);
+        assert_eq!(
+            small.lost_iterations, 15,
+            "class S fits in cache: all iterations lost"
+        );
+        // A mid-size class on the same platform loses fewer.
+        let mid = run_class(CgClass::TEST, 1);
+        let _ = mid; // TEST is tiny; the real gradient is asserted in integration tests.
+    }
+}

@@ -1,0 +1,38 @@
+//! The §I preliminary experiment: slowdown of the PMDK undo-log approach
+//! on CG and dense MM ("our preliminary work with CG and dense matrix
+//! multiplication based on a undo-log has 4.3x and 5.5x performance loss").
+
+use crate::cases::Case;
+use crate::platform::Scale;
+use crate::report::Table;
+use crate::{fig4, fig8};
+
+pub fn run(scale: Scale) -> Table {
+    let class = fig4::class_for(scale);
+    let cg_native = fig4::run_case(Case::Native, class, 31).loop_ps;
+    let cg_pmem = fig4::run_case(Case::PmemNvm, class, 31).loop_ps;
+
+    let (n, ranks) = fig8::sizes_for(scale);
+    let k = ranks[0];
+    let mm_native = fig8::run_case(Case::Native, n, k, 31);
+    let mm_pmem = fig8::run_case(Case::PmemNvm, n, k, 31);
+
+    let mut t = Table::new(
+        "§I preliminary — undo-log (PMEM) slowdown factors",
+        &["workload", "native", "pmem", "slowdown"],
+    );
+    t.row(vec![
+        format!("CG (class {})", class.name),
+        format!("{:.1} ms", cg_native as f64 / 1e9),
+        format!("{:.1} ms", cg_pmem as f64 / 1e9),
+        format!("{:.2}x", cg_pmem as f64 / cg_native as f64),
+    ]);
+    t.row(vec![
+        format!("MM (n={n}, k={k})"),
+        format!("{:.1} ms", mm_native as f64 / 1e9),
+        format!("{:.1} ms", mm_pmem as f64 / 1e9),
+        format!("{:.2}x", mm_pmem as f64 / mm_native as f64),
+    ]);
+    t.note("Paper: 4.3x (CG) and 5.5x (MM).");
+    t
+}

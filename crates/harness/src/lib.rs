@@ -1,0 +1,33 @@
+//! # adcc-harness — the paper's evaluation methodology
+//!
+//! Platforms (§III-A), the seven test cases, and one runner per figure of
+//! the evaluation (Figs. 3, 4, 7, 8, 10, 12, 13), plus the §I preliminary
+//! PMEM-slowdown experiment and the ablations quoted in the text. The
+//! `repro` binary drives everything:
+//!
+//! ```text
+//! repro fig3 | fig4 | fig7 | fig8 | fig10 | fig12 | fig13 | intro | ablation | all [--quick]
+//! ```
+//!
+//! Beyond the paper, `repro ext` regenerates the extension-kernel tables
+//! (Jacobi, checksum-LU, stencil; DESIGN.md §5a) and `repro ablation-ext`
+//! the substrate ablations (flush instruction, replacement policy, epoch
+//! persistency, battery-backed caches, checkpoint strategies).
+
+pub mod ablation;
+pub mod ablation_ext;
+pub mod cases;
+pub mod ext;
+pub mod fig10;
+pub mod fig13;
+pub mod fig3;
+pub mod fig4;
+pub mod fig7;
+pub mod fig8;
+pub mod intro;
+pub mod platform;
+pub mod report;
+
+pub use cases::Case;
+pub use platform::{Platform, Scale};
+pub use report::Table;

@@ -1,0 +1,177 @@
+//! Random sparse symmetric positive definite systems, NPB-CG style.
+//!
+//! NPB CG solves `Ax = b` on a randomly-generated sparse SPD matrix whose
+//! size grows with the benchmark class (S, W, A, B, C). We reproduce the
+//! construction's essential properties — symmetric pattern, strict diagonal
+//! dominance (hence SPD), random off-diagonal values — with sizes scaled so
+//! the class sweep crosses our scaled cache capacities exactly as the
+//! paper's sweep crosses its 8 MB LLC + 32 MB DRAM cache (see
+//! EXPERIMENTS.md for the mapping).
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::csr::CsrMatrix;
+
+/// A CG problem class: matrix dimension, off-diagonal pairs per row, and
+/// the number of main-loop iterations the paper runs (15 for the crash
+/// experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CgClass {
+    pub name: &'static str,
+    /// Matrix dimension.
+    pub n: usize,
+    /// Random strictly-lower-triangular entries per row (mirrored).
+    pub extras_per_row: usize,
+}
+
+impl CgClass {
+    pub const S: CgClass = CgClass {
+        name: "S",
+        n: 1_400,
+        extras_per_row: 6,
+    };
+    pub const W: CgClass = CgClass {
+        name: "W",
+        n: 7_000,
+        extras_per_row: 8,
+    };
+    pub const A: CgClass = CgClass {
+        name: "A",
+        n: 14_000,
+        extras_per_row: 12,
+    };
+    pub const B: CgClass = CgClass {
+        name: "B",
+        n: 30_000,
+        extras_per_row: 20,
+    };
+    pub const C: CgClass = CgClass {
+        name: "C",
+        n: 60_000,
+        extras_per_row: 26,
+    };
+
+    /// All classes, smallest to largest (the x-axis of the paper's Fig. 3).
+    pub const ALL: [CgClass; 5] = [
+        CgClass::S,
+        CgClass::W,
+        CgClass::A,
+        CgClass::B,
+        CgClass::C,
+    ];
+
+    /// A tiny class for unit tests.
+    pub const TEST: CgClass = CgClass {
+        name: "T",
+        n: 200,
+        extras_per_row: 4,
+    };
+
+    /// Generate this class's matrix deterministically from `seed`.
+    pub fn matrix(&self, seed: u64) -> CsrMatrix {
+        random_spd(self.n, self.extras_per_row, seed)
+    }
+
+    /// The paper's right-hand side: we use b = A·1 so the exact solution
+    /// is the all-ones vector (handy for convergence checks).
+    pub fn rhs(&self, a: &CsrMatrix) -> Vec<f64> {
+        let ones = vec![1.0; a.n()];
+        let mut b = vec![0.0; a.n()];
+        a.spmv(&ones, &mut b);
+        b
+    }
+}
+
+/// Generate a random sparse SPD matrix of dimension `n`:
+/// `extras_per_row` random strictly-lower entries per row with values in
+/// [-1, 1], mirrored for symmetry, plus a strictly dominant diagonal.
+pub fn random_spd(n: usize, extras_per_row: usize, seed: u64) -> CsrMatrix {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut triplets: Vec<(u32, u32, f64)> =
+        Vec::with_capacity(n * (2 * extras_per_row + 1));
+    // Off-diagonal symmetric pairs.
+    for i in 1..n as u32 {
+        for _ in 0..extras_per_row {
+            let j = rng.random_range(0..i);
+            let v = rng.random_range(-1.0..1.0);
+            triplets.push((i, j, v));
+            triplets.push((j, i, v));
+        }
+    }
+    // Row sums of |off-diagonal| for dominance. Duplicates collapse by
+    // summation in CSR construction, which can only reduce |sum|, so
+    // summing |v| here keeps a safe dominance margin.
+    let mut rowsum = vec![0.0f64; n];
+    for &(r, _, v) in &triplets {
+        rowsum[r as usize] += v.abs();
+    }
+    for i in 0..n as u32 {
+        triplets.push((i, i, rowsum[i as usize] + 1.0));
+    }
+    CsrMatrix::from_triplets(n, triplets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spd_matrix_is_symmetric() {
+        let a = random_spd(200, 4, 42);
+        assert!(a.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn spd_matrix_is_diagonally_dominant() {
+        let a = random_spd(150, 3, 7);
+        for i in 0..a.n() {
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for k in a.row_ptr()[i]..a.row_ptr()[i + 1] {
+                let j = a.col_idx()[k] as usize;
+                if j == i {
+                    diag = a.vals()[k];
+                } else {
+                    off += a.vals()[k].abs();
+                }
+            }
+            assert!(
+                diag > off,
+                "row {i} not dominant: diag {diag} <= off {off}"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = random_spd(100, 4, 1);
+        let b = random_spd(100, 4, 1);
+        assert_eq!(a, b);
+        let c = random_spd(100, 4, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn classes_are_ordered_by_size() {
+        let sizes: Vec<usize> = CgClass::ALL.iter().map(|c| c.n).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sizes, sorted);
+    }
+
+    #[test]
+    fn rhs_gives_all_ones_solution() {
+        let class = CgClass::TEST;
+        let a = class.matrix(3);
+        let b = class.rhs(&a);
+        // residual of x = 1: b - A*1 = 0.
+        let ones = vec![1.0; a.n()];
+        let mut ax = vec![0.0; a.n()];
+        a.spmv(&ones, &mut ax);
+        for i in 0..a.n() {
+            assert!((ax[i] - b[i]).abs() < 1e-12);
+        }
+    }
+}

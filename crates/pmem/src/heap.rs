@@ -1,0 +1,173 @@
+//! A minimal persistent named-root directory.
+//!
+//! Recovery code working from a raw NVM image needs a way to find objects.
+//! `libpmemobj` solves this with a root object; we provide a fixed-size
+//! directory of `(name-hash, address, length)` triples stored in NVM and
+//! persisted on every update.
+
+use adcc_sim::image::NvmImage;
+use adcc_sim::parray::PArray;
+use adcc_sim::system::MemorySystem;
+
+/// One directory slot: FNV-1a hash of the name, base address, byte length.
+const SLOT_WORDS: usize = 3;
+
+/// A fixed-capacity persistent name → region directory.
+pub struct PersistentHeap {
+    table: PArray<u64>,
+    capacity: usize,
+}
+
+/// FNV-1a, the classic non-cryptographic name hash.
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // Reserve 0 for "empty slot".
+    if h == 0 {
+        1
+    } else {
+        h
+    }
+}
+
+impl PersistentHeap {
+    /// Create a directory with room for `capacity` named regions.
+    pub fn new(sys: &mut MemorySystem, capacity: usize) -> Self {
+        let table = PArray::<u64>::alloc_nvm(sys, capacity * SLOT_WORDS);
+        table.fill(sys, 0);
+        table.persist_all(sys);
+        sys.sfence();
+        PersistentHeap { table, capacity }
+    }
+
+    /// Re-attach to a directory at a known address (post-crash).
+    pub fn attach(table_base: u64, capacity: usize) -> Self {
+        PersistentHeap {
+            table: PArray::new(table_base, capacity * SLOT_WORDS),
+            capacity,
+        }
+    }
+
+    /// Base address of the directory table.
+    pub fn table_base(&self) -> u64 {
+        self.table.base()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Register (or update) a named region and persist the entry.
+    pub fn register(&mut self, sys: &mut MemorySystem, name: &str, addr: u64, len: usize) {
+        let h = fnv1a(name);
+        let mut free = None;
+        for i in 0..self.capacity {
+            let slot_hash = self.table.get(sys, i * SLOT_WORDS);
+            if slot_hash == h {
+                free = Some(i);
+                break;
+            }
+            if slot_hash == 0 && free.is_none() {
+                free = Some(i);
+            }
+        }
+        let i = free.expect("persistent heap directory full");
+        self.table.set(sys, i * SLOT_WORDS, h);
+        self.table.set(sys, i * SLOT_WORDS + 1, addr);
+        self.table.set(sys, i * SLOT_WORDS + 2, len as u64);
+        let slot_addr = self.table.addr(i * SLOT_WORDS);
+        sys.persist_range(slot_addr, SLOT_WORDS * 8);
+        sys.sfence();
+    }
+
+    /// Look up a named region on a live system.
+    pub fn lookup(&self, sys: &mut MemorySystem, name: &str) -> Option<(u64, usize)> {
+        let h = fnv1a(name);
+        for i in 0..self.capacity {
+            if self.table.get(sys, i * SLOT_WORDS) == h {
+                let addr = self.table.get(sys, i * SLOT_WORDS + 1);
+                let len = self.table.get(sys, i * SLOT_WORDS + 2) as usize;
+                return Some((addr, len));
+            }
+        }
+        None
+    }
+
+    /// Look up a named region in a post-crash NVM image.
+    pub fn lookup_in_image(
+        table_base: u64,
+        capacity: usize,
+        image: &NvmImage,
+        name: &str,
+    ) -> Option<(u64, usize)> {
+        let h = fnv1a(name);
+        for i in 0..capacity {
+            let slot = table_base + (i * SLOT_WORDS * 8) as u64;
+            if image.read_u64(slot) == h {
+                return Some((image.read_u64(slot + 8), image.read_u64(slot + 16) as usize));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcc_sim::system::SystemConfig;
+
+    fn sys() -> MemorySystem {
+        MemorySystem::new(SystemConfig::nvm_only(4096, 1 << 20))
+    }
+
+    #[test]
+    fn register_lookup_roundtrip() {
+        let mut s = sys();
+        let mut heap = PersistentHeap::new(&mut s, 8);
+        heap.register(&mut s, "vector-p", 0x1000, 800);
+        heap.register(&mut s, "vector-q", 0x2000, 800);
+        assert_eq!(heap.lookup(&mut s, "vector-p"), Some((0x1000, 800)));
+        assert_eq!(heap.lookup(&mut s, "vector-q"), Some((0x2000, 800)));
+        assert_eq!(heap.lookup(&mut s, "missing"), None);
+    }
+
+    #[test]
+    fn update_existing_name_reuses_slot() {
+        let mut s = sys();
+        let mut heap = PersistentHeap::new(&mut s, 2);
+        heap.register(&mut s, "a", 1, 1);
+        heap.register(&mut s, "a", 2, 2);
+        heap.register(&mut s, "b", 3, 3);
+        assert_eq!(heap.lookup(&mut s, "a"), Some((2, 2)));
+        assert_eq!(heap.lookup(&mut s, "b"), Some((3, 3)));
+    }
+
+    #[test]
+    fn directory_survives_crash() {
+        let mut s = sys();
+        let mut heap = PersistentHeap::new(&mut s, 8);
+        heap.register(&mut s, "state", 0x4000, 64);
+        let base = heap.table_base();
+        let img = s.crash();
+        assert_eq!(
+            PersistentHeap::lookup_in_image(base, 8, &img, "state"),
+            Some((0x4000, 64))
+        );
+        assert_eq!(
+            PersistentHeap::lookup_in_image(base, 8, &img, "gone"),
+            None
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "directory full")]
+    fn full_directory_panics() {
+        let mut s = sys();
+        let mut heap = PersistentHeap::new(&mut s, 1);
+        heap.register(&mut s, "a", 1, 1);
+        heap.register(&mut s, "b", 2, 2);
+    }
+}

@@ -1,0 +1,29 @@
+//! # adcc-pmem — PMDK-style persistent transactions over simulated NVM
+//!
+//! The paper compares its algorithm-directed approach against "the Intel
+//! PMEM library" (NVML / PMDK, `libpmemobj`-style undo-log transactions)
+//! and reports 329% overhead for CG and 4.3–5.5x preliminary slowdowns.
+//! This crate rebuilds that baseline over [`adcc_sim`]:
+//!
+//! * [`undo::UndoPool`] — undo-log transactions: `tx_begin` /
+//!   `tx_add_range` (persist the *old* value of every touched cache line
+//!   before it may be modified) / `tx_commit` (persist the new values,
+//!   then truncate the log). A crash at any point recovers the exact
+//!   pre-transaction state.
+//! * [`redo::RedoPool`] — a redo-log alternative (new values staged in the
+//!   log, applied at commit), used for ablation.
+//! * [`heap::PersistentHeap`] — a minimal named-root directory so recovery
+//!   code can locate objects in a raw NVM image.
+//!
+//! The cost model mirrors where `libpmemobj` spends time: per-`add_range`
+//! software bookkeeping (range-tree insert, object-header lookup), log
+//! entry writes, per-entry flush + fence for undo ordering, and commit
+//! flushes — all charged through the simulated memory system.
+
+pub mod heap;
+pub mod redo;
+pub mod undo;
+
+pub use heap::PersistentHeap;
+pub use redo::RedoPool;
+pub use undo::{UndoPool, UndoPoolLayout};

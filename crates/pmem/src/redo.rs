@@ -1,0 +1,232 @@
+//! Redo-log transactions (ablation counterpart to [`crate::undo`]).
+//!
+//! New values are staged in the log; `commit` marks the log committed,
+//! applies the staged writes to their home locations, persists them and
+//! truncates. Recovery: a crash before the commit mark discards the log; a
+//! crash after it re-applies the staged writes (idempotent).
+
+use adcc_sim::clock::Bucket;
+use adcc_sim::image::NvmImage;
+use adcc_sim::line::LINE_SIZE;
+use adcc_sim::parray::{PArray, PScalar};
+use adcc_sim::system::MemorySystem;
+
+const STATE_IDLE: u64 = 0;
+const STATE_COMMITTED: u64 = 2;
+
+/// 8-byte target address + 8-byte length + payload, padded to line
+/// multiples. We fix a 64-byte payload per entry (line-granular staging).
+const ENTRY_BYTES: usize = 2 * LINE_SIZE;
+
+/// Layout for post-crash re-attachment.
+#[derive(Debug, Clone, Copy)]
+pub struct RedoPoolLayout {
+    pub state_addr: u64,
+    pub count_addr: u64,
+    pub entries_base: u64,
+    pub capacity: usize,
+}
+
+/// A redo-log pool staging line-granular writes.
+pub struct RedoPool {
+    state: PScalar<u64>,
+    count: PScalar<u64>,
+    entries: PArray<u8>,
+    capacity: usize,
+    staged: usize,
+    in_tx: bool,
+}
+
+impl RedoPool {
+    pub fn new(sys: &mut MemorySystem, capacity: usize) -> Self {
+        let state = PScalar::<u64>::alloc_nvm(sys);
+        let count = PScalar::<u64>::alloc_nvm(sys);
+        let entries = PArray::<u8>::alloc_nvm(sys, capacity * ENTRY_BYTES);
+        state.set(sys, STATE_IDLE);
+        count.set(sys, 0);
+        sys.persist_line(state.addr());
+        sys.persist_line(count.addr());
+        sys.sfence();
+        RedoPool {
+            state,
+            count,
+            entries,
+            capacity,
+            staged: 0,
+            in_tx: false,
+        }
+    }
+
+    pub fn layout(&self) -> RedoPoolLayout {
+        RedoPoolLayout {
+            state_addr: self.state.addr(),
+            count_addr: self.count.addr(),
+            entries_base: self.entries.base(),
+            capacity: self.capacity,
+        }
+    }
+
+    pub fn tx_begin(&mut self) {
+        assert!(!self.in_tx, "nested transactions are not supported");
+        self.staged = 0;
+        self.in_tx = true;
+    }
+
+    /// Stage a full-line write of `data` to line-aligned `addr`.
+    pub fn tx_stage_line(&mut self, sys: &mut MemorySystem, addr: u64, data: &[u8; LINE_SIZE]) {
+        assert!(self.in_tx, "stage outside a transaction");
+        assert_eq!(addr % LINE_SIZE as u64, 0, "staged writes are line-aligned");
+        assert!(self.staged < self.capacity, "redo log capacity exceeded");
+        let prev = sys.clock_mut().set_bucket(Bucket::Log);
+        let entry_addr = self.entries.base() + (self.staged * ENTRY_BYTES) as u64;
+        sys.write_bytes(entry_addr, &addr.to_le_bytes());
+        sys.write_bytes(entry_addr + 8, data);
+        sys.persist_range(entry_addr, ENTRY_BYTES);
+        sys.clock_mut().set_bucket(prev);
+        self.staged += 1;
+    }
+
+    /// Commit: persist count + COMMITTED mark, apply staged writes home,
+    /// persist them, truncate.
+    pub fn tx_commit(&mut self, sys: &mut MemorySystem) {
+        assert!(self.in_tx, "tx_commit outside a transaction");
+        let prev = sys.clock_mut().set_bucket(Bucket::Log);
+        self.count.set(sys, self.staged as u64);
+        sys.persist_line(self.count.addr());
+        sys.sfence();
+        self.state.set(sys, STATE_COMMITTED);
+        sys.persist_line(self.state.addr());
+        sys.sfence();
+        Self::apply(sys, self.entries.base(), self.staged as u64);
+        self.state.set(sys, STATE_IDLE);
+        self.count.set(sys, 0);
+        sys.persist_line(self.state.addr());
+        sys.persist_line(self.count.addr());
+        sys.sfence();
+        sys.clock_mut().set_bucket(prev);
+        self.staged = 0;
+        self.in_tx = false;
+    }
+
+    /// Post-crash recovery: re-apply a committed-but-unapplied log.
+    /// Returns the number of lines applied.
+    pub fn recover(layout: RedoPoolLayout, sys: &mut MemorySystem) -> u64 {
+        let state = PScalar::<u64>::new(layout.state_addr);
+        let count = PScalar::<u64>::new(layout.count_addr);
+        if state.get(sys) != STATE_COMMITTED {
+            return 0;
+        }
+        let n = count.get(sys);
+        let prev = sys.clock_mut().set_bucket(Bucket::Log);
+        Self::apply(sys, layout.entries_base, n);
+        state.set(sys, STATE_IDLE);
+        count.set(sys, 0);
+        sys.persist_line(layout.state_addr);
+        sys.persist_line(layout.count_addr);
+        sys.sfence();
+        sys.clock_mut().set_bucket(prev);
+        n
+    }
+
+    /// Whether an image holds a committed-but-unapplied log.
+    pub fn needs_recovery(layout: &RedoPoolLayout, image: &NvmImage) -> bool {
+        image.read_u64(layout.state_addr) == STATE_COMMITTED
+    }
+
+    fn apply(sys: &mut MemorySystem, entries_base: u64, n: u64) {
+        for i in 0..n {
+            let entry_addr = entries_base + i * ENTRY_BYTES as u64;
+            let mut addr_bytes = [0u8; 8];
+            sys.read_bytes(entry_addr, &mut addr_bytes);
+            let addr = u64::from_le_bytes(addr_bytes);
+            let mut data = [0u8; LINE_SIZE];
+            sys.read_bytes(entry_addr + 8, &mut data);
+            sys.write_bytes(addr, &data);
+            sys.persist_line(addr);
+        }
+        sys.sfence();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcc_sim::system::SystemConfig;
+
+    fn sys() -> MemorySystem {
+        MemorySystem::new(SystemConfig::nvm_only(4096, 1 << 20))
+    }
+
+    #[test]
+    fn staged_writes_invisible_until_commit() {
+        let mut s = sys();
+        let data = PArray::<u64>::alloc_nvm(&mut s, 8);
+        data.store_slice(&mut s, &[1; 8]);
+        data.persist_all(&mut s);
+
+        let mut pool = RedoPool::new(&mut s, 8);
+        pool.tx_begin();
+        let mut newline = [0u8; LINE_SIZE];
+        for i in 0..8 {
+            newline[i * 8..i * 8 + 8].copy_from_slice(&2u64.to_le_bytes());
+        }
+        pool.tx_stage_line(&mut s, data.base(), &newline);
+        // Crash before commit: home data unchanged.
+        let img = s.crash();
+        assert_eq!(img.read_u64(data.addr(0)), 1);
+        let layout = pool.layout();
+        assert!(!RedoPool::needs_recovery(&layout, &img));
+    }
+
+    #[test]
+    fn commit_applies_staged_writes() {
+        let mut s = sys();
+        let data = PArray::<u64>::alloc_nvm(&mut s, 8);
+        data.store_slice(&mut s, &[1; 8]);
+        data.persist_all(&mut s);
+
+        let mut pool = RedoPool::new(&mut s, 8);
+        pool.tx_begin();
+        let mut newline = [0u8; LINE_SIZE];
+        for i in 0..8 {
+            newline[i * 8..i * 8 + 8].copy_from_slice(&3u64.to_le_bytes());
+        }
+        pool.tx_stage_line(&mut s, data.base(), &newline);
+        pool.tx_commit(&mut s);
+        let img = s.crash();
+        assert_eq!(img.read_f64_array(&PArray::<f64>::new(data.base(), 0)), vec![]);
+        assert_eq!(img.read_u64(data.addr(7)), 3);
+    }
+
+    #[test]
+    fn recovery_reapplies_committed_log() {
+        // Simulate a crash exactly after the COMMITTED mark persisted but
+        // before application, by constructing the image manually.
+        let mut s = sys();
+        let data = PArray::<u64>::alloc_nvm(&mut s, 8);
+        data.store_slice(&mut s, &[1; 8]);
+        data.persist_all(&mut s);
+        let mut pool = RedoPool::new(&mut s, 8);
+        let layout = pool.layout();
+        pool.tx_begin();
+        let mut newline = [0u8; LINE_SIZE];
+        for i in 0..8 {
+            newline[i * 8..i * 8 + 8].copy_from_slice(&9u64.to_le_bytes());
+        }
+        pool.tx_stage_line(&mut s, data.base(), &newline);
+        // Manually persist count + COMMITTED (first half of commit).
+        pool.count.set(&mut s, 1);
+        s.persist_line(pool.count.addr());
+        pool.state.set(&mut s, STATE_COMMITTED);
+        s.persist_line(pool.state.addr());
+        s.sfence();
+        let img = s.crash();
+        assert!(RedoPool::needs_recovery(&layout, &img));
+
+        let mut s2 = MemorySystem::from_image(SystemConfig::nvm_only(4096, 1 << 20), &img);
+        let applied = RedoPool::recover(layout, &mut s2);
+        assert_eq!(applied, 1);
+        let img2 = s2.crash();
+        assert_eq!(img2.read_u64(data.addr(0)), 9);
+    }
+}

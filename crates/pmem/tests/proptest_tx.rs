@@ -1,0 +1,106 @@
+//! Property tests for undo-log transactions: whatever sequence of
+//! committed transactions runs, and wherever a crash lands inside the
+//! last (open) one, recovery restores exactly the last committed state.
+
+use proptest::prelude::*;
+
+use adcc_pmem::undo::UndoPool;
+use adcc_sim::parray::PArray;
+use adcc_sim::system::{MemorySystem, SystemConfig};
+
+const SLOTS: usize = 32;
+
+/// One committed transaction: a set of (index, value) updates.
+#[derive(Debug, Clone)]
+struct Tx {
+    updates: Vec<(usize, u64)>,
+}
+
+fn tx_strategy() -> impl Strategy<Value = Tx> {
+    prop::collection::vec((0..SLOTS, any::<u64>()), 1..12).prop_map(|updates| Tx { updates })
+}
+
+fn cfg() -> SystemConfig {
+    // Small cache: plenty of eviction churn while transactions run.
+    SystemConfig::nvm_only(2 << 10, 4 << 20)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Crash mid-transaction: the aborted transaction leaves no trace.
+    #[test]
+    fn crash_inside_tx_rolls_back_to_committed_state(
+        committed in prop::collection::vec(tx_strategy(), 0..6),
+        open in tx_strategy(),
+        partial in 0usize..12,
+    ) {
+        let mut sys = MemorySystem::new(cfg());
+        // One u64 per line so updates stress distinct lines.
+        let data = PArray::<u64>::alloc_nvm(&mut sys, SLOTS * 8);
+        let slot = |i: usize| i * 8;
+        let mut pool = UndoPool::new(&mut sys, 64);
+        let layout = pool.layout();
+
+        // Host-side model of the committed state.
+        let mut model = vec![0u64; SLOTS];
+        for tx in &committed {
+            pool.tx_begin(&mut sys);
+            for &(i, v) in &tx.updates {
+                pool.tx_add_range(&mut sys, data.addr(slot(i)), 8);
+                data.set(&mut sys, slot(i), v);
+                model[i] = v;
+            }
+            pool.tx_commit(&mut sys);
+        }
+
+        // Open transaction: apply a prefix of its updates, then crash.
+        pool.tx_begin(&mut sys);
+        for &(i, v) in open.updates.iter().take(partial.min(open.updates.len())) {
+            pool.tx_add_range(&mut sys, data.addr(slot(i)), 8);
+            data.set(&mut sys, slot(i), v);
+        }
+        let image = sys.crash();
+
+        // Recover on a fresh system.
+        let mut sys2 = MemorySystem::from_image(cfg(), &image);
+        UndoPool::recover(layout, &mut sys2);
+        for i in 0..SLOTS {
+            let got = data.get(&mut sys2, slot(i));
+            prop_assert_eq!(
+                got, model[i],
+                "slot {} diverged after rollback", i
+            );
+        }
+    }
+
+    /// Crash after commit: all committed values are durable.
+    #[test]
+    fn committed_values_survive_crash(
+        committed in prop::collection::vec(tx_strategy(), 1..6),
+    ) {
+        let mut sys = MemorySystem::new(cfg());
+        let data = PArray::<u64>::alloc_nvm(&mut sys, SLOTS * 8);
+        let slot = |i: usize| i * 8;
+        let mut pool = UndoPool::new(&mut sys, 64);
+        let layout = pool.layout();
+
+        let mut model = vec![0u64; SLOTS];
+        for tx in &committed {
+            pool.tx_begin(&mut sys);
+            for &(i, v) in &tx.updates {
+                pool.tx_add_range(&mut sys, data.addr(slot(i)), 8);
+                data.set(&mut sys, slot(i), v);
+                model[i] = v;
+            }
+            pool.tx_commit(&mut sys);
+        }
+        let image = sys.crash();
+        let mut sys2 = MemorySystem::from_image(cfg(), &image);
+        let rolled = UndoPool::recover(layout, &mut sys2);
+        prop_assert_eq!(rolled, 0, "no open transaction to roll back");
+        for i in 0..SLOTS {
+            prop_assert_eq!(data.get(&mut sys2, slot(i)), model[i]);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Byte-addressable backing stores for the simulated media.
+//!
+//! The NVM backing store is the ground truth at crash time: whatever bytes
+//! it holds when volatile levels are discarded is exactly what a recovery
+//! process can observe.
+
+use crate::line::{LINE_SIZE, LINE_SHIFT};
+
+/// A flat byte store with a base address.
+pub struct Backing {
+    base: u64,
+    bytes: Vec<u8>,
+}
+
+impl Backing {
+    /// Create a zero-initialized store of `capacity` bytes starting at
+    /// simulated address `base`. The base must be line-aligned.
+    pub fn new(base: u64, capacity: usize) -> Self {
+        assert_eq!(base % LINE_SIZE as u64, 0, "base must be line-aligned");
+        Backing {
+            base,
+            bytes: vec![0; capacity],
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Base simulated address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    #[inline]
+    fn index(&self, addr: u64, len: usize) -> usize {
+        let off = addr
+            .checked_sub(self.base)
+            .unwrap_or_else(|| panic!("address {addr:#x} below backing base {:#x}", self.base));
+        let off = off as usize;
+        assert!(
+            off + len <= self.bytes.len(),
+            "address range {addr:#x}+{len} beyond backing capacity {}",
+            self.bytes.len()
+        );
+        off
+    }
+
+    /// Read the full line containing byte address `line_addr << 6`.
+    #[inline]
+    pub fn read_line(&self, line: u64) -> [u8; LINE_SIZE] {
+        let addr = line << LINE_SHIFT;
+        let off = self.index(addr, LINE_SIZE);
+        let mut out = [0u8; LINE_SIZE];
+        out.copy_from_slice(&self.bytes[off..off + LINE_SIZE]);
+        out
+    }
+
+    /// Write a full line.
+    #[inline]
+    pub fn write_line(&mut self, line: u64, data: &[u8; LINE_SIZE]) {
+        let addr = line << LINE_SHIFT;
+        let off = self.index(addr, LINE_SIZE);
+        self.bytes[off..off + LINE_SIZE].copy_from_slice(data);
+    }
+
+    /// Raw (uncharged) byte read, used by image snapshots and debugging.
+    pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) {
+        let off = self.index(addr, buf.len());
+        buf.copy_from_slice(&self.bytes[off..off + buf.len()]);
+    }
+
+    /// Raw (uncharged) byte write, used to seed initial state.
+    pub fn write_bytes(&mut self, addr: u64, src: &[u8]) {
+        let off = self.index(addr, src.len());
+        self.bytes[off..off + src.len()].copy_from_slice(src);
+    }
+
+    /// Clone the full contents (crash snapshot).
+    pub fn snapshot(&self) -> Vec<u8> {
+        self.bytes.clone()
+    }
+
+    /// Overwrite the full contents (restoring a snapshot).
+    pub fn restore(&mut self, bytes: &[u8]) {
+        assert_eq!(bytes.len(), self.bytes.len(), "snapshot size mismatch");
+        self.bytes.copy_from_slice(bytes);
+    }
+
+    /// Zero everything (volatile medium lost at crash).
+    pub fn wipe(&mut self) {
+        self.bytes.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_roundtrip() {
+        let mut b = Backing::new(0, 1024);
+        let mut d = [0u8; LINE_SIZE];
+        d[7] = 77;
+        b.write_line(3, &d);
+        assert_eq!(b.read_line(3)[7], 77);
+        assert_eq!(b.read_line(2)[7], 0);
+    }
+
+    #[test]
+    fn byte_roundtrip_with_base() {
+        let base = 1 << 40;
+        let mut b = Backing::new(base, 256);
+        b.write_bytes(base + 10, &[1, 2, 3]);
+        let mut out = [0u8; 3];
+        b.read_bytes(base + 10, &mut out);
+        assert_eq!(out, [1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond backing capacity")]
+    fn out_of_range_panics() {
+        let b = Backing::new(0, 64);
+        let mut buf = [0u8; 8];
+        b.read_bytes(60, &mut buf);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut b = Backing::new(0, 128);
+        b.write_bytes(0, &[9; 128]);
+        let snap = b.snapshot();
+        b.wipe();
+        assert_eq!(b.read_line(0)[0], 0);
+        b.restore(&snap);
+        assert_eq!(b.read_line(0)[0], 9);
+    }
+}

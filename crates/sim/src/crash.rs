@@ -1,0 +1,265 @@
+//! The crash emulator: trigger specifications and the poll protocol.
+//!
+//! The paper's PIN-based emulator lets the user trigger a crash either
+//! "after a specific statement is executed" (an inserted
+//! `crash_sim_output()` call) or "after a specific number of instructions".
+//! We mirror both: applications poll the emulator at instrumented
+//! *crash sites* (statement granularity), and an access-count trigger fires
+//! at the first poll after the threshold (instruction-count granularity).
+
+use std::ops::{Deref, DerefMut};
+
+use crate::image::NvmImage;
+use crate::system::{MemorySystem, SystemConfig};
+
+/// An instrumented program point: a phase identifier plus a loop index.
+///
+/// Conventions used by `adcc-core`: the phase names the loop or pseudocode
+/// line (e.g. "CG line 10", "ABFT loop 1"), the index is the iteration
+/// number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CrashSite {
+    pub phase: u32,
+    pub index: u64,
+}
+
+impl CrashSite {
+    pub const fn new(phase: u32, index: u64) -> Self {
+        CrashSite { phase, index }
+    }
+}
+
+/// When the emulated machine should crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashTrigger {
+    /// Run to completion.
+    Never,
+    /// Crash at the `occurrence`-th poll of exactly this site (1-based).
+    AtSite { site: CrashSite, occurrence: u32 },
+    /// Crash at the first poll of any site in this phase with
+    /// `index >= index` (useful when indices are data-dependent).
+    AtPhaseIndex { phase: u32, index: u64 },
+    /// Crash at the first poll after `count` element accesses.
+    AtAccessCount(u64),
+    /// Crash at the first poll after the simulated clock passes `ps`.
+    AtSimTimePs(u64),
+}
+
+/// The crash emulator: a [`MemorySystem`] plus a trigger. Dereferences to
+/// the system so application code reads/writes through it directly.
+pub struct CrashEmulator {
+    sys: MemorySystem,
+    trigger: CrashTrigger,
+    site_hits: u32,
+    fired: bool,
+}
+
+impl CrashEmulator {
+    pub fn new(cfg: SystemConfig, trigger: CrashTrigger) -> Self {
+        CrashEmulator {
+            sys: MemorySystem::new(cfg),
+            trigger,
+            site_hits: 0,
+            fired: false,
+        }
+    }
+
+    /// Wrap an existing system (e.g. one restored from an image).
+    pub fn from_system(sys: MemorySystem, trigger: CrashTrigger) -> Self {
+        CrashEmulator {
+            sys,
+            trigger,
+            site_hits: 0,
+            fired: false,
+        }
+    }
+
+    /// The trigger this emulator is armed with.
+    pub fn trigger(&self) -> CrashTrigger {
+        self.trigger
+    }
+
+    /// Whether the trigger already fired.
+    pub fn fired(&self) -> bool {
+        self.fired
+    }
+
+    /// Poll at an instrumented site; returns `true` when the application
+    /// must crash now (it should then call [`CrashEmulator::crash_now`] and
+    /// unwind).
+    #[inline]
+    pub fn poll(&mut self, site: CrashSite) -> bool {
+        if self.fired {
+            return false;
+        }
+        let fire = match self.trigger {
+            CrashTrigger::Never => false,
+            CrashTrigger::AtSite { site: s, occurrence } => {
+                if s == site {
+                    self.site_hits += 1;
+                    self.site_hits >= occurrence
+                } else {
+                    false
+                }
+            }
+            CrashTrigger::AtPhaseIndex { phase, index } => {
+                site.phase == phase && site.index >= index
+            }
+            CrashTrigger::AtAccessCount(n) => self.sys.access_count() >= n,
+            CrashTrigger::AtSimTimePs(ps) => self.sys.now().ps() >= ps,
+        };
+        if fire {
+            self.fired = true;
+        }
+        fire
+    }
+
+    /// Crash the machine (volatile state discarded) and return the NVM
+    /// image a recovery process would see.
+    pub fn crash_now(&mut self) -> NvmImage {
+        self.fired = true;
+        self.sys.crash()
+    }
+
+    /// Consume the emulator, returning the underlying system (run completed
+    /// without a crash).
+    pub fn into_system(self) -> MemorySystem {
+        self.sys
+    }
+
+    /// Access the underlying system explicitly.
+    pub fn system(&self) -> &MemorySystem {
+        &self.sys
+    }
+
+    /// Access the underlying system explicitly (mutable).
+    pub fn system_mut(&mut self) -> &mut MemorySystem {
+        &mut self.sys
+    }
+}
+
+impl Deref for CrashEmulator {
+    type Target = MemorySystem;
+    fn deref(&self) -> &MemorySystem {
+        &self.sys
+    }
+}
+
+impl DerefMut for CrashEmulator {
+    fn deref_mut(&mut self) -> &mut MemorySystem {
+        &mut self.sys
+    }
+}
+
+/// Outcome of running an instrumented application on a [`CrashEmulator`].
+pub enum RunOutcome<T> {
+    /// The run finished; the emulator (with final state) is returned.
+    Completed(T),
+    /// The trigger fired; recovery can inspect the image.
+    Crashed(NvmImage),
+}
+
+impl<T> RunOutcome<T> {
+    pub fn completed(self) -> Option<T> {
+        match self {
+            RunOutcome::Completed(t) => Some(t),
+            RunOutcome::Crashed(_) => None,
+        }
+    }
+
+    pub fn crashed(self) -> Option<NvmImage> {
+        match self {
+            RunOutcome::Completed(_) => None,
+            RunOutcome::Crashed(img) => Some(img),
+        }
+    }
+
+    pub fn is_crashed(&self) -> bool {
+        matches!(self, RunOutcome::Crashed(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parray::PArray;
+
+    fn emu(trigger: CrashTrigger) -> CrashEmulator {
+        CrashEmulator::new(SystemConfig::nvm_only(4096, 1 << 16), trigger)
+    }
+
+    #[test]
+    fn never_trigger_never_fires() {
+        let mut e = emu(CrashTrigger::Never);
+        for i in 0..100 {
+            assert!(!e.poll(CrashSite::new(0, i)));
+        }
+    }
+
+    #[test]
+    fn site_trigger_fires_on_nth_occurrence() {
+        let site = CrashSite::new(2, 7);
+        let mut e = emu(CrashTrigger::AtSite {
+            site,
+            occurrence: 3,
+        });
+        assert!(!e.poll(site));
+        assert!(!e.poll(CrashSite::new(2, 8))); // different site
+        assert!(!e.poll(site));
+        assert!(e.poll(site));
+        // After firing, polls return false (application already crashed).
+        assert!(!e.poll(site));
+    }
+
+    #[test]
+    fn phase_index_trigger() {
+        let mut e = emu(CrashTrigger::AtPhaseIndex { phase: 1, index: 5 });
+        assert!(!e.poll(CrashSite::new(1, 4)));
+        assert!(!e.poll(CrashSite::new(0, 10)));
+        assert!(e.poll(CrashSite::new(1, 5)));
+    }
+
+    #[test]
+    fn access_count_trigger_fires_at_next_poll() {
+        let mut e = emu(CrashTrigger::AtAccessCount(5));
+        let a = PArray::<u64>::alloc_nvm(&mut e, 16);
+        assert!(!e.poll(CrashSite::new(0, 0)));
+        for i in 0..5 {
+            a.set(&mut e, i, i as u64);
+        }
+        assert!(e.poll(CrashSite::new(0, 1)));
+    }
+
+    #[test]
+    fn sim_time_trigger() {
+        let mut e = emu(CrashTrigger::AtSimTimePs(1));
+        let a = PArray::<u64>::alloc_nvm(&mut e, 1);
+        assert!(!e.poll(CrashSite::new(0, 0)));
+        a.set(&mut e, 0, 1);
+        assert!(e.poll(CrashSite::new(0, 1)));
+    }
+
+    #[test]
+    fn crash_now_returns_consistent_image() {
+        let mut e = emu(CrashTrigger::AtSite {
+            site: CrashSite::new(0, 1),
+            occurrence: 1,
+        });
+        let a = PArray::<u64>::alloc_nvm(&mut e, 1);
+        a.set(&mut e, 0, 42);
+        a.persist_all(&mut e);
+        assert!(e.poll(CrashSite::new(0, 1)));
+        let img = e.crash_now();
+        assert_eq!(img.read_u64(a.addr(0)), 42);
+    }
+
+    #[test]
+    fn run_outcome_accessors() {
+        let o: RunOutcome<i32> = RunOutcome::Completed(3);
+        assert!(!o.is_crashed());
+        assert_eq!(o.completed(), Some(3));
+        let o: RunOutcome<i32> = RunOutcome::Crashed(NvmImage::new(vec![]));
+        assert!(o.is_crashed());
+        assert!(o.crashed().is_some());
+    }
+}

@@ -1,0 +1,98 @@
+//! Post-crash NVM images.
+//!
+//! An [`NvmImage`] is what the paper's crash emulator outputs: "the values
+//! of data in ... main memory" at the moment of the crash. Recovery logic
+//! reads the image (or boots a fresh [`crate::system::MemorySystem`] from
+//! it, so that detection work is charged on the simulated clock).
+
+use crate::parray::{PArray, Pod};
+
+/// A byte-exact snapshot of the NVM region at crash time.
+#[derive(Clone)]
+pub struct NvmImage {
+    bytes: Vec<u8>,
+}
+
+impl NvmImage {
+    pub fn new(bytes: Vec<u8>) -> Self {
+        NvmImage { bytes }
+    }
+
+    /// Raw bytes of the snapshot (NVM addresses index directly).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Snapshot size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Read a typed value at an NVM address.
+    pub fn read<T: Pod>(&self, addr: u64) -> T {
+        let a = addr as usize;
+        assert!(
+            a + T::SIZE <= self.bytes.len(),
+            "image read at {addr:#x}+{} out of range {}",
+            T::SIZE,
+            self.bytes.len()
+        );
+        T::from_bytes(&self.bytes[a..a + T::SIZE])
+    }
+
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        self.read(addr)
+    }
+
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.read(addr)
+    }
+
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        self.read(addr)
+    }
+
+    /// Read a whole typed array (by its simulated-memory handle).
+    pub fn read_array<T: Pod>(&self, arr: &PArray<T>) -> Vec<T> {
+        (0..arr.len()).map(|i| self.read(arr.addr(i))).collect()
+    }
+
+    /// Convenience alias for the common f64 case.
+    pub fn read_f64_array(&self, arr: &PArray<f64>) -> Vec<f64> {
+        self.read_array(arr)
+    }
+}
+
+impl std::fmt::Debug for NvmImage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NvmImage({} bytes)", self.bytes.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{MemorySystem, SystemConfig};
+
+    #[test]
+    fn image_reads_typed_values() {
+        let mut s = MemorySystem::new(SystemConfig::nvm_only(4096, 1 << 16));
+        let a = PArray::<f64>::alloc_nvm(&mut s, 4);
+        a.store_slice(&mut s, &[1.0, 2.0, 3.0, 4.0]);
+        a.persist_all(&mut s);
+        let img = s.crash();
+        assert_eq!(img.read_f64(a.addr(2)), 3.0);
+        assert_eq!(img.read_f64_array(&a), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn image_bounds_checked() {
+        let img = NvmImage::new(vec![0; 8]);
+        let _ = img.read_u64(4);
+    }
+}

@@ -1,0 +1,97 @@
+//! Event counters for the simulated memory hierarchy.
+
+use serde::Serialize;
+
+/// Counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct LevelStats {
+    /// Lookups that found the line resident.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Dirty lines written back on eviction.
+    pub dirty_evictions: u64,
+    /// Clean lines silently dropped on eviction.
+    pub clean_evictions: u64,
+}
+
+impl LevelStats {
+    /// Hit ratio in [0, 1]; zero when no accesses were recorded.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Counters for the whole memory system.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct MemStats {
+    /// CPU cache level.
+    pub cpu: LevelStats,
+    /// DRAM cache level (meaningful only on the heterogeneous platform).
+    pub dram_cache: LevelStats,
+    /// Lines read from the NVM medium.
+    pub nvm_line_reads: u64,
+    /// Lines written to the NVM medium.
+    pub nvm_line_writes: u64,
+    /// Lines read from the DRAM-direct region.
+    pub dram_line_reads: u64,
+    /// Lines written to the DRAM-direct region.
+    pub dram_line_writes: u64,
+    /// CLFLUSH instructions executed.
+    pub clflushes: u64,
+    /// CLFLUSHOPT instructions executed.
+    pub clflushopts: u64,
+    /// CLWB instructions executed.
+    pub clwbs: u64,
+    /// SFENCE instructions executed.
+    pub sfences: u64,
+    /// Batched epoch persist barriers executed.
+    pub epoch_barriers: u64,
+    /// Element-level accesses (reads + writes) issued by the program.
+    pub accesses: u64,
+    /// Full DRAM-cache drains performed.
+    pub dram_drains: u64,
+}
+
+impl MemStats {
+    /// Total bytes moved to/from NVM.
+    pub fn nvm_bytes(&self) -> u64 {
+        (self.nvm_line_reads + self.nvm_line_writes) * crate::line::LINE_SIZE as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio_handles_zero() {
+        let s = LevelStats::default();
+        assert_eq!(s.hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn hit_ratio_math() {
+        let s = LevelStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nvm_bytes_counts_both_directions() {
+        let s = MemStats {
+            nvm_line_reads: 2,
+            nvm_line_writes: 3,
+            ..Default::default()
+        };
+        assert_eq!(s.nvm_bytes(), 5 * 64);
+    }
+}

@@ -1,0 +1,985 @@
+//! The simulated memory system: CPU cache → optional volatile DRAM cache →
+//! NVM, plus a volatile DRAM-direct region.
+//!
+//! This is the reproduction of the paper's PIN-based *crash emulator*
+//! combined with its Quartz-based *NVM performance emulator*:
+//!
+//! * Every access goes through a data-tracking write-back cache, so the NVM
+//!   backing store only observes values at eviction or flush time. At a
+//!   crash, all volatile levels are discarded and the NVM image is exactly
+//!   what recovery can see.
+//! * Every hierarchy event charges picoseconds on a deterministic
+//!   [`SimClock`] according to a [`PlatformTiming`] table, with DRAM-level
+//!   stream prefetching and latency-bound NVM, mirroring the paper's
+//!   "1/8 bandwidth, DRAM cache bridging the gap" configuration.
+//!
+//! Address map: `[0, nvm_capacity)` is NVM-homed (persistent);
+//! `[DRAM_BASE, DRAM_BASE + dram_capacity)` is DRAM-homed (volatile,
+//! bypasses the DRAM cache, lost at crash).
+
+use crate::alloc::Bump;
+use crate::backing::Backing;
+use crate::clock::{Bucket, SimClock, SimTime};
+use crate::image::NvmImage;
+use crate::line::{
+    is_dram_addr, line_of, LINE_SHIFT, LINE_SIZE, DRAM_BASE,
+};
+use crate::lru::{CacheConfig, SetAssocCache, Victim};
+use crate::stats::MemStats;
+use crate::timing::{PlatformTiming, StreamDetector};
+
+/// Placement class for an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Persistent: survives crashes once evicted/flushed from caches.
+    Nvm,
+    /// Volatile scratch in the DRAM-direct region: fast, lost at crash.
+    DramDirect,
+}
+
+/// Which cache-line write-back instruction the platform's persistence
+/// helpers use (paper §II: `CLFLUSH` is what the paper measures; it notes
+/// that `CLFLUSHOPT`/`CLWB` "should further improve performance" — the
+/// `repro ablation-flush` runner quantifies by how much).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlushOp {
+    /// Serializing flush: evicts the line, full per-instruction stall.
+    #[default]
+    Clflush,
+    /// Unordered flush: evicts the line, much smaller stall.
+    ClflushOpt,
+    /// Unordered write-back: persists the line but keeps it resident
+    /// (clean), so later re-reads still hit.
+    Clwb,
+}
+
+impl FlushOp {
+    pub const ALL: [FlushOp; 3] = [FlushOp::Clflush, FlushOp::ClflushOpt, FlushOp::Clwb];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            FlushOp::Clflush => "clflush",
+            FlushOp::ClflushOpt => "clflushopt",
+            FlushOp::Clwb => "clwb",
+        }
+    }
+}
+
+/// Static configuration of a [`MemorySystem`].
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Geometry of the (unified, last-level) CPU cache.
+    pub cpu_cache: CacheConfig,
+    /// Geometry of the volatile DRAM cache in front of NVM, if present
+    /// (the paper's heterogeneous platform uses 32 MB).
+    pub dram_cache: Option<CacheConfig>,
+    /// Cost table.
+    pub timing: PlatformTiming,
+    /// Capacity of the NVM region in bytes.
+    pub nvm_capacity: usize,
+    /// Capacity of the volatile DRAM-direct region in bytes.
+    pub dram_capacity: usize,
+    /// Instruction used by [`MemorySystem::flush_line`] and the
+    /// `flush_range`/`persist_*` helpers built on it.
+    pub flush_op: FlushOp,
+    /// Kiln/whole-system-persistence ablation: caches in front of NVM are
+    /// battery-backed, so a crash drains dirty NVM-homed lines instead of
+    /// discarding them (the DRAM-direct scratch region stays volatile).
+    pub persistent_caches: bool,
+}
+
+impl SystemConfig {
+    /// Same configuration with a different flush instruction.
+    pub fn with_flush_op(mut self, op: FlushOp) -> Self {
+        self.flush_op = op;
+        self
+    }
+
+    /// Same configuration with battery-backed (persistent) caches.
+    pub fn with_persistent_caches(mut self, on: bool) -> Self {
+        self.persistent_caches = on;
+        self
+    }
+}
+
+impl SystemConfig {
+    /// The paper's NVM-only system: NVM performs like DRAM, no DRAM cache.
+    pub fn nvm_only(cpu_cache_bytes: usize, nvm_capacity: usize) -> Self {
+        SystemConfig {
+            cpu_cache: CacheConfig::new(cpu_cache_bytes, 8),
+            dram_cache: None,
+            timing: PlatformTiming::nvm_only_dram_speed(),
+            nvm_capacity,
+            dram_capacity: 64 << 20,
+            flush_op: FlushOp::Clflush,
+            persistent_caches: false,
+        }
+    }
+
+    /// The paper's heterogeneous NVM/DRAM system: PCM-like NVM fronted by a
+    /// volatile DRAM cache.
+    pub fn heterogeneous(
+        cpu_cache_bytes: usize,
+        dram_cache_bytes: usize,
+        nvm_capacity: usize,
+    ) -> Self {
+        SystemConfig {
+            cpu_cache: CacheConfig::new(cpu_cache_bytes, 8),
+            dram_cache: Some(CacheConfig::new(dram_cache_bytes, 8)),
+            timing: PlatformTiming::heterogeneous(),
+            nvm_capacity,
+            dram_capacity: 64 << 20,
+            flush_op: FlushOp::Clflush,
+            persistent_caches: false,
+        }
+    }
+}
+
+/// The simulated memory system.
+pub struct MemorySystem {
+    cfg: SystemConfig,
+    cpu: SetAssocCache,
+    dramc: Option<SetAssocCache>,
+    nvm: Backing,
+    dram: Backing,
+    nvm_alloc: Bump,
+    dram_alloc: Bump,
+    clock: SimClock,
+    stats: MemStats,
+    nvm_streams: StreamDetector,
+    dram_streams: StreamDetector,
+    access_count: u64,
+}
+
+impl MemorySystem {
+    pub fn new(cfg: SystemConfig) -> Self {
+        MemorySystem {
+            cpu: SetAssocCache::new(cfg.cpu_cache),
+            dramc: cfg.dram_cache.map(SetAssocCache::new),
+            nvm: Backing::new(0, cfg.nvm_capacity),
+            dram: Backing::new(DRAM_BASE, cfg.dram_capacity),
+            nvm_alloc: Bump::new(0, cfg.nvm_capacity),
+            dram_alloc: Bump::new(DRAM_BASE, cfg.dram_capacity),
+            clock: SimClock::new(),
+            stats: MemStats::default(),
+            nvm_streams: StreamDetector::new(),
+            dram_streams: StreamDetector::new(),
+            access_count: 0,
+            cfg,
+        }
+    }
+
+    /// Recreate a system from a post-crash NVM image (recovery boots with
+    /// cold caches over the surviving persistent bytes).
+    pub fn from_image(cfg: SystemConfig, image: &NvmImage) -> Self {
+        let mut sys = MemorySystem::new(cfg);
+        sys.nvm.restore(image.bytes());
+        sys
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation
+    // ------------------------------------------------------------------
+
+    /// Allocate a line-aligned persistent region.
+    pub fn alloc_nvm(&mut self, size: usize) -> u64 {
+        self.nvm_alloc.alloc_lines(size)
+    }
+
+    /// Allocate a persistent region starting at a chosen in-line offset
+    /// (deliberate line straddling).
+    pub fn alloc_nvm_at_line_offset(&mut self, size: usize, offset: usize) -> u64 {
+        self.nvm_alloc.alloc_at_line_offset(size, offset)
+    }
+
+    /// Allocate a line-aligned volatile region.
+    pub fn alloc_dram(&mut self, size: usize) -> u64 {
+        self.dram_alloc.alloc_lines(size)
+    }
+
+    /// Allocate with an explicit placement.
+    pub fn alloc(&mut self, size: usize, placement: Placement) -> u64 {
+        match placement {
+            Placement::Nvm => self.alloc_nvm(size),
+            Placement::DramDirect => self.alloc_dram(size),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Charged element accesses
+    // ------------------------------------------------------------------
+
+    /// Charged read of `buf.len()` bytes at `addr` (may span lines).
+    pub fn read_bytes(&mut self, addr: u64, buf: &mut [u8]) {
+        self.access_count += 1;
+        self.stats.accesses += 1;
+        self.clock.charge(self.cfg.timing.cpu_access_ps);
+        let mut done = 0usize;
+        while done < buf.len() {
+            let a = addr + done as u64;
+            let off = crate::line::offset_in_line(a);
+            let take = (LINE_SIZE - off).min(buf.len() - done);
+            let line = line_of(a);
+            self.with_line(line, |data| {
+                buf[done..done + take].copy_from_slice(&data[off..off + take]);
+                false
+            });
+            done += take;
+        }
+    }
+
+    /// Charged write of `src` at `addr` (may span lines).
+    pub fn write_bytes(&mut self, addr: u64, src: &[u8]) {
+        self.access_count += 1;
+        self.stats.accesses += 1;
+        self.clock.charge(self.cfg.timing.cpu_access_ps);
+        let mut done = 0usize;
+        while done < src.len() {
+            let a = addr + done as u64;
+            let off = crate::line::offset_in_line(a);
+            let take = (LINE_SIZE - off).min(src.len() - done);
+            let line = line_of(a);
+            self.with_line(line, |data| {
+                data[off..off + take].copy_from_slice(&src[done..done + take]);
+                true
+            });
+            done += take;
+        }
+    }
+
+    /// Bring `line` into the CPU cache (fetching/evicting as needed) and
+    /// apply `f` to its payload; `f` returns whether it dirtied the line.
+    fn with_line<F: FnOnce(&mut [u8; LINE_SIZE]) -> bool>(&mut self, line: u64, f: F) {
+        // Fast path: CPU hit.
+        if let Some(mut r) = self.cpu.lookup(line) {
+            self.stats.cpu.hits += 1;
+            if f(r.data()) {
+                r.mark_dirty();
+            }
+            return;
+        }
+        self.stats.cpu.misses += 1;
+        let mut data = self.fetch_below(line);
+        let dirty = f(&mut data);
+        if let Some(victim) = self.cpu.insert(line, data, dirty) {
+            self.writeback(victim);
+        }
+    }
+
+    /// Fetch a line's data from below the CPU cache, charging costs.
+    fn fetch_below(&mut self, line: u64) -> [u8; LINE_SIZE] {
+        let addr = line << LINE_SHIFT;
+        let t = self.cfg.timing;
+        if is_dram_addr(addr) {
+            let hit = self.dram_streams.note(line);
+            self.clock.charge(t.dram.read_cost(hit));
+            self.stats.dram_line_reads += 1;
+            return self.dram.read_line(line);
+        }
+        // NVM-homed: consult the DRAM cache first if present.
+        if let Some(dc) = self.dramc.as_mut() {
+            if let Some(r) = dc.lookup(line) {
+                self.stats.dram_cache.hits += 1;
+                self.clock.charge(t.dram.read_cost(false));
+                return *r.data_ref();
+            }
+            self.stats.dram_cache.misses += 1;
+            let hit = self.nvm_streams.note(line);
+            self.clock.charge(t.nvm.read_cost(hit));
+            self.stats.nvm_line_reads += 1;
+            let data = self.nvm.read_line(line);
+            if let Some(v) = dc.insert(line, data, false) {
+                if v.dirty {
+                    let s = self.nvm_streams.note(v.line);
+                    self.clock.charge(t.nvm.write_cost(s));
+                    self.stats.nvm_line_writes += 1;
+                    self.stats.dram_cache.dirty_evictions += 1;
+                    self.nvm.write_line(v.line, &v.data);
+                } else {
+                    self.stats.dram_cache.clean_evictions += 1;
+                }
+            }
+            return data;
+        }
+        let hit = self.nvm_streams.note(line);
+        self.clock.charge(t.nvm.read_cost(hit));
+        self.stats.nvm_line_reads += 1;
+        self.nvm.read_line(line)
+    }
+
+    /// Write back a line evicted from the CPU cache.
+    fn writeback(&mut self, v: Victim) {
+        if !v.dirty {
+            self.stats.cpu.clean_evictions += 1;
+            return;
+        }
+        self.stats.cpu.dirty_evictions += 1;
+        let addr = v.line << LINE_SHIFT;
+        let t = self.cfg.timing;
+        if is_dram_addr(addr) {
+            let hit = self.dram_streams.note(v.line);
+            self.clock.charge(t.dram.write_cost(hit));
+            self.stats.dram_line_writes += 1;
+            self.dram.write_line(v.line, &v.data);
+            return;
+        }
+        if let Some(dc) = self.dramc.as_mut() {
+            self.clock.charge(t.dram.write_cost(false));
+            if let Some(mut r) = dc.lookup(v.line) {
+                *r.data() = v.data;
+                r.mark_dirty();
+                return;
+            }
+            // Full-line write allocation: no fill needed.
+            if let Some(v2) = dc.insert(v.line, v.data, true) {
+                if v2.dirty {
+                    let s = self.nvm_streams.note(v2.line);
+                    self.clock.charge(t.nvm.write_cost(s));
+                    self.stats.nvm_line_writes += 1;
+                    self.stats.dram_cache.dirty_evictions += 1;
+                    self.nvm.write_line(v2.line, &v2.data);
+                } else {
+                    self.stats.dram_cache.clean_evictions += 1;
+                }
+            }
+            return;
+        }
+        let hit = self.nvm_streams.note(v.line);
+        self.clock.charge(t.nvm.write_cost(hit));
+        self.stats.nvm_line_writes += 1;
+        self.nvm.write_line(v.line, &v.data);
+    }
+
+    // ------------------------------------------------------------------
+    // Flush / persist primitives
+    // ------------------------------------------------------------------
+
+    /// `CLFLUSH`: evict the line containing `addr` from the CPU cache,
+    /// writing it back one level if dirty. Does **not** guarantee the data
+    /// reached NVM on the heterogeneous platform (it may land in the
+    /// volatile DRAM cache) — that is the paper's motivating pitfall; use
+    /// [`MemorySystem::persist_line`] for durability.
+    pub fn clflush(&mut self, addr: u64) {
+        self.stats.clflushes += 1;
+        self.clock.charge(self.cfg.timing.clflush_ps);
+        if let Some(v) = self.cpu.remove(line_of(addr)) {
+            self.writeback(v);
+        }
+    }
+
+    /// `CLFLUSHOPT`: like [`MemorySystem::clflush`] but unordered, so the
+    /// per-instruction stall is much smaller.
+    pub fn clflushopt(&mut self, addr: u64) {
+        self.stats.clflushopts += 1;
+        self.clock.charge(self.cfg.timing.clflushopt_ps);
+        if let Some(v) = self.cpu.remove(line_of(addr)) {
+            self.writeback(v);
+        }
+    }
+
+    /// `CLWB`: write the line back one level if dirty, but keep it resident
+    /// (clean) in the CPU cache — later re-reads still hit.
+    pub fn clwb(&mut self, addr: u64) {
+        self.stats.clwbs += 1;
+        self.clock.charge(self.cfg.timing.clwb_ps);
+        if let Some(v) = self.cpu.clean_line(line_of(addr)) {
+            self.writeback(v);
+        }
+    }
+
+    /// Flush the line containing `addr` using the configured
+    /// [`FlushOp`] (see [`SystemConfig::flush_op`]).
+    pub fn flush_line(&mut self, addr: u64) {
+        match self.cfg.flush_op {
+            FlushOp::Clflush => self.clflush(addr),
+            FlushOp::ClflushOpt => self.clflushopt(addr),
+            FlushOp::Clwb => self.clwb(addr),
+        }
+    }
+
+    /// Flush every line of `[addr, addr + len)` from the CPU cache using
+    /// the configured [`FlushOp`].
+    pub fn flush_range(&mut self, addr: u64, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let first = line_of(addr);
+        let last = line_of(addr + len as u64 - 1);
+        for line in first..=last {
+            self.flush_line(line << LINE_SHIFT);
+        }
+    }
+
+    /// Push the line containing `addr` all the way to its home medium:
+    /// CPU flush plus, for NVM-homed lines on the heterogeneous platform,
+    /// eviction of the DRAM-cache copy to NVM (the paper's "flush the DRAM
+    /// cache using memory copy", at line granularity).
+    pub fn persist_line(&mut self, addr: u64) {
+        self.flush_line(addr);
+        if is_dram_addr(addr) {
+            return;
+        }
+        let line = line_of(addr);
+        let t = self.cfg.timing;
+        if let Some(dc) = self.dramc.as_mut() {
+            if let Some(v) = dc.remove(line) {
+                if v.dirty {
+                    let s = self.nvm_streams.note(v.line);
+                    self.clock.charge(t.nvm.write_cost(s));
+                    self.stats.nvm_line_writes += 1;
+                    self.nvm.write_line(v.line, &v.data);
+                }
+            }
+        }
+    }
+
+    /// Persist every line of `[addr, addr + len)` (see
+    /// [`MemorySystem::persist_line`]).
+    pub fn persist_range(&mut self, addr: u64, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let first = line_of(addr);
+        let last = line_of(addr + len as u64 - 1);
+        for line in first..=last {
+            self.persist_line(line << LINE_SHIFT);
+        }
+    }
+
+    /// Batched epoch persist (Pelley et al. "Memory Persistency", Joshi
+    /// et al. "Efficient Persist Barriers"): persist a whole epoch's worth
+    /// of lines at once. Persists within an epoch are unordered with
+    /// respect to each other, so each line pays only its issue overhead and
+    /// medium transfer; the medium latency is paid **once** at the barrier
+    /// (all in-flight persists overlap), followed by one fence.
+    ///
+    /// Contrast with a `persist_line` loop, which pays latency + fence
+    /// serialization per line. The `repro ablation-epoch` runner compares
+    /// both for the ABFT checksum flushing, where the paper's related-work
+    /// section says these proposals "can be complementary to our work".
+    pub fn persist_lines_batched(&mut self, lines_in: &[u64]) {
+        self.stats.epoch_barriers += 1;
+        if lines_in.is_empty() {
+            self.sfence();
+            return;
+        }
+        let mut lines: Vec<u64> = lines_in.to_vec();
+        lines.sort_unstable();
+        lines.dedup();
+        let t = self.cfg.timing;
+        let mut max_lat = 0u64;
+        for &line in &lines {
+            self.stats.clflushopts += 1;
+            self.clock.charge(t.clflushopt_ps);
+            let addr = line << LINE_SHIFT;
+            let cpu_victim = self.cpu.remove(line);
+            if is_dram_addr(addr) {
+                if let Some(v) = cpu_victim {
+                    if v.dirty {
+                        self.clock.charge(t.dram.line_transfer_ps);
+                        self.stats.dram_line_writes += 1;
+                        self.dram.write_line(line, &v.data);
+                        max_lat = max_lat.max(t.dram.write_lat_ps);
+                    }
+                }
+                continue;
+            }
+            // NVM-homed: the newest copy is the CPU one if dirty, else a
+            // possibly-dirty DRAM-cache copy. Either way the DRAM-cache
+            // copy must not linger (it would shadow NVM with stale data).
+            let dc_victim = self.dramc.as_mut().and_then(|dc| dc.remove(line));
+            let newest = match cpu_victim {
+                Some(v) if v.dirty => Some(v.data),
+                _ => dc_victim.filter(|v| v.dirty).map(|v| v.data),
+            };
+            if let Some(data) = newest {
+                self.clock.charge(t.nvm.line_transfer_ps);
+                self.stats.nvm_line_writes += 1;
+                self.nvm.write_line(line, &data);
+                max_lat = max_lat.max(t.nvm.write_lat_ps);
+            }
+        }
+        self.clock.charge(max_lat);
+        self.sfence();
+    }
+
+    /// `SFENCE`: order earlier flushes before later stores. Pure cost.
+    pub fn sfence(&mut self) {
+        self.stats.sfences += 1;
+        self.clock
+            .charge_to(Bucket::Fence, self.cfg.timing.sfence_ps);
+    }
+
+    /// Write back every dirty line of the volatile DRAM cache to NVM,
+    /// leaving lines resident but clean. The scan walks the whole cache
+    /// directory (there is no per-line flush instruction for a memory-side
+    /// cache), which is what makes heterogeneous checkpoints expensive.
+    pub fn drain_dram_cache(&mut self) {
+        let t = self.cfg.timing;
+        let Some(dc) = self.dramc.as_mut() else {
+            return;
+        };
+        self.stats.dram_drains += 1;
+        let scan = dc.capacity_lines() as u64 * t.dram_drain_scan_ps;
+        self.clock.charge(scan);
+        let dirty = dc.clean_all();
+        for v in dirty {
+            let s = self.nvm_streams.note(v.line);
+            self.clock.charge(t.nvm.write_cost(s));
+            self.stats.nvm_line_writes += 1;
+            self.nvm.write_line(v.line, &v.data);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Bulk helpers
+    // ------------------------------------------------------------------
+
+    /// Charged copy of `len` bytes from `src` to `dst`, line by line
+    /// through the cache hierarchy (what a checkpoint memcpy does).
+    pub fn copy_range(&mut self, dst: u64, src: u64, len: usize) {
+        let mut done = 0usize;
+        let mut buf = [0u8; LINE_SIZE];
+        while done < len {
+            let take = LINE_SIZE.min(len - done);
+            let chunk = &mut buf[..take];
+            self.read_bytes(src + done as u64, chunk);
+            let chunk = &buf[..take];
+            self.write_bytes(dst + done as u64, chunk);
+            done += take;
+        }
+    }
+
+    /// Uncharged write directly into the backing store, bypassing caches.
+    /// Used to seed input data that is "already in NVM" before the measured
+    /// execution begins (matrices, grids).
+    pub fn seed_bytes(&mut self, addr: u64, src: &[u8]) {
+        if is_dram_addr(addr) {
+            self.dram.write_bytes(addr, src);
+        } else {
+            self.nvm.write_bytes(addr, src);
+        }
+    }
+
+    /// Uncharged logical read: the value the program would observe (checking
+    /// caches first). Does not disturb LRU state. For tests and debugging.
+    pub fn peek_bytes(&self, addr: u64, buf: &mut [u8]) {
+        let mut done = 0usize;
+        while done < buf.len() {
+            let a = addr + done as u64;
+            let off = crate::line::offset_in_line(a);
+            let take = (LINE_SIZE - off).min(buf.len() - done);
+            let line = line_of(a);
+            let data = self.peek_line(line);
+            buf[done..done + take].copy_from_slice(&data[off..off + take]);
+            done += take;
+        }
+    }
+
+    fn peek_line(&self, line: u64) -> [u8; LINE_SIZE] {
+        if let Some(data) = self.cpu.probe(line) {
+            return *data;
+        }
+        if let Some(dc) = &self.dramc {
+            if let Some(data) = dc.probe(line) {
+                return *data;
+            }
+        }
+        let addr = line << LINE_SHIFT;
+        if is_dram_addr(addr) {
+            self.dram.read_line(line)
+        } else {
+            self.nvm.read_line(line)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Compute charging and clock access
+    // ------------------------------------------------------------------
+
+    /// Charge `n` floating-point operations.
+    #[inline]
+    pub fn charge_flops(&mut self, n: u64) {
+        self.clock
+            .charge_to(Bucket::Compute, n * self.cfg.timing.flop_ps);
+    }
+
+    /// Charge raw picoseconds to the current bucket.
+    #[inline]
+    pub fn charge_ps(&mut self, ps: u64) {
+        self.clock.charge(ps);
+    }
+
+    /// Charge I/O device time.
+    #[inline]
+    pub fn charge_io(&mut self, ps: u64) {
+        self.clock.charge_to(Bucket::Io, ps);
+    }
+
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    pub fn clock_mut(&mut self) -> &mut SimClock {
+        &mut self.clock
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Total element accesses so far (crash-trigger granularity).
+    pub fn access_count(&self) -> u64 {
+        self.access_count
+    }
+
+    // ------------------------------------------------------------------
+    // Crash
+    // ------------------------------------------------------------------
+
+    /// Crash the machine: every volatile level (CPU cache, DRAM cache,
+    /// DRAM-direct region) is discarded and the surviving NVM image is
+    /// returned. The system itself is left cold (cleared caches) so it can
+    /// model the post-restart machine.
+    ///
+    /// With [`SystemConfig::persistent_caches`] (the Kiln /
+    /// whole-system-persistence ablation), dirty NVM-homed lines are
+    /// drained into NVM by the battery *before* the volatile state is
+    /// discarded — uncharged, because the drain happens after the
+    /// application has already died. The DRAM-direct scratch region is
+    /// still lost.
+    pub fn crash(&mut self) -> NvmImage {
+        if self.cfg.persistent_caches {
+            for v in self.cpu.clean_all() {
+                let addr = v.line << LINE_SHIFT;
+                if is_dram_addr(addr) {
+                    continue;
+                }
+                if let Some(dc) = self.dramc.as_mut() {
+                    // Route through the DRAM cache level so its (possibly
+                    // newer-than-NVM, older-than-CPU) copy is superseded.
+                    if let Some(mut r) = dc.lookup(v.line) {
+                        *r.data() = v.data;
+                        r.mark_dirty();
+                        continue;
+                    }
+                }
+                self.nvm.write_line(v.line, &v.data);
+            }
+            if let Some(dc) = self.dramc.as_mut() {
+                for v in dc.clean_all() {
+                    self.nvm.write_line(v.line, &v.data);
+                }
+            }
+        }
+        self.cpu.clear();
+        if let Some(dc) = self.dramc.as_mut() {
+            dc.clear();
+        }
+        self.dram.wipe();
+        self.nvm_streams.reset();
+        self.dram_streams.reset();
+        NvmImage::new(self.nvm.snapshot())
+    }
+
+    /// Non-destructive snapshot of the current NVM backing store (what
+    /// *would* survive a crash right now). Uncharged; for tests/analysis.
+    pub fn nvm_snapshot(&self) -> NvmImage {
+        NvmImage::new(self.nvm.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_sys() -> MemorySystem {
+        // 4 KiB CPU cache, no DRAM cache, 1 MiB NVM.
+        MemorySystem::new(SystemConfig::nvm_only(4096, 1 << 20))
+    }
+
+    fn hetero_sys() -> MemorySystem {
+        MemorySystem::new(SystemConfig::heterogeneous(4096, 16384, 1 << 20))
+    }
+
+    #[test]
+    fn read_after_write_same_value() {
+        let mut s = small_sys();
+        let a = s.alloc_nvm(128);
+        s.write_bytes(a, &[1, 2, 3, 4]);
+        let mut out = [0u8; 4];
+        s.read_bytes(a, &mut out);
+        assert_eq!(out, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn dirty_data_not_in_nvm_until_flush() {
+        let mut s = small_sys();
+        let a = s.alloc_nvm(64);
+        s.write_bytes(a, &[9; 8]);
+        // NVM still holds zeros: the write is stranded in cache.
+        let img = s.nvm_snapshot();
+        assert_eq!(img.read_u8(a), 0);
+        s.clflush(a);
+        let img = s.nvm_snapshot();
+        assert_eq!(img.read_u8(a), 9);
+    }
+
+    #[test]
+    fn crash_discards_cached_writes() {
+        let mut s = small_sys();
+        let a = s.alloc_nvm(64);
+        let b = s.alloc_nvm(64);
+        s.write_bytes(a, &[7; 8]);
+        s.clflush(a);
+        s.write_bytes(b, &[8; 8]);
+        let img = s.crash();
+        assert_eq!(img.read_u8(a), 7, "flushed line survives");
+        assert_eq!(img.read_u8(b), 0, "unflushed line lost");
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_lines() {
+        let mut s = small_sys();
+        // Cache is 4 KiB = 64 lines; write 128 distinct lines to force
+        // evictions of the earliest ones.
+        let a = s.alloc_nvm(128 * 64);
+        for i in 0..128u64 {
+            s.write_bytes(a + i * 64, &[i as u8; 8]);
+        }
+        let img = s.nvm_snapshot();
+        // The very first line must have been evicted (written back).
+        assert_eq!(img.read_u8(a), 0u8.wrapping_sub(0)); // value was 0
+        assert_eq!(img.read_u8(a + 64), 1);
+    }
+
+    #[test]
+    fn clflush_on_hetero_lands_in_dram_cache_not_nvm() {
+        let mut s = hetero_sys();
+        let a = s.alloc_nvm(64);
+        s.write_bytes(a, &[5; 8]);
+        s.clflush(a);
+        // CLFLUSH pushed it only into the volatile DRAM cache.
+        let img = s.nvm_snapshot();
+        assert_eq!(img.read_u8(a), 0, "CLFLUSH alone is not durable on hetero");
+        // A crash loses it.
+        let img = s.crash();
+        assert_eq!(img.read_u8(a), 0);
+    }
+
+    #[test]
+    fn persist_line_is_durable_on_hetero() {
+        let mut s = hetero_sys();
+        let a = s.alloc_nvm(64);
+        s.write_bytes(a, &[5; 8]);
+        s.persist_line(a);
+        let img = s.crash();
+        assert_eq!(img.read_u8(a), 5);
+    }
+
+    #[test]
+    fn drain_dram_cache_persists_evicted_writes() {
+        let mut s = hetero_sys();
+        let a = s.alloc_nvm(64);
+        s.write_bytes(a, &[6; 8]);
+        s.clflush(a); // now dirty in DRAM cache
+        s.drain_dram_cache();
+        let img = s.crash();
+        assert_eq!(img.read_u8(a), 6);
+    }
+
+    #[test]
+    fn copy_range_copies_values() {
+        let mut s = small_sys();
+        let src = s.alloc_nvm(256);
+        let dst = s.alloc_nvm(256);
+        let data: Vec<u8> = (0..=255u8).collect();
+        s.write_bytes(src, &data[..64]);
+        s.write_bytes(src + 64, &data[64..128]);
+        s.write_bytes(src + 128, &data[128..192]);
+        s.write_bytes(src + 192, &data[192..]);
+        s.copy_range(dst, src, 256);
+        let mut out = vec![0u8; 256];
+        s.peek_bytes(dst, &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn seed_bytes_bypasses_cache_and_clock() {
+        let mut s = small_sys();
+        let a = s.alloc_nvm(64);
+        let before = s.now();
+        s.seed_bytes(a, &[3; 64]);
+        assert_eq!(s.now(), before);
+        let mut out = [0u8; 4];
+        s.read_bytes(a, &mut out);
+        assert_eq!(out, [3; 4]);
+    }
+
+    #[test]
+    fn dram_direct_lost_on_crash() {
+        let mut s = small_sys();
+        let a = s.alloc_dram(64);
+        s.write_bytes(a, &[4; 8]);
+        s.clflush(a);
+        let mut out = [0u8; 8];
+        s.peek_bytes(a, &mut out);
+        assert_eq!(out, [4; 8]);
+        s.crash();
+        let mut out = [1u8; 8];
+        s.peek_bytes(a, &mut out);
+        assert_eq!(out, [0; 8], "DRAM-direct region wiped at crash");
+    }
+
+    #[test]
+    fn time_advances_and_nvm_slower_than_cache_hits() {
+        let mut s = hetero_sys();
+        let a = s.alloc_nvm(64);
+        let t0 = s.now();
+        s.read_bytes(a, &mut [0u8; 8]); // cold miss -> NVM
+        let t_miss = s.now() - t0;
+        let t1 = s.now();
+        s.read_bytes(a, &mut [0u8; 8]); // hit
+        let t_hit = s.now() - t1;
+        assert!(t_miss.ps() > 10 * t_hit.ps(), "{t_miss} !>> {t_hit}");
+    }
+
+    #[test]
+    fn sfence_counts_and_charges() {
+        let mut s = small_sys();
+        let t0 = s.now();
+        s.sfence();
+        assert_eq!(s.stats().sfences, 1);
+        assert!(s.now() > t0);
+    }
+
+    #[test]
+    fn multi_line_access_straddles_correctly() {
+        let mut s = small_sys();
+        let a = s.alloc_nvm(192);
+        let src: Vec<u8> = (0..100u8).collect();
+        // Write 100 bytes starting 30 bytes into a line.
+        s.write_bytes(a + 30, &src);
+        let mut out = vec![0u8; 100];
+        s.read_bytes(a + 30, &mut out);
+        assert_eq!(out, src);
+    }
+
+    #[test]
+    fn clflushopt_is_cheaper_but_equally_durable() {
+        let mut s1 = small_sys();
+        let a = s1.alloc_nvm(64);
+        s1.write_bytes(a, &[5; 8]);
+        let t0 = s1.now();
+        s1.clflush(a);
+        let t_clflush = s1.now() - t0;
+
+        let mut s2 = small_sys();
+        let b = s2.alloc_nvm(64);
+        s2.write_bytes(b, &[5; 8]);
+        let t0 = s2.now();
+        s2.clflushopt(b);
+        let t_opt = s2.now() - t0;
+
+        assert!(t_opt < t_clflush, "{t_opt} !< {t_clflush}");
+        assert_eq!(s2.crash().read_u8(b), 5);
+        assert_eq!(s2.stats().clflushopts, 1);
+    }
+
+    #[test]
+    fn clwb_persists_but_line_stays_hot() {
+        let mut s = small_sys();
+        let a = s.alloc_nvm(64);
+        s.write_bytes(a, &[6; 8]);
+        s.clwb(a);
+        // Durable...
+        assert_eq!(s.nvm_snapshot().read_u8(a), 6);
+        // ...and still a cache hit (no new NVM read).
+        let reads_before = s.stats().nvm_line_reads;
+        s.read_bytes(a, &mut [0u8; 8]);
+        assert_eq!(s.stats().nvm_line_reads, reads_before);
+        assert_eq!(s.stats().clwbs, 1);
+    }
+
+    #[test]
+    fn clwb_on_clean_line_writes_nothing() {
+        let mut s = small_sys();
+        let a = s.alloc_nvm(64);
+        s.read_bytes(a, &mut [0u8; 8]); // resident, clean
+        let writes = s.stats().nvm_line_writes;
+        s.clwb(a);
+        assert_eq!(s.stats().nvm_line_writes, writes);
+    }
+
+    #[test]
+    fn configured_flush_op_routes_helpers() {
+        let cfg = SystemConfig::nvm_only(4096, 1 << 20).with_flush_op(FlushOp::Clwb);
+        let mut s = MemorySystem::new(cfg);
+        let a = s.alloc_nvm(256);
+        s.write_bytes(a, &[8; 8]);
+        s.persist_range(a, 256);
+        assert_eq!(s.stats().clflushes, 0);
+        assert!(s.stats().clwbs >= 4);
+        assert_eq!(s.crash().read_u8(a), 8);
+    }
+
+    #[test]
+    fn persistent_caches_save_unflushed_data_at_crash() {
+        let cfg = SystemConfig::nvm_only(4096, 1 << 20).with_persistent_caches(true);
+        let mut s = MemorySystem::new(cfg);
+        let a = s.alloc_nvm(64);
+        s.write_bytes(a, &[9; 8]);
+        // No flush at all — the battery drains the cache at crash time.
+        let img = s.crash();
+        assert_eq!(img.read_u8(a), 9);
+    }
+
+    #[test]
+    fn persistent_caches_on_hetero_drain_both_levels() {
+        let cfg =
+            SystemConfig::heterogeneous(4096, 16384, 1 << 20).with_persistent_caches(true);
+        let mut s = MemorySystem::new(cfg);
+        let a = s.alloc_nvm(128);
+        s.write_bytes(a, &[1; 8]);
+        s.clflush(a); // dirty in the DRAM cache now
+        s.write_bytes(a + 64, &[2; 8]); // dirty in the CPU cache
+        let img = s.crash();
+        assert_eq!(img.read_u8(a), 1);
+        assert_eq!(img.read_u8(a + 64), 2);
+    }
+
+    #[test]
+    fn persistent_caches_still_lose_dram_direct() {
+        let cfg = SystemConfig::nvm_only(4096, 1 << 20).with_persistent_caches(true);
+        let mut s = MemorySystem::new(cfg);
+        let a = s.alloc_dram(64);
+        s.write_bytes(a, &[7; 8]);
+        s.crash();
+        let mut out = [9u8; 8];
+        s.peek_bytes(a, &mut out);
+        assert_eq!(out, [0; 8]);
+    }
+
+    #[test]
+    fn from_image_restores_persistent_state() {
+        let mut s = small_sys();
+        let a = s.alloc_nvm(64);
+        s.write_bytes(a, &[42; 8]);
+        s.persist_line(a);
+        let img = s.crash();
+        let mut s2 = MemorySystem::new(SystemConfig::nvm_only(4096, 1 << 20));
+        s2.nvm.restore(img.bytes());
+        let mut out = [0u8; 8];
+        s2.read_bytes(a, &mut out);
+        assert_eq!(out, [42; 8]);
+    }
+}

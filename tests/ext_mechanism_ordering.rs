@@ -1,0 +1,202 @@
+//! Integration: the paper's mechanism cost ordering — native <= algo <
+//! checkpoint < pmem — must hold for every extension kernel, and every
+//! mechanism must produce the same answer.
+
+use adcc::core::{jacobi, lu, stencil};
+use adcc::prelude::*;
+use adcc_ckpt::manager::CkptManager;
+
+fn cfg() -> SystemConfig {
+    SystemConfig::nvm_only(8 << 10, 64 << 20)
+}
+
+#[test]
+fn jacobi_mechanism_ordering_and_agreement() {
+    let class = CgClass::TEST;
+    let a = class.matrix(201);
+    let b = class.rhs(&a);
+    let iters = 6;
+    let want = jacobi_host(&a, &b, iters);
+    let max_diff = |xs: &[f64]| {
+        xs.iter()
+            .zip(&want)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f64, f64::max)
+    };
+
+    // Native.
+    let mut sys = MemorySystem::new(cfg());
+    let jac = PlainJacobi::setup(&mut sys, &a, &b, iters);
+    let t0 = sys.now();
+    let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+    jacobi::variants::run_native(&mut emu, &jac).completed().unwrap();
+    let native = (emu.now() - t0).ps();
+    assert!(max_diff(&jac.peek_solution(&emu)) < 1e-12);
+
+    // Algorithm-directed.
+    let mut sys = MemorySystem::new(cfg());
+    let ext = ExtendedJacobi::setup(&mut sys, &a, &b, iters);
+    let t0 = sys.now();
+    let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+    ext.run(&mut emu, 0, iters).completed().unwrap();
+    let algo = (emu.now() - t0).ps();
+    assert!(max_diff(&ext.peek_solution(&emu)) < 1e-12);
+
+    // Per-iteration checkpoint.
+    let mut sys = MemorySystem::new(cfg());
+    let jac = PlainJacobi::setup(&mut sys, &a, &b, iters);
+    let mut mgr = CkptManager::new_nvm(&mut sys, jac.ckpt_regions(), false);
+    let t0 = sys.now();
+    let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+    jacobi::variants::run_with_ckpt(&mut emu, &jac, &mut mgr)
+        .completed()
+        .unwrap();
+    let ckpt = (emu.now() - t0).ps();
+    assert!(max_diff(&jac.peek_solution(&emu)) < 1e-12);
+
+    // Per-iteration undo-log transaction.
+    let mut sys = MemorySystem::new(cfg());
+    let jac = PlainJacobi::setup(&mut sys, &a, &b, iters);
+    let lines = (jac.n * 8).div_ceil(64) + 16;
+    let mut pool = UndoPool::new(&mut sys, lines);
+    let t0 = sys.now();
+    let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+    jacobi::variants::run_with_pmem(&mut emu, &jac, &mut pool)
+        .completed()
+        .unwrap();
+    let pmem = (emu.now() - t0).ps();
+    assert!(max_diff(&jac.peek_solution(&emu)) < 1e-12);
+
+    assert!(algo < ckpt, "algo {algo} !< ckpt {ckpt}");
+    assert!(ckpt < pmem, "ckpt {ckpt} !< pmem {pmem}");
+    assert!(native <= algo, "native {native} !<= algo {algo}");
+}
+
+#[test]
+fn lu_mechanism_ordering_and_agreement() {
+    let n = 16;
+    let bk = 4;
+    let a = dominant_matrix(n, 202);
+    let want = lu_host(&a);
+
+    let time_of = |which: &str| -> u64 {
+        let mut sys = MemorySystem::new(cfg());
+        let luf = ChecksumLu::setup(&mut sys, &a, bk);
+        match which {
+            "native" => {
+                let t0 = sys.now();
+                let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+                lu::variants::run_native(&mut emu, &luf).completed().unwrap();
+                assert!(luf.peek_factor(&emu).max_abs_diff(&want) < 1e-10);
+                (emu.now() - t0).ps()
+            }
+            "algo" => {
+                let t0 = sys.now();
+                let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+                luf.run(&mut emu, 0).completed().unwrap();
+                assert!(luf.peek_factor(&emu).max_abs_diff(&want) < 1e-10);
+                (emu.now() - t0).ps()
+            }
+            "ckpt" => {
+                let mut mgr =
+                    CkptManager::new_nvm(&mut sys, lu::variants::lu_ckpt_regions(&luf), false);
+                let t0 = sys.now();
+                let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+                lu::variants::run_with_ckpt(&mut emu, &luf, &mut mgr)
+                    .completed()
+                    .unwrap();
+                assert!(luf.peek_factor(&emu).max_abs_diff(&want) < 1e-10);
+                (emu.now() - t0).ps()
+            }
+            _ => {
+                let lines = bk * (n + 1) + 32;
+                let mut pool = UndoPool::new(&mut sys, lines);
+                let t0 = sys.now();
+                let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+                lu::variants::run_with_pmem(&mut emu, &luf, &mut pool)
+                    .completed()
+                    .unwrap();
+                assert!(luf.peek_factor(&emu).max_abs_diff(&want) < 1e-10);
+                (emu.now() - t0).ps()
+            }
+        }
+    };
+
+    let native = time_of("native");
+    let algo = time_of("algo");
+    let ckpt = time_of("ckpt");
+    let pmem = time_of("pmem");
+    assert!(native <= algo, "native {native} !<= algo {algo}");
+    assert!(algo < ckpt, "algo {algo} !< ckpt {ckpt}");
+    assert!(ckpt < pmem, "ckpt {ckpt} !< pmem {pmem}");
+}
+
+#[test]
+fn stencil_mechanism_ordering_and_agreement() {
+    let (g, sweeps) = (12, 6);
+    let want = heat_host(g, g, sweeps);
+    let max_diff = |xs: &[f64]| {
+        xs.iter()
+            .zip(&want)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f64, f64::max)
+    };
+
+    let mut sys = MemorySystem::new(cfg());
+    let st = PlainStencil::setup(&mut sys, g, g, sweeps);
+    let t0 = sys.now();
+    let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+    stencil::variants::run_native(&mut emu, &st).completed().unwrap();
+    let native = (emu.now() - t0).ps();
+    assert!(max_diff(&st.peek_grid(&emu, sweeps)) < 1e-12);
+
+    let mut sys = MemorySystem::new(cfg());
+    let ext = ExtendedStencil::setup(&mut sys, g, g, sweeps, 3, 4);
+    let t0 = sys.now();
+    let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+    ext.run(&mut emu, 0, sweeps).completed().unwrap();
+    let algo = (emu.now() - t0).ps();
+    assert!(max_diff(&ext.peek_grid(&emu, sweeps)) < 1e-12);
+
+    let mut sys = MemorySystem::new(cfg());
+    let st = PlainStencil::setup(&mut sys, g, g, sweeps);
+    let mut mgr = CkptManager::new_nvm(&mut sys, st.ckpt_regions(), false);
+    let t0 = sys.now();
+    let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+    stencil::variants::run_with_ckpt(&mut emu, &st, &mut mgr)
+        .completed()
+        .unwrap();
+    let ckpt = (emu.now() - t0).ps();
+    assert!(max_diff(&st.peek_grid(&emu, sweeps)) < 1e-12);
+
+    let mut sys = MemorySystem::new(cfg());
+    let st = PlainStencil::setup(&mut sys, g, g, sweeps);
+    let lines = g * g / 8 + 32;
+    let mut pool = UndoPool::new(&mut sys, lines);
+    let t0 = sys.now();
+    let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+    stencil::variants::run_with_pmem(&mut emu, &st, &mut pool)
+        .completed()
+        .unwrap();
+    let pmem = (emu.now() - t0).ps();
+    assert!(max_diff(&st.peek_grid(&emu, sweeps)) < 1e-12);
+
+    assert!(algo < ckpt, "algo {algo} !< ckpt {ckpt}");
+    assert!(ckpt < pmem, "ckpt {ckpt} !< pmem {pmem}");
+    let _ = native;
+}
+
+#[test]
+fn bicgstab_agrees_with_cg_on_spd_systems() {
+    // Cross-solver agreement: on an SPD system both Krylov methods must
+    // approach the same solution (the ones vector).
+    let class = CgClass::TEST;
+    let a = class.matrix(203);
+    let b = class.rhs(&a);
+    let bi = bicgstab_host(&a, &b, 25);
+    let cg = adcc::core::cg::cg_host(&a, &b, 25);
+    for (x, y) in bi.iter().zip(&cg) {
+        assert!((x - 1.0).abs() < 1e-6, "bicgstab off: {x}");
+        assert!((y - 1.0).abs() < 1e-6, "cg off: {y}");
+    }
+}

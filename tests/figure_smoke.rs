@@ -1,0 +1,96 @@
+//! Smoke tests over the figure runners: each produces a well-formed table
+//! whose key qualitative claim holds at reduced scale. (Full-scale tables
+//! are produced by `repro <figN>`; see EXPERIMENTS.md.)
+
+use adcc::harness::fig10::{compare, McDims};
+use adcc::harness::{ablation, fig3};
+use adcc::prelude::*;
+
+#[test]
+fn fig3_small_class_loses_all_iterations() {
+    // Class S fits in the volatile caches: the paper's "lose all 15".
+    let row = fig3::run_class(CgClass::S, 3);
+    assert_eq!(row.lost_iterations, 15);
+    assert!(row.detect_norm > 0.0);
+    assert!(row.resume_norm > 0.0);
+}
+
+#[test]
+fn fig10_fig12_contrast_holds() {
+    let dims = McDims {
+        nuclides: 36,
+        grid_points: 256,
+        lookups: 6_000,
+    };
+    let basic = compare(dims, McMode::Basic, 9);
+    let selective = compare(
+        dims,
+        McMode::Selective {
+            interval: dims.interval(),
+        },
+        9,
+    );
+    // Fig. 10: basic restart visibly wrong; Fig. 12: selective near-exact.
+    assert!(basic.max_deviation_pp() > 0.5, "basic must deviate visibly");
+    assert!(
+        selective.max_deviation_pp() < 0.2,
+        "selective must be near-exact"
+    );
+}
+
+#[test]
+fn ablation_tables_render() {
+    let t = ablation::undo_vs_redo();
+    let md = t.to_markdown();
+    assert!(md.contains("undo log"));
+    assert!(md.contains("redo log"));
+    let csv = t.to_csv();
+    assert!(csv.lines().count() >= 3);
+}
+
+#[test]
+fn ablation_rank_tradeoff_shape() {
+    // Smaller k => more temporal matrices (memory) and cheaper per-block
+    // recomputation.
+    let t = ablation::mm_rank_tradeoff(Scale::Quick);
+    assert_eq!(t.rows.len(), 3);
+    let mems: Vec<f64> = t.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+    assert!(
+        mems[0] >= mems[1] && mems[1] >= mems[2],
+        "temporal memory must fall as k grows: {mems:?}"
+    );
+}
+
+#[test]
+fn epoch_extension_beats_selective_under_small_caches() {
+    // The README's claim about the exact-restart extension, end to end.
+    let p = McProblem::generate(36, 128, 77);
+    let lookups = 3_000u64;
+    let cfg = SystemConfig::heterogeneous(4 << 10, 16 << 10, 16 << 20);
+
+    let reference = {
+        let mut sys = MemorySystem::new(cfg.clone());
+        let mc = McSim::setup(&mut sys, p.clone(), lookups, 4, McMode::Native);
+        let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        mc.run(&mut emu, 0, lookups).completed().unwrap();
+        mc.peek_counts(&emu)
+    };
+
+    let mut sys = MemorySystem::new(cfg.clone());
+    let mc = McSim::setup(
+        &mut sys,
+        p,
+        lookups,
+        4,
+        McMode::Epoch { interval: 100 },
+    );
+    let crash_at = 1_100u64;
+    let trig = CrashTrigger::AtSite {
+        site: CrashSite::new(adcc::core::mc::sites::PH_LOOKUP, crash_at),
+        occurrence: 1,
+    };
+    let mut emu = CrashEmulator::from_system(sys, trig);
+    let image = mc.run(&mut emu, 0, lookups).crashed().unwrap();
+    let rec = mc.recover_and_resume(&image, cfg, crash_at + 1);
+    assert_eq!(rec.counts, reference, "epoch recovery is exact");
+}

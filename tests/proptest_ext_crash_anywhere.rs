@@ -1,0 +1,152 @@
+//! Property tests for the extension kernels (DESIGN.md §5a): a crash at
+//! an arbitrary point must always be recoverable, and recovery must
+//! reproduce the crash-free result — for Jacobi, checksum-LU and the heat
+//! stencil, across random cache geometries.
+
+use proptest::prelude::*;
+
+use adcc::prelude::*;
+
+fn max_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Extended Jacobi: crash anywhere, recover, match the host reference.
+    #[test]
+    fn jacobi_recovers_from_any_crash_point(
+        accesses in 5_000u64..200_000,
+        cache_kb in 2usize..64,
+        seed in 0u64..1000,
+    ) {
+        let class = CgClass::TEST;
+        let a = class.matrix(seed);
+        let b = class.rhs(&a);
+        let iters = 8;
+        let reference = jacobi_host(&a, &b, iters);
+        let cfg = SystemConfig::nvm_only(cache_kb << 10, 64 << 20);
+
+        let mut sys = MemorySystem::new(cfg.clone());
+        let jac = ExtendedJacobi::setup(&mut sys, &a, &b, iters);
+        let trig = CrashTrigger::AtAccessCount(accesses);
+        let mut emu = CrashEmulator::from_system(sys, trig);
+        match jac.run(&mut emu, 0, iters) {
+            RunOutcome::Completed(()) => {
+                prop_assert!(max_diff(&jac.peek_solution(&emu), &reference) < 1e-10);
+            }
+            RunOutcome::Crashed(image) => {
+                let rec = jac.recover_and_resume(&image, cfg);
+                prop_assert!(
+                    max_diff(&rec.solution, &reference) < 1e-9,
+                    "recovered iterate off by {}",
+                    max_diff(&rec.solution, &reference)
+                );
+                prop_assert!(rec.report.lost_units <= iters as u64);
+            }
+        }
+    }
+
+    /// Checksum-LU: crash anywhere; the recovered factor is the host
+    /// factor and reconstructs the input.
+    #[test]
+    fn lu_recovers_from_any_crash_point(
+        accesses in 2_000u64..120_000,
+        cache_kb in 2usize..32,
+        seed in 0u64..1000,
+        bk in 2usize..6,
+    ) {
+        let n = 20;
+        let a = dominant_matrix(n, seed);
+        let want = lu_host(&a);
+        let cfg = SystemConfig::nvm_only(cache_kb << 10, 32 << 20);
+
+        let mut sys = MemorySystem::new(cfg.clone());
+        let lu = ChecksumLu::setup(&mut sys, &a, bk);
+        let trig = CrashTrigger::AtAccessCount(accesses);
+        let mut emu = CrashEmulator::from_system(sys, trig);
+        match lu.run(&mut emu, 0) {
+            RunOutcome::Completed(()) => {
+                prop_assert!(lu.peek_factor(&emu).max_abs_diff(&want) < 1e-10);
+            }
+            RunOutcome::Crashed(image) => {
+                let rec = lu.recover_and_resume(&image, cfg);
+                let diff = rec.factor.max_abs_diff(&want);
+                prop_assert!(diff < 1e-10, "recovered factor off by {diff}");
+                prop_assert!(rec.report.lost_units as usize <= lu.blocks());
+                // And it is a genuine factorization of the input.
+                let back = lu_reconstruct(&rec.factor);
+                prop_assert!(back.max_abs_diff(&a) < 1e-9);
+            }
+        }
+    }
+
+    /// Extended BiCGSTAB: crash anywhere, recover, match the host
+    /// reference (two-invariant detection).
+    #[test]
+    fn bicgstab_recovers_from_any_crash_point(
+        accesses in 5_000u64..250_000,
+        cache_kb in 2usize..64,
+        seed in 0u64..1000,
+    ) {
+        let class = CgClass::TEST;
+        let a = class.matrix(seed);
+        let b = class.rhs(&a);
+        let iters = 8;
+        let reference = bicgstab_host(&a, &b, iters);
+        let rho0: f64 = b.iter().map(|v| v * v).sum();
+        let cfg = SystemConfig::nvm_only(cache_kb << 10, 64 << 20);
+
+        let mut sys = MemorySystem::new(cfg.clone());
+        let bi = ExtendedBiCgStab::setup(&mut sys, &a, &b, iters);
+        let trig = CrashTrigger::AtAccessCount(accesses);
+        let mut emu = CrashEmulator::from_system(sys, trig);
+        match bi.run(&mut emu, 0, iters, rho0) {
+            RunOutcome::Completed(_) => {
+                prop_assert!(max_diff(&bi.peek_solution(&emu), &reference) < 1e-9);
+            }
+            RunOutcome::Crashed(image) => {
+                let rec = bi.recover_and_resume(&image, cfg);
+                prop_assert!(
+                    max_diff(&rec.solution, &reference) < 1e-8,
+                    "recovered iterate off by {}",
+                    max_diff(&rec.solution, &reference)
+                );
+                prop_assert!(rec.report.lost_units <= iters as u64);
+            }
+        }
+    }
+
+    /// Heat stencil (exact verification): crash anywhere; the recovered
+    /// grid is bitwise the crash-free grid.
+    #[test]
+    fn stencil_recovers_from_any_crash_point(
+        accesses in 2_000u64..150_000,
+        cache_kb in 2usize..32,
+        window in 3usize..5,
+    ) {
+        let (rows, cols, sweeps) = (14, 14, 9);
+        let reference = heat_host(rows, cols, sweeps);
+        let cfg = SystemConfig::nvm_only(cache_kb << 10, 64 << 20);
+
+        let mut sys = MemorySystem::new(cfg.clone());
+        let st = ExtendedStencil::setup(&mut sys, rows, cols, sweeps, window, 4);
+        let trig = CrashTrigger::AtAccessCount(accesses);
+        let mut emu = CrashEmulator::from_system(sys, trig);
+        match st.run(&mut emu, 0, sweeps) {
+            RunOutcome::Completed(()) => {
+                prop_assert!(max_diff(&st.peek_grid(&emu, sweeps), &reference) == 0.0);
+            }
+            RunOutcome::Crashed(image) => {
+                let rec = st.recover_and_resume(&image, cfg);
+                prop_assert!(
+                    max_diff(&rec.solution, &reference) == 0.0,
+                    "exact-mode recovery must be bitwise, off by {}",
+                    max_diff(&rec.solution, &reference)
+                );
+                prop_assert!(rec.report.lost_units <= sweeps as u64);
+            }
+        }
+    }
+}

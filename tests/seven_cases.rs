@@ -1,0 +1,86 @@
+//! Cross-crate invariants over the seven test cases: the cost ordering
+//! the paper's evaluation is built on must hold at any scale.
+
+use adcc::harness::{fig13, fig4, fig8};
+use adcc::harness::fig10::McDims;
+use adcc::prelude::*;
+
+#[test]
+fn cg_overhead_ordering() {
+    let class = CgClass::TEST;
+    let native = fig4::run_case(Case::Native, class, 1).loop_ps;
+    let algo = fig4::run_case(Case::AlgoNvm, class, 1).loop_ps;
+    let ckpt = fig4::run_case(Case::CkptNvm, class, 1).loop_ps;
+    let hdd = fig4::run_case(Case::CkptHdd, class, 1).loop_ps;
+    let pmem = fig4::run_case(Case::PmemNvm, class, 1).loop_ps;
+    assert!(native <= algo, "native {native} !<= algo {algo}");
+    assert!(algo < ckpt, "algo {algo} !< ckpt {ckpt}");
+    assert!(ckpt < pmem, "ckpt {ckpt} !< pmem {pmem}");
+    assert!(ckpt < hdd, "ckpt {ckpt} !< hdd {hdd}");
+}
+
+#[test]
+fn cg_hetero_checkpoint_costs_more_than_nvm_checkpoint_relatively() {
+    let class = CgClass::TEST;
+    let native_nvm = fig4::run_case(Case::Native, class, 2).loop_ps as f64;
+    let ckpt_nvm = fig4::run_case(Case::CkptNvm, class, 2).loop_ps as f64;
+    // Hetero normalized against its own native.
+    let hetero_pair = {
+        let a = class.matrix(2);
+        let b = class.rhs(&a);
+        let cfg = Platform::Hetero.cg_config(32 << 20);
+        let mut sys = MemorySystem::new(cfg);
+        let (cg, rho0) = PlainCg::setup(&mut sys, &a, &b, 15);
+        let t0 = sys.now();
+        let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        adcc::core::cg::variants::run_native(&mut emu, &cg, rho0)
+            .completed()
+            .unwrap();
+        let native_het = (emu.now() - t0).ps() as f64;
+        let ckpt_het = fig4::run_case(Case::CkptNvmDram, class, 2).loop_ps as f64;
+        (native_het, ckpt_het)
+    };
+    let overhead_nvm = ckpt_nvm / native_nvm - 1.0;
+    let overhead_het = hetero_pair.1 / hetero_pair.0 - 1.0;
+    assert!(
+        overhead_het > overhead_nvm,
+        "hetero ckpt {overhead_het:.3} should exceed NVM-only ckpt {overhead_nvm:.3}"
+    );
+}
+
+#[test]
+fn mm_overhead_ordering() {
+    let (n, k) = (32, 8);
+    let native = fig8::run_case(Case::Native, n, k, 1);
+    let ckpt = fig8::run_case(Case::CkptNvm, n, k, 1);
+    let pmem = fig8::run_case(Case::PmemNvm, n, k, 1);
+    assert!(ckpt > native);
+    assert!(pmem > ckpt);
+}
+
+#[test]
+fn mc_overhead_ordering() {
+    let dims = McDims {
+        nuclides: 36,
+        grid_points: 256,
+        lookups: 2_000,
+    };
+    let native = fig13::run_case(Case::Native, dims, 1);
+    let algo = fig13::run_case(Case::AlgoNvm, dims, 1);
+    let hdd = fig13::run_case(Case::CkptHdd, dims, 1);
+    assert!(algo >= native);
+    assert!(
+        (algo as f64) < native as f64 * 1.10,
+        "selective flushing must stay cheap: {algo} vs {native}"
+    );
+    assert!(hdd > 2 * native, "HDD checkpoints at 0.01% must be costly");
+}
+
+#[test]
+fn all_seven_cases_have_distinct_platform_assignment() {
+    let hetero: Vec<_> = Case::ALL
+        .iter()
+        .filter(|c| c.platform() == Platform::Hetero)
+        .collect();
+    assert_eq!(hetero.len(), 2, "cases 4 and 7 run on the hetero platform");
+}
