@@ -139,12 +139,11 @@ mod tests {
             cg.step();
         }
         let want = adcc_core::cg::cg_host(&a, &b, 7);
-        let diff = cg
-            .z
-            .iter()
-            .zip(&want)
-            .map(|(x, y)| (x - y).abs())
-            .fold(0.0, f64::max);
+        let diff =
+            cg.z.iter()
+                .zip(&want)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max);
         assert!(diff < 1e-12);
     }
 
@@ -164,12 +163,11 @@ mod tests {
             for _ in 0..5 {
                 mech.run_iteration(&mut cg);
             }
-            let diff = cg
-                .z
-                .iter()
-                .zip(&reference)
-                .map(|(x, y)| (x - y).abs())
-                .fold(0.0, f64::max);
+            let diff =
+                cg.z.iter()
+                    .zip(&reference)
+                    .map(|(x, y)| (x - y).abs())
+                    .fold(0.0, f64::max);
             assert!(diff < 1e-12);
         }
     }

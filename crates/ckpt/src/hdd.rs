@@ -88,7 +88,10 @@ impl HddCheckpoint {
             let mut done = 0usize;
             while done < len {
                 let take = LINE_SIZE.min(len - done);
-                sys.write_bytes(addr + done as u64, &slot.payload[off + done..off + done + take]);
+                sys.write_bytes(
+                    addr + done as u64,
+                    &slot.payload[off + done..off + done + take],
+                );
                 done += take;
             }
             off += len;

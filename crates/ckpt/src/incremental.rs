@@ -141,11 +141,7 @@ impl IncrementalCheckpoint {
 
     /// Re-attach after a crash. Dirty tracking was volatile, so all pages
     /// are conservatively dirty.
-    pub fn attach(
-        layout: IncrementalLayout,
-        regions: Vec<(u64, usize)>,
-        drain_dram: bool,
-    ) -> Self {
+    pub fn attach(layout: IncrementalLayout, regions: Vec<(u64, usize)>, drain_dram: bool) -> Self {
         let mut region_off = Vec::with_capacity(regions.len());
         let mut payload_bytes = 0usize;
         for &(_, len) in &regions {
@@ -378,8 +374,7 @@ impl IncrementalCheckpoint {
         let mut best = None;
         for s in 0..2u64 {
             let seq = image.read_u64(layout.header_base + s * (HDR_WORDS as u64 * 8));
-            let complete =
-                image.read_u64(layout.header_base + s * (HDR_WORDS as u64 * 8) + 8) == 1;
+            let complete = image.read_u64(layout.header_base + s * (HDR_WORDS as u64 * 8) + 8) == 1;
             if complete && seq > 0 {
                 best = best.max(Some(seq));
             }

@@ -27,11 +27,7 @@ pub struct CkptManager {
 
 impl CkptManager {
     /// NVM-backed manager sized for the registered regions.
-    pub fn new_nvm(
-        sys: &mut MemorySystem,
-        regions: Vec<(u64, usize)>,
-        drain_dram: bool,
-    ) -> Self {
+    pub fn new_nvm(sys: &mut MemorySystem, regions: Vec<(u64, usize)>, drain_dram: bool) -> Self {
         let total: usize = regions.iter().map(|r| r.1).sum();
         let mem = MemCheckpoint::new(sys, total.max(64), drain_dram);
         CkptManager {
@@ -98,10 +94,7 @@ mod tests {
         let mut s = MemorySystem::new(SystemConfig::nvm_only(4096, 1 << 20));
         let a = PArray::<f64>::alloc_nvm(&mut s, 16);
         a.store_slice(&mut s, &[2.0; 16]);
-        let mut m = CkptManager::new_hdd(
-            vec![(a.base(), a.byte_len())],
-            HddTiming::local_disk(),
-        );
+        let mut m = CkptManager::new_hdd(vec![(a.base(), a.byte_len())], HddTiming::local_disk());
         let seq = m.checkpoint(&mut s);
         a.fill(&mut s, 0.0);
         assert_eq!(m.restore(&mut s), Some(seq));

@@ -206,8 +206,7 @@ impl MemCheckpoint {
         let mut best = None;
         for s in 0..2u64 {
             let seq = image.read_u64(layout.header_base + s * (HDR_WORDS as u64 * 8));
-            let complete =
-                image.read_u64(layout.header_base + s * (HDR_WORDS as u64 * 8) + 8) == 1;
+            let complete = image.read_u64(layout.header_base + s * (HDR_WORDS as u64 * 8) + 8) == 1;
             if complete && seq > 0 {
                 best = best.max(Some(seq));
             }

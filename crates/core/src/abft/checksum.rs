@@ -133,11 +133,7 @@ pub fn verify_rows(
 /// Attempt single-element correction: if the report pinpoints exactly one
 /// element `(r, c)`, overwrite it with the value implied by its row
 /// checksum and re-verify. Returns whether the matrix is now consistent.
-pub fn correct_single(
-    sys: &mut MemorySystem,
-    mat: &PMatrix<f64>,
-    report: &ChecksumReport,
-) -> bool {
+pub fn correct_single(sys: &mut MemorySystem, mat: &PMatrix<f64>, report: &ChecksumReport) -> bool {
     if !report.is_single_error() {
         return false;
     }

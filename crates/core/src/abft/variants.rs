@@ -189,8 +189,7 @@ mod tests {
                     (emu.now() - t0).ps()
                 }
                 1 => {
-                    let mut mgr =
-                        CkptManager::new_nvm(&mut sys, mm_regions(&mm, &progress), false);
+                    let mut mgr = CkptManager::new_nvm(&mut sys, mm_regions(&mm, &progress), false);
                     let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
                     let t0 = emu.now();
                     run_with_ckpt(&mut emu, &mm, &progress, &mut mgr)

@@ -58,12 +58,7 @@ pub struct ExtendedBiCgStab {
 
 impl ExtendedBiCgStab {
     /// Full-history setup. `r̂ = b` and `x(0) = 0`, so `p(0) = r(0) = b`.
-    pub fn setup(
-        sys: &mut MemorySystem,
-        a_host: &CsrMatrix,
-        b_host: &[f64],
-        iters: usize,
-    ) -> Self {
+    pub fn setup(sys: &mut MemorySystem, a_host: &CsrMatrix, b_host: &[f64], iters: usize) -> Self {
         Self::setup_windowed(sys, a_host, b_host, iters, iters + 1)
     }
 
@@ -150,12 +145,10 @@ impl ExtendedBiCgStab {
             // s = r - alpha v
             simops::xpby(emu, r_i, -alpha, self.v, self.s);
             self.a.spmv(emu, self.s, self.t);
-            let omega =
-                simops::dot(emu, self.t, self.s) / simops::dot(emu, self.t, self.t);
+            let omega = simops::dot(emu, self.t, self.s) / simops::dot(emu, self.t, self.t);
             // x(i+1) = x + alpha p + omega s
             for j in 0..self.n {
-                let val =
-                    x_i.get(emu, j) + alpha * p_i.get(emu, j) + omega * self.s.get(emu, j);
+                let val = x_i.get(emu, j) + alpha * p_i.get(emu, j) + omega * self.s.get(emu, j);
                 x_next.set(emu, j, val);
             }
             emu.charge_flops(4 * self.n as u64);
@@ -168,8 +161,8 @@ impl ExtendedBiCgStab {
             let beta = (rho_new / rho) * (alpha / omega);
             // p(i+1) = r(i+1) + beta (p - omega v)
             for j in 0..self.n {
-                let val = r_next.get(emu, j)
-                    + beta * (p_i.get(emu, j) - omega * self.v.get(emu, j));
+                let val =
+                    r_next.get(emu, j) + beta * (p_i.get(emu, j) - omega * self.v.get(emu, j));
                 p_next.set(emu, j, val);
             }
             emu.charge_flops(4 * self.n as u64);
@@ -231,8 +224,7 @@ impl ExtendedBiCgStab {
         let mut err2 = 0.0f64;
         let mut ref2 = 0.0f64;
         for k in 0..self.n {
-            let want =
-                r_next.get(sys, k) + beta * (p_j.get(sys, k) - omega * self.v.get(sys, k));
+            let want = r_next.get(sys, k) + beta * (p_j.get(sys, k) - omega * self.v.get(sys, k));
             let got = p_next.get(sys, k);
             err2 += (want - got) * (want - got);
             ref2 += want * want;
@@ -248,7 +240,9 @@ impl ExtendedBiCgStab {
         let norm_b = simops::dot(sys, self.b, self.b).sqrt();
         let hi = crashed.min(self.iters - 1);
         let lo = (crashed + 1).saturating_sub(self.window.saturating_sub(1));
-        (lo..=hi).rev().find(|&j| self.check_residual(sys, j, norm_b) && self.check_direction(sys, j))
+        (lo..=hi)
+            .rev()
+            .find(|&j| self.check_residual(sys, j, norm_b) && self.check_direction(sys, j))
     }
 
     /// Full recovery: detect, rebuild the initial state if needed, resume

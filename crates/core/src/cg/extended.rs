@@ -221,7 +221,9 @@ impl ExtendedCg {
         // candidates.
         let hi = crashed.min(self.iters - 1);
         let lo = (crashed + 1).saturating_sub(self.window.saturating_sub(1));
-        (lo..=hi).rev().find(|&j| self.check_orthogonality(sys, j) && self.check_residual(sys, j, scratch, norm_b))
+        (lo..=hi).rev().find(|&j| {
+            self.check_orthogonality(sys, j) && self.check_residual(sys, j, scratch, norm_b)
+        })
     }
 
     /// `|p(j+1) · q(j)| <= TOL_ORTH * ||p(j+1)|| * ||q(j)||` (and the data
@@ -459,10 +461,7 @@ mod tests {
             let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
             let rho = cg.run(&mut emu, 0, 10, rho0).completed().unwrap();
             let sol = cg.peek_solution(&emu, rho);
-            assert!(
-                max_diff(&sol.z, &host) < 1e-10,
-                "window {window} diverged"
-            );
+            assert!(max_diff(&sol.z, &host) < 1e-10, "window {window} diverged");
         }
     }
 

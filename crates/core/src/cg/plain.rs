@@ -62,7 +62,12 @@ impl PlainCg {
     /// Seed the problem into simulated NVM and initialize
     /// `p = r = b, z = 0` (uncharged: input state). Returns the state and
     /// the initial `rho = bᵀb`.
-    pub fn setup(sys: &mut MemorySystem, a_host: &CsrMatrix, b_host: &[f64], iters: usize) -> (Self, f64) {
+    pub fn setup(
+        sys: &mut MemorySystem,
+        a_host: &CsrMatrix,
+        b_host: &[f64],
+        iters: usize,
+    ) -> (Self, f64) {
         let n = a_host.n();
         assert_eq!(b_host.len(), n);
         let a = SimCsr::seed_from(sys, a_host);

@@ -55,12 +55,7 @@ pub struct ExtendedJacobi {
 
 impl ExtendedJacobi {
     /// Full-history setup (`iters + 1` rows).
-    pub fn setup(
-        sys: &mut MemorySystem,
-        a_host: &CsrMatrix,
-        b_host: &[f64],
-        iters: usize,
-    ) -> Self {
+    pub fn setup(sys: &mut MemorySystem, a_host: &CsrMatrix, b_host: &[f64], iters: usize) -> Self {
         Self::setup_windowed(sys, a_host, b_host, iters, iters + 1)
     }
 

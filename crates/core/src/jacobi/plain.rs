@@ -59,12 +59,7 @@ pub struct PlainJacobi {
 impl PlainJacobi {
     /// Seed the problem into simulated NVM with `x = 0` (uncharged input
     /// state).
-    pub fn setup(
-        sys: &mut MemorySystem,
-        a_host: &CsrMatrix,
-        b_host: &[f64],
-        iters: usize,
-    ) -> Self {
+    pub fn setup(sys: &mut MemorySystem, a_host: &CsrMatrix, b_host: &[f64], iters: usize) -> Self {
         let n = a_host.n();
         assert_eq!(b_host.len(), n);
         let a = SimCsr::seed_from(sys, a_host);

@@ -78,9 +78,7 @@ pub fn run_with_pmem(
         for j in 0..jac.n {
             pool.tx_add_range(emu, jac.x.addr(j), 8);
             let v = jac.x.get(emu, j)
-                + super::OMEGA
-                    * jac.dinv.get(emu, j)
-                    * (jac.b.get(emu, j) - jac.ax.get(emu, j));
+                + super::OMEGA * jac.dinv.get(emu, j) * (jac.b.get(emu, j) - jac.ax.get(emu, j));
             jac.x.set(emu, j, v);
         }
         emu.charge_flops(4 * jac.n as u64);
@@ -166,7 +164,9 @@ mod tests {
         let mut pool = UndoPool::new(&mut sys, lines);
         let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
         let t0 = emu.now();
-        run_with_pmem(&mut emu, &jac, &mut pool).completed().unwrap();
+        run_with_pmem(&mut emu, &jac, &mut pool)
+            .completed()
+            .unwrap();
         let pmem_time = (emu.now() - t0).ps();
 
         assert!(max_diff(&jac.peek_solution(&emu), &jacobi_host(&a, &b, 5)) < 1e-12);

@@ -158,10 +158,7 @@ impl ChecksumLu {
         for c in cols.clone() {
             emu.persist_line(self.f.row(c).addr(self.n));
         }
-        emu.persist_range(
-            self.cs_u.addr(cols.start),
-            (cols.end - cols.start) * 8,
-        );
+        emu.persist_range(self.cs_u.addr(cols.start), (cols.end - cols.start) * 8);
         emu.sfence();
         if emu.poll(CrashSite::new(sites::PH_BLOCK_END, b as u64)) {
             return RunOutcome::Crashed(emu.crash_now());
@@ -202,8 +199,7 @@ impl ChecksumLu {
             if !(l_sum.is_finite() && u_sum.is_finite()) {
                 return LuBlockStatus::Inconsistent;
             }
-            if (l_sum - cs_l).abs() > TOL_CKSUM * scale
-                || (u_sum - cs_u).abs() > TOL_CKSUM * scale
+            if (l_sum - cs_l).abs() > TOL_CKSUM * scale || (u_sum - cs_u).abs() > TOL_CKSUM * scale
             {
                 return LuBlockStatus::Inconsistent;
             }
@@ -407,9 +403,7 @@ mod tests {
         let image = lu.run(&mut emu, 0).crashed().unwrap();
         let rec = lu.recover_and_resume(&image, big);
         assert!(
-            rec.statuses
-                .iter()
-                .any(|s| *s == LuBlockStatus::Inconsistent),
+            rec.statuses.contains(&LuBlockStatus::Inconsistent),
             "an 8 MiB cache must strand some completed blocks"
         );
         assert!(rec.factor.max_abs_diff(&lu_host(&a)) < 1e-10);

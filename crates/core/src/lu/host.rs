@@ -97,10 +97,7 @@ mod tests {
     fn dominant_matrix_is_dominant() {
         let m = dominant_matrix(40, 3);
         for i in 0..40 {
-            let off: f64 = (0..40)
-                .filter(|&j| j != i)
-                .map(|j| m.get(i, j).abs())
-                .sum();
+            let off: f64 = (0..40).filter(|&j| j != i).map(|j| m.get(i, j).abs()).sum();
             assert!(m.get(i, i) > off);
         }
     }
@@ -122,7 +119,7 @@ mod tests {
         let a = dominant_matrix(16, 9);
         let f = lu_host(&a);
         // b = A·1 so x = 1.
-        let ones = vec![1.0; 16];
+        let ones = [1.0; 16];
         let mut b = vec![0.0; 16];
         for i in 0..16 {
             b[i] = (0..16).map(|j| a.get(i, j) * ones[j]).sum();

@@ -68,7 +68,10 @@ impl EpochCounters {
         let base = sys.alloc_nvm(2 * adcc_sim::line::LINE_SIZE);
         EpochCounters {
             lo: PArray::new(base, Self::LO + 1),
-            hi: PArray::new(base + adcc_sim::line::LINE_SIZE as u64, XS_CHANNELS - Self::LO + 1),
+            hi: PArray::new(
+                base + adcc_sim::line::LINE_SIZE as u64,
+                XS_CHANNELS - Self::LO + 1,
+            ),
         }
     }
 
@@ -170,7 +173,9 @@ impl McSim {
     /// type via the paper's normalized-CDF extension.
     fn one_lookup(&self, sys: &mut MemorySystem, i: u64) -> usize {
         let e = unit_f64(sample(self.seed, i, 0));
-        let mat = self.problem.pick_material(unit_f64(sample(self.seed, i, 1)));
+        let mat = self
+            .problem
+            .pick_material(unit_f64(sample(self.seed, i, 1)));
         for c in 0..XS_CHANNELS {
             self.macro_xs.set(sys, c, 0.0);
         }
@@ -196,7 +201,9 @@ impl McSim {
         let total = cdf[XS_CHANNELS - 1];
         let x = unit_f64(sample(self.seed, i, 2));
         sys.charge_flops(2 * XS_CHANNELS as u64);
-        cdf.iter().position(|&c| x <= c / total).unwrap_or(XS_CHANNELS - 1)
+        cdf.iter()
+            .position(|&c| x <= c / total)
+            .unwrap_or(XS_CHANNELS - 1)
     }
 
     /// Flush the persistent MC state (macro_xs + counters + index).
@@ -446,7 +453,11 @@ mod tests {
         let want_total: u64 = want.iter().sum();
         assert_eq!(total, want_total, "total samples must match");
         assert_eq!(rec.counts, want, "selective flushing must preserve results");
-        assert!(rec.resumed_from >= 800, "resumed too early: {}", rec.resumed_from);
+        assert!(
+            rec.resumed_from >= 800,
+            "resumed too early: {}",
+            rec.resumed_from
+        );
         assert!(rec.report.lost_units <= 101);
     }
 

@@ -44,11 +44,7 @@ pub fn run_with_ckpt(
 
 /// Restore the newest checkpoint and replay to completion. Returns the
 /// lookup index resumed from.
-pub fn ckpt_restore_and_resume(
-    emu: &mut CrashEmulator,
-    mc: &McSim,
-    mgr: &mut CkptManager,
-) -> u64 {
+pub fn ckpt_restore_and_resume(emu: &mut CrashEmulator, mc: &McSim, mgr: &mut CkptManager) -> u64 {
     let resumed_from = match mgr.restore(emu) {
         Some(_) => mc.idx_cell.get(emu),
         None => {
@@ -171,7 +167,9 @@ mod tests {
         let mc = McSim::setup(&mut sys, p.clone(), lookups, 42, McMode::Native);
         let mut mgr = CkptManager::new_nvm(&mut sys, mc_regions(&mc), false);
         let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
-        run_with_ckpt(&mut emu, &mc, &mut mgr, 50).completed().unwrap();
+        run_with_ckpt(&mut emu, &mc, &mut mgr, 50)
+            .completed()
+            .unwrap();
         assert_eq!(mc.peek_counts(&emu), want);
     }
 

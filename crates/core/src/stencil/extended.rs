@@ -87,7 +87,10 @@ impl ExtendedStencil {
         window: usize,
         rb: usize,
     ) -> Self {
-        assert!(rows >= 3 && cols >= 3, "grid too small for a 5-point stencil");
+        assert!(
+            rows >= 3 && cols >= 3,
+            "grid too small for a 5-point stencil"
+        );
         assert!(window >= 3, "ring must hold at least 3 generations");
         assert!(rb >= 1, "row block must be positive");
         let mut row = vec![0.0f64; cols];

@@ -46,7 +46,10 @@ impl PlainStencil {
     /// Seed both buffers with the initial condition (uncharged input
     /// state; the boundary never changes afterwards).
     pub fn setup(sys: &mut MemorySystem, rows: usize, cols: usize, sweeps: usize) -> Self {
-        assert!(rows >= 3 && cols >= 3, "grid too small for a 5-point stencil");
+        assert!(
+            rows >= 3 && cols >= 3,
+            "grid too small for a 5-point stencil"
+        );
         let bufs = [
             PMatrix::<f64>::alloc_nvm(sys, rows, cols),
             PMatrix::<f64>::alloc_nvm(sys, rows, cols),

@@ -79,10 +79,7 @@ pub fn mc_flush_frequency(scale: Scale) -> Table {
     for (name, ps) in [
         ("no flushing", native),
         ("every iteration", every),
-        (
-            "every 0.01% of lookups (paper's policy)",
-            selective,
-        ),
+        ("every 0.01% of lookups (paper's policy)", selective),
     ] {
         let norm = ps as f64 / native as f64;
         t.row(vec![
@@ -138,8 +135,14 @@ pub fn undo_vs_redo() -> Table {
         "Ablation — undo vs redo logging (one transaction over a 4 KiB region)",
         &["scheme", "time (us)"],
     );
-    t.row(vec!["undo log".into(), format!("{:.1}", undo_ps as f64 / 1e6)]);
-    t.row(vec!["redo log".into(), format!("{:.1}", redo_ps as f64 / 1e6)]);
+    t.row(vec![
+        "undo log".into(),
+        format!("{:.1}", undo_ps as f64 / 1e6),
+    ]);
+    t.row(vec![
+        "redo log".into(),
+        format!("{:.1}", redo_ps as f64 / 1e6),
+    ]);
     t.note("Undo pays per-line ordering fences at snapshot time; redo defers them to commit.");
     t
 }

@@ -6,10 +6,10 @@
 //! whole-system persistence \[51\]), and the checkpoint-strategy family the
 //! paper's introduction surveys (\[1\]–\[10\]).
 
+use adcc_ckpt::diskless::{DisklessCheckpoint, ParityNode};
 use adcc_ckpt::incremental::IncrementalCheckpoint;
 use adcc_ckpt::mem::MemCheckpoint;
 use adcc_ckpt::multilevel::{MultilevelCheckpoint, RemoteStore, RemoteTiming};
-use adcc_ckpt::diskless::{DisklessCheckpoint, ParityNode};
 use adcc_core::cg::{sites as cg_sites, ExtendedCg};
 use adcc_core::lu::{dominant_matrix, ChecksumLu};
 use adcc_core::stencil::{ExtendedStencil, PlainStencil};
@@ -55,7 +55,9 @@ pub fn flush_instruction(scale: Scale) -> Table {
         let st = ExtendedStencil::setup(&mut sys, grid, grid, ext::STENCIL_SWEEPS, 3, 4);
         let t0 = sys.now();
         let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
-        st.run(&mut emu, 0, ext::STENCIL_SWEEPS).completed().unwrap();
+        st.run(&mut emu, 0, ext::STENCIL_SWEEPS)
+            .completed()
+            .unwrap();
         (emu.now() - t0).ps()
     };
 
@@ -131,7 +133,12 @@ pub fn replacement_policy(scale: Scale) -> Table {
 pub fn epoch_persistency() -> Table {
     let mut t = Table::new(
         "Ablation — serialized persists vs epoch barrier (checksum-flush pattern)",
-        &["lines per epoch", "serialized (us)", "epoch barrier (us)", "speedup"],
+        &[
+            "lines per epoch",
+            "serialized (us)",
+            "epoch barrier (us)",
+            "speedup",
+        ],
     );
     for &lines in &[4usize, 16, 64, 256] {
         let serialized = {
@@ -243,7 +250,12 @@ pub fn ckpt_strategies(scale: Scale) -> Table {
 
     let mut t = Table::new(
         format!("Ablation — checkpoint strategies on the {g}x{g} stencil (checkpoint every sweep)"),
-        &["strategy", "normalized time", "overhead", "mean ckpt cost (us)"],
+        &[
+            "strategy",
+            "normalized time",
+            "overhead",
+            "mean ckpt cost (us)",
+        ],
     );
     t.row(vec![
         "native (no checkpoint)".into(),
@@ -476,8 +488,14 @@ mod tests {
         for row in &t.rows {
             let vol: u64 = row[1].parse().unwrap();
             let bat: u64 = row[2].parse().unwrap();
-            assert!(bat <= vol, "battery {bat} must not lose more than volatile {vol}");
-            assert!(bat <= 1, "battery-backed recovery loses at most the in-flight iteration");
+            assert!(
+                bat <= vol,
+                "battery {bat} must not lose more than volatile {vol}"
+            );
+            assert!(
+                bat <= 1,
+                "battery-backed recovery loses at most the in-flight iteration"
+            );
         }
     }
 }

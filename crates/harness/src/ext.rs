@@ -42,7 +42,13 @@ pub fn jacobi_recompute(scale: Scale) -> Table {
     };
     let mut t = Table::new(
         "E1a — Jacobi recomputation cost vs input class (crash at iteration 15, NVM/DRAM platform)",
-        &["class", "n", "iterations lost", "detect (iters)", "resume (iters)"],
+        &[
+            "class",
+            "n",
+            "iterations lost",
+            "detect (iters)",
+            "resume (iters)",
+        ],
     );
     for class in classes {
         let a = class.matrix(1001);
@@ -69,8 +75,14 @@ pub fn jacobi_recompute(scale: Scale) -> Table {
             class.name.to_string(),
             class.n.to_string(),
             rec.report.lost_units.to_string(),
-            format!("{:.2}", rec.report.detect_time.ps() as f64 / per_iter.ps() as f64),
-            format!("{:.2}", rec.report.resume_time.ps() as f64 / per_iter.ps() as f64),
+            format!(
+                "{:.2}",
+                rec.report.detect_time.ps() as f64 / per_iter.ps() as f64
+            ),
+            format!(
+                "{:.2}",
+                rec.report.resume_time.ps() as f64 / per_iter.ps() as f64
+            ),
         ]);
     }
     t.note("Same mechanism as Fig. 3: small classes stay cached and lose everything; large classes lose ~1 iteration.");
@@ -79,7 +91,11 @@ pub fn jacobi_recompute(scale: Scale) -> Table {
 
 /// E1b: Jacobi runtime under the mechanisms (the Fig. 4 analogue).
 pub fn jacobi_runtime(scale: Scale) -> Table {
-    let class = if scale.is_quick() { CgClass::W } else { CgClass::B };
+    let class = if scale.is_quick() {
+        CgClass::W
+    } else {
+        CgClass::B
+    };
     let a = class.matrix(1002);
     let b = class.rhs(&a);
     let cap = jacobi_nvm_capacity(&a, JACOBI_ITERS);
@@ -99,7 +115,9 @@ pub fn jacobi_runtime(scale: Scale) -> Table {
                 let jac = PlainJacobi::setup(&mut sys, &a, &b, JACOBI_ITERS);
                 let t0 = sys.now();
                 let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
-                jacobi::variants::run_native(&mut emu, &jac).completed().unwrap();
+                jacobi::variants::run_native(&mut emu, &jac)
+                    .completed()
+                    .unwrap();
                 (emu.now() - t0).ps()
             }
             Case::CkptHdd => {
@@ -147,12 +165,17 @@ pub fn jacobi_runtime(scale: Scale) -> Table {
         let jac = PlainJacobi::setup(&mut sys, &a, &b, JACOBI_ITERS);
         let t0 = sys.now();
         let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
-        jacobi::variants::run_native(&mut emu, &jac).completed().unwrap();
+        jacobi::variants::run_native(&mut emu, &jac)
+            .completed()
+            .unwrap();
         (emu.now() - t0).ps()
     };
 
     let mut t = Table::new(
-        format!("E1b — Jacobi runtime with the seven mechanisms (class {})", class.name),
+        format!(
+            "E1b — Jacobi runtime with the seven mechanisms (class {})",
+            class.name
+        ),
         &["case", "platform", "normalized time", "overhead"],
     );
     for case in Case::ALL {
@@ -223,8 +246,14 @@ pub fn bicgstab_recompute(scale: Scale) -> Table {
             class.name.to_string(),
             class.n.to_string(),
             rec.report.lost_units.to_string(),
-            format!("{:.2}", rec.report.detect_time.ps() as f64 / per_iter.ps() as f64),
-            format!("{:.2}", rec.report.resume_time.ps() as f64 / per_iter.ps() as f64),
+            format!(
+                "{:.2}",
+                rec.report.detect_time.ps() as f64 / per_iter.ps() as f64
+            ),
+            format!(
+                "{:.2}",
+                rec.report.resume_time.ps() as f64 / per_iter.ps() as f64
+            ),
         ]);
     }
     t.note("Two SpMVs per candidate (residual identity + direction recurrence) instead of CG's one; the caching-effects shape is unchanged.");
@@ -268,7 +297,10 @@ pub fn lu_recompute(scale: Scale) -> Table {
             occurrence: 1,
         };
         let mut emu = CrashEmulator::from_system(sys, trig);
-        let image = luf.run(&mut emu, 0).crashed().expect("crash trigger must fire");
+        let image = luf
+            .run(&mut emu, 0)
+            .crashed()
+            .expect("crash trigger must fire");
         let rec = luf.recover_and_resume(&image, cfg);
         let stale = rec
             .statuses
@@ -280,8 +312,14 @@ pub fn lu_recompute(scale: Scale) -> Table {
             luf.blocks().to_string(),
             stale.to_string(),
             rec.report.lost_units.to_string(),
-            format!("{:.2}", rec.report.detect_time.ps() as f64 / per_block.ps() as f64),
-            format!("{:.2}", rec.report.resume_time.ps() as f64 / per_block.ps() as f64),
+            format!(
+                "{:.2}",
+                rec.report.detect_time.ps() as f64 / per_block.ps() as f64
+            ),
+            format!(
+                "{:.2}",
+                rec.report.resume_time.ps() as f64 / per_block.ps() as f64
+            ),
         ]);
     }
     t.note("Fig. 7's mechanism: bigger factors evict older blocks, so only the in-flight (and sometimes the newest completed) block is lost.");
@@ -302,7 +340,9 @@ pub fn lu_runtime(scale: Scale) -> Table {
         let luf = ChecksumLu::setup(&mut sys, &a, bk);
         let t0 = sys.now();
         let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
-        lu::variants::run_native(&mut emu, &luf).completed().unwrap();
+        lu::variants::run_native(&mut emu, &luf)
+            .completed()
+            .unwrap();
         (emu.now() - t0).ps()
     };
     let algo = {
@@ -401,8 +441,14 @@ pub fn stencil_recompute(scale: Scale) -> Table {
             rec.restart_from
                 .map(|s| s.to_string())
                 .unwrap_or_else(|| "scratch".into()),
-            format!("{:.2}", rec.report.detect_time.ps() as f64 / per_sweep.ps() as f64),
-            format!("{:.2}", rec.report.resume_time.ps() as f64 / per_sweep.ps() as f64),
+            format!(
+                "{:.2}",
+                rec.report.detect_time.ps() as f64 / per_sweep.ps() as f64
+            ),
+            format!(
+                "{:.2}",
+                rec.report.resume_time.ps() as f64 / per_sweep.ps() as f64
+            ),
         ]);
     }
     t.note("Grids larger than the volatile caches lose only the in-flight sweep; cached grids fall back to the initial condition.");
@@ -421,7 +467,9 @@ pub fn stencil_runtime(scale: Scale) -> Table {
         let st = PlainStencil::setup(&mut sys, g, g, STENCIL_SWEEPS);
         let t0 = sys.now();
         let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
-        stencil::variants::run_native(&mut emu, &st).completed().unwrap();
+        stencil::variants::run_native(&mut emu, &st)
+            .completed()
+            .unwrap();
         (emu.now() - t0).ps()
     };
     let algo = {

@@ -213,8 +213,8 @@ mod tests {
         // Selective flushing keeps results essentially exact.
         assert!(selective.max_deviation_pp() < 0.5);
         // The basic idea visibly loses counts.
-        let lost: i64 = basic.no_crash.iter().sum::<u64>() as i64
-            - basic.recovered.iter().sum::<u64>() as i64;
+        let lost: i64 =
+            basic.no_crash.iter().sum::<u64>() as i64 - basic.recovered.iter().sum::<u64>() as i64;
         assert!(lost > 0, "basic idea should lose counter updates");
     }
 }

@@ -6,8 +6,8 @@ use adcc_core::cg::variants::{run_native, run_with_ckpt, run_with_pmem};
 use adcc_core::cg::{ExtendedCg, PlainCg};
 use adcc_linalg::spd::CgClass;
 use adcc_pmem::undo::UndoPool;
-use adcc_sim::crash::{CrashEmulator, CrashTrigger};
 use adcc_sim::clock::Bucket;
+use adcc_sim::crash::{CrashEmulator, CrashTrigger};
 use adcc_sim::system::MemorySystem;
 use adcc_sim::timing::HddTiming;
 
@@ -157,9 +157,7 @@ pub fn run(scale: Scale) -> Table {
             pct_overhead(norm),
         ]);
     }
-    t.note(
-        "Paper: ckpt-hdd +60.4%, ckpt-nvm +4.2%, ckpt-nvm/dram +43.6%, pmem +329%, algo <3%.",
-    );
+    t.note("Paper: ckpt-hdd +60.4%, ckpt-nvm +4.2%, ckpt-nvm/dram +43.6%, pmem +329%, algo <3%.");
     t
 }
 

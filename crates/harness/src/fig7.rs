@@ -82,7 +82,9 @@ pub fn sizes_for(scale: Scale) -> (&'static [usize], usize) {
 pub fn run(scale: Scale) -> Table {
     let (sizes, k) = sizes_for(scale);
     let mut t = Table::new(
-        format!("Fig. 7 — ABFT-MM recomputation cost, two crash tests (k = {k}, NVM/DRAM platform)"),
+        format!(
+            "Fig. 7 — ABFT-MM recomputation cost, two crash tests (k = {k}, NVM/DRAM platform)"
+        ),
         &[
             "n",
             "crash in",

@@ -89,7 +89,9 @@ pub fn sizes_for(scale: Scale) -> (usize, &'static [usize]) {
 pub fn run(scale: Scale) -> Table {
     let (n, ranks) = sizes_for(scale);
     let mut t = Table::new(
-        format!("Fig. 8 — ABFT-MM runtime with the seven mechanisms (n = {n}, normalized per platform)"),
+        format!(
+            "Fig. 8 — ABFT-MM runtime with the seven mechanisms (n = {n}, normalized per platform)"
+        ),
         &["rank", "case", "platform", "normalized time", "overhead"],
     );
     for &k in ranks {

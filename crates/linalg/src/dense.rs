@@ -161,10 +161,7 @@ mod tests {
         let naive = a.mul_naive(&b);
         for rank in [1, 3, 8, 23, 64] {
             let blocked = a.mul_blocked(&b, rank);
-            assert!(
-                naive.max_abs_diff(&blocked) < 1e-10,
-                "rank {rank} diverged"
-            );
+            assert!(naive.max_abs_diff(&blocked) < 1e-10, "rank {rank} diverged");
         }
     }
 

@@ -79,13 +79,7 @@ pub fn dot(sys: &mut MemorySystem, a: PArray<f64>, b: PArray<f64>) -> f64 {
 }
 
 /// out = x + beta * y over simulated arrays.
-pub fn xpby(
-    sys: &mut MemorySystem,
-    x: PArray<f64>,
-    beta: f64,
-    y: PArray<f64>,
-    out: PArray<f64>,
-) {
+pub fn xpby(sys: &mut MemorySystem, x: PArray<f64>, beta: f64, y: PArray<f64>, out: PArray<f64>) {
     assert_eq!(x.len(), y.len());
     assert_eq!(x.len(), out.len());
     for i in 0..x.len() {
@@ -164,7 +158,12 @@ mod tests {
         let t0 = s.now();
         sa.spmv(&mut s, x, y);
         assert!(s.now() > t0);
-        assert!(s.clock().bucket_total(adcc_sim::clock::Bucket::Compute).ps() > 0);
+        assert!(
+            s.clock()
+                .bucket_total(adcc_sim::clock::Bucket::Compute)
+                .ps()
+                > 0
+        );
     }
 
     #[test]

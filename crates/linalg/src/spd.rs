@@ -53,13 +53,7 @@ impl CgClass {
     };
 
     /// All classes, smallest to largest (the x-axis of the paper's Fig. 3).
-    pub const ALL: [CgClass; 5] = [
-        CgClass::S,
-        CgClass::W,
-        CgClass::A,
-        CgClass::B,
-        CgClass::C,
-    ];
+    pub const ALL: [CgClass; 5] = [CgClass::S, CgClass::W, CgClass::A, CgClass::B, CgClass::C];
 
     /// A tiny class for unit tests.
     pub const TEST: CgClass = CgClass {
@@ -89,8 +83,7 @@ impl CgClass {
 pub fn random_spd(n: usize, extras_per_row: usize, seed: u64) -> CsrMatrix {
     assert!(n >= 2);
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut triplets: Vec<(u32, u32, f64)> =
-        Vec::with_capacity(n * (2 * extras_per_row + 1));
+    let mut triplets: Vec<(u32, u32, f64)> = Vec::with_capacity(n * (2 * extras_per_row + 1));
     // Off-diagonal symmetric pairs.
     for i in 1..n as u32 {
         for _ in 0..extras_per_row {
@@ -137,10 +130,7 @@ mod tests {
                     off += a.vals()[k].abs();
                 }
             }
-            assert!(
-                diag > off,
-                "row {i} not dominant: diag {diag} <= off {off}"
-            );
+            assert!(diag > off, "row {i} not dominant: diag {diag} <= off {off}");
         }
     }
 

@@ -19,7 +19,9 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len());
     if x.len() >= PAR_THRESHOLD {
-        y.par_iter_mut().zip(x).for_each(|(yi, xi)| *yi += alpha * xi);
+        y.par_iter_mut()
+            .zip(x)
+            .for_each(|(yi, xi)| *yi += alpha * xi);
     } else {
         for (yi, xi) in y.iter_mut().zip(x) {
             *yi += alpha * xi;

@@ -156,10 +156,7 @@ mod tests {
             PersistentHeap::lookup_in_image(base, 8, &img, "state"),
             Some((0x4000, 64))
         );
-        assert_eq!(
-            PersistentHeap::lookup_in_image(base, 8, &img, "gone"),
-            None
-        );
+        assert_eq!(PersistentHeap::lookup_in_image(base, 8, &img, "gone"), None);
     }
 
     #[test]

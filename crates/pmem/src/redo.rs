@@ -194,7 +194,10 @@ mod tests {
         pool.tx_stage_line(&mut s, data.base(), &newline);
         pool.tx_commit(&mut s);
         let img = s.crash();
-        assert_eq!(img.read_f64_array(&PArray::<f64>::new(data.base(), 0)), vec![]);
+        assert_eq!(
+            img.read_f64_array(&PArray::<f64>::new(data.base(), 0)),
+            vec![]
+        );
         assert_eq!(img.read_u64(data.addr(7)), 3);
     }
 

@@ -23,7 +23,7 @@ use std::collections::HashSet;
 
 use adcc_sim::clock::Bucket;
 use adcc_sim::image::NvmImage;
-use adcc_sim::line::{line_of, LINE_SIZE, LINE_SHIFT};
+use adcc_sim::line::{line_of, LINE_SHIFT, LINE_SIZE};
 use adcc_sim::parray::{PArray, PScalar};
 use adcc_sim::system::MemorySystem;
 

@@ -4,7 +4,7 @@
 //! it holds when volatile levels are discarded is exactly what a recovery
 //! process can observe.
 
-use crate::line::{LINE_SIZE, LINE_SHIFT};
+use crate::line::{LINE_SHIFT, LINE_SIZE};
 
 /// A flat byte store with a base address.
 pub struct Backing {

@@ -94,7 +94,10 @@ impl CrashEmulator {
         }
         let fire = match self.trigger {
             CrashTrigger::Never => false,
-            CrashTrigger::AtSite { site: s, occurrence } => {
+            CrashTrigger::AtSite {
+                site: s,
+                occurrence,
+            } => {
                 if s == site {
                     self.site_hits += 1;
                     self.site_hits >= occurrence

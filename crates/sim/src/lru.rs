@@ -405,7 +405,9 @@ mod tests {
         c.insert(4, data(4), false);
         // Touch 0 so 4 becomes LRU.
         assert!(c.lookup(0).is_some());
-        let v = c.insert(8, data(8), false).expect("set full, victim evicted");
+        let v = c
+            .insert(8, data(8), false)
+            .expect("set full, victim evicted");
         assert_eq!(v.line, 4);
         assert!(c.lookup(0).is_some());
         assert!(c.lookup(8).is_some());

@@ -21,9 +21,7 @@ use crate::alloc::Bump;
 use crate::backing::Backing;
 use crate::clock::{Bucket, SimClock, SimTime};
 use crate::image::NvmImage;
-use crate::line::{
-    is_dram_addr, line_of, LINE_SHIFT, LINE_SIZE, DRAM_BASE,
-};
+use crate::line::{is_dram_addr, line_of, DRAM_BASE, LINE_SHIFT, LINE_SIZE};
 use crate::lru::{CacheConfig, SetAssocCache, Victim};
 use crate::stats::MemStats;
 use crate::timing::{PlatformTiming, StreamDetector};
@@ -945,8 +943,7 @@ mod tests {
 
     #[test]
     fn persistent_caches_on_hetero_drain_both_levels() {
-        let cfg =
-            SystemConfig::heterogeneous(4096, 16384, 1 << 20).with_persistent_caches(true);
+        let cfg = SystemConfig::heterogeneous(4096, 16384, 1 << 20).with_persistent_caches(true);
         let mut s = MemorySystem::new(cfg);
         let a = s.alloc_nvm(128);
         s.write_bytes(a, &[1; 8]);

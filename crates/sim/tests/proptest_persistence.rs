@@ -72,11 +72,7 @@ impl RefModel {
     }
 }
 
-fn run_scenario(
-    sys_cfg: SystemConfig,
-    ops: &[Op],
-    hetero: bool,
-) -> Result<(), TestCaseError> {
+fn run_scenario(sys_cfg: SystemConfig, ops: &[Op], hetero: bool) -> Result<(), TestCaseError> {
     let mut sys = MemorySystem::new(sys_cfg);
     // One u64 per line so per-slot persistence is exactly per-line.
     let arr = PArray::<u64>::alloc_nvm(&mut sys, SLOTS * 8);

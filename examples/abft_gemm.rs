@@ -16,7 +16,10 @@ fn main() {
     let a = Matrix::random(n, n, 7);
     let b = Matrix::random(n, n, 8);
     let want = a.mul_blocked(&b, 32);
-    println!("ABFT GEMM: n = {n}, rank k = {k}, {} sub-matrix products", n / k);
+    println!(
+        "ABFT GEMM: n = {n}, rank k = {k}, {} sub-matrix products",
+        n / k
+    );
 
     let capacity = (n / k + 2) * (n + 1) * (n + 1) * 8 + (8 << 20);
     let cfg = Platform::Hetero.mm_config(capacity);

@@ -37,7 +37,13 @@ fn main() {
 
     // --- 3. Two-level: local NVM + remote node --------------------------
     let mut remote = RemoteStore::new();
-    let mut ml = MultilevelCheckpoint::new(&mut sys, x.byte_len(), false, 2, RemoteTiming::burst_buffer());
+    let mut ml = MultilevelCheckpoint::new(
+        &mut sys,
+        x.byte_len(),
+        false,
+        2,
+        RemoteTiming::burst_buffer(),
+    );
     ml.checkpoint(&mut sys, &regions, &mut remote); // local only
     let r = ml.checkpoint(&mut sys, &regions, &mut remote); // local + remote
     println!(

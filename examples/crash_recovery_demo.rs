@@ -5,16 +5,17 @@
 //! Run with: `cargo run --release --example crash_recovery_demo`
 
 use adcc::ckpt::manager::CkptManager;
-use adcc::core::cg::variants::{
-    ckpt_restore_and_resume, run_native, run_with_ckpt, run_with_pmem,
-};
+use adcc::core::cg::variants::{ckpt_restore_and_resume, run_native, run_with_ckpt, run_with_pmem};
 use adcc::core::cg::{plain::cg_host, sites};
 use adcc::harness::report::pct_overhead;
 use adcc::prelude::*;
 use adcc::sim::timing::HddTiming;
 
 fn max_diff(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
 }
 
 fn main() {
@@ -31,8 +32,8 @@ fn main() {
         iters
     );
     println!(
-        "{:<16} {:>12} {:>10}   {}",
-        "mechanism", "loop time", "overhead", "recovery"
+        "{:<16} {:>12} {:>10}   recovery",
+        "mechanism", "loop time", "overhead"
     );
 
     // Per-platform native baselines (the heterogeneous platform's NVM is
@@ -82,7 +83,11 @@ fn main() {
                 let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
                 run_native(&mut emu, &cg, rho0).completed().unwrap();
                 let t = (emu.now() - t0).ps();
-                (t, "none (restart from scratch)".into(), cg.peek_solution(&emu))
+                (
+                    t,
+                    "none (restart from scratch)".into(),
+                    cg.peek_solution(&emu),
+                )
             }
             Case::CkptHdd | Case::CkptNvm | Case::CkptNvmDram => {
                 let mut sys = MemorySystem::new(cfg.clone());
@@ -91,11 +96,9 @@ fn main() {
                     Case::CkptHdd => {
                         CkptManager::new_hdd(cg.ckpt_regions(), HddTiming::local_disk())
                     }
-                    _ => CkptManager::new_nvm(
-                        &mut sys,
-                        cg.ckpt_regions(),
-                        case == Case::CkptNvmDram,
-                    ),
+                    _ => {
+                        CkptManager::new_nvm(&mut sys, cg.ckpt_regions(), case == Case::CkptNvmDram)
+                    }
                 };
                 let t0 = sys.now();
                 let mut emu = CrashEmulator::from_system(sys, trigger);
@@ -108,7 +111,10 @@ fn main() {
                 let (_, re) = ckpt_restore_and_resume(&mut emu2, &cg, rho0, &mut mgr);
                 (
                     crash_time * iters as u64 / 10,
-                    format!("restore newest checkpoint, {} iters re-run", re + 10 - iters as u64),
+                    format!(
+                        "restore newest checkpoint, {} iters re-run",
+                        re + 10 - iters as u64
+                    ),
                     cg.peek_solution(&emu2),
                 )
             }
@@ -127,7 +133,11 @@ fn main() {
                 let mut sys2 = MemorySystem::from_image(cfg, &image);
                 let rolled = UndoPool::recover(layout, &mut sys2);
                 let done = cg.iter_cell.get(&mut sys2) as usize;
-                let mut rho = if done == 0 { rho0 } else { cg.rho_cell.get(&mut sys2) };
+                let mut rho = if done == 0 {
+                    rho0
+                } else {
+                    cg.rho_cell.get(&mut sys2)
+                };
                 let mut emu2 = CrashEmulator::from_system(sys2, CrashTrigger::Never);
                 for _ in done..iters {
                     rho = cg.step(&mut emu2, rho);

@@ -28,11 +28,17 @@ fn main() {
         occurrence: 10, // the 10th completion of block #1 is in sweep 9
     };
     let mut emu = CrashEmulator::from_system(sys, trigger);
-    let image = st.run(&mut emu, 0, sweeps).crashed().expect("trigger fires");
+    let image = st
+        .run(&mut emu, 0, sweeps)
+        .crashed()
+        .expect("trigger fires");
 
     let rec = st.recover_and_resume(&image, cfg);
     match rec.restart_from {
-        Some(s) => println!("newest verifiable generation: sweep {s} -> resumed at sweep {}", s + 1),
+        Some(s) => println!(
+            "newest verifiable generation: sweep {s} -> resumed at sweep {}",
+            s + 1
+        ),
         None => println!("no generation verified -> restarted from the initial condition"),
     }
     println!(

@@ -9,7 +9,12 @@ use adcc::core::mc::sites;
 use adcc::core::mc::XS_CHANNELS;
 use adcc::prelude::*;
 
-fn run_mode(p: &McProblem, lookups: u64, mode: McMode, crash_at: Option<u64>) -> [u64; XS_CHANNELS] {
+fn run_mode(
+    p: &McProblem,
+    lookups: u64,
+    mode: McMode,
+    crash_at: Option<u64>,
+) -> [u64; XS_CHANNELS] {
     let cfg = Platform::Hetero.mc_config(p.grid_bytes() + (4 << 20));
     let mut sys = MemorySystem::new(cfg.clone());
     let mc = McSim::setup(&mut sys, p.clone(), lookups, 2024, mode);
@@ -59,18 +64,12 @@ fn main() {
     println!("basic idea (flush loop index only):");
     let basic = run_mode(&p, lookups, McMode::Basic, Some(crash_at));
     print_counts("crash + restart (basic)", &basic, lookups);
-    let lost: i64 =
-        reference.iter().sum::<u64>() as i64 - basic.iter().sum::<u64>() as i64;
+    let lost: i64 = reference.iter().sum::<u64>() as i64 - basic.iter().sum::<u64>() as i64;
     println!("  -> {lost} counter updates were stranded in volatile caches and lost");
 
     println!("selective flushing (counters + macro_xs + index every 0.01%):");
     let interval = (lookups / 10_000).max(20);
-    let selective = run_mode(
-        &p,
-        lookups,
-        McMode::Selective { interval },
-        Some(crash_at),
-    );
+    let selective = run_mode(&p, lookups, McMode::Selective { interval }, Some(crash_at));
     print_counts("crash + restart (selective)", &selective, lookups);
     assert_eq!(
         selective, reference,

@@ -54,8 +54,8 @@ pub use adcc_sim as sim;
 pub mod prelude {
     pub use adcc_ckpt::manager::CkptManager;
     pub use adcc_ckpt::{
-        DisklessCheckpoint, IncrementalCheckpoint, MemCheckpoint, MultilevelCheckpoint,
-        ParityNode, RemoteStore, RemoteTiming,
+        DisklessCheckpoint, IncrementalCheckpoint, MemCheckpoint, MultilevelCheckpoint, ParityNode,
+        RemoteStore, RemoteTiming,
     };
     pub use adcc_core::abft::{OriginalAbft, TwoLoopAbft};
     pub use adcc_core::bicgstab::{bicgstab_host, ExtendedBiCgStab};

@@ -1,0 +1,63 @@
+//! Guard against example rot: every `examples/*.rs` must compile, and the
+//! set of examples must stay in sync with this list (so a renamed or
+//! deleted example fails loudly here instead of silently dropping out of
+//! the docs).
+//!
+//! The compile check shells out to the same `cargo` running this test and
+//! shares its target directory, so in CI (which has already built the
+//! workspace) it is nearly free.
+
+use std::path::Path;
+use std::process::Command;
+
+const EXPECTED_EXAMPLES: &[&str] = &[
+    "abft_gemm",
+    "bicgstab_solver",
+    "cg_solver",
+    "checkpoint_strategies",
+    "crash_recovery_demo",
+    "heat_stencil",
+    "lu_factorization",
+    "mc_transport",
+    "quickstart",
+];
+
+fn manifest_dir() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn example_listing_is_in_sync() {
+    let mut on_disk: Vec<String> = std::fs::read_dir(manifest_dir().join("examples"))
+        .expect("examples/ directory exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "rs"))
+        .map(|p| {
+            p.file_stem()
+                .expect("example has a file stem")
+                .to_string_lossy()
+                .into_owned()
+        })
+        .collect();
+    on_disk.sort();
+    assert_eq!(
+        on_disk, EXPECTED_EXAMPLES,
+        "examples/ directory and EXPECTED_EXAMPLES diverged; update both this \
+         list and any docs referencing the example set"
+    );
+}
+
+#[test]
+fn all_examples_compile() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let output = Command::new(cargo)
+        .args(["build", "--examples", "--quiet"])
+        .current_dir(manifest_dir())
+        .output()
+        .expect("cargo is runnable from a test");
+    assert!(
+        output.status.success(),
+        "`cargo build --examples` failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}

@@ -29,7 +29,9 @@ fn jacobi_mechanism_ordering_and_agreement() {
     let jac = PlainJacobi::setup(&mut sys, &a, &b, iters);
     let t0 = sys.now();
     let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
-    jacobi::variants::run_native(&mut emu, &jac).completed().unwrap();
+    jacobi::variants::run_native(&mut emu, &jac)
+        .completed()
+        .unwrap();
     let native = (emu.now() - t0).ps();
     assert!(max_diff(&jac.peek_solution(&emu)) < 1e-12);
 
@@ -86,7 +88,9 @@ fn lu_mechanism_ordering_and_agreement() {
             "native" => {
                 let t0 = sys.now();
                 let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
-                lu::variants::run_native(&mut emu, &luf).completed().unwrap();
+                lu::variants::run_native(&mut emu, &luf)
+                    .completed()
+                    .unwrap();
                 assert!(luf.peek_factor(&emu).max_abs_diff(&want) < 1e-10);
                 (emu.now() - t0).ps()
             }
@@ -146,7 +150,9 @@ fn stencil_mechanism_ordering_and_agreement() {
     let st = PlainStencil::setup(&mut sys, g, g, sweeps);
     let t0 = sys.now();
     let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
-    stencil::variants::run_native(&mut emu, &st).completed().unwrap();
+    stencil::variants::run_native(&mut emu, &st)
+        .completed()
+        .unwrap();
     let native = (emu.now() - t0).ps();
     assert!(max_diff(&st.peek_grid(&emu, sweeps)) < 1e-12);
 

@@ -77,13 +77,7 @@ fn epoch_extension_beats_selective_under_small_caches() {
     };
 
     let mut sys = MemorySystem::new(cfg.clone());
-    let mc = McSim::setup(
-        &mut sys,
-        p,
-        lookups,
-        4,
-        McMode::Epoch { interval: 100 },
-    );
+    let mc = McSim::setup(&mut sys, p, lookups, 4, McMode::Epoch { interval: 100 });
     let crash_at = 1_100u64;
     let trig = CrashTrigger::AtSite {
         site: CrashSite::new(adcc::core::mc::sites::PH_LOOKUP, crash_at),

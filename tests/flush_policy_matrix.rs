@@ -8,7 +8,10 @@ use adcc::core::cg::cg_host;
 use adcc::prelude::*;
 
 fn max_diff(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
 }
 
 /// persist_range + crash preserves data under every (flush op, policy)
@@ -153,7 +156,7 @@ proptest! {
         // exactly the live value; eviction may update it further. The
         // checkable invariant: NVM never holds a value that was never
         // written.
-        let mut live = vec![0u8; 16];
+        let mut live = [0u8; 16];
         let mut history: Vec<std::collections::HashSet<u8>> =
             vec![[0u8].into_iter().collect(); 16];
         for (kind, line, val) in &ops {

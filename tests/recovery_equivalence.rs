@@ -7,7 +7,10 @@ use adcc::core::mc::sites as mc_sites;
 use adcc::prelude::*;
 
 fn max_diff(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
 }
 
 #[test]
@@ -44,7 +47,7 @@ fn cg_recovery_equivalent_at_every_instrumented_site() {
                 diff < 1e-9,
                 "phase {phase} iter {crash_iter}: diverged by {diff}"
             );
-            assert!(rec.report.lost_units as u64 <= crash_iter + 1);
+            assert!(rec.report.lost_units <= crash_iter + 1);
         }
     }
 }
@@ -79,7 +82,10 @@ fn abft_recovery_equivalent_at_every_block() {
     let want = a.mul_naive(&b);
     let cfg = SystemConfig::nvm_only(4 << 10, 32 << 20);
 
-    for (phase, max_idx) in [(mm_sites::PH_LOOP1, n / k), (mm_sites::PH_LOOP2, (n + 1) / k)] {
+    for (phase, max_idx) in [
+        (mm_sites::PH_LOOP1, n / k),
+        (mm_sites::PH_LOOP2, (n + 1) / k),
+    ] {
         for idx in 0..max_idx as u64 {
             let mut sys = MemorySystem::new(cfg.clone());
             let mm = TwoLoopAbft::setup(&mut sys, &a, &b, k);
@@ -114,13 +120,7 @@ fn mc_selective_recovery_exact_on_heterogeneous_platform() {
 
     // Crash + selective recovery.
     let mut sys = MemorySystem::new(cfg.clone());
-    let mc = McSim::setup(
-        &mut sys,
-        p,
-        lookups,
-        5,
-        McMode::Selective { interval: 100 },
-    );
+    let mc = McSim::setup(&mut sys, p, lookups, 5, McMode::Selective { interval: 100 });
     let crash_at = 777u64;
     let trig = CrashTrigger::AtSite {
         site: CrashSite::new(mc_sites::PH_LOOKUP, crash_at),
@@ -172,7 +172,11 @@ fn pmem_transactional_cg_recovers_through_undo_log() {
     let mut sys2 = MemorySystem::from_image(cfg, &image);
     UndoPool::recover(layout, &mut sys2);
     let done = cg.iter_cell.get(&mut sys2) as usize;
-    let mut rho = if done == 0 { rho0 } else { cg.rho_cell.get(&mut sys2) };
+    let mut rho = if done == 0 {
+        rho0
+    } else {
+        cg.rho_cell.get(&mut sys2)
+    };
     let mut emu2 = CrashEmulator::from_system(sys2, CrashTrigger::Never);
     for _ in done..iters {
         rho = cg.step(&mut emu2, rho);

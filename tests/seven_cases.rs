@@ -1,8 +1,8 @@
 //! Cross-crate invariants over the seven test cases: the cost ordering
 //! the paper's evaluation is built on must hold at any scale.
 
-use adcc::harness::{fig13, fig4, fig8};
 use adcc::harness::fig10::McDims;
+use adcc::harness::{fig13, fig4, fig8};
 use adcc::prelude::*;
 
 #[test]

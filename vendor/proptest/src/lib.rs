@@ -1,0 +1,44 @@
+//! Minimal property-testing stand-in for `proptest` (this build environment
+//! has no registry access; see `vendor/README.md`).
+//!
+//! Implements the slice of the API this workspace uses:
+//!
+//! * [`Strategy`] with `prop_map`, `prop_filter`, `boxed`;
+//! * strategies for integer/float ranges, tuples, [`Just`], `any::<T>()`,
+//!   [`collection::vec`], [`sample::select`], weighted unions
+//!   ([`prop_oneof!`]);
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//!   `prop_assert!`, `prop_assert_eq!`, `prop_assume!`;
+//! * a runner with env-tunable case counts (`PROPTEST_CASES`), single-seed
+//!   replay (`PROPTEST_SEED`), and failure persistence into
+//!   `proptest-regressions/<test_name>.seeds`.
+//!
+//! The deliberate omission is **shrinking**: a failing case reports the seed
+//! that produced it (replayable via `PROPTEST_SEED`) instead of a minimised
+//! input. Everything is deterministic: case `i` of test `t` derives its seed
+//! from `hash(t, i)`, so CI failures reproduce locally without flakes.
+
+pub mod arbitrary;
+pub mod collection;
+mod macros;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::sample;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{
+        Config as ProptestConfig, TestCaseError, TestCaseResult, TestRng,
+    };
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// `prop::collection::vec(..)` / `prop::sample::select(..)` paths.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}

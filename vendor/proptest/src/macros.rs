@@ -1,0 +1,146 @@
+//! The `proptest!` entry-point macro and the in-case assertion macros.
+
+/// Define property tests. Supports the two shapes the workspace uses:
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///
+///     #[test]
+///     fn my_property(x in 0usize..10, ys in prop::collection::vec(any::<u64>(), 1..5)) {
+///         prop_assert!(x < 10);
+///         prop_assert!(!ys.is_empty());
+///     }
+/// }
+/// ```
+///
+/// Each case body runs inside a closure returning
+/// [`TestCaseResult`](crate::test_runner::TestCaseResult), so `?` on
+/// helper functions returning `Result<(), TestCaseError>` works, as do the
+/// `prop_assert*`/`prop_assume!` macros.
+// The doctest deliberately shows a `#[test]` inside `proptest!` — that is
+// the macro's contract — so the doctest-runs-nothing lint is expected here.
+#[allow(clippy::test_attr_in_doctest)]
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($tail:tt)*) => {
+        $crate::__proptest_tests! { @cfg($cfg) $($tail)* }
+    };
+    ($($tail:tt)*) => {
+        $crate::__proptest_tests! { @cfg($crate::test_runner::Config::default()) $($tail)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($tail:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let test_name = concat!(module_path!(), "::", stringify!($name));
+            $crate::test_runner::run(&config, test_name, |rng| {
+                $(
+                    let $pat = match $crate::strategy::Strategy::generate(&($strat), rng) {
+                        ::std::option::Option::Some(v) => v,
+                        ::std::option::Option::None => {
+                            return ::std::result::Result::Err(
+                                $crate::test_runner::TestCaseError::reject("strategy filter"),
+                            )
+                        }
+                    };
+                )+
+                let result: $crate::test_runner::TestCaseResult = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                result
+            });
+        }
+        $crate::__proptest_tests! { @cfg($cfg) $($tail)* }
+    };
+}
+
+/// Like `assert!`, but fails the surrounding proptest case (reporting its
+/// replay seed) instead of unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Like `assert_eq!` for proptest cases.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`",
+            *l,
+            *r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            *l,
+            *r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Like `assert_ne!` for proptest cases.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`",
+            *l,
+            *r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            *l,
+            *r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Discard this case (doesn't count towards the case target) unless the
+/// precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

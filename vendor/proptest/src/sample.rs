@@ -1,0 +1,23 @@
+//! `prop::sample::select` stand-in.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+/// Uniformly pick one of the given options.
+pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select() needs at least one option");
+    Select { options }
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        let i = (rng.gen_u64() % self.options.len() as u64) as usize;
+        Some(self.options[i].clone())
+    }
+}

@@ -1,0 +1,79 @@
+//! Sequential stand-in for `rayon` (this build environment has no registry
+//! access; see `vendor/README.md`).
+//!
+//! The `par_*` slice methods return the corresponding *sequential* std
+//! iterators, so every adapter chain written against rayon's
+//! `IndexedParallelIterator` (`zip`, `map`, `enumerate`, `for_each`, `sum`,
+//! …) type-checks and runs with identical results, just on one thread.
+//! Swapping the real rayon back in is a `Cargo.toml`-only change.
+
+pub mod prelude {
+    /// `rayon::prelude::ParallelIterator` stand-in: with sequential
+    /// iterators every std `Iterator` already provides the adapter set the
+    /// workspace uses, so this is a pure marker re-export.
+    pub use super::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+pub mod slice {
+    /// `&[T] -> par_iter()` as a sequential iterator.
+    pub trait ParallelSlice<T> {
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    /// `&mut [T] -> par_iter_mut() / par_chunks_mut()` as sequential iterators.
+    pub trait ParallelSliceMut<T> {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+/// Sequential `rayon::join`: runs `a` then `b` on the current thread.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = [1.0f64, 2.0, 3.0];
+        let dot: f64 = v.par_iter().zip(&v).map(|(a, b)| a * b).sum();
+        assert_eq!(dot, 14.0);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_slice() {
+        let mut v = vec![0u32; 10];
+        v.par_chunks_mut(3).enumerate().for_each(|(i, c)| {
+            for x in c {
+                *x = i as u32;
+            }
+        });
+        assert_eq!(v, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+}

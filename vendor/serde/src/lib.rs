@@ -1,0 +1,17 @@
+//! Stand-in for `serde` (this build environment has no registry access; see
+//! `vendor/README.md`).
+//!
+//! The workspace only tags types with `#[derive(Serialize)]` and uses
+//! `Serialize` as a bound; nothing actually serialises yet. The traits are
+//! blanket-implemented and the derives expand to nothing, so swapping the
+//! real serde back in is a `Cargo.toml`-only change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

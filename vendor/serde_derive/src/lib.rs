@@ -1,0 +1,17 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` stand-ins.
+//!
+//! The workspace only *tags* types as serialisable (nothing serialises yet),
+//! so the derives expand to nothing: the `serde` stub's traits are blanket-
+//! implemented. Written without syn/quote so it builds fully offline.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
