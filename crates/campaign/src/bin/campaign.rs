@@ -1,0 +1,290 @@
+//! The `campaign` CLI: run crash-injection campaigns, replay them from a
+//! seed, diff two reports, and emit the wall-clock bench trajectory.
+//!
+//! ```text
+//! campaign run     [--budget-states N] [--seed S] [--threads T]
+//!                  [--schedule stratified|every-k:K|exhaustive:N] [--out PATH]
+//! campaign replay  --seed S [--budget-states N] [--threads T]
+//!                  [--schedule SPEC] [--expect PATH]
+//! campaign compare OLD.json NEW.json
+//! campaign bench   [--samples N] [--iters K] [--n DIM] [--out PATH]
+//! ```
+//!
+//! Exit codes: `run` fails (1) on any silent-corruption outcome, `replay
+//! --expect` fails on a canonical-report mismatch, `compare` fails on a
+//! regression (new silent corruption or dropped scenarios).
+
+use std::process::ExitCode;
+
+use adcc_bench::{NativeCg, NativeMechanism};
+use adcc_campaign::engine::{run_campaign, CampaignConfig};
+use adcc_campaign::json::Json;
+use adcc_campaign::report::{compare, CampaignReport};
+use adcc_campaign::schedule::Schedule;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..], false),
+        Some("replay") => cmd_run(&args[1..], true),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprint!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("campaign: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  campaign run     [--budget-states N] [--seed S] [--threads T]
+                   [--schedule stratified|every-k:K|exhaustive:N] [--out PATH]
+  campaign replay  --seed S [--budget-states N] [--threads T]
+                   [--schedule SPEC] [--expect PATH] [--out PATH]
+  campaign compare OLD.json NEW.json
+  campaign bench   [--samples N] [--iters K] [--n DIM] [--out PATH]
+";
+
+/// Pull `--flag value` out of an option list.
+fn take_opt(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| format!("{flag} needs a value")),
+    }
+}
+
+fn parse_u64(text: &str, what: &str) -> Result<u64, String> {
+    text.parse().map_err(|_| format!("bad {what}: {text:?}"))
+}
+
+fn check_known_flags(args: &[String], known: &[&str]) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if !known.contains(&a.as_str()) {
+            return Err(format!("unknown option {a:?}\n{USAGE}"));
+        }
+        i += 2;
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String], replay: bool) -> Result<ExitCode, String> {
+    check_known_flags(
+        args,
+        &[
+            "--budget-states",
+            "--seed",
+            "--threads",
+            "--schedule",
+            "--out",
+            "--expect",
+        ],
+    )?;
+    let expect_path = take_opt(args, "--expect")?;
+    if expect_path.is_some() && !replay {
+        return Err("--expect is a replay option".into());
+    }
+    let expected = expect_path
+        .map(|p| {
+            let text = std::fs::read_to_string(&p).map_err(|e| format!("cannot read {p}: {e}"))?;
+            CampaignReport::parse(&text).map_err(|e| format!("{p}: {e}"))
+        })
+        .transpose()?;
+
+    let mut cfg = CampaignConfig::default();
+    // A replay inherits the expected report's inputs; explicit flags win.
+    if let Some(exp) = &expected {
+        cfg.seed = exp.seed;
+        cfg.budget_states = exp.budget_states;
+        cfg.schedule = Schedule::parse(&exp.schedule)?;
+    }
+    if let Some(v) = take_opt(args, "--seed")? {
+        cfg.seed = parse_u64(&v, "seed")?;
+    } else if replay && expected.is_none() {
+        return Err("replay needs --seed (or --expect REPORT)".into());
+    }
+    if let Some(v) = take_opt(args, "--budget-states")? {
+        cfg.budget_states = parse_u64(&v, "budget")?;
+    }
+    if let Some(v) = take_opt(args, "--threads")? {
+        cfg.threads = parse_u64(&v, "threads")? as usize;
+    }
+    if let Some(v) = take_opt(args, "--schedule")? {
+        cfg.schedule = Schedule::parse(&v)?;
+    }
+    // Resolve the output path up front: a malformed --out must not cost a
+    // completed (possibly multi-minute) campaign.
+    let out_path = take_opt(args, "--out")?;
+
+    let report = run_campaign(&cfg);
+    print_summary(&report);
+
+    if let Some(out) = out_path {
+        std::fs::write(&out, report.to_string_pretty())
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("report written to {out}");
+    } else if replay && expected.is_none() {
+        // Bare replay: emit the canonical form for eyeballing/diffing.
+        print!("{}", report.canonical_string());
+    }
+
+    if let Some(exp) = &expected {
+        if exp.canonical_string() == report.canonical_string() {
+            println!("replay OK: canonical report matches byte-for-byte");
+        } else {
+            eprintln!("replay MISMATCH: canonical report differs from the expected file");
+            return Ok(ExitCode::FAILURE);
+        }
+    }
+    if report.silent_corruption_total() > 0 {
+        eprintln!(
+            "FAIL: {} silent-corruption outcome(s)",
+            report.silent_corruption_total()
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn print_summary(report: &CampaignReport) {
+    println!(
+        "campaign: seed {} budget {} schedule {} threads {} wall {} ms",
+        report.seed, report.budget_states, report.schedule, report.threads, report.wall_clock_ms
+    );
+    println!(
+        "{:<30} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "scenario", "trials", "exact", "recomp", "detect", "clean", "SILENT"
+    );
+    for s in &report.scenarios {
+        println!(
+            "{:<30} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+            s.name,
+            s.trials,
+            s.outcomes.recovered_exact,
+            s.outcomes.recovered_recomputed,
+            s.outcomes.detected_dirty,
+            s.outcomes.completed_clean,
+            s.outcomes.silent_corruption
+        );
+    }
+    let t = &report.totals;
+    println!(
+        "{:<30} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "TOTAL",
+        t.total(),
+        t.recovered_exact,
+        t.recovered_recomputed,
+        t.detected_dirty,
+        t.completed_clean,
+        t.silent_corruption
+    );
+}
+
+fn cmd_compare(args: &[String]) -> Result<ExitCode, String> {
+    let [old_path, new_path] = args else {
+        return Err(format!("compare takes exactly two report paths\n{USAGE}"));
+    };
+    let read = |p: &String| -> Result<CampaignReport, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
+        CampaignReport::parse(&text).map_err(|e| format!("{p}: {e}"))
+    };
+    let old = read(old_path)?;
+    let new = read(new_path)?;
+    let cmp = compare(&old, &new);
+    for line in &cmp.lines {
+        println!("{line}");
+    }
+    if cmp.regression {
+        eprintln!("REGRESSION: see lines above");
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Wall-clock bench trajectory (the `BENCH_*.json` series): median
+/// ns/iteration of native host CG under each persistence mechanism.
+fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
+    check_known_flags(args, &["--samples", "--iters", "--n", "--out"])?;
+    let samples = take_opt(args, "--samples")?
+        .map(|v| parse_u64(&v, "samples"))
+        .transpose()?
+        .unwrap_or(7)
+        .max(1);
+    let iters = take_opt(args, "--iters")?
+        .map(|v| parse_u64(&v, "iters"))
+        .transpose()?
+        .unwrap_or(3)
+        .max(1) as usize;
+    let n = take_opt(args, "--n")?
+        .map(|v| parse_u64(&v, "n"))
+        .transpose()?
+        .unwrap_or(20_000) as usize;
+    let out = take_opt(args, "--out")?.unwrap_or_else(|| "BENCH_0.json".to_string());
+
+    let class = adcc_linalg::CgClass {
+        name: "bench",
+        n,
+        extras_per_row: 12,
+    };
+    let a = class.matrix(9);
+    let b = class.rhs(&a);
+
+    let mechanisms: [(&str, fn(usize) -> NativeMechanism); 4] = [
+        ("native", |_| NativeMechanism::None),
+        ("history_algo", |_| NativeMechanism::history()),
+        ("checkpoint", NativeMechanism::checkpoint),
+        ("undo_log", NativeMechanism::undo_log),
+    ];
+
+    let mut results = Vec::new();
+    for (name, make) in mechanisms {
+        let mut per_iter_ns: Vec<u64> = (0..samples)
+            .map(|_| {
+                let mut cg = NativeCg::new(a.clone(), b.clone());
+                let mut mech = make(a.n());
+                let t0 = std::time::Instant::now();
+                for _ in 0..iters {
+                    mech.run_iteration(&mut cg);
+                }
+                std::hint::black_box(cg.rho);
+                (t0.elapsed().as_nanos() / iters as u128) as u64
+            })
+            .collect();
+        per_iter_ns.sort_unstable();
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        println!("wallclock_cg/{name:<13} median {median:>12} ns/iter ({samples} samples)");
+        let mut e = Json::obj();
+        e.push("bench", Json::Str(format!("wallclock_cg/{name}")));
+        e.push("median_ns_per_iter", Json::Int(median));
+        results.push(e);
+    }
+
+    let mut config = Json::obj();
+    config.push("kernel", Json::Str("native-cg".into()));
+    config.push("n", Json::Int(n as u64));
+    config.push("extras_per_row", Json::Int(12));
+    config.push("iters_per_sample", Json::Int(iters as u64));
+    config.push("samples", Json::Int(samples));
+    let mut doc = Json::obj();
+    doc.push("schema", Json::Str("adcc-bench-trajectory/v1".into()));
+    doc.push("unit", Json::Str("ns_per_iter".into()));
+    doc.push("config", config);
+    doc.push("results", Json::Arr(results));
+    std::fs::write(&out, doc.pretty()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("trajectory written to {out}");
+    Ok(ExitCode::SUCCESS)
+}

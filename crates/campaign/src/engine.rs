@@ -1,0 +1,186 @@
+//! The campaign engine: schedule crash points per scenario, fan trials
+//! out across OS threads, aggregate a deterministic report.
+
+use std::time::Instant;
+
+use crate::report::{CampaignReport, ScenarioReport};
+use crate::scenario::{registry, Scenario, Trial};
+use crate::schedule::Schedule;
+
+/// Campaign inputs. `(seed, budget_states, schedule)` fully determine the
+/// canonical report; `threads` only affects wall-clock.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    pub seed: u64,
+    /// Total crash states across the whole campaign, split evenly over
+    /// the registry (remainder to the earliest scenarios; below the
+    /// registry size, later scenarios get no trials).
+    pub budget_states: u64,
+    pub schedule: Schedule,
+    /// Worker OS threads; `0` picks the host parallelism.
+    pub threads: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 42,
+            budget_states: 500,
+            schedule: Schedule::Stratified,
+            threads: 0,
+        }
+    }
+}
+
+/// One unit of parallel work: a scenario index plus the crash points it
+/// evaluates. Batch scenarios get all their points in one task; the rest
+/// get one task per point (uneven trial costs balance across workers).
+struct Task {
+    scenario: usize,
+    units: Vec<u64>,
+}
+
+/// Run a full campaign. Deterministic in `(seed, budget_states,
+/// schedule)`: trials are pure functions of `(scenario, unit)` — every
+/// worker owns its own `MemorySystem`, so the single-clock simulator is
+/// never shared — and results are merged in schedule order, so the thread
+/// count cannot reorder anything.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    let start = Instant::now();
+    let scenarios = registry();
+    let points = plan(cfg, &scenarios);
+
+    let mut tasks = Vec::new();
+    for (idx, units) in points.iter().enumerate() {
+        if units.is_empty() {
+            continue;
+        }
+        if scenarios[idx].supports_batch() {
+            tasks.push(Task {
+                scenario: idx,
+                units: units.clone(),
+            });
+        } else {
+            tasks.extend(units.iter().map(|&u| Task {
+                scenario: idx,
+                units: vec![u],
+            }));
+        }
+    }
+
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(cfg.threads)
+        .build()
+        .expect("thread pool");
+    let threads = pool.current_num_threads() as u64;
+    let results: Vec<(usize, Vec<Trial>)> = pool.install_map(tasks, |_, task| {
+        let s = &scenarios[task.scenario];
+        let trials = s
+            .run_batch(&task.units)
+            .unwrap_or_else(|| task.units.iter().map(|&u| s.run_trial(u)).collect());
+        (task.scenario, trials)
+    });
+
+    let mut per_scenario: Vec<Vec<Trial>> = scenarios.iter().map(|_| Vec::new()).collect();
+    for (idx, trials) in results {
+        per_scenario[idx].extend(trials);
+    }
+
+    let scenario_reports: Vec<ScenarioReport> = scenarios
+        .iter()
+        .zip(&per_scenario)
+        .map(|(s, trials)| aggregate(s.as_ref(), trials))
+        .collect();
+    let mut totals = crate::outcome::OutcomeCounts::default();
+    for r in &scenario_reports {
+        totals.merge(&r.outcomes);
+    }
+    CampaignReport {
+        seed: cfg.seed,
+        budget_states: cfg.budget_states,
+        schedule: cfg.schedule.name(),
+        scenarios: scenario_reports,
+        totals,
+        wall_clock_ms: start.elapsed().as_millis() as u64,
+        threads,
+    }
+}
+
+/// Crash points per scenario (registry order).
+fn plan(cfg: &CampaignConfig, scenarios: &[Box<dyn Scenario>]) -> Vec<Vec<u64>> {
+    let n = scenarios.len() as u64;
+    let base = cfg.budget_states / n;
+    let rem = cfg.budget_states % n;
+    scenarios
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let budget = base + u64::from((i as u64) < rem);
+            cfg.schedule
+                .crash_points(cfg.seed, s.name(), s.total_units(), budget)
+        })
+        .collect()
+}
+
+fn aggregate(s: &dyn Scenario, trials: &[Trial]) -> ScenarioReport {
+    let mut outcomes = crate::outcome::OutcomeCounts::default();
+    let mut lost_total = 0u64;
+    let mut lost_max = 0u64;
+    let mut sim_total = 0u64;
+    for t in trials {
+        outcomes.add(t.outcome);
+        lost_total += t.lost_units;
+        lost_max = lost_max.max(t.lost_units);
+        sim_total += t.sim_time_ps;
+    }
+    ScenarioReport {
+        name: s.name().to_string(),
+        kernel: s.kernel().name().to_string(),
+        mechanism: s.mechanism().name().to_string(),
+        platform: s.platform_name().to_string(),
+        total_units: s.total_units(),
+        trials: trials.len() as u64,
+        outcomes,
+        lost_units_total: lost_total,
+        lost_units_max: lost_max,
+        sim_time_ps_total: sim_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small campaign is deterministic across thread counts — the heavy
+    /// version (larger budget, byte-compare of files) lives in the root
+    /// `tests/campaign_determinism.rs` suite.
+    #[test]
+    fn tiny_campaign_is_deterministic_across_threads() {
+        let mut cfg = CampaignConfig {
+            budget_states: 13,
+            threads: 1,
+            ..CampaignConfig::default()
+        };
+        let a = run_campaign(&cfg);
+        cfg.threads = 4;
+        let b = run_campaign(&cfg);
+        assert_eq!(a.canonical_string(), b.canonical_string());
+        assert_eq!(a.totals.total(), 13);
+    }
+
+    #[test]
+    fn budget_splits_evenly_with_remainder_first() {
+        let cfg = CampaignConfig {
+            budget_states: 14,
+            schedule: Schedule::Stratified,
+            ..CampaignConfig::default()
+        };
+        let scenarios = registry();
+        let points = plan(&cfg, &scenarios);
+        let n = scenarios.len();
+        assert_eq!(points.len(), n);
+        let total: usize = points.iter().map(Vec::len).sum();
+        assert_eq!(total, 14);
+        assert!(points[0].len() >= points[n - 1].len());
+    }
+}

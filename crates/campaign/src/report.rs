@@ -1,0 +1,315 @@
+//! Machine-readable campaign reports: JSON emission, parsing, and the
+//! `compare` diff.
+//!
+//! A report is replayable from its header alone (`seed`, `budget_states`,
+//! `schedule`): re-running with those inputs reproduces the canonical
+//! section byte-for-byte, on any worker-thread count. Host facts that
+//! legitimately vary between runs (wall-clock, thread count) live in the
+//! `host` object, which [`CampaignReport::canonical_string`] strips.
+
+use serde::Serialize;
+
+use crate::json::Json;
+use crate::outcome::OutcomeCounts;
+
+/// Report format identifier (bump on breaking schema changes).
+pub const SCHEMA: &str = "adcc-campaign-report/v1";
+
+/// Aggregated results for one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ScenarioReport {
+    pub name: String,
+    pub kernel: String,
+    pub mechanism: String,
+    pub platform: String,
+    /// Size of the scenario's crash-point space.
+    pub total_units: u64,
+    /// Crash states actually evaluated (budget-limited).
+    pub trials: u64,
+    pub outcomes: OutcomeCounts,
+    /// Work units re-executed by recovery, summed over trials.
+    pub lost_units_total: u64,
+    pub lost_units_max: u64,
+    /// Simulated recovery clock (detect + resume), summed, picoseconds.
+    pub sim_time_ps_total: u64,
+}
+
+/// One full campaign run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CampaignReport {
+    pub seed: u64,
+    pub budget_states: u64,
+    pub schedule: String,
+    pub scenarios: Vec<ScenarioReport>,
+    pub totals: OutcomeCounts,
+    /// Milliseconds of host wall-clock (excluded from the canonical form).
+    pub wall_clock_ms: u64,
+    /// Worker threads used (excluded from the canonical form).
+    pub threads: u64,
+}
+
+impl CampaignReport {
+    pub fn silent_corruption_total(&self) -> u64 {
+        self.totals.silent_corruption
+    }
+
+    fn body_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.push("schema", Json::Str(SCHEMA.into()));
+        j.push("seed", Json::Int(self.seed));
+        j.push("budget_states", Json::Int(self.budget_states));
+        j.push("schedule", Json::Str(self.schedule.clone()));
+        let scenarios = self
+            .scenarios
+            .iter()
+            .map(|s| {
+                let mut e = Json::obj();
+                e.push("name", Json::Str(s.name.clone()));
+                e.push("kernel", Json::Str(s.kernel.clone()));
+                e.push("mechanism", Json::Str(s.mechanism.clone()));
+                e.push("platform", Json::Str(s.platform.clone()));
+                e.push("total_units", Json::Int(s.total_units));
+                e.push("trials", Json::Int(s.trials));
+                e.push("outcomes", s.outcomes.to_json());
+                e.push("lost_units_total", Json::Int(s.lost_units_total));
+                e.push("lost_units_max", Json::Int(s.lost_units_max));
+                e.push("sim_time_ps_total", Json::Int(s.sim_time_ps_total));
+                e
+            })
+            .collect();
+        j.push("scenarios", Json::Arr(scenarios));
+        j.push("totals", self.totals.to_json());
+        j
+    }
+
+    /// Full JSON document, host section included.
+    pub fn to_string_pretty(&self) -> String {
+        let mut j = self.body_json();
+        let mut host = Json::obj();
+        host.push("wall_clock_ms", Json::Int(self.wall_clock_ms));
+        host.push("threads", Json::Int(self.threads));
+        j.push("host", host);
+        j.pretty()
+    }
+
+    /// The replay-stable form: everything except the `host` section.
+    /// Byte-identical across reruns of the same `(seed, budget,
+    /// schedule)` triple, regardless of thread count.
+    pub fn canonical_string(&self) -> String {
+        self.body_json().pretty()
+    }
+
+    /// Parse a report produced by [`CampaignReport::to_string_pretty`]
+    /// (a missing `host` section is tolerated).
+    pub fn parse(text: &str) -> Result<CampaignReport, String> {
+        let j = Json::parse(text)?;
+        let schema = j
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing schema")?;
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema {schema:?} (want {SCHEMA:?})"));
+        }
+        let int = |key: &str| -> Result<u64, String> {
+            j.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing {key}"))
+        };
+        let scenarios = j
+            .get("scenarios")
+            .and_then(Json::as_arr)
+            .ok_or("missing scenarios")?
+            .iter()
+            .map(|e| {
+                let s = |key: &str| -> Result<String, String> {
+                    e.get(key)
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("scenario missing {key}"))
+                };
+                let n = |key: &str| -> Result<u64, String> {
+                    e.get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("scenario missing {key}"))
+                };
+                Ok(ScenarioReport {
+                    name: s("name")?,
+                    kernel: s("kernel")?,
+                    mechanism: s("mechanism")?,
+                    platform: s("platform")?,
+                    total_units: n("total_units")?,
+                    trials: n("trials")?,
+                    outcomes: OutcomeCounts::from_json(
+                        e.get("outcomes").ok_or("scenario missing outcomes")?,
+                    )?,
+                    lost_units_total: n("lost_units_total")?,
+                    lost_units_max: n("lost_units_max")?,
+                    sim_time_ps_total: n("sim_time_ps_total")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let host = j.get("host");
+        let host_int = |key: &str| -> u64 {
+            host.and_then(|h| h.get(key))
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+        };
+        Ok(CampaignReport {
+            seed: int("seed")?,
+            budget_states: int("budget_states")?,
+            schedule: j
+                .get("schedule")
+                .and_then(Json::as_str)
+                .ok_or("missing schedule")?
+                .to_string(),
+            scenarios,
+            totals: OutcomeCounts::from_json(j.get("totals").ok_or("missing totals")?)?,
+            wall_clock_ms: host_int("wall_clock_ms"),
+            threads: host_int("threads"),
+        })
+    }
+}
+
+/// Result of diffing two reports.
+#[derive(Debug)]
+pub struct Comparison {
+    /// Human-readable diff lines.
+    pub lines: Vec<String>,
+    /// True when the new report is strictly worse where it matters: new
+    /// silent corruption, or previously-recovering scenarios now failing.
+    pub regression: bool,
+}
+
+/// Diff `new` against `old`, scenario by scenario.
+pub fn compare(old: &CampaignReport, new: &CampaignReport) -> Comparison {
+    let mut lines = Vec::new();
+    let mut regression = false;
+    if old.seed != new.seed
+        || old.budget_states != new.budget_states
+        || old.schedule != new.schedule
+    {
+        lines.push(format!(
+            "inputs differ: seed {} -> {}, budget {} -> {}, schedule {} -> {} \
+             (different crash-point sets; outcome deltas are indicative only)",
+            old.seed, new.seed, old.budget_states, new.budget_states, old.schedule, new.schedule
+        ));
+    }
+    for s_new in &new.scenarios {
+        match old.scenarios.iter().find(|s| s.name == s_new.name) {
+            None => lines.push(format!(
+                "+ {}: new scenario ({} trials)",
+                s_new.name, s_new.trials
+            )),
+            Some(s_old) => {
+                if s_old.outcomes == s_new.outcomes {
+                    continue;
+                }
+                lines.push(format!(
+                    "~ {}: exact {} -> {}, recomputed {} -> {}, detected {} -> {}, clean {} -> {}, SILENT {} -> {}",
+                    s_new.name,
+                    s_old.outcomes.recovered_exact,
+                    s_new.outcomes.recovered_exact,
+                    s_old.outcomes.recovered_recomputed,
+                    s_new.outcomes.recovered_recomputed,
+                    s_old.outcomes.detected_dirty,
+                    s_new.outcomes.detected_dirty,
+                    s_old.outcomes.completed_clean,
+                    s_new.outcomes.completed_clean,
+                    s_old.outcomes.silent_corruption,
+                    s_new.outcomes.silent_corruption,
+                ));
+                if s_new.outcomes.silent_corruption > s_old.outcomes.silent_corruption {
+                    regression = true;
+                }
+            }
+        }
+    }
+    for s_old in &old.scenarios {
+        if !new.scenarios.iter().any(|s| s.name == s_old.name) {
+            lines.push(format!("- {}: scenario dropped", s_old.name));
+            regression = true;
+        }
+    }
+    if new.silent_corruption_total() > old.silent_corruption_total() {
+        regression = true;
+    }
+    if lines.is_empty() {
+        lines.push("no outcome changes".to_string());
+    }
+    Comparison { lines, regression }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::Outcome;
+
+    fn sample() -> CampaignReport {
+        let mut outcomes = OutcomeCounts::default();
+        outcomes.add(Outcome::RecoveredRecomputed);
+        outcomes.add(Outcome::RecoveredExact);
+        CampaignReport {
+            seed: 42,
+            budget_states: 10,
+            schedule: "stratified".into(),
+            scenarios: vec![ScenarioReport {
+                name: "cg-extended".into(),
+                kernel: "cg".into(),
+                mechanism: "extended".into(),
+                platform: "nvm-only".into(),
+                total_units: 48,
+                trials: 2,
+                outcomes,
+                lost_units_total: 3,
+                lost_units_max: 2,
+                sim_time_ps_total: 123_456,
+            }],
+            totals: outcomes,
+            wall_clock_ms: 99,
+            threads: 8,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let r = sample();
+        let parsed = CampaignReport::parse(&r.to_string_pretty()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn canonical_form_drops_host_facts_only() {
+        let mut a = sample();
+        let mut b = sample();
+        b.wall_clock_ms = 1;
+        b.threads = 1;
+        assert_eq!(a.canonical_string(), b.canonical_string());
+        a.seed = 7;
+        assert_ne!(a.canonical_string(), b.canonical_string());
+    }
+
+    #[test]
+    fn compare_flags_silent_corruption_as_regression() {
+        let old = sample();
+        let mut new = sample();
+        assert!(!compare(&old, &new).regression);
+        new.scenarios[0].outcomes.silent_corruption = 1;
+        new.totals.silent_corruption = 1;
+        let cmp = compare(&old, &new);
+        assert!(cmp.regression);
+        assert!(cmp.lines.iter().any(|l| l.contains("SILENT 0 -> 1")));
+    }
+
+    #[test]
+    fn compare_flags_dropped_scenarios() {
+        let old = sample();
+        let mut new = sample();
+        new.scenarios.clear();
+        assert!(compare(&old, &new).regression);
+    }
+
+    #[test]
+    fn parse_rejects_other_schemas() {
+        assert!(CampaignReport::parse(r#"{"schema": "bogus/v9"}"#).is_err());
+    }
+}

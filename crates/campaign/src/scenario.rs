@@ -1,0 +1,154 @@
+//! The scenario registry: every workload × persistence-mechanism pair the
+//! campaign engine can inject crashes into.
+
+use crate::outcome::Outcome;
+use crate::scenarios;
+
+/// Kernel family (the paper's three workloads plus the extension kernels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    Cg,
+    BiCgStab,
+    Jacobi,
+    Stencil,
+    Lu,
+    Mc,
+}
+
+impl Kernel {
+    pub const ALL: [Kernel; 6] = [
+        Kernel::Cg,
+        Kernel::BiCgStab,
+        Kernel::Jacobi,
+        Kernel::Stencil,
+        Kernel::Lu,
+        Kernel::Mc,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Cg => "cg",
+            Kernel::BiCgStab => "bicgstab",
+            Kernel::Jacobi => "jacobi",
+            Kernel::Stencil => "stencil",
+            Kernel::Lu => "lu",
+            Kernel::Mc => "mc",
+        }
+    }
+}
+
+/// Persistence mechanism under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mechanism {
+    /// The paper's algorithm extension (history arrays / checksums).
+    Extended,
+    /// Algorithm extension with a bounded history ring.
+    ExtendedWindowed,
+    /// Per-unit checkpoint/restart through `CkptManager`.
+    Checkpoint,
+    /// PMDK-style undo-log transactions.
+    Pmem,
+    /// MC selective flushing with replay recovery.
+    Selective,
+    /// MC epoch-tagged counters (exact replay).
+    Epoch,
+}
+
+impl Mechanism {
+    pub fn name(self) -> &'static str {
+        match self {
+            Mechanism::Extended => "extended",
+            Mechanism::ExtendedWindowed => "extended-windowed",
+            Mechanism::Checkpoint => "checkpoint",
+            Mechanism::Pmem => "pmem",
+            Mechanism::Selective => "selective",
+            Mechanism::Epoch => "epoch",
+        }
+    }
+}
+
+/// Result of injecting one crash state and attempting recovery.
+#[derive(Debug, Clone, Copy)]
+pub struct Trial {
+    /// The scheduled crash unit this trial evaluated.
+    pub unit: u64,
+    pub outcome: Outcome,
+    /// Work units re-executed by recovery.
+    pub lost_units: u64,
+    /// Simulated clock spent by recovery (detect + resume), picoseconds.
+    /// Deterministic, unlike wall-clock.
+    pub sim_time_ps: u64,
+}
+
+/// One workload × mechanism pair the engine can sweep crash points over.
+///
+/// `run_trial` must be a pure function of `(self, unit)`: each call builds
+/// its own `MemorySystem`, so trials can run on any worker thread in any
+/// order and the campaign stays deterministic.
+pub trait Scenario: Send + Sync {
+    fn name(&self) -> &'static str;
+    fn kernel(&self) -> Kernel;
+    fn mechanism(&self) -> Mechanism;
+    fn platform_name(&self) -> &'static str {
+        "nvm-only"
+    }
+    /// Size of the crash-point space (`run_trial` accepts `0..total_units`).
+    fn total_units(&self) -> u64;
+    fn run_trial(&self, unit: u64) -> Trial;
+
+    /// Whether [`Scenario::run_batch`] is implemented; the engine then
+    /// hands the scenario all its crash points as one task.
+    fn supports_batch(&self) -> bool {
+        false
+    }
+
+    /// Batch fast path: scenarios whose crash states can be harvested from
+    /// a single instrumented execution via [`adcc_sim::system::MemorySystem::crash_fork`]
+    /// return all trials at once (units arrive sorted ascending). Default:
+    /// none — the engine calls `run_trial` per unit.
+    fn run_batch(&self, _units: &[u64]) -> Option<Vec<Trial>> {
+        None
+    }
+}
+
+/// Build the full registry. Order is part of the report format: reports
+/// list scenarios in registry order, and the determinism suite compares
+/// reports byte-for-byte.
+pub fn registry() -> Vec<Box<dyn Scenario>> {
+    scenarios::all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_kernel_with_two_mechanisms() {
+        let reg = registry();
+        for kernel in Kernel::ALL {
+            let mechanisms: std::collections::BTreeSet<&str> = reg
+                .iter()
+                .filter(|s| s.kernel() == kernel)
+                .map(|s| s.mechanism().name())
+                .collect();
+            assert!(
+                mechanisms.len() >= 2,
+                "kernel {} has only {mechanisms:?}",
+                kernel.name()
+            );
+        }
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_units_positive() {
+        let reg = registry();
+        let mut names: Vec<&str> = reg.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate scenario names");
+        for s in &reg {
+            assert!(s.total_units() > 0, "{} has no crash points", s.name());
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! BiCGSTAB scenarios: the algorithm extension with full and bounded
+//! (ring-buffer) iteration histories.
+
+use adcc_core::bicgstab::{bicgstab_host, sites, ExtendedBiCgStab};
+use adcc_linalg::csr::CsrMatrix;
+use adcc_linalg::spd::CgClass;
+use adcc_sim::crash::{CrashEmulator, CrashSite, CrashTrigger, RunOutcome};
+use adcc_sim::system::{MemorySystem, SystemConfig};
+
+use super::{max_diff, trim_dram};
+use crate::outcome::{classify, Outcome};
+use crate::scenario::{Kernel, Mechanism, Scenario, Trial};
+
+const ITERS: usize = 10;
+const WINDOW: usize = 4;
+const TOL: f64 = 1e-8;
+const PROBLEM_SEED: u64 = 302;
+
+/// Extended BiCGSTAB; `window == iters + 1` is the paper-style full
+/// history, smaller windows bound the recovery horizon.
+pub struct BiExtended {
+    a: CsrMatrix,
+    b: Vec<f64>,
+    reference: Vec<f64>,
+    rho0: f64,
+    window: usize,
+}
+
+impl BiExtended {
+    fn new(window: usize) -> Self {
+        let class = CgClass::TEST;
+        let a = class.matrix(PROBLEM_SEED);
+        let b = class.rhs(&a);
+        let reference = bicgstab_host(&a, &b, ITERS);
+        let rho0: f64 = b.iter().map(|v| v * v).sum();
+        BiExtended {
+            a,
+            b,
+            reference,
+            rho0,
+            window,
+        }
+    }
+
+    pub fn new_full() -> Self {
+        Self::new(ITERS + 1)
+    }
+
+    pub fn new_windowed() -> Self {
+        Self::new(WINDOW)
+    }
+
+    fn config(&self) -> SystemConfig {
+        let n = self.a.n();
+        let cap = 3 * (ITERS + 2) * n * 8
+            + (ITERS + 2) * 4 * 8
+            + self.a.nnz() * 12
+            + (n + 1) * 4
+            + (2 << 20);
+        trim_dram(SystemConfig::nvm_only(16 << 10, cap))
+    }
+}
+
+const BI_PHASES: [u32; 2] = [sites::PH_AFTER_XR, sites::PH_ITER_END];
+
+impl Scenario for BiExtended {
+    fn name(&self) -> &'static str {
+        if self.window > ITERS {
+            "bicgstab-extended"
+        } else {
+            "bicgstab-extended-windowed"
+        }
+    }
+    fn kernel(&self) -> Kernel {
+        Kernel::BiCgStab
+    }
+    fn mechanism(&self) -> Mechanism {
+        if self.window > ITERS {
+            Mechanism::Extended
+        } else {
+            Mechanism::ExtendedWindowed
+        }
+    }
+    fn total_units(&self) -> u64 {
+        (BI_PHASES.len() * ITERS) as u64
+    }
+
+    fn run_trial(&self, unit: u64) -> Trial {
+        let iter = unit / BI_PHASES.len() as u64;
+        let phase = BI_PHASES[(unit % BI_PHASES.len() as u64) as usize];
+        let cfg = self.config();
+        let mut sys = MemorySystem::new(cfg.clone());
+        let bi = ExtendedBiCgStab::setup_windowed(&mut sys, &self.a, &self.b, ITERS, self.window);
+        let trigger = CrashTrigger::AtSite {
+            site: CrashSite::new(phase, iter),
+            occurrence: 1,
+        };
+        let mut emu = CrashEmulator::from_system(sys, trigger);
+        match bi.run(&mut emu, 0, ITERS, self.rho0) {
+            RunOutcome::Completed(_) => {
+                let sol = bi.peek_solution(&emu);
+                Trial {
+                    unit,
+                    outcome: if max_diff(&sol, &self.reference) < TOL {
+                        Outcome::CompletedClean
+                    } else {
+                        Outcome::SilentCorruption
+                    },
+                    lost_units: 0,
+                    sim_time_ps: 0,
+                }
+            }
+            RunOutcome::Crashed(image) => {
+                let rec = bi.recover_and_resume(&image, cfg);
+                let matches = max_diff(&rec.solution, &self.reference) < TOL;
+                let detected = rec.restart_from.is_none();
+                Trial {
+                    unit,
+                    outcome: classify(detected, matches, rec.report.lost_units),
+                    lost_units: rec.report.lost_units,
+                    sim_time_ps: rec.report.total().ps(),
+                }
+            }
+        }
+    }
+}

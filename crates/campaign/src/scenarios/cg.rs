@@ -1,0 +1,374 @@
+//! CG scenarios: algorithm-directed extension, per-iteration checkpoint,
+//! and PMDK-style undo-log transactions.
+
+use adcc_ckpt::manager::CkptManager;
+use adcc_core::cg::{cg_host, sites, ExtendedCg, PlainCg};
+use adcc_linalg::csr::CsrMatrix;
+use adcc_linalg::spd::CgClass;
+use adcc_pmem::undo::UndoPool;
+use adcc_sim::crash::{CrashEmulator, CrashSite, CrashTrigger, RunOutcome};
+use adcc_sim::system::{MemorySystem, SystemConfig};
+
+use super::{max_diff, trim_dram};
+use crate::outcome::{classify, Outcome};
+use crate::scenario::{Kernel, Mechanism, Scenario, Trial};
+
+const ITERS: usize = 12;
+const TOL: f64 = 1e-9;
+const PROBLEM_SEED: u64 = 301;
+
+fn problem() -> (CsrMatrix, Vec<f64>, Vec<f64>) {
+    let class = CgClass::TEST;
+    let a = class.matrix(PROBLEM_SEED);
+    let b = class.rhs(&a);
+    let reference = cg_host(&a, &b, ITERS);
+    (a, b, reference)
+}
+
+fn config(a: &CsrMatrix) -> SystemConfig {
+    // History (4 arrays × (iters + 2) rows) + matrix + vectors + slack:
+    // small enough that per-trial crash images stay a ~3 MB memcpy.
+    let cap = 4 * (ITERS + 2) * a.n() * 8 + a.nnz() * 12 + (a.n() + 1) * 4 + (2 << 20);
+    trim_dram(SystemConfig::nvm_only(16 << 10, cap))
+}
+
+fn completed_clean(matches: bool, unit: u64, sim_time_ps: u64) -> Trial {
+    Trial {
+        unit,
+        outcome: if matches {
+            Outcome::CompletedClean
+        } else {
+            Outcome::SilentCorruption
+        },
+        lost_units: 0,
+        sim_time_ps,
+    }
+}
+
+// ---------------------------------------------------------------------
+// cg-extended
+// ---------------------------------------------------------------------
+
+/// Extended CG with invariant-scan recovery; crash points sweep the four
+/// instrumented statements of every iteration.
+pub struct CgExtended {
+    a: CsrMatrix,
+    b: Vec<f64>,
+    reference: Vec<f64>,
+}
+
+impl CgExtended {
+    pub fn new() -> Self {
+        let (a, b, reference) = problem();
+        CgExtended { a, b, reference }
+    }
+}
+
+impl Default for CgExtended {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+const CG_PHASES: [u32; 4] = [
+    sites::PH_AFTER_Q,
+    sites::PH_AFTER_Z,
+    sites::PH_AFTER_R,
+    sites::PH_LINE10,
+];
+
+impl Scenario for CgExtended {
+    fn name(&self) -> &'static str {
+        "cg-extended"
+    }
+    fn kernel(&self) -> Kernel {
+        Kernel::Cg
+    }
+    fn mechanism(&self) -> Mechanism {
+        Mechanism::Extended
+    }
+    fn total_units(&self) -> u64 {
+        (CG_PHASES.len() * ITERS) as u64
+    }
+
+    fn run_trial(&self, unit: u64) -> Trial {
+        let iter = unit / CG_PHASES.len() as u64;
+        let phase = CG_PHASES[(unit % CG_PHASES.len() as u64) as usize];
+        let cfg = config(&self.a);
+        let mut sys = MemorySystem::new(cfg.clone());
+        let (cg, rho0) = ExtendedCg::setup(&mut sys, &self.a, &self.b, ITERS);
+        let trigger = CrashTrigger::AtSite {
+            site: CrashSite::new(phase, iter),
+            occurrence: 1,
+        };
+        let mut emu = CrashEmulator::from_system(sys, trigger);
+        match cg.run(&mut emu, 0, ITERS, rho0) {
+            RunOutcome::Completed(rho) => {
+                let sol = cg.peek_solution(&emu, rho);
+                completed_clean(max_diff(&sol.z, &self.reference) < TOL, unit, 0)
+            }
+            RunOutcome::Crashed(image) => {
+                let rec = cg.recover_and_resume(&image, cfg);
+                let matches = max_diff(&rec.solution.z, &self.reference) < TOL;
+                let detected = rec.restart_from.is_none();
+                Trial {
+                    unit,
+                    outcome: classify(detected, matches, rec.report.lost_units),
+                    lost_units: rec.report.lost_units,
+                    sim_time_ps: rec.report.total().ps(),
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// cg-ckpt
+// ---------------------------------------------------------------------
+
+/// Plain CG with a double-buffered NVM checkpoint every iteration.
+/// Even units crash after the step but before the checkpoint (one
+/// iteration lost); odd units crash right after it (nothing lost).
+pub struct CgCkpt {
+    a: CsrMatrix,
+    b: Vec<f64>,
+    reference: Vec<f64>,
+}
+
+impl CgCkpt {
+    pub fn new() -> Self {
+        let (a, b, reference) = problem();
+        CgCkpt { a, b, reference }
+    }
+}
+
+impl Default for CgCkpt {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scenario for CgCkpt {
+    fn name(&self) -> &'static str {
+        "cg-ckpt"
+    }
+    fn kernel(&self) -> Kernel {
+        Kernel::Cg
+    }
+    fn mechanism(&self) -> Mechanism {
+        Mechanism::Checkpoint
+    }
+    fn total_units(&self) -> u64 {
+        2 * ITERS as u64
+    }
+
+    fn run_trial(&self, unit: u64) -> Trial {
+        let iter = unit / 2;
+        let phase = if unit.is_multiple_of(2) {
+            sites::PH_LINE10
+        } else {
+            sites::PH_ITER_END
+        };
+        let cfg = config(&self.a);
+        let mut sys = MemorySystem::new(cfg.clone());
+        let (cg, rho0) = PlainCg::setup(&mut sys, &self.a, &self.b, ITERS);
+        let mut mgr = CkptManager::new_nvm(&mut sys, cg.ckpt_regions(), false);
+        let trigger = CrashTrigger::AtSite {
+            site: CrashSite::new(phase, iter),
+            occurrence: 1,
+        };
+        let mut emu = CrashEmulator::from_system(sys, trigger);
+        let image = match adcc_core::cg::variants::run_with_ckpt(&mut emu, &cg, rho0, &mut mgr) {
+            RunOutcome::Completed(rho) => {
+                let _ = rho;
+                let sol = cg.peek_solution(&emu);
+                return completed_clean(max_diff(&sol, &self.reference) < TOL, unit, 0);
+            }
+            RunOutcome::Crashed(image) => image,
+        };
+
+        let sys2 = MemorySystem::from_image(cfg, &image);
+        let mut emu2 = CrashEmulator::from_system(sys2, CrashTrigger::Never);
+        let t0 = emu2.now();
+        let (start, mut rho, restored) =
+            adcc_core::cg::variants::ckpt_restore(&mut emu2, &cg, rho0, &mut mgr);
+        for _ in start..ITERS {
+            rho = cg.step(&mut emu2, rho);
+        }
+        let sim_time_ps = (emu2.now() - t0).ps();
+
+        // Iterations whose step had completed before the crash: `iter + 1`
+        // (the crash site is after the step); re-executed = those minus
+        // the checkpointed prefix.
+        let lost = (iter + 1).saturating_sub(start as u64);
+        let matches = max_diff(&cg.peek_solution(&emu2), &self.reference) < TOL;
+        Trial {
+            unit,
+            outcome: classify(!restored, matches, lost),
+            lost_units: lost,
+            sim_time_ps,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// cg-pmem
+// ---------------------------------------------------------------------
+
+/// Plain CG with every iteration in an undo-log transaction, crash points
+/// inside and at the end of the transaction. Mirrors
+/// `adcc_core::cg::variants::run_with_pmem` but polls *inside* the
+/// transaction too, so the campaign exercises mid-transaction rollback.
+pub struct CgPmem {
+    a: CsrMatrix,
+    b: Vec<f64>,
+    reference: Vec<f64>,
+}
+
+impl CgPmem {
+    pub fn new() -> Self {
+        let (a, b, reference) = problem();
+        CgPmem { a, b, reference }
+    }
+}
+
+impl Default for CgPmem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+const PMEM_PHASES: [u32; 4] = [
+    sites::PH_AFTER_Z,
+    sites::PH_AFTER_R,
+    sites::PH_LINE10,
+    sites::PH_ITER_END,
+];
+
+impl CgPmem {
+    /// One undo-logged CG iteration with in-transaction crash polls.
+    fn pmem_iteration(
+        &self,
+        cg: &PlainCg,
+        emu: &mut CrashEmulator,
+        pool: &mut UndoPool,
+        i: usize,
+        rho: f64,
+    ) -> RunOutcome<f64> {
+        pool.tx_begin(emu);
+        cg.a.spmv(emu, cg.p, cg.q);
+        let pq = adcc_linalg::simops::dot(emu, cg.p, cg.q);
+        let alpha = rho / pq;
+        for j in 0..cg.n {
+            pool.tx_add_range(emu, cg.z.addr(j), 8);
+            let v = cg.z.get(emu, j) + alpha * cg.p.get(emu, j);
+            cg.z.set(emu, j, v);
+        }
+        if emu.poll(CrashSite::new(sites::PH_AFTER_Z, i as u64)) {
+            return RunOutcome::Crashed(emu.crash_now());
+        }
+        for j in 0..cg.n {
+            pool.tx_add_range(emu, cg.r.addr(j), 8);
+            let v = cg.r.get(emu, j) - alpha * cg.q.get(emu, j);
+            cg.r.set(emu, j, v);
+        }
+        if emu.poll(CrashSite::new(sites::PH_AFTER_R, i as u64)) {
+            return RunOutcome::Crashed(emu.crash_now());
+        }
+        emu.charge_flops(4 * cg.n as u64);
+        let rho_new = adcc_linalg::simops::dot(emu, cg.r, cg.r);
+        let beta = rho_new / rho;
+        for j in 0..cg.n {
+            pool.tx_add_range(emu, cg.p.addr(j), 8);
+            let v = cg.r.get(emu, j) + beta * cg.p.get(emu, j);
+            cg.p.set(emu, j, v);
+        }
+        emu.charge_flops(2 * cg.n as u64);
+        if emu.poll(CrashSite::new(sites::PH_LINE10, i as u64)) {
+            return RunOutcome::Crashed(emu.crash_now());
+        }
+        pool.tx_add_range(emu, cg.rho_cell.addr(), 8);
+        pool.tx_add_range(emu, cg.iter_cell.addr(), 8);
+        cg.rho_cell.set(emu, rho_new);
+        cg.iter_cell.set(emu, (i + 1) as u64);
+        pool.tx_commit(emu);
+        if emu.poll(CrashSite::new(sites::PH_ITER_END, i as u64)) {
+            return RunOutcome::Crashed(emu.crash_now());
+        }
+        RunOutcome::Completed(rho_new)
+    }
+}
+
+impl Scenario for CgPmem {
+    fn name(&self) -> &'static str {
+        "cg-pmem"
+    }
+    fn kernel(&self) -> Kernel {
+        Kernel::Cg
+    }
+    fn mechanism(&self) -> Mechanism {
+        Mechanism::Pmem
+    }
+    fn total_units(&self) -> u64 {
+        (PMEM_PHASES.len() * ITERS) as u64
+    }
+
+    fn run_trial(&self, unit: u64) -> Trial {
+        let iter = (unit / PMEM_PHASES.len() as u64) as usize;
+        let phase = PMEM_PHASES[(unit % PMEM_PHASES.len() as u64) as usize];
+        let cfg = config(&self.a);
+        let mut sys = MemorySystem::new(cfg.clone());
+        let (cg, rho0) = PlainCg::setup(&mut sys, &self.a, &self.b, ITERS);
+        let lines = 3 * (cg.n * 8).div_ceil(64) + 8;
+        let mut pool = UndoPool::new(&mut sys, lines);
+        let layout = pool.layout();
+        let trigger = CrashTrigger::AtSite {
+            site: CrashSite::new(phase, iter as u64),
+            occurrence: 1,
+        };
+        let mut emu = CrashEmulator::from_system(sys, trigger);
+        let mut rho = rho0;
+        let mut crash: Option<adcc_sim::image::NvmImage> = None;
+        for i in 0..ITERS {
+            match self.pmem_iteration(&cg, &mut emu, &mut pool, i, rho) {
+                RunOutcome::Completed(r) => rho = r,
+                RunOutcome::Crashed(image) => {
+                    crash = Some(image);
+                    break;
+                }
+            }
+        }
+        let Some(image) = crash else {
+            let sol = cg.peek_solution(&emu);
+            return completed_clean(max_diff(&sol, &self.reference) < TOL, unit, 0);
+        };
+
+        let mut sys2 = MemorySystem::from_image(cfg, &image);
+        let t0 = sys2.now();
+        UndoPool::recover(layout, &mut sys2);
+        let committed = cg.iter_cell.get(&mut sys2) as usize;
+        let mut rho = if committed == 0 {
+            rho0
+        } else {
+            cg.rho_cell.get(&mut sys2)
+        };
+        let mut emu2 = CrashEmulator::from_system(sys2, CrashTrigger::Never);
+        for _ in committed..ITERS {
+            rho = cg.step(&mut emu2, rho);
+        }
+        let sim_time_ps = (emu2.now() - t0).ps();
+
+        // The in-flight transaction (if any) rolls back and its iteration
+        // is re-executed: mid-transaction crashes at iteration `i` leave
+        // `committed == i` (one lost), ITER_END crashes land post-commit
+        // with `committed == i + 1` (nothing lost).
+        let lost = (iter as u64 + 1).saturating_sub(committed as u64);
+        let matches = max_diff(&cg.peek_solution(&emu2), &self.reference) < TOL;
+        Trial {
+            unit,
+            outcome: classify(false, matches, lost),
+            lost_units: lost,
+            sim_time_ps,
+        }
+    }
+}

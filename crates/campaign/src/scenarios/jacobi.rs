@@ -1,0 +1,198 @@
+//! Jacobi scenarios: algorithm extension and per-iteration checkpoint.
+
+use adcc_ckpt::manager::CkptManager;
+use adcc_core::jacobi::{jacobi_host, sites, ExtendedJacobi, PlainJacobi};
+use adcc_linalg::csr::CsrMatrix;
+use adcc_linalg::spd::CgClass;
+use adcc_sim::crash::{CrashEmulator, CrashSite, CrashTrigger, RunOutcome};
+use adcc_sim::system::{MemorySystem, SystemConfig};
+
+use super::{max_diff, trim_dram};
+use crate::outcome::{classify, Outcome};
+use crate::scenario::{Kernel, Mechanism, Scenario, Trial};
+
+const ITERS: usize = 12;
+const TOL: f64 = 1e-9;
+const PROBLEM_SEED: u64 = 303;
+
+fn problem() -> (CsrMatrix, Vec<f64>, Vec<f64>) {
+    let class = CgClass::TEST;
+    let a = class.matrix(PROBLEM_SEED);
+    let b = class.rhs(&a);
+    let reference = jacobi_host(&a, &b, ITERS);
+    (a, b, reference)
+}
+
+fn config(a: &CsrMatrix) -> SystemConfig {
+    let cap = (ITERS + 2) * a.n() * 8 + a.nnz() * 12 + (a.n() + 1) * 4 + (2 << 20);
+    trim_dram(SystemConfig::nvm_only(16 << 10, cap))
+}
+
+// ---------------------------------------------------------------------
+// jacobi-extended
+// ---------------------------------------------------------------------
+
+/// Extended Jacobi (iterate-history ring) with update-equation recovery.
+pub struct JacobiExtended {
+    a: CsrMatrix,
+    b: Vec<f64>,
+    reference: Vec<f64>,
+}
+
+impl JacobiExtended {
+    pub fn new() -> Self {
+        let (a, b, reference) = problem();
+        JacobiExtended { a, b, reference }
+    }
+}
+
+impl Default for JacobiExtended {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scenario for JacobiExtended {
+    fn name(&self) -> &'static str {
+        "jacobi-extended"
+    }
+    fn kernel(&self) -> Kernel {
+        Kernel::Jacobi
+    }
+    fn mechanism(&self) -> Mechanism {
+        Mechanism::Extended
+    }
+    fn total_units(&self) -> u64 {
+        ITERS as u64
+    }
+
+    fn run_trial(&self, unit: u64) -> Trial {
+        let cfg = config(&self.a);
+        let mut sys = MemorySystem::new(cfg.clone());
+        let jac = ExtendedJacobi::setup(&mut sys, &self.a, &self.b, ITERS);
+        let trigger = CrashTrigger::AtSite {
+            site: CrashSite::new(sites::PH_AFTER_X, unit),
+            occurrence: 1,
+        };
+        let mut emu = CrashEmulator::from_system(sys, trigger);
+        match jac.run(&mut emu, 0, ITERS) {
+            RunOutcome::Completed(()) => {
+                let sol = jac.peek_solution(&emu);
+                Trial {
+                    unit,
+                    outcome: if max_diff(&sol, &self.reference) < TOL {
+                        Outcome::CompletedClean
+                    } else {
+                        Outcome::SilentCorruption
+                    },
+                    lost_units: 0,
+                    sim_time_ps: 0,
+                }
+            }
+            RunOutcome::Crashed(image) => {
+                let rec = jac.recover_and_resume(&image, cfg);
+                let matches = max_diff(&rec.solution, &self.reference) < TOL;
+                let detected = rec.restart_from.is_none();
+                Trial {
+                    unit,
+                    outcome: classify(detected, matches, rec.report.lost_units),
+                    lost_units: rec.report.lost_units,
+                    sim_time_ps: rec.report.total().ps(),
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// jacobi-ckpt
+// ---------------------------------------------------------------------
+
+/// Plain Jacobi with a checkpoint of `x` every iteration. Even units
+/// crash before the checkpoint, odd units after it.
+pub struct JacobiCkpt {
+    a: CsrMatrix,
+    b: Vec<f64>,
+    reference: Vec<f64>,
+}
+
+impl JacobiCkpt {
+    pub fn new() -> Self {
+        let (a, b, reference) = problem();
+        JacobiCkpt { a, b, reference }
+    }
+}
+
+impl Default for JacobiCkpt {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scenario for JacobiCkpt {
+    fn name(&self) -> &'static str {
+        "jacobi-ckpt"
+    }
+    fn kernel(&self) -> Kernel {
+        Kernel::Jacobi
+    }
+    fn mechanism(&self) -> Mechanism {
+        Mechanism::Checkpoint
+    }
+    fn total_units(&self) -> u64 {
+        2 * ITERS as u64
+    }
+
+    fn run_trial(&self, unit: u64) -> Trial {
+        let iter = unit / 2;
+        let phase = if unit.is_multiple_of(2) {
+            sites::PH_AFTER_X
+        } else {
+            sites::PH_ITER_END
+        };
+        let cfg = config(&self.a);
+        let mut sys = MemorySystem::new(cfg.clone());
+        let jac = PlainJacobi::setup(&mut sys, &self.a, &self.b, ITERS);
+        let mut mgr = CkptManager::new_nvm(&mut sys, jac.ckpt_regions(), false);
+        let trigger = CrashTrigger::AtSite {
+            site: CrashSite::new(phase, iter),
+            occurrence: 1,
+        };
+        let mut emu = CrashEmulator::from_system(sys, trigger);
+        let image = match adcc_core::jacobi::variants::run_with_ckpt(&mut emu, &jac, &mut mgr) {
+            RunOutcome::Completed(()) => {
+                let sol = jac.peek_solution(&emu);
+                return Trial {
+                    unit,
+                    outcome: if max_diff(&sol, &self.reference) < TOL {
+                        Outcome::CompletedClean
+                    } else {
+                        Outcome::SilentCorruption
+                    },
+                    lost_units: 0,
+                    sim_time_ps: 0,
+                };
+            }
+            RunOutcome::Crashed(image) => image,
+        };
+
+        let sys2 = MemorySystem::from_image(cfg, &image);
+        let mut emu2 = CrashEmulator::from_system(sys2, CrashTrigger::Never);
+        let t0 = emu2.now();
+        let (start, restored) =
+            adcc_core::jacobi::variants::ckpt_restore(&mut emu2, &jac, &mut mgr);
+        for _ in start..ITERS {
+            jac.step(&mut emu2);
+        }
+        let sim_time_ps = (emu2.now() - t0).ps();
+
+        let lost = (iter + 1).saturating_sub(start as u64);
+        let matches = max_diff(&jac.peek_solution(&emu2), &self.reference) < TOL;
+        Trial {
+            unit,
+            outcome: classify(!restored, matches, lost),
+            lost_units: lost,
+            sim_time_ps,
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Checksum-LU scenarios: ABFT-checksum algorithm extension and per-block
+//! checkpoint.
+
+use adcc_ckpt::manager::CkptManager;
+use adcc_core::lu::{dominant_matrix, lu_host, sites, ChecksumLu, LuBlockStatus};
+use adcc_linalg::Matrix;
+use adcc_sim::crash::{CrashEmulator, CrashSite, CrashTrigger, RunOutcome};
+use adcc_sim::system::{MemorySystem, SystemConfig};
+
+use super::trim_dram;
+use crate::outcome::{classify, Outcome};
+use crate::scenario::{Kernel, Mechanism, Scenario, Trial};
+
+const N: usize = 32;
+const BK: usize = 4;
+const TOL: f64 = 1e-8;
+const PROBLEM_SEED: u64 = 304;
+
+fn config() -> SystemConfig {
+    let cap = 2 * N * (N + 1) * 8 + N * 8 + (2 << 20);
+    trim_dram(SystemConfig::nvm_only(8 << 10, cap))
+}
+
+fn blocks() -> u64 {
+    N.div_ceil(BK) as u64
+}
+
+/// NaN-aware factor comparison (`Matrix::max_abs_diff` folds with
+/// `f64::max`, which would silently swallow NaN entries).
+fn factor_matches(got: &Matrix, want: &Matrix) -> bool {
+    let mut max = 0.0f64;
+    for i in 0..want.rows() {
+        for j in 0..want.cols() {
+            let d = (got.get(i, j) - want.get(i, j)).abs();
+            if !d.is_finite() {
+                return false;
+            }
+            max = max.max(d);
+        }
+    }
+    max < TOL
+}
+
+// ---------------------------------------------------------------------
+// lu-extended
+// ---------------------------------------------------------------------
+
+/// Checksum-LU with per-block verification and selective refactoring.
+/// Units below `N` crash after a column; the rest crash at block
+/// boundaries (after the block's checksums persisted).
+pub struct LuExtended {
+    a: Matrix,
+    reference: Matrix,
+}
+
+impl LuExtended {
+    pub fn new() -> Self {
+        let a = dominant_matrix(N, PROBLEM_SEED);
+        let reference = lu_host(&a);
+        LuExtended { a, reference }
+    }
+}
+
+impl Default for LuExtended {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn lu_trigger(unit: u64) -> CrashTrigger {
+    if unit < N as u64 {
+        CrashTrigger::AtSite {
+            site: CrashSite::new(sites::PH_AFTER_COL, unit),
+            occurrence: 1,
+        }
+    } else {
+        CrashTrigger::AtSite {
+            site: CrashSite::new(sites::PH_BLOCK_END, unit - N as u64),
+            occurrence: 1,
+        }
+    }
+}
+
+impl Scenario for LuExtended {
+    fn name(&self) -> &'static str {
+        "lu-extended"
+    }
+    fn kernel(&self) -> Kernel {
+        Kernel::Lu
+    }
+    fn mechanism(&self) -> Mechanism {
+        Mechanism::Extended
+    }
+    fn total_units(&self) -> u64 {
+        N as u64 + blocks()
+    }
+
+    fn run_trial(&self, unit: u64) -> Trial {
+        let cfg = config();
+        let mut sys = MemorySystem::new(cfg.clone());
+        let lu = ChecksumLu::setup(&mut sys, &self.a, BK);
+        let mut emu = CrashEmulator::from_system(sys, lu_trigger(unit));
+        match lu.run(&mut emu, 0) {
+            RunOutcome::Completed(()) => {
+                let factor = lu.peek_factor(&emu);
+                Trial {
+                    unit,
+                    outcome: if factor_matches(&factor, &self.reference) {
+                        Outcome::CompletedClean
+                    } else {
+                        Outcome::SilentCorruption
+                    },
+                    lost_units: 0,
+                    sim_time_ps: 0,
+                }
+            }
+            RunOutcome::Crashed(image) => {
+                let rec = lu.recover_and_resume(&image, cfg);
+                let matches = factor_matches(&rec.factor, &self.reference);
+                let detected = rec.statuses.contains(&LuBlockStatus::Inconsistent);
+                Trial {
+                    unit,
+                    outcome: classify(detected, matches, rec.report.lost_units),
+                    lost_units: rec.report.lost_units,
+                    sim_time_ps: rec.report.total().ps(),
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// lu-ckpt
+// ---------------------------------------------------------------------
+
+/// Plain blocked LU with a full-factor checkpoint after every block.
+pub struct LuCkpt {
+    a: Matrix,
+    reference: Matrix,
+}
+
+impl LuCkpt {
+    pub fn new() -> Self {
+        let a = dominant_matrix(N, PROBLEM_SEED);
+        let reference = lu_host(&a);
+        LuCkpt { a, reference }
+    }
+}
+
+impl Default for LuCkpt {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scenario for LuCkpt {
+    fn name(&self) -> &'static str {
+        "lu-ckpt"
+    }
+    fn kernel(&self) -> Kernel {
+        Kernel::Lu
+    }
+    fn mechanism(&self) -> Mechanism {
+        Mechanism::Checkpoint
+    }
+    fn total_units(&self) -> u64 {
+        N as u64 + blocks()
+    }
+
+    fn run_trial(&self, unit: u64) -> Trial {
+        let cfg = config();
+        let mut sys = MemorySystem::new(cfg.clone());
+        let lu = ChecksumLu::setup(&mut sys, &self.a, BK);
+        let regions = adcc_core::lu::variants::lu_ckpt_regions(&lu);
+        let mut mgr = CkptManager::new_nvm(&mut sys, regions, false);
+        let mut emu = CrashEmulator::from_system(sys, lu_trigger(unit));
+        let image = match adcc_core::lu::variants::run_with_ckpt(&mut emu, &lu, &mut mgr) {
+            RunOutcome::Completed(()) => {
+                let factor = lu.peek_factor(&emu);
+                return Trial {
+                    unit,
+                    outcome: if factor_matches(&factor, &self.reference) {
+                        Outcome::CompletedClean
+                    } else {
+                        Outcome::SilentCorruption
+                    },
+                    lost_units: 0,
+                    sim_time_ps: 0,
+                };
+            }
+            RunOutcome::Crashed(image) => image,
+        };
+
+        let sys2 = MemorySystem::from_image(cfg, &image);
+        let mut emu2 = CrashEmulator::from_system(sys2, CrashTrigger::Never);
+        let t0 = emu2.now();
+        let (start, restored) = adcc_core::lu::variants::ckpt_restore(&mut emu2, &lu, &mut mgr);
+        for b in start..blocks() as usize {
+            for c in b * BK..((b + 1) * BK).min(N) {
+                lu.process_column(&mut emu2, c);
+            }
+        }
+        let sim_time_ps = (emu2.now() - t0).ps();
+
+        // Column crashes abandon the in-flight block; block-end crashes
+        // land right after the checkpoint.
+        let crashed_block = if unit < N as u64 {
+            unit / BK as u64
+        } else {
+            unit - N as u64
+        };
+        let lost = (crashed_block + 1).saturating_sub(start as u64);
+        let matches = factor_matches(&lu.peek_factor(&emu2), &self.reference);
+        Trial {
+            unit,
+            outcome: classify(!restored, matches, lost),
+            lost_units: lost,
+            sim_time_ps,
+        }
+    }
+}

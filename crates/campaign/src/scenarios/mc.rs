@@ -1,0 +1,165 @@
+//! Monte-Carlo scenarios: selective flushing (replay recovery, with the
+//! count-total audit as its dirty-state detector) and epoch-tagged
+//! counters (exact replay under arbitrary eviction).
+//!
+//! Both use the engine's batch fast path: the lookup loop runs **once**
+//! and [`CrashEmulator::fork_image`] harvests a crash image at every
+//! scheduled lookup, turning an O(points × run) sweep into O(run +
+//! points × recovery).
+
+use adcc_core::mc::sim::{McMode, McSim};
+use adcc_core::mc::{McProblem, XS_CHANNELS};
+use adcc_sim::crash::{CrashEmulator, CrashTrigger};
+use adcc_sim::image::NvmImage;
+use adcc_sim::system::{MemorySystem, SystemConfig};
+
+use super::trim_dram;
+use crate::outcome::classify;
+use crate::scenario::{Kernel, Mechanism, Scenario, Trial};
+
+const LOOKUPS: u64 = 1_200;
+const INTERVAL: u64 = 64;
+const MC_SEED: u64 = 42;
+const PROBLEM_SEED: u64 = 305;
+
+/// One MC workload × persistence-mode pair.
+pub struct McCampaign {
+    problem: McProblem,
+    mode: McMode,
+    cfg: SystemConfig,
+    platform: &'static str,
+    name: &'static str,
+    mechanism: Mechanism,
+    reference: [u64; XS_CHANNELS],
+}
+
+impl McCampaign {
+    fn new(
+        mode: McMode,
+        cfg_of: impl Fn(usize) -> SystemConfig,
+        platform: &'static str,
+        name: &'static str,
+        mechanism: Mechanism,
+    ) -> Self {
+        let problem = McProblem::generate(36, 64, PROBLEM_SEED);
+        let cfg = cfg_of(problem.grid_bytes());
+        // Crash-free reference counts (mode- and platform-independent:
+        // the sampled physics only depends on the MC seed).
+        let mut sys = MemorySystem::new(cfg.clone());
+        let mc = McSim::setup(&mut sys, problem.clone(), LOOKUPS, MC_SEED, McMode::Native);
+        let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        mc.run(&mut emu, 0, LOOKUPS)
+            .completed()
+            .expect("trigger is Never");
+        let reference = mc.peek_counts(&emu);
+        McCampaign {
+            problem,
+            mode,
+            cfg,
+            platform,
+            name,
+            mechanism,
+            reference,
+        }
+    }
+
+    /// The paper's fixed MC scheme: flush state every `INTERVAL` lookups,
+    /// replay from the flushed index.
+    pub fn new_selective() -> Self {
+        Self::new(
+            McMode::Selective { interval: INTERVAL },
+            |grid_bytes| {
+                trim_dram(SystemConfig::nvm_only(
+                    16 << 10,
+                    (grid_bytes + (1 << 20)).next_power_of_two(),
+                ))
+            },
+            "nvm-only",
+            "mc-selective",
+            Mechanism::Selective,
+        )
+    }
+
+    /// The epoch extension under deliberately hostile tiny heterogeneous
+    /// caches (counter lines evicted at arbitrary times).
+    pub fn new_epoch() -> Self {
+        Self::new(
+            McMode::Epoch { interval: INTERVAL },
+            |grid_bytes| {
+                trim_dram(SystemConfig::heterogeneous(
+                    4 << 10,
+                    16 << 10,
+                    (grid_bytes + (1 << 20)).next_power_of_two(),
+                ))
+            },
+            "hetero",
+            "mc-epoch",
+            Mechanism::Epoch,
+        )
+    }
+
+    fn recover_one(&self, mc: &McSim, image: &NvmImage, unit: u64) -> Trial {
+        let rec = mc.recover_and_resume(image, self.cfg.clone(), unit + 1);
+        let total: u64 = rec.counts.iter().sum();
+        // The count-total audit is the mechanism's integrity check: replay
+        // can only ever double-count (evicted counter lines are newer than
+        // the flushed index), so any discrepancy shows up here.
+        let detected = total != LOOKUPS;
+        let matches = rec.counts == self.reference;
+        Trial {
+            unit,
+            outcome: classify(detected, matches, rec.report.lost_units),
+            lost_units: rec.report.lost_units,
+            sim_time_ps: rec.report.total().ps(),
+        }
+    }
+}
+
+impl Scenario for McCampaign {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn kernel(&self) -> Kernel {
+        Kernel::Mc
+    }
+    fn mechanism(&self) -> Mechanism {
+        self.mechanism
+    }
+    fn platform_name(&self) -> &'static str {
+        self.platform
+    }
+    fn total_units(&self) -> u64 {
+        LOOKUPS
+    }
+
+    fn supports_batch(&self) -> bool {
+        true
+    }
+
+    fn run_trial(&self, unit: u64) -> Trial {
+        self.run_batch(&[unit])
+            .expect("mc scenarios always batch")
+            .remove(0)
+    }
+
+    fn run_batch(&self, units: &[u64]) -> Option<Vec<Trial>> {
+        let mut sys = MemorySystem::new(self.cfg.clone());
+        let mc = McSim::setup(&mut sys, self.problem.clone(), LOOKUPS, MC_SEED, self.mode);
+        let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        let mut done = 0u64;
+        let mut trials = Vec::with_capacity(units.len());
+        for &unit in units {
+            debug_assert!(unit >= done, "batch units must arrive sorted");
+            mc.run(&mut emu, done, unit + 1)
+                .completed()
+                .expect("trigger is Never");
+            done = unit + 1;
+            // This is exactly where a `(PH_LOOKUP, unit)` crash trigger
+            // would fire; fork the image it would leave instead of
+            // crashing, so the run can keep going.
+            let image = emu.fork_image();
+            trials.push(self.recover_one(&mc, &image, unit));
+        }
+        Some(trials)
+    }
+}

@@ -1,0 +1,68 @@
+//! Concrete scenarios: each file wires one kernel family's runners and
+//! recovery paths into the [`crate::scenario::Scenario`] trait.
+
+mod bicgstab;
+mod cg;
+mod jacobi;
+mod lu;
+mod mc;
+mod stencil;
+
+use adcc_sim::system::SystemConfig;
+
+use crate::scenario::Scenario;
+
+/// Every registered scenario, in report order. All six kernel families
+/// appear with at least two mechanisms each (the campaign acceptance
+/// criterion); `crate::scenario::tests` enforces it.
+pub fn all() -> Vec<Box<dyn Scenario>> {
+    vec![
+        Box::new(cg::CgExtended::new()),
+        Box::new(cg::CgCkpt::new()),
+        Box::new(cg::CgPmem::new()),
+        Box::new(bicgstab::BiExtended::new_full()),
+        Box::new(bicgstab::BiExtended::new_windowed()),
+        Box::new(jacobi::JacobiExtended::new()),
+        Box::new(jacobi::JacobiCkpt::new()),
+        Box::new(stencil::StencilExtended::new()),
+        Box::new(stencil::StencilCkpt::new()),
+        Box::new(lu::LuExtended::new()),
+        Box::new(lu::LuCkpt::new()),
+        Box::new(mc::McCampaign::new_selective()),
+        Box::new(mc::McCampaign::new_epoch()),
+    ]
+}
+
+/// Campaign systems only need kilobytes of volatile scratch; the default
+/// 64 MB DRAM-direct region would dominate per-trial setup cost (every
+/// trial builds a fresh zeroed `MemorySystem`).
+pub(crate) fn trim_dram(mut cfg: SystemConfig) -> SystemConfig {
+    cfg.dram_capacity = 2 << 20;
+    cfg
+}
+
+/// Max elementwise difference — the match criterion shared by the vector
+/// kernels. NaN anywhere is a mismatch (`f64::INFINITY`), never masked:
+/// a NaN-corrupted recovery must classify as silent corruption, not pass.
+pub(crate) fn max_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).fold(0.0, |acc, (x, y)| {
+        let d = (x - y).abs();
+        if d.is_nan() {
+            f64::INFINITY
+        } else {
+            acc.max(d)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::max_diff;
+
+    #[test]
+    fn max_diff_propagates_nan_as_mismatch() {
+        assert_eq!(max_diff(&[1.0, 2.0], &[1.0, 2.5]), 0.5);
+        assert_eq!(max_diff(&[1.0, f64::NAN], &[1.0, 2.0]), f64::INFINITY);
+        assert_eq!(max_diff(&[f64::NAN], &[0.0]), f64::INFINITY);
+    }
+}

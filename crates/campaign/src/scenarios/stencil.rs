@@ -1,0 +1,219 @@
+//! Heat-stencil scenarios: checksum-ring algorithm extension and
+//! per-sweep checkpoint (with mid-sweep access-count crash points).
+
+use adcc_ckpt::manager::CkptManager;
+use adcc_core::stencil::{heat_host, sites, ExtendedStencil, PlainStencil};
+use adcc_sim::crash::{CrashEmulator, CrashSite, CrashTrigger, RunOutcome};
+use adcc_sim::system::{MemorySystem, SystemConfig};
+
+use super::{max_diff, trim_dram};
+use crate::outcome::{classify, Outcome};
+use crate::scenario::{Kernel, Mechanism, Scenario, Trial};
+
+// A 24×24 grid makes one generation (4.6 KB) overflow the 4 KB CPU cache,
+// so older sweeps actually reach NVM and the extension's verified-restart
+// path gets exercised alongside the fall-back-to-scratch path.
+const GRID: usize = 24;
+const SWEEPS: usize = 10;
+const WINDOW: usize = 3;
+const ROW_BLOCK: usize = 4;
+const TOL: f64 = 1e-9;
+/// Mid-sweep crash points for the checkpoint scenario: one sweep of a
+/// 24×24 grid costs ≈ 3.4k element accesses, so these land inside the run.
+const ACCESS_POINTS: u64 = 6;
+const ACCESS_BASE: u64 = 2_000;
+const ACCESS_STRIDE: u64 = 4_500;
+
+fn config() -> SystemConfig {
+    let cap = (WINDOW + 3) * GRID * GRID * 8 + (2 << 20);
+    trim_dram(SystemConfig::nvm_only(4 << 10, cap))
+}
+
+fn reference() -> Vec<f64> {
+    heat_host(GRID, GRID, SWEEPS)
+}
+
+// ---------------------------------------------------------------------
+// stencil-extended
+// ---------------------------------------------------------------------
+
+/// Extended stencil (generation ring + tagged block sums). Even units
+/// crash at a sweep boundary, odd units inside a sweep after one of its
+/// block-sum publishes.
+pub struct StencilExtended {
+    reference: Vec<f64>,
+}
+
+impl StencilExtended {
+    pub fn new() -> Self {
+        StencilExtended {
+            reference: reference(),
+        }
+    }
+}
+
+impl Default for StencilExtended {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scenario for StencilExtended {
+    fn name(&self) -> &'static str {
+        "stencil-extended"
+    }
+    fn kernel(&self) -> Kernel {
+        Kernel::Stencil
+    }
+    fn mechanism(&self) -> Mechanism {
+        Mechanism::Extended
+    }
+    fn total_units(&self) -> u64 {
+        2 * SWEEPS as u64
+    }
+
+    fn run_trial(&self, unit: u64) -> Trial {
+        let sweep = unit / 2;
+        let cfg = config();
+        let mut sys = MemorySystem::new(cfg.clone());
+        let st = ExtendedStencil::setup(&mut sys, GRID, GRID, SWEEPS, WINDOW, ROW_BLOCK);
+        let trigger = if unit.is_multiple_of(2) {
+            CrashTrigger::AtSite {
+                site: CrashSite::new(sites::PH_SWEEP_END, sweep),
+                occurrence: 1,
+            }
+        } else {
+            // The (PH_AFTER_BLOCK, b) site is polled once per sweep, so
+            // the occurrence count selects which sweep to crash in.
+            let block = sweep % st.blocks() as u64;
+            CrashTrigger::AtSite {
+                site: CrashSite::new(sites::PH_AFTER_BLOCK, block),
+                occurrence: sweep as u32 + 1,
+            }
+        };
+        let mut emu = CrashEmulator::from_system(sys, trigger);
+        match st.run(&mut emu, 0, SWEEPS) {
+            RunOutcome::Completed(()) => {
+                let grid = st.peek_grid(&emu, SWEEPS);
+                Trial {
+                    unit,
+                    outcome: if max_diff(&grid, &self.reference) < TOL {
+                        Outcome::CompletedClean
+                    } else {
+                        Outcome::SilentCorruption
+                    },
+                    lost_units: 0,
+                    sim_time_ps: 0,
+                }
+            }
+            RunOutcome::Crashed(image) => {
+                let rec = st.recover_and_resume(&image, cfg);
+                let matches = max_diff(&rec.solution, &self.reference) < TOL;
+                let detected = rec.restart_from.is_none();
+                Trial {
+                    unit,
+                    outcome: classify(detected, matches, rec.report.lost_units),
+                    lost_units: rec.report.lost_units,
+                    sim_time_ps: rec.report.total().ps(),
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// stencil-ckpt
+// ---------------------------------------------------------------------
+
+/// Plain ping-pong stencil with a full-grid checkpoint every sweep.
+/// Units below `SWEEPS` crash at sweep boundaries (right after the
+/// checkpoint); the rest crash mid-sweep on an access-count trigger.
+pub struct StencilCkpt {
+    reference: Vec<f64>,
+}
+
+impl StencilCkpt {
+    pub fn new() -> Self {
+        StencilCkpt {
+            reference: reference(),
+        }
+    }
+}
+
+impl Default for StencilCkpt {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scenario for StencilCkpt {
+    fn name(&self) -> &'static str {
+        "stencil-ckpt"
+    }
+    fn kernel(&self) -> Kernel {
+        Kernel::Stencil
+    }
+    fn mechanism(&self) -> Mechanism {
+        Mechanism::Checkpoint
+    }
+    fn total_units(&self) -> u64 {
+        SWEEPS as u64 + ACCESS_POINTS
+    }
+
+    fn run_trial(&self, unit: u64) -> Trial {
+        let cfg = config();
+        let mut sys = MemorySystem::new(cfg.clone());
+        let st = PlainStencil::setup(&mut sys, GRID, GRID, SWEEPS);
+        let mut mgr = CkptManager::new_nvm(&mut sys, st.ckpt_regions(), false);
+        let trigger = if unit < SWEEPS as u64 {
+            CrashTrigger::AtSite {
+                site: CrashSite::new(sites::PH_SWEEP_END, unit),
+                occurrence: 1,
+            }
+        } else {
+            CrashTrigger::AtAccessCount(ACCESS_BASE + (unit - SWEEPS as u64) * ACCESS_STRIDE)
+        };
+        let mut emu = CrashEmulator::from_system(sys, trigger);
+        let image = match adcc_core::stencil::variants::run_with_ckpt(&mut emu, &st, &mut mgr) {
+            RunOutcome::Completed(()) => {
+                let grid = st.peek_grid(&emu, SWEEPS);
+                return Trial {
+                    unit,
+                    outcome: if max_diff(&grid, &self.reference) < TOL {
+                        Outcome::CompletedClean
+                    } else {
+                        Outcome::SilentCorruption
+                    },
+                    lost_units: 0,
+                    sim_time_ps: 0,
+                };
+            }
+            RunOutcome::Crashed(image) => image,
+        };
+
+        let sys2 = MemorySystem::from_image(cfg, &image);
+        let mut emu2 = CrashEmulator::from_system(sys2, CrashTrigger::Never);
+        let t0 = emu2.now();
+        let (start, restored) =
+            adcc_core::stencil::variants::ckpt_restore(&mut emu2, &st, &mut mgr);
+        for t in start..SWEEPS {
+            st.sweep(&mut emu2, t);
+        }
+        let sim_time_ps = (emu2.now() - t0).ps();
+
+        // Sweep-boundary crashes land right after the checkpoint (nothing
+        // lost); access-count crashes abandon the in-flight sweep.
+        let lost = if unit < SWEEPS as u64 {
+            (unit + 1).saturating_sub(start as u64)
+        } else {
+            1
+        };
+        let matches = max_diff(&st.peek_grid(&emu2, SWEEPS), &self.reference) < TOL;
+        Trial {
+            unit,
+            outcome: classify(!restored, matches, lost),
+            lost_units: lost,
+            sim_time_ps,
+        }
+    }
+}

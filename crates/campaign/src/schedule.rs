@@ -1,0 +1,166 @@
+//! Crash-point schedules: which work units of a scenario get a crash
+//! injected, derived deterministically from the campaign seed.
+
+use rand::prelude::*;
+
+/// How crash points are chosen inside a scenario's `[0, total_units)`
+/// space, subject to the per-scenario state budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Every `k`-th unit, starting at 0, until the budget is spent.
+    EveryK { k: u64 },
+    /// The unit space is split into `budget` equal strata and one point is
+    /// drawn uniformly (seeded) from each — coverage across the whole run
+    /// with reproducible jitter.
+    Stratified,
+    /// Exhaustive when the unit space is at most `n`; stratified fallback
+    /// above that (no silent truncation — the report records trial
+    /// counts next to `total_units`).
+    ExhaustiveBelow { n: u64 },
+}
+
+impl Schedule {
+    /// Stable identifier used in report JSON and on the CLI.
+    pub fn name(&self) -> String {
+        match self {
+            Schedule::EveryK { k } => format!("every-k:{k}"),
+            Schedule::Stratified => "stratified".to_string(),
+            Schedule::ExhaustiveBelow { n } => format!("exhaustive:{n}"),
+        }
+    }
+
+    /// Parse the CLI/report spelling produced by [`Schedule::name`].
+    pub fn parse(text: &str) -> Result<Schedule, String> {
+        if text == "stratified" {
+            return Ok(Schedule::Stratified);
+        }
+        if let Some(k) = text.strip_prefix("every-k:") {
+            let k: u64 = k.parse().map_err(|_| format!("bad every-k arg {k:?}"))?;
+            if k == 0 {
+                return Err("every-k step must be positive".into());
+            }
+            return Ok(Schedule::EveryK { k });
+        }
+        if let Some(n) = text.strip_prefix("exhaustive:") {
+            let n: u64 = n.parse().map_err(|_| format!("bad exhaustive arg {n:?}"))?;
+            return Ok(Schedule::ExhaustiveBelow { n });
+        }
+        Err(format!(
+            "unknown schedule {text:?} (expected stratified, every-k:K, or exhaustive:N)"
+        ))
+    }
+
+    /// The crash points for one scenario: sorted, deduplicated, all in
+    /// `[0, total_units)`, at most `budget` of them. Deterministic in
+    /// `(self, seed, scenario_name, total_units, budget)`.
+    pub fn crash_points(
+        &self,
+        seed: u64,
+        scenario_name: &str,
+        total_units: u64,
+        budget: u64,
+    ) -> Vec<u64> {
+        if total_units == 0 || budget == 0 {
+            return Vec::new();
+        }
+        match *self {
+            Schedule::EveryK { k } => (0..total_units)
+                .step_by(k.max(1) as usize)
+                .take(budget as usize)
+                .collect(),
+            Schedule::ExhaustiveBelow { n } => {
+                if total_units <= n && total_units <= budget {
+                    (0..total_units).collect()
+                } else {
+                    Schedule::Stratified.crash_points(seed, scenario_name, total_units, budget)
+                }
+            }
+            Schedule::Stratified => {
+                if budget >= total_units {
+                    return (0..total_units).collect();
+                }
+                let mut rng = StdRng::seed_from_u64(seed ^ fnv1a(scenario_name));
+                let mut points: Vec<u64> = (0..budget)
+                    .map(|s| {
+                        let lo = s * total_units / budget;
+                        let hi = ((s + 1) * total_units / budget).max(lo + 1);
+                        rng.random_range(lo..hi)
+                    })
+                    .collect();
+                points.sort_unstable();
+                points.dedup();
+                points
+            }
+        }
+    }
+}
+
+/// FNV-1a over the scenario name: decorrelates per-scenario streams drawn
+/// from one campaign seed.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips() {
+        for s in [
+            Schedule::Stratified,
+            Schedule::EveryK { k: 7 },
+            Schedule::ExhaustiveBelow { n: 256 },
+        ] {
+            assert_eq!(Schedule::parse(&s.name()).unwrap(), s);
+        }
+        assert!(Schedule::parse("every-k:0").is_err());
+        assert!(Schedule::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn stratified_is_deterministic_and_covering() {
+        let a = Schedule::Stratified.crash_points(42, "cg-extended", 1000, 20);
+        let b = Schedule::Stratified.crash_points(42, "cg-extended", 1000, 20);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 20, "strata are disjoint, so no dedup losses");
+        // One point per stratum of width 50.
+        for (s, &p) in a.iter().enumerate() {
+            assert!(p >= s as u64 * 50 && p < (s as u64 + 1) * 50, "{s}: {p}");
+        }
+        // Different scenarios draw different streams.
+        let c = Schedule::Stratified.crash_points(42, "lu-ckpt", 1000, 20);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stratified_saturates_to_exhaustive() {
+        let pts = Schedule::Stratified.crash_points(7, "x", 10, 50);
+        assert_eq!(pts, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_k_and_exhaustive() {
+        assert_eq!(
+            Schedule::EveryK { k: 4 }.crash_points(0, "x", 10, 100),
+            vec![0, 4, 8]
+        );
+        assert_eq!(
+            Schedule::EveryK { k: 1 }.crash_points(0, "x", 10, 3),
+            vec![0, 1, 2]
+        );
+        assert_eq!(
+            Schedule::ExhaustiveBelow { n: 16 }.crash_points(0, "x", 10, 100),
+            (0..10).collect::<Vec<_>>()
+        );
+        // Above the cutoff it falls back to stratified.
+        let pts = Schedule::ExhaustiveBelow { n: 16 }.crash_points(3, "x", 1000, 8);
+        assert_eq!(pts.len(), 8);
+        assert!(pts.windows(2).all(|w| w[0] < w[1]));
+    }
+}

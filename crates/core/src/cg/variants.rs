@@ -51,20 +51,20 @@ pub fn run_with_ckpt(
     RunOutcome::Completed(rho)
 }
 
-/// Restore from the newest checkpoint and resume to completion. Returns
-/// `(final_rho, iterations_re_executed)`.
-pub fn ckpt_restore_and_resume(
+/// Restore from the newest checkpoint, or rebuild the initial state when
+/// none exists yet. Returns `(completed_iterations, rho, restored)` —
+/// `restored == false` means the crash beat the first checkpoint.
+pub fn ckpt_restore(
     emu: &mut CrashEmulator,
     cg: &PlainCg,
     rho0: f64,
     mgr: &mut CkptManager,
-) -> (f64, u64) {
-    let restored = mgr.restore(emu);
-    let (start, mut rho) = match restored {
+) -> (usize, f64, bool) {
+    match mgr.restore(emu) {
         Some(_) => {
             let rho = cg.rho_cell.get(emu);
             let done = cg.iter_cell.get(emu) as usize;
-            (done, rho)
+            (done, rho, true)
         }
         None => {
             // No checkpoint yet: restart from the initial state, which is
@@ -75,9 +75,20 @@ pub fn ckpt_restore_and_resume(
                 cg.r.set(emu, j, v);
                 cg.z.set(emu, j, 0.0);
             }
-            (0, rho0)
+            (0, rho0, false)
         }
-    };
+    }
+}
+
+/// Restore from the newest checkpoint and resume to completion. Returns
+/// `(final_rho, iterations_re_executed)`.
+pub fn ckpt_restore_and_resume(
+    emu: &mut CrashEmulator,
+    cg: &PlainCg,
+    rho0: f64,
+    mgr: &mut CkptManager,
+) -> (f64, u64) {
+    let (start, mut rho, _) = ckpt_restore(emu, cg, rho0, mgr);
     let mut executed = 0u64;
     for _ in start..cg.iters {
         rho = cg.step(emu, rho);

@@ -41,6 +41,25 @@ pub fn run_with_ckpt(
     RunOutcome::Completed(())
 }
 
+/// Restore from the newest checkpoint, or reset `x` to the initial zero
+/// iterate when none exists yet. Returns `(completed_iterations,
+/// restored)`.
+pub fn ckpt_restore(
+    emu: &mut CrashEmulator,
+    jac: &PlainJacobi,
+    mgr: &mut CkptManager,
+) -> (usize, bool) {
+    match mgr.restore(emu) {
+        Some(_) => (jac.iter_cell.get(emu) as usize, true),
+        None => {
+            for j in 0..jac.n {
+                jac.x.set(emu, j, 0.0);
+            }
+            (0, false)
+        }
+    }
+}
+
 /// Restore from the newest checkpoint and resume to completion. Returns
 /// the number of iterations re-executed.
 pub fn ckpt_restore_and_resume(
@@ -48,15 +67,7 @@ pub fn ckpt_restore_and_resume(
     jac: &PlainJacobi,
     mgr: &mut CkptManager,
 ) -> u64 {
-    let start = match mgr.restore(emu) {
-        Some(_) => jac.iter_cell.get(emu) as usize,
-        None => {
-            for j in 0..jac.n {
-                jac.x.set(emu, j, 0.0);
-            }
-            0
-        }
-    };
+    let (start, _) = ckpt_restore(emu, jac, mgr);
     let mut executed = 0u64;
     for _ in start..jac.iters {
         jac.step(emu);

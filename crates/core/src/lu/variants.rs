@@ -50,6 +50,26 @@ pub fn run_with_ckpt(
     RunOutcome::Completed(())
 }
 
+/// Restore from the newest checkpoint, or wipe the factor back to zeros
+/// when none exists yet. Returns `(completed_blocks, restored)`.
+pub fn ckpt_restore(
+    emu: &mut CrashEmulator,
+    lu: &ChecksumLu,
+    mgr: &mut CkptManager,
+) -> (usize, bool) {
+    match mgr.restore(emu) {
+        Some(_) => (lu.blk_cell.get(emu) as usize, true),
+        None => {
+            // No checkpoint: wipe the factor back to zeros.
+            let zero = vec![0.0f64; lu.n + 1];
+            for j in 0..lu.n {
+                lu.f.row(j).store_slice(emu, &zero);
+            }
+            (0, false)
+        }
+    }
+}
+
 /// Restore from the newest checkpoint and resume. Returns the number of
 /// blocks re-executed.
 pub fn ckpt_restore_and_resume(
@@ -57,17 +77,7 @@ pub fn ckpt_restore_and_resume(
     lu: &ChecksumLu,
     mgr: &mut CkptManager,
 ) -> u64 {
-    let start = match mgr.restore(emu) {
-        Some(_) => lu.blk_cell.get(emu) as usize,
-        None => {
-            // No checkpoint: wipe the factor back to zeros.
-            let zero = vec![0.0f64; lu.n + 1];
-            for j in 0..lu.n {
-                lu.f.row(j).store_slice(emu, &zero);
-            }
-            0
-        }
-    };
+    let (start, _) = ckpt_restore(emu, lu, mgr);
     let mut executed = 0u64;
     for b in start..lu.blocks() {
         let cols = b * lu.bk..((b + 1) * lu.bk).min(lu.n);

@@ -36,6 +36,34 @@ pub fn run_with_ckpt(
     RunOutcome::Completed(())
 }
 
+/// Re-seed both ping-pong buffers from the initial condition (charged —
+/// part of the recovery bill when no checkpoint exists yet).
+pub fn reseed_initial(emu: &mut CrashEmulator, st: &PlainStencil) {
+    for b in &st.bufs {
+        for r in 0..st.rows {
+            for c in 0..st.cols {
+                b.set(emu, r, c, super::initial_value(st.rows, st.cols, r, c));
+            }
+        }
+    }
+}
+
+/// Restore from the newest checkpoint, or re-seed the initial condition
+/// when none exists yet. Returns `(completed_sweeps, restored)`.
+pub fn ckpt_restore(
+    emu: &mut CrashEmulator,
+    st: &PlainStencil,
+    mgr: &mut CkptManager,
+) -> (usize, bool) {
+    match mgr.restore(emu) {
+        Some(_) => (st.sweep_cell.get(emu) as usize, true),
+        None => {
+            reseed_initial(emu, st);
+            (0, false)
+        }
+    }
+}
+
 /// Restore from the newest checkpoint and resume. Returns the number of
 /// sweeps re-executed.
 pub fn ckpt_restore_and_resume(
@@ -43,21 +71,7 @@ pub fn ckpt_restore_and_resume(
     st: &PlainStencil,
     mgr: &mut CkptManager,
 ) -> u64 {
-    let start = match mgr.restore(emu) {
-        Some(_) => st.sweep_cell.get(emu) as usize,
-        None => {
-            // No checkpoint: re-seed both buffers from the initial
-            // condition (charged — part of the recovery bill).
-            for b in &st.bufs {
-                for r in 0..st.rows {
-                    for c in 0..st.cols {
-                        b.set(emu, r, c, super::initial_value(st.rows, st.cols, r, c));
-                    }
-                }
-            }
-            0
-        }
-    };
+    let (start, _) = ckpt_restore(emu, st, mgr);
     let mut executed = 0u64;
     for t in start..st.sweeps {
         st.sweep(emu, t);

@@ -124,6 +124,14 @@ impl CrashEmulator {
         self.sys.crash()
     }
 
+    /// Fork the crash image at the current point without crashing: the
+    /// exact image [`CrashEmulator::crash_now`] would return, but the run
+    /// keeps going (see [`MemorySystem::crash_fork`]). Campaign engines
+    /// use this to harvest many crash states from one execution.
+    pub fn fork_image(&self) -> NvmImage {
+        self.sys.crash_fork()
+    }
+
     /// Consume the emulator, returning the underlying system (run completed
     /// without a crash).
     pub fn into_system(self) -> MemorySystem {
@@ -254,6 +262,23 @@ mod tests {
         assert!(e.poll(CrashSite::new(0, 1)));
         let img = e.crash_now();
         assert_eq!(img.read_u64(a.addr(0)), 42);
+    }
+
+    #[test]
+    fn fork_image_matches_crash_now_and_keeps_running() {
+        let mut e = emu(CrashTrigger::Never);
+        let a = PArray::<u64>::alloc_nvm(&mut e, 4);
+        a.set(&mut e, 0, 1);
+        a.persist_all(&mut e);
+        a.set(&mut e, 1, 2); // stranded in cache
+        let fork = e.fork_image();
+        // The run continues unharmed...
+        assert_eq!(a.get(&mut e, 1), 2);
+        // ...and the fork equals the real crash image taken at that point.
+        let crashed = e.crash_now();
+        assert_eq!(fork.bytes(), crashed.bytes());
+        assert_eq!(fork.read_u64(a.addr(0)), 1);
+        assert_eq!(fork.read_u64(a.addr(1)), 0);
     }
 
     #[test]

@@ -694,6 +694,38 @@ impl MemorySystem {
     pub fn nvm_snapshot(&self) -> NvmImage {
         NvmImage::new(self.nvm.snapshot())
     }
+
+    /// Fork the crash image at the current point: exactly the [`NvmImage`]
+    /// that [`MemorySystem::crash`] would return *right now*, without
+    /// discarding any volatile state, so execution can continue.
+    ///
+    /// This is the cheap snapshot hook crash-injection campaigns build on:
+    /// one instrumented execution can yield an image per crash point
+    /// instead of re-running the application once per point. Honors
+    /// [`SystemConfig::persistent_caches`] by overlaying the dirty
+    /// NVM-homed cache lines the battery would drain (CPU copies supersede
+    /// DRAM-cache copies, like the real drain). Uncharged.
+    pub fn crash_fork(&self) -> NvmImage {
+        let mut bytes = self.nvm.snapshot();
+        if self.cfg.persistent_caches {
+            let base = self.nvm.base();
+            // DRAM-cache copies first, then CPU copies (newer) on top.
+            let levels = self
+                .dramc
+                .iter()
+                .flat_map(|dc| dc.iter_resident())
+                .chain(self.cpu.iter_resident());
+            for (line, dirty, data) in levels {
+                let addr = line << LINE_SHIFT;
+                if !dirty || is_dram_addr(addr) {
+                    continue;
+                }
+                let off = (addr - base) as usize;
+                bytes[off..off + LINE_SIZE].copy_from_slice(data);
+            }
+        }
+        NvmImage::new(bytes)
+    }
 }
 
 #[cfg(test)]
@@ -964,6 +996,54 @@ mod tests {
         let mut out = [9u8; 8];
         s.peek_bytes(a, &mut out);
         assert_eq!(out, [0; 8]);
+    }
+
+    #[test]
+    fn crash_fork_equals_crash_image_and_preserves_the_run() {
+        let mut s = small_sys();
+        let a = s.alloc_nvm(64);
+        let b = s.alloc_nvm(64);
+        s.write_bytes(a, &[7; 8]);
+        s.clflush(a);
+        s.write_bytes(b, &[8; 8]); // stranded in cache
+        let fork = s.crash_fork();
+        // The fork is non-destructive: cached data is still visible...
+        let mut out = [0u8; 8];
+        s.peek_bytes(b, &mut out);
+        assert_eq!(out, [8; 8]);
+        // ...and the image matches what a real crash produces.
+        let crashed = s.crash();
+        assert_eq!(fork.bytes(), crashed.bytes());
+        assert_eq!(fork.read_u8(a), 7);
+        assert_eq!(fork.read_u8(b), 0);
+    }
+
+    #[test]
+    fn crash_fork_equals_crash_on_hetero() {
+        let mut s = hetero_sys();
+        let a = s.alloc_nvm(128);
+        s.write_bytes(a, &[5; 8]);
+        s.clflush(a); // dirty in the volatile DRAM cache
+        s.write_bytes(a + 64, &[6; 8]); // dirty in the CPU cache
+        let fork = s.crash_fork();
+        let crashed = s.crash();
+        assert_eq!(fork.bytes(), crashed.bytes());
+        assert_eq!(fork.read_u8(a), 0, "DRAM-cache copy is volatile");
+    }
+
+    #[test]
+    fn crash_fork_drains_persistent_caches_like_crash() {
+        let cfg = SystemConfig::heterogeneous(4096, 16384, 1 << 20).with_persistent_caches(true);
+        let mut s = MemorySystem::new(cfg);
+        let a = s.alloc_nvm(128);
+        s.write_bytes(a, &[1; 8]);
+        s.clflush(a); // dirty in the DRAM cache
+        s.write_bytes(a + 64, &[2; 8]); // dirty in the CPU cache
+        let fork = s.crash_fork();
+        let crashed = s.crash();
+        assert_eq!(fork.bytes(), crashed.bytes());
+        assert_eq!(fork.read_u8(a), 1);
+        assert_eq!(fork.read_u8(a + 64), 2);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | [`linalg`] | CSR/SPD sparse and dense blocked linear algebra, native (rayon) and simulated |
 //! | [`core`] | the paper's contribution — algorithm-directed CG, ABFT-MM and MC — plus four extension kernels (Jacobi, BiCGSTAB, checksum-LU, heat stencil) |
 //! | [`harness`] | platforms, the seven test cases, a runner per evaluation figure, extension tables, substrate ablations |
+//! | [`campaign`] | deterministic, seedable crash-injection campaign engine: scenario registry (6 kernels × mechanisms), crash-point schedules, parallel fan-out, JSON reports, the `campaign` CLI |
 //!
 //! ## Quick start
 //!
@@ -43,6 +44,7 @@
 //! assert!(recovery.report.lost_units <= 8);
 //! ```
 
+pub use adcc_campaign as campaign;
 pub use adcc_ckpt as ckpt;
 pub use adcc_core as core;
 pub use adcc_harness as harness;
@@ -52,6 +54,7 @@ pub use adcc_sim as sim;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
+    pub use adcc_campaign::{run_campaign, CampaignConfig, CampaignReport, Outcome, Schedule};
     pub use adcc_ckpt::manager::CkptManager;
     pub use adcc_ckpt::{
         DisklessCheckpoint, IncrementalCheckpoint, MemCheckpoint, MultilevelCheckpoint, ParityNode,

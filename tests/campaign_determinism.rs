@@ -1,0 +1,66 @@
+//! Campaign reports must be replayable from `(seed, budget, schedule)`
+//! alone: two runs with the same inputs produce byte-identical canonical
+//! JSON, whether the trials ran on 1 worker thread or 8 — wall-clock and
+//! thread count are the only fields allowed to differ, and they live in
+//! the stripped `host` section.
+
+use adcc::campaign::engine::{run_campaign, CampaignConfig};
+use adcc::campaign::report::CampaignReport;
+use adcc::campaign::schedule::Schedule;
+
+const BUDGET: u64 = 26;
+
+fn config(threads: usize, seed: u64) -> CampaignConfig {
+    CampaignConfig {
+        seed,
+        budget_states: BUDGET,
+        schedule: Schedule::Stratified,
+        threads,
+    }
+}
+
+#[test]
+fn same_seed_identical_reports_across_1_and_8_threads() {
+    let serial = run_campaign(&config(1, 42));
+    let parallel = run_campaign(&config(8, 42));
+    assert_eq!(serial.threads, 1);
+    assert_eq!(parallel.threads, 8);
+    assert_eq!(
+        serial.canonical_string(),
+        parallel.canonical_string(),
+        "thread count must not be observable in the canonical report"
+    );
+    // The full (host-including) forms legitimately differ in `threads`.
+    assert_ne!(serial.to_string_pretty(), parallel.to_string_pretty());
+}
+
+#[test]
+fn same_seed_identical_reports_across_reruns() {
+    let a = run_campaign(&config(2, 42));
+    let b = run_campaign(&config(2, 42));
+    assert_eq!(a.canonical_string(), b.canonical_string());
+}
+
+#[test]
+fn different_seed_changes_the_schedule() {
+    let a = run_campaign(&config(2, 42));
+    let b = run_campaign(&config(2, 1042));
+    assert_ne!(
+        a.canonical_string(),
+        b.canonical_string(),
+        "stratified schedules must draw per-seed crash points"
+    );
+}
+
+#[test]
+fn report_roundtrips_and_reports_no_silent_corruption() {
+    let report = run_campaign(&config(4, 42));
+    assert_eq!(report.totals.total(), BUDGET);
+    assert_eq!(report.silent_corruption_total(), 0);
+    // Round-trip through the on-disk format.
+    let parsed = CampaignReport::parse(&report.to_string_pretty()).unwrap();
+    assert_eq!(parsed, report);
+    assert_eq!(parsed.canonical_string(), report.canonical_string());
+    // Every registered scenario ran at least one trial at this budget.
+    assert!(report.scenarios.iter().all(|s| s.trials >= 1));
+}

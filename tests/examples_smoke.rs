@@ -15,6 +15,7 @@ const EXPECTED_EXAMPLES: &[&str] = &[
     "bicgstab_solver",
     "cg_solver",
     "checkpoint_strategies",
+    "crash_campaign",
     "crash_recovery_demo",
     "heat_stencil",
     "lu_factorization",

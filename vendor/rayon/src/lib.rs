@@ -55,6 +55,118 @@ where
     (a(), b())
 }
 
+/// Error type mirroring `rayon::ThreadPoolBuildError` (our builder cannot
+/// actually fail, but callers keep the upstream `build()?` shape).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Mirror of `rayon::ThreadPoolBuilder`, for the fixed-size pool below.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// `0` (the default, like upstream) means "pick automatically" —
+    /// here, `std::thread::available_parallelism`.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A fixed-size pool of real OS threads.
+///
+/// Unlike the sequential `par_*` stand-ins above, this genuinely fans work
+/// out across threads. The one entry point is [`ThreadPool::install_map`],
+/// the slice of rayon's API the `adcc_campaign` engine needs: an indexed
+/// map whose output order is the input order, so results are deterministic
+/// no matter how many workers ran or how the scheduler interleaved them.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Map `f` over `items` on up to `num_threads` scoped OS threads.
+    ///
+    /// Work is claimed item-by-item from a shared atomic cursor (dynamic
+    /// load balancing — campaign trials have very uneven costs), and each
+    /// result is returned at its item's input index, so the output is
+    /// identical to the sequential `items.map(f)` regardless of thread
+    /// count. `f` must be deterministic for that guarantee to mean
+    /// anything; panics in `f` propagate.
+    pub fn install_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+
+        let n_items = items.len();
+        if n_items == 0 {
+            return Vec::new();
+        }
+        let workers = self.num_threads.min(n_items).max(1);
+        if workers == 1 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, item)| f(i, item))
+                .collect();
+        }
+
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let cursor = AtomicUsize::new(0);
+        let out: Vec<Mutex<Option<R>>> = (0..n_items).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_items {
+                        break;
+                    }
+                    let item = slots[i].lock().unwrap().take().expect("item claimed once");
+                    let r = f(i, item);
+                    *out[i].lock().unwrap() = Some(r);
+                });
+            }
+        });
+        out.into_iter()
+            .map(|m| m.into_inner().unwrap().expect("every slot filled"))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -64,6 +176,41 @@ mod tests {
         let v = [1.0f64, 2.0, 3.0];
         let dot: f64 = v.par_iter().zip(&v).map(|(a, b)| a * b).sum();
         assert_eq!(dot, 14.0);
+    }
+
+    #[test]
+    fn install_map_matches_sequential_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let want: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1usize, 2, 8, 16] {
+            let pool = super::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            assert_eq!(pool.current_num_threads(), threads);
+            let got = pool.install_map(items.clone(), |i, x| {
+                assert_eq!(items[i], x);
+                x * x + 1
+            });
+            assert_eq!(got, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn install_map_handles_empty_and_single() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let empty: Vec<u32> = vec![];
+        assert!(pool.install_map(empty, |_, x: u32| x).is_empty());
+        assert_eq!(pool.install_map(vec![7u32], |i, x| x + i as u32), vec![7]);
+    }
+
+    #[test]
+    fn builder_zero_threads_picks_automatically() {
+        let pool = super::ThreadPoolBuilder::new().build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
     }
 
     #[test]
