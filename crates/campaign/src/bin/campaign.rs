@@ -3,24 +3,34 @@
 //!
 //! ```text
 //! campaign run     [--budget-states N] [--seed S] [--threads T]
-//!                  [--schedule stratified|every-k:K|exhaustive:N] [--out PATH]
+//!                  [--schedule stratified|every-k:K|exhaustive:N]
+//!                  [--telemetry] [--out PATH]
 //! campaign replay  --seed S [--budget-states N] [--threads T]
-//!                  [--schedule SPEC] [--expect PATH]
+//!                  [--schedule SPEC] [--telemetry] [--expect PATH]
 //! campaign compare OLD.json NEW.json
+//! campaign cost    [--budget-states N] [--seed S] [--threads T]
+//!                  [--schedule SPEC] [--out PATH]
 //! campaign bench   [--samples N] [--iters K] [--n DIM] [--out PATH]
 //! ```
 //!
-//! Exit codes: `run` fails (1) on any silent-corruption outcome, `replay
-//! --expect` fails on a canonical-report mismatch, `compare` fails on a
-//! regression (new silent corruption or dropped scenarios).
+//! `--telemetry` embeds per-scenario flush/fence/log/dirty-residency
+//! aggregates in the report (`adcc-campaign-report/v2`); `campaign cost`
+//! runs a telemetry campaign and prints the per-scenario cost table under
+//! the ADR and eADR cost models.
+//!
+//! Exit codes: `run` fails (1) on any silent-corruption outcome and — with
+//! `--telemetry` — on a flush-based scenario recording zero flushes,
+//! `replay --expect` fails on a canonical-report mismatch, `compare` fails
+//! on a regression (new silent corruption or dropped scenarios).
 
 use std::process::ExitCode;
 
 use adcc_bench::{NativeCg, NativeMechanism};
 use adcc_campaign::engine::{run_campaign, CampaignConfig};
 use adcc_campaign::json::Json;
-use adcc_campaign::report::{compare, CampaignReport};
+use adcc_campaign::report::{compare, flush_audit, CampaignReport};
 use adcc_campaign::schedule::Schedule;
+use adcc_telemetry::{adr_eadr_costs, ExecutionProfile, Probe};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,6 +38,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..], false),
         Some("replay") => cmd_run(&args[1..], true),
         Some("compare") => cmd_compare(&args[1..]),
+        Some("cost") => cmd_cost(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprint!("{USAGE}");
@@ -47,10 +58,13 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   campaign run     [--budget-states N] [--seed S] [--threads T]
-                   [--schedule stratified|every-k:K|exhaustive:N] [--out PATH]
+                   [--schedule stratified|every-k:K|exhaustive:N]
+                   [--telemetry] [--out PATH]
   campaign replay  --seed S [--budget-states N] [--threads T]
-                   [--schedule SPEC] [--expect PATH] [--out PATH]
+                   [--schedule SPEC] [--telemetry] [--expect PATH] [--out PATH]
   campaign compare OLD.json NEW.json
+  campaign cost    [--budget-states N] [--seed S] [--threads T]
+                   [--schedule SPEC] [--out PATH]
   campaign bench   [--samples N] [--iters K] [--n DIM] [--out PATH]
 ";
 
@@ -70,16 +84,30 @@ fn parse_u64(text: &str, what: &str) -> Result<u64, String> {
     text.parse().map_err(|_| format!("bad {what}: {text:?}"))
 }
 
-fn check_known_flags(args: &[String], known: &[&str]) -> Result<(), String> {
+/// Validate an option list against the flags a subcommand accepts:
+/// `value_flags` consume the following argument, `bool_flags` stand alone.
+fn check_known_flags(
+    args: &[String],
+    value_flags: &[&str],
+    bool_flags: &[&str],
+) -> Result<(), String> {
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
-        if !known.contains(&a.as_str()) {
+        if value_flags.contains(&a.as_str()) {
+            i += 2;
+        } else if bool_flags.contains(&a.as_str()) {
+            i += 1;
+        } else {
             return Err(format!("unknown option {a:?}\n{USAGE}"));
         }
-        i += 2;
     }
     Ok(())
+}
+
+/// Presence test for a standalone boolean flag.
+fn take_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
 }
 
 fn cmd_run(args: &[String], replay: bool) -> Result<ExitCode, String> {
@@ -93,6 +121,7 @@ fn cmd_run(args: &[String], replay: bool) -> Result<ExitCode, String> {
             "--out",
             "--expect",
         ],
+        &["--telemetry"],
     )?;
     let expect_path = take_opt(args, "--expect")?;
     if expect_path.is_some() && !replay {
@@ -126,6 +155,10 @@ fn cmd_run(args: &[String], replay: bool) -> Result<ExitCode, String> {
     if let Some(v) = take_opt(args, "--schedule")? {
         cfg.schedule = Schedule::parse(&v)?;
     }
+    // A replay of a telemetry-carrying report must re-measure telemetry or
+    // the canonical comparison could never match.
+    cfg.telemetry =
+        take_flag(args, "--telemetry") || expected.as_ref().is_some_and(|e| e.telemetry.is_some());
     // Resolve the output path up front: a malformed --out must not cost a
     // completed (possibly multi-minute) campaign.
     let out_path = take_opt(args, "--out")?;
@@ -155,6 +188,14 @@ fn cmd_run(args: &[String], replay: bool) -> Result<ExitCode, String> {
             "FAIL: {} silent-corruption outcome(s)",
             report.silent_corruption_total()
         );
+        return Ok(ExitCode::FAILURE);
+    }
+    let audit = flush_audit(&report);
+    if !audit.is_empty() {
+        for line in &audit {
+            eprintln!("FLUSH AUDIT: {line}");
+        }
+        eprintln!("FAIL: flush-based mechanism(s) recorded zero flushes");
         return Ok(ExitCode::FAILURE);
     }
     Ok(ExitCode::SUCCESS)
@@ -215,10 +256,184 @@ fn cmd_compare(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Run a telemetry campaign and print the per-scenario cost table under
+/// both cost-model presets. The ADR column prices every flush and fence in
+/// full (the paper's platform class); the eADR column prices a
+/// flush-on-fail platform. The gap is the mechanism's flush tax.
+fn cmd_cost(args: &[String]) -> Result<ExitCode, String> {
+    check_known_flags(
+        args,
+        &[
+            "--budget-states",
+            "--seed",
+            "--threads",
+            "--schedule",
+            "--out",
+        ],
+        &[],
+    )?;
+    let mut cfg = CampaignConfig {
+        telemetry: true,
+        ..CampaignConfig::default()
+    };
+    if let Some(v) = take_opt(args, "--seed")? {
+        cfg.seed = parse_u64(&v, "seed")?;
+    }
+    if let Some(v) = take_opt(args, "--budget-states")? {
+        cfg.budget_states = parse_u64(&v, "budget")?;
+    }
+    if let Some(v) = take_opt(args, "--threads")? {
+        cfg.threads = parse_u64(&v, "threads")? as usize;
+    }
+    if let Some(v) = take_opt(args, "--schedule")? {
+        cfg.schedule = Schedule::parse(&v)?;
+    }
+    let out_path = take_opt(args, "--out")?;
+
+    let report = run_campaign(&cfg);
+    println!(
+        "cost model: seed {} budget {} schedule {} ({} scenarios)",
+        report.seed,
+        report.budget_states,
+        report.schedule,
+        report.scenarios.len()
+    );
+    println!(
+        "{:<30} {:>6} {:>8} {:>7} {:>9} {:>10} {:>10} {:>10} {:>10} {:>6}",
+        "scenario",
+        "trials",
+        "flush",
+        "fence",
+        "log KiB",
+        "dirty B",
+        "window us",
+        "adr ms",
+        "eadr ms",
+        "save%"
+    );
+    for s in &report.scenarios {
+        let Some(t) = &s.telemetry else { continue };
+        let (adr, eadr) = adr_eadr_costs(t);
+        let save = if adr == 0 {
+            0.0
+        } else {
+            (adr - eadr) as f64 * 100.0 / adr as f64
+        };
+        println!(
+            "{:<30} {:>6} {:>8} {:>7} {:>9.1} {:>10} {:>10.1} {:>10.3} {:>10.3} {:>6.1}",
+            s.name,
+            s.trials,
+            t.flush_total(),
+            t.sfences,
+            t.log_bytes as f64 / 1024.0,
+            t.dirty_bytes_at_crash(),
+            t.consistency_window_ps() as f64 / 1e6,
+            adr as f64 / 1e9,
+            eadr as f64 / 1e9,
+            save,
+        );
+    }
+    if let Some(t) = &report.telemetry {
+        let (adr, eadr) = adr_eadr_costs(t);
+        println!(
+            "{:<30} {:>6} {:>8} {:>7} {:>9.1} {:>10} {:>10} {:>10.3} {:>10.3} {:>6.1}",
+            "TOTAL",
+            report.totals.total(),
+            t.flush_total(),
+            t.sfences,
+            t.log_bytes as f64 / 1024.0,
+            t.dirty_bytes_at_crash(),
+            "-",
+            adr as f64 / 1e9,
+            eadr as f64 / 1e9,
+            if adr == 0 {
+                0.0
+            } else {
+                (adr - eadr) as f64 * 100.0 / adr as f64
+            },
+        );
+    }
+    if let Some(out) = out_path {
+        std::fs::write(&out, report.to_string_pretty())
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("report written to {out}");
+    }
+    if report.silent_corruption_total() > 0 {
+        eprintln!(
+            "FAIL: {} silent-corruption outcome(s)",
+            report.silent_corruption_total()
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Simulated per-iteration crash-consistency counts for the bench's four
+/// mechanisms, measured on the reference simulated CG problem so the
+/// trajectory carries modeled NVM cost next to host wall-clock. Native
+/// host runs cannot count flushes (the host machine has no instrumented
+/// cache), so the counts come from one deterministic simulated execution
+/// per mechanism.
+fn modeled_cg_profiles(iters: usize) -> Vec<(&'static str, ExecutionProfile)> {
+    use adcc_core::cg::{variants, ExtendedCg, PlainCg};
+    use adcc_pmem::UndoPool;
+    use adcc_sim::crash::{CrashEmulator, CrashTrigger};
+    use adcc_sim::system::{MemorySystem, SystemConfig};
+
+    let class = adcc_linalg::CgClass::TEST;
+    let a = class.matrix(9);
+    let b = class.rhs(&a);
+    let cfg = SystemConfig::nvm_only(16 << 10, 32 << 20);
+
+    let mut out = Vec::new();
+
+    // native: plain CG, no persistence mechanism.
+    {
+        let mut sys = MemorySystem::new(cfg.clone());
+        let (cg, rho0) = PlainCg::setup(&mut sys, &a, &b, iters);
+        let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        let probe = Probe::attach(&emu);
+        variants::run_native(&mut emu, &cg, rho0);
+        out.push(("native", probe.finish(&emu)));
+    }
+    // history_algo: the paper's algorithm extension.
+    {
+        let mut sys = MemorySystem::new(cfg.clone());
+        let (cg, rho0) = ExtendedCg::setup(&mut sys, &a, &b, iters);
+        let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        let probe = Probe::attach(&emu);
+        cg.run(&mut emu, 0, iters, rho0);
+        out.push(("history_algo", probe.finish(&emu)));
+    }
+    // checkpoint: plain CG + per-iteration double-buffered NVM checkpoint.
+    {
+        let mut sys = MemorySystem::new(cfg.clone());
+        let (cg, rho0) = PlainCg::setup(&mut sys, &a, &b, iters);
+        let mut mgr = adcc_ckpt::manager::CkptManager::new_nvm(&mut sys, cg.ckpt_regions(), false);
+        let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        let probe = Probe::attach(&emu);
+        variants::run_with_ckpt(&mut emu, &cg, rho0, &mut mgr);
+        out.push(("checkpoint", probe.finish(&emu)));
+    }
+    // undo_log: plain CG, each iteration one undo-log transaction.
+    {
+        let mut sys = MemorySystem::new(cfg);
+        let (cg, rho0) = PlainCg::setup(&mut sys, &a, &b, iters);
+        let lines = 3 * (cg.n * 8).div_ceil(64) + 8;
+        let mut pool = UndoPool::new(&mut sys, lines);
+        let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        let probe = Probe::attach(&emu);
+        variants::run_with_pmem(&mut emu, &cg, rho0, &mut pool);
+        out.push(("undo_log", probe.finish(&emu).with_log(pool.log_stats())));
+    }
+    out
+}
+
 /// Wall-clock bench trajectory (the `BENCH_*.json` series): median
-/// ns/iteration of native host CG under each persistence mechanism.
+/// ns/iteration of native host CG under each persistence mechanism, plus
+/// simulated flush/fence counts and modeled ADR/eADR cost per iteration.
 fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
-    check_known_flags(args, &["--samples", "--iters", "--n", "--out"])?;
+    check_known_flags(args, &["--samples", "--iters", "--n", "--out"], &[])?;
     let samples = take_opt(args, "--samples")?
         .map(|v| parse_u64(&v, "samples"))
         .transpose()?
@@ -233,7 +448,9 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
         .map(|v| parse_u64(&v, "n"))
         .transpose()?
         .unwrap_or(20_000) as usize;
-    let out = take_opt(args, "--out")?.unwrap_or_else(|| "BENCH_0.json".to_string());
+    // Default to the *current* trajectory point: BENCH_0.json is the
+    // committed v1 document and must never be clobbered by a v2 emission.
+    let out = take_opt(args, "--out")?.unwrap_or_else(|| "BENCH_1.json".to_string());
 
     let class = adcc_linalg::CgClass {
         name: "bench",
@@ -249,6 +466,11 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
         ("checkpoint", NativeMechanism::checkpoint),
         ("undo_log", NativeMechanism::undo_log),
     ];
+
+    // Simulated counterpart of each mechanism: flush/fence counts and
+    // modeled NVM cost per iteration, deterministic across hosts.
+    const SIM_ITERS: usize = 6;
+    let modeled = modeled_cg_profiles(SIM_ITERS);
 
     let mut results = Vec::new();
     for (name, make) in mechanisms {
@@ -266,10 +488,32 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
             .collect();
         per_iter_ns.sort_unstable();
         let median = per_iter_ns[per_iter_ns.len() / 2];
-        println!("wallclock_cg/{name:<13} median {median:>12} ns/iter ({samples} samples)");
+        let profile = modeled
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, p)| p)
+            .expect("every bench mechanism has a simulated counterpart");
+        let (adr, eadr) = adr_eadr_costs(profile);
+        let per = SIM_ITERS as u64;
+        println!(
+            "wallclock_cg/{name:<13} median {median:>12} ns/iter ({samples} samples) \
+             | sim/iter: {} flushes, {} fences, adr {:.1} us, eadr {:.1} us",
+            profile.flush_total() / per,
+            profile.sfences / per,
+            adr as f64 / per as f64 / 1e6,
+            eadr as f64 / per as f64 / 1e6,
+        );
         let mut e = Json::obj();
         e.push("bench", Json::Str(format!("wallclock_cg/{name}")));
         e.push("median_ns_per_iter", Json::Int(median));
+        e.push(
+            "sim_flushes_per_iter",
+            Json::Int(profile.flush_total() / per),
+        );
+        e.push("sim_sfences_per_iter", Json::Int(profile.sfences / per));
+        e.push("sim_log_bytes_per_iter", Json::Int(profile.log_bytes / per));
+        e.push("sim_adr_cost_ps_per_iter", Json::Int(adr / per));
+        e.push("sim_eadr_cost_ps_per_iter", Json::Int(eadr / per));
         results.push(e);
     }
 
@@ -279,8 +523,11 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
     config.push("extras_per_row", Json::Int(12));
     config.push("iters_per_sample", Json::Int(iters as u64));
     config.push("samples", Json::Int(samples));
+    config.push("sim_iters", Json::Int(SIM_ITERS as u64));
     let mut doc = Json::obj();
-    doc.push("schema", Json::Str("adcc-bench-trajectory/v1".into()));
+    // v2 adds the deterministic sim_* fields per result (flush/fence
+    // counts and modeled ADR/eADR cost per iteration).
+    doc.push("schema", Json::Str("adcc-bench-trajectory/v2".into()));
     doc.push("unit", Json::Str("ns_per_iter".into()));
     doc.push("config", config);
     doc.push("results", Json::Arr(results));

@@ -3,6 +3,8 @@
 
 use std::time::Instant;
 
+use adcc_telemetry::ExecutionProfile;
+
 use crate::report::{CampaignReport, ScenarioReport};
 use crate::scenario::{registry, Scenario, Trial};
 use crate::schedule::Schedule;
@@ -11,14 +13,21 @@ use crate::schedule::Schedule;
 /// canonical report; `threads` only affects wall-clock.
 #[derive(Debug, Clone)]
 pub struct CampaignConfig {
+    /// Seed driving every stochastic schedule decision.
     pub seed: u64,
     /// Total crash states across the whole campaign, split evenly over
     /// the registry (remainder to the earliest scenarios; below the
     /// registry size, later scenarios get no trials).
     pub budget_states: u64,
+    /// Crash-point selection policy.
     pub schedule: Schedule,
     /// Worker OS threads; `0` picks the host parallelism.
     pub threads: usize,
+    /// Capture a per-trial [`ExecutionProfile`] (flushes, fences, log
+    /// traffic, dirty residency) and embed the per-scenario aggregate in
+    /// the report (`adcc-campaign-report/v2` telemetry block). Probes are
+    /// passive, so outcomes are identical either way.
+    pub telemetry: bool,
 }
 
 impl Default for CampaignConfig {
@@ -28,6 +37,7 @@ impl Default for CampaignConfig {
             budget_states: 500,
             schedule: Schedule::Stratified,
             threads: 0,
+            telemetry: false,
         }
     }
 }
@@ -75,9 +85,12 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
     let threads = pool.current_num_threads() as u64;
     let results: Vec<(usize, Vec<Trial>)> = pool.install_map(tasks, |_, task| {
         let s = &scenarios[task.scenario];
-        let trials = s
-            .run_batch(&task.units)
-            .unwrap_or_else(|| task.units.iter().map(|&u| s.run_trial(u)).collect());
+        let trials = s.run_batch(&task.units, cfg.telemetry).unwrap_or_else(|| {
+            task.units
+                .iter()
+                .map(|&u| s.run_trial(u, cfg.telemetry))
+                .collect()
+        });
         (task.scenario, trials)
     });
 
@@ -92,8 +105,14 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         .map(|(s, trials)| aggregate(s.as_ref(), trials))
         .collect();
     let mut totals = crate::outcome::OutcomeCounts::default();
+    let mut telemetry: Option<ExecutionProfile> = None;
     for r in &scenario_reports {
         totals.merge(&r.outcomes);
+        if let Some(t) = &r.telemetry {
+            telemetry
+                .get_or_insert_with(ExecutionProfile::default)
+                .merge(t);
+        }
     }
     CampaignReport {
         seed: cfg.seed,
@@ -101,6 +120,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         schedule: cfg.schedule.name(),
         scenarios: scenario_reports,
         totals,
+        telemetry,
         wall_clock_ms: start.elapsed().as_millis() as u64,
         threads,
     }
@@ -127,11 +147,17 @@ fn aggregate(s: &dyn Scenario, trials: &[Trial]) -> ScenarioReport {
     let mut lost_total = 0u64;
     let mut lost_max = 0u64;
     let mut sim_total = 0u64;
+    let mut telemetry: Option<ExecutionProfile> = None;
     for t in trials {
         outcomes.add(t.outcome);
         lost_total += t.lost_units;
         lost_max = lost_max.max(t.lost_units);
         sim_total += t.sim_time_ps;
+        if let Some(profile) = &t.telemetry {
+            telemetry
+                .get_or_insert_with(ExecutionProfile::default)
+                .merge(profile);
+        }
     }
     ScenarioReport {
         name: s.name().to_string(),
@@ -144,6 +170,7 @@ fn aggregate(s: &dyn Scenario, trials: &[Trial]) -> ScenarioReport {
         lost_units_total: lost_total,
         lost_units_max: lost_max,
         sim_time_ps_total: sim_total,
+        telemetry,
     }
 }
 

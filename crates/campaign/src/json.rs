@@ -12,19 +12,24 @@ use std::fmt::Write as _;
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
     /// Exact unsigned integer (counts, picosecond totals, seeds).
     Int(u64),
     /// Everything else numeric.
     Float(f64),
+    /// A string.
     Str(String),
+    /// An array.
     Arr(Vec<Json>),
     /// Insertion-ordered object (deterministic output).
     Obj(Vec<(String, Json)>),
 }
 
 impl Json {
+    /// An empty object.
     pub fn obj() -> Json {
         Json::Obj(Vec::new())
     }
@@ -38,6 +43,7 @@ impl Json {
         self
     }
 
+    /// Field lookup (objects only).
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
@@ -45,6 +51,7 @@ impl Json {
         }
     }
 
+    /// The value as an exact `u64`, if it is one.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Int(v) => Some(*v),
@@ -53,6 +60,7 @@ impl Json {
         }
     }
 
+    /// The value as a string slice, if it is one.
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
@@ -60,6 +68,7 @@ impl Json {
         }
     }
 
+    /// The value as an array slice, if it is one.
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(items) => Some(items),

@@ -23,19 +23,31 @@
 //! * the `campaign` **CLI** (`run`, `replay`, `compare`, `bench`) driving
 //!   the PR-smoke and nightly-deep CI tiers.
 //!
+//! ## Example: run a 50-state campaign and read the report
+//!
 //! ```
 //! use adcc_campaign::engine::{run_campaign, CampaignConfig};
+//! use adcc_campaign::report::CampaignReport;
 //! use adcc_campaign::schedule::Schedule;
 //!
 //! let cfg = CampaignConfig {
 //!     seed: 42,
-//!     budget_states: 13,
+//!     budget_states: 50,
 //!     schedule: Schedule::Stratified,
 //!     threads: 2,
+//!     telemetry: true,
 //! };
 //! let report = run_campaign(&cfg);
+//! assert_eq!(report.totals.total(), 50);
 //! assert_eq!(report.silent_corruption_total(), 0);
+//!
+//! // The on-disk JSON round-trips, telemetry block included.
+//! let parsed = CampaignReport::parse(&report.to_string_pretty()).unwrap();
+//! let telemetry = parsed.telemetry.expect("campaign ran with telemetry");
+//! assert!(telemetry.flush_total() > 0, "mechanisms flush");
 //! ```
+
+#![deny(missing_docs)]
 
 pub mod engine;
 pub mod json;
@@ -47,6 +59,6 @@ pub mod schedule;
 
 pub use engine::{run_campaign, CampaignConfig};
 pub use outcome::{Outcome, OutcomeCounts};
-pub use report::{compare, CampaignReport, ScenarioReport};
+pub use report::{compare, flush_audit, CampaignReport, ScenarioReport};
 pub use scenario::{registry, Kernel, Mechanism, Scenario, Trial};
 pub use schedule::Schedule;

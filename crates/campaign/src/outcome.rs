@@ -29,6 +29,7 @@ pub enum Outcome {
 }
 
 impl Outcome {
+    /// Every outcome, in report-histogram order.
     pub const ALL: [Outcome; 5] = [
         Outcome::RecoveredExact,
         Outcome::RecoveredRecomputed,
@@ -73,24 +74,32 @@ pub fn classify(detected_dirty: bool, matches_reference: bool, lost_units: u64) 
 /// Outcome histogram (one per scenario, plus the campaign total).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct OutcomeCounts {
+    /// Trials classified [`Outcome::RecoveredExact`].
     pub recovered_exact: u64,
+    /// Trials classified [`Outcome::RecoveredRecomputed`].
     pub recovered_recomputed: u64,
+    /// Trials classified [`Outcome::DetectedDirty`].
     pub detected_dirty: u64,
+    /// Trials classified [`Outcome::CompletedClean`].
     pub completed_clean: u64,
+    /// Trials classified [`Outcome::SilentCorruption`].
     pub silent_corruption: u64,
 }
 
 impl OutcomeCounts {
+    /// Count one outcome.
     pub fn add(&mut self, outcome: Outcome) {
         *self.slot_mut(outcome) += 1;
     }
 
+    /// Fold another histogram into this one.
     pub fn merge(&mut self, other: &OutcomeCounts) {
         for o in Outcome::ALL {
             *self.slot_mut(o) += other.get(o);
         }
     }
 
+    /// Count for one outcome.
     pub fn get(&self, outcome: Outcome) -> u64 {
         match outcome {
             Outcome::RecoveredExact => self.recovered_exact,
@@ -111,10 +120,12 @@ impl OutcomeCounts {
         }
     }
 
+    /// Trials counted across every outcome.
     pub fn total(&self) -> u64 {
         Outcome::ALL.iter().map(|&o| self.get(o)).sum()
     }
 
+    /// Serialize as an insertion-ordered JSON object.
     pub fn to_json(&self) -> Json {
         let mut j = Json::obj();
         for o in Outcome::ALL {
@@ -123,6 +134,7 @@ impl OutcomeCounts {
         j
     }
 
+    /// Parse the object emitted by [`OutcomeCounts::to_json`].
     pub fn from_json(j: &Json) -> Result<OutcomeCounts, String> {
         let mut counts = OutcomeCounts::default();
         for o in Outcome::ALL {

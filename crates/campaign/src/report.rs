@@ -7,48 +7,132 @@
 //! legitimately vary between runs (wall-clock, thread count) live in the
 //! `host` object, which [`CampaignReport::canonical_string`] strips.
 
+use adcc_telemetry::{adr_eadr_costs, ExecutionProfile};
 use serde::Serialize;
 
 use crate::json::Json;
 use crate::outcome::OutcomeCounts;
 
-/// Report format identifier (bump on breaking schema changes).
-pub const SCHEMA: &str = "adcc-campaign-report/v1";
+/// Current report format identifier (bump on breaking schema changes).
+/// v2 adds the optional per-scenario and campaign-wide `telemetry` blocks.
+pub const SCHEMA: &str = "adcc-campaign-report/v2";
+
+/// The previous format, still accepted by [`CampaignReport::parse`]
+/// (telemetry blocks absent).
+pub const SCHEMA_V1: &str = "adcc-campaign-report/v1";
 
 /// Aggregated results for one scenario.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ScenarioReport {
+    /// Unique scenario name.
     pub name: String,
+    /// Kernel family.
     pub kernel: String,
+    /// Persistence mechanism.
     pub mechanism: String,
+    /// Platform preset.
     pub platform: String,
     /// Size of the scenario's crash-point space.
     pub total_units: u64,
     /// Crash states actually evaluated (budget-limited).
     pub trials: u64,
+    /// Outcome histogram over the trials.
     pub outcomes: OutcomeCounts,
     /// Work units re-executed by recovery, summed over trials.
     pub lost_units_total: u64,
+    /// Largest single-trial re-execution.
     pub lost_units_max: u64,
     /// Simulated recovery clock (detect + resume), summed, picoseconds.
     pub sim_time_ps_total: u64,
+    /// Forward-execution cost profile summed over trials (present when the
+    /// campaign ran with telemetry enabled; the v2 schema's new block).
+    pub telemetry: Option<ExecutionProfile>,
 }
 
 /// One full campaign run.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct CampaignReport {
+    /// Seed the schedule was derived from.
     pub seed: u64,
+    /// Campaign-wide crash-state budget.
     pub budget_states: u64,
+    /// Schedule spelling (see `Schedule::name`).
     pub schedule: String,
+    /// Per-scenario aggregates, in registry order.
     pub scenarios: Vec<ScenarioReport>,
+    /// Campaign-wide outcome histogram.
     pub totals: OutcomeCounts,
+    /// Campaign-wide telemetry aggregate (when enabled).
+    pub telemetry: Option<ExecutionProfile>,
     /// Milliseconds of host wall-clock (excluded from the canonical form).
     pub wall_clock_ms: u64,
     /// Worker threads used (excluded from the canonical form).
     pub threads: u64,
 }
 
+/// Serialize one telemetry aggregate as a JSON object. The three derived
+/// fields (`consistency_window_ps`, `adr_cost_ps`, `eadr_cost_ps`) are
+/// recomputed from the counters on every emission, so parse → emit stays
+/// byte-identical without storing them.
+fn telemetry_json(t: &ExecutionProfile) -> Json {
+    let (adr, eadr) = adr_eadr_costs(t);
+    let mut j = Json::obj();
+    j.push("clflushes", Json::Int(t.clflushes));
+    j.push("clflushopts", Json::Int(t.clflushopts));
+    j.push("clwbs", Json::Int(t.clwbs));
+    j.push("sfences", Json::Int(t.sfences));
+    j.push("epoch_barriers", Json::Int(t.epoch_barriers));
+    j.push("nvm_line_reads", Json::Int(t.nvm_line_reads));
+    j.push("nvm_line_writes", Json::Int(t.nvm_line_writes));
+    j.push("accesses", Json::Int(t.accesses));
+    j.push("flush_ps", Json::Int(t.flush_ps));
+    j.push("fence_ps", Json::Int(t.fence_ps));
+    j.push("log_ps", Json::Int(t.log_ps));
+    j.push("ckpt_copy_ps", Json::Int(t.ckpt_copy_ps));
+    j.push("sim_time_ps", Json::Int(t.sim_time_ps));
+    j.push("log_appends", Json::Int(t.log_appends));
+    j.push("log_bytes", Json::Int(t.log_bytes));
+    j.push("dirty_lines_at_crash", Json::Int(t.dirty_lines_at_crash));
+    j.push(
+        "consistency_window_ps",
+        Json::Int(t.consistency_window_ps()),
+    );
+    j.push("dirty_data_rate_ppm", Json::Int(t.dirty_data_rate_ppm()));
+    j.push("adr_cost_ps", Json::Int(adr));
+    j.push("eadr_cost_ps", Json::Int(eadr));
+    j
+}
+
+/// Parse a telemetry block emitted by [`telemetry_json`] (derived fields
+/// are ignored; they are recomputed at emission).
+fn telemetry_from_json(j: &Json) -> Result<ExecutionProfile, String> {
+    let n = |key: &str| -> Result<u64, String> {
+        j.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("telemetry missing {key}"))
+    };
+    Ok(ExecutionProfile {
+        clflushes: n("clflushes")?,
+        clflushopts: n("clflushopts")?,
+        clwbs: n("clwbs")?,
+        sfences: n("sfences")?,
+        epoch_barriers: n("epoch_barriers")?,
+        nvm_line_reads: n("nvm_line_reads")?,
+        nvm_line_writes: n("nvm_line_writes")?,
+        accesses: n("accesses")?,
+        flush_ps: n("flush_ps")?,
+        fence_ps: n("fence_ps")?,
+        log_ps: n("log_ps")?,
+        ckpt_copy_ps: n("ckpt_copy_ps")?,
+        sim_time_ps: n("sim_time_ps")?,
+        log_appends: n("log_appends")?,
+        log_bytes: n("log_bytes")?,
+        dirty_lines_at_crash: n("dirty_lines_at_crash")?,
+    })
+}
+
 impl CampaignReport {
+    /// Campaign-wide silent-corruption count (any nonzero value fails CI).
     pub fn silent_corruption_total(&self) -> u64 {
         self.totals.silent_corruption
     }
@@ -74,11 +158,17 @@ impl CampaignReport {
                 e.push("lost_units_total", Json::Int(s.lost_units_total));
                 e.push("lost_units_max", Json::Int(s.lost_units_max));
                 e.push("sim_time_ps_total", Json::Int(s.sim_time_ps_total));
+                if let Some(t) = &s.telemetry {
+                    e.push("telemetry", telemetry_json(t));
+                }
                 e
             })
             .collect();
         j.push("scenarios", Json::Arr(scenarios));
         j.push("totals", self.totals.to_json());
+        if let Some(t) = &self.telemetry {
+            j.push("telemetry", telemetry_json(t));
+        }
         j
     }
 
@@ -107,8 +197,10 @@ impl CampaignReport {
             .get("schema")
             .and_then(Json::as_str)
             .ok_or("missing schema")?;
-        if schema != SCHEMA {
-            return Err(format!("unsupported schema {schema:?} (want {SCHEMA:?})"));
+        if schema != SCHEMA && schema != SCHEMA_V1 {
+            return Err(format!(
+                "unsupported schema {schema:?} (want {SCHEMA:?} or {SCHEMA_V1:?})"
+            ));
         }
         let int = |key: &str| -> Result<u64, String> {
             j.get(key)
@@ -145,6 +237,7 @@ impl CampaignReport {
                     lost_units_total: n("lost_units_total")?,
                     lost_units_max: n("lost_units_max")?,
                     sim_time_ps_total: n("sim_time_ps_total")?,
+                    telemetry: e.get("telemetry").map(telemetry_from_json).transpose()?,
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
@@ -164,10 +257,35 @@ impl CampaignReport {
                 .to_string(),
             scenarios,
             totals: OutcomeCounts::from_json(j.get("totals").ok_or("missing totals")?)?,
+            telemetry: j.get("telemetry").map(telemetry_from_json).transpose()?,
             wall_clock_ms: host_int("wall_clock_ms"),
             threads: host_int("threads"),
         })
     }
+}
+
+/// Audit a telemetry-carrying report: every registered mechanism is
+/// flush-based (history flushing, checkpoint persists, undo logging,
+/// selective/epoch flushing), so a scenario whose aggregate profile shows
+/// *zero* flush instructions and zero epoch barriers means the
+/// instrumentation came unthreaded — exactly the regression the CI smoke
+/// campaign runs with `--telemetry` to catch. Returns one line per
+/// offending scenario; scenarios without a telemetry block are skipped.
+pub fn flush_audit(report: &CampaignReport) -> Vec<String> {
+    report
+        .scenarios
+        .iter()
+        .filter(|s| s.trials > 0)
+        .filter_map(|s| {
+            let t = s.telemetry.as_ref()?;
+            (t.flush_total() == 0 && t.epoch_barriers == 0).then(|| {
+                format!(
+                    "{}: flush-based mechanism {:?} recorded zero flushes over {} trials",
+                    s.name, s.mechanism, s.trials
+                )
+            })
+        })
+        .collect()
 }
 
 /// Result of diffing two reports.
@@ -263,11 +381,30 @@ mod tests {
                 lost_units_total: 3,
                 lost_units_max: 2,
                 sim_time_ps_total: 123_456,
+                telemetry: None,
             }],
             totals: outcomes,
+            telemetry: None,
             wall_clock_ms: 99,
             threads: 8,
         }
+    }
+
+    fn sample_with_telemetry() -> CampaignReport {
+        let mut r = sample();
+        let profile = ExecutionProfile {
+            clflushes: 24,
+            sfences: 26,
+            nvm_line_writes: 40,
+            flush_ps: 480_000,
+            fence_ps: 2_600_000,
+            sim_time_ps: 9_000_000,
+            dirty_lines_at_crash: 5,
+            ..Default::default()
+        };
+        r.scenarios[0].telemetry = Some(profile);
+        r.telemetry = Some(profile);
+        r
     }
 
     #[test]
@@ -311,5 +448,34 @@ mod tests {
     #[test]
     fn parse_rejects_other_schemas() {
         assert!(CampaignReport::parse(r#"{"schema": "bogus/v9"}"#).is_err());
+        assert!(CampaignReport::parse(r#"{"schema": "adcc-campaign-report/v3"}"#).is_err());
+    }
+
+    #[test]
+    fn telemetry_block_roundtrips_and_derived_fields_are_emitted() {
+        let r = sample_with_telemetry();
+        let text = r.to_string_pretty();
+        assert!(text.contains("\"adr_cost_ps\""));
+        assert!(text.contains("\"eadr_cost_ps\""));
+        assert!(text.contains("\"consistency_window_ps\""));
+        assert!(text.contains("\"dirty_data_rate_ppm\""));
+        let parsed = CampaignReport::parse(&text).unwrap();
+        assert_eq!(parsed, r);
+        // Derived fields are recomputed, so re-emission is byte-identical.
+        assert_eq!(parsed.to_string_pretty(), text);
+    }
+
+    #[test]
+    fn flush_audit_flags_zero_flush_scenarios_only() {
+        let with = sample_with_telemetry();
+        assert!(flush_audit(&with).is_empty());
+        // Telemetry absent: nothing to audit.
+        assert!(flush_audit(&sample()).is_empty());
+        // Zero flushes with telemetry on: flagged.
+        let mut zero = sample_with_telemetry();
+        zero.scenarios[0].telemetry = Some(ExecutionProfile::default());
+        let lines = flush_audit(&zero);
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("cg-extended"));
     }
 }

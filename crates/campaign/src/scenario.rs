@@ -1,21 +1,30 @@
 //! The scenario registry: every workload × persistence-mechanism pair the
 //! campaign engine can inject crashes into.
 
+use adcc_telemetry::ExecutionProfile;
+
 use crate::outcome::Outcome;
 use crate::scenarios;
 
 /// Kernel family (the paper's three workloads plus the extension kernels).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Kernel {
+    /// Conjugate gradient (the paper's main workload).
     Cg,
+    /// BiCGSTAB (extension kernel).
     BiCgStab,
+    /// Jacobi iteration (extension kernel).
     Jacobi,
+    /// Heat stencil (extension kernel).
     Stencil,
+    /// Checksum-protected blocked LU (extension kernel).
     Lu,
+    /// Monte-Carlo particle transport (paper workload).
     Mc,
 }
 
 impl Kernel {
+    /// Every kernel family, in registry order.
     pub const ALL: [Kernel; 6] = [
         Kernel::Cg,
         Kernel::BiCgStab,
@@ -25,6 +34,7 @@ impl Kernel {
         Kernel::Mc,
     ];
 
+    /// Stable identifier used in report JSON.
     pub fn name(self) -> &'static str {
         match self {
             Kernel::Cg => "cg",
@@ -55,6 +65,7 @@ pub enum Mechanism {
 }
 
 impl Mechanism {
+    /// Stable identifier used in report JSON.
     pub fn name(self) -> &'static str {
         match self {
             Mechanism::Extended => "extended",
@@ -72,29 +83,42 @@ impl Mechanism {
 pub struct Trial {
     /// The scheduled crash unit this trial evaluated.
     pub unit: u64,
+    /// Classified recovery outcome.
     pub outcome: Outcome,
     /// Work units re-executed by recovery.
     pub lost_units: u64,
     /// Simulated clock spent by recovery (detect + resume), picoseconds.
     /// Deterministic, unlike wall-clock.
     pub sim_time_ps: u64,
+    /// Forward-execution cost profile (setup → crash or completion):
+    /// flushes, fences, log traffic, dirty residency. Present when the
+    /// campaign ran with telemetry enabled.
+    pub telemetry: Option<ExecutionProfile>,
 }
 
 /// One workload × mechanism pair the engine can sweep crash points over.
 ///
-/// `run_trial` must be a pure function of `(self, unit)`: each call builds
-/// its own `MemorySystem`, so trials can run on any worker thread in any
-/// order and the campaign stays deterministic.
+/// `run_trial` must be a pure function of `(self, unit, telemetry)`: each
+/// call builds its own `MemorySystem`, so trials can run on any worker
+/// thread in any order and the campaign stays deterministic. The
+/// `telemetry` flag only controls whether the [`Trial::telemetry`] profile
+/// is captured — probes are passive counter snapshots, so it must never
+/// change the simulated execution itself.
 pub trait Scenario: Send + Sync {
+    /// Unique scenario name (report key).
     fn name(&self) -> &'static str;
+    /// Kernel family under test.
     fn kernel(&self) -> Kernel;
+    /// Persistence mechanism under test.
     fn mechanism(&self) -> Mechanism;
+    /// Platform preset name (report metadata).
     fn platform_name(&self) -> &'static str {
         "nvm-only"
     }
     /// Size of the crash-point space (`run_trial` accepts `0..total_units`).
     fn total_units(&self) -> u64;
-    fn run_trial(&self, unit: u64) -> Trial;
+    /// Inject one crash state, recover, classify.
+    fn run_trial(&self, unit: u64, telemetry: bool) -> Trial;
 
     /// Whether [`Scenario::run_batch`] is implemented; the engine then
     /// hands the scenario all its crash points as one task.
@@ -106,7 +130,7 @@ pub trait Scenario: Send + Sync {
     /// a single instrumented execution via [`adcc_sim::system::MemorySystem::crash_fork`]
     /// return all trials at once (units arrive sorted ascending). Default:
     /// none — the engine calls `run_trial` per unit.
-    fn run_batch(&self, _units: &[u64]) -> Option<Vec<Trial>> {
+    fn run_batch(&self, _units: &[u64], _telemetry: bool) -> Option<Vec<Trial>> {
         None
     }
 }

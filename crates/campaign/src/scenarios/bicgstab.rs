@@ -6,6 +6,7 @@ use adcc_linalg::csr::CsrMatrix;
 use adcc_linalg::spd::CgClass;
 use adcc_sim::crash::{CrashEmulator, CrashSite, CrashTrigger, RunOutcome};
 use adcc_sim::system::{MemorySystem, SystemConfig};
+use adcc_telemetry::Probe;
 
 use super::{max_diff, trim_dram};
 use crate::outcome::{classify, Outcome};
@@ -85,7 +86,7 @@ impl Scenario for BiExtended {
         (BI_PHASES.len() * ITERS) as u64
     }
 
-    fn run_trial(&self, unit: u64) -> Trial {
+    fn run_trial(&self, unit: u64, telemetry: bool) -> Trial {
         let iter = unit / BI_PHASES.len() as u64;
         let phase = BI_PHASES[(unit % BI_PHASES.len() as u64) as usize];
         let cfg = self.config();
@@ -96,8 +97,10 @@ impl Scenario for BiExtended {
             occurrence: 1,
         };
         let mut emu = CrashEmulator::from_system(sys, trigger);
+        let probe = telemetry.then(|| Probe::attach(&emu));
         match bi.run(&mut emu, 0, ITERS, self.rho0) {
             RunOutcome::Completed(_) => {
+                let profile = probe.map(|p| p.finish(&emu));
                 let sol = bi.peek_solution(&emu);
                 Trial {
                     unit,
@@ -108,9 +111,11 @@ impl Scenario for BiExtended {
                     },
                     lost_units: 0,
                     sim_time_ps: 0,
+                    telemetry: profile,
                 }
             }
             RunOutcome::Crashed(image) => {
+                let profile = probe.map(|p| p.finish(&emu).with_image(&image));
                 let rec = bi.recover_and_resume(&image, cfg);
                 let matches = max_diff(&rec.solution, &self.reference) < TOL;
                 let detected = rec.restart_from.is_none();
@@ -119,6 +124,7 @@ impl Scenario for BiExtended {
                     outcome: classify(detected, matches, rec.report.lost_units),
                     lost_units: rec.report.lost_units,
                     sim_time_ps: rec.report.total().ps(),
+                    telemetry: profile,
                 }
             }
         }

@@ -8,6 +8,7 @@ use adcc_linalg::spd::CgClass;
 use adcc_pmem::undo::UndoPool;
 use adcc_sim::crash::{CrashEmulator, CrashSite, CrashTrigger, RunOutcome};
 use adcc_sim::system::{MemorySystem, SystemConfig};
+use adcc_telemetry::{ExecutionProfile, Probe};
 
 use super::{max_diff, trim_dram};
 use crate::outcome::{classify, Outcome};
@@ -32,7 +33,12 @@ fn config(a: &CsrMatrix) -> SystemConfig {
     trim_dram(SystemConfig::nvm_only(16 << 10, cap))
 }
 
-fn completed_clean(matches: bool, unit: u64, sim_time_ps: u64) -> Trial {
+fn completed_clean(
+    matches: bool,
+    unit: u64,
+    sim_time_ps: u64,
+    telemetry: Option<ExecutionProfile>,
+) -> Trial {
     Trial {
         unit,
         outcome: if matches {
@@ -42,6 +48,7 @@ fn completed_clean(matches: bool, unit: u64, sim_time_ps: u64) -> Trial {
         },
         lost_units: 0,
         sim_time_ps,
+        telemetry,
     }
 }
 
@@ -91,7 +98,7 @@ impl Scenario for CgExtended {
         (CG_PHASES.len() * ITERS) as u64
     }
 
-    fn run_trial(&self, unit: u64) -> Trial {
+    fn run_trial(&self, unit: u64, telemetry: bool) -> Trial {
         let iter = unit / CG_PHASES.len() as u64;
         let phase = CG_PHASES[(unit % CG_PHASES.len() as u64) as usize];
         let cfg = config(&self.a);
@@ -102,12 +109,15 @@ impl Scenario for CgExtended {
             occurrence: 1,
         };
         let mut emu = CrashEmulator::from_system(sys, trigger);
+        let probe = telemetry.then(|| Probe::attach(&emu));
         match cg.run(&mut emu, 0, ITERS, rho0) {
             RunOutcome::Completed(rho) => {
+                let profile = probe.map(|p| p.finish(&emu));
                 let sol = cg.peek_solution(&emu, rho);
-                completed_clean(max_diff(&sol.z, &self.reference) < TOL, unit, 0)
+                completed_clean(max_diff(&sol.z, &self.reference) < TOL, unit, 0, profile)
             }
             RunOutcome::Crashed(image) => {
+                let profile = probe.map(|p| p.finish(&emu).with_image(&image));
                 let rec = cg.recover_and_resume(&image, cfg);
                 let matches = max_diff(&rec.solution.z, &self.reference) < TOL;
                 let detected = rec.restart_from.is_none();
@@ -116,6 +126,7 @@ impl Scenario for CgExtended {
                     outcome: classify(detected, matches, rec.report.lost_units),
                     lost_units: rec.report.lost_units,
                     sim_time_ps: rec.report.total().ps(),
+                    telemetry: profile,
                 }
             }
         }
@@ -162,7 +173,7 @@ impl Scenario for CgCkpt {
         2 * ITERS as u64
     }
 
-    fn run_trial(&self, unit: u64) -> Trial {
+    fn run_trial(&self, unit: u64, telemetry: bool) -> Trial {
         let iter = unit / 2;
         let phase = if unit.is_multiple_of(2) {
             sites::PH_LINE10
@@ -178,14 +189,17 @@ impl Scenario for CgCkpt {
             occurrence: 1,
         };
         let mut emu = CrashEmulator::from_system(sys, trigger);
+        let probe = telemetry.then(|| Probe::attach(&emu));
         let image = match adcc_core::cg::variants::run_with_ckpt(&mut emu, &cg, rho0, &mut mgr) {
             RunOutcome::Completed(rho) => {
                 let _ = rho;
+                let profile = probe.map(|p| p.finish(&emu));
                 let sol = cg.peek_solution(&emu);
-                return completed_clean(max_diff(&sol, &self.reference) < TOL, unit, 0);
+                return completed_clean(max_diff(&sol, &self.reference) < TOL, unit, 0, profile);
             }
             RunOutcome::Crashed(image) => image,
         };
+        let profile = probe.map(|p| p.finish(&emu).with_image(&image));
 
         let sys2 = MemorySystem::from_image(cfg, &image);
         let mut emu2 = CrashEmulator::from_system(sys2, CrashTrigger::Never);
@@ -207,6 +221,7 @@ impl Scenario for CgCkpt {
             outcome: classify(!restored, matches, lost),
             lost_units: lost,
             sim_time_ps,
+            telemetry: profile,
         }
     }
 }
@@ -313,7 +328,7 @@ impl Scenario for CgPmem {
         (PMEM_PHASES.len() * ITERS) as u64
     }
 
-    fn run_trial(&self, unit: u64) -> Trial {
+    fn run_trial(&self, unit: u64, telemetry: bool) -> Trial {
         let iter = (unit / PMEM_PHASES.len() as u64) as usize;
         let phase = PMEM_PHASES[(unit % PMEM_PHASES.len() as u64) as usize];
         let cfg = config(&self.a);
@@ -327,6 +342,7 @@ impl Scenario for CgPmem {
             occurrence: 1,
         };
         let mut emu = CrashEmulator::from_system(sys, trigger);
+        let probe = telemetry.then(|| Probe::attach(&emu));
         let mut rho = rho0;
         let mut crash: Option<adcc_sim::image::NvmImage> = None;
         for i in 0..ITERS {
@@ -339,9 +355,11 @@ impl Scenario for CgPmem {
             }
         }
         let Some(image) = crash else {
+            let profile = probe.map(|p| p.finish(&emu).with_log(pool.log_stats()));
             let sol = cg.peek_solution(&emu);
-            return completed_clean(max_diff(&sol, &self.reference) < TOL, unit, 0);
+            return completed_clean(max_diff(&sol, &self.reference) < TOL, unit, 0, profile);
         };
+        let profile = probe.map(|p| p.finish(&emu).with_image(&image).with_log(pool.log_stats()));
 
         let mut sys2 = MemorySystem::from_image(cfg, &image);
         let t0 = sys2.now();
@@ -369,6 +387,7 @@ impl Scenario for CgPmem {
             outcome: classify(false, matches, lost),
             lost_units: lost,
             sim_time_ps,
+            telemetry: profile,
         }
     }
 }

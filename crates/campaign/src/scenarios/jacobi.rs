@@ -6,6 +6,7 @@ use adcc_linalg::csr::CsrMatrix;
 use adcc_linalg::spd::CgClass;
 use adcc_sim::crash::{CrashEmulator, CrashSite, CrashTrigger, RunOutcome};
 use adcc_sim::system::{MemorySystem, SystemConfig};
+use adcc_telemetry::Probe;
 
 use super::{max_diff, trim_dram};
 use crate::outcome::{classify, Outcome};
@@ -66,7 +67,7 @@ impl Scenario for JacobiExtended {
         ITERS as u64
     }
 
-    fn run_trial(&self, unit: u64) -> Trial {
+    fn run_trial(&self, unit: u64, telemetry: bool) -> Trial {
         let cfg = config(&self.a);
         let mut sys = MemorySystem::new(cfg.clone());
         let jac = ExtendedJacobi::setup(&mut sys, &self.a, &self.b, ITERS);
@@ -75,8 +76,10 @@ impl Scenario for JacobiExtended {
             occurrence: 1,
         };
         let mut emu = CrashEmulator::from_system(sys, trigger);
+        let probe = telemetry.then(|| Probe::attach(&emu));
         match jac.run(&mut emu, 0, ITERS) {
             RunOutcome::Completed(()) => {
+                let profile = probe.map(|p| p.finish(&emu));
                 let sol = jac.peek_solution(&emu);
                 Trial {
                     unit,
@@ -87,9 +90,11 @@ impl Scenario for JacobiExtended {
                     },
                     lost_units: 0,
                     sim_time_ps: 0,
+                    telemetry: profile,
                 }
             }
             RunOutcome::Crashed(image) => {
+                let profile = probe.map(|p| p.finish(&emu).with_image(&image));
                 let rec = jac.recover_and_resume(&image, cfg);
                 let matches = max_diff(&rec.solution, &self.reference) < TOL;
                 let detected = rec.restart_from.is_none();
@@ -98,6 +103,7 @@ impl Scenario for JacobiExtended {
                     outcome: classify(detected, matches, rec.report.lost_units),
                     lost_units: rec.report.lost_units,
                     sim_time_ps: rec.report.total().ps(),
+                    telemetry: profile,
                 }
             }
         }
@@ -143,7 +149,7 @@ impl Scenario for JacobiCkpt {
         2 * ITERS as u64
     }
 
-    fn run_trial(&self, unit: u64) -> Trial {
+    fn run_trial(&self, unit: u64, telemetry: bool) -> Trial {
         let iter = unit / 2;
         let phase = if unit.is_multiple_of(2) {
             sites::PH_AFTER_X
@@ -159,8 +165,10 @@ impl Scenario for JacobiCkpt {
             occurrence: 1,
         };
         let mut emu = CrashEmulator::from_system(sys, trigger);
+        let probe = telemetry.then(|| Probe::attach(&emu));
         let image = match adcc_core::jacobi::variants::run_with_ckpt(&mut emu, &jac, &mut mgr) {
             RunOutcome::Completed(()) => {
+                let profile = probe.map(|p| p.finish(&emu));
                 let sol = jac.peek_solution(&emu);
                 return Trial {
                     unit,
@@ -171,10 +179,12 @@ impl Scenario for JacobiCkpt {
                     },
                     lost_units: 0,
                     sim_time_ps: 0,
+                    telemetry: profile,
                 };
             }
             RunOutcome::Crashed(image) => image,
         };
+        let profile = probe.map(|p| p.finish(&emu).with_image(&image));
 
         let sys2 = MemorySystem::from_image(cfg, &image);
         let mut emu2 = CrashEmulator::from_system(sys2, CrashTrigger::Never);
@@ -193,6 +203,7 @@ impl Scenario for JacobiCkpt {
             outcome: classify(!restored, matches, lost),
             lost_units: lost,
             sim_time_ps,
+            telemetry: profile,
         }
     }
 }

@@ -6,6 +6,7 @@ use adcc_core::lu::{dominant_matrix, lu_host, sites, ChecksumLu, LuBlockStatus};
 use adcc_linalg::Matrix;
 use adcc_sim::crash::{CrashEmulator, CrashSite, CrashTrigger, RunOutcome};
 use adcc_sim::system::{MemorySystem, SystemConfig};
+use adcc_telemetry::Probe;
 
 use super::trim_dram;
 use crate::outcome::{classify, Outcome};
@@ -95,13 +96,15 @@ impl Scenario for LuExtended {
         N as u64 + blocks()
     }
 
-    fn run_trial(&self, unit: u64) -> Trial {
+    fn run_trial(&self, unit: u64, telemetry: bool) -> Trial {
         let cfg = config();
         let mut sys = MemorySystem::new(cfg.clone());
         let lu = ChecksumLu::setup(&mut sys, &self.a, BK);
         let mut emu = CrashEmulator::from_system(sys, lu_trigger(unit));
+        let probe = telemetry.then(|| Probe::attach(&emu));
         match lu.run(&mut emu, 0) {
             RunOutcome::Completed(()) => {
+                let profile = probe.map(|p| p.finish(&emu));
                 let factor = lu.peek_factor(&emu);
                 Trial {
                     unit,
@@ -112,9 +115,11 @@ impl Scenario for LuExtended {
                     },
                     lost_units: 0,
                     sim_time_ps: 0,
+                    telemetry: profile,
                 }
             }
             RunOutcome::Crashed(image) => {
+                let profile = probe.map(|p| p.finish(&emu).with_image(&image));
                 let rec = lu.recover_and_resume(&image, cfg);
                 let matches = factor_matches(&rec.factor, &self.reference);
                 let detected = rec.statuses.contains(&LuBlockStatus::Inconsistent);
@@ -123,6 +128,7 @@ impl Scenario for LuExtended {
                     outcome: classify(detected, matches, rec.report.lost_units),
                     lost_units: rec.report.lost_units,
                     sim_time_ps: rec.report.total().ps(),
+                    telemetry: profile,
                 }
             }
         }
@@ -167,15 +173,17 @@ impl Scenario for LuCkpt {
         N as u64 + blocks()
     }
 
-    fn run_trial(&self, unit: u64) -> Trial {
+    fn run_trial(&self, unit: u64, telemetry: bool) -> Trial {
         let cfg = config();
         let mut sys = MemorySystem::new(cfg.clone());
         let lu = ChecksumLu::setup(&mut sys, &self.a, BK);
         let regions = adcc_core::lu::variants::lu_ckpt_regions(&lu);
         let mut mgr = CkptManager::new_nvm(&mut sys, regions, false);
         let mut emu = CrashEmulator::from_system(sys, lu_trigger(unit));
+        let probe = telemetry.then(|| Probe::attach(&emu));
         let image = match adcc_core::lu::variants::run_with_ckpt(&mut emu, &lu, &mut mgr) {
             RunOutcome::Completed(()) => {
+                let profile = probe.map(|p| p.finish(&emu));
                 let factor = lu.peek_factor(&emu);
                 return Trial {
                     unit,
@@ -186,10 +194,12 @@ impl Scenario for LuCkpt {
                     },
                     lost_units: 0,
                     sim_time_ps: 0,
+                    telemetry: profile,
                 };
             }
             RunOutcome::Crashed(image) => image,
         };
+        let profile = probe.map(|p| p.finish(&emu).with_image(&image));
 
         let sys2 = MemorySystem::from_image(cfg, &image);
         let mut emu2 = CrashEmulator::from_system(sys2, CrashTrigger::Never);
@@ -216,6 +226,7 @@ impl Scenario for LuCkpt {
             outcome: classify(!restored, matches, lost),
             lost_units: lost,
             sim_time_ps,
+            telemetry: profile,
         }
     }
 }

@@ -12,6 +12,7 @@ use adcc_core::mc::{McProblem, XS_CHANNELS};
 use adcc_sim::crash::{CrashEmulator, CrashTrigger};
 use adcc_sim::image::NvmImage;
 use adcc_sim::system::{MemorySystem, SystemConfig};
+use adcc_telemetry::{ExecutionProfile, Probe};
 
 use super::trim_dram;
 use crate::outcome::classify;
@@ -98,7 +99,13 @@ impl McCampaign {
         )
     }
 
-    fn recover_one(&self, mc: &McSim, image: &NvmImage, unit: u64) -> Trial {
+    fn recover_one(
+        &self,
+        mc: &McSim,
+        image: &NvmImage,
+        unit: u64,
+        telemetry: Option<ExecutionProfile>,
+    ) -> Trial {
         let rec = mc.recover_and_resume(image, self.cfg.clone(), unit + 1);
         let total: u64 = rec.counts.iter().sum();
         // The count-total audit is the mechanism's integrity check: replay
@@ -111,6 +118,7 @@ impl McCampaign {
             outcome: classify(detected, matches, rec.report.lost_units),
             lost_units: rec.report.lost_units,
             sim_time_ps: rec.report.total().ps(),
+            telemetry,
         }
     }
 }
@@ -136,16 +144,17 @@ impl Scenario for McCampaign {
         true
     }
 
-    fn run_trial(&self, unit: u64) -> Trial {
-        self.run_batch(&[unit])
+    fn run_trial(&self, unit: u64, telemetry: bool) -> Trial {
+        self.run_batch(&[unit], telemetry)
             .expect("mc scenarios always batch")
             .remove(0)
     }
 
-    fn run_batch(&self, units: &[u64]) -> Option<Vec<Trial>> {
+    fn run_batch(&self, units: &[u64], telemetry: bool) -> Option<Vec<Trial>> {
         let mut sys = MemorySystem::new(self.cfg.clone());
         let mc = McSim::setup(&mut sys, self.problem.clone(), LOOKUPS, MC_SEED, self.mode);
         let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        let probe = telemetry.then(|| Probe::attach(&emu));
         let mut done = 0u64;
         let mut trials = Vec::with_capacity(units.len());
         for &unit in units {
@@ -158,7 +167,11 @@ impl Scenario for McCampaign {
             // would fire; fork the image it would leave instead of
             // crashing, so the run can keep going.
             let image = emu.fork_image();
-            trials.push(self.recover_one(&mc, &image, unit));
+            // One shared execution, so each trial's profile is the
+            // *cumulative* cost from setup to its own crash point — the
+            // same window a per-trial run would have measured.
+            let profile = probe.as_ref().map(|p| p.finish(&emu).with_image(&image));
+            trials.push(self.recover_one(&mc, &image, unit, profile));
         }
         Some(trials)
     }

@@ -5,6 +5,7 @@ use adcc_ckpt::manager::CkptManager;
 use adcc_core::stencil::{heat_host, sites, ExtendedStencil, PlainStencil};
 use adcc_sim::crash::{CrashEmulator, CrashSite, CrashTrigger, RunOutcome};
 use adcc_sim::system::{MemorySystem, SystemConfig};
+use adcc_telemetry::Probe;
 
 use super::{max_diff, trim_dram};
 use crate::outcome::{classify, Outcome};
@@ -72,7 +73,7 @@ impl Scenario for StencilExtended {
         2 * SWEEPS as u64
     }
 
-    fn run_trial(&self, unit: u64) -> Trial {
+    fn run_trial(&self, unit: u64, telemetry: bool) -> Trial {
         let sweep = unit / 2;
         let cfg = config();
         let mut sys = MemorySystem::new(cfg.clone());
@@ -92,8 +93,10 @@ impl Scenario for StencilExtended {
             }
         };
         let mut emu = CrashEmulator::from_system(sys, trigger);
+        let probe = telemetry.then(|| Probe::attach(&emu));
         match st.run(&mut emu, 0, SWEEPS) {
             RunOutcome::Completed(()) => {
+                let profile = probe.map(|p| p.finish(&emu));
                 let grid = st.peek_grid(&emu, SWEEPS);
                 Trial {
                     unit,
@@ -104,9 +107,11 @@ impl Scenario for StencilExtended {
                     },
                     lost_units: 0,
                     sim_time_ps: 0,
+                    telemetry: profile,
                 }
             }
             RunOutcome::Crashed(image) => {
+                let profile = probe.map(|p| p.finish(&emu).with_image(&image));
                 let rec = st.recover_and_resume(&image, cfg);
                 let matches = max_diff(&rec.solution, &self.reference) < TOL;
                 let detected = rec.restart_from.is_none();
@@ -115,6 +120,7 @@ impl Scenario for StencilExtended {
                     outcome: classify(detected, matches, rec.report.lost_units),
                     lost_units: rec.report.lost_units,
                     sim_time_ps: rec.report.total().ps(),
+                    telemetry: profile,
                 }
             }
         }
@@ -160,7 +166,7 @@ impl Scenario for StencilCkpt {
         SWEEPS as u64 + ACCESS_POINTS
     }
 
-    fn run_trial(&self, unit: u64) -> Trial {
+    fn run_trial(&self, unit: u64, telemetry: bool) -> Trial {
         let cfg = config();
         let mut sys = MemorySystem::new(cfg.clone());
         let st = PlainStencil::setup(&mut sys, GRID, GRID, SWEEPS);
@@ -174,8 +180,10 @@ impl Scenario for StencilCkpt {
             CrashTrigger::AtAccessCount(ACCESS_BASE + (unit - SWEEPS as u64) * ACCESS_STRIDE)
         };
         let mut emu = CrashEmulator::from_system(sys, trigger);
+        let probe = telemetry.then(|| Probe::attach(&emu));
         let image = match adcc_core::stencil::variants::run_with_ckpt(&mut emu, &st, &mut mgr) {
             RunOutcome::Completed(()) => {
+                let profile = probe.map(|p| p.finish(&emu));
                 let grid = st.peek_grid(&emu, SWEEPS);
                 return Trial {
                     unit,
@@ -186,10 +194,12 @@ impl Scenario for StencilCkpt {
                     },
                     lost_units: 0,
                     sim_time_ps: 0,
+                    telemetry: profile,
                 };
             }
             RunOutcome::Crashed(image) => image,
         };
+        let profile = probe.map(|p| p.finish(&emu).with_image(&image));
 
         let sys2 = MemorySystem::from_image(cfg, &image);
         let mut emu2 = CrashEmulator::from_system(sys2, CrashTrigger::Never);
@@ -214,6 +224,7 @@ impl Scenario for StencilCkpt {
             outcome: classify(!restored, matches, lost),
             lost_units: lost,
             sim_time_ps,
+            telemetry: profile,
         }
     }
 }

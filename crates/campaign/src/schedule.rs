@@ -8,7 +8,10 @@ use rand::prelude::*;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Schedule {
     /// Every `k`-th unit, starting at 0, until the budget is spent.
-    EveryK { k: u64 },
+    EveryK {
+        /// Step between crash points.
+        k: u64,
+    },
     /// The unit space is split into `budget` equal strata and one point is
     /// drawn uniformly (seeded) from each — coverage across the whole run
     /// with reproducible jitter.
@@ -16,7 +19,10 @@ pub enum Schedule {
     /// Exhaustive when the unit space is at most `n`; stratified fallback
     /// above that (no silent truncation — the report records trial
     /// counts next to `total_units`).
-    ExhaustiveBelow { n: u64 },
+    ExhaustiveBelow {
+        /// Largest unit space still enumerated exhaustively.
+        n: u64,
+    },
 }
 
 impl Schedule {

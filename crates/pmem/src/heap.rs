@@ -16,6 +16,7 @@ const SLOT_WORDS: usize = 3;
 pub struct PersistentHeap {
     table: PArray<u64>,
     capacity: usize,
+    updates: u64,
 }
 
 /// FNV-1a, the classic non-cryptographic name hash.
@@ -40,7 +41,11 @@ impl PersistentHeap {
         table.fill(sys, 0);
         table.persist_all(sys);
         sys.sfence();
-        PersistentHeap { table, capacity }
+        PersistentHeap {
+            table,
+            capacity,
+            updates: 0,
+        }
     }
 
     /// Re-attach to a directory at a known address (post-crash).
@@ -48,6 +53,7 @@ impl PersistentHeap {
         PersistentHeap {
             table: PArray::new(table_base, capacity * SLOT_WORDS),
             capacity,
+            updates: 0,
         }
     }
 
@@ -58,6 +64,12 @@ impl PersistentHeap {
 
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Directory slots written (registrations + updates) through this
+    /// handle — metadata persists the telemetry layer counts as log writes.
+    pub fn updates(&self) -> u64 {
+        self.updates
     }
 
     /// Register (or update) a named region and persist the entry.
@@ -81,6 +93,7 @@ impl PersistentHeap {
         let slot_addr = self.table.addr(i * SLOT_WORDS);
         sys.persist_range(slot_addr, SLOT_WORDS * 8);
         sys.sfence();
+        self.updates += 1;
     }
 
     /// Look up a named region on a live system.
@@ -138,11 +151,13 @@ mod tests {
     fn update_existing_name_reuses_slot() {
         let mut s = sys();
         let mut heap = PersistentHeap::new(&mut s, 2);
+        assert_eq!(heap.updates(), 0);
         heap.register(&mut s, "a", 1, 1);
         heap.register(&mut s, "a", 2, 2);
         heap.register(&mut s, "b", 3, 3);
         assert_eq!(heap.lookup(&mut s, "a"), Some((2, 2)));
         assert_eq!(heap.lookup(&mut s, "b"), Some((3, 3)));
+        assert_eq!(heap.updates(), 3, "every slot write is a metadata persist");
     }
 
     #[test]

@@ -22,8 +22,10 @@
 
 pub mod heap;
 pub mod redo;
+pub mod stats;
 pub mod undo;
 
 pub use heap::PersistentHeap;
 pub use redo::RedoPool;
+pub use stats::LogStats;
 pub use undo::{UndoPool, UndoPoolLayout};

@@ -5,6 +5,7 @@
 //! truncates. Recovery: a crash before the commit mark discards the log; a
 //! crash after it re-applies the staged writes (idempotent).
 
+use crate::stats::LogStats;
 use adcc_sim::clock::Bucket;
 use adcc_sim::image::NvmImage;
 use adcc_sim::line::LINE_SIZE;
@@ -35,6 +36,7 @@ pub struct RedoPool {
     capacity: usize,
     staged: usize,
     in_tx: bool,
+    stats: LogStats,
 }
 
 impl RedoPool {
@@ -54,7 +56,13 @@ impl RedoPool {
             capacity,
             staged: 0,
             in_tx: false,
+            stats: LogStats::default(),
         }
+    }
+
+    /// Log-traffic counters accumulated over this pool handle's lifetime.
+    pub fn log_stats(&self) -> LogStats {
+        self.stats
     }
 
     pub fn layout(&self) -> RedoPoolLayout {
@@ -70,6 +78,7 @@ impl RedoPool {
         assert!(!self.in_tx, "nested transactions are not supported");
         self.staged = 0;
         self.in_tx = true;
+        self.stats.tx_begins += 1;
     }
 
     /// Stage a full-line write of `data` to line-aligned `addr`.
@@ -84,6 +93,8 @@ impl RedoPool {
         sys.persist_range(entry_addr, ENTRY_BYTES);
         sys.clock_mut().set_bucket(prev);
         self.staged += 1;
+        self.stats.appends += 1;
+        self.stats.bytes += ENTRY_BYTES as u64;
     }
 
     /// Commit: persist count + COMMITTED mark, apply staged writes home,
@@ -106,6 +117,7 @@ impl RedoPool {
         sys.clock_mut().set_bucket(prev);
         self.staged = 0;
         self.in_tx = false;
+        self.stats.tx_commits += 1;
     }
 
     /// Post-crash recovery: re-apply a committed-but-unapplied log.
@@ -176,6 +188,22 @@ mod tests {
         assert_eq!(img.read_u64(data.addr(0)), 1);
         let layout = pool.layout();
         assert!(!RedoPool::needs_recovery(&layout, &img));
+    }
+
+    #[test]
+    fn log_stats_count_staged_traffic() {
+        let mut s = sys();
+        let data = PArray::<u64>::alloc_nvm(&mut s, 8);
+        let mut pool = RedoPool::new(&mut s, 8);
+        assert_eq!(pool.log_stats(), crate::stats::LogStats::default());
+        pool.tx_begin();
+        pool.tx_stage_line(&mut s, data.base(), &[1u8; LINE_SIZE]);
+        pool.tx_commit(&mut s);
+        let st = pool.log_stats();
+        assert_eq!(st.tx_begins, 1);
+        assert_eq!(st.tx_commits, 1);
+        assert_eq!(st.appends, 1);
+        assert_eq!(st.bytes, 2 * LINE_SIZE as u64);
     }
 
     #[test]

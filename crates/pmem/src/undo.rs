@@ -21,6 +21,7 @@
 
 use std::collections::HashSet;
 
+use crate::stats::LogStats;
 use adcc_sim::clock::Bucket;
 use adcc_sim::image::NvmImage;
 use adcc_sim::line::{line_of, LINE_SHIFT, LINE_SIZE};
@@ -65,6 +66,7 @@ pub struct UndoPool {
     /// metadata, as in `libpmemobj`'s DRAM range tree).
     snapshotted: HashSet<u64>,
     in_tx: bool,
+    stats: LogStats,
 }
 
 impl UndoPool {
@@ -85,6 +87,7 @@ impl UndoPool {
             capacity,
             snapshotted: HashSet::new(),
             in_tx: false,
+            stats: LogStats::default(),
         }
     }
 
@@ -97,6 +100,7 @@ impl UndoPool {
             capacity: layout.capacity,
             snapshotted: HashSet::new(),
             in_tx: false,
+            stats: LogStats::default(),
         }
     }
 
@@ -115,6 +119,13 @@ impl UndoPool {
         self.in_tx
     }
 
+    /// Log-traffic counters accumulated over this pool handle's lifetime
+    /// (telemetry hook; post-crash recovery runs on a fresh handle and is
+    /// not included).
+    pub fn log_stats(&self) -> LogStats {
+        self.stats
+    }
+
     /// Begin a transaction.
     pub fn tx_begin(&mut self, sys: &mut MemorySystem) {
         assert!(!self.in_tx, "nested transactions are not supported");
@@ -125,6 +136,7 @@ impl UndoPool {
         sys.clock_mut().set_bucket(prev);
         self.snapshotted.clear();
         self.in_tx = true;
+        self.stats.tx_begins += 1;
     }
 
     /// Snapshot the current contents of `[addr, addr + len)` so the range
@@ -144,6 +156,8 @@ impl UndoPool {
                 continue;
             }
             sys.charge_ps(SNAPSHOT_LINE_SW_PS);
+            self.stats.appends += 1;
+            self.stats.bytes += ENTRY_BYTES as u64;
             let n = self.snapshotted.len() - 1;
             assert!(n < self.capacity, "undo log capacity exceeded");
             let entry_addr = self.entries.base() + (n * ENTRY_BYTES) as u64;
@@ -182,6 +196,7 @@ impl UndoPool {
         sys.clock_mut().set_bucket(prev);
         self.snapshotted.clear();
         self.in_tx = false;
+        self.stats.tx_commits += 1;
     }
 
     /// Abort the open transaction in-place (roll back using the log).
@@ -196,6 +211,7 @@ impl UndoPool {
         sys.sfence();
         self.snapshotted.clear();
         self.in_tx = false;
+        self.stats.aborts += 1;
     }
 
     /// Post-crash recovery on a rebooted system: if the crash interrupted

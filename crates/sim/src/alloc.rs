@@ -17,6 +17,7 @@ pub struct Bump {
 }
 
 impl Bump {
+    /// Allocator over `[base, base + capacity)`.
     pub fn new(base: u64, capacity: usize) -> Self {
         Bump {
             next: base,

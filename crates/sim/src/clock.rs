@@ -16,28 +16,34 @@ use serde::Serialize;
 pub struct SimTime(pub u64);
 
 impl SimTime {
+    /// The zero instant/duration.
     pub const ZERO: SimTime = SimTime(0);
 
+    /// Exact picoseconds.
     #[inline]
     pub fn ps(self) -> u64 {
         self.0
     }
 
+    /// Value in nanoseconds (lossy, display only).
     #[inline]
     pub fn as_ns(self) -> f64 {
         self.0 as f64 / 1e3
     }
 
+    /// Value in microseconds (lossy, display only).
     #[inline]
     pub fn as_us(self) -> f64 {
         self.0 as f64 / 1e6
     }
 
+    /// Value in milliseconds (lossy, display only).
     #[inline]
     pub fn as_ms(self) -> f64 {
         self.0 as f64 / 1e9
     }
 
+    /// Value in seconds (lossy, display only).
     #[inline]
     pub fn as_secs(self) -> f64 {
         self.0 as f64 / 1e12
@@ -116,8 +122,10 @@ pub enum Bucket {
 }
 
 impl Bucket {
+    /// Number of buckets.
     pub const COUNT: usize = 10;
 
+    /// Every bucket, in `Bucket as usize` order.
     pub const ALL: [Bucket; Bucket::COUNT] = [
         Bucket::Compute,
         Bucket::Memory,
@@ -131,6 +139,7 @@ impl Bucket {
         Bucket::Other,
     ];
 
+    /// Stable identifier used in tables and reports.
     pub fn name(self) -> &'static str {
         match self {
             Bucket::Compute => "compute",
@@ -156,6 +165,7 @@ pub struct SimClock {
 }
 
 impl SimClock {
+    /// A zeroed clock charging to [`Bucket::Memory`].
     pub fn new() -> Self {
         SimClock {
             now_ps: 0,
@@ -203,6 +213,14 @@ impl SimClock {
         SimTime(self.buckets[bucket as usize])
     }
 
+    /// Snapshot of every bucket's total, indexed by `Bucket as usize`.
+    /// Telemetry probes diff two snapshots to attribute an execution
+    /// window's time to flush/fence/log work.
+    #[inline]
+    pub fn bucket_totals(&self) -> [u64; Bucket::COUNT] {
+        self.buckets
+    }
+
     /// Reset the clock to zero (all buckets cleared).
     pub fn reset(&mut self) {
         *self = SimClock::new();
@@ -222,6 +240,7 @@ pub struct BucketGuard<'a> {
 }
 
 impl<'a> BucketGuard<'a> {
+    /// Switch `clock` to `bucket` until the guard drops.
     pub fn new(clock: &'a mut SimClock, bucket: Bucket) -> Self {
         let prev = clock.set_bucket(bucket);
         BucketGuard { clock, prev }

@@ -19,11 +19,14 @@ use crate::system::{MemorySystem, SystemConfig};
 /// number.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CrashSite {
+    /// Phase identifier (which loop / pseudocode line).
     pub phase: u32,
+    /// Loop index within the phase.
     pub index: u64,
 }
 
 impl CrashSite {
+    /// Site at `(phase, index)`.
     pub const fn new(phase: u32, index: u64) -> Self {
         CrashSite { phase, index }
     }
@@ -35,10 +38,20 @@ pub enum CrashTrigger {
     /// Run to completion.
     Never,
     /// Crash at the `occurrence`-th poll of exactly this site (1-based).
-    AtSite { site: CrashSite, occurrence: u32 },
+    AtSite {
+        /// The instrumented site to watch.
+        site: CrashSite,
+        /// Which poll of the site fires the crash (1-based).
+        occurrence: u32,
+    },
     /// Crash at the first poll of any site in this phase with
     /// `index >= index` (useful when indices are data-dependent).
-    AtPhaseIndex { phase: u32, index: u64 },
+    AtPhaseIndex {
+        /// Phase to watch.
+        phase: u32,
+        /// Minimum index that fires the crash.
+        index: u64,
+    },
     /// Crash at the first poll after `count` element accesses.
     AtAccessCount(u64),
     /// Crash at the first poll after the simulated clock passes `ps`.
@@ -55,6 +68,7 @@ pub struct CrashEmulator {
 }
 
 impl CrashEmulator {
+    /// Fresh system from `cfg`, armed with `trigger`.
     pub fn new(cfg: SystemConfig, trigger: CrashTrigger) -> Self {
         CrashEmulator {
             sys: MemorySystem::new(cfg),
@@ -171,6 +185,7 @@ pub enum RunOutcome<T> {
 }
 
 impl<T> RunOutcome<T> {
+    /// The completion value, if the run finished.
     pub fn completed(self) -> Option<T> {
         match self {
             RunOutcome::Completed(t) => Some(t),
@@ -178,6 +193,7 @@ impl<T> RunOutcome<T> {
         }
     }
 
+    /// The crash image, if the trigger fired.
     pub fn crashed(self) -> Option<NvmImage> {
         match self {
             RunOutcome::Completed(_) => None,
@@ -185,6 +201,7 @@ impl<T> RunOutcome<T> {
         }
     }
 
+    /// Whether the trigger fired.
     pub fn is_crashed(&self) -> bool {
         matches!(self, RunOutcome::Crashed(_))
     }

@@ -22,16 +22,27 @@ use crate::system::MemorySystem;
 #[derive(Debug, Default)]
 pub struct EpochPersist {
     lines: Vec<u64>,
+    lines_persisted: u64,
 }
 
 impl EpochPersist {
+    /// New accumulator with no pending requests.
     pub fn new() -> Self {
-        EpochPersist { lines: Vec::new() }
+        EpochPersist {
+            lines: Vec::new(),
+            lines_persisted: 0,
+        }
     }
 
     /// Number of (not yet deduplicated) pending line requests.
     pub fn pending(&self) -> usize {
         self.lines.len()
+    }
+
+    /// Total distinct lines persisted across all barriers issued through
+    /// this accumulator (telemetry hook: epoch-batched flush volume).
+    pub fn lines_persisted(&self) -> u64 {
+        self.lines_persisted
     }
 
     /// Request persistence of the line containing `addr`.
@@ -61,6 +72,7 @@ impl EpochPersist {
         let n = self.lines.len();
         sys.persist_lines_batched(&self.lines);
         self.lines.clear();
+        self.lines_persisted += n as u64;
         n
     }
 
@@ -147,6 +159,25 @@ mod tests {
         e.note(a + 8);
         e.note(a);
         assert_eq!(e.barrier(&mut s), 1);
+    }
+
+    #[test]
+    fn lines_persisted_accumulates_across_barriers() {
+        let mut s = sys();
+        let a = s.alloc_nvm(4 * LINE_SIZE);
+        let mut e = EpochPersist::new();
+        assert_eq!(e.lines_persisted(), 0);
+        e.note_range(a, 3 * LINE_SIZE);
+        e.barrier(&mut s);
+        assert_eq!(e.lines_persisted(), 3);
+        e.note(a); // second epoch re-persists a line: still counted
+        e.barrier(&mut s);
+        assert_eq!(e.lines_persisted(), 4);
+        // Discarded requests never count.
+        e.note(a + 64);
+        e.discard();
+        e.barrier(&mut s);
+        assert_eq!(e.lines_persisted(), 4);
     }
 
     #[test]

@@ -11,11 +11,43 @@ use crate::parray::{PArray, Pod};
 #[derive(Clone)]
 pub struct NvmImage {
     bytes: Vec<u8>,
+    /// Distinct dirty NVM-homed cache lines resident in volatile levels at
+    /// the crash instant (telemetry metadata; zero when not recorded).
+    dirty_lines: u64,
 }
 
 impl NvmImage {
+    /// Wrap raw snapshot bytes (no dirty-residency metadata attached).
     pub fn new(bytes: Vec<u8>) -> Self {
-        NvmImage { bytes }
+        NvmImage {
+            bytes,
+            dirty_lines: 0,
+        }
+    }
+
+    /// Attach the number of dirty NVM-homed cache lines that were resident
+    /// in the volatile hierarchy when this image was taken — the paper's
+    /// "dirty data in the cache hierarchy" residency metric. Recorded by
+    /// [`crate::system::MemorySystem::crash`] and
+    /// [`crate::system::MemorySystem::crash_fork`].
+    pub fn with_dirty_lines(mut self, lines: u64) -> Self {
+        self.dirty_lines = lines;
+        self
+    }
+
+    /// Dirty NVM-homed cache lines resident in volatile levels at crash
+    /// time (zero when the image was built without residency metadata).
+    ///
+    /// With battery-backed caches ([`crate::system::SystemConfig::persistent_caches`])
+    /// this still reports the pre-drain residency: it measures how much data
+    /// *would* have been exposed, not how much was lost.
+    pub fn dirty_lines_at_crash(&self) -> u64 {
+        self.dirty_lines
+    }
+
+    /// [`NvmImage::dirty_lines_at_crash`] converted to bytes.
+    pub fn dirty_bytes_at_crash(&self) -> u64 {
+        crate::line::lines_to_bytes(self.dirty_lines)
     }
 
     /// Raw bytes of the snapshot (NVM addresses index directly).
@@ -28,6 +60,7 @@ impl NvmImage {
         self.bytes.len()
     }
 
+    /// Whether the snapshot holds no bytes.
     pub fn is_empty(&self) -> bool {
         self.bytes.is_empty()
     }
@@ -44,14 +77,17 @@ impl NvmImage {
         T::from_bytes(&self.bytes[a..a + T::SIZE])
     }
 
+    /// Read one byte at an NVM address.
     pub fn read_u8(&self, addr: u64) -> u8 {
         self.read(addr)
     }
 
+    /// Read a little-endian `u64` at an NVM address.
     pub fn read_u64(&self, addr: u64) -> u64 {
         self.read(addr)
     }
 
+    /// Read an `f64` at an NVM address.
     pub fn read_f64(&self, addr: u64) -> f64 {
         self.read(addr)
     }

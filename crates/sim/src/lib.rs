@@ -34,6 +34,8 @@
 //! assert_eq!(image.read_f64(x.addr(0)), 1.0);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod alloc;
 pub mod backing;
 pub mod clock;

@@ -51,6 +51,13 @@ pub fn lines_spanned(addr: u64, len: usize) -> u64 {
     line_of(addr + len as u64 - 1) - line_of(addr) + 1
 }
 
+/// Converts a line count into a byte count (telemetry helper: dirty-line
+/// residency and flush tallies are kept in lines, reports print bytes).
+#[inline(always)]
+pub const fn lines_to_bytes(lines: u64) -> u64 {
+    lines * LINE_SIZE as u64
+}
+
 /// Returns true if the address is homed in the volatile DRAM-direct region.
 #[inline(always)]
 pub fn is_dram_addr(addr: u64) -> bool {

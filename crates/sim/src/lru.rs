@@ -24,6 +24,7 @@ pub struct CacheConfig {
 }
 
 impl CacheConfig {
+    /// Geometry for `capacity_bytes` at the given associativity (LRU).
     pub fn new(capacity_bytes: usize, associativity: usize) -> Self {
         assert!(associativity >= 1, "associativity must be at least 1");
         assert!(
@@ -115,6 +116,7 @@ pub struct SetAssocCache {
 }
 
 impl SetAssocCache {
+    /// Empty cache with the given geometry.
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = cfg.sets();
         let assoc = cfg.associativity;

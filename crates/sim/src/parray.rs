@@ -83,11 +83,13 @@ impl<T: Pod> PArray<T> {
     }
 
     #[inline]
+    /// Number of elements.
     pub fn len(&self) -> usize {
         self.len
     }
 
     #[inline]
+    /// Whether the array has zero elements.
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
@@ -202,6 +204,7 @@ impl<T: Pod> Clone for PScalar<T> {
 impl<T: Pod> Copy for PScalar<T> {}
 
 impl<T: Pod> PScalar<T> {
+    /// Handle over an existing scalar at `addr`.
     pub fn new(addr: u64) -> Self {
         PScalar {
             addr,
@@ -216,11 +219,13 @@ impl<T: Pod> PScalar<T> {
     }
 
     #[inline]
+    /// The scalar's address.
     pub fn addr(&self) -> u64 {
         self.addr
     }
 
     #[inline]
+    /// Charged read of the scalar.
     pub fn get(&self, sys: &mut MemorySystem) -> T {
         let mut buf = [0u8; 16];
         sys.read_bytes(self.addr, &mut buf[..T::SIZE]);
@@ -228,6 +233,7 @@ impl<T: Pod> PScalar<T> {
     }
 
     #[inline]
+    /// Charged write of the scalar.
     pub fn set(&self, sys: &mut MemorySystem, v: T) {
         let mut buf = [0u8; 16];
         v.to_bytes(&mut buf);
@@ -262,6 +268,7 @@ impl<T: Pod> Clone for PMatrix<T> {
 impl<T: Pod> Copy for PMatrix<T> {}
 
 impl<T: Pod> PMatrix<T> {
+    /// Allocate a row-major `rows x cols` matrix in NVM.
     pub fn alloc_nvm(sys: &mut MemorySystem, rows: usize, cols: usize) -> Self {
         PMatrix {
             data: PArray::alloc_nvm(sys, rows * cols),
@@ -270,17 +277,20 @@ impl<T: Pod> PMatrix<T> {
         }
     }
 
+    /// View an existing array as a row-major matrix.
     pub fn from_array(data: PArray<T>, rows: usize, cols: usize) -> Self {
         assert_eq!(data.len(), rows * cols);
         PMatrix { data, rows, cols }
     }
 
     #[inline]
+    /// Row count.
     pub fn rows(&self) -> usize {
         self.rows
     }
 
     #[inline]
+    /// Column count.
     pub fn cols(&self) -> usize {
         self.cols
     }
@@ -291,17 +301,20 @@ impl<T: Pod> PMatrix<T> {
     }
 
     #[inline]
+    /// Flat element index of `(r, c)`.
     pub fn idx(&self, r: usize, c: usize) -> usize {
         debug_assert!(r < self.rows && c < self.cols);
         r * self.cols + c
     }
 
     #[inline]
+    /// Charged read of `(r, c)`.
     pub fn get(&self, sys: &mut MemorySystem, r: usize, c: usize) -> T {
         self.data.get(sys, self.idx(r, c))
     }
 
     #[inline]
+    /// Charged write of `(r, c)`.
     pub fn set(&self, sys: &mut MemorySystem, r: usize, c: usize, v: T) {
         self.data.set(sys, self.idx(r, c), v)
     }

@@ -25,6 +25,7 @@ pub enum ReplacementPolicy {
 }
 
 impl ReplacementPolicy {
+    /// Every policy, for ablation sweeps.
     pub const ALL: [ReplacementPolicy; 4] = [
         ReplacementPolicy::Lru,
         ReplacementPolicy::Fifo,
@@ -32,6 +33,7 @@ impl ReplacementPolicy {
         ReplacementPolicy::Random,
     ];
 
+    /// Stable identifier used in tables and reports.
     pub fn name(self) -> &'static str {
         match self {
             ReplacementPolicy::Lru => "lru",
@@ -102,10 +104,12 @@ impl PlruBits {
 pub struct XorShift(u64);
 
 impl XorShift {
+    /// Stream seeded with `seed` (zero is mapped to one).
     pub fn new(seed: u64) -> Self {
         XorShift(seed.max(1))
     }
 
+    /// Next value of the stream.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let mut x = self.0;

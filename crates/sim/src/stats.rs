@@ -63,6 +63,20 @@ impl MemStats {
     pub fn nvm_bytes(&self) -> u64 {
         (self.nvm_line_reads + self.nvm_line_writes) * crate::line::LINE_SIZE as u64
     }
+
+    /// Total cache-line write-back instructions of any flavour
+    /// (`CLFLUSH` + `CLFLUSHOPT` + `CLWB`) — the paper's headline
+    /// per-iteration cost for algorithm-directed schemes.
+    pub fn flush_total(&self) -> u64 {
+        self.clflushes + self.clflushopts + self.clwbs
+    }
+
+    /// Persist barriers issued: every `SFENCE`, including the one ending
+    /// each batched epoch persist. The gaps between consecutive barriers
+    /// are the execution's natural consistency windows.
+    pub fn persist_barriers(&self) -> u64 {
+        self.sfences
+    }
 }
 
 #[cfg(test)]
@@ -83,6 +97,19 @@ mod tests {
             ..Default::default()
         };
         assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flush_total_and_persist_barriers() {
+        let s = MemStats {
+            clflushes: 2,
+            clflushopts: 3,
+            clwbs: 4,
+            sfences: 5,
+            ..Default::default()
+        };
+        assert_eq!(s.flush_total(), 9);
+        assert_eq!(s.persist_barriers(), 5);
     }
 
     #[test]

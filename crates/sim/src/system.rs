@@ -52,8 +52,10 @@ pub enum FlushOp {
 }
 
 impl FlushOp {
+    /// Every flush instruction, for ablation sweeps.
     pub const ALL: [FlushOp; 3] = [FlushOp::Clflush, FlushOp::ClflushOpt, FlushOp::Clwb];
 
+    /// Stable identifier used in tables and reports.
     pub fn name(self) -> &'static str {
         match self {
             FlushOp::Clflush => "clflush",
@@ -150,6 +152,7 @@ pub struct MemorySystem {
 }
 
 impl MemorySystem {
+    /// Cold system (empty caches, zeroed media) from `cfg`.
     pub fn new(cfg: SystemConfig) -> Self {
         MemorySystem {
             cpu: SetAssocCache::new(cfg.cpu_cache),
@@ -614,10 +617,12 @@ impl MemorySystem {
         self.clock.charge_to(Bucket::Io, ps);
     }
 
+    /// The simulated clock.
     pub fn clock(&self) -> &SimClock {
         &self.clock
     }
 
+    /// The simulated clock (mutable, e.g. for bucket switching).
     pub fn clock_mut(&mut self) -> &mut SimClock {
         &mut self.clock
     }
@@ -627,10 +632,12 @@ impl MemorySystem {
         self.clock.now()
     }
 
+    /// Event counters since construction (they survive crashes).
     pub fn stats(&self) -> &MemStats {
         &self.stats
     }
 
+    /// The static configuration.
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
     }
@@ -638,6 +645,24 @@ impl MemorySystem {
     /// Total element accesses so far (crash-trigger granularity).
     pub fn access_count(&self) -> u64 {
         self.access_count
+    }
+
+    /// Count the distinct dirty NVM-homed cache lines currently resident in
+    /// the volatile hierarchy (CPU cache and, on the heterogeneous
+    /// platform, the DRAM cache). This is the paper's "dirty data in the
+    /// cache hierarchy" residency: the bytes a crash at this instant would
+    /// expose to recovery as stale NVM. Uncharged; telemetry hook.
+    pub fn dirty_nvm_lines(&self) -> u64 {
+        let mut lines: Vec<u64> = self
+            .cpu
+            .iter_resident()
+            .chain(self.dramc.iter().flat_map(|dc| dc.iter_resident()))
+            .filter(|&(line, dirty, _)| dirty && !is_dram_addr(line << LINE_SHIFT))
+            .map(|(line, _, _)| line)
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines.len() as u64
     }
 
     // ------------------------------------------------------------------
@@ -656,6 +681,9 @@ impl MemorySystem {
     /// application has already died. The DRAM-direct scratch region is
     /// still lost.
     pub fn crash(&mut self) -> NvmImage {
+        // Residency metadata is taken pre-drain: with battery-backed caches
+        // it measures what *would* have been exposed, not what was lost.
+        let dirty_lines = self.dirty_nvm_lines();
         if self.cfg.persistent_caches {
             for v in self.cpu.clean_all() {
                 let addr = v.line << LINE_SHIFT;
@@ -686,7 +714,7 @@ impl MemorySystem {
         self.dram.wipe();
         self.nvm_streams.reset();
         self.dram_streams.reset();
-        NvmImage::new(self.nvm.snapshot())
+        NvmImage::new(self.nvm.snapshot()).with_dirty_lines(dirty_lines)
     }
 
     /// Non-destructive snapshot of the current NVM backing store (what
@@ -724,7 +752,7 @@ impl MemorySystem {
                 bytes[off..off + LINE_SIZE].copy_from_slice(data);
             }
         }
-        NvmImage::new(bytes)
+        NvmImage::new(bytes).with_dirty_lines(self.dirty_nvm_lines())
     }
 }
 
@@ -1044,6 +1072,39 @@ mod tests {
         assert_eq!(fork.bytes(), crashed.bytes());
         assert_eq!(fork.read_u8(a), 1);
         assert_eq!(fork.read_u8(a + 64), 2);
+    }
+
+    #[test]
+    fn dirty_nvm_lines_track_unflushed_writes() {
+        let mut s = small_sys();
+        let a = s.alloc_nvm(256);
+        assert_eq!(s.dirty_nvm_lines(), 0);
+        s.write_bytes(a, &[1; 8]); // one dirty line
+        s.write_bytes(a + 64, &[2; 8]); // second dirty line
+        assert_eq!(s.dirty_nvm_lines(), 2);
+        s.clflush(a); // persisted: no longer dirty anywhere
+        assert_eq!(s.dirty_nvm_lines(), 1);
+        // DRAM-direct writes never count as dirty persistent data.
+        let d = s.alloc_dram(64);
+        s.write_bytes(d, &[3; 8]);
+        assert_eq!(s.dirty_nvm_lines(), 1);
+        // The crash image carries the residency it observed.
+        let img = s.crash();
+        assert_eq!(img.dirty_lines_at_crash(), 1);
+        assert_eq!(img.dirty_bytes_at_crash(), 64);
+    }
+
+    #[test]
+    fn dirty_nvm_lines_dedup_across_hetero_levels() {
+        let mut s = hetero_sys();
+        let a = s.alloc_nvm(64);
+        s.write_bytes(a, &[5; 8]);
+        s.clflush(a); // dirty copy now in the DRAM cache
+        assert_eq!(s.dirty_nvm_lines(), 1);
+        s.write_bytes(a, &[6; 8]); // dirty again in the CPU cache too
+        assert_eq!(s.dirty_nvm_lines(), 1, "same line counted once");
+        let fork = s.crash_fork();
+        assert_eq!(fork.dirty_lines_at_crash(), 1);
     }
 
     #[test]

@@ -196,6 +196,7 @@ pub struct StreamDetector {
 impl StreamDetector {
     const WAYS: usize = 8;
 
+    /// Detector with no active streams.
     pub fn new() -> Self {
         StreamDetector {
             streams: [u64::MAX - 1; Self::WAYS],

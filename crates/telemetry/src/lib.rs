@@ -1,0 +1,58 @@
+//! # adcc-telemetry — NVM crash-consistency cost accounting
+//!
+//! The paper's argument (§IV–V) is quantitative: algorithm-directed crash
+//! consistence wins because it *flushes less, fences less, and logs
+//! nothing*, at the price of a bounded consistency window and some dirty
+//! data resident in the cache hierarchy at crash time. This crate is the
+//! meter for those quantities over the [`adcc_sim`] crash emulator:
+//!
+//! * [`probe::Probe`] — attach to a [`adcc_sim::system::MemorySystem`],
+//!   run the instrumented window, and diff the deterministic hardware
+//!   counters into an [`profile::ExecutionProfile`]: flushes by flavour,
+//!   fences, epoch barriers, NVM line traffic, attributed
+//!   flush/fence/log/checkpoint time, transaction-log appends and bytes
+//!   (via [`adcc_pmem::stats::LogStats`]), and dirty-data residency at
+//!   crash (via [`adcc_sim::image::NvmImage::dirty_lines_at_crash`]).
+//! * [`cost::CostModel`] — a pluggable price table turning one profile
+//!   into modeled picoseconds. The [`cost::AdrCost`] preset prices the
+//!   paper's ADR-class platform (every flush and fence paid in full); the
+//!   [`cost::EadrCost`] preset prices a flush-on-fail platform where the
+//!   cache hierarchy is inside the persistence domain. The gap between
+//!   them is the mechanism's *flush tax*.
+//!
+//! Everything is integer arithmetic over deterministic counters, so
+//! telemetry-carrying campaign reports stay byte-for-byte replayable.
+//!
+//! ## Example: attach a probe, read flush totals
+//!
+//! ```
+//! use adcc_sim::system::{MemorySystem, SystemConfig};
+//! use adcc_telemetry::{adr_eadr_costs, Probe};
+//!
+//! let mut sys = MemorySystem::new(SystemConfig::nvm_only(4096, 1 << 20));
+//! let addr = sys.alloc_nvm(256);
+//! let probe = Probe::attach(&sys);
+//!
+//! // The instrumented window: four persisted lines, one barrier.
+//! for line in 0..4u64 {
+//!     sys.write_bytes(addr + line * 64, &[7; 8]);
+//!     sys.persist_line(addr + line * 64);
+//! }
+//! sys.sfence();
+//!
+//! let profile = probe.finish(&sys);
+//! assert_eq!(profile.flush_total(), 4);
+//! assert_eq!(profile.persist_barriers(), 1);
+//! let (adr_ps, eadr_ps) = adr_eadr_costs(&profile);
+//! assert!(eadr_ps < adr_ps, "eADR removes the flush tax");
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod cost;
+pub mod probe;
+pub mod profile;
+
+pub use cost::{adr_eadr_costs, AdrCost, CostModel, EadrCost};
+pub use probe::Probe;
+pub use profile::ExecutionProfile;

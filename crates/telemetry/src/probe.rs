@@ -1,0 +1,116 @@
+//! The probe: snapshot a [`MemorySystem`]'s counters at attach time, diff
+//! them at finish time.
+//!
+//! Attaching is free of simulated cost (it copies host-side counters) and
+//! never perturbs the run, so instrumented and uninstrumented executions
+//! take identical simulated paths — the determinism guarantee campaign
+//! reports rely on.
+
+use adcc_sim::clock::Bucket;
+use adcc_sim::stats::MemStats;
+use adcc_sim::system::MemorySystem;
+
+use crate::profile::ExecutionProfile;
+
+/// A counter baseline taken at attach time.
+///
+/// `finish` may be called repeatedly (each call diffs against the same
+/// baseline), which is how batch scenarios take cumulative samples at
+/// every harvested crash point of a single execution.
+#[derive(Debug, Clone)]
+pub struct Probe {
+    stats: MemStats,
+    buckets: [u64; Bucket::COUNT],
+    t0_ps: u64,
+}
+
+impl Probe {
+    /// Record the system's current counters as the measurement baseline.
+    pub fn attach(sys: &MemorySystem) -> Self {
+        Probe {
+            stats: *sys.stats(),
+            buckets: sys.clock().bucket_totals(),
+            t0_ps: sys.now().ps(),
+        }
+    }
+
+    /// Diff the system's counters against the baseline. Call after the
+    /// instrumented window (crash or completion); the system's stats
+    /// survive a [`MemorySystem::crash`], so post-crash finishing observes
+    /// the execution exactly up to the crash instant.
+    pub fn finish(&self, sys: &MemorySystem) -> ExecutionProfile {
+        let now = sys.stats();
+        let buckets = sys.clock().bucket_totals();
+        let bucket = |b: Bucket| buckets[b as usize] - self.buckets[b as usize];
+        ExecutionProfile {
+            clflushes: now.clflushes - self.stats.clflushes,
+            clflushopts: now.clflushopts - self.stats.clflushopts,
+            clwbs: now.clwbs - self.stats.clwbs,
+            sfences: now.sfences - self.stats.sfences,
+            epoch_barriers: now.epoch_barriers - self.stats.epoch_barriers,
+            nvm_line_reads: now.nvm_line_reads - self.stats.nvm_line_reads,
+            nvm_line_writes: now.nvm_line_writes - self.stats.nvm_line_writes,
+            accesses: now.accesses - self.stats.accesses,
+            flush_ps: bucket(Bucket::Flush),
+            fence_ps: bucket(Bucket::Fence),
+            log_ps: bucket(Bucket::Log),
+            ckpt_copy_ps: bucket(Bucket::CkptCopy),
+            sim_time_ps: sys.now().ps() - self.t0_ps,
+            log_appends: 0,
+            log_bytes: 0,
+            dirty_lines_at_crash: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcc_sim::system::SystemConfig;
+
+    #[test]
+    fn probe_diffs_against_attach_baseline() {
+        let mut sys = MemorySystem::new(SystemConfig::nvm_only(4096, 1 << 20));
+        let a = sys.alloc_nvm(256);
+        // Pre-attach traffic must not leak into the profile.
+        sys.write_bytes(a, &[1; 8]);
+        sys.persist_line(a);
+        sys.sfence();
+        let probe = Probe::attach(&sys);
+        sys.write_bytes(a + 64, &[2; 8]);
+        sys.persist_line(a + 64);
+        sys.sfence();
+        let p = probe.finish(&sys);
+        assert_eq!(p.clflushes, 1);
+        assert_eq!(p.sfences, 1);
+        assert!(p.sim_time_ps > 0);
+        assert!(p.fence_ps > 0);
+    }
+
+    #[test]
+    fn probe_survives_a_crash() {
+        let mut sys = MemorySystem::new(SystemConfig::nvm_only(4096, 1 << 20));
+        let a = sys.alloc_nvm(64);
+        let probe = Probe::attach(&sys);
+        sys.write_bytes(a, &[3; 8]); // stranded in cache
+        let image = sys.crash();
+        let p = probe.finish(&sys).with_image(&image);
+        assert_eq!(p.dirty_lines_at_crash, 1);
+        assert_eq!(p.flush_total(), 0);
+    }
+
+    #[test]
+    fn repeated_finish_is_cumulative() {
+        let mut sys = MemorySystem::new(SystemConfig::nvm_only(4096, 1 << 20));
+        let a = sys.alloc_nvm(128);
+        let probe = Probe::attach(&sys);
+        sys.write_bytes(a, &[1; 8]);
+        sys.clflush(a);
+        let p1 = probe.finish(&sys);
+        sys.write_bytes(a + 64, &[2; 8]);
+        sys.clflush(a + 64);
+        let p2 = probe.finish(&sys);
+        assert_eq!(p1.clflushes, 1);
+        assert_eq!(p2.clflushes, 2);
+    }
+}

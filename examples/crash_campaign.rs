@@ -18,6 +18,7 @@ fn main() {
         budget_states: 26,
         schedule: Schedule::Stratified,
         threads: 2,
+        telemetry: true,
     };
     let report = run_campaign(&cfg);
 
@@ -43,4 +44,20 @@ fn main() {
         "no mechanism may corrupt silently"
     );
     println!("zero silent-corruption outcomes — every crash state was accounted for.");
+
+    // Telemetry: what the campaign's crash consistence *cost*.
+    let t = report.telemetry.expect("campaign ran with telemetry");
+    let (adr_ps, eadr_ps) = adr_eadr_costs(&t);
+    println!(
+        "cost meter: {} flushes, {} fences, {} log bytes, {} dirty bytes at crash",
+        t.flush_total(),
+        t.sfences,
+        t.log_bytes,
+        t.dirty_bytes_at_crash(),
+    );
+    println!(
+        "modeled cost: {:.3} ms on ADR vs {:.3} ms on eADR",
+        adr_ps as f64 / 1e9,
+        eadr_ps as f64 / 1e9,
+    );
 }

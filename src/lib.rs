@@ -15,6 +15,7 @@
 //! | [`core`] | the paper's contribution — algorithm-directed CG, ABFT-MM and MC — plus four extension kernels (Jacobi, BiCGSTAB, checksum-LU, heat stencil) |
 //! | [`harness`] | platforms, the seven test cases, a runner per evaluation figure, extension tables, substrate ablations |
 //! | [`campaign`] | deterministic, seedable crash-injection campaign engine: scenario registry (6 kernels × mechanisms), crash-point schedules, parallel fan-out, JSON reports, the `campaign` CLI |
+//! | [`telemetry`] | crash-consistency cost accounting: flush/fence/log counters per execution, dirty-data residency at crash, consistency windows, the pluggable ADR/eADR `CostModel` |
 //!
 //! ## Quick start
 //!
@@ -51,6 +52,7 @@ pub use adcc_harness as harness;
 pub use adcc_linalg as linalg;
 pub use adcc_pmem as pmem;
 pub use adcc_sim as sim;
+pub use adcc_telemetry as telemetry;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
@@ -71,6 +73,9 @@ pub mod prelude {
     pub use adcc_core::RecoveryReport;
     pub use adcc_harness::{Case, Platform, Scale};
     pub use adcc_linalg::{CgClass, CsrMatrix, Matrix};
-    pub use adcc_pmem::{PersistentHeap, RedoPool, UndoPool};
+    pub use adcc_pmem::{LogStats, PersistentHeap, RedoPool, UndoPool};
     pub use adcc_sim::prelude::*;
+    pub use adcc_telemetry::{
+        adr_eadr_costs, AdrCost, CostModel, EadrCost, ExecutionProfile, Probe,
+    };
 }

@@ -2,7 +2,9 @@
 //! alone: two runs with the same inputs produce byte-identical canonical
 //! JSON, whether the trials ran on 1 worker thread or 8 — wall-clock and
 //! thread count are the only fields allowed to differ, and they live in
-//! the stripped `host` section.
+//! the stripped `host` section. Since PR 3 the same guarantee covers the
+//! `adcc-campaign-report/v2` telemetry block: every counter in it comes
+//! from the deterministic simulated machine, never from the host.
 
 use adcc::campaign::engine::{run_campaign, CampaignConfig};
 use adcc::campaign::report::CampaignReport;
@@ -16,6 +18,14 @@ fn config(threads: usize, seed: u64) -> CampaignConfig {
         budget_states: BUDGET,
         schedule: Schedule::Stratified,
         threads,
+        telemetry: false,
+    }
+}
+
+fn config_telemetry(threads: usize, seed: u64) -> CampaignConfig {
+    CampaignConfig {
+        telemetry: true,
+        ..config(threads, seed)
     }
 }
 
@@ -63,4 +73,67 @@ fn report_roundtrips_and_reports_no_silent_corruption() {
     assert_eq!(parsed.canonical_string(), report.canonical_string());
     // Every registered scenario ran at least one trial at this budget.
     assert!(report.scenarios.iter().all(|s| s.trials >= 1));
+}
+
+#[test]
+fn telemetry_reports_identical_across_1_and_8_threads() {
+    let serial = run_campaign(&config_telemetry(1, 42));
+    let parallel = run_campaign(&config_telemetry(8, 42));
+    assert!(
+        serial.telemetry.is_some(),
+        "campaign-wide telemetry present"
+    );
+    assert_eq!(
+        serial.canonical_string(),
+        parallel.canonical_string(),
+        "the v2 telemetry block must be thread-count independent"
+    );
+}
+
+#[test]
+fn telemetry_reports_identical_across_reruns() {
+    let a = run_campaign(&config_telemetry(2, 42));
+    let b = run_campaign(&config_telemetry(2, 42));
+    assert_eq!(a.canonical_string(), b.canonical_string());
+}
+
+#[test]
+fn telemetry_does_not_perturb_outcomes() {
+    // Probes are passive counter snapshots: the simulated execution — and
+    // therefore every outcome and recovery metric — must be identical with
+    // telemetry on and off.
+    let off = run_campaign(&config(2, 42));
+    let on = run_campaign(&config_telemetry(2, 42));
+    assert_eq!(off.totals, on.totals);
+    for (a, b) in off.scenarios.iter().zip(&on.scenarios) {
+        assert_eq!(a.outcomes, b.outcomes, "{}", a.name);
+        assert_eq!(a.sim_time_ps_total, b.sim_time_ps_total, "{}", a.name);
+        assert!(a.telemetry.is_none());
+        assert!(b.telemetry.is_some(), "{}", b.name);
+    }
+}
+
+#[test]
+fn telemetry_counts_are_meaningful_per_mechanism() {
+    let report = run_campaign(&config_telemetry(2, 42));
+    for s in &report.scenarios {
+        let t = s.telemetry.as_ref().expect("telemetry enabled");
+        assert!(
+            t.flush_total() + t.epoch_barriers > 0,
+            "{}: flush-based mechanism recorded zero flushes",
+            s.name
+        );
+        assert!(t.sim_time_ps > 0, "{}: no simulated time", s.name);
+    }
+    // Undo-log transactions are the only mechanism writing a log.
+    let pmem = report
+        .scenarios
+        .iter()
+        .find(|s| s.mechanism == "pmem")
+        .unwrap();
+    assert!(pmem.telemetry.unwrap().log_bytes > 0);
+    for s in report.scenarios.iter().filter(|s| s.mechanism != "pmem") {
+        assert_eq!(s.telemetry.unwrap().log_bytes, 0, "{}", s.name);
+    }
+    assert!(adcc::campaign::flush_audit(&report).is_empty());
 }

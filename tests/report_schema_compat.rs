@@ -1,0 +1,95 @@
+//! Report-schema compatibility: the committed `adcc-campaign-report/v1`
+//! fixture must stay parseable by everything `campaign replay` and
+//! `campaign compare` use, and the v2 telemetry block must survive a full
+//! JSON round-trip bit-for-bit.
+
+use adcc::campaign::engine::{run_campaign, CampaignConfig};
+use adcc::campaign::report::{compare, CampaignReport, SCHEMA, SCHEMA_V1};
+
+const V1_FIXTURE: &str = include_str!("fixtures/campaign-report-v1.json");
+
+fn v2_config() -> CampaignConfig {
+    CampaignConfig {
+        seed: 42,
+        budget_states: 26,
+        threads: 2,
+        telemetry: true,
+        ..CampaignConfig::default()
+    }
+}
+
+#[test]
+fn v1_fixture_still_parses() {
+    let report = CampaignReport::parse(V1_FIXTURE).expect("v1 fixture must stay readable");
+    assert_eq!(report.seed, 42);
+    assert_eq!(report.budget_states, 26);
+    assert_eq!(report.schedule, "stratified");
+    assert_eq!(report.scenarios.len(), 13, "full registry in the fixture");
+    assert_eq!(report.totals.total(), 26);
+    // v1 predates telemetry: no block anywhere.
+    assert!(report.telemetry.is_none());
+    assert!(report.scenarios.iter().all(|s| s.telemetry.is_none()));
+}
+
+#[test]
+fn v1_fixture_supports_the_compare_workflow() {
+    // `campaign compare OLD NEW` across the schema bump: a v1 baseline
+    // diffed against a fresh v2 run of the same inputs.
+    let old = CampaignReport::parse(V1_FIXTURE).unwrap();
+    let new = run_campaign(&v2_config());
+    let cmp = compare(&old, &new);
+    assert!(
+        !cmp.regression,
+        "same-seed v2 rerun must not regress the v1 baseline: {:?}",
+        cmp.lines
+    );
+}
+
+#[test]
+fn v1_fixture_matches_a_fresh_run_outcome_for_outcome() {
+    // The fixture was produced by this engine; replaying its header inputs
+    // must reproduce its outcomes exactly (the `campaign replay --expect`
+    // guarantee, across the schema bump).
+    let old = CampaignReport::parse(V1_FIXTURE).unwrap();
+    let new = run_campaign(&CampaignConfig {
+        telemetry: false,
+        ..v2_config()
+    });
+    assert_eq!(old.totals, new.totals);
+    for (a, b) in old.scenarios.iter().zip(&new.scenarios) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.outcomes, b.outcomes, "{}", a.name);
+        assert_eq!(a.lost_units_total, b.lost_units_total, "{}", a.name);
+        assert_eq!(a.sim_time_ps_total, b.sim_time_ps_total, "{}", a.name);
+    }
+}
+
+#[test]
+fn v2_telemetry_block_roundtrips() {
+    let report = run_campaign(&v2_config());
+    assert!(report.telemetry.is_some());
+    let text = report.to_string_pretty();
+    assert!(text.contains(SCHEMA));
+    assert!(!text.contains(SCHEMA_V1));
+    let parsed = CampaignReport::parse(&text).expect("v2 with telemetry parses");
+    assert_eq!(parsed, report, "telemetry block survives the round-trip");
+    // Emission is deterministic: parse → emit is byte-identical, including
+    // the derived adr/eadr/consistency-window fields.
+    assert_eq!(parsed.to_string_pretty(), text);
+    assert_eq!(parsed.canonical_string(), report.canonical_string());
+}
+
+#[test]
+fn v2_without_telemetry_is_v1_shaped() {
+    // A v2 report produced without `--telemetry` differs from v1 only in
+    // the schema string — old tooling fields all present.
+    let report = run_campaign(&CampaignConfig {
+        telemetry: false,
+        ..v2_config()
+    });
+    let text = report.to_string_pretty();
+    assert!(!text.contains("\"telemetry\""));
+    let as_v1 = text.replace(SCHEMA, SCHEMA_V1);
+    let parsed = CampaignReport::parse(&as_v1).unwrap();
+    assert_eq!(parsed.canonical_string(), report.canonical_string());
+}

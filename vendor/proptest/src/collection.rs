@@ -5,7 +5,7 @@ use crate::test_runner::TestRng;
 use std::fmt::Debug;
 use std::ops::{Range, RangeInclusive};
 
-/// Length ranges accepted by [`vec`].
+/// Length ranges accepted by [`vec()`].
 #[derive(Clone, Debug)]
 pub struct SizeRange {
     lo: usize,

@@ -3,10 +3,10 @@
 //!
 //! Implements the slice of the API this workspace uses:
 //!
-//! * [`Strategy`] with `prop_map`, `prop_filter`, `boxed`;
-//! * strategies for integer/float ranges, tuples, [`Just`], `any::<T>()`,
-//!   [`collection::vec`], [`sample::select`], weighted unions
-//!   ([`prop_oneof!`]);
+//! * [`strategy::Strategy`] with `prop_map`, `prop_filter`, `boxed`;
+//! * strategies for integer/float ranges, tuples, [`strategy::Just`],
+//!   `any::<T>()`, [`collection::vec()`], [`sample::select`], weighted
+//!   unions (`prop_oneof!`);
 //! * the [`proptest!`] macro (with `#![proptest_config(..)]`),
 //!   `prop_assert!`, `prop_assert_eq!`, `prop_assume!`;
 //! * a runner with env-tunable case counts (`PROPTEST_CASES`), single-seed

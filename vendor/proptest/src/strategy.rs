@@ -39,7 +39,7 @@ pub trait Strategy {
     }
 }
 
-/// Object-safe boxed strategy, used by [`prop_oneof!`] arms.
+/// Object-safe boxed strategy, used by `prop_oneof!` arms.
 #[derive(Clone)]
 pub struct BoxedStrategy<T> {
     inner: std::rc::Rc<dyn Strategy<Value = T>>,
