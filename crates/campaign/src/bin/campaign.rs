@@ -59,13 +59,23 @@ const USAGE: &str = "\
 usage:
   campaign run     [--budget-states N] [--seed S] [--threads T]
                    [--schedule stratified|every-k:K|exhaustive:N]
+                   [--dense D] [--max-batch B] [--per-trial]
                    [--telemetry] [--out PATH]
   campaign replay  --seed S [--budget-states N] [--threads T]
-                   [--schedule SPEC] [--telemetry] [--expect PATH] [--out PATH]
+                   [--schedule SPEC] [--dense D] [--max-batch B] [--per-trial]
+                   [--telemetry] [--expect PATH] [--out PATH]
   campaign compare OLD.json NEW.json
   campaign cost    [--budget-states N] [--seed S] [--threads T]
                    [--schedule SPEC] [--out PATH]
-  campaign bench   [--samples N] [--iters K] [--n DIM] [--out PATH]
+  campaign bench   [--samples N] [--iters K] [--n DIM]
+                   [--campaign-states N] [--out PATH]
+
+--dense D appends D access-grain crash points per scenario after its
+site-grain space (recorded in the report; replays reproduce it).
+--max-batch B caps crash points harvested per forward execution (batched
+copy-on-write delta images); --per-trial forces the legacy
+one-execution-per-trial full-copy path (same canonical report, used as
+the bench baseline).
 ";
 
 /// Pull `--flag value` out of an option list.
@@ -118,10 +128,12 @@ fn cmd_run(args: &[String], replay: bool) -> Result<ExitCode, String> {
             "--seed",
             "--threads",
             "--schedule",
+            "--dense",
+            "--max-batch",
             "--out",
             "--expect",
         ],
-        &["--telemetry"],
+        &["--telemetry", "--per-trial"],
     )?;
     let expect_path = take_opt(args, "--expect")?;
     if expect_path.is_some() && !replay {
@@ -140,6 +152,7 @@ fn cmd_run(args: &[String], replay: bool) -> Result<ExitCode, String> {
         cfg.seed = exp.seed;
         cfg.budget_states = exp.budget_states;
         cfg.schedule = Schedule::parse(&exp.schedule)?;
+        cfg.dense_units = exp.dense_units;
     }
     if let Some(v) = take_opt(args, "--seed")? {
         cfg.seed = parse_u64(&v, "seed")?;
@@ -155,6 +168,13 @@ fn cmd_run(args: &[String], replay: bool) -> Result<ExitCode, String> {
     if let Some(v) = take_opt(args, "--schedule")? {
         cfg.schedule = Schedule::parse(&v)?;
     }
+    if let Some(v) = take_opt(args, "--dense")? {
+        cfg.dense_units = parse_u64(&v, "dense")?;
+    }
+    if let Some(v) = take_opt(args, "--max-batch")? {
+        cfg.max_batch = parse_u64(&v, "max-batch")?.max(1);
+    }
+    cfg.per_trial = take_flag(args, "--per-trial");
     // A replay of a telemetry-carrying report must re-measure telemetry or
     // the canonical comparison could never match.
     cfg.telemetry =
@@ -203,9 +223,31 @@ fn cmd_run(args: &[String], replay: bool) -> Result<ExitCode, String> {
 
 fn print_summary(report: &CampaignReport) {
     println!(
-        "campaign: seed {} budget {} schedule {} threads {} wall {} ms",
-        report.seed, report.budget_states, report.schedule, report.threads, report.wall_clock_ms
+        "campaign: seed {} budget {} schedule {}{} threads {} wall {} ms",
+        report.seed,
+        report.budget_states,
+        report.schedule,
+        if report.dense_units > 0 {
+            format!(" dense {}", report.dense_units)
+        } else {
+            String::new()
+        },
+        report.threads,
+        report.wall_clock_ms
     );
+    let m = &report.image_memory;
+    if m.images > 0 {
+        println!(
+            "crash-image memory: {} B/state ({} images over {} executions; \
+             full-copy equivalent {} B/state, {:.1}x; peak live {:.1} MiB)",
+            m.bytes_per_crash_state(),
+            m.images,
+            m.executions,
+            m.full_copy_bytes_per_state(),
+            m.full_copy_bytes_per_state() as f64 / m.bytes_per_crash_state().max(1) as f64,
+            m.peak_live_bytes as f64 / (1024.0 * 1024.0),
+        );
+    }
     println!(
         "{:<30} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
         "scenario", "trials", "exact", "recomp", "detect", "clean", "SILENT"
@@ -429,11 +471,30 @@ fn modeled_cg_profiles(iters: usize) -> Vec<(&'static str, ExecutionProfile)> {
     out
 }
 
+/// Measure one campaign configuration for the bench trajectory; returns
+/// `(report, wall_seconds)`.
+fn bench_campaign(states: u64, per_trial: bool) -> (CampaignReport, f64) {
+    let cfg = CampaignConfig {
+        budget_states: states,
+        per_trial,
+        ..CampaignConfig::default()
+    };
+    let t0 = std::time::Instant::now();
+    let report = run_campaign(&cfg);
+    (report, t0.elapsed().as_secs_f64())
+}
+
 /// Wall-clock bench trajectory (the `BENCH_*.json` series): median
 /// ns/iteration of native host CG under each persistence mechanism, plus
-/// simulated flush/fence counts and modeled ADR/eADR cost per iteration.
+/// simulated flush/fence counts, modeled ADR/eADR cost per iteration, and
+/// (since v3) crash-campaign throughput and image-memory columns for the
+/// copy-on-write delta engine against the legacy full-copy path.
 fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
-    check_known_flags(args, &["--samples", "--iters", "--n", "--out"], &[])?;
+    check_known_flags(
+        args,
+        &["--samples", "--iters", "--n", "--campaign-states", "--out"],
+        &[],
+    )?;
     let samples = take_opt(args, "--samples")?
         .map(|v| parse_u64(&v, "samples"))
         .transpose()?
@@ -448,9 +509,14 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
         .map(|v| parse_u64(&v, "n"))
         .transpose()?
         .unwrap_or(20_000) as usize;
-    // Default to the *current* trajectory point: BENCH_0.json is the
-    // committed v1 document and must never be clobbered by a v2 emission.
-    let out = take_opt(args, "--out")?.unwrap_or_else(|| "BENCH_1.json".to_string());
+    let campaign_states = take_opt(args, "--campaign-states")?
+        .map(|v| parse_u64(&v, "campaign-states"))
+        .transpose()?
+        .unwrap_or(2_000);
+    // Default to the *current* trajectory point: BENCH_0.json (v1) and
+    // BENCH_1.json (v2) are committed documents and must never be
+    // clobbered by a v3 emission.
+    let out = take_opt(args, "--out")?.unwrap_or_else(|| "BENCH_2.json".to_string());
 
     let class = adcc_linalg::CgClass {
         name: "bench",
@@ -517,6 +583,53 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
         results.push(e);
     }
 
+    // Crash-campaign throughput: the copy-on-write delta engine against
+    // the legacy one-execution-per-trial full-copy path, same seed and
+    // budget. The delta run reports its own bytes-per-state; the
+    // per-trial run's figure is the full-copy equivalent the delta run
+    // measured (one whole-pool image per crashing trial).
+    let (delta_report, delta_secs) = bench_campaign(campaign_states, false);
+    let (legacy_report, legacy_secs) = bench_campaign(campaign_states, true);
+    let m = delta_report.image_memory;
+    // `peak_live_bytes` is only measured on the delta path; the legacy
+    // row carries the modeled per-state full-copy cost and no peak (its
+    // real peak depends on worker count, which the model cannot see).
+    let campaign_rows: Vec<(&str, &CampaignReport, f64, u64, Option<u64>)> = vec![
+        (
+            "campaign/delta",
+            &delta_report,
+            delta_secs,
+            m.bytes_per_crash_state(),
+            Some(m.peak_live_bytes),
+        ),
+        (
+            "campaign/per-trial",
+            &legacy_report,
+            legacy_secs,
+            m.full_copy_bytes_per_state(),
+            None,
+        ),
+    ];
+    for (name, report, secs, bytes_per_state, peak) in &campaign_rows {
+        let states = report.totals.total();
+        let sps = states as f64 / secs.max(1e-9);
+        println!(
+            "{name:<22} {states} states in {:>8.2} s | {:>8.0} states/s | {:>9} B/state",
+            secs, sps, bytes_per_state
+        );
+        let mut e = Json::obj();
+        e.push("bench", Json::Str((*name).to_string()));
+        e.push("budget_states", Json::Int(campaign_states));
+        e.push("states", Json::Int(states));
+        e.push("wall_ms", Json::Int((secs * 1e3) as u64));
+        e.push("states_per_sec", Json::Int(sps as u64));
+        e.push("image_bytes_per_state", Json::Int(*bytes_per_state));
+        if let Some(peak) = peak {
+            e.push("peak_live_bytes", Json::Int(*peak));
+        }
+        results.push(e);
+    }
+
     let mut config = Json::obj();
     config.push("kernel", Json::Str("native-cg".into()));
     config.push("n", Json::Int(n as u64));
@@ -524,10 +637,11 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
     config.push("iters_per_sample", Json::Int(iters as u64));
     config.push("samples", Json::Int(samples));
     config.push("sim_iters", Json::Int(SIM_ITERS as u64));
+    config.push("campaign_states", Json::Int(campaign_states));
     let mut doc = Json::obj();
-    // v2 adds the deterministic sim_* fields per result (flush/fence
-    // counts and modeled ADR/eADR cost per iteration).
-    doc.push("schema", Json::Str("adcc-bench-trajectory/v2".into()));
+    // v3 adds the campaign/* rows (crash-state throughput and
+    // crash-image bytes-per-state, delta vs full-copy).
+    doc.push("schema", Json::Str("adcc-bench-trajectory/v3".into()));
     doc.push("unit", Json::Str("ns_per_iter".into()));
     doc.push("config", config);
     doc.push("results", Json::Arr(results));

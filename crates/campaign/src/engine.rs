@@ -5,12 +5,14 @@ use std::time::Instant;
 
 use adcc_telemetry::ExecutionProfile;
 
+use crate::memstats::ImageMemory;
 use crate::report::{CampaignReport, ScenarioReport};
 use crate::scenario::{registry, Scenario, Trial};
 use crate::schedule::Schedule;
 
-/// Campaign inputs. `(seed, budget_states, schedule)` fully determine the
-/// canonical report; `threads` only affects wall-clock.
+/// Campaign inputs. `(seed, budget_states, schedule, dense_units)` fully
+/// determine the canonical report; `threads`, `max_batch`, and
+/// `per_trial` only affect wall-clock and memory.
 #[derive(Debug, Clone)]
 pub struct CampaignConfig {
     /// Seed driving every stochastic schedule decision.
@@ -28,6 +30,22 @@ pub struct CampaignConfig {
     /// the report (`adcc-campaign-report/v2` telemetry block). Probes are
     /// passive, so outcomes are identical either way.
     pub telemetry: bool,
+    /// Extra access-grain (dense) crash points appended after each
+    /// scenario's site-grain unit space, subdividing the crash-point
+    /// space below statement granularity (see
+    /// [`Scenario::dense_stride`]). `0` keeps the legacy unit space — and
+    /// the legacy report bytes. Recorded in the canonical report when
+    /// nonzero, so replays reproduce it.
+    pub dense_units: u64,
+    /// Crash points harvested per forward execution in the batched
+    /// delta-image pass. Larger batches amortize the forward execution
+    /// over more states; smaller ones parallelize better.
+    pub max_batch: u64,
+    /// Force the legacy path: one instrumented execution and one full
+    /// `NvmImage` copy per trial. The canonical report is byte-identical
+    /// either way (the delta-equivalence suite enforces it); this is the
+    /// baseline the bench compares against.
+    pub per_trial: bool,
 }
 
 impl Default for CampaignConfig {
@@ -38,23 +56,27 @@ impl Default for CampaignConfig {
             schedule: Schedule::Stratified,
             threads: 0,
             telemetry: false,
+            dense_units: 0,
+            max_batch: 128,
+            per_trial: false,
         }
     }
 }
 
 /// One unit of parallel work: a scenario index plus the crash points it
-/// evaluates. Batch scenarios get all their points in one task; the rest
-/// get one task per point (uneven trial costs balance across workers).
+/// evaluates. The batched pass chunks each scenario's points into
+/// `max_batch`-sized tasks (one forward execution each); the per-trial
+/// path gets one task per point.
 struct Task {
     scenario: usize,
     units: Vec<u64>,
 }
 
 /// Run a full campaign. Deterministic in `(seed, budget_states,
-/// schedule)`: trials are pure functions of `(scenario, unit)` — every
-/// worker owns its own `MemorySystem`, so the single-clock simulator is
-/// never shared — and results are merged in schedule order, so the thread
-/// count cannot reorder anything.
+/// schedule, dense_units)`: trials are pure functions of `(scenario,
+/// unit)` — every worker owns its own `MemorySystem`, so the single-clock
+/// simulator is never shared — and results are merged in schedule order,
+/// so neither the thread count nor the batch size can reorder anything.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
     let start = Instant::now();
     let scenarios = registry();
@@ -65,16 +87,20 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         if units.is_empty() {
             continue;
         }
-        if scenarios[idx].supports_batch() {
-            tasks.push(Task {
-                scenario: idx,
-                units: units.clone(),
-            });
-        } else {
+        if cfg.per_trial {
             tasks.extend(units.iter().map(|&u| Task {
                 scenario: idx,
                 units: vec![u],
             }));
+        } else {
+            tasks.extend(
+                units
+                    .chunks(cfg.max_batch.max(1) as usize)
+                    .map(|chunk| Task {
+                        scenario: idx,
+                        units: chunk.to_vec(),
+                    }),
+            );
         }
     }
 
@@ -83,14 +109,21 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         .build()
         .expect("thread pool");
     let threads = pool.current_num_threads() as u64;
+    let mem = ImageMemory::default();
     let results: Vec<(usize, Vec<Trial>)> = pool.install_map(tasks, |_, task| {
         let s = &scenarios[task.scenario];
-        let trials = s.run_batch(&task.units, cfg.telemetry).unwrap_or_else(|| {
-            task.units
+        let per_trial = |units: &[u64]| {
+            units
                 .iter()
                 .map(|&u| s.run_trial(u, cfg.telemetry))
                 .collect()
-        });
+        };
+        let trials = if cfg.per_trial {
+            per_trial(&task.units)
+        } else {
+            s.run_batch(&task.units, cfg.telemetry, &mem)
+                .unwrap_or_else(|| per_trial(&task.units))
+        };
         (task.scenario, trials)
     });
 
@@ -102,7 +135,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
     let scenario_reports: Vec<ScenarioReport> = scenarios
         .iter()
         .zip(&per_scenario)
-        .map(|(s, trials)| aggregate(s.as_ref(), trials))
+        .map(|(s, trials)| aggregate(s.as_ref(), cfg.dense_units, trials))
         .collect();
     let mut totals = crate::outcome::OutcomeCounts::default();
     let mut telemetry: Option<ExecutionProfile> = None;
@@ -118,15 +151,18 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         seed: cfg.seed,
         budget_states: cfg.budget_states,
         schedule: cfg.schedule.name(),
+        dense_units: cfg.dense_units,
         scenarios: scenario_reports,
         totals,
         telemetry,
+        image_memory: mem.summary(),
         wall_clock_ms: start.elapsed().as_millis() as u64,
         threads,
     }
 }
 
-/// Crash points per scenario (registry order).
+/// Crash points per scenario (registry order), drawn over the site-grain
+/// space plus any configured dense extension.
 fn plan(cfg: &CampaignConfig, scenarios: &[Box<dyn Scenario>]) -> Vec<Vec<u64>> {
     let n = scenarios.len() as u64;
     let base = cfg.budget_states / n;
@@ -136,13 +172,17 @@ fn plan(cfg: &CampaignConfig, scenarios: &[Box<dyn Scenario>]) -> Vec<Vec<u64>> 
         .enumerate()
         .map(|(i, s)| {
             let budget = base + u64::from((i as u64) < rem);
-            cfg.schedule
-                .crash_points(cfg.seed, s.name(), s.total_units(), budget)
+            cfg.schedule.crash_points(
+                cfg.seed,
+                s.name(),
+                s.total_units() + cfg.dense_units,
+                budget,
+            )
         })
         .collect()
 }
 
-fn aggregate(s: &dyn Scenario, trials: &[Trial]) -> ScenarioReport {
+fn aggregate(s: &dyn Scenario, dense_units: u64, trials: &[Trial]) -> ScenarioReport {
     let mut outcomes = crate::outcome::OutcomeCounts::default();
     let mut lost_total = 0u64;
     let mut lost_max = 0u64;
@@ -164,7 +204,7 @@ fn aggregate(s: &dyn Scenario, trials: &[Trial]) -> ScenarioReport {
         kernel: s.kernel().name().to_string(),
         mechanism: s.mechanism().name().to_string(),
         platform: s.platform_name().to_string(),
-        total_units: s.total_units(),
+        total_units: s.total_units() + dense_units,
         trials: trials.len() as u64,
         outcomes,
         lost_units_total: lost_total,

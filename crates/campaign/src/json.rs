@@ -280,6 +280,13 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         .map_err(|e| format!("bad number {text:?}: {e}"))
 }
 
+/// Parse the four hex digits of a `\u` escape starting at `at`.
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
+    let hex = bytes.get(at..at + 4).ok_or("truncated \\u escape")?;
+    u32::from_str_radix(std::str::from_utf8(hex).map_err(|e| e.to_string())?, 16)
+        .map_err(|e| e.to_string())
+}
+
 fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     expect(bytes, pos, b'"')?;
     let mut out = String::new();
@@ -302,16 +309,39 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
-                        let code = u32::from_str_radix(
-                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                            16,
-                        )
-                        .map_err(|e| e.to_string())?;
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        let code = parse_hex4(bytes, *pos + 1)?;
                         *pos += 4;
+                        match code {
+                            // High surrogate: must pair with a following
+                            // \uDC00..\uDFFF low surrogate; together they
+                            // decode to one supplementary code point.
+                            0xD800..=0xDBFF => {
+                                if bytes.get(*pos + 1..*pos + 3) != Some(b"\\u".as_slice()) {
+                                    return Err(format!(
+                                        "lone high surrogate \\u{code:04x} at offset {}",
+                                        *pos - 4
+                                    ));
+                                }
+                                let low = parse_hex4(bytes, *pos + 3)?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err(format!(
+                                        "high surrogate \\u{code:04x} followed by \\u{low:04x}, \
+                                         not a low surrogate"
+                                    ));
+                                }
+                                *pos += 6;
+                                let c = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                out.push(char::from_u32(c).expect("valid surrogate pair"));
+                            }
+                            // Low surrogate with no preceding high half.
+                            0xDC00..=0xDFFF => {
+                                return Err(format!(
+                                    "lone low surrogate \\u{code:04x} at offset {}",
+                                    *pos - 4
+                                ));
+                            }
+                            _ => out.push(char::from_u32(code).expect("non-surrogate BMP scalar")),
+                        }
                     }
                     _ => return Err(format!("bad escape at offset {}", *pos)),
                 }
@@ -377,5 +407,42 @@ mod tests {
         assert!(Json::parse("[1,]").is_err());
         assert!(Json::parse("12 34").is_err());
         assert!(Json::parse("\"open").is_err());
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_one_code_point() {
+        // U+1F600 (grinning face) escaped as a UTF-16 surrogate pair:
+        // one scalar, not two U+FFFD replacement characters.
+        let parsed = Json::parse(r#""\uD83D\uDE00""#).unwrap();
+        assert_eq!(parsed, Json::Str("\u{1F600}".into()));
+        // U+10000, the lowest supplementary code point.
+        let parsed = Json::parse(r#""\uD800\uDC00""#).unwrap();
+        assert_eq!(parsed, Json::Str("\u{10000}".into()));
+        // Mixed with surrounding text and BMP escapes.
+        let parsed = Json::parse(r#""a\u0041\uD834\uDD1Ez""#).unwrap();
+        assert_eq!(parsed, Json::Str("aA\u{1D11E}z".into()));
+    }
+
+    #[test]
+    fn non_bmp_strings_roundtrip_through_emit_and_parse() {
+        let doc = Json::Str("grin \u{1F600} / clef \u{1D11E} / plain \u{e9}".into());
+        let text = doc.pretty();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed, doc);
+        assert_eq!(parsed.pretty(), text);
+    }
+
+    #[test]
+    fn lone_surrogates_are_rejected() {
+        // Lone high surrogate (end of string, or followed by non-escape).
+        assert!(Json::parse(r#""\uD83D""#).is_err());
+        assert!(Json::parse(r#""\uD83Dxx""#).is_err());
+        // High surrogate followed by a non-surrogate escape.
+        assert!(Json::parse(r#""\uD83DA""#).is_err());
+        // Lone low surrogate.
+        assert!(Json::parse(r#""\uDE00""#).is_err());
+        // Truncated escapes still error cleanly.
+        assert!(Json::parse(r#""\uD83D\u00""#).is_err());
+        assert!(Json::parse(r#""\u12""#).is_err());
     }
 }

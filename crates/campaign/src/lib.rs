@@ -36,6 +36,7 @@
 //!     schedule: Schedule::Stratified,
 //!     threads: 2,
 //!     telemetry: true,
+//!     ..CampaignConfig::default()
 //! };
 //! let report = run_campaign(&cfg);
 //! assert_eq!(report.totals.total(), 50);
@@ -51,6 +52,7 @@
 
 pub mod engine;
 pub mod json;
+pub mod memstats;
 pub mod outcome;
 pub mod report;
 pub mod scenario;
@@ -58,6 +60,7 @@ pub mod scenarios;
 pub mod schedule;
 
 pub use engine::{run_campaign, CampaignConfig};
+pub use memstats::{ImageMemory, ImageMemorySummary};
 pub use outcome::{Outcome, OutcomeCounts};
 pub use report::{compare, flush_audit, CampaignReport, ScenarioReport};
 pub use scenario::{registry, Kernel, Mechanism, Scenario, Trial};

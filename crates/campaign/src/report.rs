@@ -11,6 +11,7 @@ use adcc_telemetry::{adr_eadr_costs, ExecutionProfile};
 use serde::Serialize;
 
 use crate::json::Json;
+use crate::memstats::ImageMemorySummary;
 use crate::outcome::OutcomeCounts;
 
 /// Current report format identifier (bump on breaking schema changes).
@@ -58,12 +59,19 @@ pub struct CampaignReport {
     pub budget_states: u64,
     /// Schedule spelling (see `Schedule::name`).
     pub schedule: String,
+    /// Extra access-grain crash points per scenario (see
+    /// `CampaignConfig::dense_units`). Emitted in the canonical form only
+    /// when nonzero, so legacy-space reports keep their exact bytes.
+    pub dense_units: u64,
     /// Per-scenario aggregates, in registry order.
     pub scenarios: Vec<ScenarioReport>,
     /// Campaign-wide outcome histogram.
     pub totals: OutcomeCounts,
     /// Campaign-wide telemetry aggregate (when enabled).
     pub telemetry: Option<ExecutionProfile>,
+    /// Crash-image memory accounting of the run's harness (host facts;
+    /// excluded from the canonical form, deterministic nevertheless).
+    pub image_memory: ImageMemorySummary,
     /// Milliseconds of host wall-clock (excluded from the canonical form).
     pub wall_clock_ms: u64,
     /// Worker threads used (excluded from the canonical form).
@@ -143,6 +151,9 @@ impl CampaignReport {
         j.push("seed", Json::Int(self.seed));
         j.push("budget_states", Json::Int(self.budget_states));
         j.push("schedule", Json::Str(self.schedule.clone()));
+        if self.dense_units > 0 {
+            j.push("dense_units", Json::Int(self.dense_units));
+        }
         let scenarios = self
             .scenarios
             .iter()
@@ -178,6 +189,23 @@ impl CampaignReport {
         let mut host = Json::obj();
         host.push("wall_clock_ms", Json::Int(self.wall_clock_ms));
         host.push("threads", Json::Int(self.threads));
+        let m = &self.image_memory;
+        let mut im = Json::obj();
+        im.push("executions", Json::Int(m.executions));
+        im.push("images", Json::Int(m.images));
+        im.push("base_bytes", Json::Int(m.base_bytes));
+        im.push("delta_bytes", Json::Int(m.delta_bytes));
+        im.push("full_copy_bytes", Json::Int(m.full_copy_bytes));
+        im.push("peak_live_bytes", Json::Int(m.peak_live_bytes));
+        im.push(
+            "bytes_per_crash_state",
+            Json::Int(m.bytes_per_crash_state()),
+        );
+        im.push(
+            "full_copy_bytes_per_state",
+            Json::Int(m.full_copy_bytes_per_state()),
+        );
+        host.push("image_memory", im);
         j.push("host", host);
         j.pretty()
     }
@@ -247,6 +275,12 @@ impl CampaignReport {
                 .and_then(Json::as_u64)
                 .unwrap_or(0)
         };
+        let im = host.and_then(|h| h.get("image_memory"));
+        let im_int = |key: &str| -> u64 {
+            im.and_then(|m| m.get(key))
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+        };
         Ok(CampaignReport {
             seed: int("seed")?,
             budget_states: int("budget_states")?,
@@ -255,9 +289,18 @@ impl CampaignReport {
                 .and_then(Json::as_str)
                 .ok_or("missing schedule")?
                 .to_string(),
+            dense_units: j.get("dense_units").and_then(Json::as_u64).unwrap_or(0),
             scenarios,
             totals: OutcomeCounts::from_json(j.get("totals").ok_or("missing totals")?)?,
             telemetry: j.get("telemetry").map(telemetry_from_json).transpose()?,
+            image_memory: ImageMemorySummary {
+                executions: im_int("executions"),
+                images: im_int("images"),
+                base_bytes: im_int("base_bytes"),
+                delta_bytes: im_int("delta_bytes"),
+                full_copy_bytes: im_int("full_copy_bytes"),
+                peak_live_bytes: im_int("peak_live_bytes"),
+            },
             wall_clock_ms: host_int("wall_clock_ms"),
             threads: host_int("threads"),
         })
@@ -370,6 +413,7 @@ mod tests {
             seed: 42,
             budget_states: 10,
             schedule: "stratified".into(),
+            dense_units: 0,
             scenarios: vec![ScenarioReport {
                 name: "cg-extended".into(),
                 kernel: "cg".into(),
@@ -385,6 +429,14 @@ mod tests {
             }],
             totals: outcomes,
             telemetry: None,
+            image_memory: ImageMemorySummary {
+                executions: 2,
+                images: 2,
+                base_bytes: 1 << 20,
+                delta_bytes: 4096,
+                full_copy_bytes: 2 << 20,
+                peak_live_bytes: (1 << 20) + 4096,
+            },
             wall_clock_ms: 99,
             threads: 8,
         }

@@ -1,8 +1,10 @@
 //! The scenario registry: every workload × persistence-mechanism pair the
 //! campaign engine can inject crashes into.
 
+use adcc_sim::crash::CrashTrigger;
 use adcc_telemetry::ExecutionProfile;
 
+use crate::memstats::ImageMemory;
 use crate::outcome::Outcome;
 use crate::scenarios;
 
@@ -104,6 +106,24 @@ pub struct Trial {
 /// `telemetry` flag only controls whether the [`Trial::telemetry`] profile
 /// is captured — probes are passive counter snapshots, so it must never
 /// change the simulated execution itself.
+///
+/// ## Unit space
+///
+/// Units `0..total_units` are **site-grain** crash points: each maps to an
+/// instrumented crash site via [`Scenario::site_trigger`]. Units at or
+/// above `total_units` are **dense** (access-grain) points the engine can
+/// append on demand: unit `total_units + d` crashes at the first poll
+/// after `(d + 1) * dense_stride` element accesses, which subdivides the
+/// crash-point space far below statement granularity without any
+/// per-scenario enumeration. Dense points whose threshold lands past the
+/// end of the run complete cleanly and are classified as such.
+///
+/// ## Batch path
+///
+/// [`Scenario::run_batch`] must produce trials **identical** to calling
+/// [`Scenario::run_trial`] per unit (the delta-equivalence suite enforces
+/// this): the forward execution is deterministic, so its state at a crash
+/// point's poll equals the state of an individual run crashed there.
 pub trait Scenario: Send + Sync {
     /// Unique scenario name (report key).
     fn name(&self) -> &'static str;
@@ -115,22 +135,36 @@ pub trait Scenario: Send + Sync {
     fn platform_name(&self) -> &'static str {
         "nvm-only"
     }
-    /// Size of the crash-point space (`run_trial` accepts `0..total_units`).
+    /// Size of the site-grain crash-point space.
     fn total_units(&self) -> u64;
-    /// Inject one crash state, recover, classify.
+    /// Crash trigger for a site-grain unit (`unit < total_units`).
+    fn site_trigger(&self, unit: u64) -> CrashTrigger;
+    /// Access-count spacing between dense (access-grain) crash points.
+    fn dense_stride(&self) -> u64 {
+        2_000
+    }
+    /// Crash trigger for any unit, dense units included.
+    fn trigger_of(&self, unit: u64) -> CrashTrigger {
+        let sites = self.total_units();
+        if unit < sites {
+            self.site_trigger(unit)
+        } else {
+            CrashTrigger::AtAccessCount((unit - sites + 1) * self.dense_stride())
+        }
+    }
+    /// Inject one crash state, recover, classify. This is the reference
+    /// (full-copy) path: one instrumented execution per unit, crash image
+    /// via `crash_now`.
     fn run_trial(&self, unit: u64, telemetry: bool) -> Trial;
 
-    /// Whether [`Scenario::run_batch`] is implemented; the engine then
-    /// hands the scenario all its crash points as one task.
-    fn supports_batch(&self) -> bool {
-        false
-    }
-
-    /// Batch fast path: scenarios whose crash states can be harvested from
-    /// a single instrumented execution via [`adcc_sim::system::MemorySystem::crash_fork`]
-    /// return all trials at once (units arrive sorted ascending). Default:
-    /// none — the engine calls `run_trial` per unit.
-    fn run_batch(&self, _units: &[u64], _telemetry: bool) -> Option<Vec<Trial>> {
+    /// Batch fast path: harvest every scheduled crash point of `units`
+    /// (sorted ascending) from **one** instrumented execution as
+    /// copy-on-write [`adcc_sim::image::DeltaImage`]s, classifying
+    /// outcomes streaming (one transient materialization at a time).
+    /// `mem` accumulates crash-image memory accounting. Default: none —
+    /// the engine falls back to `run_trial` per unit.
+    fn run_batch(&self, units: &[u64], telemetry: bool, mem: &ImageMemory) -> Option<Vec<Trial>> {
+        let _ = (units, telemetry, mem);
         None
     }
 }

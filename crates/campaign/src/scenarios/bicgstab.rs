@@ -5,17 +5,22 @@ use adcc_core::bicgstab::{bicgstab_host, sites, ExtendedBiCgStab};
 use adcc_linalg::csr::CsrMatrix;
 use adcc_linalg::spd::CgClass;
 use adcc_sim::crash::{CrashEmulator, CrashSite, CrashTrigger, RunOutcome};
+use adcc_sim::image::NvmImage;
 use adcc_sim::system::{MemorySystem, SystemConfig};
-use adcc_telemetry::Probe;
+use adcc_telemetry::{ExecutionProfile, Probe};
 
-use super::{max_diff, trim_dram};
-use crate::outcome::{classify, Outcome};
+use super::{harness, max_diff, trim_dram, verified_completion};
+use crate::memstats::ImageMemory;
+use crate::outcome::classify;
 use crate::scenario::{Kernel, Mechanism, Scenario, Trial};
 
 const ITERS: usize = 10;
 const WINDOW: usize = 4;
 const TOL: f64 = 1e-8;
 const PROBLEM_SEED: u64 = 302;
+/// Access-count spacing of dense crash points (one full run issues
+/// ~156k element accesses; a 16-access stride carries ~9.7k points).
+const DENSE_STRIDE: u64 = 16;
 
 /// Extended BiCGSTAB; `window == iters + 1` is the paper-style full
 /// history, smaller windows bound the recovery horizon.
@@ -60,6 +65,26 @@ impl BiExtended {
             + (2 << 20);
         trim_dram(SystemConfig::nvm_only(16 << 10, cap))
     }
+
+    fn crash_trial(
+        &self,
+        bi: &ExtendedBiCgStab,
+        cfg: SystemConfig,
+        unit: u64,
+        image: &NvmImage,
+        profile: Option<ExecutionProfile>,
+    ) -> Trial {
+        let rec = bi.recover_and_resume(image, cfg);
+        let matches = max_diff(&rec.solution, &self.reference) < TOL;
+        let detected = rec.restart_from.is_none();
+        Trial {
+            unit,
+            outcome: classify(detected, matches, rec.report.lost_units),
+            lost_units: rec.report.lost_units,
+            sim_time_ps: rec.report.total().ps(),
+            telemetry: profile,
+        }
+    }
 }
 
 const BI_PHASES: [u32; 2] = [sites::PH_AFTER_XR, sites::PH_ITER_END];
@@ -85,48 +110,61 @@ impl Scenario for BiExtended {
     fn total_units(&self) -> u64 {
         (BI_PHASES.len() * ITERS) as u64
     }
+    fn dense_stride(&self) -> u64 {
+        DENSE_STRIDE
+    }
 
-    fn run_trial(&self, unit: u64, telemetry: bool) -> Trial {
+    fn site_trigger(&self, unit: u64) -> CrashTrigger {
         let iter = unit / BI_PHASES.len() as u64;
         let phase = BI_PHASES[(unit % BI_PHASES.len() as u64) as usize];
+        CrashTrigger::AtSite {
+            site: CrashSite::new(phase, iter),
+            occurrence: 1,
+        }
+    }
+
+    fn run_trial(&self, unit: u64, telemetry: bool) -> Trial {
         let cfg = self.config();
         let mut sys = MemorySystem::new(cfg.clone());
         let bi = ExtendedBiCgStab::setup_windowed(&mut sys, &self.a, &self.b, ITERS, self.window);
-        let trigger = CrashTrigger::AtSite {
-            site: CrashSite::new(phase, iter),
-            occurrence: 1,
-        };
-        let mut emu = CrashEmulator::from_system(sys, trigger);
+        let mut emu = CrashEmulator::from_system(sys, self.trigger_of(unit));
         let probe = telemetry.then(|| Probe::attach(&emu));
         match bi.run(&mut emu, 0, ITERS, self.rho0) {
             RunOutcome::Completed(_) => {
                 let profile = probe.map(|p| p.finish(&emu));
                 let sol = bi.peek_solution(&emu);
-                Trial {
-                    unit,
-                    outcome: if max_diff(&sol, &self.reference) < TOL {
-                        Outcome::CompletedClean
-                    } else {
-                        Outcome::SilentCorruption
-                    },
-                    lost_units: 0,
-                    sim_time_ps: 0,
-                    telemetry: profile,
-                }
+                verified_completion(max_diff(&sol, &self.reference) < TOL, unit, profile)
             }
             RunOutcome::Crashed(image) => {
                 let profile = probe.map(|p| p.finish(&emu).with_image(&image));
-                let rec = bi.recover_and_resume(&image, cfg);
-                let matches = max_diff(&rec.solution, &self.reference) < TOL;
-                let detected = rec.restart_from.is_none();
-                Trial {
-                    unit,
-                    outcome: classify(detected, matches, rec.report.lost_units),
-                    lost_units: rec.report.lost_units,
-                    sim_time_ps: rec.report.total().ps(),
-                    telemetry: profile,
-                }
+                self.crash_trial(&bi, cfg, unit, &image, profile)
             }
         }
+    }
+
+    fn run_batch(&self, units: &[u64], telemetry: bool, mem: &ImageMemory) -> Option<Vec<Trial>> {
+        let cfg = self.config();
+        let mut sys = MemorySystem::new(cfg.clone());
+        let bi = ExtendedBiCgStab::setup_windowed(&mut sys, &self.a, &self.b, ITERS, self.window);
+        let emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        Some(harness::run_harvested(
+            units,
+            telemetry,
+            mem,
+            emu,
+            |u| self.trigger_of(u),
+            |e| {
+                bi.run(e, 0, ITERS, self.rho0)
+                    .completed()
+                    .expect("Never trigger completes");
+            },
+            |_k, unit, _site, image, profile| {
+                self.crash_trial(&bi, cfg.clone(), unit, image, profile)
+            },
+            |(), e, profile| {
+                let sol = bi.peek_solution(e);
+                verified_completion(max_diff(&sol, &self.reference) < TOL, 0, profile)
+            },
+        ))
     }
 }

@@ -1,0 +1,103 @@
+//! Shared batched-harvest harness.
+//!
+//! Every scenario's `run_batch` has the same shape: set the workload up,
+//! arm the emulator's harvest plan with one trigger per scheduled unit,
+//! run the forward execution **once** to completion, then classify each
+//! harvested copy-on-write image streaming (materializing one at a time,
+//! so peak memory stays flat no matter how many crash points the batch
+//! carries). Units whose trigger never fired completed cleanly; they share
+//! one completion-classified trial template.
+
+use adcc_sim::crash::{CrashEmulator, CrashSite, CrashTrigger, Harvest};
+use adcc_sim::image::NvmImage;
+use adcc_telemetry::{ExecutionProfile, Probe};
+
+use crate::memstats::ImageMemory;
+use crate::scenario::Trial;
+
+/// Run one harvested batch execution and classify its trials.
+///
+/// * `units` — sorted, distinct scheduled units.
+/// * `trigger_of` — unit → crash trigger (usually `Scenario::trigger_of`).
+/// * `emu` — freshly set-up emulator (trigger [`CrashTrigger::Never`]).
+/// * `run` — drives the forward execution to completion, returning
+///   whatever completion context the scenario needs (e.g. a final `rho`).
+/// * `crash_trial` — classifies one harvested crash state (`k` is the
+///   harvest ordinal, capture order — scenarios keeping per-capture
+///   sidecars index them with it) from its materialized image; must match
+///   the `run_trial` crash arm exactly.
+/// * `complete_trial` — classifies the completed run (called at most once;
+///   its trial is replicated, with the unit overridden, across every unit
+///   whose trigger never fired).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_harvested<T>(
+    units: &[u64],
+    telemetry: bool,
+    mem: &ImageMemory,
+    mut emu: CrashEmulator,
+    trigger_of: impl Fn(u64) -> CrashTrigger,
+    run: impl FnOnce(&mut CrashEmulator) -> T,
+    mut crash_trial: impl FnMut(usize, u64, CrashSite, &NvmImage, Option<ExecutionProfile>) -> Trial,
+    complete_trial: impl FnOnce(T, &CrashEmulator, Option<ExecutionProfile>) -> Trial,
+) -> Vec<Trial> {
+    debug_assert!(units.windows(2).all(|w| w[0] < w[1]), "units unsorted");
+    debug_assert_eq!(
+        emu.trigger(),
+        CrashTrigger::Never,
+        "batch executions must run to completion"
+    );
+    emu.arm_harvest(units.iter().map(|&u| (trigger_of(u), u)));
+    let probe = telemetry.then(|| Probe::attach(&emu));
+    let end = run(&mut emu);
+    let harvests = emu.take_harvests();
+    record(mem, &emu, &harvests);
+
+    let mut by_unit: Vec<Option<Trial>> = vec![None; units.len()];
+    for (k, h) in harvests.iter().enumerate() {
+        let idx = units
+            .binary_search(&h.unit)
+            .expect("harvested unit was scheduled");
+        let profile = probe.as_ref().map(|p| {
+            p.finish_at(&h.at)
+                .with_dirty_lines(h.image.dirty_lines_at_crash())
+        });
+        // Materialize one image at a time: classification is streaming.
+        let image = h.image.materialize();
+        by_unit[idx] = Some(crash_trial(k, h.unit, h.site, &image, profile));
+    }
+    fill_completed(units, &mut by_unit, || {
+        let profile = probe.as_ref().map(|p| p.finish(&emu));
+        complete_trial(end, &emu, profile)
+    })
+}
+
+/// Record one batched execution's crash-image memory facts.
+pub(crate) fn record(mem: &ImageMemory, emu: &CrashEmulator, harvests: &[Harvest]) {
+    let pool = emu.config().nvm_capacity as u64;
+    let delta_bytes: u64 = harvests.iter().map(|h| h.image.delta_bytes()).sum();
+    mem.record_execution(pool, delta_bytes, harvests.len() as u64, pool);
+}
+
+/// Replicate a lazily-built completion trial over every unit still missing
+/// one, then unwrap into engine order.
+pub(crate) fn fill_completed(
+    units: &[u64],
+    by_unit: &mut [Option<Trial>],
+    template: impl FnOnce() -> Trial,
+) -> Vec<Trial> {
+    if by_unit.iter().any(Option::is_none) {
+        let template = template();
+        for (i, t) in by_unit.iter_mut().enumerate() {
+            if t.is_none() {
+                *t = Some(Trial {
+                    unit: units[i],
+                    ..template
+                });
+            }
+        }
+    }
+    by_unit
+        .iter()
+        .map(|t| t.expect("every unit classified"))
+        .collect()
+}

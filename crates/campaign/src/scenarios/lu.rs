@@ -1,21 +1,29 @@
 //! Checksum-LU scenarios: ABFT-checksum algorithm extension and per-block
 //! checkpoint.
 
+use std::cell::RefCell;
+
 use adcc_ckpt::manager::CkptManager;
 use adcc_core::lu::{dominant_matrix, lu_host, sites, ChecksumLu, LuBlockStatus};
 use adcc_linalg::Matrix;
 use adcc_sim::crash::{CrashEmulator, CrashSite, CrashTrigger, RunOutcome};
+use adcc_sim::image::NvmImage;
 use adcc_sim::system::{MemorySystem, SystemConfig};
-use adcc_telemetry::Probe;
+use adcc_telemetry::{ExecutionProfile, Probe};
 
-use super::trim_dram;
-use crate::outcome::{classify, Outcome};
+use super::{harness, trim_dram, verified_completion};
+use crate::memstats::ImageMemory;
+use crate::outcome::classify;
 use crate::scenario::{Kernel, Mechanism, Scenario, Trial};
 
 const N: usize = 32;
 const BK: usize = 4;
 const TOL: f64 = 1e-8;
 const PROBLEM_SEED: u64 = 304;
+/// Access-count spacing of dense crash points (one full factorization
+/// issues ~37-39k element accesses; a 4-access stride carries ~9.5k
+/// points).
+const DENSE_STRIDE: u64 = 4;
 
 fn config() -> SystemConfig {
     let cap = 2 * N * (N + 1) * 8 + N * 8 + (2 << 20);
@@ -42,6 +50,20 @@ fn factor_matches(got: &Matrix, want: &Matrix) -> bool {
     max < TOL
 }
 
+fn lu_site_trigger(unit: u64) -> CrashTrigger {
+    if unit < N as u64 {
+        CrashTrigger::AtSite {
+            site: CrashSite::new(sites::PH_AFTER_COL, unit),
+            occurrence: 1,
+        }
+    } else {
+        CrashTrigger::AtSite {
+            site: CrashSite::new(sites::PH_BLOCK_END, unit - N as u64),
+            occurrence: 1,
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // lu-extended
 // ---------------------------------------------------------------------
@@ -60,25 +82,31 @@ impl LuExtended {
         let reference = lu_host(&a);
         LuExtended { a, reference }
     }
+
+    fn crash_trial(
+        &self,
+        lu: &ChecksumLu,
+        cfg: SystemConfig,
+        unit: u64,
+        image: &NvmImage,
+        profile: Option<ExecutionProfile>,
+    ) -> Trial {
+        let rec = lu.recover_and_resume(image, cfg);
+        let matches = factor_matches(&rec.factor, &self.reference);
+        let detected = rec.statuses.contains(&LuBlockStatus::Inconsistent);
+        Trial {
+            unit,
+            outcome: classify(detected, matches, rec.report.lost_units),
+            lost_units: rec.report.lost_units,
+            sim_time_ps: rec.report.total().ps(),
+            telemetry: profile,
+        }
+    }
 }
 
 impl Default for LuExtended {
     fn default() -> Self {
         Self::new()
-    }
-}
-
-fn lu_trigger(unit: u64) -> CrashTrigger {
-    if unit < N as u64 {
-        CrashTrigger::AtSite {
-            site: CrashSite::new(sites::PH_AFTER_COL, unit),
-            occurrence: 1,
-        }
-    } else {
-        CrashTrigger::AtSite {
-            site: CrashSite::new(sites::PH_BLOCK_END, unit - N as u64),
-            occurrence: 1,
-        }
     }
 }
 
@@ -95,43 +123,55 @@ impl Scenario for LuExtended {
     fn total_units(&self) -> u64 {
         N as u64 + blocks()
     }
+    fn dense_stride(&self) -> u64 {
+        DENSE_STRIDE
+    }
+
+    fn site_trigger(&self, unit: u64) -> CrashTrigger {
+        lu_site_trigger(unit)
+    }
 
     fn run_trial(&self, unit: u64, telemetry: bool) -> Trial {
         let cfg = config();
         let mut sys = MemorySystem::new(cfg.clone());
         let lu = ChecksumLu::setup(&mut sys, &self.a, BK);
-        let mut emu = CrashEmulator::from_system(sys, lu_trigger(unit));
+        let mut emu = CrashEmulator::from_system(sys, self.trigger_of(unit));
         let probe = telemetry.then(|| Probe::attach(&emu));
         match lu.run(&mut emu, 0) {
             RunOutcome::Completed(()) => {
                 let profile = probe.map(|p| p.finish(&emu));
                 let factor = lu.peek_factor(&emu);
-                Trial {
-                    unit,
-                    outcome: if factor_matches(&factor, &self.reference) {
-                        Outcome::CompletedClean
-                    } else {
-                        Outcome::SilentCorruption
-                    },
-                    lost_units: 0,
-                    sim_time_ps: 0,
-                    telemetry: profile,
-                }
+                verified_completion(factor_matches(&factor, &self.reference), unit, profile)
             }
             RunOutcome::Crashed(image) => {
                 let profile = probe.map(|p| p.finish(&emu).with_image(&image));
-                let rec = lu.recover_and_resume(&image, cfg);
-                let matches = factor_matches(&rec.factor, &self.reference);
-                let detected = rec.statuses.contains(&LuBlockStatus::Inconsistent);
-                Trial {
-                    unit,
-                    outcome: classify(detected, matches, rec.report.lost_units),
-                    lost_units: rec.report.lost_units,
-                    sim_time_ps: rec.report.total().ps(),
-                    telemetry: profile,
-                }
+                self.crash_trial(&lu, cfg, unit, &image, profile)
             }
         }
+    }
+
+    fn run_batch(&self, units: &[u64], telemetry: bool, mem: &ImageMemory) -> Option<Vec<Trial>> {
+        let cfg = config();
+        let mut sys = MemorySystem::new(cfg.clone());
+        let lu = ChecksumLu::setup(&mut sys, &self.a, BK);
+        let emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        Some(harness::run_harvested(
+            units,
+            telemetry,
+            mem,
+            emu,
+            |u| self.trigger_of(u),
+            |e| {
+                lu.run(e, 0).completed().expect("Never trigger completes");
+            },
+            |_k, unit, _site, image, profile| {
+                self.crash_trial(&lu, cfg.clone(), unit, image, profile)
+            },
+            |(), e, profile| {
+                let factor = lu.peek_factor(e);
+                verified_completion(factor_matches(&factor, &self.reference), 0, profile)
+            },
+        ))
     }
 }
 
@@ -150,6 +190,52 @@ impl LuCkpt {
         let a = dominant_matrix(N, PROBLEM_SEED);
         let reference = lu_host(&a);
         LuCkpt { a, reference }
+    }
+
+    /// The block a crash at `site` abandons: column crashes land in the
+    /// column's block (`PH_AFTER_COL`), block-end crashes right after the
+    /// block's checkpoint (`PH_BLOCK_END`).
+    fn crashed_block(site: CrashSite) -> u64 {
+        if site.phase == sites::PH_AFTER_COL {
+            site.index / BK as u64
+        } else {
+            site.index
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn crash_trial(
+        &self,
+        lu: &ChecksumLu,
+        mgr: &mut CkptManager,
+        cfg: SystemConfig,
+        unit: u64,
+        crashed_block: u64,
+        image: &NvmImage,
+        profile: Option<ExecutionProfile>,
+    ) -> Trial {
+        let sys2 = MemorySystem::from_image(cfg, image);
+        let mut emu2 = CrashEmulator::from_system(sys2, CrashTrigger::Never);
+        let t0 = emu2.now();
+        let (start, restored) = adcc_core::lu::variants::ckpt_restore(&mut emu2, lu, mgr);
+        for b in start..blocks() as usize {
+            for c in b * BK..((b + 1) * BK).min(N) {
+                lu.process_column(&mut emu2, c);
+            }
+        }
+        let sim_time_ps = (emu2.now() - t0).ps();
+
+        // Column crashes abandon the in-flight block; block-end crashes
+        // land right after the checkpoint.
+        let lost = (crashed_block + 1).saturating_sub(start as u64);
+        let matches = factor_matches(&lu.peek_factor(&emu2), &self.reference);
+        Trial {
+            unit,
+            outcome: classify(!restored, matches, lost),
+            lost_units: lost,
+            sim_time_ps,
+            telemetry: profile,
+        }
     }
 }
 
@@ -172,6 +258,13 @@ impl Scenario for LuCkpt {
     fn total_units(&self) -> u64 {
         N as u64 + blocks()
     }
+    fn dense_stride(&self) -> u64 {
+        DENSE_STRIDE
+    }
+
+    fn site_trigger(&self, unit: u64) -> CrashTrigger {
+        lu_site_trigger(unit)
+    }
 
     fn run_trial(&self, unit: u64, telemetry: bool) -> Trial {
         let cfg = config();
@@ -179,54 +272,58 @@ impl Scenario for LuCkpt {
         let lu = ChecksumLu::setup(&mut sys, &self.a, BK);
         let regions = adcc_core::lu::variants::lu_ckpt_regions(&lu);
         let mut mgr = CkptManager::new_nvm(&mut sys, regions, false);
-        let mut emu = CrashEmulator::from_system(sys, lu_trigger(unit));
+        let mut emu = CrashEmulator::from_system(sys, self.trigger_of(unit));
         let probe = telemetry.then(|| Probe::attach(&emu));
         let image = match adcc_core::lu::variants::run_with_ckpt(&mut emu, &lu, &mut mgr) {
             RunOutcome::Completed(()) => {
                 let profile = probe.map(|p| p.finish(&emu));
                 let factor = lu.peek_factor(&emu);
-                return Trial {
+                return verified_completion(
+                    factor_matches(&factor, &self.reference),
                     unit,
-                    outcome: if factor_matches(&factor, &self.reference) {
-                        Outcome::CompletedClean
-                    } else {
-                        Outcome::SilentCorruption
-                    },
-                    lost_units: 0,
-                    sim_time_ps: 0,
-                    telemetry: profile,
-                };
+                    profile,
+                );
             }
             RunOutcome::Crashed(image) => image,
         };
         let profile = probe.map(|p| p.finish(&emu).with_image(&image));
+        let crashed = Self::crashed_block(emu.fired_site().expect("crashed"));
+        self.crash_trial(&lu, &mut mgr, cfg, unit, crashed, &image, profile)
+    }
 
-        let sys2 = MemorySystem::from_image(cfg, &image);
-        let mut emu2 = CrashEmulator::from_system(sys2, CrashTrigger::Never);
-        let t0 = emu2.now();
-        let (start, restored) = adcc_core::lu::variants::ckpt_restore(&mut emu2, &lu, &mut mgr);
-        for b in start..blocks() as usize {
-            for c in b * BK..((b + 1) * BK).min(N) {
-                lu.process_column(&mut emu2, c);
-            }
-        }
-        let sim_time_ps = (emu2.now() - t0).ps();
-
-        // Column crashes abandon the in-flight block; block-end crashes
-        // land right after the checkpoint.
-        let crashed_block = if unit < N as u64 {
-            unit / BK as u64
-        } else {
-            unit - N as u64
-        };
-        let lost = (crashed_block + 1).saturating_sub(start as u64);
-        let matches = factor_matches(&lu.peek_factor(&emu2), &self.reference);
-        Trial {
-            unit,
-            outcome: classify(!restored, matches, lost),
-            lost_units: lost,
-            sim_time_ps,
-            telemetry: profile,
-        }
+    fn run_batch(&self, units: &[u64], telemetry: bool, mem: &ImageMemory) -> Option<Vec<Trial>> {
+        let cfg = config();
+        let mut sys = MemorySystem::new(cfg.clone());
+        let lu = ChecksumLu::setup(&mut sys, &self.a, BK);
+        let regions = adcc_core::lu::variants::lu_ckpt_regions(&lu);
+        let mgr = RefCell::new(CkptManager::new_nvm(&mut sys, regions, false));
+        let emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        Some(harness::run_harvested(
+            units,
+            telemetry,
+            mem,
+            emu,
+            |u| self.trigger_of(u),
+            |e| {
+                adcc_core::lu::variants::run_with_ckpt(e, &lu, &mut mgr.borrow_mut())
+                    .completed()
+                    .expect("Never trigger completes");
+            },
+            |_k, unit, site, image, profile| {
+                self.crash_trial(
+                    &lu,
+                    &mut mgr.borrow_mut(),
+                    cfg.clone(),
+                    unit,
+                    Self::crashed_block(site),
+                    image,
+                    profile,
+                )
+            },
+            |(), e, profile| {
+                let factor = lu.peek_factor(e);
+                verified_completion(factor_matches(&factor, &self.reference), 0, profile)
+            },
+        ))
     }
 }

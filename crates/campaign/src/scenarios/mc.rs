@@ -2,19 +2,21 @@
 //! count-total audit as its dirty-state detector) and epoch-tagged
 //! counters (exact replay under arbitrary eviction).
 //!
-//! Both use the engine's batch fast path: the lookup loop runs **once**
-//! and [`CrashEmulator::fork_image`] harvests a crash image at every
-//! scheduled lookup, turning an O(points × run) sweep into O(run +
-//! points × recovery).
+//! Both harvest every scheduled crash point from **one** instrumented
+//! execution: the lookup loop runs once with the emulator's harvest plan
+//! armed, each `(PH_LOOKUP, i)` poll forks a copy-on-write delta image,
+//! and replay recovery classifies the states streaming — O(run + points ×
+//! recovery) instead of O(points × run).
 
 use adcc_core::mc::sim::{McMode, McSim};
 use adcc_core::mc::{McProblem, XS_CHANNELS};
-use adcc_sim::crash::{CrashEmulator, CrashTrigger};
+use adcc_sim::crash::{CrashEmulator, CrashSite, CrashTrigger, RunOutcome};
 use adcc_sim::image::NvmImage;
 use adcc_sim::system::{MemorySystem, SystemConfig};
 use adcc_telemetry::{ExecutionProfile, Probe};
 
-use super::trim_dram;
+use super::{harness, trim_dram, verified_completion};
+use crate::memstats::ImageMemory;
 use crate::outcome::classify;
 use crate::scenario::{Kernel, Mechanism, Scenario, Trial};
 
@@ -22,6 +24,10 @@ const LOOKUPS: u64 = 1_200;
 const INTERVAL: u64 = 64;
 const MC_SEED: u64 = 42;
 const PROBLEM_SEED: u64 = 305;
+/// Access-count spacing of dense crash points (one full lookup loop
+/// issues ~444k element accesses; a 48-access stride carries ~9.2k
+/// points).
+const DENSE_STRIDE: u64 = 48;
 
 /// One MC workload × persistence-mode pair.
 pub struct McCampaign {
@@ -99,14 +105,17 @@ impl McCampaign {
         )
     }
 
-    fn recover_one(
+    /// Recover from a crash image taken right after lookup `site.index`
+    /// completed (`lookups_done = site.index + 1`), resume, classify.
+    fn crash_trial(
         &self,
         mc: &McSim,
-        image: &NvmImage,
         unit: u64,
+        site: CrashSite,
+        image: &NvmImage,
         telemetry: Option<ExecutionProfile>,
     ) -> Trial {
-        let rec = mc.recover_and_resume(image, self.cfg.clone(), unit + 1);
+        let rec = mc.recover_and_resume(image, self.cfg.clone(), site.index + 1);
         let total: u64 = rec.counts.iter().sum();
         // The count-total audit is the mechanism's integrity check: replay
         // can only ever double-count (evicted counter lines are newer than
@@ -139,40 +148,56 @@ impl Scenario for McCampaign {
     fn total_units(&self) -> u64 {
         LOOKUPS
     }
+    fn dense_stride(&self) -> u64 {
+        DENSE_STRIDE
+    }
 
-    fn supports_batch(&self) -> bool {
-        true
+    fn site_trigger(&self, unit: u64) -> CrashTrigger {
+        CrashTrigger::AtSite {
+            site: CrashSite::new(adcc_core::mc::sites::PH_LOOKUP, unit),
+            occurrence: 1,
+        }
     }
 
     fn run_trial(&self, unit: u64, telemetry: bool) -> Trial {
-        self.run_batch(&[unit], telemetry)
-            .expect("mc scenarios always batch")
-            .remove(0)
-    }
-
-    fn run_batch(&self, units: &[u64], telemetry: bool) -> Option<Vec<Trial>> {
         let mut sys = MemorySystem::new(self.cfg.clone());
         let mc = McSim::setup(&mut sys, self.problem.clone(), LOOKUPS, MC_SEED, self.mode);
-        let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        let mut emu = CrashEmulator::from_system(sys, self.trigger_of(unit));
         let probe = telemetry.then(|| Probe::attach(&emu));
-        let mut done = 0u64;
-        let mut trials = Vec::with_capacity(units.len());
-        for &unit in units {
-            debug_assert!(unit >= done, "batch units must arrive sorted");
-            mc.run(&mut emu, done, unit + 1)
-                .completed()
-                .expect("trigger is Never");
-            done = unit + 1;
-            // This is exactly where a `(PH_LOOKUP, unit)` crash trigger
-            // would fire; fork the image it would leave instead of
-            // crashing, so the run can keep going.
-            let image = emu.fork_image();
-            // One shared execution, so each trial's profile is the
-            // *cumulative* cost from setup to its own crash point — the
-            // same window a per-trial run would have measured.
-            let profile = probe.as_ref().map(|p| p.finish(&emu).with_image(&image));
-            trials.push(self.recover_one(&mc, &image, unit, profile));
+        match mc.run(&mut emu, 0, LOOKUPS) {
+            RunOutcome::Completed(()) => {
+                let profile = probe.map(|p| p.finish(&emu));
+                let matches = mc.peek_counts(&emu) == self.reference;
+                verified_completion(matches, unit, profile)
+            }
+            RunOutcome::Crashed(image) => {
+                let profile = probe.map(|p| p.finish(&emu).with_image(&image));
+                let site = emu.fired_site().expect("crashed");
+                self.crash_trial(&mc, unit, site, &image, profile)
+            }
         }
-        Some(trials)
+    }
+
+    fn run_batch(&self, units: &[u64], telemetry: bool, mem: &ImageMemory) -> Option<Vec<Trial>> {
+        let mut sys = MemorySystem::new(self.cfg.clone());
+        let mc = McSim::setup(&mut sys, self.problem.clone(), LOOKUPS, MC_SEED, self.mode);
+        let emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        Some(harness::run_harvested(
+            units,
+            telemetry,
+            mem,
+            emu,
+            |u| self.trigger_of(u),
+            |e| {
+                mc.run(e, 0, LOOKUPS)
+                    .completed()
+                    .expect("Never trigger completes");
+            },
+            |_k, unit, site, image, profile| self.crash_trial(&mc, unit, site, image, profile),
+            |(), e, profile| {
+                let matches = mc.peek_counts(e) == self.reference;
+                verified_completion(matches, 0, profile)
+            },
+        ))
     }
 }

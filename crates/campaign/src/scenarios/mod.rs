@@ -3,14 +3,17 @@
 
 mod bicgstab;
 mod cg;
+mod harness;
 mod jacobi;
 mod lu;
 mod mc;
 mod stencil;
 
 use adcc_sim::system::SystemConfig;
+use adcc_telemetry::ExecutionProfile;
 
-use crate::scenario::Scenario;
+use crate::outcome::Outcome;
+use crate::scenario::{Scenario, Trial};
 
 /// Every registered scenario, in report order. All six kernel families
 /// appear with at least two mechanisms each (the campaign acceptance
@@ -39,6 +42,27 @@ pub fn all() -> Vec<Box<dyn Scenario>> {
 pub(crate) fn trim_dram(mut cfg: SystemConfig) -> SystemConfig {
     cfg.dram_capacity = 2 << 20;
     cfg
+}
+
+/// The shared completion classification: the crash point landed beyond
+/// the execution, so there is nothing to recover — verify the completed
+/// result against the reference and report it.
+pub(crate) fn verified_completion(
+    matches: bool,
+    unit: u64,
+    telemetry: Option<ExecutionProfile>,
+) -> Trial {
+    Trial {
+        unit,
+        outcome: if matches {
+            Outcome::CompletedClean
+        } else {
+            Outcome::SilentCorruption
+        },
+        lost_units: 0,
+        sim_time_ps: 0,
+        telemetry,
+    }
 }
 
 /// Max elementwise difference — the match criterion shared by the vector

@@ -1,14 +1,18 @@
 //! Heat-stencil scenarios: checksum-ring algorithm extension and
 //! per-sweep checkpoint (with mid-sweep access-count crash points).
 
+use std::cell::RefCell;
+
 use adcc_ckpt::manager::CkptManager;
 use adcc_core::stencil::{heat_host, sites, ExtendedStencil, PlainStencil};
 use adcc_sim::crash::{CrashEmulator, CrashSite, CrashTrigger, RunOutcome};
+use adcc_sim::image::NvmImage;
 use adcc_sim::system::{MemorySystem, SystemConfig};
-use adcc_telemetry::Probe;
+use adcc_telemetry::{ExecutionProfile, Probe};
 
-use super::{max_diff, trim_dram};
-use crate::outcome::{classify, Outcome};
+use super::{harness, max_diff, trim_dram, verified_completion};
+use crate::memstats::ImageMemory;
+use crate::outcome::classify;
 use crate::scenario::{Kernel, Mechanism, Scenario, Trial};
 
 // A 24×24 grid makes one generation (4.6 KB) overflow the 4 KB CPU cache,
@@ -24,6 +28,16 @@ const TOL: f64 = 1e-9;
 const ACCESS_POINTS: u64 = 6;
 const ACCESS_BASE: u64 = 2_000;
 const ACCESS_STRIDE: u64 = 4_500;
+/// Access-count spacing of dense crash points (one full run issues
+/// ~34-37k element accesses; a 4-access stride carries ~9k points).
+const DENSE_STRIDE: u64 = 4;
+
+/// Checksummed row blocks per sweep — must stay the same formula as
+/// [`ExtendedStencil::blocks`] (the trigger mapping has no live object to
+/// ask; `run_trial`/`run_batch` debug-assert the two agree).
+fn blocks() -> u64 {
+    (GRID as u64 - 2).div_ceil(ROW_BLOCK as u64)
+}
 
 fn config() -> SystemConfig {
     let cap = (WINDOW + 3) * GRID * GRID * 8 + (2 << 20);
@@ -51,6 +65,26 @@ impl StencilExtended {
             reference: reference(),
         }
     }
+
+    fn crash_trial(
+        &self,
+        st: &ExtendedStencil,
+        cfg: SystemConfig,
+        unit: u64,
+        image: &NvmImage,
+        profile: Option<ExecutionProfile>,
+    ) -> Trial {
+        let rec = st.recover_and_resume(image, cfg);
+        let matches = max_diff(&rec.solution, &self.reference) < TOL;
+        let detected = rec.restart_from.is_none();
+        Trial {
+            unit,
+            outcome: classify(detected, matches, rec.report.lost_units),
+            lost_units: rec.report.lost_units,
+            sim_time_ps: rec.report.total().ps(),
+            telemetry: profile,
+        }
+    }
 }
 
 impl Default for StencilExtended {
@@ -72,13 +106,13 @@ impl Scenario for StencilExtended {
     fn total_units(&self) -> u64 {
         2 * SWEEPS as u64
     }
+    fn dense_stride(&self) -> u64 {
+        DENSE_STRIDE
+    }
 
-    fn run_trial(&self, unit: u64, telemetry: bool) -> Trial {
+    fn site_trigger(&self, unit: u64) -> CrashTrigger {
         let sweep = unit / 2;
-        let cfg = config();
-        let mut sys = MemorySystem::new(cfg.clone());
-        let st = ExtendedStencil::setup(&mut sys, GRID, GRID, SWEEPS, WINDOW, ROW_BLOCK);
-        let trigger = if unit.is_multiple_of(2) {
+        if unit.is_multiple_of(2) {
             CrashTrigger::AtSite {
                 site: CrashSite::new(sites::PH_SWEEP_END, sweep),
                 occurrence: 1,
@@ -86,44 +120,59 @@ impl Scenario for StencilExtended {
         } else {
             // The (PH_AFTER_BLOCK, b) site is polled once per sweep, so
             // the occurrence count selects which sweep to crash in.
-            let block = sweep % st.blocks() as u64;
+            let block = sweep % blocks();
             CrashTrigger::AtSite {
                 site: CrashSite::new(sites::PH_AFTER_BLOCK, block),
                 occurrence: sweep as u32 + 1,
             }
-        };
-        let mut emu = CrashEmulator::from_system(sys, trigger);
+        }
+    }
+
+    fn run_trial(&self, unit: u64, telemetry: bool) -> Trial {
+        let cfg = config();
+        let mut sys = MemorySystem::new(cfg.clone());
+        let st = ExtendedStencil::setup(&mut sys, GRID, GRID, SWEEPS, WINDOW, ROW_BLOCK);
+        debug_assert_eq!(st.blocks() as u64, blocks(), "trigger mapping stale");
+        let mut emu = CrashEmulator::from_system(sys, self.trigger_of(unit));
         let probe = telemetry.then(|| Probe::attach(&emu));
         match st.run(&mut emu, 0, SWEEPS) {
             RunOutcome::Completed(()) => {
                 let profile = probe.map(|p| p.finish(&emu));
                 let grid = st.peek_grid(&emu, SWEEPS);
-                Trial {
-                    unit,
-                    outcome: if max_diff(&grid, &self.reference) < TOL {
-                        Outcome::CompletedClean
-                    } else {
-                        Outcome::SilentCorruption
-                    },
-                    lost_units: 0,
-                    sim_time_ps: 0,
-                    telemetry: profile,
-                }
+                verified_completion(max_diff(&grid, &self.reference) < TOL, unit, profile)
             }
             RunOutcome::Crashed(image) => {
                 let profile = probe.map(|p| p.finish(&emu).with_image(&image));
-                let rec = st.recover_and_resume(&image, cfg);
-                let matches = max_diff(&rec.solution, &self.reference) < TOL;
-                let detected = rec.restart_from.is_none();
-                Trial {
-                    unit,
-                    outcome: classify(detected, matches, rec.report.lost_units),
-                    lost_units: rec.report.lost_units,
-                    sim_time_ps: rec.report.total().ps(),
-                    telemetry: profile,
-                }
+                self.crash_trial(&st, cfg, unit, &image, profile)
             }
         }
+    }
+
+    fn run_batch(&self, units: &[u64], telemetry: bool, mem: &ImageMemory) -> Option<Vec<Trial>> {
+        let cfg = config();
+        let mut sys = MemorySystem::new(cfg.clone());
+        let st = ExtendedStencil::setup(&mut sys, GRID, GRID, SWEEPS, WINDOW, ROW_BLOCK);
+        debug_assert_eq!(st.blocks() as u64, blocks(), "trigger mapping stale");
+        let emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        Some(harness::run_harvested(
+            units,
+            telemetry,
+            mem,
+            emu,
+            |u| self.trigger_of(u),
+            |e| {
+                st.run(e, 0, SWEEPS)
+                    .completed()
+                    .expect("Never trigger completes");
+            },
+            |_k, unit, _site, image, profile| {
+                self.crash_trial(&st, cfg.clone(), unit, image, profile)
+            },
+            |(), e, profile| {
+                let grid = st.peek_grid(e, SWEEPS);
+                verified_completion(max_diff(&grid, &self.reference) < TOL, 0, profile)
+            },
+        ))
     }
 }
 
@@ -142,6 +191,49 @@ impl StencilCkpt {
     pub fn new() -> Self {
         StencilCkpt {
             reference: reference(),
+        }
+    }
+
+    /// Re-executed sweeps for a crash at `site`. Legacy access-count units
+    /// keep their historical fixed charge of one abandoned sweep; sweep
+    /// units (and dense points, which also land on the only polled site,
+    /// `PH_SWEEP_END`) are measured against the restored prefix.
+    fn lost_sweeps(unit: u64, site: CrashSite, start: usize) -> u64 {
+        if (SWEEPS as u64..SWEEPS as u64 + ACCESS_POINTS).contains(&unit) {
+            1
+        } else {
+            (site.index + 1).saturating_sub(start as u64)
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn crash_trial(
+        &self,
+        st: &PlainStencil,
+        mgr: &mut CkptManager,
+        cfg: SystemConfig,
+        unit: u64,
+        site: CrashSite,
+        image: &NvmImage,
+        profile: Option<ExecutionProfile>,
+    ) -> Trial {
+        let sys2 = MemorySystem::from_image(cfg, image);
+        let mut emu2 = CrashEmulator::from_system(sys2, CrashTrigger::Never);
+        let t0 = emu2.now();
+        let (start, restored) = adcc_core::stencil::variants::ckpt_restore(&mut emu2, st, mgr);
+        for t in start..SWEEPS {
+            st.sweep(&mut emu2, t);
+        }
+        let sim_time_ps = (emu2.now() - t0).ps();
+
+        let lost = Self::lost_sweeps(unit, site, start);
+        let matches = max_diff(&st.peek_grid(&emu2, SWEEPS), &self.reference) < TOL;
+        Trial {
+            unit,
+            outcome: classify(!restored, matches, lost),
+            lost_units: lost,
+            sim_time_ps,
+            telemetry: profile,
         }
     }
 }
@@ -165,66 +257,73 @@ impl Scenario for StencilCkpt {
     fn total_units(&self) -> u64 {
         SWEEPS as u64 + ACCESS_POINTS
     }
+    fn dense_stride(&self) -> u64 {
+        DENSE_STRIDE
+    }
 
-    fn run_trial(&self, unit: u64, telemetry: bool) -> Trial {
-        let cfg = config();
-        let mut sys = MemorySystem::new(cfg.clone());
-        let st = PlainStencil::setup(&mut sys, GRID, GRID, SWEEPS);
-        let mut mgr = CkptManager::new_nvm(&mut sys, st.ckpt_regions(), false);
-        let trigger = if unit < SWEEPS as u64 {
+    fn site_trigger(&self, unit: u64) -> CrashTrigger {
+        if unit < SWEEPS as u64 {
             CrashTrigger::AtSite {
                 site: CrashSite::new(sites::PH_SWEEP_END, unit),
                 occurrence: 1,
             }
         } else {
             CrashTrigger::AtAccessCount(ACCESS_BASE + (unit - SWEEPS as u64) * ACCESS_STRIDE)
-        };
-        let mut emu = CrashEmulator::from_system(sys, trigger);
+        }
+    }
+
+    fn run_trial(&self, unit: u64, telemetry: bool) -> Trial {
+        let cfg = config();
+        let mut sys = MemorySystem::new(cfg.clone());
+        let st = PlainStencil::setup(&mut sys, GRID, GRID, SWEEPS);
+        let mut mgr = CkptManager::new_nvm(&mut sys, st.ckpt_regions(), false);
+        let mut emu = CrashEmulator::from_system(sys, self.trigger_of(unit));
         let probe = telemetry.then(|| Probe::attach(&emu));
         let image = match adcc_core::stencil::variants::run_with_ckpt(&mut emu, &st, &mut mgr) {
             RunOutcome::Completed(()) => {
                 let profile = probe.map(|p| p.finish(&emu));
                 let grid = st.peek_grid(&emu, SWEEPS);
-                return Trial {
-                    unit,
-                    outcome: if max_diff(&grid, &self.reference) < TOL {
-                        Outcome::CompletedClean
-                    } else {
-                        Outcome::SilentCorruption
-                    },
-                    lost_units: 0,
-                    sim_time_ps: 0,
-                    telemetry: profile,
-                };
+                return verified_completion(max_diff(&grid, &self.reference) < TOL, unit, profile);
             }
             RunOutcome::Crashed(image) => image,
         };
         let profile = probe.map(|p| p.finish(&emu).with_image(&image));
+        let site = emu.fired_site().expect("crashed");
+        self.crash_trial(&st, &mut mgr, cfg, unit, site, &image, profile)
+    }
 
-        let sys2 = MemorySystem::from_image(cfg, &image);
-        let mut emu2 = CrashEmulator::from_system(sys2, CrashTrigger::Never);
-        let t0 = emu2.now();
-        let (start, restored) =
-            adcc_core::stencil::variants::ckpt_restore(&mut emu2, &st, &mut mgr);
-        for t in start..SWEEPS {
-            st.sweep(&mut emu2, t);
-        }
-        let sim_time_ps = (emu2.now() - t0).ps();
-
-        // Sweep-boundary crashes land right after the checkpoint (nothing
-        // lost); access-count crashes abandon the in-flight sweep.
-        let lost = if unit < SWEEPS as u64 {
-            (unit + 1).saturating_sub(start as u64)
-        } else {
-            1
-        };
-        let matches = max_diff(&st.peek_grid(&emu2, SWEEPS), &self.reference) < TOL;
-        Trial {
-            unit,
-            outcome: classify(!restored, matches, lost),
-            lost_units: lost,
-            sim_time_ps,
-            telemetry: profile,
-        }
+    fn run_batch(&self, units: &[u64], telemetry: bool, mem: &ImageMemory) -> Option<Vec<Trial>> {
+        let cfg = config();
+        let mut sys = MemorySystem::new(cfg.clone());
+        let st = PlainStencil::setup(&mut sys, GRID, GRID, SWEEPS);
+        let mgr = RefCell::new(CkptManager::new_nvm(&mut sys, st.ckpt_regions(), false));
+        let emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        Some(harness::run_harvested(
+            units,
+            telemetry,
+            mem,
+            emu,
+            |u| self.trigger_of(u),
+            |e| {
+                adcc_core::stencil::variants::run_with_ckpt(e, &st, &mut mgr.borrow_mut())
+                    .completed()
+                    .expect("Never trigger completes");
+            },
+            |_k, unit, site, image, profile| {
+                self.crash_trial(
+                    &st,
+                    &mut mgr.borrow_mut(),
+                    cfg.clone(),
+                    unit,
+                    site,
+                    image,
+                    profile,
+                )
+            },
+            |(), e, profile| {
+                let grid = st.peek_grid(e, SWEEPS);
+                verified_completion(max_diff(&grid, &self.reference) < TOL, 0, profile)
+            },
+        ))
     }
 }

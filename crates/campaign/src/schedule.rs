@@ -85,16 +85,31 @@ impl Schedule {
                 if budget >= total_units {
                     return (0..total_units).collect();
                 }
+                // Stratum bounds in u128: `s * total_units` overflows u64
+                // for large unit spaces (the old code silently collided
+                // strata through the wraparound and then `dedup` shrank
+                // the draw below the budget). With exact arithmetic and
+                // `budget < total_units`, consecutive bounds differ by at
+                // least ⌊total/budget⌋ ≥ 1, so strata are disjoint and
+                // non-empty and the draw count equals the budget.
                 let mut rng = StdRng::seed_from_u64(seed ^ fnv1a(scenario_name));
+                let stratum_lo =
+                    |s: u64| -> u64 { (s as u128 * total_units as u128 / budget as u128) as u64 };
                 let mut points: Vec<u64> = (0..budget)
                     .map(|s| {
-                        let lo = s * total_units / budget;
-                        let hi = ((s + 1) * total_units / budget).max(lo + 1);
+                        let lo = stratum_lo(s);
+                        let hi = stratum_lo(s + 1);
+                        debug_assert!(lo < hi, "stratum {s} empty: {lo}..{hi}");
                         rng.random_range(lo..hi)
                     })
                     .collect();
                 points.sort_unstable();
                 points.dedup();
+                debug_assert_eq!(
+                    points.len() as u64,
+                    budget,
+                    "disjoint strata cannot collide"
+                );
                 points
             }
         }
@@ -148,6 +163,50 @@ mod tests {
     fn stratified_saturates_to_exhaustive() {
         let pts = Schedule::Stratified.crash_points(7, "x", 10, 50);
         assert_eq!(pts, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stratified_full_budget_on_huge_unit_spaces() {
+        // `s * total_units` overflows u64 here; the old u64 arithmetic
+        // wrapped stratum bounds around, collided strata, and silently
+        // returned fewer points than the budget after dedup.
+        let total = u64::MAX / 2;
+        let pts = Schedule::Stratified.crash_points(42, "huge", total, 1000);
+        assert_eq!(pts.len(), 1000, "count equals min(budget, total_units)");
+        assert!(pts.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+        assert!(pts.iter().all(|&p| p < total));
+        // Still one point per stratum.
+        for (s, &p) in pts.iter().enumerate() {
+            let lo = (s as u128 * total as u128 / 1000) as u64;
+            let hi = ((s as u128 + 1) * total as u128 / 1000) as u64;
+            assert!(p >= lo && p < hi, "{s}: {p} outside [{lo}, {hi})");
+        }
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The stratified draw returns exactly `min(budget,
+            /// total_units)` sorted, distinct, in-range points — for any
+            /// seed and any unit-space size up to the overflow regime.
+            #[test]
+            fn stratified_count_equals_min_budget_total(
+                seed in any::<u64>(),
+                total in 1u64..=u64::MAX,
+                budget in 1u64..=2048,
+            ) {
+                // Keep the exhaustive branch's allocation bounded.
+                let budget = budget.min(2048);
+                let pts = Schedule::Stratified.crash_points(seed, "prop", total, budget);
+                prop_assert_eq!(pts.len() as u64, budget.min(total));
+                prop_assert!(pts.windows(2).all(|w| w[0] < w[1]));
+                prop_assert!(pts.iter().all(|&p| p < total));
+            }
+        }
     }
 
     #[test]

@@ -7,9 +7,23 @@
 use crate::line::{LINE_SHIFT, LINE_SIZE};
 
 /// A flat byte store with a base address.
+///
+/// The store can optionally journal writes at line granularity (see
+/// [`Backing::mark_journal`]): after a mark, the distinct lines written are
+/// recorded, which is what lets a crash-image fork capture only the lines
+/// that changed since a base snapshot instead of copying the whole pool.
 pub struct Backing {
     base: u64,
     bytes: Vec<u8>,
+    /// Monotonic epoch; bumped by [`Backing::mark_journal`] and by the
+    /// whole-store mutations ([`Backing::restore`], [`Backing::wipe`]) that
+    /// invalidate any outstanding journal consumer.
+    journal_epoch: u64,
+    /// Per-line epoch of the last journal entry (avoids duplicate pushes).
+    line_mark: Vec<u64>,
+    /// Distinct lines written since the last mark (unsorted).
+    journal: Vec<u64>,
+    journaling: bool,
 }
 
 impl Backing {
@@ -20,6 +34,61 @@ impl Backing {
         Backing {
             base,
             bytes: vec![0; capacity],
+            journal_epoch: 0,
+            line_mark: Vec::new(),
+            journal: Vec::new(),
+            journaling: false,
+        }
+    }
+
+    /// Start (or restart) the write journal: clears any previous journal
+    /// and returns the new journal epoch. From now on every line written
+    /// is recorded once; [`Backing::journal_lines`] lists them. The
+    /// per-line mark table (12.5% of pool size) is allocated here, on
+    /// first use — stores that never journal never pay for it.
+    pub fn mark_journal(&mut self) -> u64 {
+        if self.line_mark.is_empty() {
+            self.line_mark = vec![0; self.bytes.len().div_ceil(LINE_SIZE)];
+        }
+        self.journal_epoch += 1;
+        self.journal.clear();
+        self.journaling = true;
+        self.journal_epoch
+    }
+
+    /// The current journal epoch (compare against the epoch returned by
+    /// [`Backing::mark_journal`] to detect a stale journal consumer).
+    pub fn journal_epoch(&self) -> u64 {
+        self.journal_epoch
+    }
+
+    /// Distinct lines written since the last [`Backing::mark_journal`]
+    /// (unsorted; empty when journaling is off).
+    pub fn journal_lines(&self) -> &[u64] {
+        &self.journal
+    }
+
+    #[inline]
+    fn note_line(&mut self, line: u64) {
+        if !self.journaling {
+            return;
+        }
+        let idx = (line - (self.base >> LINE_SHIFT)) as usize;
+        if self.line_mark[idx] != self.journal_epoch {
+            self.line_mark[idx] = self.journal_epoch;
+            self.journal.push(line);
+        }
+    }
+
+    #[inline]
+    fn note_range(&mut self, addr: u64, len: usize) {
+        if !self.journaling || len == 0 {
+            return;
+        }
+        let first = addr >> LINE_SHIFT;
+        let last = (addr + len as u64 - 1) >> LINE_SHIFT;
+        for line in first..=last {
+            self.note_line(line);
         }
     }
 
@@ -62,6 +131,7 @@ impl Backing {
     pub fn write_line(&mut self, line: u64, data: &[u8; LINE_SIZE]) {
         let addr = line << LINE_SHIFT;
         let off = self.index(addr, LINE_SIZE);
+        self.note_line(line);
         self.bytes[off..off + LINE_SIZE].copy_from_slice(data);
     }
 
@@ -74,6 +144,7 @@ impl Backing {
     /// Raw (uncharged) byte write, used to seed initial state.
     pub fn write_bytes(&mut self, addr: u64, src: &[u8]) {
         let off = self.index(addr, src.len());
+        self.note_range(addr, src.len());
         self.bytes[off..off + src.len()].copy_from_slice(src);
     }
 
@@ -82,14 +153,22 @@ impl Backing {
         self.bytes.clone()
     }
 
-    /// Overwrite the full contents (restoring a snapshot).
+    /// Overwrite the full contents (restoring a snapshot). Invalidates any
+    /// outstanding write journal: the whole store changed at once.
     pub fn restore(&mut self, bytes: &[u8]) {
         assert_eq!(bytes.len(), self.bytes.len(), "snapshot size mismatch");
+        self.journal_epoch += 1;
+        self.journal.clear();
+        self.journaling = false;
         self.bytes.copy_from_slice(bytes);
     }
 
-    /// Zero everything (volatile medium lost at crash).
+    /// Zero everything (volatile medium lost at crash). Invalidates any
+    /// outstanding write journal, like [`Backing::restore`].
     pub fn wipe(&mut self) {
+        self.journal_epoch += 1;
+        self.journal.clear();
+        self.journaling = false;
         self.bytes.fill(0);
     }
 }
@@ -124,6 +203,55 @@ mod tests {
         let b = Backing::new(0, 64);
         let mut buf = [0u8; 8];
         b.read_bytes(60, &mut buf);
+    }
+
+    #[test]
+    fn journal_records_distinct_written_lines() {
+        let mut b = Backing::new(0, 1024);
+        b.write_bytes(0, &[1; 8]); // pre-mark write: not journaled
+        let epoch = b.mark_journal();
+        assert_eq!(b.journal_epoch(), epoch);
+        assert!(b.journal_lines().is_empty());
+        b.write_bytes(70, &[2; 8]); // line 1
+        b.write_line(3, &[3; LINE_SIZE]);
+        b.write_bytes(64, &[4; 8]); // line 1 again: no duplicate entry
+        let mut lines = b.journal_lines().to_vec();
+        lines.sort_unstable();
+        assert_eq!(lines, vec![1, 3]);
+        // A straddling write journals both lines.
+        b.write_bytes(60, &[5; 8]); // lines 0 and 1
+        let mut lines = b.journal_lines().to_vec();
+        lines.sort_unstable();
+        assert_eq!(lines, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn remark_clears_journal_and_bumps_epoch() {
+        let mut b = Backing::new(0, 1024);
+        let e1 = b.mark_journal();
+        b.write_bytes(0, &[1; 8]);
+        let e2 = b.mark_journal();
+        assert!(e2 > e1);
+        assert!(b.journal_lines().is_empty());
+        b.write_bytes(128, &[2; 8]);
+        assert_eq!(b.journal_lines(), &[2]);
+    }
+
+    #[test]
+    fn restore_and_wipe_invalidate_the_journal() {
+        let mut b = Backing::new(0, 256);
+        let snap = b.snapshot();
+        let e = b.mark_journal();
+        b.write_bytes(0, &[1; 8]);
+        b.restore(&snap);
+        assert!(b.journal_epoch() > e, "restore bumps the epoch");
+        assert!(b.journal_lines().is_empty());
+        b.write_bytes(0, &[2; 8]);
+        assert!(b.journal_lines().is_empty(), "journaling off after restore");
+        let e = b.mark_journal();
+        b.wipe();
+        assert!(b.journal_epoch() > e);
+        assert!(b.journal_lines().is_empty());
     }
 
     #[test]

@@ -9,8 +9,8 @@
 
 use std::ops::{Deref, DerefMut};
 
-use crate::image::NvmImage;
-use crate::system::{MemorySystem, SystemConfig};
+use crate::image::{DeltaImage, NvmImage};
+use crate::system::{CounterSnapshot, DeltaBase, MemorySystem, SystemConfig};
 
 /// An instrumented program point: a phase identifier plus a loop index.
 ///
@@ -58,6 +58,44 @@ pub enum CrashTrigger {
     AtSimTimePs(u64),
 }
 
+/// One crash state captured by an armed harvest plan (see
+/// [`CrashEmulator::arm_harvest`]): the copy-on-write image plus the poll
+/// site and counter snapshot at the fork instant. Together they are
+/// everything a campaign needs to classify the crash point later — the
+/// image for recovery, the site for loss attribution, the counters for a
+/// cumulative cost profile — while the shared execution keeps running.
+#[derive(Debug)]
+pub struct Harvest {
+    /// The scheduled unit this crash state belongs to.
+    pub unit: u64,
+    /// The instrumented site whose poll captured the state.
+    pub site: CrashSite,
+    /// Copy-on-write crash image at the fork instant.
+    pub image: DeltaImage,
+    /// Deterministic counters at the fork instant.
+    pub at: CounterSnapshot,
+}
+
+/// One pending harvest point: the trigger condition to watch plus the unit
+/// it belongs to. Site-occurrence counting mirrors [`CrashTrigger::AtSite`].
+#[derive(Debug)]
+struct PlanPoint {
+    trigger: CrashTrigger,
+    unit: u64,
+    site_hits: u32,
+    done: bool,
+}
+
+/// The armed harvest state: the delta base every capture is diffed
+/// against, the pending points, and the captures so far.
+#[derive(Debug)]
+struct HarvestState {
+    base: DeltaBase,
+    points: Vec<PlanPoint>,
+    pending: usize,
+    out: Vec<Harvest>,
+}
+
 /// The crash emulator: a [`MemorySystem`] plus a trigger. Dereferences to
 /// the system so application code reads/writes through it directly.
 pub struct CrashEmulator {
@@ -65,17 +103,14 @@ pub struct CrashEmulator {
     trigger: CrashTrigger,
     site_hits: u32,
     fired: bool,
+    fired_site: Option<CrashSite>,
+    harvest: Option<HarvestState>,
 }
 
 impl CrashEmulator {
     /// Fresh system from `cfg`, armed with `trigger`.
     pub fn new(cfg: SystemConfig, trigger: CrashTrigger) -> Self {
-        CrashEmulator {
-            sys: MemorySystem::new(cfg),
-            trigger,
-            site_hits: 0,
-            fired: false,
-        }
+        Self::from_system(MemorySystem::new(cfg), trigger)
     }
 
     /// Wrap an existing system (e.g. one restored from an image).
@@ -85,6 +120,8 @@ impl CrashEmulator {
             trigger,
             site_hits: 0,
             fired: false,
+            fired_site: None,
+            harvest: None,
         }
     }
 
@@ -98,35 +135,115 @@ impl CrashEmulator {
         self.fired
     }
 
+    /// The site whose poll fired the trigger, if it has fired. For
+    /// access-count and sim-time triggers this is how the application
+    /// learns *where* in the computation the crash actually landed.
+    pub fn fired_site(&self) -> Option<CrashSite> {
+        self.fired_site
+    }
+
+    /// Arm a harvest plan: at every poll, any listed trigger condition
+    /// that is met captures a copy-on-write crash image (plus site and
+    /// counter snapshot) for its unit — without crashing, so one
+    /// instrumented execution yields an image per scheduled crash point.
+    /// Each point fires at most once; capture order is poll order. The
+    /// delta base is taken now (see [`MemorySystem::delta_base`]).
+    ///
+    /// The armed crash `trigger` still works independently; a poll that
+    /// both harvests and fires the trigger captures the harvest first, so
+    /// the image equals what [`CrashEmulator::crash_now`] is about to
+    /// return.
+    pub fn arm_harvest(&mut self, points: impl IntoIterator<Item = (CrashTrigger, u64)>) {
+        let base = self.sys.delta_base();
+        let points: Vec<PlanPoint> = points
+            .into_iter()
+            .map(|(trigger, unit)| PlanPoint {
+                trigger,
+                unit,
+                site_hits: 0,
+                done: matches!(trigger, CrashTrigger::Never),
+            })
+            .collect();
+        let pending = points.iter().filter(|p| !p.done).count();
+        self.harvest = Some(HarvestState {
+            base,
+            points,
+            pending,
+            out: Vec::new(),
+        });
+    }
+
+    /// Crash states captured so far by the armed harvest plan.
+    pub fn harvest_count(&self) -> usize {
+        self.harvest.as_ref().map_or(0, |h| h.out.len())
+    }
+
+    /// Disarm the harvest plan and take the captured crash states (poll
+    /// order). Empty if no plan was armed.
+    pub fn take_harvests(&mut self) -> Vec<Harvest> {
+        self.harvest.take().map(|h| h.out).unwrap_or_default()
+    }
+
+    /// Evaluate the armed harvest plan at a poll of `site`.
+    fn harvest_at(&mut self, site: CrashSite) {
+        let Some(h) = self.harvest.as_mut() else {
+            return;
+        };
+        if h.pending == 0 {
+            return;
+        }
+        let access = self.sys.access_count();
+        let now_ps = self.sys.now().ps();
+        let mut fired: Vec<u64> = Vec::new();
+        for p in h.points.iter_mut() {
+            if p.done {
+                continue;
+            }
+            if trigger_fires(p.trigger, site, &mut p.site_hits, access, now_ps) {
+                p.done = true;
+                h.pending -= 1;
+                fired.push(p.unit);
+            }
+        }
+        if fired.is_empty() {
+            return;
+        }
+        let base = h.base.clone();
+        let at = self.sys.counter_snapshot();
+        // Points firing at the same poll see the same machine state: fork
+        // the delta once and share it (dense access-grain points are often
+        // spaced closer than the polls that can capture them).
+        let image = self.sys.crash_fork_delta(&base);
+        let h = self.harvest.as_mut().expect("harvest armed");
+        for unit in fired {
+            h.out.push(Harvest {
+                unit,
+                site,
+                image: image.clone(),
+                at,
+            });
+        }
+    }
+
     /// Poll at an instrumented site; returns `true` when the application
     /// must crash now (it should then call [`CrashEmulator::crash_now`] and
     /// unwind).
     #[inline]
     pub fn poll(&mut self, site: CrashSite) -> bool {
+        self.harvest_at(site);
         if self.fired {
             return false;
         }
-        let fire = match self.trigger {
-            CrashTrigger::Never => false,
-            CrashTrigger::AtSite {
-                site: s,
-                occurrence,
-            } => {
-                if s == site {
-                    self.site_hits += 1;
-                    self.site_hits >= occurrence
-                } else {
-                    false
-                }
-            }
-            CrashTrigger::AtPhaseIndex { phase, index } => {
-                site.phase == phase && site.index >= index
-            }
-            CrashTrigger::AtAccessCount(n) => self.sys.access_count() >= n,
-            CrashTrigger::AtSimTimePs(ps) => self.sys.now().ps() >= ps,
-        };
+        let fire = trigger_fires(
+            self.trigger,
+            site,
+            &mut self.site_hits,
+            self.sys.access_count(),
+            self.sys.now().ps(),
+        );
         if fire {
             self.fired = true;
+            self.fired_site = Some(site);
         }
         fire
     }
@@ -173,6 +290,38 @@ impl Deref for CrashEmulator {
 impl DerefMut for CrashEmulator {
     fn deref_mut(&mut self) -> &mut MemorySystem {
         &mut self.sys
+    }
+}
+
+/// The one trigger-evaluation rule, shared by the crash path
+/// ([`CrashEmulator::poll`]) and the harvest path — the two must never
+/// drift, or batch-harvested crash states stop matching per-trial ones.
+/// `site_hits` is the caller's per-trigger occurrence counter (bumped here
+/// on every poll of a watched site).
+#[inline]
+fn trigger_fires(
+    trigger: CrashTrigger,
+    site: CrashSite,
+    site_hits: &mut u32,
+    access_count: u64,
+    now_ps: u64,
+) -> bool {
+    match trigger {
+        CrashTrigger::Never => false,
+        CrashTrigger::AtSite {
+            site: s,
+            occurrence,
+        } => {
+            if s == site {
+                *site_hits += 1;
+                *site_hits >= occurrence
+            } else {
+                false
+            }
+        }
+        CrashTrigger::AtPhaseIndex { phase, index } => site.phase == phase && site.index >= index,
+        CrashTrigger::AtAccessCount(n) => access_count >= n,
+        CrashTrigger::AtSimTimePs(ps) => now_ps >= ps,
     }
 }
 
@@ -296,6 +445,139 @@ mod tests {
         assert_eq!(fork.bytes(), crashed.bytes());
         assert_eq!(fork.read_u64(a.addr(0)), 1);
         assert_eq!(fork.read_u64(a.addr(1)), 0);
+    }
+
+    #[test]
+    fn armed_harvest_captures_images_without_crashing() {
+        let mut e = emu(CrashTrigger::Never);
+        let a = PArray::<u64>::alloc_nvm(&mut e, 8);
+        e.arm_harvest([
+            (
+                CrashTrigger::AtSite {
+                    site: CrashSite::new(0, 1),
+                    occurrence: 1,
+                },
+                10,
+            ),
+            (
+                CrashTrigger::AtSite {
+                    site: CrashSite::new(0, 3),
+                    occurrence: 1,
+                },
+                11,
+            ),
+        ]);
+        for i in 0..6u64 {
+            a.set(&mut e, i as usize, i + 100);
+            a.persist_all(&mut e);
+            assert!(!e.poll(CrashSite::new(0, i)), "harvesting never crashes");
+        }
+        let harvests = e.take_harvests();
+        assert_eq!(harvests.len(), 2);
+        assert_eq!(harvests[0].unit, 10);
+        assert_eq!(harvests[0].site, CrashSite::new(0, 1));
+        // The image is the state at the fork instant, not the end.
+        assert_eq!(harvests[0].image.read_u64(a.addr(1)), 101);
+        assert_eq!(harvests[0].image.read_u64(a.addr(3)), 0);
+        assert_eq!(harvests[1].image.read_u64(a.addr(3)), 103);
+        // Counter snapshots are cumulative and ordered.
+        assert!(harvests[0].at.now_ps < harvests[1].at.now_ps);
+    }
+
+    #[test]
+    fn harvest_matches_the_crash_image_at_the_same_poll() {
+        // Two emulators, identical executions: one crashes at the site,
+        // one harvests it. Images must be byte-identical.
+        let site = CrashSite::new(2, 3);
+        let run = |e: &mut CrashEmulator| -> Option<NvmImage> {
+            let a = PArray::<u64>::alloc_nvm(e, 8);
+            for i in 0..6u64 {
+                a.set(e, i as usize, i * 7);
+                if i.is_multiple_of(2) {
+                    a.persist_all(e);
+                }
+                if e.poll(CrashSite::new(2, i)) {
+                    return Some(e.crash_now());
+                }
+            }
+            None
+        };
+        let mut crasher = emu(CrashTrigger::AtSite {
+            site,
+            occurrence: 1,
+        });
+        let crashed = run(&mut crasher).expect("trigger fires");
+        assert_eq!(crasher.fired_site(), Some(site));
+
+        let mut harvester = emu(CrashTrigger::Never);
+        harvester.arm_harvest([(
+            CrashTrigger::AtSite {
+                site,
+                occurrence: 1,
+            },
+            0,
+        )]);
+        assert!(run(&mut harvester).is_none());
+        let h = harvester.take_harvests().remove(0);
+        assert_eq!(h.image.materialize().bytes(), crashed.bytes());
+        assert_eq!(
+            h.image.dirty_lines_at_crash(),
+            crashed.dirty_lines_at_crash()
+        );
+    }
+
+    #[test]
+    fn harvest_supports_occurrence_access_and_time_points() {
+        let mut e = emu(CrashTrigger::Never);
+        let a = PArray::<u64>::alloc_nvm(&mut e, 8);
+        e.arm_harvest([
+            (
+                CrashTrigger::AtSite {
+                    site: CrashSite::new(1, 0),
+                    occurrence: 3,
+                },
+                0,
+            ),
+            (CrashTrigger::AtAccessCount(4), 1),
+            (CrashTrigger::AtSimTimePs(1), 2),
+        ]);
+        for i in 0..5u64 {
+            a.set(&mut e, i as usize, i);
+            assert!(!e.poll(CrashSite::new(1, 0)));
+        }
+        let mut harvests = e.take_harvests();
+        assert_eq!(harvests.len(), 3);
+        harvests.sort_by_key(|h| h.unit);
+        // Occurrence 3 of the repeated site fired on the third poll.
+        assert_eq!(harvests[0].at.stats.accesses, 3);
+        // Access threshold 4 fired at the first poll with >= 4 accesses.
+        assert_eq!(harvests[1].at.stats.accesses, 4);
+        // The sim-time point fired at the first poll after time advanced.
+        assert_eq!(harvests[2].at.stats.accesses, 1);
+    }
+
+    #[test]
+    fn harvest_and_trigger_can_fire_at_the_same_poll() {
+        let site = CrashSite::new(4, 2);
+        let mut e = emu(CrashTrigger::AtSite {
+            site,
+            occurrence: 1,
+        });
+        let a = PArray::<u64>::alloc_nvm(&mut e, 4);
+        e.arm_harvest([(
+            CrashTrigger::AtSite {
+                site,
+                occurrence: 1,
+            },
+            9,
+        )]);
+        a.set(&mut e, 0, 5);
+        a.persist_all(&mut e);
+        assert!(e.poll(site), "the armed trigger still fires");
+        let img = e.crash_now();
+        let h = e.take_harvests().remove(0);
+        assert_eq!(h.unit, 9);
+        assert_eq!(h.image.materialize().bytes(), img.bytes());
     }
 
     #[test]

@@ -191,12 +191,20 @@ mod tests {
     }
 
     #[test]
-    fn empty_barrier_just_fences() {
+    fn empty_barrier_is_free() {
+        // An epoch with nothing pending must not skew flush/fence
+        // telemetry or the clock (mechanisms may issue barriers
+        // unconditionally per epoch).
         let mut s = sys();
         let fences = s.stats().sfences;
+        let barriers = s.stats().epoch_barriers;
+        let t0 = s.now();
         let mut e = EpochPersist::new();
         assert_eq!(e.barrier(&mut s), 0);
-        assert_eq!(s.stats().sfences, fences + 1);
+        assert_eq!(s.stats().sfences, fences, "no fence for an empty epoch");
+        assert_eq!(s.stats().epoch_barriers, barriers, "no barrier counted");
+        assert_eq!(s.now(), t0, "no time charged");
+        assert_eq!(e.lines_persisted(), 0);
     }
 
     #[test]

@@ -4,7 +4,16 @@
 //! of data in ... main memory" at the moment of the crash. Recovery logic
 //! reads the image (or boots a fresh [`crate::system::MemorySystem`] from
 //! it, so that detection work is charged on the simulated clock).
+//!
+//! A [`DeltaImage`] is the copy-on-write form a crash-injection campaign
+//! harvests at scale: an immutable base snapshot shared via [`Arc`] plus
+//! only the NVM lines that changed since the base was taken, so storing a
+//! crash state costs O(dirty lines) instead of O(pool size). Recovery
+//! lazily [`DeltaImage::materialize`]s a full image when it needs one.
 
+use std::sync::Arc;
+
+use crate::line::{line_of, offset_in_line, LINE_SHIFT, LINE_SIZE};
 use crate::parray::{PArray, Pod};
 
 /// A byte-exact snapshot of the NVM region at crash time.
@@ -106,6 +115,162 @@ impl NvmImage {
 impl std::fmt::Debug for NvmImage {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "NvmImage({} bytes)", self.bytes.len())
+    }
+}
+
+/// A copy-on-write crash image: a shared base snapshot plus the NVM lines
+/// that differ from it at crash time.
+///
+/// Built by [`crate::system::MemorySystem::crash_fork_delta`] against a
+/// [`crate::system::DeltaBase`]. Reads see exactly the bytes a full
+/// [`crate::system::MemorySystem::crash_fork`] image taken at the same
+/// instant would hold; [`DeltaImage::materialize`] proves it by producing
+/// that byte-identical [`NvmImage`].
+#[derive(Clone)]
+pub struct DeltaImage {
+    base: Arc<NvmImage>,
+    /// Sorted line numbers present in the delta.
+    lines: Vec<u64>,
+    /// Concatenated payload: `lines[i]`'s bytes live at `i * LINE_SIZE`.
+    data: Vec<u8>,
+    dirty_lines: u64,
+}
+
+impl DeltaImage {
+    /// Assemble a delta over `base`. `lines` must be sorted, distinct line
+    /// numbers; `data` holds one [`LINE_SIZE`] payload per line.
+    pub(crate) fn new(base: Arc<NvmImage>, lines: Vec<u64>, data: Vec<u8>) -> Self {
+        debug_assert_eq!(lines.len() * LINE_SIZE, data.len());
+        debug_assert!(lines.windows(2).all(|w| w[0] < w[1]), "lines unsorted");
+        DeltaImage {
+            base,
+            lines,
+            data,
+            dirty_lines: 0,
+        }
+    }
+
+    /// Attach dirty-residency metadata (see [`NvmImage::with_dirty_lines`]).
+    pub fn with_dirty_lines(mut self, lines: u64) -> Self {
+        self.dirty_lines = lines;
+        self
+    }
+
+    /// Dirty NVM-homed cache lines resident in volatile levels at crash
+    /// time (the same residency metric [`NvmImage::dirty_lines_at_crash`]
+    /// carries; it survives materialization).
+    pub fn dirty_lines_at_crash(&self) -> u64 {
+        self.dirty_lines
+    }
+
+    /// [`DeltaImage::dirty_lines_at_crash`] converted to bytes.
+    pub fn dirty_bytes_at_crash(&self) -> u64 {
+        crate::line::lines_to_bytes(self.dirty_lines)
+    }
+
+    /// The shared base snapshot this delta applies to.
+    pub fn base(&self) -> &Arc<NvmImage> {
+        &self.base
+    }
+
+    /// Number of lines stored in the delta.
+    pub fn delta_line_count(&self) -> u64 {
+        self.lines.len() as u64
+    }
+
+    /// Bytes of delta payload this crash state owns (excludes the shared
+    /// base). This is the per-state memory cost campaigns report.
+    pub fn delta_bytes(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Logical size of the image in bytes (same as the base snapshot).
+    pub fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Whether the logical image holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty()
+    }
+
+    /// Copy `buf.len()` bytes starting at NVM address `addr` out of the
+    /// logical image (delta lines shadow the base).
+    pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) {
+        assert!(
+            addr as usize + buf.len() <= self.base.len(),
+            "image read at {addr:#x}+{} out of range {}",
+            buf.len(),
+            self.base.len()
+        );
+        let mut done = 0usize;
+        while done < buf.len() {
+            let a = addr + done as u64;
+            let off = offset_in_line(a);
+            let take = (LINE_SIZE - off).min(buf.len() - done);
+            let line = line_of(a);
+            let src = match self.lines.binary_search(&line) {
+                Ok(i) => &self.data[i * LINE_SIZE..(i + 1) * LINE_SIZE],
+                Err(_) => {
+                    let base = (line << LINE_SHIFT) as usize;
+                    &self.base.bytes()[base..base + LINE_SIZE]
+                }
+            };
+            buf[done..done + take].copy_from_slice(&src[off..off + take]);
+            done += take;
+        }
+    }
+
+    /// Read a typed value at an NVM address.
+    pub fn read<T: Pod>(&self, addr: u64) -> T {
+        let mut buf = [0u8; 16];
+        assert!(T::SIZE <= buf.len(), "oversized Pod read");
+        self.read_bytes(addr, &mut buf[..T::SIZE]);
+        T::from_bytes(&buf[..T::SIZE])
+    }
+
+    /// Read one byte at an NVM address.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        self.read(addr)
+    }
+
+    /// Read a little-endian `u64` at an NVM address.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.read(addr)
+    }
+
+    /// Read an `f64` at an NVM address.
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        self.read(addr)
+    }
+
+    /// Read a whole typed array (by its simulated-memory handle).
+    pub fn read_array<T: Pod>(&self, arr: &PArray<T>) -> Vec<T> {
+        (0..arr.len()).map(|i| self.read(arr.addr(i))).collect()
+    }
+
+    /// Expand to a standalone full [`NvmImage`]: base bytes with the delta
+    /// lines applied, dirty-residency metadata carried over. Byte-identical
+    /// to the full crash image taken at the same instant.
+    pub fn materialize(&self) -> NvmImage {
+        let mut bytes = self.base.bytes().to_vec();
+        for (i, &line) in self.lines.iter().enumerate() {
+            let off = (line << LINE_SHIFT) as usize;
+            bytes[off..off + LINE_SIZE]
+                .copy_from_slice(&self.data[i * LINE_SIZE..(i + 1) * LINE_SIZE]);
+        }
+        NvmImage::new(bytes).with_dirty_lines(self.dirty_lines)
+    }
+}
+
+impl std::fmt::Debug for DeltaImage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DeltaImage({} lines over {}-byte base)",
+            self.lines.len(),
+            self.base.len()
+        )
     }
 }
 

@@ -53,14 +53,16 @@ pub mod timing;
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::clock::{Bucket, SimClock, SimTime};
-    pub use crate::crash::{CrashEmulator, CrashSite, CrashTrigger, RunOutcome};
+    pub use crate::crash::{CrashEmulator, CrashSite, CrashTrigger, Harvest, RunOutcome};
     pub use crate::epoch::EpochPersist;
-    pub use crate::image::NvmImage;
+    pub use crate::image::{DeltaImage, NvmImage};
     pub use crate::line::LINE_SIZE;
     pub use crate::lru::CacheConfig;
     pub use crate::parray::{PArray, PMatrix, PScalar, Pod};
     pub use crate::policy::ReplacementPolicy;
     pub use crate::stats::{LevelStats, MemStats};
-    pub use crate::system::{FlushOp, MemorySystem, Placement, SystemConfig};
+    pub use crate::system::{
+        CounterSnapshot, DeltaBase, FlushOp, MemorySystem, Placement, SystemConfig,
+    };
     pub use crate::timing::{HddTiming, MediaTiming, PlatformTiming};
 }

@@ -17,10 +17,12 @@
 //! `[DRAM_BASE, DRAM_BASE + dram_capacity)` is DRAM-homed (volatile,
 //! bypasses the DRAM cache, lost at crash).
 
+use std::sync::Arc;
+
 use crate::alloc::Bump;
 use crate::backing::Backing;
 use crate::clock::{Bucket, SimClock, SimTime};
-use crate::image::NvmImage;
+use crate::image::{DeltaImage, NvmImage};
 use crate::line::{is_dram_addr, line_of, DRAM_BASE, LINE_SHIFT, LINE_SIZE};
 use crate::lru::{CacheConfig, SetAssocCache, Victim};
 use crate::stats::MemStats;
@@ -132,6 +134,64 @@ impl SystemConfig {
             flush_op: FlushOp::Clflush,
             persistent_caches: false,
         }
+    }
+}
+
+/// A host-side snapshot of every deterministic counter a telemetry probe
+/// diffs: event counters, per-bucket attributed time, and the clock.
+///
+/// Taking one is free of simulated cost. Crash-image harvesting records a
+/// snapshot at each fork instant so cumulative cost profiles can be
+/// reconstructed after the shared execution has moved on.
+#[derive(Debug, Clone, Copy)]
+pub struct CounterSnapshot {
+    /// Event counters at the snapshot instant.
+    pub stats: MemStats,
+    /// Attributed picoseconds per [`Bucket`], in `Bucket::ALL` order.
+    pub bucket_ps: [u64; Bucket::COUNT],
+    /// Simulated clock at the snapshot instant, picoseconds.
+    pub now_ps: u64,
+}
+
+/// The shared base a run's [`DeltaImage`]s are diffed against: an immutable
+/// NVM snapshot (behind an [`Arc`], so every delta of the run shares one
+/// copy) plus the write-journal epoch that validates it.
+///
+/// Created by [`MemorySystem::delta_base`]. Taking a new base invalidates
+/// the previous one (the journal restarts); so do whole-store mutations
+/// like booting the system from an image. A stale base panics at fork time
+/// rather than producing a wrong image.
+#[derive(Clone)]
+pub struct DeltaBase {
+    base: Arc<NvmImage>,
+    epoch: u64,
+}
+
+impl DeltaBase {
+    /// The shared base snapshot.
+    pub fn image(&self) -> &Arc<NvmImage> {
+        &self.base
+    }
+
+    /// Size of the base snapshot in bytes (the NVM pool size).
+    pub fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Whether the base snapshot holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty()
+    }
+}
+
+impl std::fmt::Debug for DeltaBase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DeltaBase({} bytes, epoch {})",
+            self.base.len(),
+            self.epoch
+        )
     }
 }
 
@@ -454,16 +514,21 @@ impl MemorySystem {
     /// medium transfer; the medium latency is paid **once** at the barrier
     /// (all in-flight persists overlap), followed by one fence.
     ///
+    /// An **empty** line set is free: no barrier is counted, no fence is
+    /// issued, no time is charged. There is nothing in flight to order, and
+    /// mechanisms that call this unconditionally per epoch must not have
+    /// their flush/fence telemetry skewed by no-op epochs (the telemetry
+    /// neutrality suite pins this).
+    ///
     /// Contrast with a `persist_line` loop, which pays latency + fence
     /// serialization per line. The `repro ablation-epoch` runner compares
     /// both for the ABFT checksum flushing, where the paper's related-work
     /// section says these proposals "can be complementary to our work".
     pub fn persist_lines_batched(&mut self, lines_in: &[u64]) {
-        self.stats.epoch_barriers += 1;
         if lines_in.is_empty() {
-            self.sfence();
             return;
         }
+        self.stats.epoch_barriers += 1;
         let mut lines: Vec<u64> = lines_in.to_vec();
         lines.sort_unstable();
         lines.dedup();
@@ -721,6 +786,84 @@ impl MemorySystem {
     /// *would* survive a crash right now). Uncharged; for tests/analysis.
     pub fn nvm_snapshot(&self) -> NvmImage {
         NvmImage::new(self.nvm.snapshot())
+    }
+
+    /// Snapshot every deterministic counter (see [`CounterSnapshot`]).
+    pub fn counter_snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            stats: self.stats,
+            bucket_ps: self.clock.bucket_totals(),
+            now_ps: self.clock.now().ps(),
+        }
+    }
+
+    /// Take the shared base for copy-on-write crash images: snapshot the
+    /// NVM pool once and start the backing store's write journal. Every
+    /// subsequent [`MemorySystem::crash_fork_delta`] captures only the
+    /// lines written since this call (diffed against the base, so
+    /// rewrites of identical bytes are dropped too).
+    ///
+    /// Taking a new base restarts the journal and invalidates the previous
+    /// base. Uncharged.
+    pub fn delta_base(&mut self) -> DeltaBase {
+        let epoch = self.nvm.mark_journal();
+        DeltaBase {
+            base: Arc::new(NvmImage::new(self.nvm.snapshot())),
+            epoch,
+        }
+    }
+
+    /// Fork the crash image at the current point as a copy-on-write delta
+    /// against `base`: semantically identical to
+    /// [`MemorySystem::crash_fork`] (honoring
+    /// [`SystemConfig::persistent_caches`] the same way), but storing only
+    /// the NVM lines that differ from the base snapshot. Panics if `base`
+    /// is stale (a newer base was taken, or the pool was wholesale
+    /// restored/wiped since). Uncharged.
+    pub fn crash_fork_delta(&self, base: &DeltaBase) -> DeltaImage {
+        assert_eq!(
+            base.epoch,
+            self.nvm.journal_epoch(),
+            "stale DeltaBase: the NVM write journal was restarted since this base was taken"
+        );
+        let nvm_base = self.nvm.base();
+        // Lines the battery would drain may never have reached the backing
+        // store; overlay them (DRAM-cache copies first, then the newer CPU
+        // copies on top — the real drain's supersession order).
+        let mut overlay: Vec<(u64, [u8; LINE_SIZE])> = Vec::new();
+        if self.cfg.persistent_caches {
+            overlay.extend(
+                self.dramc
+                    .iter()
+                    .flat_map(|dc| dc.iter_resident())
+                    .chain(self.cpu.iter_resident())
+                    .filter(|&(line, dirty, _)| dirty && !is_dram_addr(line << LINE_SHIFT))
+                    .map(|(line, _, data)| (line, *data)),
+            );
+        }
+        let mut lines: Vec<u64> = self.nvm.journal_lines().to_vec();
+        lines.extend(overlay.iter().map(|&(line, _)| line));
+        lines.sort_unstable();
+        lines.dedup();
+        // Stable sort keeps insertion order within a line, so the last
+        // entry of an equal-line run is the newest (CPU-level) copy.
+        overlay.sort_by_key(|&(line, _)| line);
+        let base_bytes = base.base.bytes();
+        let mut kept = Vec::with_capacity(lines.len());
+        let mut data = Vec::with_capacity(lines.len() * LINE_SIZE);
+        for &line in &lines {
+            let mut payload = self.nvm.read_line(line);
+            let after = overlay.partition_point(|&(l, _)| l <= line);
+            if after > 0 && overlay[after - 1].0 == line {
+                payload = overlay[after - 1].1;
+            }
+            let off = ((line << LINE_SHIFT) - nvm_base) as usize;
+            if payload[..] != base_bytes[off..off + LINE_SIZE] {
+                kept.push(line);
+                data.extend_from_slice(&payload);
+            }
+        }
+        DeltaImage::new(Arc::clone(&base.base), kept, data).with_dirty_lines(self.dirty_nvm_lines())
     }
 
     /// Fork the crash image at the current point: exactly the [`NvmImage`]
@@ -1105,6 +1248,116 @@ mod tests {
         assert_eq!(s.dirty_nvm_lines(), 1, "same line counted once");
         let fork = s.crash_fork();
         assert_eq!(fork.dirty_lines_at_crash(), 1);
+    }
+
+    #[test]
+    fn delta_fork_materializes_to_the_full_crash_fork_image() {
+        let mut s = small_sys();
+        let a = s.alloc_nvm(256);
+        s.write_bytes(a, &[1; 8]);
+        s.clflush(a); // in NVM before the base is taken
+        let base = s.delta_base();
+        s.write_bytes(a + 64, &[2; 8]);
+        s.clflush(a + 64); // persisted after the base: must be in the delta
+        s.write_bytes(a + 128, &[3; 8]); // stranded in cache: not in NVM
+        let delta = s.crash_fork_delta(&base);
+        let full = s.crash_fork();
+        assert_eq!(delta.materialize().bytes(), full.bytes());
+        assert_eq!(delta.read_u8(a), 1, "pre-base bytes come from the base");
+        assert_eq!(delta.read_u8(a + 64), 2, "post-base bytes from the delta");
+        assert_eq!(delta.read_u8(a + 128), 0, "cached write not durable");
+        assert_eq!(delta.delta_line_count(), 1, "only the flushed line");
+        assert_eq!(delta.dirty_lines_at_crash(), full.dirty_lines_at_crash());
+    }
+
+    #[test]
+    fn delta_fork_drops_rewrites_of_identical_bytes() {
+        let mut s = small_sys();
+        let a = s.alloc_nvm(64);
+        s.write_bytes(a, &[7; 8]);
+        s.clflush(a);
+        let base = s.delta_base();
+        s.write_bytes(a, &[7; 8]); // same bytes again
+        s.clflush(a);
+        let delta = s.crash_fork_delta(&base);
+        assert_eq!(delta.delta_line_count(), 0);
+        assert_eq!(delta.materialize().bytes(), s.crash_fork().bytes());
+    }
+
+    #[test]
+    fn delta_forks_accumulate_as_the_run_advances() {
+        let mut s = small_sys();
+        let a = s.alloc_nvm(4 * 64);
+        let base = s.delta_base();
+        let mut deltas = Vec::new();
+        for i in 0..4u64 {
+            s.write_bytes(a + i * 64, &[i as u8 + 1; 8]);
+            s.clflush(a + i * 64);
+            deltas.push(s.crash_fork_delta(&base));
+        }
+        for (i, d) in deltas.iter().enumerate() {
+            assert_eq!(d.delta_line_count(), i as u64 + 1);
+            // Earlier forks are unaffected by later writes.
+            assert_eq!(d.read_u8(a + i as u64 * 64), i as u8 + 1);
+            if i + 1 < 4 {
+                assert_eq!(d.read_u8(a + (i as u64 + 1) * 64), 0);
+            }
+        }
+        // All deltas share one base allocation.
+        assert_eq!(Arc::strong_count(deltas[0].base()), 5);
+    }
+
+    #[test]
+    fn delta_fork_equals_crash_fork_with_persistent_caches() {
+        let cfg = SystemConfig::heterogeneous(4096, 16384, 1 << 20).with_persistent_caches(true);
+        let mut s = MemorySystem::new(cfg);
+        let a = s.alloc_nvm(128);
+        let base = s.delta_base();
+        s.write_bytes(a, &[1; 8]);
+        s.clflush(a); // dirty in the DRAM cache
+        s.write_bytes(a + 64, &[2; 8]); // dirty in the CPU cache
+        let delta = s.crash_fork_delta(&base);
+        let full = s.crash_fork();
+        assert_eq!(delta.materialize().bytes(), full.bytes());
+        assert_eq!(delta.read_u8(a), 1);
+        assert_eq!(delta.read_u8(a + 64), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale DeltaBase")]
+    fn stale_delta_base_panics_at_fork() {
+        let mut s = small_sys();
+        let old = s.delta_base();
+        let _new = s.delta_base();
+        let _ = s.crash_fork_delta(&old);
+    }
+
+    #[test]
+    fn empty_batched_persist_is_free() {
+        let mut s = small_sys();
+        let t0 = s.now();
+        let stats0 = *s.stats();
+        s.persist_lines_batched(&[]);
+        assert_eq!(s.now(), t0, "no time charged");
+        assert_eq!(s.stats().sfences, stats0.sfences, "no fence issued");
+        assert_eq!(
+            s.stats().epoch_barriers,
+            stats0.epoch_barriers,
+            "no barrier counted"
+        );
+    }
+
+    #[test]
+    fn counter_snapshot_matches_live_counters() {
+        let mut s = small_sys();
+        let a = s.alloc_nvm(64);
+        s.write_bytes(a, &[1; 8]);
+        s.persist_line(a);
+        s.sfence();
+        let snap = s.counter_snapshot();
+        assert_eq!(snap.now_ps, s.now().ps());
+        assert_eq!(snap.stats.sfences, s.stats().sfences);
+        assert_eq!(snap.bucket_ps, s.clock().bucket_totals());
     }
 
     #[test]

@@ -154,6 +154,57 @@ proptest! {
         }
     }
 
+    /// Copy-on-write crash forks are exact: at arbitrary points of an
+    /// arbitrary program, a `DeltaImage` materializes to the byte-exact
+    /// `crash_fork` image taken at the same instant — on both platforms,
+    /// with forks accumulating against one shared base.
+    #[test]
+    fn delta_forks_materialize_exactly(
+        ops in prop::collection::vec(op_strategy(), 1..300),
+        hetero in any::<bool>(),
+        fork_every in 1usize..40,
+    ) {
+        let cfg = if hetero {
+            SystemConfig::heterogeneous(8 * 64, 16 * 64, 1 << 16)
+        } else {
+            SystemConfig::nvm_only(8 * 64, 1 << 16)
+        };
+        let mut sys = MemorySystem::new(cfg);
+        let arr = PArray::<u64>::alloc_nvm(&mut sys, SLOTS * 8);
+        let slot = |i: usize| i * 8;
+        // Pre-base traffic: the base must absorb it.
+        arr.set(&mut sys, 0, 7);
+        sys.persist_line(arr.addr(0));
+        let base = sys.delta_base();
+        for (k, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Write { i, v } => arr.set(&mut sys, slot(i), v),
+                Op::Read { i } => { arr.get(&mut sys, slot(i)); }
+                Op::Flush { i } => sys.clflush(arr.addr(slot(i))),
+                Op::Persist { i } => sys.persist_line(arr.addr(slot(i))),
+                Op::Drain => sys.drain_dram_cache(),
+            }
+            if k % fork_every == 0 {
+                let delta = sys.crash_fork_delta(&base);
+                let full = sys.crash_fork();
+                let materialized = delta.materialize();
+                prop_assert_eq!(materialized.bytes(), full.bytes(), "op {}", k);
+                prop_assert_eq!(
+                    delta.dirty_lines_at_crash(),
+                    full.dirty_lines_at_crash(),
+                    "op {}", k
+                );
+                // Reads through the delta agree with the full image.
+                for i in 0..SLOTS {
+                    prop_assert_eq!(
+                        delta.read_u64(arr.addr(slot(i))),
+                        full.read_u64(arr.addr(slot(i)))
+                    );
+                }
+            }
+        }
+    }
+
     /// Simulated time is monotone and deterministic for a given op sequence.
     #[test]
     fn clock_is_deterministic(ops in prop::collection::vec(op_strategy(), 1..200)) {

@@ -7,8 +7,7 @@
 //! reports rely on.
 
 use adcc_sim::clock::Bucket;
-use adcc_sim::stats::MemStats;
-use adcc_sim::system::MemorySystem;
+use adcc_sim::system::{CounterSnapshot, MemorySystem};
 
 use crate::profile::ExecutionProfile;
 
@@ -16,21 +15,21 @@ use crate::profile::ExecutionProfile;
 ///
 /// `finish` may be called repeatedly (each call diffs against the same
 /// baseline), which is how batch scenarios take cumulative samples at
-/// every harvested crash point of a single execution.
+/// every harvested crash point of a single execution. When the crash
+/// points were harvested by an armed plan (the execution moved on before
+/// classification), [`Probe::finish_at`] diffs against the
+/// [`CounterSnapshot`] each harvest recorded at its fork instant instead
+/// of the live system.
 #[derive(Debug, Clone)]
 pub struct Probe {
-    stats: MemStats,
-    buckets: [u64; Bucket::COUNT],
-    t0_ps: u64,
+    at: CounterSnapshot,
 }
 
 impl Probe {
     /// Record the system's current counters as the measurement baseline.
     pub fn attach(sys: &MemorySystem) -> Self {
         Probe {
-            stats: *sys.stats(),
-            buckets: sys.clock().bucket_totals(),
-            t0_ps: sys.now().ps(),
+            at: sys.counter_snapshot(),
         }
     }
 
@@ -39,23 +38,30 @@ impl Probe {
     /// survive a [`MemorySystem::crash`], so post-crash finishing observes
     /// the execution exactly up to the crash instant.
     pub fn finish(&self, sys: &MemorySystem) -> ExecutionProfile {
-        let now = sys.stats();
-        let buckets = sys.clock().bucket_totals();
-        let bucket = |b: Bucket| buckets[b as usize] - self.buckets[b as usize];
+        self.finish_at(&sys.counter_snapshot())
+    }
+
+    /// Diff a recorded [`CounterSnapshot`] against the baseline — the
+    /// profile of the window from attach to the instant the snapshot was
+    /// taken (e.g. a harvested crash point mid-execution).
+    pub fn finish_at(&self, end: &CounterSnapshot) -> ExecutionProfile {
+        let now = &end.stats;
+        let start = &self.at.stats;
+        let bucket = |b: Bucket| end.bucket_ps[b as usize] - self.at.bucket_ps[b as usize];
         ExecutionProfile {
-            clflushes: now.clflushes - self.stats.clflushes,
-            clflushopts: now.clflushopts - self.stats.clflushopts,
-            clwbs: now.clwbs - self.stats.clwbs,
-            sfences: now.sfences - self.stats.sfences,
-            epoch_barriers: now.epoch_barriers - self.stats.epoch_barriers,
-            nvm_line_reads: now.nvm_line_reads - self.stats.nvm_line_reads,
-            nvm_line_writes: now.nvm_line_writes - self.stats.nvm_line_writes,
-            accesses: now.accesses - self.stats.accesses,
+            clflushes: now.clflushes - start.clflushes,
+            clflushopts: now.clflushopts - start.clflushopts,
+            clwbs: now.clwbs - start.clwbs,
+            sfences: now.sfences - start.sfences,
+            epoch_barriers: now.epoch_barriers - start.epoch_barriers,
+            nvm_line_reads: now.nvm_line_reads - start.nvm_line_reads,
+            nvm_line_writes: now.nvm_line_writes - start.nvm_line_writes,
+            accesses: now.accesses - start.accesses,
             flush_ps: bucket(Bucket::Flush),
             fence_ps: bucket(Bucket::Fence),
             log_ps: bucket(Bucket::Log),
             ckpt_copy_ps: bucket(Bucket::CkptCopy),
-            sim_time_ps: sys.now().ps() - self.t0_ps,
+            sim_time_ps: end.now_ps - self.at.now_ps,
             log_appends: 0,
             log_bytes: 0,
             dirty_lines_at_crash: 0,

@@ -99,6 +99,14 @@ impl ExecutionProfile {
         self
     }
 
+    /// Attach dirty-residency metadata directly (e.g. from a
+    /// [`adcc_sim::image::DeltaImage`], whose metadata survives the
+    /// copy-on-write path exactly like a full image's).
+    pub fn with_dirty_lines(mut self, lines: u64) -> Self {
+        self.dirty_lines_at_crash = lines;
+        self
+    }
+
     /// Fold a transaction pool's log counters into the profile.
     pub fn with_log(mut self, log: LogStats) -> Self {
         self.log_appends += log.appends;

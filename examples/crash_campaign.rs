@@ -19,6 +19,7 @@ fn main() {
         schedule: Schedule::Stratified,
         threads: 2,
         telemetry: true,
+        ..CampaignConfig::default()
     };
     let report = run_campaign(&cfg);
 

@@ -19,6 +19,7 @@ fn config(threads: usize, seed: u64) -> CampaignConfig {
         schedule: Schedule::Stratified,
         threads,
         telemetry: false,
+        ..CampaignConfig::default()
     }
 }
 
@@ -111,6 +112,28 @@ fn telemetry_does_not_perturb_outcomes() {
         assert!(a.telemetry.is_none());
         assert!(b.telemetry.is_some(), "{}", b.name);
     }
+}
+
+#[test]
+fn empty_epoch_barriers_are_telemetry_neutral() {
+    // `persist_lines_batched(&[])` is free by contract (nothing in flight
+    // to order): mechanisms issuing unconditional per-epoch barriers must
+    // not have their flush/fence attribution skewed by no-op epochs. A
+    // probe across an empty barrier therefore measures exactly nothing.
+    use adcc::sim::epoch::EpochPersist;
+    use adcc::sim::prelude::*;
+    use adcc::telemetry::Probe;
+
+    let mut sys = MemorySystem::new(SystemConfig::nvm_only(4096, 1 << 16));
+    let probe = Probe::attach(&sys);
+    sys.persist_lines_batched(&[]);
+    let mut epoch = EpochPersist::new();
+    epoch.barrier(&mut sys);
+    let p = probe.finish(&sys);
+    assert_eq!(p.sfences, 0, "no fence for an empty epoch");
+    assert_eq!(p.epoch_barriers, 0, "no barrier counted");
+    assert_eq!(p.sim_time_ps, 0, "no time charged");
+    assert_eq!(p.flush_total(), 0);
 }
 
 #[test]
