@@ -26,6 +26,7 @@
 use std::process::ExitCode;
 
 use adcc_bench::{NativeCg, NativeMechanism};
+use adcc_campaign::cost::CostTable;
 use adcc_campaign::engine::{run_campaign, CampaignConfig};
 use adcc_campaign::json::Json;
 use adcc_campaign::report::{compare, flush_audit, CampaignReport};
@@ -59,16 +60,16 @@ const USAGE: &str = "\
 usage:
   campaign run     [--budget-states N] [--seed S] [--threads T]
                    [--schedule stratified|every-k:K|exhaustive:N]
-                   [--dense D] [--max-batch B] [--per-trial]
+                   [--dense D] [--max-batch B] [--per-trial] [--dist]
                    [--telemetry] [--out PATH]
   campaign replay  --seed S [--budget-states N] [--threads T]
                    [--schedule SPEC] [--dense D] [--max-batch B] [--per-trial]
-                   [--telemetry] [--expect PATH] [--out PATH]
+                   [--dist] [--telemetry] [--expect PATH] [--out PATH]
   campaign compare OLD.json NEW.json
   campaign cost    [--budget-states N] [--seed S] [--threads T]
-                   [--schedule SPEC] [--out PATH]
+                   [--schedule SPEC] [--dist] [--json] [--out PATH]
   campaign bench   [--samples N] [--iters K] [--n DIM]
-                   [--campaign-states N] [--out PATH]
+                   [--campaign-states N] [--dist-states N] [--out PATH]
 
 --dense D appends D access-grain crash points per scenario after its
 site-grain space (recorded in the report; replays reproduce it).
@@ -76,6 +77,12 @@ site-grain space (recorded in the report; replays reproduce it).
 copy-on-write delta images); --per-trial forces the legacy
 one-execution-per-trial full-copy path (same canonical report, used as
 the bench baseline).
+--dist sweeps the distributed registry instead of the single-rank one:
+multi-rank scenarios with (rank, site) crash points, comparing global
+checkpoint restart against algorithm-directed local recovery (recorded
+in the report; replays reproduce it).
+cost --json emits the cost table as a schema-versioned JSON document
+(adcc-cost-table/v1) instead of the text table, for CI diffing.
 ";
 
 /// Pull `--flag value` out of an option list.
@@ -133,7 +140,7 @@ fn cmd_run(args: &[String], replay: bool) -> Result<ExitCode, String> {
             "--out",
             "--expect",
         ],
-        &["--telemetry", "--per-trial"],
+        &["--telemetry", "--per-trial", "--dist"],
     )?;
     let expect_path = take_opt(args, "--expect")?;
     if expect_path.is_some() && !replay {
@@ -153,6 +160,7 @@ fn cmd_run(args: &[String], replay: bool) -> Result<ExitCode, String> {
         cfg.budget_states = exp.budget_states;
         cfg.schedule = Schedule::parse(&exp.schedule)?;
         cfg.dense_units = exp.dense_units;
+        cfg.dist = exp.dist;
     }
     if let Some(v) = take_opt(args, "--seed")? {
         cfg.seed = parse_u64(&v, "seed")?;
@@ -175,6 +183,7 @@ fn cmd_run(args: &[String], replay: bool) -> Result<ExitCode, String> {
         cfg.max_batch = parse_u64(&v, "max-batch")?.max(1);
     }
     cfg.per_trial = take_flag(args, "--per-trial");
+    cfg.dist = cfg.dist || take_flag(args, "--dist");
     // A replay of a telemetry-carrying report must re-measure telemetry or
     // the canonical comparison could never match.
     cfg.telemetry =
@@ -223,7 +232,7 @@ fn cmd_run(args: &[String], replay: bool) -> Result<ExitCode, String> {
 
 fn print_summary(report: &CampaignReport) {
     println!(
-        "campaign: seed {} budget {} schedule {}{} threads {} wall {} ms",
+        "campaign: seed {} budget {} schedule {}{}{} threads {} wall {} ms",
         report.seed,
         report.budget_states,
         report.schedule,
@@ -232,6 +241,7 @@ fn print_summary(report: &CampaignReport) {
         } else {
             String::new()
         },
+        if report.dist { " registry dist" } else { "" },
         report.threads,
         report.wall_clock_ms
     );
@@ -312,12 +322,14 @@ fn cmd_cost(args: &[String]) -> Result<ExitCode, String> {
             "--schedule",
             "--out",
         ],
-        &[],
+        &["--json", "--dist"],
     )?;
     let mut cfg = CampaignConfig {
         telemetry: true,
+        dist: take_flag(args, "--dist"),
         ..CampaignConfig::default()
     };
+    let json = take_flag(args, "--json");
     if let Some(v) = take_opt(args, "--seed")? {
         cfg.seed = parse_u64(&v, "seed")?;
     }
@@ -333,6 +345,20 @@ fn cmd_cost(args: &[String]) -> Result<ExitCode, String> {
     let out_path = take_opt(args, "--out")?;
 
     let report = run_campaign(&cfg);
+    if json {
+        // Machine-readable table: schema-versioned, byte-stable, made for
+        // CI diffing (see `adcc_campaign::cost`). Falls through to the
+        // shared silent-corruption gate below.
+        let doc = CostTable::from_report(&report).to_string_pretty();
+        match &out_path {
+            Some(out) => {
+                std::fs::write(out, &doc).map_err(|e| format!("cannot write {out}: {e}"))?;
+                println!("cost table written to {out}");
+            }
+            None => println!("{doc}"),
+        }
+        return finish_cost(&report);
+    }
     println!(
         "cost model: seed {} budget {} schedule {} ({} scenarios)",
         report.seed,
@@ -400,6 +426,12 @@ fn cmd_cost(args: &[String]) -> Result<ExitCode, String> {
             .map_err(|e| format!("cannot write {out}: {e}"))?;
         println!("report written to {out}");
     }
+    finish_cost(&report)
+}
+
+/// The `cost` exit policy shared by the text and `--json` paths: any
+/// silent-corruption outcome fails the run.
+fn finish_cost(report: &CampaignReport) -> Result<ExitCode, String> {
     if report.silent_corruption_total() > 0 {
         eprintln!(
             "FAIL: {} silent-corruption outcome(s)",
@@ -492,7 +524,14 @@ fn bench_campaign(states: u64, per_trial: bool) -> (CampaignReport, f64) {
 fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
     check_known_flags(
         args,
-        &["--samples", "--iters", "--n", "--campaign-states", "--out"],
+        &[
+            "--samples",
+            "--iters",
+            "--n",
+            "--campaign-states",
+            "--dist-states",
+            "--out",
+        ],
         &[],
     )?;
     let samples = take_opt(args, "--samples")?
@@ -513,10 +552,14 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
         .map(|v| parse_u64(&v, "campaign-states"))
         .transpose()?
         .unwrap_or(2_000);
-    // Default to the *current* trajectory point: BENCH_0.json (v1) and
-    // BENCH_1.json (v2) are committed documents and must never be
-    // clobbered by a v3 emission.
-    let out = take_opt(args, "--out")?.unwrap_or_else(|| "BENCH_2.json".to_string());
+    let dist_states = take_opt(args, "--dist-states")?
+        .map(|v| parse_u64(&v, "dist-states"))
+        .transpose()?
+        .unwrap_or(300);
+    // Default to the *current* trajectory point: BENCH_0.json (v1),
+    // BENCH_1.json (v2), and BENCH_2.json (v3) are committed documents
+    // and must never be clobbered by a v4 emission.
+    let out = take_opt(args, "--out")?.unwrap_or_else(|| "BENCH_3.json".to_string());
 
     let class = adcc_linalg::CgClass {
         name: "bench",
@@ -630,6 +673,57 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
         results.push(e);
     }
 
+    // Distributed campaign throughput and the recovery-traffic gap the
+    // dist registry exists to measure: algorithm-directed local recovery
+    // versus global checkpoint restart, same seed, same crash points.
+    let t0 = std::time::Instant::now();
+    let dist_report = run_campaign(&CampaignConfig {
+        budget_states: dist_states,
+        telemetry: true,
+        dist: true,
+        ..CampaignConfig::default()
+    });
+    let dist_secs = t0.elapsed().as_secs_f64();
+    let mode_bytes = |suffix: &str| -> (u64, u64) {
+        dist_report
+            .scenarios
+            .iter()
+            .filter(|s| s.name.ends_with(suffix))
+            .fold((0, 0), |(bytes, trials), s| {
+                (
+                    bytes + s.telemetry.as_ref().map_or(0, |t| t.recovery_net_bytes),
+                    trials + s.trials,
+                )
+            })
+    };
+    let (local_bytes, local_trials) = mode_bytes("-local");
+    let (restart_bytes, restart_trials) = mode_bytes("-restart");
+    let dist_total = dist_report.totals.total();
+    let dist_sps = dist_total as f64 / dist_secs.max(1e-9);
+    println!(
+        "campaign/dist          {dist_total} states in {dist_secs:>8.2} s | {dist_sps:>8.0} states/s \
+         | recovery B/trial: local {}, restart {}",
+        local_bytes / local_trials.max(1),
+        restart_bytes / restart_trials.max(1),
+    );
+    let mut e = Json::obj();
+    e.push("bench", Json::Str("campaign/dist".into()));
+    e.push("budget_states", Json::Int(dist_states));
+    e.push("states", Json::Int(dist_total));
+    e.push("wall_ms", Json::Int((dist_secs * 1e3) as u64));
+    e.push("states_per_sec", Json::Int(dist_sps as u64));
+    e.push("local_recovery_bytes", Json::Int(local_bytes));
+    e.push(
+        "local_recovery_bytes_per_trial",
+        Json::Int(local_bytes / local_trials.max(1)),
+    );
+    e.push("restart_recovery_bytes", Json::Int(restart_bytes));
+    e.push(
+        "restart_recovery_bytes_per_trial",
+        Json::Int(restart_bytes / restart_trials.max(1)),
+    );
+    results.push(e);
+
     let mut config = Json::obj();
     config.push("kernel", Json::Str("native-cg".into()));
     config.push("n", Json::Int(n as u64));
@@ -638,10 +732,11 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
     config.push("samples", Json::Int(samples));
     config.push("sim_iters", Json::Int(SIM_ITERS as u64));
     config.push("campaign_states", Json::Int(campaign_states));
+    config.push("dist_states", Json::Int(dist_states));
     let mut doc = Json::obj();
-    // v3 adds the campaign/* rows (crash-state throughput and
-    // crash-image bytes-per-state, delta vs full-copy).
-    doc.push("schema", Json::Str("adcc-bench-trajectory/v3".into()));
+    // v4 adds the campaign/dist row (distributed crash-state throughput
+    // plus the per-recovery-mode traffic columns).
+    doc.push("schema", Json::Str("adcc-bench-trajectory/v4".into()));
     doc.push("unit", Json::Str("ns_per_iter".into()));
     doc.push("config", config);
     doc.push("results", Json::Arr(results));

@@ -46,6 +46,11 @@ pub struct CampaignConfig {
     /// either way (the delta-equivalence suite enforces it); this is the
     /// baseline the bench compares against.
     pub per_trial: bool,
+    /// Sweep the distributed registry ([`crate::scenario::dist_registry`])
+    /// instead of the single-rank one: multi-rank scenarios with
+    /// `(rank, site)` crash points and per-mode recovery comparison.
+    /// Recorded in the canonical report, so replays reproduce it.
+    pub dist: bool,
 }
 
 impl Default for CampaignConfig {
@@ -59,6 +64,7 @@ impl Default for CampaignConfig {
             dense_units: 0,
             max_batch: 128,
             per_trial: false,
+            dist: false,
         }
     }
 }
@@ -79,7 +85,11 @@ struct Task {
 /// so neither the thread count nor the batch size can reorder anything.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
     let start = Instant::now();
-    let scenarios = registry();
+    let scenarios = if cfg.dist {
+        crate::scenario::dist_registry()
+    } else {
+        registry()
+    };
     let points = plan(cfg, &scenarios);
 
     let mut tasks = Vec::new();
@@ -152,6 +162,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         budget_states: cfg.budget_states,
         schedule: cfg.schedule.name(),
         dense_units: cfg.dense_units,
+        dist: cfg.dist,
         scenarios: scenario_reports,
         totals,
         telemetry,

@@ -50,6 +50,7 @@
 
 #![deny(missing_docs)]
 
+pub mod cost;
 pub mod engine;
 pub mod json;
 pub mod memstats;
@@ -59,9 +60,10 @@ pub mod scenario;
 pub mod scenarios;
 pub mod schedule;
 
+pub use cost::{CostRow, CostTable};
 pub use engine::{run_campaign, CampaignConfig};
 pub use memstats::{ImageMemory, ImageMemorySummary};
 pub use outcome::{Outcome, OutcomeCounts};
 pub use report::{compare, flush_audit, CampaignReport, ScenarioReport};
-pub use scenario::{registry, Kernel, Mechanism, Scenario, Trial};
+pub use scenario::{dist_registry, registry, Kernel, Mechanism, Scenario, Trial};
 pub use schedule::Schedule;

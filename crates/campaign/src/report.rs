@@ -15,10 +15,16 @@ use crate::memstats::ImageMemorySummary;
 use crate::outcome::OutcomeCounts;
 
 /// Current report format identifier (bump on breaking schema changes).
-/// v2 adds the optional per-scenario and campaign-wide `telemetry` blocks.
-pub const SCHEMA: &str = "adcc-campaign-report/v2";
+/// v3 adds the optional `registry` header (present as `"dist"` for
+/// distributed campaigns) and the fabric/recovery-traffic telemetry keys
+/// (`net_msgs`, `net_bytes`, `net_ps`, `recovery_net_bytes`).
+pub const SCHEMA: &str = "adcc-campaign-report/v3";
 
-/// The previous format, still accepted by [`CampaignReport::parse`]
+/// The v2 format (telemetry blocks without fabric keys), still accepted
+/// by [`CampaignReport::parse`].
+pub const SCHEMA_V2: &str = "adcc-campaign-report/v2";
+
+/// The original format, still accepted by [`CampaignReport::parse`]
 /// (telemetry blocks absent).
 pub const SCHEMA_V1: &str = "adcc-campaign-report/v1";
 
@@ -63,6 +69,10 @@ pub struct CampaignReport {
     /// `CampaignConfig::dense_units`). Emitted in the canonical form only
     /// when nonzero, so legacy-space reports keep their exact bytes.
     pub dense_units: u64,
+    /// Whether this campaign swept the distributed registry. Emitted as
+    /// `"registry": "dist"` only when true, so single-rank reports carry
+    /// no extra header field.
+    pub dist: bool,
     /// Per-scenario aggregates, in registry order.
     pub scenarios: Vec<ScenarioReport>,
     /// Campaign-wide outcome histogram.
@@ -101,6 +111,10 @@ fn telemetry_json(t: &ExecutionProfile) -> Json {
     j.push("log_appends", Json::Int(t.log_appends));
     j.push("log_bytes", Json::Int(t.log_bytes));
     j.push("dirty_lines_at_crash", Json::Int(t.dirty_lines_at_crash));
+    j.push("net_msgs", Json::Int(t.net_msgs));
+    j.push("net_bytes", Json::Int(t.net_bytes));
+    j.push("net_ps", Json::Int(t.net_ps));
+    j.push("recovery_net_bytes", Json::Int(t.recovery_net_bytes));
     j.push(
         "consistency_window_ps",
         Json::Int(t.consistency_window_ps()),
@@ -112,13 +126,16 @@ fn telemetry_json(t: &ExecutionProfile) -> Json {
 }
 
 /// Parse a telemetry block emitted by [`telemetry_json`] (derived fields
-/// are ignored; they are recomputed at emission).
+/// are ignored; they are recomputed at emission). The fabric keys are
+/// optional so v1/v2 blocks still parse (they default to zero, which is
+/// also what v3 single-rank scenarios record).
 fn telemetry_from_json(j: &Json) -> Result<ExecutionProfile, String> {
     let n = |key: &str| -> Result<u64, String> {
         j.get(key)
             .and_then(Json::as_u64)
             .ok_or_else(|| format!("telemetry missing {key}"))
     };
+    let opt = |key: &str| -> u64 { j.get(key).and_then(Json::as_u64).unwrap_or(0) };
     Ok(ExecutionProfile {
         clflushes: n("clflushes")?,
         clflushopts: n("clflushopts")?,
@@ -136,6 +153,10 @@ fn telemetry_from_json(j: &Json) -> Result<ExecutionProfile, String> {
         log_appends: n("log_appends")?,
         log_bytes: n("log_bytes")?,
         dirty_lines_at_crash: n("dirty_lines_at_crash")?,
+        net_msgs: opt("net_msgs"),
+        net_bytes: opt("net_bytes"),
+        net_ps: opt("net_ps"),
+        recovery_net_bytes: opt("recovery_net_bytes"),
     })
 }
 
@@ -153,6 +174,9 @@ impl CampaignReport {
         j.push("schedule", Json::Str(self.schedule.clone()));
         if self.dense_units > 0 {
             j.push("dense_units", Json::Int(self.dense_units));
+        }
+        if self.dist {
+            j.push("registry", Json::Str("dist".into()));
         }
         let scenarios = self
             .scenarios
@@ -225,9 +249,9 @@ impl CampaignReport {
             .get("schema")
             .and_then(Json::as_str)
             .ok_or("missing schema")?;
-        if schema != SCHEMA && schema != SCHEMA_V1 {
+        if schema != SCHEMA && schema != SCHEMA_V2 && schema != SCHEMA_V1 {
             return Err(format!(
-                "unsupported schema {schema:?} (want {SCHEMA:?} or {SCHEMA_V1:?})"
+                "unsupported schema {schema:?} (want {SCHEMA:?}, {SCHEMA_V2:?}, or {SCHEMA_V1:?})"
             ));
         }
         let int = |key: &str| -> Result<u64, String> {
@@ -290,6 +314,7 @@ impl CampaignReport {
                 .ok_or("missing schedule")?
                 .to_string(),
             dense_units: j.get("dense_units").and_then(Json::as_u64).unwrap_or(0),
+            dist: j.get("registry").and_then(Json::as_str) == Some("dist"),
             scenarios,
             totals: OutcomeCounts::from_json(j.get("totals").ok_or("missing totals")?)?,
             telemetry: j.get("telemetry").map(telemetry_from_json).transpose()?,
@@ -414,6 +439,7 @@ mod tests {
             budget_states: 10,
             schedule: "stratified".into(),
             dense_units: 0,
+            dist: false,
             scenarios: vec![ScenarioReport {
                 name: "cg-extended".into(),
                 kernel: "cg".into(),
@@ -500,7 +526,37 @@ mod tests {
     #[test]
     fn parse_rejects_other_schemas() {
         assert!(CampaignReport::parse(r#"{"schema": "bogus/v9"}"#).is_err());
-        assert!(CampaignReport::parse(r#"{"schema": "adcc-campaign-report/v3"}"#).is_err());
+        assert!(CampaignReport::parse(r#"{"schema": "adcc-campaign-report/v4"}"#).is_err());
+    }
+
+    #[test]
+    fn dist_registry_header_roundtrips_and_is_canonical() {
+        let single = sample();
+        let mut dist = sample();
+        dist.dist = true;
+        assert!(!single.canonical_string().contains("registry"));
+        assert!(dist.canonical_string().contains("\"registry\": \"dist\""));
+        assert_ne!(single.canonical_string(), dist.canonical_string());
+        let parsed = CampaignReport::parse(&dist.to_string_pretty()).unwrap();
+        assert_eq!(parsed, dist);
+    }
+
+    #[test]
+    fn fabric_telemetry_keys_roundtrip() {
+        let mut r = sample_with_telemetry();
+        let profile = ExecutionProfile {
+            net_msgs: 7,
+            net_bytes: 1_024,
+            net_ps: 99_000,
+            recovery_net_bytes: 512,
+            ..r.scenarios[0].telemetry.unwrap()
+        };
+        r.scenarios[0].telemetry = Some(profile);
+        r.telemetry = Some(profile);
+        let text = r.to_string_pretty();
+        assert!(text.contains("\"recovery_net_bytes\": 512"));
+        let parsed = CampaignReport::parse(&text).unwrap();
+        assert_eq!(parsed, r);
     }
 
     #[test]

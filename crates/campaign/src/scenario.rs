@@ -176,6 +176,13 @@ pub fn registry() -> Vec<Box<dyn Scenario>> {
     scenarios::all()
 }
 
+/// Build the distributed registry (`campaign run --dist`): the
+/// `adcc::dist` kernels under algorithm-directed local recovery and
+/// global checkpoint restart, same ordering guarantees as [`registry`].
+pub fn dist_registry() -> Vec<Box<dyn Scenario>> {
+    scenarios::dist_all()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +214,30 @@ mod tests {
         assert_eq!(names.len(), before, "duplicate scenario names");
         for s in &reg {
             assert!(s.total_units() > 0, "{} has no crash points", s.name());
+        }
+    }
+
+    #[test]
+    fn dist_registry_pairs_both_recovery_modes_per_kernel() {
+        let reg = dist_registry();
+        assert_eq!(reg.len(), 6);
+        for kernel in [Kernel::Stencil, Kernel::Jacobi, Kernel::Cg] {
+            let mechanisms: Vec<&str> = reg
+                .iter()
+                .filter(|s| s.kernel() == kernel)
+                .map(|s| s.mechanism().name())
+                .collect();
+            assert_eq!(
+                mechanisms,
+                vec!["extended", "checkpoint"],
+                "kernel {} missing a recovery mode",
+                kernel.name()
+            );
+        }
+        for s in &reg {
+            assert!(s.name().starts_with("dist-"), "{}", s.name());
+            assert_eq!(s.platform_name(), "dist-4rank");
+            assert!(s.total_units() > 0);
         }
     }
 }

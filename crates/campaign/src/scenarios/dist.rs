@@ -1,0 +1,335 @@
+//! Distributed scenarios: the `adcc_dist` kernels under both recovery
+//! modes, unit-addressable so the schedule machinery enumerates
+//! `(rank, site)` crash points.
+//!
+//! ## Unit space
+//!
+//! Site-grain units interleave ranks fastest: unit `u` decodes to rank
+//! `u % ranks`, then `(u / ranks) / 2 + 1` as the superstep and
+//! `(u / ranks) % 2` as the phase (`PH_MID` / `PH_END`), so any schedule
+//! prefix already spreads crash points across ranks *and* supersteps.
+//! Dense units (at or above `total_units`) map to access-count triggers on
+//! rank `d % ranks` with thresholds spaced by the scenario's measured
+//! stride — the same subdivision the single-rank scenarios use, per rank.
+
+use adcc_dist::cg::{CgConfig, DistCg};
+use adcc_dist::cluster::Cluster;
+use adcc_dist::jacobi::{DistJacobi, JacobiConfig};
+use adcc_dist::sites;
+use adcc_dist::stencil::{DistStencil, StencilConfig};
+use adcc_dist::trial::{run_dist_trial, DistKernel, RecoveryMode};
+use adcc_sim::crash::{CrashSite, CrashTrigger};
+
+use super::{max_diff, verified_completion};
+use crate::outcome::classify;
+use crate::scenario::{Kernel, Mechanism, Scenario, Trial};
+
+const TOL: f64 = 1e-9;
+
+/// One distributed kernel family: how to name it and build a fresh
+/// cluster + program for one trial.
+trait DistSpec: Send + Sync {
+    type K: DistKernel;
+    fn kernel(&self) -> Kernel;
+    fn name(&self, mode: RecoveryMode) -> &'static str;
+    fn ranks(&self) -> u64;
+    fn iters(&self) -> u64;
+    /// Access-count spacing of dense crash points per rank (calibrated to
+    /// the kernel's measured crash-free per-rank access count).
+    fn dense_stride(&self) -> u64;
+    fn build(&self, mode: RecoveryMode, crash: Option<(usize, CrashTrigger)>)
+        -> (Cluster, Self::K);
+}
+
+struct StencilSpec;
+
+impl DistSpec for StencilSpec {
+    type K = DistStencil;
+    fn kernel(&self) -> Kernel {
+        Kernel::Stencil
+    }
+    fn name(&self, mode: RecoveryMode) -> &'static str {
+        match mode {
+            RecoveryMode::AlgorithmDirected => "dist-stencil-local",
+            RecoveryMode::GlobalRestart => "dist-stencil-restart",
+        }
+    }
+    fn ranks(&self) -> u64 {
+        StencilConfig::campaign(RecoveryMode::AlgorithmDirected).ranks as u64
+    }
+    fn iters(&self) -> u64 {
+        StencilConfig::campaign(RecoveryMode::AlgorithmDirected).iters
+    }
+    fn dense_stride(&self) -> u64 {
+        // ~5.4k crash-free accesses per rank.
+        100
+    }
+    fn build(
+        &self,
+        mode: RecoveryMode,
+        crash: Option<(usize, CrashTrigger)>,
+    ) -> (Cluster, DistStencil) {
+        let cfg = StencilConfig::campaign(mode);
+        let mut cl = Cluster::new(cfg.cluster(), crash);
+        let prog = DistStencil::setup(&mut cl, cfg);
+        (cl, prog)
+    }
+}
+
+struct JacobiSpec;
+
+impl DistSpec for JacobiSpec {
+    type K = DistJacobi;
+    fn kernel(&self) -> Kernel {
+        Kernel::Jacobi
+    }
+    fn name(&self, mode: RecoveryMode) -> &'static str {
+        match mode {
+            RecoveryMode::AlgorithmDirected => "dist-jacobi-local",
+            RecoveryMode::GlobalRestart => "dist-jacobi-restart",
+        }
+    }
+    fn ranks(&self) -> u64 {
+        JacobiConfig::campaign(RecoveryMode::AlgorithmDirected).ranks as u64
+    }
+    fn iters(&self) -> u64 {
+        JacobiConfig::campaign(RecoveryMode::AlgorithmDirected).iters
+    }
+    fn dense_stride(&self) -> u64 {
+        // ~9.7k crash-free accesses per rank.
+        150
+    }
+    fn build(
+        &self,
+        mode: RecoveryMode,
+        crash: Option<(usize, CrashTrigger)>,
+    ) -> (Cluster, DistJacobi) {
+        let cfg = JacobiConfig::campaign(mode);
+        let mut cl = Cluster::new(cfg.cluster(), crash);
+        let prog = DistJacobi::setup(&mut cl, cfg);
+        (cl, prog)
+    }
+}
+
+/// Caches the host-side SPD problem: it is a pure function of the fixed
+/// config, and rebuilding it per trial would dominate dist-CG setup.
+struct CgSpec {
+    a: adcc_linalg::csr::CsrMatrix,
+    b: Vec<f64>,
+}
+
+impl CgSpec {
+    fn new() -> Self {
+        let (a, b) = CgConfig::campaign(RecoveryMode::AlgorithmDirected).problem();
+        CgSpec { a, b }
+    }
+}
+
+impl DistSpec for CgSpec {
+    type K = DistCg;
+    fn kernel(&self) -> Kernel {
+        Kernel::Cg
+    }
+    fn name(&self, mode: RecoveryMode) -> &'static str {
+        match mode {
+            RecoveryMode::AlgorithmDirected => "dist-cg-local",
+            RecoveryMode::GlobalRestart => "dist-cg-restart",
+        }
+    }
+    fn ranks(&self) -> u64 {
+        CgConfig::campaign(RecoveryMode::AlgorithmDirected).ranks as u64
+    }
+    fn iters(&self) -> u64 {
+        CgConfig::campaign(RecoveryMode::AlgorithmDirected).iters
+    }
+    fn dense_stride(&self) -> u64 {
+        // ~15k crash-free accesses per rank.
+        250
+    }
+    fn build(&self, mode: RecoveryMode, crash: Option<(usize, CrashTrigger)>) -> (Cluster, DistCg) {
+        let cfg = CgConfig::campaign(mode);
+        let mut cl = Cluster::new(cfg.cluster(), crash);
+        let prog = DistCg::setup_with_problem(&mut cl, cfg, &self.a, &self.b);
+        (cl, prog)
+    }
+}
+
+/// A distributed scenario: one kernel family under one recovery mode,
+/// classified against its own crash-free cluster run.
+struct Dist<S: DistSpec> {
+    spec: S,
+    mode: RecoveryMode,
+    reference: Vec<f64>,
+}
+
+impl<S: DistSpec> Dist<S> {
+    fn new(spec: S, mode: RecoveryMode) -> Self {
+        let (mut cl, mut kernel) = spec.build(mode, None);
+        let reference = run_dist_trial(&mut cl, &mut kernel, false).solution;
+        Dist {
+            spec,
+            mode,
+            reference,
+        }
+    }
+
+    /// Decode a scheduled unit into the rank to kill and its trigger.
+    fn decode(&self, unit: u64) -> (usize, CrashTrigger) {
+        let ranks = self.spec.ranks();
+        let total = self.total_units();
+        if unit < total {
+            let rank = (unit % ranks) as usize;
+            let rest = unit / ranks;
+            let iter = rest / 2 + 1;
+            let phase = if rest.is_multiple_of(2) {
+                sites::PH_MID
+            } else {
+                sites::PH_END
+            };
+            (
+                rank,
+                CrashTrigger::AtSite {
+                    site: CrashSite::new(phase, iter),
+                    occurrence: 1,
+                },
+            )
+        } else {
+            let d = unit - total;
+            let rank = (d % ranks) as usize;
+            (
+                rank,
+                CrashTrigger::AtAccessCount((d / ranks + 1) * self.dense_stride()),
+            )
+        }
+    }
+}
+
+impl<S: DistSpec> Scenario for Dist<S> {
+    fn name(&self) -> &'static str {
+        self.spec.name(self.mode)
+    }
+    fn kernel(&self) -> Kernel {
+        self.spec.kernel()
+    }
+    fn mechanism(&self) -> Mechanism {
+        match self.mode {
+            RecoveryMode::AlgorithmDirected => Mechanism::Extended,
+            RecoveryMode::GlobalRestart => Mechanism::Checkpoint,
+        }
+    }
+    fn platform_name(&self) -> &'static str {
+        "dist-4rank"
+    }
+    fn total_units(&self) -> u64 {
+        self.spec.ranks() * self.spec.iters() * 2
+    }
+    fn dense_stride(&self) -> u64 {
+        self.spec.dense_stride()
+    }
+    fn site_trigger(&self, unit: u64) -> CrashTrigger {
+        self.decode(unit).1
+    }
+    fn trigger_of(&self, unit: u64) -> CrashTrigger {
+        self.decode(unit).1
+    }
+
+    fn run_trial(&self, unit: u64, telemetry: bool) -> Trial {
+        let (rank, trigger) = self.decode(unit);
+        let (mut cl, mut kernel) = self.spec.build(self.mode, Some((rank, trigger)));
+        let t = run_dist_trial(&mut cl, &mut kernel, telemetry);
+        let matches = max_diff(&t.solution, &self.reference) < TOL;
+        if t.completed_clean {
+            return verified_completion(matches, unit, t.profile);
+        }
+        Trial {
+            unit,
+            outcome: classify(t.detected, matches, t.lost_units),
+            lost_units: t.lost_units,
+            sim_time_ps: t.sim_time_ps,
+            telemetry: t.profile,
+        }
+    }
+}
+
+/// Every distributed scenario, in report order: each kernel family under
+/// algorithm-directed local recovery and global checkpoint restart.
+pub fn all() -> Vec<Box<dyn Scenario>> {
+    vec![
+        Box::new(Dist::new(StencilSpec, RecoveryMode::AlgorithmDirected)),
+        Box::new(Dist::new(StencilSpec, RecoveryMode::GlobalRestart)),
+        Box::new(Dist::new(JacobiSpec, RecoveryMode::AlgorithmDirected)),
+        Box::new(Dist::new(JacobiSpec, RecoveryMode::GlobalRestart)),
+        Box::new(Dist::new(CgSpec::new(), RecoveryMode::AlgorithmDirected)),
+        Box::new(Dist::new(CgSpec::new(), RecoveryMode::GlobalRestart)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::Outcome;
+
+    #[test]
+    fn unit_decode_interleaves_ranks_then_supersteps() {
+        let s = Dist::new(StencilSpec, RecoveryMode::AlgorithmDirected);
+        let ranks = s.spec.ranks();
+        // Units 0..ranks are the MID polls of superstep 1, one per rank.
+        for u in 0..ranks {
+            let (rank, trigger) = s.decode(u);
+            assert_eq!(rank as u64, u);
+            assert_eq!(
+                trigger,
+                CrashTrigger::AtSite {
+                    site: CrashSite::new(sites::PH_MID, 1),
+                    occurrence: 1
+                }
+            );
+        }
+        // The next block is the END polls of superstep 1.
+        let (_, trigger) = s.decode(ranks);
+        assert_eq!(
+            trigger,
+            CrashTrigger::AtSite {
+                site: CrashSite::new(sites::PH_END, 1),
+                occurrence: 1
+            }
+        );
+        // Dense units spread across ranks with growing thresholds.
+        let total = s.total_units();
+        let (rank, trigger) = s.decode(total + 5);
+        assert_eq!(rank as u64, 5 % ranks);
+        assert_eq!(trigger, CrashTrigger::AtAccessCount(200));
+    }
+
+    #[test]
+    fn every_site_unit_of_one_superstep_recovers_exactly_under_local() {
+        let s = Dist::new(StencilSpec, RecoveryMode::AlgorithmDirected);
+        let ranks = s.spec.ranks();
+        // Superstep 4's MID and END units across all ranks.
+        for u in (3 * 2 * ranks)..(4 * 2 * ranks) {
+            let t = s.run_trial(u, false);
+            assert_eq!(t.outcome, Outcome::RecoveredExact, "unit {u}");
+        }
+    }
+
+    #[test]
+    fn restart_units_recover_by_recomputation_between_checkpoints() {
+        let s = Dist::new(JacobiSpec, RecoveryMode::GlobalRestart);
+        let ranks = s.spec.ranks();
+        // Superstep 5 MID (frontier 4, checkpoint 3): one superstep of
+        // cluster-wide re-execution.
+        let unit = (5 - 1) * 2 * ranks;
+        let t = s.run_trial(unit, true);
+        assert_eq!(t.outcome, Outcome::RecoveredRecomputed);
+        assert_eq!(t.lost_units, ranks);
+        let p = t.telemetry.expect("telemetry requested");
+        assert!(p.recovery_net_bytes > 0);
+    }
+
+    #[test]
+    fn dense_units_past_the_run_complete_clean() {
+        let s = Dist::new(CgSpec::new(), RecoveryMode::AlgorithmDirected);
+        let t = s.run_trial(s.total_units() + 100 * s.spec.ranks(), false);
+        assert_eq!(t.outcome, Outcome::CompletedClean);
+    }
+}

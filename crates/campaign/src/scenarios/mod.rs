@@ -3,6 +3,7 @@
 
 mod bicgstab;
 mod cg;
+mod dist;
 mod harness;
 mod jacobi;
 mod lu;
@@ -14,6 +15,12 @@ use adcc_telemetry::ExecutionProfile;
 
 use crate::outcome::Outcome;
 use crate::scenario::{Scenario, Trial};
+
+/// Every distributed scenario (the `--dist` registry), in report order:
+/// three kernel families × two recovery modes over a 4-rank cluster.
+pub fn dist_all() -> Vec<Box<dyn Scenario>> {
+    dist::all()
+}
 
 /// Every registered scenario, in report order. All six kernel families
 /// appear with at least two mechanisms each (the campaign acceptance

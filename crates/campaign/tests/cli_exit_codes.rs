@@ -1,0 +1,105 @@
+//! Exit-code contract of the `campaign` binary: unknown flags and
+//! malformed invocations exit nonzero with usage on stderr, for every
+//! subcommand — the behavior CI's smoke jobs rely on to fail loudly when
+//! a workflow file passes a flag the binary no longer (or does not yet)
+//! understand.
+
+use std::process::{Command, Output};
+
+fn campaign(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_campaign"))
+        .args(args)
+        .output()
+        .expect("spawn campaign binary")
+}
+
+fn assert_usage_failure(args: &[&str]) {
+    let out = campaign(args);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "{args:?} should exit 1, got {:?}",
+        out.status
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("usage:"),
+        "{args:?} stderr lacks usage:\n{stderr}"
+    );
+}
+
+#[test]
+fn unknown_flags_exit_nonzero_with_usage_on_stderr() {
+    for sub in ["run", "replay", "cost", "bench"] {
+        let out = campaign(&[sub, "--bogus-flag"]);
+        assert_eq!(out.status.code(), Some(1), "{sub} --bogus-flag");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("unknown option") && stderr.contains("usage:"),
+            "{sub} stderr:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn unknown_subcommand_exits_nonzero_with_usage() {
+    let out = campaign(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown subcommand") && stderr.contains("usage:"));
+}
+
+#[test]
+fn compare_arity_errors_exit_nonzero() {
+    assert_usage_failure(&["compare"]);
+    assert_usage_failure(&["compare", "only-one.json"]);
+    assert_usage_failure(&["compare", "a.json", "b.json", "--bogus"]);
+}
+
+#[test]
+fn replay_without_inputs_exits_nonzero() {
+    let out = campaign(&["replay"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--seed"), "stderr:\n{stderr}");
+}
+
+#[test]
+fn expect_flag_is_replay_only() {
+    let out = campaign(&["run", "--expect", "whatever.json"]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn value_flags_without_values_exit_nonzero() {
+    for args in [
+        vec!["run", "--seed"],
+        vec!["run", "--budget-states"],
+        vec!["cost", "--schedule"],
+    ] {
+        let out = campaign(&args);
+        assert_eq!(out.status.code(), Some(1), "{args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("needs a value"), "{args:?}:\n{stderr}");
+    }
+}
+
+#[test]
+fn help_and_a_tiny_run_exit_zero() {
+    assert_eq!(campaign(&["--help"]).status.code(), Some(0));
+    let out = campaign(&[
+        "run",
+        "--budget-states",
+        "3",
+        "--seed",
+        "1",
+        "--threads",
+        "2",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -1,0 +1,618 @@
+//! Distributed conjugate gradient: block-row decomposition with
+//! allgathered search directions and rank-ordered allreduces, under both
+//! recovery modes.
+//!
+//! Each rank owns a row block of the SPD matrix (seeded into its NVM) and
+//! the matching segments of `x`, `r`, and `p`; the full `p` is replicated
+//! via an allgather at the start of every superstep, and the two dot
+//! products reduce in rank order. Persistence follows the paper's extended
+//! scheme lifted to partitions (AlgorithmDirected: the iterate segments,
+//! `rho`, and a counter go into a double-buffered NVM ring every
+//! superstep) or coordinated checkpoint/restart (GlobalRestart). A failed
+//! rank's segment reconstruction needs the current `p` — under
+//! AlgorithmDirected the survivors re-send only their segments to the one
+//! failed rank, versus a cluster-wide rollback, re-allgather, and
+//! re-execution under GlobalRestart.
+
+use adcc_ckpt::mem::{MemCheckpoint, MemCheckpointLayout};
+use adcc_linalg::csr::CsrMatrix;
+use adcc_linalg::spd::random_spd;
+use adcc_sim::clock::Bucket;
+use adcc_sim::crash::CrashSite;
+use adcc_sim::parray::{PArray, PScalar};
+use adcc_sim::system::SystemConfig;
+
+use crate::cluster::{Cluster, ClusterConfig};
+use crate::net::NetTiming;
+use crate::sites;
+use crate::trial::{CrashInfo, DistKernel, Recovery, RecoveryMode};
+
+/// Problem and mechanism parameters.
+#[derive(Debug, Clone)]
+pub struct CgConfig {
+    /// Number of ranks.
+    pub ranks: usize,
+    /// CG iterations (supersteps).
+    pub iters: u64,
+    /// Matrix dimension (must divide evenly by `ranks`).
+    pub n: usize,
+    /// Random off-diagonal entries per row of the SPD problem.
+    pub extras_per_row: usize,
+    /// SPD problem seed.
+    pub problem_seed: u64,
+    /// Persistence mechanism and recovery mode.
+    pub mode: RecoveryMode,
+    /// Checkpoint period of the GlobalRestart mechanism, in supersteps.
+    pub ckpt_period: u64,
+    /// Fabric jitter seed.
+    pub net_seed: u64,
+}
+
+impl CgConfig {
+    /// The campaign preset: 4 ranks, 10 iterations, n = 96.
+    pub fn campaign(mode: RecoveryMode) -> Self {
+        CgConfig {
+            ranks: 4,
+            iters: 10,
+            n: 96,
+            extras_per_row: 4,
+            problem_seed: 515,
+            mode,
+            ckpt_period: 3,
+            net_seed: 0xd157_0003,
+        }
+    }
+
+    /// The matching cluster configuration.
+    pub fn cluster(&self) -> ClusterConfig {
+        let mut sys = SystemConfig::nvm_only(16 << 10, 128 << 10);
+        sys.dram_capacity = 512 << 10;
+        ClusterConfig {
+            ranks: self.ranks,
+            sys,
+            net: NetTiming::cluster_2017(),
+            net_seed: self.net_seed,
+        }
+    }
+
+    /// The host-side SPD problem this config describes: the matrix and
+    /// `b = A·1`. Pure function of the config — campaign scenarios build
+    /// it once and share it across every trial's cluster setup.
+    pub fn problem(&self) -> (CsrMatrix, Vec<f64>) {
+        let a = random_spd(self.n, self.extras_per_row, self.problem_seed);
+        let ones = vec![1.0; self.n];
+        let mut b = vec![0.0; self.n];
+        a.spmv(&ones, &mut b);
+        (a, b)
+    }
+}
+
+/// The distributed CG program.
+pub struct DistCg {
+    cfg: CgConfig,
+    /// Rows (and vector elements) per rank.
+    m: usize,
+    /// Host copy of each rank's local row pointer (structure metadata;
+    /// matrix *values* are read charged from NVM every iteration).
+    rowptr: Vec<Vec<usize>>,
+    /// Current `rho` (every rank holds the same value after the setup and
+    /// each superstep's allreduce; recovery re-reads it from NVM/ckpt).
+    rho: f64,
+    /// NVM matrix values per rank.
+    a_vals: Vec<PArray<f64>>,
+    /// NVM matrix column indices per rank.
+    a_cols: Vec<PArray<u32>>,
+    /// Volatile solution/residual/direction segments per rank.
+    x_r: Vec<PArray<f64>>,
+    r_r: Vec<PArray<f64>>,
+    p_r: Vec<PArray<f64>>,
+    /// Volatile scratch `q = A p` segment per rank.
+    q_r: Vec<PArray<f64>>,
+    /// Volatile replicated full `p` per rank.
+    p_full: Vec<PArray<f64>>,
+    /// NVM double-buffered iterate ring (AlgorithmDirected): `x‖r‖p`
+    /// segments concatenated, one slot per parity.
+    slots: Vec<[PArray<f64>; 2]>,
+    /// NVM persisted `rho` per ring parity (AlgorithmDirected).
+    slot_rho: Vec<PArray<f64>>,
+    /// NVM persisted iteration counters (AlgorithmDirected).
+    counters: Vec<PScalar<u64>>,
+    /// Per-rank checkpoint managers (GlobalRestart).
+    ckpts: Vec<MemCheckpoint>,
+    /// Their persistent layouts.
+    layouts: Vec<MemCheckpointLayout>,
+    /// Volatile `rho` mirror in the checkpoint payload (GlobalRestart).
+    rho_cells: Vec<PArray<f64>>,
+    /// Volatile iterate markers in the checkpoint payload.
+    ck_iters: Vec<PArray<u64>>,
+    /// Checkpoint regions per rank.
+    regions: Vec<Vec<(u64, usize)>>,
+}
+
+impl DistCg {
+    /// Allocate and initialize the program, deriving the host problem
+    /// from the config (see [`DistCg::setup_with_problem`] to share one).
+    pub fn setup(cl: &mut Cluster, cfg: CgConfig) -> Self {
+        let (a, b) = cfg.problem();
+        Self::setup_with_problem(cl, cfg, &a, &b)
+    }
+
+    /// Allocate and initialize the program against a prebuilt host
+    /// problem: seed the row blocks and `b` segments into per-rank NVM,
+    /// start from `x = 0, r = p = b`, compute `rho₀` with a charged
+    /// allreduce, persist iterate 0.
+    pub fn setup_with_problem(cl: &mut Cluster, cfg: CgConfig, a: &CsrMatrix, b: &[f64]) -> Self {
+        assert!(cfg.n.is_multiple_of(cfg.ranks), "n must split evenly");
+        assert_eq!(cl.ranks(), cfg.ranks, "cluster/config rank mismatch");
+        assert_eq!(a.n(), cfg.n, "problem/config dimension mismatch");
+        let m = cfg.n / cfg.ranks;
+        let mut prog = DistCg {
+            m,
+            rowptr: Vec::new(),
+            rho: 0.0,
+            a_vals: Vec::new(),
+            a_cols: Vec::new(),
+            x_r: Vec::new(),
+            r_r: Vec::new(),
+            p_r: Vec::new(),
+            q_r: Vec::new(),
+            p_full: Vec::new(),
+            slots: Vec::new(),
+            slot_rho: Vec::new(),
+            counters: Vec::new(),
+            ckpts: Vec::new(),
+            layouts: Vec::new(),
+            rho_cells: Vec::new(),
+            ck_iters: Vec::new(),
+            regions: Vec::new(),
+            cfg,
+        };
+        for rank in 0..prog.cfg.ranks {
+            let lo = rank * m;
+            // Local CSR slice: rows lo..lo+m with a rebased row pointer.
+            let mut local_ptr = Vec::with_capacity(m + 1);
+            let mut vals = Vec::new();
+            let mut cols = Vec::new();
+            local_ptr.push(0);
+            let (rp, ci, av) = (a.row_ptr(), a.col_idx(), a.vals());
+            for row in lo..lo + m {
+                for k in rp[row]..rp[row + 1] {
+                    vals.push(av[k]);
+                    cols.push(ci[k]);
+                }
+                local_ptr.push(vals.len());
+            }
+            let sys = cl.system_mut(rank);
+            let a_vals = PArray::<f64>::alloc_nvm(sys, vals.len());
+            let a_cols = PArray::<u32>::alloc_nvm(sys, cols.len());
+            a_vals.seed_slice(sys, &vals);
+            a_cols.seed_slice(sys, &cols);
+            let b_seg = PArray::<f64>::alloc_nvm(sys, m);
+            b_seg.seed_slice(sys, &b[lo..lo + m]);
+
+            let x_r = PArray::<f64>::alloc_dram(sys, m);
+            let r_r = PArray::<f64>::alloc_dram(sys, m);
+            let p_r = PArray::<f64>::alloc_dram(sys, m);
+            let q_r = PArray::<f64>::alloc_dram(sys, m);
+            let p_full = PArray::<f64>::alloc_dram(sys, prog.cfg.n);
+            for j in 0..m {
+                let bv = b_seg.get(sys, j);
+                x_r.set(sys, j, 0.0);
+                r_r.set(sys, j, bv);
+                p_r.set(sys, j, bv);
+            }
+            prog.rowptr.push(local_ptr);
+            prog.a_vals.push(a_vals);
+            prog.a_cols.push(a_cols);
+            prog.x_r.push(x_r);
+            prog.r_r.push(r_r);
+            prog.p_r.push(p_r);
+            prog.q_r.push(q_r);
+            prog.p_full.push(p_full);
+        }
+        // rho₀ = rᵀr via the charged rank-ordered allreduce.
+        let partials: Vec<f64> = (0..prog.cfg.ranks)
+            .map(|rank| {
+                let sys = cl.system_mut(rank);
+                (0..m)
+                    .map(|j| {
+                        let v = prog.r_r[rank].get(sys, j);
+                        sys.charge_flops(2);
+                        v * v
+                    })
+                    .sum()
+            })
+            .collect();
+        prog.rho = cl.allreduce_sum(&partials);
+        // Persist iterate 0 under the configured mechanism.
+        for rank in 0..prog.cfg.ranks {
+            let sys = cl.system_mut(rank);
+            match prog.cfg.mode {
+                RecoveryMode::AlgorithmDirected => {
+                    let slots = [
+                        PArray::<f64>::alloc_nvm(sys, 3 * m),
+                        PArray::<f64>::alloc_nvm(sys, 3 * m),
+                    ];
+                    let slot_rho = PArray::<f64>::alloc_nvm(sys, 2);
+                    for j in 0..m {
+                        let x = prog.x_r[rank].get(sys, j);
+                        let r = prog.r_r[rank].get(sys, j);
+                        let p = prog.p_r[rank].get(sys, j);
+                        slots[0].set(sys, j, x);
+                        slots[0].set(sys, m + j, r);
+                        slots[0].set(sys, 2 * m + j, p);
+                    }
+                    slot_rho.set(sys, 0, prog.rho);
+                    slots[0].persist_all(sys);
+                    slot_rho.persist_all(sys);
+                    sys.sfence();
+                    let counter = PScalar::<u64>::alloc_nvm(sys);
+                    counter.set(sys, 0);
+                    counter.persist(sys);
+                    sys.sfence();
+                    prog.slots.push(slots);
+                    prog.slot_rho.push(slot_rho);
+                    prog.counters.push(counter);
+                }
+                RecoveryMode::GlobalRestart => {
+                    let rho_cell = PArray::<f64>::alloc_dram(sys, 1);
+                    rho_cell.set(sys, 0, prog.rho);
+                    let ck_iter = PArray::<u64>::alloc_dram(sys, 1);
+                    ck_iter.set(sys, 0, 0);
+                    let regions = vec![
+                        (prog.x_r[rank].base(), m * 8),
+                        (prog.r_r[rank].base(), m * 8),
+                        (prog.p_r[rank].base(), m * 8),
+                        (rho_cell.base(), 8),
+                        (ck_iter.base(), 8),
+                    ];
+                    let mut ckpt = MemCheckpoint::new(sys, 3 * m * 8 + 16, false);
+                    ckpt.checkpoint(sys, &regions);
+                    prog.layouts.push(ckpt.layout());
+                    prog.ckpts.push(ckpt);
+                    prog.rho_cells.push(rho_cell);
+                    prog.ck_iters.push(ck_iter);
+                    prog.regions.push(regions);
+                }
+            }
+        }
+        prog
+    }
+
+    /// Allgather the `p` segments into every rank's replicated `p_full`,
+    /// rank order, then synchronize.
+    fn allgather_p(&mut self, cl: &mut Cluster) {
+        let p = self.cfg.ranks;
+        let m = self.m;
+        for rank in 0..p {
+            let sys = cl.system_mut(rank);
+            let seg: Vec<f64> = (0..m).map(|j| self.p_r[rank].get(sys, j)).collect();
+            for dst in 0..p {
+                if dst != rank {
+                    cl.send(rank, dst, &seg);
+                }
+            }
+        }
+        for dst in 0..p {
+            for src in 0..p {
+                if src == dst {
+                    let sys = cl.system_mut(dst);
+                    for j in 0..m {
+                        let v = self.p_r[dst].get(sys, j);
+                        self.p_full[dst].set(sys, dst * m + j, v);
+                    }
+                } else {
+                    let seg = cl.recv(src, dst);
+                    let sys = cl.system_mut(dst);
+                    for (j, v) in seg.iter().enumerate() {
+                        self.p_full[dst].set(sys, src * m + j, *v);
+                    }
+                }
+            }
+        }
+        cl.barrier();
+    }
+
+    fn crash(&self, cl: &mut Cluster, rank: usize, iter: u64, phase: u32) -> CrashInfo {
+        CrashInfo {
+            rank,
+            iter,
+            site: CrashSite::new(phase, iter),
+            image: cl.crash_rank(rank),
+        }
+    }
+
+    /// Segment-assisted reconstruction: every survivor re-sends its `p`
+    /// segment to the one failed rank, which refills its replicated
+    /// `p_full` (own segment from the restored ring).
+    fn segment_assist(&mut self, cl: &mut Cluster, rank: usize) {
+        let p = self.cfg.ranks;
+        let m = self.m;
+        for src in 0..p {
+            if src == rank {
+                continue;
+            }
+            let sys = cl.system_mut(src);
+            let seg: Vec<f64> = (0..m).map(|j| self.p_r[src].get(sys, j)).collect();
+            cl.send(src, rank, &seg);
+        }
+        for src in 0..p {
+            if src == rank {
+                let sys = cl.system_mut(rank);
+                for j in 0..m {
+                    let v = self.p_r[rank].get(sys, j);
+                    self.p_full[rank].set(sys, rank * m + j, v);
+                }
+            } else {
+                let seg = cl.recv(src, rank);
+                let sys = cl.system_mut(rank);
+                for (j, v) in seg.iter().enumerate() {
+                    self.p_full[rank].set(sys, src * m + j, *v);
+                }
+            }
+        }
+    }
+}
+
+impl DistKernel for DistCg {
+    fn iters(&self) -> u64 {
+        self.cfg.iters
+    }
+
+    fn superstep(&mut self, cl: &mut Cluster, iter: u64, exchange: bool) -> Option<CrashInfo> {
+        let p = self.cfg.ranks;
+        let m = self.m;
+        if exchange {
+            self.allgather_p(cl);
+        }
+        // Compute phase 1: q = A p (local rows), partial pᵀq — then MID
+        // polls (no persistence has happened this superstep).
+        let mut pq = vec![0.0f64; p];
+        for rank in 0..p {
+            let sys = cl.system_mut(rank);
+            let mut partial = 0.0;
+            for j in 0..m {
+                let (lo, hi) = (self.rowptr[rank][j], self.rowptr[rank][j + 1]);
+                let mut acc = 0.0;
+                for k in lo..hi {
+                    let v = self.a_vals[rank].get(sys, k);
+                    let c = self.a_cols[rank].get(sys, k) as usize;
+                    acc += v * self.p_full[rank].get(sys, c);
+                }
+                sys.charge_flops(2 * (hi - lo) as u64 + 2);
+                self.q_r[rank].set(sys, j, acc);
+                partial += self.p_full[rank].get(sys, rank * m + j) * acc;
+            }
+            pq[rank] = partial;
+        }
+        for rank in 0..p {
+            if cl.poll(rank, CrashSite::new(sites::PH_MID, iter)) {
+                return Some(self.crash(cl, rank, iter, sites::PH_MID));
+            }
+        }
+        let denom = cl.allreduce_sum(&pq);
+        let alpha = self.rho / denom;
+        // Compute phase 2: advance x and r, reduce the new rho, update p.
+        let mut rr = vec![0.0f64; p];
+        for rank in 0..p {
+            let sys = cl.system_mut(rank);
+            let mut partial = 0.0;
+            for j in 0..m {
+                let pj = self.p_full[rank].get(sys, rank * m + j);
+                let qj = self.q_r[rank].get(sys, j);
+                let xj = self.x_r[rank].get(sys, j) + alpha * pj;
+                let rj = self.r_r[rank].get(sys, j) - alpha * qj;
+                sys.charge_flops(6);
+                self.x_r[rank].set(sys, j, xj);
+                self.r_r[rank].set(sys, j, rj);
+                partial += rj * rj;
+            }
+            rr[rank] = partial;
+        }
+        let rho_new = cl.allreduce_sum(&rr);
+        let beta = rho_new / self.rho;
+        for rank in 0..p {
+            let sys = cl.system_mut(rank);
+            for j in 0..m {
+                let rj = self.r_r[rank].get(sys, j);
+                let pj = self.p_full[rank].get(sys, rank * m + j);
+                sys.charge_flops(2);
+                self.p_r[rank].set(sys, j, rj + beta * pj);
+            }
+        }
+        self.rho = rho_new;
+        // Persist phase for every rank, then END polls.
+        for rank in 0..p {
+            let sys = cl.system_mut(rank);
+            match self.cfg.mode {
+                RecoveryMode::AlgorithmDirected => {
+                    let parity = (iter % 2) as usize;
+                    let slot = self.slots[rank][parity];
+                    for j in 0..m {
+                        let x = self.x_r[rank].get(sys, j);
+                        let r = self.r_r[rank].get(sys, j);
+                        let pv = self.p_r[rank].get(sys, j);
+                        slot.set(sys, j, x);
+                        slot.set(sys, m + j, r);
+                        slot.set(sys, 2 * m + j, pv);
+                    }
+                    self.slot_rho[rank].set(sys, parity, self.rho);
+                    slot.persist_all(sys);
+                    self.slot_rho[rank].persist_all(sys);
+                    sys.sfence();
+                    self.counters[rank].set(sys, iter);
+                    self.counters[rank].persist(sys);
+                    sys.sfence();
+                }
+                RecoveryMode::GlobalRestart => {
+                    self.rho_cells[rank].set(sys, 0, self.rho);
+                    if iter.is_multiple_of(self.cfg.ckpt_period) {
+                        self.ck_iters[rank].set(sys, 0, iter);
+                        let regions = self.regions[rank].clone();
+                        self.ckpts[rank].checkpoint(sys, &regions);
+                    }
+                }
+            }
+        }
+        for rank in 0..p {
+            if cl.poll(rank, CrashSite::new(sites::PH_END, iter)) {
+                return Some(self.crash(cl, rank, iter, sites::PH_END));
+            }
+        }
+        cl.barrier();
+        None
+    }
+
+    /// Coordinated rollback. The checkpoints must agree rank-to-rank
+    /// (iterate and `rho` alike); a rank without a valid level cannot be
+    /// repaired by formula here — the iterate is data-dependent — and the
+    /// setup checkpoint always exists, so that case is a protocol bug.
+    fn restart_rollback(&mut self, cl: &mut Cluster, failed: usize) -> (bool, u64) {
+        self.ckpts[failed] = MemCheckpoint::attach(self.layouts[failed], false);
+        let mut restored: Vec<(u64, f64)> = Vec::with_capacity(self.cfg.ranks);
+        for r in 0..self.cfg.ranks {
+            let sys = cl.system_mut(r);
+            let prev = sys.clock_mut().set_bucket(Bucket::Resume);
+            let got = self.ckpts[r].restore(sys, &self.regions[r]);
+            assert!(got.is_some(), "the setup checkpoint always exists");
+            restored.push((self.ck_iters[r].get(sys, 0), self.rho_cells[r].get(sys, 0)));
+            sys.clock_mut().set_bucket(prev);
+        }
+        let (cc, rho) = restored[0];
+        assert!(
+            restored
+                .iter()
+                .all(|&(i, p)| i == cc && p.to_bits() == rho.to_bits()),
+            "coordinated checkpoints disagree across ranks: {restored:?}"
+        );
+        self.rho = rho;
+        cl.barrier();
+        (false, cc)
+    }
+
+    fn recover(&mut self, cl: &mut Cluster, crash: CrashInfo) -> Recovery {
+        let frontier = crash.frontier();
+        cl.reboot_rank(crash.rank, &crash.image);
+        match self.cfg.mode {
+            RecoveryMode::AlgorithmDirected => {
+                let rank = crash.rank;
+                let m = self.m;
+                let sys = cl.system_mut(rank);
+                let prev = sys.clock_mut().set_bucket(Bucket::Detect);
+                let c = self.counters[rank].get(sys);
+                debug_assert_eq!(c, frontier, "extended counter trails the frontier");
+                sys.clock_mut().set_bucket(Bucket::Resume);
+                let parity = (c % 2) as usize;
+                let slot = self.slots[rank][parity];
+                for j in 0..m {
+                    let x = slot.get(sys, j);
+                    let r = slot.get(sys, m + j);
+                    let pv = slot.get(sys, 2 * m + j);
+                    self.x_r[rank].set(sys, j, x);
+                    self.r_r[rank].set(sys, j, r);
+                    self.p_r[rank].set(sys, j, pv);
+                }
+                // `rho` is global state; the failed rank's persisted copy
+                // matches the survivors' volatile one at the frontier.
+                self.rho = self.slot_rho[rank].get(sys, parity);
+                sys.clock_mut().set_bucket(prev);
+                if crash.site.phase == sites::PH_MID {
+                    // The in-flight superstep's replicated `p` was
+                    // allgathered at its start and wiped on the failed
+                    // rank: survivors re-send their segments to it only.
+                    self.segment_assist(cl, rank);
+                }
+                cl.barrier();
+                crate::trial::algorithm_directed_plan(&crash)
+            }
+            RecoveryMode::GlobalRestart => crate::trial::global_restart_recover(self, cl, &crash),
+        }
+    }
+
+    fn solution(&self, cl: &Cluster) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.cfg.n);
+        for rank in 0..self.cfg.ranks {
+            let sys = cl.system(rank);
+            for j in 0..self.m {
+                out.push(self.x_r[rank].peek(sys, j));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trial::run_dist_trial;
+    use adcc_sim::crash::CrashTrigger;
+
+    fn config(mode: RecoveryMode) -> CgConfig {
+        CgConfig {
+            n: 48,
+            ..CgConfig::campaign(mode)
+        }
+    }
+
+    fn run(crash: Option<(usize, CrashTrigger)>, mode: RecoveryMode) -> crate::trial::DistTrial {
+        let cfg = config(mode);
+        let mut cl = Cluster::new(cfg.cluster(), crash);
+        let mut prog = DistCg::setup(&mut cl, cfg);
+        run_dist_trial(&mut cl, &mut prog, true)
+    }
+
+    fn site_trigger(phase: u32, iter: u64) -> CrashTrigger {
+        CrashTrigger::AtSite {
+            site: CrashSite::new(phase, iter),
+            occurrence: 1,
+        }
+    }
+
+    #[test]
+    fn crash_free_run_converges_toward_ones() {
+        let trial = run(None, RecoveryMode::AlgorithmDirected);
+        assert!(trial.completed_clean);
+        // b = A·1, so CG heads for the all-ones vector.
+        let err = trial
+            .solution
+            .iter()
+            .map(|v| (v - 1.0).abs())
+            .fold(0.0f64, f64::max);
+        assert!(err < 0.5, "10 iterations should be well on the way: {err}");
+    }
+
+    #[test]
+    fn both_recovery_modes_reproduce_the_crash_free_solution_bitwise() {
+        for mode in [RecoveryMode::AlgorithmDirected, RecoveryMode::GlobalRestart] {
+            let reference = run(None, mode).solution;
+            for (rank, phase, iter) in [(1, sites::PH_MID, 6), (2, sites::PH_END, 3)] {
+                let trial = run(Some((rank, site_trigger(phase, iter))), mode);
+                assert!(!trial.completed_clean);
+                assert_eq!(
+                    trial.solution, reference,
+                    "{mode:?} rank {rank} phase {phase:#x} iter {iter}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn local_recovery_sends_a_fraction_of_restart_traffic() {
+        let local = run(
+            Some((1, site_trigger(sites::PH_MID, 8))),
+            RecoveryMode::AlgorithmDirected,
+        );
+        let restart = run(
+            Some((1, site_trigger(sites::PH_MID, 8))),
+            RecoveryMode::GlobalRestart,
+        );
+        assert_eq!(local.lost_units, 0);
+        assert!(restart.lost_units > 0);
+        assert!(
+            restart.recovery_net_bytes > 2 * local.recovery_net_bytes,
+            "restart {} !>> local {}",
+            restart.recovery_net_bytes,
+            local.recovery_net_bytes
+        );
+    }
+}

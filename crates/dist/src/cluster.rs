@@ -1,0 +1,268 @@
+//! The cluster: N per-rank crash emulators joined by one [`Fabric`].
+//!
+//! ## Lifecycle
+//!
+//! 1. [`Cluster::new`] builds one cold [`MemorySystem`] per rank (each
+//!    with its own clock, caches, and NVM pool) and arms at most one rank
+//!    with a crash trigger — rank-granular injection.
+//! 2. Kernels drive the ranks in **rank order** through BSP supersteps,
+//!    polling instrumented sites on every rank; a fired poll crashes that
+//!    rank only ([`Cluster::crash_rank`] returns its NVM image, volatile
+//!    state discarded).
+//! 3. Recovery reboots the failed rank from the image
+//!    ([`Cluster::reboot_rank`]) — same NVM bytes, cold caches, wiped
+//!    DRAM-direct scratch — while the survivors keep their live systems.
+//!
+//! Collectives ([`Cluster::allreduce_sum`], [`Cluster::barrier`]) reduce
+//! in rank order and synchronize the per-rank clocks to the cluster
+//! frontier, charging the waits to [`Bucket::Network`].
+
+use adcc_sim::clock::Bucket;
+use adcc_sim::crash::{CrashEmulator, CrashSite, CrashTrigger};
+use adcc_sim::image::NvmImage;
+use adcc_sim::system::{MemorySystem, SystemConfig};
+
+use crate::net::{decode_f64s, encode_f64s, Fabric, NetTiming, NetTraffic};
+
+/// Static configuration of a [`Cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of ranks.
+    pub ranks: usize,
+    /// Per-rank memory-system configuration (every rank is identical).
+    pub sys: SystemConfig,
+    /// Fabric timing model.
+    pub net: NetTiming,
+    /// Seed for the fabric's latency jitter.
+    pub net_seed: u64,
+}
+
+/// A deterministic single-process cluster.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    emus: Vec<CrashEmulator>,
+    fabric: Fabric,
+}
+
+impl Cluster {
+    /// Build a cold cluster. `crash` arms one rank with a trigger; every
+    /// other rank (or all of them, when `crash` is `None`) runs with
+    /// [`CrashTrigger::Never`].
+    pub fn new(cfg: ClusterConfig, crash: Option<(usize, CrashTrigger)>) -> Self {
+        assert!(cfg.ranks >= 2, "a cluster needs at least two ranks");
+        if let Some((rank, _)) = crash {
+            assert!(rank < cfg.ranks, "crash rank {rank} out of range");
+        }
+        let emus = (0..cfg.ranks)
+            .map(|r| {
+                let trigger = match crash {
+                    Some((rank, t)) if rank == r => t,
+                    _ => CrashTrigger::Never,
+                };
+                CrashEmulator::new(cfg.sys.clone(), trigger)
+            })
+            .collect();
+        let fabric = Fabric::new(cfg.ranks, cfg.net, cfg.net_seed);
+        Cluster { cfg, emus, fabric }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.cfg.ranks
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// One rank's memory system.
+    pub fn system(&self, rank: usize) -> &MemorySystem {
+        self.emus[rank].system()
+    }
+
+    /// One rank's memory system (mutable).
+    pub fn system_mut(&mut self, rank: usize) -> &mut MemorySystem {
+        self.emus[rank].system_mut()
+    }
+
+    /// Poll an instrumented site on one rank; `true` means that rank must
+    /// crash now (the kernel then calls [`Cluster::crash_rank`]).
+    pub fn poll(&mut self, rank: usize, site: CrashSite) -> bool {
+        self.emus[rank].poll(site)
+    }
+
+    /// Crash one rank: its volatile state is discarded and the surviving
+    /// NVM image returned. Every other rank is untouched.
+    pub fn crash_rank(&mut self, rank: usize) -> NvmImage {
+        self.emus[rank].crash_now()
+    }
+
+    /// Reboot a crashed rank from its NVM image: a fresh process on the
+    /// same node (cold caches, wiped DRAM scratch, NVM restored). The
+    /// rank's clock is re-aligned to the cluster frontier — the survivors
+    /// cannot observe a rank restarting in the past — with the gap charged
+    /// to [`Bucket::Detect`] as restart latency.
+    pub fn reboot_rank(&mut self, rank: usize, image: &NvmImage) {
+        let frontier = self.max_now_ps();
+        let sys = MemorySystem::from_image(self.cfg.sys.clone(), image);
+        self.emus[rank] = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        let sys = self.emus[rank].system_mut();
+        let behind = frontier.saturating_sub(sys.now().ps());
+        sys.clock_mut().charge_to(Bucket::Detect, behind);
+    }
+
+    /// Send a vector of `f64`s from `src` to `dst`.
+    pub fn send(&mut self, src: usize, dst: usize, vals: &[f64]) {
+        let payload = encode_f64s(vals);
+        self.fabric
+            .send(self.emus[src].system_mut(), src, dst, &payload);
+    }
+
+    /// Receive the oldest pending vector from `src` at `dst`.
+    pub fn recv(&mut self, src: usize, dst: usize) -> Vec<f64> {
+        let bytes = self.fabric.recv(self.emus[dst].system_mut(), src, dst);
+        decode_f64s(&bytes)
+    }
+
+    /// Synchronize all rank clocks to the cluster frontier, charging each
+    /// rank's wait to [`Bucket::Network`].
+    pub fn barrier(&mut self) {
+        let frontier = self.max_now_ps();
+        for emu in &mut self.emus {
+            let sys = emu.system_mut();
+            let behind = frontier.saturating_sub(sys.now().ps());
+            if behind > 0 {
+                sys.charge_net_wait(behind);
+            }
+        }
+    }
+
+    /// All-reduce a per-rank contribution into one sum every rank holds:
+    /// ranks 1..P send to rank 0, rank 0 sums **in rank order** and
+    /// broadcasts, then a barrier synchronizes the clocks. Deterministic
+    /// summation order makes the result bit-stable.
+    pub fn allreduce_sum(&mut self, contributions: &[f64]) -> f64 {
+        assert_eq!(contributions.len(), self.ranks(), "one value per rank");
+        let mut sum = contributions[0];
+        for r in 1..self.ranks() {
+            self.send(r, 0, &contributions[r..=r]);
+        }
+        for r in 1..self.ranks() {
+            sum += self.recv(r, 0)[0];
+        }
+        for r in 1..self.ranks() {
+            self.send(0, r, &[sum]);
+        }
+        for r in 1..self.ranks() {
+            let got = self.recv(0, r)[0];
+            debug_assert_eq!(got.to_bits(), sum.to_bits());
+        }
+        self.barrier();
+        sum
+    }
+
+    /// Cumulative fabric traffic (snapshot around a recovery window to
+    /// price recovery traffic).
+    pub fn traffic(&self) -> NetTraffic {
+        self.fabric.traffic()
+    }
+
+    /// The cluster frontier: the furthest rank clock, in picoseconds.
+    pub fn max_now_ps(&self) -> u64 {
+        self.emus
+            .iter()
+            .map(|e| e.system().now().ps())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcc_sim::parray::PArray;
+
+    fn cfg() -> ClusterConfig {
+        ClusterConfig {
+            ranks: 4,
+            sys: SystemConfig::nvm_only(4096, 1 << 16),
+            net: NetTiming::cluster_2017(),
+            net_seed: 42,
+        }
+    }
+
+    #[test]
+    fn allreduce_sums_in_rank_order_and_syncs_clocks() {
+        let mut cl = Cluster::new(cfg(), None);
+        let sum = cl.allreduce_sum(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(sum, 10.0);
+        let frontier = cl.max_now_ps();
+        for r in 0..cl.ranks() {
+            assert_eq!(cl.system(r).now().ps(), frontier, "rank {r} not synced");
+        }
+        assert!(frontier > 0);
+    }
+
+    #[test]
+    fn crash_hits_one_rank_only_and_reboot_restores_nvm() {
+        let mut cl = Cluster::new(cfg(), None);
+        let arrays: Vec<PArray<u64>> = (0..4)
+            .map(|r| {
+                let a = PArray::<u64>::alloc_nvm(cl.system_mut(r), 8);
+                a.store_slice(cl.system_mut(r), &[r as u64 + 1; 8]);
+                a.persist_all(cl.system_mut(r));
+                a
+            })
+            .collect();
+        // Unpersisted volatile data on every rank.
+        let scratch: Vec<PArray<u64>> = (0..4)
+            .map(|r| {
+                let s = PArray::<u64>::alloc_dram(cl.system_mut(r), 4);
+                s.store_slice(cl.system_mut(r), &[99; 4]);
+                s
+            })
+            .collect();
+        let image = cl.crash_rank(2);
+        assert_eq!(image.read_u64(arrays[2].addr(0)), 3, "persisted survives");
+        cl.reboot_rank(2, &image);
+        assert_eq!(arrays[2].peek(cl.system(2), 0), 3);
+        assert_eq!(scratch[2].peek(cl.system(2), 0), 0, "DRAM scratch wiped");
+        for r in [0usize, 1, 3] {
+            assert_eq!(scratch[r].peek(cl.system(r), 0), 99, "rank {r} untouched");
+        }
+    }
+
+    #[test]
+    fn reboot_aligns_the_rank_clock_to_the_frontier() {
+        let mut cl = Cluster::new(cfg(), None);
+        // Advance rank 0 far ahead.
+        let a = PArray::<u64>::alloc_nvm(cl.system_mut(0), 64);
+        a.fill(cl.system_mut(0), 5);
+        let image = cl.crash_rank(1);
+        cl.reboot_rank(1, &image);
+        assert_eq!(cl.system(1).now().ps(), cl.system(0).now().ps());
+        assert!(
+            cl.system(1).clock().bucket_total(Bucket::Detect).ps() > 0,
+            "restart latency charged to Detect"
+        );
+    }
+
+    #[test]
+    fn armed_trigger_fires_on_the_armed_rank_only() {
+        let site = CrashSite::new(crate::sites::PH_MID, 3);
+        let mut cl = Cluster::new(
+            cfg(),
+            Some((
+                1,
+                CrashTrigger::AtSite {
+                    site,
+                    occurrence: 1,
+                },
+            )),
+        );
+        assert!(!cl.poll(0, site));
+        assert!(!cl.poll(2, site));
+        assert!(cl.poll(1, site));
+    }
+}

@@ -1,0 +1,552 @@
+//! Distributed 2-D Jacobi (5-point Laplace smoothing): row-striped
+//! decomposition with full-row halo exchange, under both recovery modes.
+//!
+//! The grid's interior (`rows × cols`) is striped across ranks; every
+//! superstep each rank averages its stripe's 5-point neighborhoods using
+//! one halo row per side, then persists per its mechanism — the same
+//! double-buffered-iterate (AlgorithmDirected) versus coordinated
+//! [`MemCheckpoint`] (GlobalRestart) pair as [`crate::stencil`], but with
+//! row-sized halos, so the traffic gap between the two recovery modes is
+//! measured on a genuinely 2-D workload.
+
+use adcc_ckpt::mem::{MemCheckpoint, MemCheckpointLayout};
+use adcc_sim::clock::Bucket;
+use adcc_sim::crash::CrashSite;
+use adcc_sim::parray::{PArray, PScalar};
+use adcc_sim::system::SystemConfig;
+
+use crate::cluster::{Cluster, ClusterConfig};
+use crate::net::NetTiming;
+use crate::sites;
+use crate::trial::{CrashInfo, DistKernel, Recovery, RecoveryMode};
+
+/// Fixed boundary values: top, bottom, left, right.
+const TOP_B: f64 = 1.0;
+const BOT_B: f64 = 0.0;
+const LEFT_B: f64 = 0.75;
+const RIGHT_B: f64 = 0.25;
+
+/// Problem and mechanism parameters.
+#[derive(Debug, Clone)]
+pub struct JacobiConfig {
+    /// Number of ranks.
+    pub ranks: usize,
+    /// Supersteps.
+    pub iters: u64,
+    /// Interior rows (must divide evenly by `ranks`).
+    pub rows: usize,
+    /// Interior columns.
+    pub cols: usize,
+    /// Persistence mechanism and recovery mode.
+    pub mode: RecoveryMode,
+    /// Checkpoint period of the GlobalRestart mechanism, in supersteps.
+    pub ckpt_period: u64,
+    /// Fabric jitter seed.
+    pub net_seed: u64,
+}
+
+impl JacobiConfig {
+    /// The campaign preset: 4 ranks, 10 supersteps, 16×24 interior.
+    pub fn campaign(mode: RecoveryMode) -> Self {
+        JacobiConfig {
+            ranks: 4,
+            iters: 10,
+            rows: 16,
+            cols: 24,
+            mode,
+            ckpt_period: 3,
+            net_seed: 0xd157_0002,
+        }
+    }
+
+    /// The matching cluster configuration.
+    pub fn cluster(&self) -> ClusterConfig {
+        let mut sys = SystemConfig::nvm_only(16 << 10, 128 << 10);
+        sys.dram_capacity = 512 << 10;
+        ClusterConfig {
+            ranks: self.ranks,
+            sys,
+            net: NetTiming::cluster_2017(),
+            net_seed: self.net_seed,
+        }
+    }
+}
+
+/// Deterministic initial interior value.
+fn initial(global_row: usize, col: usize) -> f64 {
+    ((global_row * 53 + col * 17 + 29) % 113) as f64 / 113.0
+}
+
+/// The distributed Jacobi program.
+pub struct DistJacobi {
+    cfg: JacobiConfig,
+    /// Interior rows per rank.
+    rows_r: usize,
+    /// Volatile working stripe, `(rows_r + 2) × (cols + 2)` row-major
+    /// (halo rows at `0` and `rows_r + 1`, boundary columns at `0` and
+    /// `cols + 1`).
+    x: Vec<PArray<f64>>,
+    /// Volatile next iterate, `rows_r × cols`.
+    x_new: Vec<PArray<f64>>,
+    /// NVM double-buffered interior slots (AlgorithmDirected).
+    slots: Vec<[PArray<f64>; 2]>,
+    /// NVM persisted iteration counters (AlgorithmDirected).
+    counters: Vec<PScalar<u64>>,
+    /// Per-rank checkpoint managers (GlobalRestart).
+    ckpts: Vec<MemCheckpoint>,
+    /// Their persistent layouts.
+    layouts: Vec<MemCheckpointLayout>,
+    /// Volatile iterate markers in the checkpoint payload.
+    ck_iters: Vec<PArray<u64>>,
+    /// Checkpoint regions per rank (the whole stripe + the marker).
+    regions: Vec<Vec<(u64, usize)>>,
+}
+
+impl DistJacobi {
+    fn idx(&self, i: usize, j: usize) -> usize {
+        i * (self.cfg.cols + 2) + j
+    }
+
+    /// Reset one rank's fixed boundary cells: left/right columns always,
+    /// plus the constant halo rows on the edge stripes.
+    fn set_boundaries(&self, cl: &mut Cluster, r: usize) {
+        let rows_r = self.rows_r;
+        let cols = self.cfg.cols;
+        let sys = cl.system_mut(r);
+        for i in 0..rows_r + 2 {
+            self.x[r].set(sys, self.idx(i, 0), LEFT_B);
+            self.x[r].set(sys, self.idx(i, cols + 1), RIGHT_B);
+        }
+        if r == 0 {
+            for j in 1..=cols {
+                self.x[r].set(sys, self.idx(0, j), TOP_B);
+            }
+        }
+        if r == self.cfg.ranks - 1 {
+            for j in 1..=cols {
+                self.x[r].set(sys, self.idx(rows_r + 1, j), BOT_B);
+            }
+        }
+    }
+
+    /// Allocate and initialize the program on a fresh cluster.
+    pub fn setup(cl: &mut Cluster, cfg: JacobiConfig) -> Self {
+        assert!(cfg.rows.is_multiple_of(cfg.ranks), "rows must split evenly");
+        assert_eq!(cl.ranks(), cfg.ranks, "cluster/config rank mismatch");
+        let rows_r = cfg.rows / cfg.ranks;
+        let cols = cfg.cols;
+        let mut prog = DistJacobi {
+            rows_r,
+            x: Vec::new(),
+            x_new: Vec::new(),
+            slots: Vec::new(),
+            counters: Vec::new(),
+            ckpts: Vec::new(),
+            layouts: Vec::new(),
+            ck_iters: Vec::new(),
+            regions: Vec::new(),
+            cfg,
+        };
+        let interior = rows_r * cols;
+        for r in 0..prog.cfg.ranks {
+            let sys = cl.system_mut(r);
+            let x = PArray::<f64>::alloc_dram(sys, (rows_r + 2) * (cols + 2));
+            let x_new = PArray::<f64>::alloc_dram(sys, interior);
+            prog.x.push(x);
+            prog.x_new.push(x_new);
+            for i in 0..rows_r {
+                for j in 0..cols {
+                    x.set(sys, prog.idx(i + 1, j + 1), initial(r * rows_r + i, j));
+                }
+            }
+            prog.set_boundaries(cl, r);
+            let sys = cl.system_mut(r);
+            match prog.cfg.mode {
+                RecoveryMode::AlgorithmDirected => {
+                    let slots = [
+                        PArray::<f64>::alloc_nvm(sys, interior),
+                        PArray::<f64>::alloc_nvm(sys, interior),
+                    ];
+                    for i in 0..rows_r {
+                        for j in 0..cols {
+                            let v = x.get(sys, prog.idx(i + 1, j + 1));
+                            slots[0].set(sys, i * cols + j, v);
+                        }
+                    }
+                    slots[0].persist_all(sys);
+                    sys.sfence();
+                    let counter = PScalar::<u64>::alloc_nvm(sys);
+                    counter.set(sys, 0);
+                    counter.persist(sys);
+                    sys.sfence();
+                    prog.slots.push(slots);
+                    prog.counters.push(counter);
+                }
+                RecoveryMode::GlobalRestart => {
+                    let ck_iter = PArray::<u64>::alloc_dram(sys, 1);
+                    ck_iter.set(sys, 0, 0);
+                    let regions = vec![(x.base(), x.byte_len()), (ck_iter.base(), 8)];
+                    let mut ckpt = MemCheckpoint::new(sys, x.byte_len() + 8, false);
+                    ckpt.checkpoint(sys, &regions);
+                    prog.layouts.push(ckpt.layout());
+                    prog.ckpts.push(ckpt);
+                    prog.ck_iters.push(ck_iter);
+                    prog.regions.push(regions);
+                }
+            }
+        }
+        prog
+    }
+
+    /// Exchange boundary rows into the neighbors' halo rows, rank order.
+    fn exchange(&mut self, cl: &mut Cluster) {
+        let p = self.cfg.ranks;
+        let rows_r = self.rows_r;
+        let cols = self.cfg.cols;
+        for r in 0..p {
+            let sys = cl.system_mut(r);
+            let first: Vec<f64> = (1..=cols)
+                .map(|j| self.x[r].get(sys, self.idx(1, j)))
+                .collect();
+            let last: Vec<f64> = (1..=cols)
+                .map(|j| self.x[r].get(sys, self.idx(rows_r, j)))
+                .collect();
+            if r > 0 {
+                cl.send(r, r - 1, &first);
+            }
+            if r + 1 < p {
+                cl.send(r, r + 1, &last);
+            }
+        }
+        for r in 0..p {
+            if r > 0 {
+                let row = cl.recv(r - 1, r);
+                let sys = cl.system_mut(r);
+                for (j, v) in row.iter().enumerate() {
+                    self.x[r].set(sys, self.idx(0, j + 1), *v);
+                }
+            }
+            if r + 1 < p {
+                let row = cl.recv(r + 1, r);
+                let sys = cl.system_mut(r);
+                for (j, v) in row.iter().enumerate() {
+                    self.x[r].set(sys, self.idx(rows_r + 1, j + 1), *v);
+                }
+            }
+        }
+        cl.barrier();
+    }
+
+    fn crash(&self, cl: &mut Cluster, rank: usize, iter: u64, phase: u32) -> CrashInfo {
+        CrashInfo {
+            rank,
+            iter,
+            site: CrashSite::new(phase, iter),
+            image: cl.crash_rank(rank),
+        }
+    }
+
+    /// Neighbor-assisted halo reconstruction: the survivors re-send the
+    /// failed rank's two halo rows from intact volatile state.
+    fn halo_assist(&mut self, cl: &mut Cluster, rank: usize) {
+        let p = self.cfg.ranks;
+        let rows_r = self.rows_r;
+        let cols = self.cfg.cols;
+        if rank > 0 {
+            let sys = cl.system_mut(rank - 1);
+            let row: Vec<f64> = (1..=cols)
+                .map(|j| self.x[rank - 1].get(sys, self.idx(rows_r, j)))
+                .collect();
+            cl.send(rank - 1, rank, &row);
+            let row = cl.recv(rank - 1, rank);
+            let sys = cl.system_mut(rank);
+            for (j, v) in row.iter().enumerate() {
+                self.x[rank].set(sys, self.idx(0, j + 1), *v);
+            }
+        }
+        if rank + 1 < p {
+            let sys = cl.system_mut(rank + 1);
+            let row: Vec<f64> = (1..=cols)
+                .map(|j| self.x[rank + 1].get(sys, self.idx(1, j)))
+                .collect();
+            cl.send(rank + 1, rank, &row);
+            let row = cl.recv(rank + 1, rank);
+            let sys = cl.system_mut(rank);
+            for (j, v) in row.iter().enumerate() {
+                self.x[rank].set(sys, self.idx(rows_r + 1, j + 1), *v);
+            }
+        }
+    }
+
+    /// Coordinated rollback (see [`crate::stencil`]): returns
+    /// `(detected, restored_iterate)`.
+    fn reinit_rank(&self, cl: &mut Cluster, r: usize) {
+        let sys = cl.system_mut(r);
+        let prev = sys.clock_mut().set_bucket(Bucket::Resume);
+        for i in 0..self.rows_r {
+            for j in 0..self.cfg.cols {
+                self.x[r].set(sys, self.idx(i + 1, j + 1), initial(r * self.rows_r + i, j));
+            }
+        }
+        self.ck_iters[r].set(sys, 0, 0);
+        sys.clock_mut().set_bucket(prev);
+        self.set_boundaries(cl, r);
+    }
+}
+
+impl DistKernel for DistJacobi {
+    fn iters(&self) -> u64 {
+        self.cfg.iters
+    }
+
+    fn superstep(&mut self, cl: &mut Cluster, iter: u64, exchange: bool) -> Option<CrashInfo> {
+        let p = self.cfg.ranks;
+        let rows_r = self.rows_r;
+        let cols = self.cfg.cols;
+        if exchange {
+            self.exchange(cl);
+        }
+        for r in 0..p {
+            let sys = cl.system_mut(r);
+            for i in 1..=rows_r {
+                for j in 1..=cols {
+                    let up = self.x[r].get(sys, self.idx(i - 1, j));
+                    let down = self.x[r].get(sys, self.idx(i + 1, j));
+                    let left = self.x[r].get(sys, self.idx(i, j - 1));
+                    let right = self.x[r].get(sys, self.idx(i, j + 1));
+                    sys.charge_flops(4);
+                    self.x_new[r].set(
+                        sys,
+                        (i - 1) * cols + (j - 1),
+                        0.25 * (up + down + left + right),
+                    );
+                }
+            }
+        }
+        for r in 0..p {
+            if cl.poll(r, CrashSite::new(sites::PH_MID, iter)) {
+                return Some(self.crash(cl, r, iter, sites::PH_MID));
+            }
+        }
+        for r in 0..p {
+            let sys = cl.system_mut(r);
+            for i in 0..rows_r {
+                for j in 0..cols {
+                    let v = self.x_new[r].get(sys, i * cols + j);
+                    self.x[r].set(sys, self.idx(i + 1, j + 1), v);
+                }
+            }
+            match self.cfg.mode {
+                RecoveryMode::AlgorithmDirected => {
+                    let slot = self.slots[r][(iter % 2) as usize];
+                    for k in 0..rows_r * cols {
+                        let v = self.x_new[r].get(sys, k);
+                        slot.set(sys, k, v);
+                    }
+                    slot.persist_all(sys);
+                    sys.sfence();
+                    self.counters[r].set(sys, iter);
+                    self.counters[r].persist(sys);
+                    sys.sfence();
+                }
+                RecoveryMode::GlobalRestart => {
+                    if iter.is_multiple_of(self.cfg.ckpt_period) {
+                        self.ck_iters[r].set(sys, 0, iter);
+                        let regions = self.regions[r].clone();
+                        self.ckpts[r].checkpoint(sys, &regions);
+                    }
+                }
+            }
+        }
+        for r in 0..p {
+            if cl.poll(r, CrashSite::new(sites::PH_END, iter)) {
+                return Some(self.crash(cl, r, iter, sites::PH_END));
+            }
+        }
+        cl.barrier();
+        None
+    }
+
+    /// Coordinated rollback (shared [`crate::trial::coordinated_restore`]
+    /// pass): any rank without a valid level drags the whole cluster back
+    /// to the re-derivable iterate 0.
+    fn restart_rollback(&mut self, cl: &mut Cluster, failed: usize) -> (bool, u64) {
+        let restored = crate::trial::coordinated_restore(
+            cl,
+            failed,
+            &mut self.ckpts,
+            &self.layouts,
+            &self.regions,
+            &self.ck_iters,
+        );
+        let (detected, cc) = match restored {
+            Some(cc) => (false, cc),
+            None => {
+                for r in 0..self.cfg.ranks {
+                    self.reinit_rank(cl, r);
+                }
+                (true, 0)
+            }
+        };
+        cl.barrier();
+        (detected, cc)
+    }
+
+    fn recover(&mut self, cl: &mut Cluster, crash: CrashInfo) -> Recovery {
+        let frontier = crash.frontier();
+        cl.reboot_rank(crash.rank, &crash.image);
+        match self.cfg.mode {
+            RecoveryMode::AlgorithmDirected => {
+                let rank = crash.rank;
+                let sys = cl.system_mut(rank);
+                let prev = sys.clock_mut().set_bucket(Bucket::Detect);
+                let c = self.counters[rank].get(sys);
+                debug_assert_eq!(c, frontier, "extended counter trails the frontier");
+                sys.clock_mut().set_bucket(Bucket::Resume);
+                let slot = self.slots[rank][(c % 2) as usize];
+                for i in 0..self.rows_r {
+                    for j in 0..self.cfg.cols {
+                        let v = slot.get(sys, i * self.cfg.cols + j);
+                        self.x[rank].set(sys, self.idx(i + 1, j + 1), v);
+                    }
+                }
+                sys.clock_mut().set_bucket(prev);
+                // Fixed boundary cells are re-derivable; halo rows are not.
+                self.set_boundaries(cl, rank);
+                if crash.site.phase == sites::PH_MID {
+                    self.halo_assist(cl, rank);
+                }
+                cl.barrier();
+                crate::trial::algorithm_directed_plan(&crash)
+            }
+            RecoveryMode::GlobalRestart => crate::trial::global_restart_recover(self, cl, &crash),
+        }
+    }
+
+    fn solution(&self, cl: &Cluster) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.cfg.rows * self.cfg.cols);
+        for r in 0..self.cfg.ranks {
+            let sys = cl.system(r);
+            for i in 0..self.rows_r {
+                for j in 0..self.cfg.cols {
+                    out.push(self.x[r].peek(sys, self.idx(i + 1, j + 1)));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Serial host reference (same arithmetic, same element order).
+pub fn jacobi_host(rows: usize, cols: usize, iters: u64) -> Vec<f64> {
+    let w = cols + 2;
+    let mut x = vec![0.0f64; (rows + 2) * w];
+    for i in 0..rows + 2 {
+        x[i * w] = LEFT_B;
+        x[i * w + cols + 1] = RIGHT_B;
+    }
+    for j in 1..=cols {
+        x[j] = TOP_B;
+        x[(rows + 1) * w + j] = BOT_B;
+    }
+    for i in 0..rows {
+        for j in 0..cols {
+            x[(i + 1) * w + j + 1] = initial(i, j);
+        }
+    }
+    let mut x_new = vec![0.0f64; rows * cols];
+    for _ in 0..iters {
+        for i in 1..=rows {
+            for j in 1..=cols {
+                x_new[(i - 1) * cols + j - 1] = 0.25
+                    * (x[(i - 1) * w + j]
+                        + x[(i + 1) * w + j]
+                        + x[i * w + j - 1]
+                        + x[i * w + j + 1]);
+            }
+        }
+        for i in 0..rows {
+            for j in 0..cols {
+                x[(i + 1) * w + j + 1] = x_new[i * cols + j];
+            }
+        }
+    }
+    (0..rows)
+        .flat_map(|i| (0..cols).map(move |j| (i, j)))
+        .map(|(i, j)| x[(i + 1) * w + j + 1])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trial::run_dist_trial;
+    use adcc_sim::crash::CrashTrigger;
+
+    fn run(crash: Option<(usize, CrashTrigger)>, mode: RecoveryMode) -> crate::trial::DistTrial {
+        let cfg = JacobiConfig {
+            rows: 8,
+            cols: 12,
+            ..JacobiConfig::campaign(mode)
+        };
+        let mut cl = Cluster::new(cfg.cluster(), crash);
+        let mut prog = DistJacobi::setup(&mut cl, cfg);
+        run_dist_trial(&mut cl, &mut prog, true)
+    }
+
+    fn site_trigger(phase: u32, iter: u64) -> CrashTrigger {
+        CrashTrigger::AtSite {
+            site: CrashSite::new(phase, iter),
+            occurrence: 1,
+        }
+    }
+
+    #[test]
+    fn crash_free_run_matches_the_serial_host_bitwise() {
+        let trial = run(None, RecoveryMode::GlobalRestart);
+        assert!(trial.completed_clean);
+        assert_eq!(trial.solution, jacobi_host(8, 12, 10));
+    }
+
+    #[test]
+    fn both_recovery_modes_reproduce_the_crash_free_solution() {
+        let reference = jacobi_host(8, 12, 10);
+        for mode in [RecoveryMode::AlgorithmDirected, RecoveryMode::GlobalRestart] {
+            for (rank, phase, iter) in [(0, sites::PH_MID, 5), (3, sites::PH_END, 9)] {
+                let trial = run(Some((rank, site_trigger(phase, iter))), mode);
+                assert!(!trial.completed_clean);
+                assert_eq!(
+                    trial.solution, reference,
+                    "{mode:?} rank {rank} phase {phase:#x} iter {iter}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn access_count_triggers_land_on_poll_boundaries_and_recover() {
+        let reference = jacobi_host(8, 12, 10);
+        // A crash-free run of this size issues ~2.6k accesses per rank.
+        let trial = run(
+            Some((2, CrashTrigger::AtAccessCount(1_500))),
+            RecoveryMode::AlgorithmDirected,
+        );
+        assert!(!trial.completed_clean, "threshold lands inside the run");
+        assert_eq!(trial.solution, reference);
+    }
+
+    #[test]
+    fn restart_loses_cluster_wide_work_and_more_traffic() {
+        let local = run(
+            Some((2, site_trigger(sites::PH_MID, 8))),
+            RecoveryMode::AlgorithmDirected,
+        );
+        let restart = run(
+            Some((2, site_trigger(sites::PH_MID, 8))),
+            RecoveryMode::GlobalRestart,
+        );
+        assert_eq!(local.lost_units, 0);
+        assert_eq!(restart.lost_units, 4, "frontier 7, checkpoint 6, 4 ranks");
+        assert!(restart.recovery_net_bytes > local.recovery_net_bytes);
+    }
+}

@@ -1,0 +1,244 @@
+//! The message fabric: FIFO queues between ranks, a timing model, and
+//! deterministic (seeded) latency jitter.
+//!
+//! The fabric never touches payload semantics — it moves byte vectors and
+//! charges simulated network time on the *sending* rank's clock (transfer)
+//! and the *receiving* rank's clock (delivery latency), both into
+//! [`adcc_sim::clock::Bucket::Network`]. Queues are FIFO per `(src, dst)` pair and all
+//! cluster code issues sends/recvs in rank order, which is what makes
+//! message matching — and therefore every distributed trial —
+//! deterministic.
+
+use std::collections::VecDeque;
+
+use adcc_sim::system::MemorySystem;
+
+/// Timing model of the inter-rank fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetTiming {
+    /// Per-message latency charged on both ends, in picoseconds.
+    pub latency_ps: u64,
+    /// Fabric bandwidth in bytes per microsecond (= MB/s).
+    pub bytes_per_us: u64,
+    /// Upper bound (inclusive) of the seeded per-message latency jitter,
+    /// in picoseconds. Zero disables jitter.
+    pub jitter_ps: u64,
+}
+
+impl NetTiming {
+    /// A cluster-2017-class interconnect: ~1.5 us MPI latency, ~10 GB/s
+    /// effective per-rank bandwidth, 2 ns of seeded jitter.
+    pub const fn cluster_2017() -> Self {
+        NetTiming {
+            latency_ps: 1_500_000,
+            bytes_per_us: 10_000,
+            jitter_ps: 2_000,
+        }
+    }
+
+    /// Cost of one contiguous transfer of `bytes` (latency + serialization).
+    #[inline]
+    pub fn transfer_cost_ps(&self, bytes: u64) -> u64 {
+        self.latency_ps + bytes * 1_000_000 / self.bytes_per_us
+    }
+}
+
+/// Cumulative fabric traffic. Trial drivers snapshot it around the
+/// recovery window to price recovery traffic per recovery mode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetTraffic {
+    /// Messages sent.
+    pub msgs: u64,
+    /// Payload bytes sent.
+    pub bytes: u64,
+}
+
+impl NetTraffic {
+    /// Traffic accumulated since an earlier snapshot.
+    pub fn since(&self, earlier: &NetTraffic) -> NetTraffic {
+        NetTraffic {
+            msgs: self.msgs - earlier.msgs,
+            bytes: self.bytes - earlier.bytes,
+        }
+    }
+}
+
+/// The seedable FIFO message fabric between `ranks` peers.
+#[derive(Debug)]
+pub struct Fabric {
+    ranks: usize,
+    timing: NetTiming,
+    seed: u64,
+    /// FIFO queue per `(src, dst)` pair, indexed `src * ranks + dst`.
+    queues: Vec<VecDeque<Vec<u8>>>,
+    /// Global message sequence number (jitter decorrelation).
+    seq: u64,
+    traffic: NetTraffic,
+}
+
+impl Fabric {
+    /// A fabric joining `ranks` peers under `timing`, with jitter drawn
+    /// from `seed`.
+    pub fn new(ranks: usize, timing: NetTiming, seed: u64) -> Self {
+        assert!(ranks >= 1, "a fabric needs at least one rank");
+        Fabric {
+            ranks,
+            timing,
+            seed,
+            queues: (0..ranks * ranks).map(|_| VecDeque::new()).collect(),
+            seq: 0,
+            traffic: NetTraffic::default(),
+        }
+    }
+
+    /// Number of ranks on the fabric.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// The fabric's timing model.
+    pub fn timing(&self) -> NetTiming {
+        self.timing
+    }
+
+    /// Cumulative traffic since construction.
+    pub fn traffic(&self) -> NetTraffic {
+        self.traffic
+    }
+
+    /// Messages enqueued but not yet received.
+    pub fn pending(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Seeded per-message jitter: an FNV-1a hash of
+    /// `(seed, src, dst, seq)` reduced to `[0, jitter_ps]`.
+    fn jitter(&self, src: usize, dst: usize) -> u64 {
+        if self.timing.jitter_ps == 0 {
+            return 0;
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.seed;
+        for word in [src as u64, dst as u64, self.seq] {
+            for b in word.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h % (self.timing.jitter_ps + 1)
+    }
+
+    /// Send `payload` from `src` to `dst`: charge the transfer (plus
+    /// seeded jitter) on the sender's clock, enqueue the bytes.
+    pub fn send(&mut self, src_sys: &mut MemorySystem, src: usize, dst: usize, payload: &[u8]) {
+        assert!(src < self.ranks && dst < self.ranks, "rank out of range");
+        assert_ne!(src, dst, "self-sends are a cluster bug");
+        let cost = self.timing.transfer_cost_ps(payload.len() as u64) + self.jitter(src, dst);
+        src_sys.charge_net_send(payload.len() as u64, cost);
+        self.queues[src * self.ranks + dst].push_back(payload.to_vec());
+        self.seq += 1;
+        self.traffic.msgs += 1;
+        self.traffic.bytes += payload.len() as u64;
+    }
+
+    /// Receive the oldest pending message from `src` at `dst`: charge the
+    /// delivery latency on the receiver's clock, dequeue the bytes.
+    /// Panics if no message is pending — cluster code always sends before
+    /// it receives within a phase, so an empty queue is a protocol bug.
+    pub fn recv(&mut self, dst_sys: &mut MemorySystem, src: usize, dst: usize) -> Vec<u8> {
+        assert!(src < self.ranks && dst < self.ranks, "rank out of range");
+        dst_sys.charge_net_wait(self.timing.latency_ps);
+        self.queues[src * self.ranks + dst]
+            .pop_front()
+            .expect("recv with no pending message (send/recv order broken)")
+    }
+}
+
+/// Encode a slice of `f64`s as little-endian payload bytes.
+pub fn encode_f64s(vals: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 8);
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a payload produced by [`encode_f64s`].
+pub fn decode_f64s(bytes: &[u8]) -> Vec<f64> {
+    assert!(bytes.len().is_multiple_of(8), "payload not a f64 vector");
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcc_sim::clock::Bucket;
+    use adcc_sim::system::SystemConfig;
+
+    fn sys() -> MemorySystem {
+        MemorySystem::new(SystemConfig::nvm_only(4096, 1 << 16))
+    }
+
+    #[test]
+    fn send_recv_roundtrips_payload_fifo() {
+        let mut f = Fabric::new(2, NetTiming::cluster_2017(), 7);
+        let mut a = sys();
+        let mut b = sys();
+        f.send(&mut a, 0, 1, &encode_f64s(&[1.5, 2.5]));
+        f.send(&mut a, 0, 1, &encode_f64s(&[3.5]));
+        assert_eq!(f.pending(), 2);
+        assert_eq!(decode_f64s(&f.recv(&mut b, 0, 1)), vec![1.5, 2.5]);
+        assert_eq!(decode_f64s(&f.recv(&mut b, 0, 1)), vec![3.5]);
+        assert_eq!(f.pending(), 0);
+        assert_eq!(f.traffic(), NetTraffic { msgs: 2, bytes: 24 });
+    }
+
+    #[test]
+    fn charges_network_bucket_on_both_ends() {
+        let t = NetTiming::cluster_2017();
+        let mut f = Fabric::new(2, t, 0);
+        let mut a = sys();
+        let mut b = sys();
+        f.send(&mut a, 0, 1, &[0u8; 100]);
+        let _ = f.recv(&mut b, 0, 1);
+        let sent = a.clock().bucket_total(Bucket::Network).ps();
+        assert!(sent >= t.transfer_cost_ps(100), "{sent}");
+        assert_eq!(a.stats().net_msgs_sent, 1);
+        assert_eq!(a.stats().net_bytes_sent, 100);
+        assert_eq!(b.clock().bucket_total(Bucket::Network).ps(), t.latency_ps);
+        assert_eq!(b.stats().net_msgs_sent, 0, "receives do not count as sends");
+    }
+
+    #[test]
+    fn jitter_is_seeded_and_bounded() {
+        let t = NetTiming {
+            jitter_ps: 500,
+            ..NetTiming::cluster_2017()
+        };
+        let run = |seed: u64| -> Vec<u64> {
+            let mut f = Fabric::new(2, t, seed);
+            (0..8)
+                .map(|_| {
+                    let mut a = sys();
+                    f.send(&mut a, 0, 1, &[0u8; 8]);
+                    a.clock().bucket_total(Bucket::Network).ps()
+                })
+                .collect()
+        };
+        let a = run(42);
+        assert_eq!(a, run(42), "same seed, same jitter sequence");
+        assert_ne!(a, run(43), "different seed, different jitter");
+        let base = t.transfer_cost_ps(8);
+        assert!(a.iter().all(|&c| c >= base && c <= base + 500));
+    }
+
+    #[test]
+    #[should_panic(expected = "no pending message")]
+    fn recv_without_send_panics() {
+        let mut f = Fabric::new(2, NetTiming::cluster_2017(), 0);
+        let mut b = sys();
+        let _ = f.recv(&mut b, 0, 1);
+    }
+}

@@ -1,0 +1,508 @@
+//! Distributed 1-D heat stencil: block decomposition with one-cell halo
+//! exchange, under both recovery modes.
+//!
+//! A rod of `cells` points is split into `ranks` equal chunks. Every
+//! superstep each rank updates its chunk from its own cells plus one halo
+//! cell per side (received from the neighbors at the superstep's opening
+//! exchange), then persists per its mechanism:
+//!
+//! * **AlgorithmDirected** — the new iterate is written into a
+//!   double-buffered NVM slot pair plus a persisted iteration counter (the
+//!   paper's "naturally consistent data, flushed where the algorithm says
+//!   so", lifted to a partition). Recovery rebuilds the failed rank's
+//!   partition from its own NVM residue; the neighbors re-send the one
+//!   halo cell each that the crash wiped.
+//! * **GlobalRestart** — a coordinated [`MemCheckpoint`] of the volatile
+//!   partition every `ckpt_period` supersteps. Recovery rolls the whole
+//!   cluster back and re-executes every lost superstep, halo exchanges
+//!   included.
+
+use adcc_ckpt::mem::{MemCheckpoint, MemCheckpointLayout};
+use adcc_sim::clock::Bucket;
+use adcc_sim::crash::CrashSite;
+use adcc_sim::parray::{PArray, PScalar};
+use adcc_sim::system::SystemConfig;
+
+use crate::cluster::{Cluster, ClusterConfig};
+use crate::net::NetTiming;
+use crate::sites;
+use crate::trial::{CrashInfo, DistKernel, Recovery, RecoveryMode};
+
+/// Fixed boundary value at the left end of the rod.
+const LEFT_B: f64 = 1.0;
+/// Fixed boundary value at the right end of the rod.
+const RIGHT_B: f64 = 0.0;
+/// Diffusion coefficient (stable for the 3-point explicit scheme).
+const K_DIFF: f64 = 0.1;
+
+/// Problem and mechanism parameters.
+#[derive(Debug, Clone)]
+pub struct StencilConfig {
+    /// Number of ranks.
+    pub ranks: usize,
+    /// Supersteps.
+    pub iters: u64,
+    /// Rod cells (must divide evenly by `ranks`).
+    pub cells: usize,
+    /// Persistence mechanism and recovery mode.
+    pub mode: RecoveryMode,
+    /// Checkpoint period of the GlobalRestart mechanism, in supersteps.
+    pub ckpt_period: u64,
+    /// Fabric jitter seed.
+    pub net_seed: u64,
+}
+
+impl StencilConfig {
+    /// The campaign preset: 4 ranks, 10 supersteps, 256 cells.
+    pub fn campaign(mode: RecoveryMode) -> Self {
+        StencilConfig {
+            ranks: 4,
+            iters: 10,
+            cells: 256,
+            mode,
+            ckpt_period: 3,
+            net_seed: 0xd157,
+        }
+    }
+
+    /// The matching cluster configuration (per-rank pool sizes included).
+    pub fn cluster(&self) -> ClusterConfig {
+        let mut sys = SystemConfig::nvm_only(16 << 10, 64 << 10);
+        sys.dram_capacity = 256 << 10;
+        ClusterConfig {
+            ranks: self.ranks,
+            sys,
+            net: NetTiming::cluster_2017(),
+            net_seed: self.net_seed,
+        }
+    }
+}
+
+/// Deterministic initial temperature profile.
+fn initial(global_cell: usize) -> f64 {
+    ((global_cell * 37 + 11) % 101) as f64 / 101.0
+}
+
+/// The distributed stencil program (handles survive rank crashes; all
+/// per-rank state lives in the cluster's simulated memories).
+pub struct DistStencil {
+    cfg: StencilConfig,
+    /// Cells per rank.
+    m: usize,
+    /// Volatile working iterate, `m + 2` cells (halo at `0` and `m + 1`).
+    x: Vec<PArray<f64>>,
+    /// Volatile next iterate, `m` cells.
+    x_new: Vec<PArray<f64>>,
+    /// NVM double-buffered iterate slots (AlgorithmDirected).
+    slots: Vec<[PArray<f64>; 2]>,
+    /// NVM persisted iteration counters (AlgorithmDirected).
+    counters: Vec<PScalar<u64>>,
+    /// Per-rank checkpoint managers (GlobalRestart).
+    ckpts: Vec<MemCheckpoint>,
+    /// Their persistent layouts (for post-crash re-attachment).
+    layouts: Vec<MemCheckpointLayout>,
+    /// Volatile iterate markers included in the checkpoint payload.
+    ck_iters: Vec<PArray<u64>>,
+    /// Checkpoint regions per rank.
+    regions: Vec<Vec<(u64, usize)>>,
+}
+
+impl DistStencil {
+    /// Allocate and initialize the program on a fresh cluster: seed the
+    /// initial profile, persist iterate 0 (AlgorithmDirected) or take the
+    /// setup checkpoint (GlobalRestart).
+    pub fn setup(cl: &mut Cluster, cfg: StencilConfig) -> Self {
+        assert!(
+            cfg.cells.is_multiple_of(cfg.ranks),
+            "cells must split evenly"
+        );
+        assert_eq!(cl.ranks(), cfg.ranks, "cluster/config rank mismatch");
+        let m = cfg.cells / cfg.ranks;
+        let mut prog = DistStencil {
+            m,
+            x: Vec::new(),
+            x_new: Vec::new(),
+            slots: Vec::new(),
+            counters: Vec::new(),
+            ckpts: Vec::new(),
+            layouts: Vec::new(),
+            ck_iters: Vec::new(),
+            regions: Vec::new(),
+            cfg,
+        };
+        for r in 0..prog.cfg.ranks {
+            let sys = cl.system_mut(r);
+            let x = PArray::<f64>::alloc_dram(sys, m + 2);
+            let x_new = PArray::<f64>::alloc_dram(sys, m);
+            for j in 0..m {
+                x.set(sys, j + 1, initial(r * m + j));
+            }
+            x.set(sys, 0, if r == 0 { LEFT_B } else { 0.0 });
+            x.set(
+                sys,
+                m + 1,
+                if r == prog.cfg.ranks - 1 {
+                    RIGHT_B
+                } else {
+                    0.0
+                },
+            );
+            prog.x.push(x);
+            prog.x_new.push(x_new);
+            match prog.cfg.mode {
+                RecoveryMode::AlgorithmDirected => {
+                    let slots = [
+                        PArray::<f64>::alloc_nvm(sys, m),
+                        PArray::<f64>::alloc_nvm(sys, m),
+                    ];
+                    for j in 0..m {
+                        let v = x.get(sys, j + 1);
+                        slots[0].set(sys, j, v);
+                    }
+                    slots[0].persist_all(sys);
+                    sys.sfence();
+                    let counter = PScalar::<u64>::alloc_nvm(sys);
+                    counter.set(sys, 0);
+                    counter.persist(sys);
+                    sys.sfence();
+                    prog.slots.push(slots);
+                    prog.counters.push(counter);
+                }
+                RecoveryMode::GlobalRestart => {
+                    let ck_iter = PArray::<u64>::alloc_dram(sys, 1);
+                    ck_iter.set(sys, 0, 0);
+                    let regions = vec![(x.addr(1), m * 8), (ck_iter.base(), 8)];
+                    let mut ckpt = MemCheckpoint::new(sys, m * 8 + 8, false);
+                    ckpt.checkpoint(sys, &regions);
+                    prog.layouts.push(ckpt.layout());
+                    prog.ckpts.push(ckpt);
+                    prog.ck_iters.push(ck_iter);
+                    prog.regions.push(regions);
+                }
+            }
+        }
+        prog
+    }
+
+    /// Exchange boundary cells into the neighbors' halos (fixed rod
+    /// boundaries on the edge ranks), rank order, then synchronize.
+    fn exchange(&mut self, cl: &mut Cluster) {
+        let p = self.cfg.ranks;
+        let m = self.m;
+        for r in 0..p {
+            let sys = cl.system_mut(r);
+            let left = self.x[r].get(sys, 1);
+            let right = self.x[r].get(sys, m);
+            if r > 0 {
+                cl.send(r, r - 1, &[left]);
+            }
+            if r + 1 < p {
+                cl.send(r, r + 1, &[right]);
+            }
+        }
+        for r in 0..p {
+            if r > 0 {
+                let v = cl.recv(r - 1, r)[0];
+                self.x[r].set(cl.system_mut(r), 0, v);
+            } else {
+                self.x[r].set(cl.system_mut(r), 0, LEFT_B);
+            }
+            if r + 1 < p {
+                let v = cl.recv(r + 1, r)[0];
+                self.x[r].set(cl.system_mut(r), m + 1, v);
+            } else {
+                self.x[r].set(cl.system_mut(r), m + 1, RIGHT_B);
+            }
+        }
+        cl.barrier();
+    }
+
+    fn crash(&self, cl: &mut Cluster, rank: usize, iter: u64, phase: u32) -> CrashInfo {
+        CrashInfo {
+            rank,
+            iter,
+            site: CrashSite::new(phase, iter),
+            image: cl.crash_rank(rank),
+        }
+    }
+
+    /// Re-send the failed rank's two halo cells from the survivors'
+    /// intact volatile state (the neighbor-assisted reconstruction of the
+    /// in-flight superstep's halos).
+    fn halo_assist(&mut self, cl: &mut Cluster, rank: usize) {
+        let p = self.cfg.ranks;
+        let m = self.m;
+        if rank > 0 {
+            let sys = cl.system_mut(rank - 1);
+            let v = self.x[rank - 1].get(sys, m);
+            cl.send(rank - 1, rank, &[v]);
+            let v = cl.recv(rank - 1, rank)[0];
+            self.x[rank].set(cl.system_mut(rank), 0, v);
+        } else {
+            self.x[rank].set(cl.system_mut(rank), 0, LEFT_B);
+        }
+        if rank + 1 < p {
+            let sys = cl.system_mut(rank + 1);
+            let v = self.x[rank + 1].get(sys, 1);
+            cl.send(rank + 1, rank, &[v]);
+            let v = cl.recv(rank + 1, rank)[0];
+            self.x[rank].set(cl.system_mut(rank), m + 1, v);
+        } else {
+            self.x[rank].set(cl.system_mut(rank), m + 1, RIGHT_B);
+        }
+    }
+
+    /// Reset one rank's partition to the (re-derivable) initial profile.
+    fn reinit_rank(&self, cl: &mut Cluster, r: usize) {
+        let sys = cl.system_mut(r);
+        let prev = sys.clock_mut().set_bucket(Bucket::Resume);
+        for j in 0..self.m {
+            self.x[r].set(sys, j + 1, initial(r * self.m + j));
+        }
+        self.ck_iters[r].set(sys, 0, 0);
+        sys.clock_mut().set_bucket(prev);
+    }
+}
+
+impl DistKernel for DistStencil {
+    fn iters(&self) -> u64 {
+        self.cfg.iters
+    }
+
+    fn superstep(&mut self, cl: &mut Cluster, iter: u64, exchange: bool) -> Option<CrashInfo> {
+        let p = self.cfg.ranks;
+        let m = self.m;
+        if exchange {
+            self.exchange(cl);
+        }
+        // Compute phase: every rank, then every MID poll — persistence is
+        // untouched here, so a MID crash leaves all ranks at the same
+        // persisted frontier.
+        for r in 0..p {
+            let sys = cl.system_mut(r);
+            for j in 1..=m {
+                let a = self.x[r].get(sys, j - 1);
+                let b = self.x[r].get(sys, j);
+                let c = self.x[r].get(sys, j + 1);
+                sys.charge_flops(4);
+                self.x_new[r].set(sys, j - 1, b + K_DIFF * (a - 2.0 * b + c));
+            }
+        }
+        for r in 0..p {
+            if cl.poll(r, CrashSite::new(sites::PH_MID, iter)) {
+                return Some(self.crash(cl, r, iter, sites::PH_MID));
+            }
+        }
+        // Commit + persist phase for every rank, then every END poll — an
+        // END crash means the whole cluster completed this superstep's
+        // persists (checkpoints stay coordinated).
+        for r in 0..p {
+            let sys = cl.system_mut(r);
+            for j in 0..m {
+                let v = self.x_new[r].get(sys, j);
+                self.x[r].set(sys, j + 1, v);
+            }
+            match self.cfg.mode {
+                RecoveryMode::AlgorithmDirected => {
+                    let slot = self.slots[r][(iter % 2) as usize];
+                    for j in 0..m {
+                        let v = self.x_new[r].get(sys, j);
+                        slot.set(sys, j, v);
+                    }
+                    slot.persist_all(sys);
+                    sys.sfence();
+                    self.counters[r].set(sys, iter);
+                    self.counters[r].persist(sys);
+                    sys.sfence();
+                }
+                RecoveryMode::GlobalRestart => {
+                    if iter.is_multiple_of(self.cfg.ckpt_period) {
+                        self.ck_iters[r].set(sys, 0, iter);
+                        let regions = self.regions[r].clone();
+                        self.ckpts[r].checkpoint(sys, &regions);
+                    }
+                }
+            }
+        }
+        for r in 0..p {
+            if cl.poll(r, CrashSite::new(sites::PH_END, iter)) {
+                return Some(self.crash(cl, r, iter, sites::PH_END));
+            }
+        }
+        cl.barrier();
+        None
+    }
+
+    /// Coordinated rollback (shared [`crate::trial::coordinated_restore`]
+    /// pass): any rank without a valid level drags the whole cluster back
+    /// to the re-derivable iterate 0.
+    fn restart_rollback(&mut self, cl: &mut Cluster, failed: usize) -> (bool, u64) {
+        let restored = crate::trial::coordinated_restore(
+            cl,
+            failed,
+            &mut self.ckpts,
+            &self.layouts,
+            &self.regions,
+            &self.ck_iters,
+        );
+        let (detected, cc) = match restored {
+            Some(cc) => (false, cc),
+            None => {
+                for r in 0..self.cfg.ranks {
+                    self.reinit_rank(cl, r);
+                }
+                (true, 0)
+            }
+        };
+        cl.barrier();
+        (detected, cc)
+    }
+
+    fn recover(&mut self, cl: &mut Cluster, crash: CrashInfo) -> Recovery {
+        let frontier = crash.frontier();
+        cl.reboot_rank(crash.rank, &crash.image);
+        match self.cfg.mode {
+            RecoveryMode::AlgorithmDirected => {
+                let rank = crash.rank;
+                let sys = cl.system_mut(rank);
+                let prev = sys.clock_mut().set_bucket(Bucket::Detect);
+                let c = self.counters[rank].get(sys);
+                debug_assert_eq!(c, frontier, "extended counter trails the frontier");
+                sys.clock_mut().set_bucket(Bucket::Resume);
+                let slot = self.slots[rank][(c % 2) as usize];
+                for j in 0..self.m {
+                    let v = slot.get(sys, j);
+                    self.x[rank].set(sys, j + 1, v);
+                }
+                sys.clock_mut().set_bucket(prev);
+                if crash.site.phase == sites::PH_MID {
+                    // The in-flight superstep's halos were exchanged at its
+                    // start and wiped on the failed rank: neighbors re-send.
+                    self.halo_assist(cl, rank);
+                }
+                cl.barrier();
+                crate::trial::algorithm_directed_plan(&crash)
+            }
+            RecoveryMode::GlobalRestart => crate::trial::global_restart_recover(self, cl, &crash),
+        }
+    }
+
+    fn solution(&self, cl: &Cluster) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.cfg.cells);
+        for r in 0..self.cfg.ranks {
+            let sys = cl.system(r);
+            for j in 0..self.m {
+                out.push(self.x[r].peek(sys, j + 1));
+            }
+        }
+        out
+    }
+}
+
+/// Serial host reference: same arithmetic, same element order, so the
+/// distributed crash-free run matches it bitwise.
+pub fn stencil_host(cells: usize, iters: u64) -> Vec<f64> {
+    let mut x: Vec<f64> = (0..cells).map(initial).collect();
+    let mut x_new = vec![0.0f64; cells];
+    for _ in 0..iters {
+        for j in 0..cells {
+            let a = if j == 0 { LEFT_B } else { x[j - 1] };
+            let b = x[j];
+            let c = if j + 1 == cells { RIGHT_B } else { x[j + 1] };
+            x_new[j] = b + K_DIFF * (a - 2.0 * b + c);
+        }
+        std::mem::swap(&mut x, &mut x_new);
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trial::run_dist_trial;
+    use adcc_sim::crash::CrashTrigger;
+
+    fn run(crash: Option<(usize, CrashTrigger)>, mode: RecoveryMode) -> crate::trial::DistTrial {
+        let cfg = StencilConfig {
+            cells: 64,
+            ..StencilConfig::campaign(mode)
+        };
+        let mut cl = Cluster::new(cfg.cluster(), crash);
+        let mut prog = DistStencil::setup(&mut cl, cfg);
+        run_dist_trial(&mut cl, &mut prog, true)
+    }
+
+    fn site_trigger(phase: u32, iter: u64) -> CrashTrigger {
+        CrashTrigger::AtSite {
+            site: CrashSite::new(phase, iter),
+            occurrence: 1,
+        }
+    }
+
+    #[test]
+    fn crash_free_run_matches_the_serial_host_bitwise() {
+        let trial = run(None, RecoveryMode::AlgorithmDirected);
+        assert!(trial.completed_clean);
+        assert_eq!(trial.solution, stencil_host(64, 10));
+    }
+
+    #[test]
+    fn local_recovery_reproduces_the_crash_free_solution() {
+        let reference = run(None, RecoveryMode::AlgorithmDirected).solution;
+        for (rank, phase, iter) in [
+            (1, sites::PH_MID, 4),
+            (0, sites::PH_END, 7),
+            (3, sites::PH_MID, 1),
+        ] {
+            let trial = run(
+                Some((rank, site_trigger(phase, iter))),
+                RecoveryMode::AlgorithmDirected,
+            );
+            assert!(!trial.completed_clean);
+            assert_eq!(
+                trial.solution, reference,
+                "rank {rank} phase {phase:#x} iter {iter}"
+            );
+            assert_eq!(trial.lost_units, 0, "algorithm-directed recovery is exact");
+        }
+    }
+
+    #[test]
+    fn global_restart_reproduces_the_solution_but_loses_work() {
+        let reference = run(None, RecoveryMode::GlobalRestart).solution;
+        let trial = run(
+            Some((2, site_trigger(sites::PH_MID, 8))),
+            RecoveryMode::GlobalRestart,
+        );
+        assert_eq!(trial.solution, reference);
+        // Crash in superstep 8 (frontier 7), last checkpoint at 6: the
+        // whole cluster re-executed superstep 7.
+        assert_eq!(trial.lost_units, 4);
+        assert!(!trial.detected);
+    }
+
+    #[test]
+    fn restart_recovery_traffic_dwarfs_local_recovery_traffic() {
+        let local = run(
+            Some((1, site_trigger(sites::PH_MID, 8))),
+            RecoveryMode::AlgorithmDirected,
+        );
+        let restart = run(
+            Some((1, site_trigger(sites::PH_MID, 8))),
+            RecoveryMode::GlobalRestart,
+        );
+        assert!(local.recovery_net_bytes > 0, "neighbors assisted");
+        assert!(
+            restart.recovery_net_bytes > 2 * local.recovery_net_bytes,
+            "restart {} !>> local {}",
+            restart.recovery_net_bytes,
+            local.recovery_net_bytes
+        );
+        let p = local.profile.expect("telemetry on");
+        assert_eq!(p.recovery_net_bytes, local.recovery_net_bytes);
+        assert!(
+            p.net_msgs > 0 && p.net_ps > 0,
+            "forward fabric use measured"
+        );
+    }
+}

@@ -1,0 +1,294 @@
+//! The shared distributed-trial driver: forward execution, rank-granular
+//! crash, recovery in either mode, recovery-traffic measurement, and
+//! cluster-wide telemetry rollup.
+
+use adcc_sim::crash::CrashSite;
+use adcc_sim::image::NvmImage;
+use adcc_telemetry::{ExecutionProfile, Probe};
+
+use crate::cluster::Cluster;
+use crate::sites;
+
+/// How a rank failure is repaired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// Coordinated cluster-wide rollback to the last global checkpoint
+    /// (taken via `adcc_ckpt` every few supersteps) and re-execution by
+    /// every rank — the classic checkpoint/restart answer.
+    GlobalRestart,
+    /// The paper's idea lifted to partitions: each rank persists its
+    /// naturally-consistent iterate every superstep; the failed rank
+    /// rebuilds from its own NVM residue plus neighbor-assisted
+    /// halo/segment reconstruction while survivors keep volatile state.
+    AlgorithmDirected,
+}
+
+impl RecoveryMode {
+    /// Stable identifier used in scenario names and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryMode::GlobalRestart => "restart",
+            RecoveryMode::AlgorithmDirected => "local",
+        }
+    }
+}
+
+/// One rank failure: where it happened and the NVM image it left behind.
+#[derive(Debug)]
+pub struct CrashInfo {
+    /// The rank that died.
+    pub rank: usize,
+    /// Superstep (1-based) in flight when the trigger fired.
+    pub iter: u64,
+    /// The instrumented site whose poll fired.
+    pub site: CrashSite,
+    /// The failed rank's surviving NVM bytes.
+    pub image: NvmImage,
+}
+
+impl CrashInfo {
+    /// The last globally completed superstep when the crash landed: the
+    /// in-flight superstep itself for an end-of-superstep crash (persists
+    /// done), the previous one for a mid-superstep crash.
+    pub fn frontier(&self) -> u64 {
+        if self.site.phase == sites::PH_END {
+            self.iter
+        } else {
+            self.iter - 1
+        }
+    }
+}
+
+/// What one recovery did, as reported by the kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct Recovery {
+    /// A mechanism detector flagged inconsistent persistent state (e.g. a
+    /// missing checkpoint forced a from-scratch restart).
+    pub detected: bool,
+    /// Completed rank-supersteps re-executed because of the crash
+    /// (cluster-wide: a global rollback of `k` supersteps on `P` ranks
+    /// loses `k * P` units).
+    pub lost_units: u64,
+    /// First superstep the resumed forward loop runs.
+    pub resume_iter: u64,
+    /// Whether that superstep must re-run its opening exchange (false when
+    /// recovery already reconstructed the failed rank's halos/segments and
+    /// the survivors' volatile copies are still valid).
+    pub resume_exchange: bool,
+}
+
+/// One distributed kernel under one persistence/recovery mode. Drivers
+/// step it through BSP supersteps and hand rank failures back to it.
+pub trait DistKernel {
+    /// Supersteps in a full run (1-based loop `1..=iters`).
+    fn iters(&self) -> u64;
+
+    /// Run superstep `iter`: opening halo/segment exchange (when
+    /// `exchange`), per-rank compute with `PH_MID` polls, per-rank persist
+    /// with `PH_END` polls, closing barrier — ranks always in rank order.
+    /// Returns the crash when a poll fires (the kernel must capture the
+    /// rank's image via [`Cluster::crash_rank`] before returning).
+    fn superstep(&mut self, cl: &mut Cluster, iter: u64, exchange: bool) -> Option<CrashInfo>;
+
+    /// Coordinated rollback of the GlobalRestart mechanism: re-attach the
+    /// `failed` rank's checkpoint area, restore every rank, and return
+    /// `(detected, restored_iterate)` — the iterate must be globally
+    /// agreed (see [`global_restart_recover`], which re-executes from it).
+    fn restart_rollback(&mut self, cl: &mut Cluster, failed: usize) -> (bool, u64);
+
+    /// Repair the failure: reboot the rank from its image and bring the
+    /// cluster back to the pre-crash frontier under this kernel's
+    /// [`RecoveryMode`]. Everything charged here (and every message sent)
+    /// is the price of recovery.
+    fn recover(&mut self, cl: &mut Cluster, crash: CrashInfo) -> Recovery;
+
+    /// Gather the global solution (uncharged peek; classification only).
+    fn solution(&self, cl: &Cluster) -> Vec<f64>;
+}
+
+/// The resume plan shared by every kernel's AlgorithmDirected arm: a
+/// mid-superstep crash re-runs the in-flight superstep without its
+/// opening exchange (recovery already reconstructed the failed rank's
+/// halos/segments; the survivors' volatile copies are still valid), an
+/// end-of-superstep crash resumes at the next superstep with a full
+/// exchange. Nothing is lost either way — the restored iterate *is* the
+/// frontier.
+pub fn algorithm_directed_plan(crash: &CrashInfo) -> Recovery {
+    if crash.site.phase == sites::PH_MID {
+        Recovery {
+            detected: false,
+            lost_units: 0,
+            resume_iter: crash.iter,
+            resume_exchange: false,
+        }
+    } else {
+        Recovery {
+            detected: false,
+            lost_units: 0,
+            resume_iter: crash.iter + 1,
+            resume_exchange: true,
+        }
+    }
+}
+
+/// The coordinated-restore pass shared by the grid kernels'
+/// [`DistKernel::restart_rollback`]: re-attach the failed rank's
+/// checkpoint area, restore every rank under
+/// [`adcc_sim::clock::Bucket::Resume`], and return the globally agreed
+/// checkpoint iterate — or `None` when any rank lacks a valid level, in
+/// which case the caller must drag the **whole cluster** back to a
+/// re-derivable iterate 0 (a partial rollback would mix iterates).
+/// Panics if the restored iterates disagree: coordinated checkpoints are
+/// taken between the same poll boundaries on every rank, so disagreement
+/// is a protocol bug, never a recoverable state.
+pub fn coordinated_restore(
+    cl: &mut Cluster,
+    failed: usize,
+    ckpts: &mut [adcc_ckpt::mem::MemCheckpoint],
+    layouts: &[adcc_ckpt::mem::MemCheckpointLayout],
+    regions: &[Vec<(u64, usize)>],
+    ck_iters: &[adcc_sim::parray::PArray<u64>],
+) -> Option<u64> {
+    use adcc_sim::clock::Bucket;
+    ckpts[failed] = adcc_ckpt::mem::MemCheckpoint::attach(layouts[failed], false);
+    let mut restored: Vec<Option<u64>> = Vec::with_capacity(cl.ranks());
+    for r in 0..cl.ranks() {
+        let sys = cl.system_mut(r);
+        let prev = sys.clock_mut().set_bucket(Bucket::Resume);
+        let got = ckpts[r]
+            .restore(sys, &regions[r])
+            .map(|_seq| ck_iters[r].get(sys, 0));
+        sys.clock_mut().set_bucket(prev);
+        restored.push(got);
+    }
+    let iters = restored.iter().copied().collect::<Option<Vec<u64>>>()?;
+    assert!(
+        iters.iter().all(|&i| i == iters[0]),
+        "coordinated checkpoints disagree across ranks: {iters:?}"
+    );
+    Some(iters[0])
+}
+
+/// The GlobalRestart arm shared by every kernel: coordinated rollback
+/// (the kernel's [`DistKernel::restart_rollback`] hook), then
+/// cluster-wide re-execution — full exchanges included, which is exactly
+/// the recovery traffic this mode pays — back to the pre-crash frontier.
+pub fn global_restart_recover<K: DistKernel + ?Sized>(
+    kernel: &mut K,
+    cl: &mut Cluster,
+    crash: &CrashInfo,
+) -> Recovery {
+    let frontier = crash.frontier();
+    let ranks = cl.ranks() as u64;
+    let (detected, cc) = kernel.restart_rollback(cl, crash.rank);
+    debug_assert!(cc <= frontier);
+    for k in cc + 1..=frontier {
+        let again = kernel.superstep(cl, k, true);
+        debug_assert!(again.is_none(), "re-execution cannot crash");
+    }
+    Recovery {
+        detected,
+        lost_units: (frontier - cc) * ranks,
+        resume_iter: frontier + 1,
+        resume_exchange: true,
+    }
+}
+
+/// Outcome facts of one distributed trial, classified by the campaign.
+#[derive(Debug)]
+pub struct DistTrial {
+    /// Gathered global solution after completion (or recovery + resume).
+    pub solution: Vec<f64>,
+    /// The armed trigger never fired; the run completed crash-free.
+    pub completed_clean: bool,
+    /// A recovery-side detector flagged dirty persistent state.
+    pub detected: bool,
+    /// Rank-supersteps re-executed by recovery.
+    pub lost_units: u64,
+    /// Simulated cluster time spent between the crash and the return to
+    /// the pre-crash frontier, picoseconds.
+    pub sim_time_ps: u64,
+    /// Fabric messages sent inside the recovery window.
+    pub recovery_net_msgs: u64,
+    /// Fabric payload bytes sent inside the recovery window — the
+    /// headline cost the two recovery modes are compared on.
+    pub recovery_net_bytes: u64,
+    /// Per-rank forward-execution profiles rolled into one cluster total
+    /// (present when the trial ran with telemetry), with
+    /// `recovery_net_bytes` and the failed rank's dirty residency attached.
+    pub profile: Option<ExecutionProfile>,
+}
+
+/// Roll every rank's probe window into one cluster-wide profile.
+fn roll_up(probes: &[Probe], cl: &Cluster) -> ExecutionProfile {
+    let mut total = ExecutionProfile::default();
+    for (rank, probe) in probes.iter().enumerate() {
+        total.merge(&probe.finish(cl.system(rank)));
+    }
+    total
+}
+
+/// Drive one distributed trial: forward supersteps until completion or the
+/// armed crash, then recovery and resume. Telemetry probes are passive
+/// counter snapshots, so the `telemetry` flag never changes the simulated
+/// execution.
+pub fn run_dist_trial<K: DistKernel>(
+    cl: &mut Cluster,
+    kernel: &mut K,
+    telemetry: bool,
+) -> DistTrial {
+    let probes: Option<Vec<Probe>> = telemetry.then(|| {
+        (0..cl.ranks())
+            .map(|r| Probe::attach(cl.system(r)))
+            .collect()
+    });
+    let iters = kernel.iters();
+    let mut crash = None;
+    for iter in 1..=iters {
+        if let Some(c) = kernel.superstep(cl, iter, true) {
+            crash = Some(c);
+            break;
+        }
+    }
+    let Some(crash) = crash else {
+        return DistTrial {
+            solution: kernel.solution(cl),
+            completed_clean: true,
+            detected: false,
+            lost_units: 0,
+            sim_time_ps: 0,
+            recovery_net_msgs: 0,
+            recovery_net_bytes: 0,
+            profile: probes.map(|p| roll_up(&p, cl)),
+        };
+    };
+
+    // The forward window ends at the crash instant: counters survive the
+    // crash, and the failed rank's system is still the crashed one (its
+    // replacement happens inside `recover`).
+    let dirty_lines = crash.image.dirty_lines_at_crash();
+    let forward = probes.map(|p| roll_up(&p, cl).with_dirty_lines(dirty_lines));
+
+    let traffic_before = cl.traffic();
+    let now_before = cl.max_now_ps();
+    let recovery = kernel.recover(cl, crash);
+    let rec_traffic = cl.traffic().since(&traffic_before);
+    let sim_time_ps = cl.max_now_ps() - now_before;
+
+    for iter in recovery.resume_iter..=iters {
+        let exchange = iter != recovery.resume_iter || recovery.resume_exchange;
+        let again = kernel.superstep(cl, iter, exchange);
+        debug_assert!(again.is_none(), "a fired trigger cannot fire again");
+    }
+
+    DistTrial {
+        solution: kernel.solution(cl),
+        completed_clean: false,
+        detected: recovery.detected,
+        lost_units: recovery.lost_units,
+        sim_time_ps,
+        recovery_net_msgs: rec_traffic.msgs,
+        recovery_net_bytes: rec_traffic.bytes,
+        profile: forward.map(|p| p.with_recovery_net_bytes(rec_traffic.bytes)),
+    }
+}

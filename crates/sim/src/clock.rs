@@ -113,17 +113,20 @@ pub enum Bucket {
     Log = 5,
     /// I/O device time (HDD checkpoints).
     Io = 6,
+    /// Network fabric time: message transfer and synchronization waits in
+    /// multi-rank executions (`adcc::dist`).
+    Network = 7,
     /// Post-crash work: deciding where to restart.
-    Detect = 7,
+    Detect = 8,
     /// Post-crash work: re-executing lost computation.
-    Resume = 8,
+    Resume = 9,
     /// Anything else.
-    Other = 9,
+    Other = 10,
 }
 
 impl Bucket {
     /// Number of buckets.
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 11;
 
     /// Every bucket, in `Bucket as usize` order.
     pub const ALL: [Bucket; Bucket::COUNT] = [
@@ -134,6 +137,7 @@ impl Bucket {
         Bucket::Fence,
         Bucket::Log,
         Bucket::Io,
+        Bucket::Network,
         Bucket::Detect,
         Bucket::Resume,
         Bucket::Other,
@@ -149,6 +153,7 @@ impl Bucket {
             Bucket::Fence => "fence",
             Bucket::Log => "log",
             Bucket::Io => "io",
+            Bucket::Network => "network",
             Bucket::Detect => "detect",
             Bucket::Resume => "resume",
             Bucket::Other => "other",

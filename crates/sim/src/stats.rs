@@ -56,6 +56,10 @@ pub struct MemStats {
     pub accesses: u64,
     /// Full DRAM-cache drains performed.
     pub dram_drains: u64,
+    /// Fabric messages sent by this rank (multi-rank executions only).
+    pub net_msgs_sent: u64,
+    /// Fabric payload bytes sent by this rank.
+    pub net_bytes_sent: u64,
 }
 
 impl MemStats {

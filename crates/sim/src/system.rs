@@ -682,6 +682,24 @@ impl MemorySystem {
         self.clock.charge_to(Bucket::Io, ps);
     }
 
+    /// Charge one outbound fabric message: `ps` of network time on this
+    /// rank's clock plus the send counters a telemetry probe diffs. The
+    /// fabric computes `ps` from its own timing model; the memory system
+    /// only records it (multi-rank executions, `adcc::dist`).
+    #[inline]
+    pub fn charge_net_send(&mut self, bytes: u64, ps: u64) {
+        self.stats.net_msgs_sent += 1;
+        self.stats.net_bytes_sent += bytes;
+        self.clock.charge_to(Bucket::Network, ps);
+    }
+
+    /// Charge network time that moves no payload owned by this rank:
+    /// receive-side latency and barrier-synchronization waits.
+    #[inline]
+    pub fn charge_net_wait(&mut self, ps: u64) {
+        self.clock.charge_to(Bucket::Network, ps);
+    }
+
     /// The simulated clock.
     pub fn clock(&self) -> &SimClock {
         &self.clock
@@ -1345,6 +1363,17 @@ mod tests {
             stats0.epoch_barriers,
             "no barrier counted"
         );
+    }
+
+    #[test]
+    fn net_charges_hit_the_network_bucket_and_counters() {
+        let mut s = small_sys();
+        s.charge_net_send(128, 5_000);
+        s.charge_net_wait(1_000);
+        assert_eq!(s.stats().net_msgs_sent, 1);
+        assert_eq!(s.stats().net_bytes_sent, 128);
+        assert_eq!(s.clock().bucket_total(Bucket::Network), SimTime(6_000));
+        assert_eq!(s.now(), SimTime(6_000));
     }
 
     #[test]

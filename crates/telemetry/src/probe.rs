@@ -65,6 +65,10 @@ impl Probe {
             log_appends: 0,
             log_bytes: 0,
             dirty_lines_at_crash: 0,
+            net_msgs: now.net_msgs_sent - start.net_msgs_sent,
+            net_bytes: now.net_bytes_sent - start.net_bytes_sent,
+            net_ps: bucket(Bucket::Network),
+            recovery_net_bytes: 0,
         }
     }
 }

@@ -55,6 +55,19 @@ pub struct ExecutionProfile {
     /// Distinct dirty NVM-homed cache lines resident in volatile levels at
     /// the crash instant (zero for runs that completed without crashing).
     pub dirty_lines_at_crash: u64,
+    /// Fabric messages sent in the window (multi-rank executions; zero for
+    /// single-rank runs).
+    pub net_msgs: u64,
+    /// Fabric payload bytes sent in the window.
+    pub net_bytes: u64,
+    /// Simulated picoseconds attributed to the network fabric (transfers
+    /// and synchronization waits).
+    pub net_ps: u64,
+    /// Fabric payload bytes spent getting the cluster back to its pre-crash
+    /// frontier — the recovery-traffic cost the dist campaign compares
+    /// between global restart and algorithm-directed local recovery. Filled
+    /// by the dist trial driver, not by probes.
+    pub recovery_net_bytes: u64,
 }
 
 impl ExecutionProfile {
@@ -114,6 +127,14 @@ impl ExecutionProfile {
         self
     }
 
+    /// Attach the recovery-traffic bytes a multi-rank trial measured on
+    /// its fabric between the crash and the return to the pre-crash
+    /// frontier.
+    pub fn with_recovery_net_bytes(mut self, bytes: u64) -> Self {
+        self.recovery_net_bytes = bytes;
+        self
+    }
+
     /// Field-wise accumulation (per-scenario aggregation over trials).
     pub fn merge(&mut self, other: &ExecutionProfile) {
         self.clflushes += other.clflushes;
@@ -132,6 +153,10 @@ impl ExecutionProfile {
         self.log_appends += other.log_appends;
         self.log_bytes += other.log_bytes;
         self.dirty_lines_at_crash += other.dirty_lines_at_crash;
+        self.net_msgs += other.net_msgs;
+        self.net_bytes += other.net_bytes;
+        self.net_ps += other.net_ps;
+        self.recovery_net_bytes += other.recovery_net_bytes;
     }
 }
 
@@ -176,6 +201,10 @@ mod tests {
             sfences: 2,
             log_bytes: 3,
             dirty_lines_at_crash: 4,
+            net_msgs: 5,
+            net_bytes: 6,
+            net_ps: 7,
+            recovery_net_bytes: 8,
             ..Default::default()
         };
         let b = a;
@@ -184,5 +213,9 @@ mod tests {
         assert_eq!(a.sfences, 4);
         assert_eq!(a.log_bytes, 6);
         assert_eq!(a.dirty_lines_at_crash, 8);
+        assert_eq!(a.net_msgs, 10);
+        assert_eq!(a.net_bytes, 12);
+        assert_eq!(a.net_ps, 14);
+        assert_eq!(a.recovery_net_bytes, 16);
     }
 }

@@ -1,0 +1,168 @@
+//! Property suite for the checkpoint managers under the copy-on-write
+//! delta-image path: crash states harvested as `DeltaImage`s between
+//! checkpoint *levels* (mid-epoch, post-local, post-remote-ship) must
+//! always recover to the most recent **consistent** level — the newest
+//! complete local checkpoint after a process crash, the newest shipped
+//! remote copy after a node loss, the newest checksum-verified slot for
+//! the page-incremental manager.
+
+use proptest::prelude::*;
+
+use adcc::ckpt::incremental::IncrementalCheckpoint;
+use adcc::ckpt::multilevel::{MultilevelCheckpoint, RemoteStore, RemoteTiming};
+use adcc::sim::parray::PArray;
+use adcc::sim::system::{MemorySystem, SystemConfig};
+
+fn cfg() -> SystemConfig {
+    SystemConfig::nvm_only(4 << 10, 1 << 20)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Multilevel (local NVM + modelled remote): crashing at any point of
+    /// an epoch sequence — mid-epoch (data dirty, nothing new persisted)
+    /// or right after a checkpoint (remote possibly lagging) — restores
+    /// the newest complete local level after a process crash, and the
+    /// newest shipped level after a node loss. Epoch `e`'s payload value
+    /// is `e`, and checkpoint seq `s` holds value `s - 1`, so the
+    /// restored data pins the level exactly.
+    #[test]
+    fn multilevel_crashes_recover_the_newest_consistent_level(
+        epochs in 2u64..6,
+        remote_period in 1u64..4,
+        crash_after_fill in any::<bool>(),
+        crash_epoch in 1u64..6,
+    ) {
+        let crash_epoch = crash_epoch.min(epochs);
+        let mut sys = MemorySystem::new(cfg());
+        let data = PArray::<u64>::alloc_nvm(&mut sys, 32);
+        let regions = [(data.base(), data.byte_len())];
+        let mut remote = RemoteStore::new();
+        let mut ml = MultilevelCheckpoint::new(
+            &mut sys,
+            data.byte_len(),
+            false,
+            remote_period,
+            RemoteTiming::burst_buffer(),
+        );
+        let layout = ml.local_layout();
+        // Setup level: value 0 at seq 1.
+        data.fill(&mut sys, 0);
+        ml.checkpoint(&mut sys, &regions, &mut remote);
+
+        let base = sys.delta_base();
+        let mut fork = None;
+        for e in 1..=epochs {
+            data.fill(&mut sys, e);
+            if e == crash_epoch && crash_after_fill {
+                // Crash between the write burst and the next level.
+                fork = Some((sys.crash_fork_delta(&base), e, remote.clone()));
+                break;
+            }
+            ml.checkpoint(&mut sys, &regions, &mut remote);
+            if e == crash_epoch {
+                // Crash between the local level and the next epoch (the
+                // remote level may be lagging by up to remote_period - 1).
+                fork = Some((sys.crash_fork_delta(&base), e + 1, remote.clone()));
+                break;
+            }
+        }
+        let (delta, expected_seq, remote_at_crash) = fork.expect("crash epoch within range");
+        let image = delta.materialize();
+
+        // Process crash: same node, NVM intact — newest local level wins.
+        let mut rebooted = MemorySystem::from_image(cfg(), &image);
+        let ml2 = MultilevelCheckpoint::attach(
+            layout,
+            false,
+            remote_period,
+            RemoteTiming::burst_buffer(),
+        );
+        let got = ml2.restore_local(&mut rebooted, &regions);
+        prop_assert_eq!(got, Some(expected_seq), "local restore level");
+        prop_assert_eq!(data.load_vec(&mut rebooted), vec![expected_seq - 1; 32]);
+
+        // Node loss: local NVM gone — the newest *shipped* level wins,
+        // which trails local by less than the ship period.
+        let mut fresh = MemorySystem::new(cfg());
+        let _ = PArray::<u64>::alloc_nvm(&mut fresh, 32); // same layout
+        let got = MultilevelCheckpoint::restore_from_remote(
+            &mut fresh,
+            &regions,
+            &remote_at_crash,
+            RemoteTiming::burst_buffer(),
+        );
+        let remote_seq = remote_at_crash.seq();
+        prop_assert_eq!(got, remote_seq, "remote restore level");
+        if let Some(s) = remote_seq {
+            prop_assert!(s <= expected_seq);
+            prop_assert!(expected_seq - s < remote_period.max(1) + 1);
+            prop_assert_eq!(data.load_vec(&mut fresh), vec![s - 1; 32]);
+        }
+    }
+
+    /// Page-incremental: for any interleaving of sparse writes and
+    /// checkpoints, a delta-image crash anywhere between checkpoints
+    /// attaches (conservatively all-dirty) and restores exactly the data
+    /// of the newest checksum-complete slot.
+    #[test]
+    fn incremental_crashes_recover_the_last_complete_checkpoint(
+        script in prop::collection::vec(
+            prop_oneof![
+                3 => (0usize..48, any::<u64>()).prop_map(Some),
+                1 => Just(None), // checkpoint
+            ],
+            1..24,
+        ),
+        crash_step in 0usize..24,
+        page_pow in 6u32..9,
+    ) {
+        let crash_step = crash_step.min(script.len() - 1);
+        let mut sys = MemorySystem::new(cfg());
+        let data = PArray::<u64>::alloc_nvm(&mut sys, 48);
+        data.fill(&mut sys, 0);
+        let regions = vec![(data.base(), data.byte_len())];
+        let mut ck = IncrementalCheckpoint::new(
+            &mut sys,
+            regions.clone(),
+            1usize << page_pow,
+            false,
+        );
+        let layout = ck.layout();
+
+        let base = sys.delta_base();
+        let mut live = vec![0u64; 48];
+        let mut committed: Option<(u64, Vec<u64>)> = None;
+        let mut fork = None;
+        for (step, action) in script.iter().enumerate() {
+            match action {
+                Some((index, value)) => {
+                    data.set(&mut sys, *index, *value);
+                    ck.mark_dirty(data.addr(*index), 8);
+                    live[*index] = *value;
+                }
+                None => {
+                    let report = ck.checkpoint(&mut sys);
+                    committed = Some((report.seq, live.clone()));
+                }
+            }
+            if step == crash_step {
+                fork = Some(sys.crash_fork_delta(&base));
+                break;
+            }
+        }
+        let image = fork.expect("crash step within script").materialize();
+
+        let mut rebooted = MemorySystem::from_image(cfg(), &image);
+        let ck2 = IncrementalCheckpoint::attach(layout, regions, false);
+        let got = ck2.restore(&mut rebooted);
+        match committed {
+            Some((seq, ref state)) => {
+                prop_assert_eq!(got, Some(seq), "newest complete slot");
+                prop_assert_eq!(&data.load_vec(&mut rebooted), state);
+            }
+            None => prop_assert_eq!(got, None, "nothing consistent yet"),
+        }
+    }
+}
