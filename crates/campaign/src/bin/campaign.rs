@@ -29,7 +29,7 @@ use adcc_bench::{NativeCg, NativeMechanism};
 use adcc_campaign::cost::CostTable;
 use adcc_campaign::engine::{run_campaign, CampaignConfig};
 use adcc_campaign::json::Json;
-use adcc_campaign::report::{compare, flush_audit, CampaignReport};
+use adcc_campaign::report::{compare, flush_audit, parse_shard, CampaignReport};
 use adcc_campaign::schedule::Schedule;
 use adcc_telemetry::{adr_eadr_costs, ExecutionProfile, Probe};
 
@@ -38,6 +38,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..], false),
         Some("replay") => cmd_run(&args[1..], true),
+        Some("merge") => cmd_merge(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("cost") => cmd_cost(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
@@ -61,10 +62,12 @@ usage:
   campaign run     [--budget-states N] [--seed S] [--threads T]
                    [--schedule stratified|every-k:K|exhaustive:N]
                    [--dense D] [--max-batch B] [--per-trial] [--dist]
-                   [--telemetry] [--out PATH]
+                   [--shard I/N] [--telemetry] [--out PATH]
   campaign replay  --seed S [--budget-states N] [--threads T]
                    [--schedule SPEC] [--dense D] [--max-batch B] [--per-trial]
-                   [--dist] [--telemetry] [--expect PATH] [--out PATH]
+                   [--dist] [--shard I/N] [--telemetry] [--expect PATH]
+                   [--out PATH]
+  campaign merge   --out PATH SHARD.json SHARD.json ...
   campaign compare OLD.json NEW.json
   campaign cost    [--budget-states N] [--seed S] [--threads T]
                    [--schedule SPEC] [--dist] [--json] [--out PATH]
@@ -81,6 +84,11 @@ the bench baseline).
 multi-rank scenarios with (rank, site) crash points, comparing global
 checkpoint restart against algorithm-directed local recovery (recorded
 in the report; replays reproduce it).
+--shard I/N runs the I-th of an N-way positional split of the schedule
+and emits a partial report carrying a shard marker; `campaign merge`
+folds the complete shard set back into a report byte-identical to an
+unsharded run of the same seed (partial campaigns are resumable: rerun
+only the missing shards, then merge).
 cost --json emits the cost table as a schema-versioned JSON document
 (adcc-cost-table/v1) instead of the text table, for CI diffing.
 ";
@@ -137,6 +145,7 @@ fn cmd_run(args: &[String], replay: bool) -> Result<ExitCode, String> {
             "--schedule",
             "--dense",
             "--max-batch",
+            "--shard",
             "--out",
             "--expect",
         ],
@@ -161,6 +170,7 @@ fn cmd_run(args: &[String], replay: bool) -> Result<ExitCode, String> {
         cfg.schedule = Schedule::parse(&exp.schedule)?;
         cfg.dense_units = exp.dense_units;
         cfg.dist = exp.dist;
+        cfg.shard = exp.shard;
     }
     if let Some(v) = take_opt(args, "--seed")? {
         cfg.seed = parse_u64(&v, "seed")?;
@@ -181,6 +191,9 @@ fn cmd_run(args: &[String], replay: bool) -> Result<ExitCode, String> {
     }
     if let Some(v) = take_opt(args, "--max-batch")? {
         cfg.max_batch = parse_u64(&v, "max-batch")?.max(1);
+    }
+    if let Some(v) = take_opt(args, "--shard")? {
+        cfg.shard = Some(parse_shard(&v)?);
     }
     cfg.per_trial = take_flag(args, "--per-trial");
     cfg.dist = cfg.dist || take_flag(args, "--dist");
@@ -245,6 +258,9 @@ fn print_summary(report: &CampaignReport) {
         report.threads,
         report.wall_clock_ms
     );
+    if let Some((i, n)) = report.shard {
+        println!("partial report: shard {i}/{n} (merge the full set with `campaign merge`)");
+    }
     let m = &report.image_memory;
     if m.images > 0 {
         println!(
@@ -285,6 +301,65 @@ fn print_summary(report: &CampaignReport) {
         t.completed_clean,
         t.silent_corruption
     );
+}
+
+/// Fold a complete set of shard reports into the canonical unsharded
+/// report. Validation failures (overlap, gaps, mismatched campaigns,
+/// unsharded inputs) exit nonzero without writing anything; the merged
+/// document then passes through the same silent-corruption and flush-audit
+/// gates as `run`, so a merged campaign is held to the run's standard.
+fn cmd_merge(args: &[String]) -> Result<ExitCode, String> {
+    let out = take_opt(args, "--out")?.ok_or_else(|| format!("merge needs --out PATH\n{USAGE}"))?;
+    let paths: Vec<&String> = {
+        let mut skip = false;
+        args.iter()
+            .filter(|a| {
+                if skip {
+                    skip = false;
+                    return false;
+                }
+                if *a == "--out" {
+                    skip = true;
+                    return false;
+                }
+                true
+            })
+            .collect()
+    };
+    if paths.is_empty() {
+        return Err(format!("merge needs at least one shard report\n{USAGE}"));
+    }
+    if let Some(flag) = paths.iter().find(|p| p.starts_with("--")) {
+        return Err(format!("unknown option {flag:?}\n{USAGE}"));
+    }
+    let partials = paths
+        .iter()
+        .map(|p| {
+            let text = std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
+            CampaignReport::parse(&text).map_err(|e| format!("{p}: {e}"))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let merged = CampaignReport::merge_shards(&partials)?;
+    print_summary(&merged);
+    std::fs::write(&out, merged.to_string_pretty())
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("merged report written to {out}");
+    if merged.silent_corruption_total() > 0 {
+        eprintln!(
+            "FAIL: {} silent-corruption outcome(s)",
+            merged.silent_corruption_total()
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    let audit = flush_audit(&merged);
+    if !audit.is_empty() {
+        for line in &audit {
+            eprintln!("FLUSH AUDIT: {line}");
+        }
+        eprintln!("FAIL: flush-based mechanism(s) recorded zero flushes");
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_compare(args: &[String]) -> Result<ExitCode, String> {
@@ -556,10 +631,10 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
         .map(|v| parse_u64(&v, "dist-states"))
         .transpose()?
         .unwrap_or(300);
-    // Default to the *current* trajectory point: BENCH_0.json (v1),
-    // BENCH_1.json (v2), and BENCH_2.json (v3) are committed documents
-    // and must never be clobbered by a v4 emission.
-    let out = take_opt(args, "--out")?.unwrap_or_else(|| "BENCH_3.json".to_string());
+    // Default to the *current* trajectory point: BENCH_0.json (v1)
+    // through BENCH_3.json (v4) are committed documents and must never be
+    // clobbered by a v5 emission.
+    let out = take_opt(args, "--out")?.unwrap_or_else(|| "BENCH_4.json".to_string());
 
     let class = adcc_linalg::CgClass {
         name: "bench",
@@ -676,53 +751,60 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
     // Distributed campaign throughput and the recovery-traffic gap the
     // dist registry exists to measure: algorithm-directed local recovery
     // versus global checkpoint restart, same seed, same crash points.
-    let t0 = std::time::Instant::now();
-    let dist_report = run_campaign(&CampaignConfig {
-        budget_states: dist_states,
-        telemetry: true,
-        dist: true,
-        ..CampaignConfig::default()
-    });
-    let dist_secs = t0.elapsed().as_secs_f64();
-    let mode_bytes = |suffix: &str| -> (u64, u64) {
-        dist_report
-            .scenarios
-            .iter()
-            .filter(|s| s.name.ends_with(suffix))
-            .fold((0, 0), |(bytes, trials), s| {
-                (
-                    bytes + s.telemetry.as_ref().map_or(0, |t| t.recovery_net_bytes),
-                    trials + s.trials,
-                )
-            })
-    };
-    let (local_bytes, local_trials) = mode_bytes("-local");
-    let (restart_bytes, restart_trials) = mode_bytes("-restart");
-    let dist_total = dist_report.totals.total();
-    let dist_sps = dist_total as f64 / dist_secs.max(1e-9);
-    println!(
-        "campaign/dist          {dist_total} states in {dist_secs:>8.2} s | {dist_sps:>8.0} states/s \
-         | recovery B/trial: local {}, restart {}",
-        local_bytes / local_trials.max(1),
-        restart_bytes / restart_trials.max(1),
-    );
-    let mut e = Json::obj();
-    e.push("bench", Json::Str("campaign/dist".into()));
-    e.push("budget_states", Json::Int(dist_states));
-    e.push("states", Json::Int(dist_total));
-    e.push("wall_ms", Json::Int((dist_secs * 1e3) as u64));
-    e.push("states_per_sec", Json::Int(dist_sps as u64));
-    e.push("local_recovery_bytes", Json::Int(local_bytes));
-    e.push(
-        "local_recovery_bytes_per_trial",
-        Json::Int(local_bytes / local_trials.max(1)),
-    );
-    e.push("restart_recovery_bytes", Json::Int(restart_bytes));
-    e.push(
-        "restart_recovery_bytes_per_trial",
-        Json::Int(restart_bytes / restart_trials.max(1)),
-    );
-    results.push(e);
+    // Since v5 the default row uses the batched harvest-plan path (one
+    // forward cluster execution per chunk, forked-cluster recovery
+    // replays); the `-per-trial` row is the legacy one-cluster-per-state
+    // baseline the speedup is measured against.
+    for (bench_name, per_trial) in [("campaign/dist", false), ("campaign/dist-per-trial", true)] {
+        let t0 = std::time::Instant::now();
+        let dist_report = run_campaign(&CampaignConfig {
+            budget_states: dist_states,
+            telemetry: true,
+            dist: true,
+            per_trial,
+            ..CampaignConfig::default()
+        });
+        let dist_secs = t0.elapsed().as_secs_f64();
+        let mode_bytes = |suffix: &str| -> (u64, u64) {
+            dist_report
+                .scenarios
+                .iter()
+                .filter(|s| s.name.ends_with(suffix))
+                .fold((0, 0), |(bytes, trials), s| {
+                    (
+                        bytes + s.telemetry.as_ref().map_or(0, |t| t.recovery_net_bytes),
+                        trials + s.trials,
+                    )
+                })
+        };
+        let (local_bytes, local_trials) = mode_bytes("-local");
+        let (restart_bytes, restart_trials) = mode_bytes("-restart");
+        let dist_total = dist_report.totals.total();
+        let dist_sps = dist_total as f64 / dist_secs.max(1e-9);
+        println!(
+            "{bench_name:<22} {dist_total} states in {dist_secs:>8.2} s | {dist_sps:>8.0} states/s \
+             | recovery B/trial: local {}, restart {}",
+            local_bytes / local_trials.max(1),
+            restart_bytes / restart_trials.max(1),
+        );
+        let mut e = Json::obj();
+        e.push("bench", Json::Str(bench_name.into()));
+        e.push("budget_states", Json::Int(dist_states));
+        e.push("states", Json::Int(dist_total));
+        e.push("wall_ms", Json::Int((dist_secs * 1e3) as u64));
+        e.push("states_per_sec", Json::Int(dist_sps as u64));
+        e.push("local_recovery_bytes", Json::Int(local_bytes));
+        e.push(
+            "local_recovery_bytes_per_trial",
+            Json::Int(local_bytes / local_trials.max(1)),
+        );
+        e.push("restart_recovery_bytes", Json::Int(restart_bytes));
+        e.push(
+            "restart_recovery_bytes_per_trial",
+            Json::Int(restart_bytes / restart_trials.max(1)),
+        );
+        results.push(e);
+    }
 
     let mut config = Json::obj();
     config.push("kernel", Json::Str("native-cg".into()));
@@ -734,9 +816,10 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
     config.push("campaign_states", Json::Int(campaign_states));
     config.push("dist_states", Json::Int(dist_states));
     let mut doc = Json::obj();
-    // v4 adds the campaign/dist row (distributed crash-state throughput
-    // plus the per-recovery-mode traffic columns).
-    doc.push("schema", Json::Str("adcc-bench-trajectory/v4".into()));
+    // v5 switches the campaign/dist row to the batched harvest-plan path
+    // and adds the campaign/dist-per-trial baseline row it is measured
+    // against (v4 added the dist row itself).
+    doc.push("schema", Json::Str("adcc-bench-trajectory/v5".into()));
     doc.push("unit", Json::Str("ns_per_iter".into()));
     doc.push("config", config);
     doc.push("results", Json::Arr(results));

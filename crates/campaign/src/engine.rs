@@ -51,6 +51,14 @@ pub struct CampaignConfig {
     /// `(rank, site)` crash points and per-mode recovery comparison.
     /// Recorded in the canonical report, so replays reproduce it.
     pub dist: bool,
+    /// Run shard `i` of an `n`-way campaign split: each scenario's
+    /// scheduled crash points are partitioned positionally (point index
+    /// `k` belongs to shard `k % n`), so the `n` partial reports cover the
+    /// full schedule exactly once between them. The partial report carries
+    /// a `shard` marker; `CampaignReport::merge_shards` folds the full set
+    /// back into a report byte-identical to an unsharded run of the same
+    /// `(seed, budget, schedule)`. `None` runs everything.
+    pub shard: Option<(u64, u64)>,
 }
 
 impl Default for CampaignConfig {
@@ -65,6 +73,7 @@ impl Default for CampaignConfig {
             max_batch: 128,
             per_trial: false,
             dist: false,
+            shard: None,
         }
     }
 }
@@ -163,6 +172,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         schedule: cfg.schedule.name(),
         dense_units: cfg.dense_units,
         dist: cfg.dist,
+        shard: cfg.shard,
         scenarios: scenario_reports,
         totals,
         telemetry,
@@ -173,7 +183,10 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
 }
 
 /// Crash points per scenario (registry order), drawn over the site-grain
-/// space plus any configured dense extension.
+/// space plus any configured dense extension. A shard keeps the positions
+/// `k % n == i` of each scenario's full plan — the partition is over the
+/// *planned* sequence, not the unit values, so it is stable under
+/// duplicate points and exactly tiles the unsharded plan.
 fn plan(cfg: &CampaignConfig, scenarios: &[Box<dyn Scenario>]) -> Vec<Vec<u64>> {
     let n = scenarios.len() as u64;
     let base = cfg.budget_states / n;
@@ -183,12 +196,21 @@ fn plan(cfg: &CampaignConfig, scenarios: &[Box<dyn Scenario>]) -> Vec<Vec<u64>> 
         .enumerate()
         .map(|(i, s)| {
             let budget = base + u64::from((i as u64) < rem);
-            cfg.schedule.crash_points(
+            let full = cfg.schedule.crash_points(
                 cfg.seed,
                 s.name(),
                 s.total_units() + cfg.dense_units,
                 budget,
-            )
+            );
+            match cfg.shard {
+                None => full,
+                Some((shard, of)) => full
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(k, _)| *k as u64 % of == shard)
+                    .map(|(_, u)| u)
+                    .collect(),
+            }
         })
         .collect()
 }

@@ -73,6 +73,12 @@ pub struct CampaignReport {
     /// `"registry": "dist"` only when true, so single-rank reports carry
     /// no extra header field.
     pub dist: bool,
+    /// `Some((i, n))` marks a partial report: shard `i` of an `n`-way
+    /// positional split of the schedule (emitted as `"shard": "i/n"`).
+    /// [`CampaignReport::merge_shards`] folds a complete shard set back
+    /// into an unmarked report; unsharded runs carry no field at all, so
+    /// merged and unsharded reports are byte-identical.
+    pub shard: Option<(u64, u64)>,
     /// Per-scenario aggregates, in registry order.
     pub scenarios: Vec<ScenarioReport>,
     /// Campaign-wide outcome histogram.
@@ -160,10 +166,145 @@ fn telemetry_from_json(j: &Json) -> Result<ExecutionProfile, String> {
     })
 }
 
+/// Parse a shard marker spelled `"i/n"` (shard `i` of `n`, `i < n`).
+pub fn parse_shard(text: &str) -> Result<(u64, u64), String> {
+    let bad = || format!("bad shard {text:?} (want I/N with I < N)");
+    let (i, n) = text.split_once('/').ok_or_else(bad)?;
+    let i: u64 = i.parse().map_err(|_| bad())?;
+    let n: u64 = n.parse().map_err(|_| bad())?;
+    if n == 0 || i >= n {
+        return Err(bad());
+    }
+    Ok((i, n))
+}
+
 impl CampaignReport {
     /// Campaign-wide silent-corruption count (any nonzero value fails CI).
     pub fn silent_corruption_total(&self) -> u64 {
         self.totals.silent_corruption
+    }
+
+    /// Fold a complete set of shard reports back into one canonical
+    /// report. Requires every input to be a shard of the *same* campaign
+    /// (equal seed, budget, schedule, dense extension, and registry) and
+    /// the shard set to be exactly `0..n` — duplicates (overlap), gaps,
+    /// mixed shard counts, and unsharded inputs are all errors.
+    ///
+    /// Every per-scenario aggregate is additive (`lost_units_max` folds
+    /// with `max`, telemetry field-wise sums), so the merge is
+    /// order-independent and — because the shards positionally tile the
+    /// unsharded schedule — the result's canonical form is byte-identical
+    /// to a single run of the same inputs. Host facts (image memory,
+    /// wall-clock) are summed; they never enter the canonical form.
+    pub fn merge_shards(partials: &[CampaignReport]) -> Result<CampaignReport, String> {
+        let first = partials.first().ok_or("merge needs at least one shard")?;
+        let Some((_, n)) = first.shard else {
+            return Err("input is not a shard (no shard marker)".into());
+        };
+        let mut seen = vec![false; n as usize];
+        for p in partials {
+            let Some((i, pn)) = p.shard else {
+                return Err("input is not a shard (no shard marker)".into());
+            };
+            if pn != n {
+                return Err(format!("mixed shard counts: {pn}-way shard among {n}-way"));
+            }
+            if p.seed != first.seed
+                || p.budget_states != first.budget_states
+                || p.schedule != first.schedule
+                || p.dense_units != first.dense_units
+                || p.dist != first.dist
+            {
+                return Err(format!(
+                    "shard {i}/{n} is from a different campaign \
+                     (seed {} vs {}, budget {} vs {}, schedule {} vs {})",
+                    p.seed,
+                    first.seed,
+                    p.budget_states,
+                    first.budget_states,
+                    p.schedule,
+                    first.schedule
+                ));
+            }
+            if seen[i as usize] {
+                return Err(format!("overlapping shards: shard {i}/{n} appears twice"));
+            }
+            seen[i as usize] = true;
+        }
+        if let Some(missing) = seen.iter().position(|s| !s) {
+            return Err(format!(
+                "incomplete shard set: shard {missing}/{n} is missing"
+            ));
+        }
+
+        let mut scenarios: Vec<ScenarioReport> = first.scenarios.clone();
+        for p in &partials[1..] {
+            if p.scenarios.len() != scenarios.len() {
+                return Err("shards disagree on the scenario registry".into());
+            }
+            for (acc, s) in scenarios.iter_mut().zip(&p.scenarios) {
+                if acc.name != s.name
+                    || acc.kernel != s.kernel
+                    || acc.mechanism != s.mechanism
+                    || acc.platform != s.platform
+                    || acc.total_units != s.total_units
+                {
+                    return Err(format!(
+                        "shards disagree on scenario {:?} vs {:?}",
+                        acc.name, s.name
+                    ));
+                }
+                acc.trials += s.trials;
+                acc.outcomes.merge(&s.outcomes);
+                acc.lost_units_total += s.lost_units_total;
+                acc.lost_units_max = acc.lost_units_max.max(s.lost_units_max);
+                acc.sim_time_ps_total += s.sim_time_ps_total;
+                if let Some(t) = &s.telemetry {
+                    acc.telemetry
+                        .get_or_insert_with(ExecutionProfile::default)
+                        .merge(t);
+                }
+            }
+        }
+
+        let mut totals = OutcomeCounts::default();
+        let mut telemetry: Option<ExecutionProfile> = None;
+        for s in &scenarios {
+            totals.merge(&s.outcomes);
+            if let Some(t) = &s.telemetry {
+                telemetry
+                    .get_or_insert_with(ExecutionProfile::default)
+                    .merge(t);
+            }
+        }
+        let mut image_memory = ImageMemorySummary::default();
+        let mut wall_clock_ms = 0;
+        let mut threads = 0;
+        for p in partials {
+            let m = &p.image_memory;
+            image_memory.executions += m.executions;
+            image_memory.images += m.images;
+            image_memory.base_bytes += m.base_bytes;
+            image_memory.delta_bytes += m.delta_bytes;
+            image_memory.full_copy_bytes += m.full_copy_bytes;
+            image_memory.peak_live_bytes = image_memory.peak_live_bytes.max(m.peak_live_bytes);
+            wall_clock_ms += p.wall_clock_ms;
+            threads = threads.max(p.threads);
+        }
+        Ok(CampaignReport {
+            seed: first.seed,
+            budget_states: first.budget_states,
+            schedule: first.schedule.clone(),
+            dense_units: first.dense_units,
+            dist: first.dist,
+            shard: None,
+            scenarios,
+            totals,
+            telemetry,
+            image_memory,
+            wall_clock_ms,
+            threads,
+        })
     }
 
     fn body_json(&self) -> Json {
@@ -177,6 +318,9 @@ impl CampaignReport {
         }
         if self.dist {
             j.push("registry", Json::Str("dist".into()));
+        }
+        if let Some((i, n)) = self.shard {
+            j.push("shard", Json::Str(format!("{i}/{n}")));
         }
         let scenarios = self
             .scenarios
@@ -315,6 +459,11 @@ impl CampaignReport {
                 .to_string(),
             dense_units: j.get("dense_units").and_then(Json::as_u64).unwrap_or(0),
             dist: j.get("registry").and_then(Json::as_str) == Some("dist"),
+            shard: j
+                .get("shard")
+                .and_then(Json::as_str)
+                .map(parse_shard)
+                .transpose()?,
             scenarios,
             totals: OutcomeCounts::from_json(j.get("totals").ok_or("missing totals")?)?,
             telemetry: j.get("telemetry").map(telemetry_from_json).transpose()?,
@@ -440,6 +589,7 @@ mod tests {
             schedule: "stratified".into(),
             dense_units: 0,
             dist: false,
+            shard: None,
             scenarios: vec![ScenarioReport {
                 name: "cg-extended".into(),
                 kernel: "cg".into(),
@@ -571,6 +721,70 @@ mod tests {
         assert_eq!(parsed, r);
         // Derived fields are recomputed, so re-emission is byte-identical.
         assert_eq!(parsed.to_string_pretty(), text);
+    }
+
+    #[test]
+    fn shard_marker_roundtrips_and_merge_restores_the_canonical_form() {
+        let full = sample();
+        let mut a = sample();
+        let mut b = sample();
+        a.shard = Some((0, 2));
+        b.shard = Some((1, 2));
+        assert!(a.canonical_string().contains("\"shard\": \"0/2\""));
+        assert!(!full.canonical_string().contains("shard"));
+        let parsed = CampaignReport::parse(&a.to_string_pretty()).unwrap();
+        assert_eq!(parsed, a);
+        // Split the sample's single scenario's aggregates across the two
+        // shards; the merge must re-total them and drop the marker.
+        a.scenarios[0].trials = 1;
+        a.scenarios[0].lost_units_total = 1;
+        a.scenarios[0].sim_time_ps_total = 23_456;
+        a.totals = OutcomeCounts::default();
+        a.totals.add(Outcome::RecoveredRecomputed);
+        a.scenarios[0].outcomes = a.totals;
+        b.scenarios[0].trials = 1;
+        b.scenarios[0].lost_units_total = 2;
+        b.scenarios[0].sim_time_ps_total = 100_000;
+        b.totals = OutcomeCounts::default();
+        b.totals.add(Outcome::RecoveredExact);
+        b.scenarios[0].outcomes = b.totals;
+        let merged = CampaignReport::merge_shards(&[b.clone(), a.clone()]).unwrap();
+        assert_eq!(merged.canonical_string(), full.canonical_string());
+    }
+
+    #[test]
+    fn merge_rejects_bad_shard_sets() {
+        let mut a = sample();
+        let mut b = sample();
+        a.shard = Some((0, 2));
+        b.shard = Some((1, 2));
+        // Unsharded input.
+        let err = CampaignReport::merge_shards(&[sample()]).unwrap_err();
+        assert!(err.contains("not a shard"));
+        // Overlap.
+        let err = CampaignReport::merge_shards(&[a.clone(), a.clone()]).unwrap_err();
+        assert!(err.contains("overlapping"), "{err}");
+        // Gap.
+        let err = CampaignReport::merge_shards(&[a.clone()]).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+        // Different campaign.
+        b.seed = 7;
+        let err = CampaignReport::merge_shards(&[a.clone(), b.clone()]).unwrap_err();
+        assert!(err.contains("different campaign"), "{err}");
+        // Mixed shard counts.
+        b.seed = a.seed;
+        b.shard = Some((1, 3));
+        let err = CampaignReport::merge_shards(&[a, b]).unwrap_err();
+        assert!(err.contains("mixed shard counts"), "{err}");
+    }
+
+    #[test]
+    fn parse_shard_accepts_only_i_slash_n() {
+        assert_eq!(parse_shard("0/2").unwrap(), (0, 2));
+        assert_eq!(parse_shard("7/8").unwrap(), (7, 8));
+        for bad in ["2/2", "3/2", "0/0", "x/2", "1", "1/2/3", "-1/2"] {
+            assert!(parse_shard(bad).is_err(), "{bad}");
+        }
     }
 
     #[test]

@@ -12,15 +12,22 @@
 //! rank `d % ranks` with thresholds spaced by the scenario's measured
 //! stride — the same subdivision the single-rank scenarios use, per rank.
 
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
 use adcc_dist::cg::{CgConfig, DistCg};
 use adcc_dist::cluster::Cluster;
 use adcc_dist::jacobi::{DistJacobi, JacobiConfig};
 use adcc_dist::sites;
 use adcc_dist::stencil::{DistStencil, StencilConfig};
-use adcc_dist::trial::{run_dist_trial, DistKernel, RecoveryMode};
+use adcc_dist::trial::{
+    reference_run, run_dist_batch, run_dist_trial, BatchPoint, DistKernel, DistTrial, RecoveryMode,
+    ReferenceRun,
+};
 use adcc_sim::crash::{CrashSite, CrashTrigger};
 
 use super::{max_diff, verified_completion};
+use crate::memstats::ImageMemory;
 use crate::outcome::classify;
 use crate::scenario::{Kernel, Mechanism, Scenario, Trial};
 
@@ -29,7 +36,7 @@ const TOL: f64 = 1e-9;
 /// One distributed kernel family: how to name it and build a fresh
 /// cluster + program for one trial.
 trait DistSpec: Send + Sync {
-    type K: DistKernel;
+    type K: DistKernel + Clone;
     fn kernel(&self) -> Kernel;
     fn name(&self, mode: RecoveryMode) -> &'static str;
     fn ranks(&self) -> u64;
@@ -159,17 +166,43 @@ impl DistSpec for CgSpec {
 struct Dist<S: DistSpec> {
     spec: S,
     mode: RecoveryMode,
-    reference: Vec<f64>,
+    /// The crash-free cluster execution, computed on first use and then
+    /// shared by every trial of this scenario: per-trial classification
+    /// needs its solution, the batch path also its per-superstep resume
+    /// states (to short-circuit resumed tails).
+    reference: OnceLock<ReferenceRun>,
 }
 
 impl<S: DistSpec> Dist<S> {
     fn new(spec: S, mode: RecoveryMode) -> Self {
-        let (mut cl, mut kernel) = spec.build(mode, None);
-        let reference = run_dist_trial(&mut cl, &mut kernel, false).solution;
         Dist {
             spec,
             mode,
-            reference,
+            reference: OnceLock::new(),
+        }
+    }
+
+    fn reference(&self) -> &ReferenceRun {
+        self.reference.get_or_init(|| {
+            let (mut cl, mut kernel) = self.spec.build(self.mode, None);
+            reference_run(&mut cl, &mut kernel)
+        })
+    }
+
+    /// Classify one distributed trial against the cached reference — the
+    /// single classification path both [`Scenario::run_trial`] and
+    /// [`Scenario::run_batch`] go through.
+    fn classify_dist(&self, unit: u64, t: DistTrial) -> Trial {
+        let matches = max_diff(&t.solution, &self.reference().solution) < TOL;
+        if t.completed_clean {
+            return verified_completion(matches, unit, t.profile);
+        }
+        Trial {
+            unit,
+            outcome: classify(t.detected, matches, t.lost_units),
+            lost_units: t.lost_units,
+            sim_time_ps: t.sim_time_ps,
+            telemetry: t.profile,
         }
     }
 
@@ -237,17 +270,45 @@ impl<S: DistSpec> Scenario for Dist<S> {
         let (rank, trigger) = self.decode(unit);
         let (mut cl, mut kernel) = self.spec.build(self.mode, Some((rank, trigger)));
         let t = run_dist_trial(&mut cl, &mut kernel, telemetry);
-        let matches = max_diff(&t.solution, &self.reference) < TOL;
-        if t.completed_clean {
-            return verified_completion(matches, unit, t.profile);
-        }
-        Trial {
-            unit,
-            outcome: classify(t.detected, matches, t.lost_units),
-            lost_units: t.lost_units,
-            sim_time_ps: t.sim_time_ps,
-            telemetry: t.profile,
-        }
+        self.classify_dist(unit, t)
+    }
+
+    /// One forward cluster execution harvests every scheduled crash point
+    /// as a copy-on-write delta, replays each through recovery on a forked
+    /// cluster, and short-circuits resumed tails against the cached
+    /// reference run. Produces trials identical to per-unit `run_trial`
+    /// (the delta-equivalence suite pins this).
+    fn run_batch(&self, units: &[u64], telemetry: bool, mem: &ImageMemory) -> Option<Vec<Trial>> {
+        let reference = self.reference();
+        let points: Vec<BatchPoint> = units
+            .iter()
+            .map(|&unit| {
+                let (rank, trigger) = self.decode(unit);
+                BatchPoint {
+                    unit,
+                    rank,
+                    trigger,
+                }
+            })
+            .collect();
+        let (mut cl, mut kernel) = self.spec.build(self.mode, None);
+        let (results, stats) = run_dist_batch(&mut cl, &mut kernel, &points, telemetry, reference);
+        mem.record_execution(
+            stats.base_bytes,
+            stats.delta_bytes,
+            stats.images,
+            stats.pool_bytes,
+        );
+        let mut by_unit: HashMap<u64, Trial> = results
+            .into_iter()
+            .map(|(unit, t)| (unit, self.classify_dist(unit, t)))
+            .collect();
+        Some(
+            units
+                .iter()
+                .map(|u| by_unit.remove(u).expect("batch covered every unit"))
+                .collect(),
+        )
     }
 }
 

@@ -84,6 +84,99 @@ fn value_flags_without_values_exit_nonzero() {
     }
 }
 
+/// Run a tiny sharded campaign into `dir`, returning the report path.
+fn run_shard(dir: &std::path::Path, shard: &str, seed: &str) -> String {
+    let path = dir
+        .join(format!("s{}-{seed}.json", shard.replace('/', "_")))
+        .to_string_lossy()
+        .into_owned();
+    let out = campaign(&[
+        "run",
+        "--budget-states",
+        "8",
+        "--seed",
+        seed,
+        "--threads",
+        "2",
+        "--shard",
+        shard,
+        "--out",
+        &path,
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "shard {shard} run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    path
+}
+
+#[test]
+fn merge_rejects_overlapping_and_mismatched_shards_with_exit_one() {
+    let dir = std::env::temp_dir().join("adcc-merge-exitcodes");
+    std::fs::create_dir_all(&dir).unwrap();
+    let s0 = run_shard(&dir, "0/2", "9");
+    let s1 = run_shard(&dir, "1/2", "9");
+    let s1_other_seed = run_shard(&dir, "1/2", "10");
+    let out_path = dir.join("merged.json").to_string_lossy().into_owned();
+    // The temp dir outlives test runs; drop any merged report a previous
+    // run left behind so the "nothing written" checks below are real.
+    let _ = std::fs::remove_file(&out_path);
+
+    // Overlap: the same shard twice.
+    let out = campaign(&["merge", "--out", &out_path, &s0, &s0]);
+    assert_eq!(out.status.code(), Some(1), "overlapping shards must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("overlapping"), "stderr:\n{stderr}");
+
+    // Mismatched seeds: shards of different campaigns.
+    let out = campaign(&["merge", "--out", &out_path, &s0, &s1_other_seed]);
+    assert_eq!(out.status.code(), Some(1), "mismatched seeds must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("different campaign"), "stderr:\n{stderr}");
+
+    // Incomplete set: a missing shard.
+    let out = campaign(&["merge", "--out", &out_path, &s0]);
+    assert_eq!(out.status.code(), Some(1), "incomplete shard set must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("missing"), "stderr:\n{stderr}");
+
+    // No merged report was written by any failing invocation.
+    assert!(!std::path::Path::new(&out_path).exists());
+
+    // The complete set merges clean.
+    let out = campaign(&["merge", "--out", &out_path, &s1, &s0]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(std::path::Path::new(&out_path).exists());
+}
+
+#[test]
+fn merge_usage_errors_exit_nonzero() {
+    assert_usage_failure(&["merge"]);
+    assert_usage_failure(&["merge", "--out", "x.json"]);
+    assert_usage_failure(&["merge", "--out", "x.json", "--bogus", "a.json"]);
+    let out = campaign(&["merge", "--out"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("needs a value"), "stderr:\n{stderr}");
+}
+
+#[test]
+fn bad_shard_specs_exit_nonzero() {
+    for spec in ["2/2", "0/0", "x/2", "1"] {
+        let out = campaign(&["run", "--budget-states", "2", "--shard", spec]);
+        assert_eq!(out.status.code(), Some(1), "--shard {spec}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("bad shard"), "--shard {spec}:\n{stderr}");
+    }
+}
+
 #[test]
 fn help_and_a_tiny_run_exit_zero() {
     assert_eq!(campaign(&["--help"]).status.code(), Some(0));

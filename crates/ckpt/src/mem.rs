@@ -26,7 +26,11 @@ pub struct MemCheckpointLayout {
     pub slot_bytes: usize,
 }
 
-/// A double-buffered NVM checkpoint area.
+/// A double-buffered NVM checkpoint area. The manager holds only
+/// persistent addresses (all payload lives in the simulated NVM), so
+/// cloning it — as distributed batch replays do with their kernels — is a
+/// handle copy, not a data copy.
+#[derive(Clone)]
 pub struct MemCheckpoint {
     header: PArray<u64>,
     slots: [PArray<u8>; 2],

@@ -1,0 +1,234 @@
+//! Profiling harness for the batch replay path: per-kernel reference-run,
+//! fork, and per-state batch costs. Run with `--release`; the numbers feed
+//! the `campaign bench` dist-row optimization work.
+use std::time::Instant;
+
+use adcc_dist::cg::{CgConfig, DistCg};
+use adcc_dist::jacobi::{DistJacobi, JacobiConfig};
+use adcc_dist::sites;
+use adcc_dist::stencil::{DistStencil, StencilConfig};
+use adcc_dist::trial::{reference_run, run_dist_batch, BatchPoint, DistKernel, RecoveryMode};
+use adcc_dist::Cluster;
+use adcc_sim::crash::{CrashSite, CrashTrigger};
+
+fn points(ranks: u64, iters: u64) -> Vec<BatchPoint> {
+    (0..ranks * iters * 2)
+        .map(|u| {
+            let rank = (u % ranks) as usize;
+            let rest = u / ranks;
+            let iter = rest / 2 + 1;
+            let phase = if rest.is_multiple_of(2) {
+                sites::PH_MID
+            } else {
+                sites::PH_END
+            };
+            BatchPoint {
+                unit: u,
+                rank,
+                trigger: CrashTrigger::AtSite {
+                    site: CrashSite::new(phase, iter),
+                    occurrence: 1,
+                },
+            }
+        })
+        .collect()
+}
+
+fn profile<K: DistKernel + Clone>(
+    label: &str,
+    mode: RecoveryMode,
+    build: impl Fn(RecoveryMode) -> (Cluster, K),
+) {
+    let (mut cl, mut k) = build(mode);
+    let iters = k.iters();
+    let ranks = cl.ranks() as u64;
+    let t0 = Instant::now();
+    let r = reference_run(&mut cl, &mut k);
+    let t_ref = t0.elapsed();
+
+    let (cl2, _) = build(mode);
+    let t0 = Instant::now();
+    for _ in 0..100 {
+        std::hint::black_box(cl2.fork());
+    }
+    let t_fork = t0.elapsed() / 100;
+
+    let t0 = Instant::now();
+    for _ in 0..100 {
+        std::hint::black_box(k.resume_state(&cl));
+    }
+    let t_state = t0.elapsed() / 100;
+
+    let pts = points(ranks, iters);
+    let (mut cl3, mut k3) = build(mode);
+    let t0 = Instant::now();
+    let (trials, _stats) = run_dist_batch(&mut cl3, &mut k3, &pts, false, &r);
+    let t_batch = t0.elapsed();
+
+    let one = pts[pts.len() / 2..pts.len() / 2 + 1].to_vec();
+    let (mut cl4, mut k4) = build(mode);
+    let t0 = Instant::now();
+    let (t1, _) = run_dist_batch(&mut cl4, &mut k4, &one, false, &r);
+    let t_one = t0.elapsed();
+    assert_eq!(t1.len(), 1);
+    println!(
+        "{label}/{mode:?}: ref={t_ref:?} fork={t_fork:?} state={t_state:?} batch1={t_one:?} batch{}={t_batch:?} (per state {:?}, marginal {:?})",
+        trials.len(),
+        t_batch / trials.len() as u32,
+        (t_batch.saturating_sub(t_one)) / (trials.len() as u32 - 1),
+    );
+}
+
+/// Break one jacobi replay into its phases: fork, image materialize,
+/// kernel clone, recover, entry-state compare.
+fn dissect(mode: RecoveryMode) {
+    use adcc_dist::trial::CrashInfo;
+    let cfg = JacobiConfig::campaign(mode);
+    let mut cl = Cluster::new(cfg.cluster(), None);
+    let mut k = DistJacobi::setup(&mut cl, cfg);
+    let r = reference_run(&mut cl, &mut k);
+    let _ = &r;
+
+    // Fresh forward run, harvest one PH_MID site at iter 5.
+    let cfg = JacobiConfig::campaign(mode);
+    let mut cl = Cluster::new(cfg.cluster(), None);
+    let mut k = DistJacobi::setup(&mut cl, cfg);
+    let site = CrashSite::new(sites::PH_MID, 5);
+    cl.arm_harvest(
+        1,
+        [(
+            CrashTrigger::AtSite {
+                site,
+                occurrence: 1,
+            },
+            0u64,
+        )],
+    );
+    let mut harvest = None;
+    for iter in 1..=k.iters() {
+        k.compute(&mut cl, iter, true);
+        for rk in 0..cl.ranks() {
+            assert!(!cl.poll(rk, CrashSite::new(sites::PH_MID, iter)));
+        }
+        if let Some(h) = cl.drain_harvests(1).pop() {
+            harvest = Some(h);
+            break;
+        }
+        k.commit(&mut cl, iter);
+        for rk in 0..cl.ranks() {
+            assert!(!cl.poll(rk, CrashSite::new(sites::PH_END, iter)));
+        }
+        cl.barrier();
+    }
+    let h = harvest.expect("harvest fired");
+
+    let t0 = Instant::now();
+    for _ in 0..100 {
+        std::hint::black_box(cl.fork());
+    }
+    let t_fork = t0.elapsed() / 100;
+
+    let t0 = Instant::now();
+    for _ in 0..100 {
+        std::hint::black_box(h.image.materialize());
+    }
+    let t_mat = t0.elapsed() / 100;
+
+    let t0 = Instant::now();
+    for _ in 0..100 {
+        std::hint::black_box(k.clone());
+    }
+    let t_kc = t0.elapsed() / 100;
+
+    let t0 = Instant::now();
+    for _ in 0..100 {
+        let mut f = cl.fork();
+        let mut kf = k.clone();
+        let crash = CrashInfo {
+            rank: 1,
+            iter: 5,
+            site,
+            image: h.image.materialize(),
+        };
+        std::hint::black_box(kf.recover(&mut f, crash));
+    }
+    let t_rec = t0.elapsed() / 100;
+
+    // Count the simulated accesses one recovery performs.
+    let mut f = cl.fork();
+    let mut kf = k.clone();
+    // reboot_rank gives the crashed rank a fresh stats block, so count its
+    // post-recovery numbers in full and only delta the survivors.
+    let before: u64 = (0..f.ranks())
+        .filter(|&r| r != 1)
+        .map(|r| f.system(r).stats().accesses)
+        .sum();
+    let reads_b: u64 = (0..f.ranks())
+        .filter(|&r| r != 1)
+        .map(|r| f.system(r).stats().nvm_line_reads + f.system(r).stats().dram_line_reads)
+        .sum();
+    kf.recover(
+        &mut f,
+        CrashInfo {
+            rank: 1,
+            iter: 5,
+            site,
+            image: h.image.materialize(),
+        },
+    );
+    let accesses: u64 = (0..f.ranks())
+        .map(|r| f.system(r).stats().accesses)
+        .sum::<u64>()
+        - before;
+    let line_reads: u64 = (0..f.ranks())
+        .map(|r| f.system(r).stats().nvm_line_reads + f.system(r).stats().dram_line_reads)
+        .sum::<u64>()
+        - reads_b;
+    let img = h.image.materialize();
+    let t0 = Instant::now();
+    for _ in 0..100 {
+        let mut f = cl.fork();
+        f.reboot_rank(1, &img);
+        std::hint::black_box(&f);
+    }
+    let t_reboot = t0.elapsed() / 100;
+
+    let sys_cfg = JacobiConfig::campaign(mode).cluster().sys;
+    let t0 = Instant::now();
+    for _ in 0..100 {
+        std::hint::black_box(adcc_sim::system::MemorySystem::from_image(
+            sys_cfg.clone(),
+            &img,
+        ));
+    }
+    let t_img = t0.elapsed() / 100;
+    println!("jacobi/{mode:?} from_image alone: {t_img:?}");
+    println!(
+        "jacobi/{mode:?} dissect: fork={t_fork:?} materialize={t_mat:?} kclone={t_kc:?} fork+reboot={t_reboot:?} fork+mat+kclone+recover={t_rec:?} accesses={accesses} line_reads={line_reads}"
+    );
+}
+
+fn main() {
+    dissect(RecoveryMode::AlgorithmDirected);
+    dissect(RecoveryMode::GlobalRestart);
+    for mode in [RecoveryMode::AlgorithmDirected, RecoveryMode::GlobalRestart] {
+        profile("stencil", mode, |m| {
+            let cfg = StencilConfig::campaign(m);
+            let mut cl = Cluster::new(cfg.cluster(), None);
+            let k = DistStencil::setup(&mut cl, cfg);
+            (cl, k)
+        });
+        profile("jacobi", mode, |m| {
+            let cfg = JacobiConfig::campaign(m);
+            let mut cl = Cluster::new(cfg.cluster(), None);
+            let k = DistJacobi::setup(&mut cl, cfg);
+            (cl, k)
+        });
+        profile("cg", mode, |m| {
+            let cfg = CgConfig::campaign(m);
+            let mut cl = Cluster::new(cfg.cluster(), None);
+            let k = DistCg::setup(&mut cl, cfg);
+            (cl, k)
+        });
+    }
+}

@@ -18,7 +18,6 @@ use adcc_ckpt::mem::{MemCheckpoint, MemCheckpointLayout};
 use adcc_linalg::csr::CsrMatrix;
 use adcc_linalg::spd::random_spd;
 use adcc_sim::clock::Bucket;
-use adcc_sim::crash::CrashSite;
 use adcc_sim::parray::{PArray, PScalar};
 use adcc_sim::system::SystemConfig;
 
@@ -87,7 +86,10 @@ impl CgConfig {
     }
 }
 
-/// The distributed CG program.
+/// The distributed CG program. Cloning copies only the handles and
+/// host-side bookkeeping (`rho` and the in-flight `pq` partials included)
+/// — batch replays clone the kernel alongside [`Cluster::fork`].
+#[derive(Clone)]
 pub struct DistCg {
     cfg: CgConfig,
     /// Rows (and vector elements) per rank.
@@ -98,6 +100,9 @@ pub struct DistCg {
     /// Current `rho` (every rank holds the same value after the setup and
     /// each superstep's allreduce; recovery re-reads it from NVM/ckpt).
     rho: f64,
+    /// Partial `pᵀq` per rank, carried from [`DistKernel::compute`] across
+    /// the `PH_MID` boundary into [`DistKernel::commit`]'s allreduce.
+    pq: Vec<f64>,
     /// NVM matrix values per rank.
     a_vals: Vec<PArray<f64>>,
     /// NVM matrix column indices per rank.
@@ -150,6 +155,7 @@ impl DistCg {
             m,
             rowptr: Vec::new(),
             rho: 0.0,
+            pq: Vec::new(),
             a_vals: Vec::new(),
             a_cols: Vec::new(),
             x_r: Vec::new(),
@@ -313,15 +319,6 @@ impl DistCg {
         cl.barrier();
     }
 
-    fn crash(&self, cl: &mut Cluster, rank: usize, iter: u64, phase: u32) -> CrashInfo {
-        CrashInfo {
-            rank,
-            iter,
-            site: CrashSite::new(phase, iter),
-            image: cl.crash_rank(rank),
-        }
-    }
-
     /// Segment-assisted reconstruction: every survivor re-sends its `p`
     /// segment to the one failed rank, which refills its replicated
     /// `p_full` (own segment from the restored ring).
@@ -359,14 +356,15 @@ impl DistKernel for DistCg {
         self.cfg.iters
     }
 
-    fn superstep(&mut self, cl: &mut Cluster, iter: u64, exchange: bool) -> Option<CrashInfo> {
+    fn compute(&mut self, cl: &mut Cluster, _iter: u64, exchange: bool) {
         let p = self.cfg.ranks;
         let m = self.m;
         if exchange {
             self.allgather_p(cl);
         }
-        // Compute phase 1: q = A p (local rows), partial pᵀq — then MID
-        // polls (no persistence has happened this superstep).
+        // q = A p (local rows), partial pᵀq — no persistence happens
+        // before the MID boundary. The partials cross the boundary in
+        // `self.pq`, so a batch replay's cloned kernel carries them.
         let mut pq = vec![0.0f64; p];
         for rank in 0..p {
             let sys = cl.system_mut(rank);
@@ -385,12 +383,13 @@ impl DistKernel for DistCg {
             }
             pq[rank] = partial;
         }
-        for rank in 0..p {
-            if cl.poll(rank, CrashSite::new(sites::PH_MID, iter)) {
-                return Some(self.crash(cl, rank, iter, sites::PH_MID));
-            }
-        }
-        let denom = cl.allreduce_sum(&pq);
+        self.pq = pq;
+    }
+
+    fn commit(&mut self, cl: &mut Cluster, iter: u64) {
+        let p = self.cfg.ranks;
+        let m = self.m;
+        let denom = cl.allreduce_sum(&self.pq);
         let alpha = self.rho / denom;
         // Compute phase 2: advance x and r, reduce the new rho, update p.
         let mut rr = vec![0.0f64; p];
@@ -454,13 +453,6 @@ impl DistKernel for DistCg {
                 }
             }
         }
-        for rank in 0..p {
-            if cl.poll(rank, CrashSite::new(sites::PH_END, iter)) {
-                return Some(self.crash(cl, rank, iter, sites::PH_END));
-            }
-        }
-        cl.barrier();
-        None
     }
 
     /// Coordinated rollback. The checkpoints must agree rank-to-rank
@@ -539,13 +531,35 @@ impl DistKernel for DistCg {
         }
         out
     }
+
+    /// `x ‖ r ‖ p` per rank plus the global `rho`: `q` and the replicated
+    /// `p_full` are fully rewritten (compute / allgather) before any read
+    /// in the remaining supersteps, and the NVM ring is a pure function of
+    /// the committed iterates, so this quadruple pins the tail.
+    fn resume_state(&self, cl: &Cluster) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.cfg.ranks * 3 * self.m + 1);
+        for rank in 0..self.cfg.ranks {
+            let sys = cl.system(rank);
+            for j in 0..self.m {
+                out.push(self.x_r[rank].peek(sys, j));
+            }
+            for j in 0..self.m {
+                out.push(self.r_r[rank].peek(sys, j));
+            }
+            for j in 0..self.m {
+                out.push(self.p_r[rank].peek(sys, j));
+            }
+        }
+        out.push(self.rho);
+        out
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::trial::run_dist_trial;
-    use adcc_sim::crash::CrashTrigger;
+    use adcc_sim::crash::{CrashSite, CrashTrigger};
 
     fn config(mode: RecoveryMode) -> CgConfig {
         CgConfig {

@@ -18,7 +18,7 @@
 //! frontier, charging the waits to [`Bucket::Network`].
 
 use adcc_sim::clock::Bucket;
-use adcc_sim::crash::{CrashEmulator, CrashSite, CrashTrigger};
+use adcc_sim::crash::{CrashEmulator, CrashSite, CrashTrigger, Harvest};
 use adcc_sim::image::NvmImage;
 use adcc_sim::system::{MemorySystem, SystemConfig};
 
@@ -110,6 +110,45 @@ impl Cluster {
         let sys = self.emus[rank].system_mut();
         let behind = frontier.saturating_sub(sys.now().ps());
         sys.clock_mut().charge_to(Bucket::Detect, behind);
+    }
+
+    /// Arm a harvest plan on one rank: its polls capture copy-on-write
+    /// crash states instead of crashing (see
+    /// [`CrashEmulator::arm_harvest`]). Capture is uncharged, so the
+    /// forward execution is unperturbed.
+    pub fn arm_harvest(
+        &mut self,
+        rank: usize,
+        points: impl IntoIterator<Item = (CrashTrigger, u64)>,
+    ) {
+        self.emus[rank].arm_harvest(points);
+    }
+
+    /// Take the crash states one rank's plan captured since the last
+    /// drain, leaving the plan armed. Batch drivers drain at every poll
+    /// boundary so each state is replayed while the cluster still holds
+    /// the survivors' crash-instant volatile state.
+    pub fn drain_harvests(&mut self, rank: usize) -> Vec<Harvest> {
+        self.emus[rank].drain_harvests()
+    }
+
+    /// Fork the live cluster for a recovery replay: every rank's machine
+    /// is cloned wholesale (caches, clocks, counters, volatile and
+    /// persistent memory) into a fresh emulator with no trigger, and the
+    /// fabric is cloned with its queues and jitter sequence. The fork
+    /// observes exactly what the live cluster would if a rank died at this
+    /// instant — survivors' volatile state included.
+    pub fn fork(&self) -> Cluster {
+        let emus = self
+            .emus
+            .iter()
+            .map(|e| CrashEmulator::from_system(e.system().clone(), CrashTrigger::Never))
+            .collect();
+        Cluster {
+            cfg: self.cfg.clone(),
+            emus,
+            fabric: self.fabric.clone(),
+        }
     }
 
     /// Send a vector of `f64`s from `src` to `dst`.

@@ -11,7 +11,6 @@
 
 use adcc_ckpt::mem::{MemCheckpoint, MemCheckpointLayout};
 use adcc_sim::clock::Bucket;
-use adcc_sim::crash::CrashSite;
 use adcc_sim::parray::{PArray, PScalar};
 use adcc_sim::system::SystemConfig;
 
@@ -77,7 +76,10 @@ fn initial(global_row: usize, col: usize) -> f64 {
     ((global_row * 53 + col * 17 + 29) % 113) as f64 / 113.0
 }
 
-/// The distributed Jacobi program.
+/// The distributed Jacobi program. Cloning copies only the handles and
+/// host-side bookkeeping — batch replays clone the kernel alongside
+/// [`Cluster::fork`].
+#[derive(Clone)]
 pub struct DistJacobi {
     cfg: JacobiConfig,
     /// Interior rows per rank.
@@ -237,15 +239,6 @@ impl DistJacobi {
         cl.barrier();
     }
 
-    fn crash(&self, cl: &mut Cluster, rank: usize, iter: u64, phase: u32) -> CrashInfo {
-        CrashInfo {
-            rank,
-            iter,
-            site: CrashSite::new(phase, iter),
-            image: cl.crash_rank(rank),
-        }
-    }
-
     /// Neighbor-assisted halo reconstruction: the survivors re-send the
     /// failed rank's two halo rows from intact volatile state.
     fn halo_assist(&mut self, cl: &mut Cluster, rank: usize) {
@@ -299,7 +292,7 @@ impl DistKernel for DistJacobi {
         self.cfg.iters
     }
 
-    fn superstep(&mut self, cl: &mut Cluster, iter: u64, exchange: bool) -> Option<CrashInfo> {
+    fn compute(&mut self, cl: &mut Cluster, _iter: u64, exchange: bool) {
         let p = self.cfg.ranks;
         let rows_r = self.rows_r;
         let cols = self.cfg.cols;
@@ -323,11 +316,12 @@ impl DistKernel for DistJacobi {
                 }
             }
         }
-        for r in 0..p {
-            if cl.poll(r, CrashSite::new(sites::PH_MID, iter)) {
-                return Some(self.crash(cl, r, iter, sites::PH_MID));
-            }
-        }
+    }
+
+    fn commit(&mut self, cl: &mut Cluster, iter: u64) {
+        let p = self.cfg.ranks;
+        let rows_r = self.rows_r;
+        let cols = self.cfg.cols;
         for r in 0..p {
             let sys = cl.system_mut(r);
             for i in 0..rows_r {
@@ -358,13 +352,6 @@ impl DistKernel for DistJacobi {
                 }
             }
         }
-        for r in 0..p {
-            if cl.poll(r, CrashSite::new(sites::PH_END, iter)) {
-                return Some(self.crash(cl, r, iter, sites::PH_END));
-            }
-        }
-        cl.barrier();
-        None
     }
 
     /// Coordinated rollback (shared [`crate::trial::coordinated_restore`]
@@ -435,6 +422,21 @@ impl DistKernel for DistJacobi {
         }
         out
     }
+
+    /// The full working stripe, halo rows and boundary columns included:
+    /// `x_new` is fully overwritten by the next compute before any read,
+    /// so `x` alone pins the tail.
+    fn resume_state(&self, cl: &Cluster) -> Vec<f64> {
+        let cells = (self.rows_r + 2) * (self.cfg.cols + 2);
+        let mut out = Vec::with_capacity(self.cfg.ranks * cells);
+        for r in 0..self.cfg.ranks {
+            let sys = cl.system(r);
+            for k in 0..cells {
+                out.push(self.x[r].peek(sys, k));
+            }
+        }
+        out
+    }
 }
 
 /// Serial host reference (same arithmetic, same element order).
@@ -481,7 +483,7 @@ pub fn jacobi_host(rows: usize, cols: usize, iters: u64) -> Vec<f64> {
 mod tests {
     use super::*;
     use crate::trial::run_dist_trial;
-    use adcc_sim::crash::CrashTrigger;
+    use adcc_sim::crash::{CrashSite, CrashTrigger};
 
     fn run(crash: Option<(usize, CrashTrigger)>, mode: RecoveryMode) -> crate::trial::DistTrial {
         let cfg = JacobiConfig {

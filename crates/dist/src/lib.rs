@@ -60,7 +60,10 @@ pub mod trial;
 
 pub use cluster::{Cluster, ClusterConfig};
 pub use net::{Fabric, NetTiming, NetTraffic};
-pub use trial::{run_dist_trial, CrashInfo, DistKernel, DistTrial, Recovery, RecoveryMode};
+pub use trial::{
+    poll_phase, reference_run, run_dist_batch, run_dist_trial, run_superstep, BatchPoint,
+    BatchStats, CrashInfo, DistKernel, DistTrial, Recovery, RecoveryMode, ReferenceRun,
+};
 
 /// Instrumented crash-site phases shared by every distributed kernel.
 /// Each kernel polls twice per rank per superstep: after its local compute

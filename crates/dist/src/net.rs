@@ -64,7 +64,11 @@ impl NetTraffic {
 }
 
 /// The seedable FIFO message fabric between `ranks` peers.
-#[derive(Debug)]
+///
+/// Cloning copies the queues, traffic counters, and — critically — the
+/// global message sequence number, so a cloned fabric draws the exact same
+/// seeded jitter for its next message as the original would have.
+#[derive(Debug, Clone)]
 pub struct Fabric {
     ranks: usize,
     timing: NetTiming,

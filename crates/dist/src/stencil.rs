@@ -19,7 +19,6 @@
 
 use adcc_ckpt::mem::{MemCheckpoint, MemCheckpointLayout};
 use adcc_sim::clock::Bucket;
-use adcc_sim::crash::CrashSite;
 use adcc_sim::parray::{PArray, PScalar};
 use adcc_sim::system::SystemConfig;
 
@@ -84,7 +83,10 @@ fn initial(global_cell: usize) -> f64 {
 }
 
 /// The distributed stencil program (handles survive rank crashes; all
-/// per-rank state lives in the cluster's simulated memories).
+/// per-rank state lives in the cluster's simulated memories). Cloning
+/// copies only the handles and host-side bookkeeping — batch replays
+/// clone the kernel alongside [`Cluster::fork`].
+#[derive(Clone)]
 pub struct DistStencil {
     cfg: StencilConfig,
     /// Cells per rank.
@@ -217,15 +219,6 @@ impl DistStencil {
         cl.barrier();
     }
 
-    fn crash(&self, cl: &mut Cluster, rank: usize, iter: u64, phase: u32) -> CrashInfo {
-        CrashInfo {
-            rank,
-            iter,
-            site: CrashSite::new(phase, iter),
-            image: cl.crash_rank(rank),
-        }
-    }
-
     /// Re-send the failed rank's two halo cells from the survivors'
     /// intact volatile state (the neighbor-assisted reconstruction of the
     /// in-flight superstep's halos).
@@ -269,15 +262,14 @@ impl DistKernel for DistStencil {
         self.cfg.iters
     }
 
-    fn superstep(&mut self, cl: &mut Cluster, iter: u64, exchange: bool) -> Option<CrashInfo> {
+    fn compute(&mut self, cl: &mut Cluster, _iter: u64, exchange: bool) {
         let p = self.cfg.ranks;
         let m = self.m;
         if exchange {
             self.exchange(cl);
         }
-        // Compute phase: every rank, then every MID poll — persistence is
-        // untouched here, so a MID crash leaves all ranks at the same
-        // persisted frontier.
+        // Persistence is untouched here, so a MID crash leaves all ranks
+        // at the same persisted frontier.
         for r in 0..p {
             let sys = cl.system_mut(r);
             for j in 1..=m {
@@ -288,14 +280,14 @@ impl DistKernel for DistStencil {
                 self.x_new[r].set(sys, j - 1, b + K_DIFF * (a - 2.0 * b + c));
             }
         }
-        for r in 0..p {
-            if cl.poll(r, CrashSite::new(sites::PH_MID, iter)) {
-                return Some(self.crash(cl, r, iter, sites::PH_MID));
-            }
-        }
-        // Commit + persist phase for every rank, then every END poll — an
-        // END crash means the whole cluster completed this superstep's
-        // persists (checkpoints stay coordinated).
+    }
+
+    fn commit(&mut self, cl: &mut Cluster, iter: u64) {
+        let p = self.cfg.ranks;
+        let m = self.m;
+        // Commit + persist for every rank — an END crash means the whole
+        // cluster completed this superstep's persists (checkpoints stay
+        // coordinated).
         for r in 0..p {
             let sys = cl.system_mut(r);
             for j in 0..m {
@@ -324,13 +316,6 @@ impl DistKernel for DistStencil {
                 }
             }
         }
-        for r in 0..p {
-            if cl.poll(r, CrashSite::new(sites::PH_END, iter)) {
-                return Some(self.crash(cl, r, iter, sites::PH_END));
-            }
-        }
-        cl.barrier();
-        None
     }
 
     /// Coordinated rollback (shared [`crate::trial::coordinated_restore`]
@@ -397,6 +382,21 @@ impl DistKernel for DistStencil {
         }
         out
     }
+
+    /// The full working iterate, halos included: `x_new` is fully
+    /// overwritten by the next compute before any read, and the NVM slots
+    /// and counters are pure functions of the committed iterates, so `x`
+    /// alone pins the tail.
+    fn resume_state(&self, cl: &Cluster) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.cfg.ranks * (self.m + 2));
+        for r in 0..self.cfg.ranks {
+            let sys = cl.system(r);
+            for j in 0..self.m + 2 {
+                out.push(self.x[r].peek(sys, j));
+            }
+        }
+        out
+    }
 }
 
 /// Serial host reference: same arithmetic, same element order, so the
@@ -420,7 +420,7 @@ pub fn stencil_host(cells: usize, iters: u64) -> Vec<f64> {
 mod tests {
     use super::*;
     use crate::trial::run_dist_trial;
-    use adcc_sim::crash::CrashTrigger;
+    use adcc_sim::crash::{CrashSite, CrashTrigger};
 
     fn run(crash: Option<(usize, CrashTrigger)>, mode: RecoveryMode) -> crate::trial::DistTrial {
         let cfg = StencilConfig {

@@ -2,8 +2,8 @@
 //! crash, recovery in either mode, recovery-traffic measurement, and
 //! cluster-wide telemetry rollup.
 
-use adcc_sim::crash::CrashSite;
-use adcc_sim::image::NvmImage;
+use adcc_sim::crash::{CrashSite, CrashTrigger};
+use adcc_sim::image::{DeltaImage, NvmImage};
 use adcc_telemetry::{ExecutionProfile, Probe};
 
 use crate::cluster::Cluster;
@@ -79,16 +79,28 @@ pub struct Recovery {
 
 /// One distributed kernel under one persistence/recovery mode. Drivers
 /// step it through BSP supersteps and hand rank failures back to it.
+///
+/// A superstep is split in two halves around the shared poll boundaries
+/// (see [`run_superstep`], the only driver of the halves): the kernel no
+/// longer owns its poll loops, so the per-trial path, the batch-harvest
+/// path, and global-restart re-execution all poll identically by
+/// construction.
 pub trait DistKernel {
     /// Supersteps in a full run (1-based loop `1..=iters`).
     fn iters(&self) -> u64;
 
-    /// Run superstep `iter`: opening halo/segment exchange (when
-    /// `exchange`), per-rank compute with `PH_MID` polls, per-rank persist
-    /// with `PH_END` polls, closing barrier — ranks always in rank order.
-    /// Returns the crash when a poll fires (the kernel must capture the
-    /// rank's image via [`Cluster::crash_rank`] before returning).
-    fn superstep(&mut self, cl: &mut Cluster, iter: u64, exchange: bool) -> Option<CrashInfo>;
+    /// First half of superstep `iter`: the opening halo/segment exchange
+    /// (when `exchange`) plus every rank's local compute, in rank order,
+    /// up to the `PH_MID` poll boundary. Persistent state must not be
+    /// touched here — a `PH_MID` crash leaves all ranks at the same
+    /// persisted frontier.
+    fn compute(&mut self, cl: &mut Cluster, iter: u64, exchange: bool);
+
+    /// Second half of superstep `iter`: everything between the `PH_MID`
+    /// and `PH_END` poll boundaries — collectives on the computed
+    /// partials, the iterate commit, and the mechanism's persists — ranks
+    /// always in rank order.
+    fn commit(&mut self, cl: &mut Cluster, iter: u64);
 
     /// Coordinated rollback of the GlobalRestart mechanism: re-attach the
     /// `failed` rank's checkpoint area, restore every rank, and return
@@ -104,6 +116,57 @@ pub trait DistKernel {
 
     /// Gather the global solution (uncharged peek; classification only).
     fn solution(&self, cl: &Cluster) -> Vec<f64>;
+
+    /// Every volatile value the remaining supersteps read that is not
+    /// re-derived before use (uncharged peek, deterministic order). Two
+    /// clusters with bitwise-equal resume states at the same superstep
+    /// boundary produce bitwise-equal solutions from there on — the
+    /// invariant [`ReferenceRun`] exploits to short-circuit resumed tails
+    /// (and `tests/delta_equivalence.rs` pins against the per-trial path).
+    fn resume_state(&self, cl: &Cluster) -> Vec<f64>;
+}
+
+/// Poll one phase boundary on every rank, in rank order, returning the
+/// crash at the first fired poll (later ranks are then not polled — the
+/// rank died mid-boundary). Polls are free of simulated cost and touch no
+/// kernel state, so a boundary where nothing fires is invisible.
+pub fn poll_phase(cl: &mut Cluster, phase: u32, iter: u64) -> Option<CrashInfo> {
+    let site = CrashSite::new(phase, iter);
+    for rank in 0..cl.ranks() {
+        if cl.poll(rank, site) {
+            return Some(CrashInfo {
+                rank,
+                iter,
+                site,
+                image: cl.crash_rank(rank),
+            });
+        }
+    }
+    None
+}
+
+/// Drive one superstep through the shared poll protocol:
+/// [`DistKernel::compute`], the `PH_MID` boundary, [`DistKernel::commit`],
+/// the `PH_END` boundary, closing barrier. Every execution path — forward
+/// trials, batch harvesting, global-restart re-execution, resumed tails —
+/// steps supersteps through this one function, so their poll sequences
+/// cannot drift apart.
+pub fn run_superstep<K: DistKernel + ?Sized>(
+    kernel: &mut K,
+    cl: &mut Cluster,
+    iter: u64,
+    exchange: bool,
+) -> Option<CrashInfo> {
+    kernel.compute(cl, iter, exchange);
+    if let Some(crash) = poll_phase(cl, sites::PH_MID, iter) {
+        return Some(crash);
+    }
+    kernel.commit(cl, iter);
+    if let Some(crash) = poll_phase(cl, sites::PH_END, iter) {
+        return Some(crash);
+    }
+    cl.barrier();
+    None
 }
 
 /// The resume plan shared by every kernel's AlgorithmDirected arm: a
@@ -183,7 +246,7 @@ pub fn global_restart_recover<K: DistKernel + ?Sized>(
     let (detected, cc) = kernel.restart_rollback(cl, crash.rank);
     debug_assert!(cc <= frontier);
     for k in cc + 1..=frontier {
-        let again = kernel.superstep(cl, k, true);
+        let again = run_superstep(kernel, cl, k, true);
         debug_assert!(again.is_none(), "re-execution cannot crash");
     }
     Recovery {
@@ -195,7 +258,9 @@ pub fn global_restart_recover<K: DistKernel + ?Sized>(
 }
 
 /// Outcome facts of one distributed trial, classified by the campaign.
-#[derive(Debug)]
+/// `Clone` exists for the batch path: crash points harvested at the same
+/// poll share one machine state, so one replayed recovery serves them all.
+#[derive(Debug, Clone)]
 pub struct DistTrial {
     /// Gathered global solution after completion (or recovery + resume).
     pub solution: Vec<f64>,
@@ -245,7 +310,7 @@ pub fn run_dist_trial<K: DistKernel>(
     let iters = kernel.iters();
     let mut crash = None;
     for iter in 1..=iters {
-        if let Some(c) = kernel.superstep(cl, iter, true) {
+        if let Some(c) = run_superstep(kernel, cl, iter, true) {
             crash = Some(c);
             break;
         }
@@ -277,12 +342,301 @@ pub fn run_dist_trial<K: DistKernel>(
 
     for iter in recovery.resume_iter..=iters {
         let exchange = iter != recovery.resume_iter || recovery.resume_exchange;
-        let again = kernel.superstep(cl, iter, exchange);
+        let again = run_superstep(kernel, cl, iter, exchange);
         debug_assert!(again.is_none(), "a fired trigger cannot fire again");
     }
 
     DistTrial {
         solution: kernel.solution(cl),
+        completed_clean: false,
+        detected: recovery.detected,
+        lost_units: recovery.lost_units,
+        sim_time_ps,
+        recovery_net_msgs: rec_traffic.msgs,
+        recovery_net_bytes: rec_traffic.bytes,
+        profile: forward.map(|p| p.with_recovery_net_bytes(rec_traffic.bytes)),
+    }
+}
+
+/// The crash-free execution of one scenario, computed once and shared by
+/// every batched trial of that scenario.
+///
+/// `states[k]` holds the bits of [`DistKernel::resume_state`] at the
+/// boundary after superstep `k` (index 0 is unused; supersteps are
+/// 1-based). A resumed trial whose state matches the reference at any
+/// boundary is bit-for-bit committed to the reference solution — the tail
+/// is a deterministic function of the resume state — so the batch driver
+/// stops re-executing there and returns the cached solution.
+#[derive(Debug, Clone)]
+pub struct ReferenceRun {
+    /// Solution of the crash-free run.
+    pub solution: Vec<f64>,
+    /// Resume-state bits after each superstep (`states[0]` unused).
+    states: Vec<Vec<u64>>,
+}
+
+fn resume_state_bits<K: DistKernel + ?Sized>(kernel: &K, cl: &Cluster) -> Vec<u64> {
+    kernel
+        .resume_state(cl)
+        .iter()
+        .map(|v| v.to_bits())
+        .collect()
+}
+
+/// Execute the scenario crash-free and record the resume state at every
+/// superstep boundary. The cluster and kernel must be freshly built (no
+/// triggers armed).
+pub fn reference_run<K: DistKernel>(cl: &mut Cluster, kernel: &mut K) -> ReferenceRun {
+    let iters = kernel.iters();
+    let mut states = Vec::with_capacity(iters as usize + 1);
+    states.push(Vec::new());
+    for iter in 1..=iters {
+        let crash = run_superstep(kernel, cl, iter, true);
+        debug_assert!(crash.is_none(), "reference runs are crash-free");
+        states.push(resume_state_bits(kernel, cl));
+    }
+    ReferenceRun {
+        solution: kernel.solution(cl),
+        states,
+    }
+}
+
+/// One scheduled crash point of a batched campaign chunk.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPoint {
+    /// Campaign unit this point reports as.
+    pub unit: u64,
+    /// Rank whose emulator the trigger is armed on.
+    pub rank: usize,
+    /// The trigger itself.
+    pub trigger: CrashTrigger,
+}
+
+/// Image-memory accounting of one batch execution, reported to the
+/// campaign's `ImageMemory` gauge.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchStats {
+    /// Bytes the armed ranks' copy-on-write bases pin (one full NVM
+    /// snapshot per armed rank).
+    pub base_bytes: u64,
+    /// Total delta bytes across all harvested crash states.
+    pub delta_bytes: u64,
+    /// Harvested crash states.
+    pub images: u64,
+    /// Full-image bytes one crash state would have cost (per-rank NVM
+    /// capacity).
+    pub pool_bytes: u64,
+}
+
+/// Run one batch of crash points through a single forward cluster
+/// execution.
+///
+/// Each rank with scheduled points gets a harvest plan: its polls capture
+/// a copy-on-write [`DeltaImage`] instead of crashing, and the forward run
+/// continues unperturbed (harvest capture is uncharged, so the cluster
+/// state at every later poll is exactly what each per-trial run would have
+/// seen — per-trial arms only one rank, whose poll sequence up to its fire
+/// is a prefix of this run's). After each poll boundary the driver drains
+/// the captured states and replays each through recovery on a forked
+/// cluster, with the resumed tail short-circuited against `reference`.
+///
+/// Returns `(unit, trial)` pairs in harvest order plus the batch's
+/// image-memory accounting. Points whose trigger never fires complete
+/// clean with the live cluster's outcome.
+pub fn run_dist_batch<K: DistKernel + Clone>(
+    cl: &mut Cluster,
+    kernel: &mut K,
+    points: &[BatchPoint],
+    telemetry: bool,
+    reference: &ReferenceRun,
+) -> (Vec<(u64, DistTrial)>, BatchStats) {
+    let ranks = cl.ranks();
+    let mut stats = BatchStats {
+        pool_bytes: cl.system(0).config().nvm_capacity as u64,
+        ..BatchStats::default()
+    };
+    for rank in 0..ranks {
+        let pts: Vec<(CrashTrigger, u64)> = points
+            .iter()
+            .filter(|p| p.rank == rank)
+            .map(|p| (p.trigger, p.unit))
+            .collect();
+        if !pts.is_empty() {
+            cl.arm_harvest(rank, pts);
+            stats.base_bytes += stats.pool_bytes;
+        }
+    }
+    let probes: Option<Vec<Probe>> =
+        telemetry.then(|| (0..ranks).map(|r| Probe::attach(cl.system(r))).collect());
+
+    let mut results: Vec<(u64, DistTrial)> = Vec::with_capacity(points.len());
+    let iters = kernel.iters();
+    for iter in 1..=iters {
+        kernel.compute(cl, iter, true);
+        let fired = poll_phase(cl, sites::PH_MID, iter);
+        debug_assert!(fired.is_none(), "harvest plans capture instead of crashing");
+        drain_and_replay(
+            cl,
+            kernel,
+            iter,
+            sites::PH_MID,
+            probes.as_deref(),
+            reference,
+            &mut results,
+            &mut stats,
+        );
+        kernel.commit(cl, iter);
+        let fired = poll_phase(cl, sites::PH_END, iter);
+        debug_assert!(fired.is_none(), "harvest plans capture instead of crashing");
+        drain_and_replay(
+            cl,
+            kernel,
+            iter,
+            sites::PH_END,
+            probes.as_deref(),
+            reference,
+            &mut results,
+            &mut stats,
+        );
+        cl.barrier();
+    }
+
+    // Points that never fired complete clean, exactly as their per-trial
+    // runs would: the harvest plans never perturbed the forward execution.
+    let crashed: std::collections::HashSet<u64> = results.iter().map(|(u, _)| *u).collect();
+    let clean: Vec<u64> = points
+        .iter()
+        .map(|p| p.unit)
+        .filter(|u| !crashed.contains(u))
+        .collect();
+    if !clean.is_empty() {
+        let template = DistTrial {
+            solution: kernel.solution(cl),
+            completed_clean: true,
+            detected: false,
+            lost_units: 0,
+            sim_time_ps: 0,
+            recovery_net_msgs: 0,
+            recovery_net_bytes: 0,
+            profile: probes.as_ref().map(|p| roll_up(p, cl)),
+        };
+        for unit in clean {
+            results.push((unit, template.clone()));
+        }
+    }
+    (results, stats)
+}
+
+/// Drain the crash states captured at one poll boundary and replay each
+/// distinct machine state through recovery + resume on a forked cluster.
+/// All states drained for one rank here fired at the same poll (each
+/// boundary polls a rank once), so they share one [`DeltaImage`] and one
+/// replayed recovery serves every unit.
+#[allow(clippy::too_many_arguments)]
+fn drain_and_replay<K: DistKernel + Clone>(
+    cl: &mut Cluster,
+    kernel: &K,
+    iter: u64,
+    phase: u32,
+    probes: Option<&[Probe]>,
+    reference: &ReferenceRun,
+    results: &mut Vec<(u64, DistTrial)>,
+    stats: &mut BatchStats,
+) {
+    let site = CrashSite::new(phase, iter);
+    for rank in 0..cl.ranks() {
+        let harvests = cl.drain_harvests(rank);
+        if harvests.is_empty() {
+            continue;
+        }
+        debug_assert!(harvests.iter().all(|h| h.site == site));
+        stats.images += harvests.len() as u64;
+        stats.delta_bytes += harvests.iter().map(|h| h.image.delta_bytes()).sum::<u64>();
+        let trial = replay_recovery(
+            cl,
+            kernel,
+            rank,
+            iter,
+            site,
+            &harvests[0].image,
+            probes,
+            reference,
+        );
+        let mut units = harvests.into_iter().map(|h| h.unit);
+        let last = units.next_back();
+        for unit in units {
+            results.push((unit, trial.clone()));
+        }
+        if let Some(unit) = last {
+            results.push((unit, trial));
+        }
+    }
+}
+
+/// Reboot one harvested crash state and drive it through recovery and the
+/// resumed tail, exactly as [`run_dist_trial`] would from the same
+/// instant. The live cluster is forked (systems, emulators-as-`Never`,
+/// fabric with its jitter sequence), so the replay sees the survivors'
+/// volatile state — which neighbor-assisted reconstruction reads — and
+/// the same message timing the per-trial run would. The forward profile is
+/// read from the live probes at the drain boundary: nothing is charged
+/// between a poll and its drain, so the live counters *are* the
+/// crash-instant counters.
+#[allow(clippy::too_many_arguments)]
+fn replay_recovery<K: DistKernel + Clone>(
+    cl: &Cluster,
+    kernel: &K,
+    rank: usize,
+    iter: u64,
+    site: CrashSite,
+    image: &DeltaImage,
+    probes: Option<&[Probe]>,
+    reference: &ReferenceRun,
+) -> DistTrial {
+    let dirty_lines = image.dirty_lines_at_crash();
+    let forward = probes.map(|p| roll_up(p, cl).with_dirty_lines(dirty_lines));
+
+    let mut cl = cl.fork();
+    let mut kernel = kernel.clone();
+    let crash = CrashInfo {
+        rank,
+        iter,
+        site,
+        image: image.materialize(),
+    };
+    let traffic_before = cl.traffic();
+    let now_before = cl.max_now_ps();
+    let recovery = kernel.recover(&mut cl, crash);
+    let rec_traffic = cl.traffic().since(&traffic_before);
+    let sim_time_ps = cl.max_now_ps() - now_before;
+
+    let iters = kernel.iters();
+    // Entry-state short-circuit: when recovery lands exactly on a
+    // reference boundary (a checkpoint restore, or a bit-exact
+    // reconstruction), the whole tail — supersteps included — is already
+    // committed to the reference solution. `states[0]` is unused, so a
+    // resume at superstep 1 always re-executes.
+    let entry = recovery.resume_iter;
+    let mut solution = if entry >= 2
+        && resume_state_bits(&kernel, &cl) == reference.states[(entry - 1) as usize]
+    {
+        Some(reference.solution.clone())
+    } else {
+        None
+    };
+    if solution.is_none() {
+        for it in entry..=iters {
+            let exchange = it != entry || recovery.resume_exchange;
+            let again = run_superstep(&mut kernel, &mut cl, it, exchange);
+            debug_assert!(again.is_none(), "forked emulators have no triggers");
+            if resume_state_bits(&kernel, &cl) == reference.states[it as usize] {
+                solution = Some(reference.solution.clone());
+                break;
+            }
+        }
+    }
+    DistTrial {
+        solution: solution.unwrap_or_else(|| kernel.solution(&cl)),
         completed_clean: false,
         detected: recovery.detected,
         lost_units: recovery.lost_units,

@@ -12,9 +12,20 @@ use crate::line::{LINE_SHIFT, LINE_SIZE};
 /// [`Backing::mark_journal`]): after a mark, the distinct lines written are
 /// recorded, which is what lets a crash-image fork capture only the lines
 /// that changed since a base snapshot instead of copying the whole pool.
+///
+/// Storage is materialized lazily: `bytes` holds only the written prefix
+/// of the pool, and everything from `bytes.len()` up to `cap` is logically
+/// zero. A simulated pool is typically far larger than the data living in
+/// it, so this keeps [`Clone`] — the engine of cluster forks in batched
+/// crash replays — O(live data) instead of O(pool capacity).
+#[derive(Clone)]
 pub struct Backing {
     base: u64,
+    /// The written prefix of the pool; offsets beyond `bytes.len()` (up to
+    /// `cap`) read as zero. Grows on write, never past `cap`.
     bytes: Vec<u8>,
+    /// Logical pool capacity in bytes.
+    cap: usize,
     /// Monotonic epoch; bumped by [`Backing::mark_journal`] and by the
     /// whole-store mutations ([`Backing::restore`], [`Backing::wipe`]) that
     /// invalidate any outstanding journal consumer.
@@ -33,7 +44,8 @@ impl Backing {
         assert_eq!(base % LINE_SIZE as u64, 0, "base must be line-aligned");
         Backing {
             base,
-            bytes: vec![0; capacity],
+            bytes: Vec::new(),
+            cap: capacity,
             journal_epoch: 0,
             line_mark: Vec::new(),
             journal: Vec::new(),
@@ -48,7 +60,7 @@ impl Backing {
     /// first use — stores that never journal never pay for it.
     pub fn mark_journal(&mut self) -> u64 {
         if self.line_mark.is_empty() {
-            self.line_mark = vec![0; self.bytes.len().div_ceil(LINE_SIZE)];
+            self.line_mark = vec![0; self.cap.div_ceil(LINE_SIZE)];
         }
         self.journal_epoch += 1;
         self.journal.clear();
@@ -94,7 +106,7 @@ impl Backing {
 
     /// Capacity in bytes.
     pub fn capacity(&self) -> usize {
-        self.bytes.len()
+        self.cap
     }
 
     /// Base simulated address.
@@ -109,11 +121,20 @@ impl Backing {
             .unwrap_or_else(|| panic!("address {addr:#x} below backing base {:#x}", self.base));
         let off = off as usize;
         assert!(
-            off + len <= self.bytes.len(),
+            off + len <= self.cap,
             "address range {addr:#x}+{len} beyond backing capacity {}",
-            self.bytes.len()
+            self.cap
         );
         off
+    }
+
+    /// Materialize the zero fill up to `end` so a write there lands in
+    /// allocated storage.
+    #[inline]
+    fn grow(&mut self, end: usize) {
+        if end > self.bytes.len() {
+            self.bytes.resize(end, 0);
+        }
     }
 
     /// Read the full line containing byte address `line_addr << 6`.
@@ -122,7 +143,10 @@ impl Backing {
         let addr = line << LINE_SHIFT;
         let off = self.index(addr, LINE_SIZE);
         let mut out = [0u8; LINE_SIZE];
-        out.copy_from_slice(&self.bytes[off..off + LINE_SIZE]);
+        let have = self.bytes.len().saturating_sub(off).min(LINE_SIZE);
+        if have > 0 {
+            out[..have].copy_from_slice(&self.bytes[off..off + have]);
+        }
         out
     }
 
@@ -132,35 +156,58 @@ impl Backing {
         let addr = line << LINE_SHIFT;
         let off = self.index(addr, LINE_SIZE);
         self.note_line(line);
+        self.grow(off + LINE_SIZE);
         self.bytes[off..off + LINE_SIZE].copy_from_slice(data);
     }
 
     /// Raw (uncharged) byte read, used by image snapshots and debugging.
     pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) {
         let off = self.index(addr, buf.len());
-        buf.copy_from_slice(&self.bytes[off..off + buf.len()]);
+        let have = self.bytes.len().saturating_sub(off).min(buf.len());
+        if have > 0 {
+            buf[..have].copy_from_slice(&self.bytes[off..off + have]);
+        }
+        buf[have..].fill(0);
     }
 
     /// Raw (uncharged) byte write, used to seed initial state.
     pub fn write_bytes(&mut self, addr: u64, src: &[u8]) {
         let off = self.index(addr, src.len());
         self.note_range(addr, src.len());
+        self.grow(off + src.len());
         self.bytes[off..off + src.len()].copy_from_slice(src);
     }
 
-    /// Clone the full contents (crash snapshot).
+    /// Clone the full contents (crash snapshot). Always `capacity` bytes:
+    /// the unwritten tail is materialized as zeros so image consumers see
+    /// the whole pool.
     pub fn snapshot(&self) -> Vec<u8> {
-        self.bytes.clone()
+        let mut out = vec![0u8; self.cap];
+        out[..self.bytes.len()].copy_from_slice(&self.bytes);
+        out
     }
 
     /// Overwrite the full contents (restoring a snapshot). Invalidates any
     /// outstanding write journal: the whole store changed at once.
     pub fn restore(&mut self, bytes: &[u8]) {
-        assert_eq!(bytes.len(), self.bytes.len(), "snapshot size mismatch");
+        assert_eq!(bytes.len(), self.cap, "snapshot size mismatch");
         self.journal_epoch += 1;
         self.journal.clear();
         self.journaling = false;
-        self.bytes.copy_from_slice(bytes);
+        // Trim the snapshot's trailing zeros so a restored store keeps the
+        // cheap-to-clone written-prefix invariant. Chunked comparison so
+        // the scan runs at memcmp speed, not byte-at-a-time.
+        const CHUNK: usize = 1024;
+        const ZERO: [u8; CHUNK] = [0; CHUNK];
+        let mut live = bytes.len();
+        while live >= CHUNK && bytes[live - CHUNK..live] == ZERO {
+            live -= CHUNK;
+        }
+        while live > 0 && bytes[live - 1] == 0 {
+            live -= 1;
+        }
+        self.bytes.clear();
+        self.bytes.extend_from_slice(&bytes[..live]);
     }
 
     /// Zero everything (volatile medium lost at crash). Invalidates any
@@ -169,7 +216,7 @@ impl Backing {
         self.journal_epoch += 1;
         self.journal.clear();
         self.journaling = false;
-        self.bytes.fill(0);
+        self.bytes.clear();
     }
 }
 
@@ -185,6 +232,7 @@ mod tests {
         b.write_line(3, &d);
         assert_eq!(b.read_line(3)[7], 77);
         assert_eq!(b.read_line(2)[7], 0);
+        assert_eq!(b.read_line(15)[7], 0, "beyond the written prefix");
     }
 
     #[test]
@@ -195,6 +243,16 @@ mod tests {
         let mut out = [0u8; 3];
         b.read_bytes(base + 10, &mut out);
         assert_eq!(out, [1, 2, 3]);
+    }
+
+    #[test]
+    fn reads_straddling_the_written_prefix_zero_fill() {
+        let mut b = Backing::new(0, 1024);
+        b.write_bytes(0, &[9; 10]);
+        let mut out = [1u8; 20];
+        b.read_bytes(4, &mut out);
+        assert_eq!(&out[..6], &[9; 6]);
+        assert_eq!(&out[6..], &[0; 14]);
     }
 
     #[test]
@@ -255,10 +313,53 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_restore_roundtrip() {
+    fn clone_preserves_contents_journal_and_tail_zeros() {
+        let mut b = Backing::new(0, 1024);
+        b.write_bytes(100, &[7; 16]);
+        b.mark_journal();
+        b.write_line(3, &[9; LINE_SIZE]);
+        let c = b.clone();
+        // Live prefix, untouched tail, and journal state all survive.
+        let mut buf = [0u8; 16];
+        c.read_bytes(100, &mut buf);
+        assert_eq!(buf, [7; 16]);
+        assert_eq!(c.read_line(3), [9; LINE_SIZE]);
+        assert_eq!(c.read_line(15), [0; LINE_SIZE]);
+        assert_eq!(c.journal_epoch(), b.journal_epoch());
+        assert_eq!(c.journal_lines(), b.journal_lines());
+        // The clone's mark table still suppresses duplicate journal
+        // entries for lines already recorded.
+        let mut c = c;
+        c.write_line(3, &[1; LINE_SIZE]);
+        assert_eq!(c.journal_lines(), &[3]);
+        // Writes past the written prefix journal normally.
+        c.write_line(10, &[2; LINE_SIZE]);
+        let mut lines = c.journal_lines().to_vec();
+        lines.sort_unstable();
+        assert_eq!(lines, vec![3, 10]);
+    }
+
+    #[test]
+    fn wipe_then_write_keeps_clone_exact() {
+        let mut b = Backing::new(0, 512);
+        b.write_bytes(0, &[5; 512]);
+        b.wipe();
+        b.write_bytes(8, &[6; 8]);
+        let c = b.clone();
+        let mut buf = [0u8; 8];
+        c.read_bytes(8, &mut buf);
+        assert_eq!(buf, [6; 8]);
+        assert_eq!(c.read_line(7), [0; LINE_SIZE], "wiped tail stays zero");
+    }
+
+    #[test]
+    fn snapshot_is_always_full_capacity_and_roundtrips() {
         let mut b = Backing::new(0, 128);
-        b.write_bytes(0, &[9; 128]);
+        b.write_bytes(0, &[9; 16]);
         let snap = b.snapshot();
+        assert_eq!(snap.len(), 128, "snapshot materializes the whole pool");
+        assert_eq!(&snap[..16], &[9; 16]);
+        assert_eq!(&snap[16..], &[0; 112]);
         b.wipe();
         assert_eq!(b.read_line(0)[0], 0);
         b.restore(&snap);

@@ -184,6 +184,18 @@ impl CrashEmulator {
         self.harvest.take().map(|h| h.out).unwrap_or_default()
     }
 
+    /// Take the crash states captured since the last drain, leaving the
+    /// plan armed (poll order). Batch drivers drain at phase boundaries so
+    /// each harvested state can be replayed while the cluster state at its
+    /// capture boundary is still live; [`CrashEmulator::take_harvests`]
+    /// at the end would be too late for that.
+    pub fn drain_harvests(&mut self) -> Vec<Harvest> {
+        self.harvest
+            .as_mut()
+            .map(|h| std::mem::take(&mut h.out))
+            .unwrap_or_default()
+    }
+
     /// Evaluate the armed harvest plan at a poll of `site`.
     fn harvest_at(&mut self, site: CrashSite) {
         let Some(h) = self.harvest.as_mut() else {

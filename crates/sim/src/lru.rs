@@ -102,6 +102,7 @@ pub struct Victim {
 }
 
 /// Set-associative write-back cache with data payloads.
+#[derive(Clone)]
 pub struct SetAssocCache {
     sets: usize,
     assoc: usize,

@@ -196,6 +196,13 @@ impl std::fmt::Debug for DeltaBase {
 }
 
 /// The simulated memory system.
+///
+/// Cloning copies the whole machine — caches with their payloads and LRU
+/// state, backing stores, clock, counters, stream detectors — so a clone
+/// continues bit-identically to the original. Cluster-level crash-state
+/// harvesting forks per-rank systems this way to replay recovery from a
+/// mid-execution boundary.
+#[derive(Clone)]
 pub struct MemorySystem {
     cfg: SystemConfig,
     cpu: SetAssocCache,

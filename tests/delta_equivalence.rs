@@ -17,7 +17,7 @@
 
 use adcc::campaign::engine::{run_campaign, CampaignConfig};
 use adcc::campaign::memstats::ImageMemory;
-use adcc::campaign::scenario::registry;
+use adcc::campaign::scenario::{dist_registry, registry};
 
 /// A spread of units across each scenario's site-grain space plus one
 /// dense (access-grain) point.
@@ -60,6 +60,117 @@ fn every_scenario_batches_identically_to_per_trial() {
             m.delta_bytes < m.full_copy_bytes / 10,
             "deltas must be far below full copies: {m:?}"
         );
+    }
+}
+
+/// The dist divergence gate: every distributed scenario's `run_batch`
+/// (one harvest-planned cluster execution, forked-cluster recovery
+/// replays, reference-run tail short-circuit) must produce trials
+/// identical to `run_trial` per unit — outcome, loss, recovery clock and
+/// traffic, and the full telemetry profile.
+#[test]
+fn every_dist_scenario_batches_identically_to_per_trial() {
+    for telemetry in [false, true] {
+        let mem = ImageMemory::default();
+        for s in dist_registry() {
+            let units = sample_units(s.total_units());
+            let batch = s
+                .run_batch(&units, telemetry, &mem)
+                .expect("dist scenarios support the batched harvest path");
+            assert_eq!(batch.len(), units.len(), "{}", s.name());
+            for (&unit, b) in units.iter().zip(&batch) {
+                let t = s.run_trial(unit, telemetry);
+                assert_eq!(b.unit, t.unit, "{} unit {}", s.name(), unit);
+                assert_eq!(
+                    b.outcome,
+                    t.outcome,
+                    "{} unit {unit} (telemetry={telemetry})",
+                    s.name()
+                );
+                assert_eq!(b.lost_units, t.lost_units, "{} unit {unit}", s.name());
+                assert_eq!(b.sim_time_ps, t.sim_time_ps, "{} unit {unit}", s.name());
+                assert_eq!(b.telemetry.is_some(), telemetry, "{} unit {unit}", s.name());
+                assert_eq!(b.telemetry, t.telemetry, "{} unit {unit}", s.name());
+            }
+        }
+        let m = mem.summary();
+        assert!(m.images > 0);
+        assert!(
+            m.delta_bytes < m.full_copy_bytes / 10,
+            "dist deltas must be far below full copies: {m:?}"
+        );
+    }
+}
+
+/// The report-level dist gate: whole distributed campaigns are
+/// byte-identical in canonical form between the batched harvest path and
+/// the legacy per-trial path, across 1 and 8 worker threads.
+#[test]
+fn dist_campaign_reports_byte_identical_across_code_paths_and_threads() {
+    let dist_config = |threads: usize, per_trial: bool| CampaignConfig {
+        seed: 42,
+        budget_states: 48,
+        threads,
+        telemetry: true,
+        per_trial,
+        dist: true,
+        ..CampaignConfig::default()
+    };
+    let batch1 = run_campaign(&dist_config(1, false));
+    let batch8 = run_campaign(&dist_config(8, false));
+    let legacy1 = run_campaign(&dist_config(1, true));
+    let legacy8 = run_campaign(&dist_config(8, true));
+    let canonical = batch1.canonical_string();
+    assert!(canonical.contains("\"registry\": \"dist\""));
+    assert_eq!(
+        canonical,
+        batch8.canonical_string(),
+        "batch, 1 vs 8 threads"
+    );
+    assert_eq!(canonical, legacy1.canonical_string(), "batch vs per-trial");
+    assert_eq!(
+        canonical,
+        legacy8.canonical_string(),
+        "per-trial, 8 threads"
+    );
+    assert!(batch1.image_memory.images > 0);
+    assert_eq!(legacy1.image_memory.images, 0);
+}
+
+/// Sharded campaigns tile the schedule: merging the complete shard set
+/// reproduces the unsharded canonical report byte-for-byte, for both
+/// registries and any shard count.
+#[test]
+fn shard_merge_reproduces_the_unsharded_report() {
+    use adcc::campaign::report::CampaignReport;
+    for dist in [false, true] {
+        let base = CampaignConfig {
+            seed: 42,
+            budget_states: if dist { 48 } else { 96 },
+            threads: 2,
+            telemetry: true,
+            dist,
+            ..CampaignConfig::default()
+        };
+        let full = run_campaign(&base);
+        for n in [2u64, 4, 8] {
+            let partials: Vec<_> = (0..n)
+                .map(|i| {
+                    run_campaign(&CampaignConfig {
+                        shard: Some((i, n)),
+                        ..base.clone()
+                    })
+                })
+                .collect();
+            let trials: u64 = partials.iter().map(|p| p.totals.total()).sum();
+            assert_eq!(trials, full.totals.total(), "shards tile the budget");
+            let merged = CampaignReport::merge_shards(&partials).unwrap();
+            assert_eq!(
+                merged.canonical_string(),
+                full.canonical_string(),
+                "{n}-way merge (dist={dist})"
+            );
+        }
     }
 }
 

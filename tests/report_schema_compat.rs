@@ -1,12 +1,15 @@
-//! Report-schema compatibility: the committed `adcc-campaign-report/v1`
-//! fixture must stay parseable by everything `campaign replay` and
-//! `campaign compare` use, and the v2 telemetry block must survive a full
-//! JSON round-trip bit-for-bit.
+//! Report-schema compatibility: the committed fixtures for every schema
+//! generation (`adcc-campaign-report/v1`, `/v2`, `/v3`) must stay
+//! parseable by everything `campaign replay`, `campaign merge`, and
+//! `campaign compare` use, and the current telemetry block must survive a
+//! full JSON round-trip bit-for-bit.
 
 use adcc::campaign::engine::{run_campaign, CampaignConfig};
-use adcc::campaign::report::{compare, CampaignReport, SCHEMA, SCHEMA_V1};
+use adcc::campaign::report::{compare, CampaignReport, SCHEMA, SCHEMA_V1, SCHEMA_V2};
 
 const V1_FIXTURE: &str = include_str!("fixtures/campaign-report-v1.json");
+const V2_FIXTURE: &str = include_str!("fixtures/campaign-report-v2.json");
+const V3_FIXTURE: &str = include_str!("fixtures/campaign-report-v3.json");
 
 fn v2_config() -> CampaignConfig {
     CampaignConfig {
@@ -61,6 +64,53 @@ fn v1_fixture_matches_a_fresh_run_outcome_for_outcome() {
         assert_eq!(a.outcomes, b.outcomes, "{}", a.name);
         assert_eq!(a.lost_units_total, b.lost_units_total, "{}", a.name);
         assert_eq!(a.sim_time_ps_total, b.sim_time_ps_total, "{}", a.name);
+    }
+}
+
+#[test]
+fn v2_fixture_still_parses_without_fabric_keys() {
+    // The v2 generation carried telemetry blocks but predates the fabric
+    // keys (`net_*`, `recovery_net_bytes`); they must default to zero.
+    assert!(V2_FIXTURE.contains(SCHEMA_V2));
+    assert!(!V2_FIXTURE.contains("net_msgs"));
+    let report = CampaignReport::parse(V2_FIXTURE).expect("v2 fixture must stay readable");
+    assert_eq!(report.seed, 42);
+    assert_eq!(report.budget_states, 26);
+    assert!(!report.dist);
+    assert!(report.telemetry.is_some());
+    let t = report.telemetry.unwrap();
+    assert!(t.flush_total() > 0, "v2 telemetry carries real counters");
+    assert_eq!(t.net_msgs, 0);
+    assert_eq!(t.recovery_net_bytes, 0);
+    // Replaying the v2 header inputs on today's engine reproduces its
+    // outcomes exactly (the compare workflow across two schema bumps).
+    let new = run_campaign(&v2_config());
+    assert!(!compare(&report, &new).regression);
+    assert_eq!(report.totals, new.totals);
+}
+
+#[test]
+fn v3_fixture_parses_and_roundtrips_bit_for_bit() {
+    // The v3 generation: dist registry header plus fabric telemetry keys.
+    // It is the current schema, so parse → emit must be byte-identical.
+    assert!(V3_FIXTURE.contains(SCHEMA));
+    let report = CampaignReport::parse(V3_FIXTURE).expect("v3 fixture must stay readable");
+    assert!(report.dist, "v3 fixture sweeps the distributed registry");
+    assert!(report.shard.is_none());
+    let t = report.telemetry.expect("v3 fixture carries telemetry");
+    assert!(t.net_msgs > 0, "dist campaigns record fabric traffic");
+    assert!(t.recovery_net_bytes > 0);
+    assert_eq!(report.to_string_pretty(), V3_FIXTURE);
+}
+
+#[test]
+fn every_fixture_generation_parses() {
+    for (name, text) in [("v1", V1_FIXTURE), ("v2", V2_FIXTURE), ("v3", V3_FIXTURE)] {
+        let report = CampaignReport::parse(text)
+            .unwrap_or_else(|e| panic!("{name} fixture must parse: {e}"));
+        assert!(report.totals.total() > 0, "{name}");
+        // Re-emission always upgrades to the current schema string.
+        assert!(report.to_string_pretty().contains(SCHEMA), "{name}");
     }
 }
 
