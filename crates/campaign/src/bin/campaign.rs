@@ -2,11 +2,13 @@
 //! seed, diff two reports, and emit the wall-clock bench trajectory.
 //!
 //! ```text
-//! campaign run     [--budget-states N] [--seed S] [--threads T]
+//! campaign run     [--registry kernel|dist|ds] [--budget-states N]
+//!                  [--seed S] [--threads T]
 //!                  [--schedule stratified|every-k:K|exhaustive:N]
 //!                  [--telemetry] [--out PATH]
-//! campaign replay  --seed S [--budget-states N] [--threads T]
-//!                  [--schedule SPEC] [--telemetry] [--expect PATH]
+//! campaign replay  --seed S [--registry NAME] [--budget-states N]
+//!                  [--threads T] [--schedule SPEC] [--telemetry]
+//!                  [--expect PATH]
 //! campaign compare OLD.json NEW.json
 //! campaign cost    [--budget-states N] [--seed S] [--threads T]
 //!                  [--schedule SPEC] [--out PATH]
@@ -30,6 +32,7 @@ use adcc_campaign::cost::CostTable;
 use adcc_campaign::engine::{run_campaign, CampaignConfig};
 use adcc_campaign::json::Json;
 use adcc_campaign::report::{compare, flush_audit, parse_shard, CampaignReport};
+use adcc_campaign::scenario::Registry;
 use adcc_campaign::schedule::Schedule;
 use adcc_telemetry::{adr_eadr_costs, ExecutionProfile, Probe};
 
@@ -59,31 +62,36 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "\
 usage:
-  campaign run     [--budget-states N] [--seed S] [--threads T]
+  campaign run     [--registry kernel|dist|ds] [--budget-states N]
+                   [--seed S] [--threads T]
                    [--schedule stratified|every-k:K|exhaustive:N]
-                   [--dense D] [--max-batch B] [--per-trial] [--dist]
+                   [--dense D] [--max-batch B] [--per-trial]
                    [--shard I/N] [--telemetry] [--out PATH]
-  campaign replay  --seed S [--budget-states N] [--threads T]
-                   [--schedule SPEC] [--dense D] [--max-batch B] [--per-trial]
-                   [--dist] [--shard I/N] [--telemetry] [--expect PATH]
-                   [--out PATH]
+  campaign replay  --seed S [--registry NAME] [--budget-states N]
+                   [--threads T] [--schedule SPEC] [--dense D]
+                   [--max-batch B] [--per-trial] [--shard I/N]
+                   [--telemetry] [--expect PATH] [--out PATH]
   campaign merge   --out PATH SHARD.json SHARD.json ...
   campaign compare OLD.json NEW.json
   campaign cost    [--budget-states N] [--seed S] [--threads T]
-                   [--schedule SPEC] [--dist] [--json] [--out PATH]
+                   [--schedule SPEC] [--registry NAME] [--json] [--out PATH]
   campaign bench   [--samples N] [--iters K] [--n DIM]
                    [--campaign-states N] [--dist-states N] [--out PATH]
 
+--registry NAME selects the scenario registry to sweep (recorded in the
+report; replays reproduce it): `kernel` (default) is the single-rank
+compute-kernel suite, `dist` the multi-rank cluster scenarios with
+(rank, site) crash points comparing global checkpoint restart against
+algorithm-directed local recovery, `ds` the persistent data-structure
+op-stream workloads (MSC queue, open-addressing hash table) under
+undo-logged and unprotected-baseline protection. `--dist` is a
+deprecated alias for `--registry dist`.
 --dense D appends D access-grain crash points per scenario after its
 site-grain space (recorded in the report; replays reproduce it).
 --max-batch B caps crash points harvested per forward execution (batched
 copy-on-write delta images); --per-trial forces the legacy
 one-execution-per-trial full-copy path (same canonical report, used as
 the bench baseline).
---dist sweeps the distributed registry instead of the single-rank one:
-multi-rank scenarios with (rank, site) crash points, comparing global
-checkpoint restart against algorithm-directed local recovery (recorded
-in the report; replays reproduce it).
 --shard I/N runs the I-th of an N-way positional split of the schedule
 and emits a partial report carrying a shard marker; `campaign merge`
 folds the complete shard set back into a report byte-identical to an
@@ -139,6 +147,7 @@ fn cmd_run(args: &[String], replay: bool) -> Result<ExitCode, String> {
     check_known_flags(
         args,
         &[
+            "--registry",
             "--budget-states",
             "--seed",
             "--threads",
@@ -169,7 +178,7 @@ fn cmd_run(args: &[String], replay: bool) -> Result<ExitCode, String> {
         cfg.budget_states = exp.budget_states;
         cfg.schedule = Schedule::parse(&exp.schedule)?;
         cfg.dense_units = exp.dense_units;
-        cfg.dist = exp.dist;
+        cfg.registry = exp.registry;
         cfg.shard = exp.shard;
     }
     if let Some(v) = take_opt(args, "--seed")? {
@@ -196,7 +205,14 @@ fn cmd_run(args: &[String], replay: bool) -> Result<ExitCode, String> {
         cfg.shard = Some(parse_shard(&v)?);
     }
     cfg.per_trial = take_flag(args, "--per-trial");
-    cfg.dist = cfg.dist || take_flag(args, "--dist");
+    // `--dist` is the deprecated spelling of `--registry dist`; an
+    // explicit `--registry` always wins over an inherited report value.
+    if take_flag(args, "--dist") {
+        cfg.registry = Registry::Dist;
+    }
+    if let Some(v) = take_opt(args, "--registry")? {
+        cfg.registry = Registry::parse(&v).map_err(|e| format!("{e}\n{USAGE}"))?;
+    }
     // A replay of a telemetry-carrying report must re-measure telemetry or
     // the canonical comparison could never match.
     cfg.telemetry =
@@ -204,6 +220,9 @@ fn cmd_run(args: &[String], replay: bool) -> Result<ExitCode, String> {
     // Resolve the output path up front: a malformed --out must not cost a
     // completed (possibly multi-minute) campaign.
     let out_path = take_opt(args, "--out")?;
+    // Surface incoherent flag combinations (e.g. --shard with --per-trial)
+    // before the campaign spends any time running.
+    cfg.validate().map_err(|e| format!("{e}\n{USAGE}"))?;
 
     let report = run_campaign(&cfg);
     print_summary(&report);
@@ -254,7 +273,10 @@ fn print_summary(report: &CampaignReport) {
         } else {
             String::new()
         },
-        if report.dist { " registry dist" } else { "" },
+        match report.registry {
+            Registry::Kernel => String::new(),
+            r => format!(" registry {}", r.name()),
+        },
         report.threads,
         report.wall_clock_ms
     );
@@ -391,6 +413,7 @@ fn cmd_cost(args: &[String]) -> Result<ExitCode, String> {
     check_known_flags(
         args,
         &[
+            "--registry",
             "--budget-states",
             "--seed",
             "--threads",
@@ -401,9 +424,16 @@ fn cmd_cost(args: &[String]) -> Result<ExitCode, String> {
     )?;
     let mut cfg = CampaignConfig {
         telemetry: true,
-        dist: take_flag(args, "--dist"),
+        registry: if take_flag(args, "--dist") {
+            Registry::Dist
+        } else {
+            Registry::Kernel
+        },
         ..CampaignConfig::default()
     };
+    if let Some(v) = take_opt(args, "--registry")? {
+        cfg.registry = Registry::parse(&v).map_err(|e| format!("{e}\n{USAGE}"))?;
+    }
     let json = take_flag(args, "--json");
     if let Some(v) = take_opt(args, "--seed")? {
         cfg.seed = parse_u64(&v, "seed")?;
@@ -605,6 +635,7 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
             "--n",
             "--campaign-states",
             "--dist-states",
+            "--ds-states",
             "--out",
         ],
         &[],
@@ -631,10 +662,14 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
         .map(|v| parse_u64(&v, "dist-states"))
         .transpose()?
         .unwrap_or(300);
+    let ds_states = take_opt(args, "--ds-states")?
+        .map(|v| parse_u64(&v, "ds-states"))
+        .transpose()?
+        .unwrap_or(500);
     // Default to the *current* trajectory point: BENCH_0.json (v1)
-    // through BENCH_3.json (v4) are committed documents and must never be
-    // clobbered by a v5 emission.
-    let out = take_opt(args, "--out")?.unwrap_or_else(|| "BENCH_4.json".to_string());
+    // through BENCH_4.json (v5) are committed documents and must never be
+    // clobbered by a v6 emission.
+    let out = take_opt(args, "--out")?.unwrap_or_else(|| "BENCH_5.json".to_string());
 
     let class = adcc_linalg::CgClass {
         name: "bench",
@@ -760,7 +795,7 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
         let dist_report = run_campaign(&CampaignConfig {
             budget_states: dist_states,
             telemetry: true,
-            dist: true,
+            registry: Registry::Dist,
             per_trial,
             ..CampaignConfig::default()
         });
@@ -806,6 +841,42 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
         results.push(e);
     }
 
+    // Persistent data-structure campaign throughput: crash-state rate and
+    // the op-replay rate the recovery path sustains (each crash trial
+    // replays the op-stream suffix against the recovered structure; the
+    // telemetry aggregate counts every replayed op).
+    {
+        let t0 = std::time::Instant::now();
+        let ds_report = run_campaign(&CampaignConfig {
+            budget_states: ds_states,
+            telemetry: true,
+            registry: Registry::Ds,
+            ..CampaignConfig::default()
+        });
+        let ds_secs = t0.elapsed().as_secs_f64();
+        let ds_total = ds_report.totals.total();
+        let ds_sps = ds_total as f64 / ds_secs.max(1e-9);
+        let replayed = ds_report
+            .telemetry
+            .as_ref()
+            .map_or(0, |t| t.ds_ops_replayed);
+        let rps = replayed as f64 / ds_secs.max(1e-9);
+        println!(
+            "{:<22} {ds_total} states in {ds_secs:>8.2} s | {ds_sps:>8.0} states/s \
+             | {replayed} ops replayed ({rps:.0} ops/s)",
+            "campaign/ds",
+        );
+        let mut e = Json::obj();
+        e.push("bench", Json::Str("campaign/ds".into()));
+        e.push("budget_states", Json::Int(ds_states));
+        e.push("states", Json::Int(ds_total));
+        e.push("wall_ms", Json::Int((ds_secs * 1e3) as u64));
+        e.push("states_per_sec", Json::Int(ds_sps as u64));
+        e.push("ops_replayed", Json::Int(replayed));
+        e.push("ops_replayed_per_sec", Json::Int(rps as u64));
+        results.push(e);
+    }
+
     let mut config = Json::obj();
     config.push("kernel", Json::Str("native-cg".into()));
     config.push("n", Json::Int(n as u64));
@@ -815,11 +886,12 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
     config.push("sim_iters", Json::Int(SIM_ITERS as u64));
     config.push("campaign_states", Json::Int(campaign_states));
     config.push("dist_states", Json::Int(dist_states));
+    config.push("ds_states", Json::Int(ds_states));
     let mut doc = Json::obj();
-    // v5 switches the campaign/dist row to the batched harvest-plan path
-    // and adds the campaign/dist-per-trial baseline row it is measured
-    // against (v4 added the dist row itself).
-    doc.push("schema", Json::Str("adcc-bench-trajectory/v5".into()));
+    // v6 adds the campaign/ds row: persistent data-structure crash-state
+    // throughput plus the op-replay rate of its recovery path (v5 added
+    // the batched dist row and its per-trial baseline).
+    doc.push("schema", Json::Str("adcc-bench-trajectory/v6".into()));
     doc.push("unit", Json::Str("ns_per_iter".into()));
     doc.push("config", config);
     doc.push("results", Json::Arr(results));

@@ -7,7 +7,7 @@ use adcc_telemetry::ExecutionProfile;
 
 use crate::memstats::ImageMemory;
 use crate::report::{CampaignReport, ScenarioReport};
-use crate::scenario::{registry, Scenario, Trial};
+use crate::scenario::{Registry, Scenario, Trial};
 use crate::schedule::Schedule;
 
 /// Campaign inputs. `(seed, budget_states, schedule, dense_units)` fully
@@ -46,11 +46,11 @@ pub struct CampaignConfig {
     /// either way (the delta-equivalence suite enforces it); this is the
     /// baseline the bench compares against.
     pub per_trial: bool,
-    /// Sweep the distributed registry ([`crate::scenario::dist_registry`])
-    /// instead of the single-rank one: multi-rank scenarios with
-    /// `(rank, site)` crash points and per-mode recovery comparison.
-    /// Recorded in the canonical report, so replays reproduce it.
-    pub dist: bool,
+    /// Which named scenario registry to sweep (`--registry <name>`):
+    /// the default compute-kernel registry, the distributed
+    /// (`adcc::dist`) one, or the persistent data-structure (`adcc::ds`)
+    /// one. Recorded in the canonical report, so replays reproduce it.
+    pub registry: Registry,
     /// Run shard `i` of an `n`-way campaign split: each scenario's
     /// scheduled crash points are partitioned positionally (point index
     /// `k` belongs to shard `k % n`), so the `n` partial reports cover the
@@ -72,9 +72,126 @@ impl Default for CampaignConfig {
             dense_units: 0,
             max_batch: 128,
             per_trial: false,
-            dist: false,
+            registry: Registry::Kernel,
             shard: None,
         }
+    }
+}
+
+impl CampaignConfig {
+    /// Start a validating [`CampaignConfigBuilder`] from the defaults.
+    ///
+    /// Prefer this over hand-filling the struct literal: `build()` rejects
+    /// incoherent combinations (e.g. sharding a per-trial run) before the
+    /// engine sees them, with the same error text the CLI prints.
+    pub fn builder() -> CampaignConfigBuilder {
+        CampaignConfigBuilder {
+            cfg: CampaignConfig::default(),
+        }
+    }
+
+    /// Start a validating builder from an existing config (e.g. one
+    /// inherited from a report being replayed), so overrides go through
+    /// the same `build()` validation.
+    pub fn to_builder(&self) -> CampaignConfigBuilder {
+        CampaignConfigBuilder { cfg: self.clone() }
+    }
+
+    /// Check the config for incoherent combinations. `build()` calls
+    /// this; configs assembled as struct literals can call it directly.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.shard.is_some() && self.per_trial {
+            return Err(
+                "--shard cannot be combined with --per-trial: shards partition the \
+                 batched plan, which the per-trial path bypasses"
+                    .to_string(),
+            );
+        }
+        if let Some((shard, of)) = self.shard {
+            if of == 0 || shard >= of {
+                return Err(format!("shard index {shard} out of range for {of} shards"));
+            }
+        }
+        if self.max_batch == 0 {
+            return Err("--max-batch must be at least 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`CampaignConfig`] — see
+/// [`CampaignConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct CampaignConfigBuilder {
+    cfg: CampaignConfig,
+}
+
+impl CampaignConfigBuilder {
+    /// Seed driving every stochastic schedule decision.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Total crash states across the whole campaign.
+    pub fn budget_states(mut self, budget: u64) -> Self {
+        self.cfg.budget_states = budget;
+        self
+    }
+
+    /// Crash-point selection policy.
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.cfg.schedule = schedule;
+        self
+    }
+
+    /// Worker OS threads; `0` picks the host parallelism.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// Capture per-trial [`ExecutionProfile`]s in the report.
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.cfg.telemetry = on;
+        self
+    }
+
+    /// Extra access-grain (dense) crash points per scenario.
+    pub fn dense_units(mut self, dense: u64) -> Self {
+        self.cfg.dense_units = dense;
+        self
+    }
+
+    /// Crash points harvested per forward execution in the batched pass.
+    pub fn max_batch(mut self, max_batch: u64) -> Self {
+        self.cfg.max_batch = max_batch;
+        self
+    }
+
+    /// Force the legacy one-execution-per-trial path.
+    pub fn per_trial(mut self, on: bool) -> Self {
+        self.cfg.per_trial = on;
+        self
+    }
+
+    /// Which named scenario registry to sweep.
+    pub fn registry(mut self, registry: Registry) -> Self {
+        self.cfg.registry = registry;
+        self
+    }
+
+    /// Run shard `i` of an `n`-way campaign split.
+    pub fn shard(mut self, shard: Option<(u64, u64)>) -> Self {
+        self.cfg.shard = shard;
+        self
+    }
+
+    /// Validate and produce the config. Errors name the offending flag
+    /// combination exactly as the CLI reports it.
+    pub fn build(self) -> Result<CampaignConfig, String> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -94,11 +211,7 @@ struct Task {
 /// so neither the thread count nor the batch size can reorder anything.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
     let start = Instant::now();
-    let scenarios = if cfg.dist {
-        crate::scenario::dist_registry()
-    } else {
-        registry()
-    };
+    let scenarios = cfg.registry.scenarios();
     let points = plan(cfg, &scenarios);
 
     let mut tasks = Vec::new();
@@ -171,7 +284,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         budget_states: cfg.budget_states,
         schedule: cfg.schedule.name(),
         dense_units: cfg.dense_units,
-        dist: cfg.dist,
+        registry: cfg.registry,
         shard: cfg.shard,
         scenarios: scenario_reports,
         totals,
@@ -269,13 +382,42 @@ mod tests {
     }
 
     #[test]
+    fn builder_validates_flag_combinations() {
+        let err = CampaignConfig::builder()
+            .per_trial(true)
+            .shard(Some((0, 2)))
+            .build()
+            .unwrap_err();
+        assert!(err.contains("--shard"), "{err}");
+        assert!(err.contains("--per-trial"), "{err}");
+
+        let cfg = CampaignConfig::builder()
+            .seed(7)
+            .budget_states(99)
+            .registry(Registry::Ds)
+            .shard(Some((1, 4)))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.budget_states, 99);
+        assert_eq!(cfg.registry, Registry::Ds);
+        assert_eq!(cfg.shard, Some((1, 4)));
+
+        assert!(CampaignConfig::builder()
+            .shard(Some((4, 4)))
+            .build()
+            .is_err());
+        assert!(CampaignConfig::builder().max_batch(0).build().is_err());
+    }
+
+    #[test]
     fn budget_splits_evenly_with_remainder_first() {
         let cfg = CampaignConfig {
             budget_states: 14,
             schedule: Schedule::Stratified,
             ..CampaignConfig::default()
         };
-        let scenarios = registry();
+        let scenarios = crate::scenario::registry();
         let points = plan(&cfg, &scenarios);
         let n = scenarios.len();
         assert_eq!(points.len(), n);

@@ -6,10 +6,14 @@
 //! systematic crash-state enumerators like WITCHER and the campaign
 //! statistics EasyCrash reports:
 //!
-//! * a [`scenario::Scenario`] **registry** unifying every workload —
-//!   CG, BiCGSTAB, Jacobi, heat stencil, checksum-LU, MC — under the
-//!   mechanisms the paper compares (algorithm extension, checkpoint,
-//!   undo-log transactions, selective/epoch flushing);
+//! * named [`scenario::Scenario`] **registries** ([`Registry`], selected
+//!   with `campaign run --registry <name>`): `kernel` unifies every
+//!   compute workload — CG, BiCGSTAB, Jacobi, heat stencil, checksum-LU,
+//!   MC — under the mechanisms the paper compares (algorithm extension,
+//!   checkpoint, undo-log transactions, selective/epoch flushing);
+//!   `dist` sweeps the multi-rank `adcc::dist` kernels; `ds` sweeps the
+//!   persistent data-structure (`adcc::ds`) queue/hash op-stream
+//!   workloads under undo-logged and baseline protection;
 //! * deterministic, seedable **schedules** ([`schedule::Schedule`]) that
 //!   pick crash points: every-k, stratified random, exhaustive-below-N;
 //! * a parallel **engine** ([`engine::run_campaign`]) fanning trials out
@@ -30,14 +34,14 @@
 //! use adcc_campaign::report::CampaignReport;
 //! use adcc_campaign::schedule::Schedule;
 //!
-//! let cfg = CampaignConfig {
-//!     seed: 42,
-//!     budget_states: 50,
-//!     schedule: Schedule::Stratified,
-//!     threads: 2,
-//!     telemetry: true,
-//!     ..CampaignConfig::default()
-//! };
+//! let cfg = CampaignConfig::builder()
+//!     .seed(42)
+//!     .budget_states(50)
+//!     .schedule(Schedule::Stratified)
+//!     .threads(2)
+//!     .telemetry(true)
+//!     .build()
+//!     .unwrap();
 //! let report = run_campaign(&cfg);
 //! assert_eq!(report.totals.total(), 50);
 //! assert_eq!(report.silent_corruption_total(), 0);
@@ -61,9 +65,11 @@ pub mod scenarios;
 pub mod schedule;
 
 pub use cost::{CostRow, CostTable};
-pub use engine::{run_campaign, CampaignConfig};
+pub use engine::{run_campaign, CampaignConfig, CampaignConfigBuilder};
 pub use memstats::{ImageMemory, ImageMemorySummary};
 pub use outcome::{Outcome, OutcomeCounts};
 pub use report::{compare, flush_audit, CampaignReport, ScenarioReport};
-pub use scenario::{dist_registry, registry, Kernel, Mechanism, Scenario, Trial};
+pub use scenario::{
+    dist_registry, ds_registry, registry, Kernel, Mechanism, Registry, Scenario, Trial, UnitSpace,
+};
 pub use schedule::Schedule;

@@ -13,12 +13,18 @@ use serde::Serialize;
 use crate::json::Json;
 use crate::memstats::ImageMemorySummary;
 use crate::outcome::OutcomeCounts;
+use crate::scenario::Registry;
 
 /// Current report format identifier (bump on breaking schema changes).
-/// v3 adds the optional `registry` header (present as `"dist"` for
-/// distributed campaigns) and the fabric/recovery-traffic telemetry keys
-/// (`net_msgs`, `net_bytes`, `net_ps`, `recovery_net_bytes`).
-pub const SCHEMA: &str = "adcc-campaign-report/v3";
+/// v4 generalizes the `registry` header to any named non-default registry
+/// (`"dist"`, `"ds"`) and adds the log-metadata / op-stream telemetry
+/// keys (`log_meta_appends`, `log_meta_bytes`, `ds_ops_applied`,
+/// `ds_ops_replayed`).
+pub const SCHEMA: &str = "adcc-campaign-report/v4";
+
+/// The v3 format (optional `"dist"` registry header, fabric telemetry
+/// keys), still accepted by [`CampaignReport::parse`].
+pub const SCHEMA_V3: &str = "adcc-campaign-report/v3";
 
 /// The v2 format (telemetry blocks without fabric keys), still accepted
 /// by [`CampaignReport::parse`].
@@ -69,10 +75,11 @@ pub struct CampaignReport {
     /// `CampaignConfig::dense_units`). Emitted in the canonical form only
     /// when nonzero, so legacy-space reports keep their exact bytes.
     pub dense_units: u64,
-    /// Whether this campaign swept the distributed registry. Emitted as
-    /// `"registry": "dist"` only when true, so single-rank reports carry
-    /// no extra header field.
-    pub dist: bool,
+    /// Which named scenario registry this campaign swept. Emitted as
+    /// `"registry": "<name>"` only when non-default, so compute-kernel
+    /// reports carry no extra header field (and `dist` reports keep their
+    /// exact v3 bytes).
+    pub registry: Registry,
     /// `Some((i, n))` marks a partial report: shard `i` of an `n`-way
     /// positional split of the schedule (emitted as `"shard": "i/n"`).
     /// [`CampaignReport::merge_shards`] folds a complete shard set back
@@ -121,6 +128,10 @@ fn telemetry_json(t: &ExecutionProfile) -> Json {
     j.push("net_bytes", Json::Int(t.net_bytes));
     j.push("net_ps", Json::Int(t.net_ps));
     j.push("recovery_net_bytes", Json::Int(t.recovery_net_bytes));
+    j.push("log_meta_appends", Json::Int(t.log_meta_appends));
+    j.push("log_meta_bytes", Json::Int(t.log_meta_bytes));
+    j.push("ds_ops_applied", Json::Int(t.ds_ops_applied));
+    j.push("ds_ops_replayed", Json::Int(t.ds_ops_replayed));
     j.push(
         "consistency_window_ps",
         Json::Int(t.consistency_window_ps()),
@@ -132,9 +143,10 @@ fn telemetry_json(t: &ExecutionProfile) -> Json {
 }
 
 /// Parse a telemetry block emitted by [`telemetry_json`] (derived fields
-/// are ignored; they are recomputed at emission). The fabric keys are
-/// optional so v1/v2 blocks still parse (they default to zero, which is
-/// also what v3 single-rank scenarios record).
+/// are ignored; they are recomputed at emission). The fabric keys and the
+/// v4 log-metadata / op-stream keys are optional so v1–v3 blocks still
+/// parse (they default to zero, which is also what scenarios outside
+/// those registries record).
 fn telemetry_from_json(j: &Json) -> Result<ExecutionProfile, String> {
     let n = |key: &str| -> Result<u64, String> {
         j.get(key)
@@ -163,6 +175,10 @@ fn telemetry_from_json(j: &Json) -> Result<ExecutionProfile, String> {
         net_bytes: opt("net_bytes"),
         net_ps: opt("net_ps"),
         recovery_net_bytes: opt("recovery_net_bytes"),
+        log_meta_appends: opt("log_meta_appends"),
+        log_meta_bytes: opt("log_meta_bytes"),
+        ds_ops_applied: opt("ds_ops_applied"),
+        ds_ops_replayed: opt("ds_ops_replayed"),
     })
 }
 
@@ -213,7 +229,7 @@ impl CampaignReport {
                 || p.budget_states != first.budget_states
                 || p.schedule != first.schedule
                 || p.dense_units != first.dense_units
-                || p.dist != first.dist
+                || p.registry != first.registry
             {
                 return Err(format!(
                     "shard {i}/{n} is from a different campaign \
@@ -296,7 +312,7 @@ impl CampaignReport {
             budget_states: first.budget_states,
             schedule: first.schedule.clone(),
             dense_units: first.dense_units,
-            dist: first.dist,
+            registry: first.registry,
             shard: None,
             scenarios,
             totals,
@@ -316,8 +332,8 @@ impl CampaignReport {
         if self.dense_units > 0 {
             j.push("dense_units", Json::Int(self.dense_units));
         }
-        if self.dist {
-            j.push("registry", Json::Str("dist".into()));
+        if self.registry != Registry::Kernel {
+            j.push("registry", Json::Str(self.registry.name().into()));
         }
         if let Some((i, n)) = self.shard {
             j.push("shard", Json::Str(format!("{i}/{n}")));
@@ -393,9 +409,10 @@ impl CampaignReport {
             .get("schema")
             .and_then(Json::as_str)
             .ok_or("missing schema")?;
-        if schema != SCHEMA && schema != SCHEMA_V2 && schema != SCHEMA_V1 {
+        if schema != SCHEMA && schema != SCHEMA_V3 && schema != SCHEMA_V2 && schema != SCHEMA_V1 {
             return Err(format!(
-                "unsupported schema {schema:?} (want {SCHEMA:?}, {SCHEMA_V2:?}, or {SCHEMA_V1:?})"
+                "unsupported schema {schema:?} (want {SCHEMA:?}, {SCHEMA_V3:?}, \
+                 {SCHEMA_V2:?}, or {SCHEMA_V1:?})"
             ));
         }
         let int = |key: &str| -> Result<u64, String> {
@@ -458,7 +475,10 @@ impl CampaignReport {
                 .ok_or("missing schedule")?
                 .to_string(),
             dense_units: j.get("dense_units").and_then(Json::as_u64).unwrap_or(0),
-            dist: j.get("registry").and_then(Json::as_str) == Some("dist"),
+            registry: match j.get("registry").and_then(Json::as_str) {
+                None => Registry::Kernel,
+                Some(name) => Registry::parse(name)?,
+            },
             shard: j
                 .get("shard")
                 .and_then(Json::as_str)
@@ -588,7 +608,7 @@ mod tests {
             budget_states: 10,
             schedule: "stratified".into(),
             dense_units: 0,
-            dist: false,
+            registry: Registry::Kernel,
             shard: None,
             scenarios: vec![ScenarioReport {
                 name: "cg-extended".into(),
@@ -676,19 +696,36 @@ mod tests {
     #[test]
     fn parse_rejects_other_schemas() {
         assert!(CampaignReport::parse(r#"{"schema": "bogus/v9"}"#).is_err());
-        assert!(CampaignReport::parse(r#"{"schema": "adcc-campaign-report/v4"}"#).is_err());
+        assert!(CampaignReport::parse(r#"{"schema": "adcc-campaign-report/v5"}"#).is_err());
     }
 
     #[test]
-    fn dist_registry_header_roundtrips_and_is_canonical() {
-        let single = sample();
-        let mut dist = sample();
-        dist.dist = true;
-        assert!(!single.canonical_string().contains("registry"));
-        assert!(dist.canonical_string().contains("\"registry\": \"dist\""));
-        assert_ne!(single.canonical_string(), dist.canonical_string());
-        let parsed = CampaignReport::parse(&dist.to_string_pretty()).unwrap();
-        assert_eq!(parsed, dist);
+    fn registry_header_roundtrips_and_is_canonical() {
+        let kernel = sample();
+        assert!(!kernel.canonical_string().contains("registry"));
+        for (registry, header) in [(Registry::Dist, "dist"), (Registry::Ds, "ds")] {
+            let mut r = sample();
+            r.registry = registry;
+            assert!(
+                r.canonical_string()
+                    .contains(&format!("\"registry\": \"{header}\"")),
+                "{header}"
+            );
+            assert_ne!(kernel.canonical_string(), r.canonical_string());
+            let parsed = CampaignReport::parse(&r.to_string_pretty()).unwrap();
+            assert_eq!(parsed, r);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown_registry_names() {
+        let mut text = sample().to_string_pretty();
+        text = text.replace(
+            "\"schedule\": \"stratified\"",
+            "\"schedule\": \"stratified\",\n  \"registry\": \"bogus\"",
+        );
+        let err = CampaignReport::parse(&text).unwrap_err();
+        assert!(err.contains("unknown registry"), "{err}");
     }
 
     #[test]
@@ -705,6 +742,25 @@ mod tests {
         r.telemetry = Some(profile);
         let text = r.to_string_pretty();
         assert!(text.contains("\"recovery_net_bytes\": 512"));
+        let parsed = CampaignReport::parse(&text).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn ds_telemetry_keys_roundtrip() {
+        let mut r = sample_with_telemetry();
+        let profile = ExecutionProfile {
+            log_meta_appends: 12,
+            log_meta_bytes: 384,
+            ds_ops_applied: 96,
+            ds_ops_replayed: 64,
+            ..r.scenarios[0].telemetry.unwrap()
+        };
+        r.scenarios[0].telemetry = Some(profile);
+        r.telemetry = Some(profile);
+        let text = r.to_string_pretty();
+        assert!(text.contains("\"ds_ops_replayed\": 64"));
+        assert!(text.contains("\"log_meta_bytes\": 384"));
         let parsed = CampaignReport::parse(&text).unwrap();
         assert_eq!(parsed, r);
     }

@@ -8,7 +8,8 @@ use crate::memstats::ImageMemory;
 use crate::outcome::Outcome;
 use crate::scenarios;
 
-/// Kernel family (the paper's three workloads plus the extension kernels).
+/// Kernel family (the paper's three workloads plus the extension kernels
+/// and the persistent data-structure workloads).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Kernel {
     /// Conjugate gradient (the paper's main workload).
@@ -23,11 +24,29 @@ pub enum Kernel {
     Lu,
     /// Monte-Carlo particle transport (paper workload).
     Mc,
+    /// Persistent MSC queue (`adcc::ds` workload).
+    Queue,
+    /// Persistent open-addressing hash table (`adcc::ds` workload).
+    Hash,
 }
 
 impl Kernel {
-    /// Every kernel family, in registry order.
-    pub const ALL: [Kernel; 6] = [
+    /// Every kernel family, in registry order (compute kernels first,
+    /// then the persistent data-structure workloads).
+    pub const ALL: [Kernel; 8] = [
+        Kernel::Cg,
+        Kernel::BiCgStab,
+        Kernel::Jacobi,
+        Kernel::Stencil,
+        Kernel::Lu,
+        Kernel::Mc,
+        Kernel::Queue,
+        Kernel::Hash,
+    ];
+
+    /// The compute-kernel families covered by the default (`kernel`)
+    /// registry.
+    pub const COMPUTE: [Kernel; 6] = [
         Kernel::Cg,
         Kernel::BiCgStab,
         Kernel::Jacobi,
@@ -45,6 +64,8 @@ impl Kernel {
             Kernel::Stencil => "stencil",
             Kernel::Lu => "lu",
             Kernel::Mc => "mc",
+            Kernel::Queue => "queue",
+            Kernel::Hash => "hash",
         }
     }
 }
@@ -64,6 +85,9 @@ pub enum Mechanism {
     Selective,
     /// MC epoch-tagged counters (exact replay).
     Epoch,
+    /// No transactional protection: tagged writes + batched epoch syncs,
+    /// detect-and-rebuild recovery (the `adcc::ds` unprotected baseline).
+    Baseline,
 }
 
 impl Mechanism {
@@ -76,6 +100,63 @@ impl Mechanism {
             Mechanism::Pmem => "pmem",
             Mechanism::Selective => "selective",
             Mechanism::Epoch => "epoch",
+            Mechanism::Baseline => "baseline",
+        }
+    }
+}
+
+/// A named scenario registry the campaign engine can sweep.
+///
+/// Replaces the old `CampaignConfig.dist: bool` toggle: registries are an
+/// open set selected by name (`campaign run --registry <name>`), and the
+/// selected registry is part of the report format — reports carry a
+/// `registry` header whenever a non-default registry produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize)]
+pub enum Registry {
+    /// The default single-node compute-kernel registry.
+    #[default]
+    Kernel,
+    /// The distributed (`adcc::dist`) registry: multi-rank kernels under
+    /// rank-granular crash injection.
+    Dist,
+    /// The persistent data-structure (`adcc::ds`) registry: queue/hash
+    /// op-stream workloads under undo-logged and baseline protection.
+    Ds,
+}
+
+impl Registry {
+    /// Every registry, in documentation order.
+    pub const ALL: [Registry; 3] = [Registry::Kernel, Registry::Dist, Registry::Ds];
+
+    /// Stable identifier used by `--registry` and in report JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Registry::Kernel => "kernel",
+            Registry::Dist => "dist",
+            Registry::Ds => "ds",
+        }
+    }
+
+    /// Parse a `--registry` value. Unknown names list the valid set.
+    pub fn parse(name: &str) -> Result<Registry, String> {
+        match name {
+            "kernel" => Ok(Registry::Kernel),
+            "dist" => Ok(Registry::Dist),
+            "ds" => Ok(Registry::Ds),
+            other => Err(format!(
+                "unknown registry '{other}' (expected one of: kernel, dist, ds)"
+            )),
+        }
+    }
+
+    /// Build this registry's scenario list. Order is part of the report
+    /// format: reports list scenarios in registry order, and the
+    /// determinism suite compares reports byte-for-byte.
+    pub fn scenarios(self) -> Vec<Box<dyn Scenario>> {
+        match self {
+            Registry::Kernel => scenarios::all(),
+            Registry::Dist => scenarios::dist_all(),
+            Registry::Ds => scenarios::ds_all(),
         }
     }
 }
@@ -98,6 +179,62 @@ pub struct Trial {
     pub telemetry: Option<ExecutionProfile>,
 }
 
+/// A scenario's crash-point unit space: how many site-grain units it
+/// enumerates and how densely the access-grain tail subdivides beyond
+/// them.
+///
+/// Extracted from the old `total_units`/`dense_stride`/`trigger_of`
+/// method cluster so schedules, shard planners and scenario impls share
+/// one description of the unit geometry instead of re-deriving it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitSpace {
+    /// Number of site-grain units (`0..sites` map to instrumented sites).
+    pub sites: u64,
+    /// Element-access spacing between dense (access-grain) crash points.
+    pub dense_stride: u64,
+}
+
+impl UnitSpace {
+    /// Default dense spacing for scenarios that don't tune it.
+    pub const DEFAULT_DENSE_STRIDE: u64 = 2_000;
+
+    /// A unit space with `sites` site-grain points and the given dense
+    /// spacing.
+    pub const fn new(sites: u64, dense_stride: u64) -> UnitSpace {
+        UnitSpace {
+            sites,
+            dense_stride,
+        }
+    }
+
+    /// A unit space with the default dense spacing.
+    pub const fn site_grain(sites: u64) -> UnitSpace {
+        UnitSpace::new(sites, UnitSpace::DEFAULT_DENSE_STRIDE)
+    }
+
+    /// Is `unit` in the dense (access-grain) tail?
+    pub fn is_dense(&self, unit: u64) -> bool {
+        unit >= self.sites
+    }
+
+    /// Access-count threshold of dense unit `unit` (`unit >= sites`).
+    pub fn dense_access_count(&self, unit: u64) -> u64 {
+        debug_assert!(self.is_dense(unit));
+        (unit - self.sites + 1) * self.dense_stride
+    }
+
+    /// Crash trigger for any unit: site-grain units resolve through
+    /// `site`, dense units crash at the first poll past their access
+    /// threshold.
+    pub fn trigger_of(&self, unit: u64, site: impl FnOnce(u64) -> CrashTrigger) -> CrashTrigger {
+        if unit < self.sites {
+            site(unit)
+        } else {
+            CrashTrigger::AtAccessCount(self.dense_access_count(unit))
+        }
+    }
+}
+
 /// One workload × mechanism pair the engine can sweep crash points over.
 ///
 /// `run_trial` must be a pure function of `(self, unit, telemetry)`: each
@@ -109,11 +246,12 @@ pub struct Trial {
 ///
 /// ## Unit space
 ///
-/// Units `0..total_units` are **site-grain** crash points: each maps to an
+/// A scenario describes its crash-point geometry with one [`UnitSpace`]:
+/// units `0..sites` are **site-grain** crash points, each mapping to an
 /// instrumented crash site via [`Scenario::site_trigger`]. Units at or
-/// above `total_units` are **dense** (access-grain) points the engine can
-/// append on demand: unit `total_units + d` crashes at the first poll
-/// after `(d + 1) * dense_stride` element accesses, which subdivides the
+/// above `sites` are **dense** (access-grain) points the engine can
+/// append on demand: unit `sites + d` crashes at the first poll after
+/// `(d + 1) * dense_stride` element accesses, which subdivides the
 /// crash-point space far below statement granularity without any
 /// per-scenario enumeration. Dense points whose threshold lands past the
 /// end of the run complete cleanly and are classified as such.
@@ -135,22 +273,21 @@ pub trait Scenario: Send + Sync {
     fn platform_name(&self) -> &'static str {
         "nvm-only"
     }
+    /// The scenario's crash-point geometry.
+    fn unit_space(&self) -> UnitSpace;
     /// Size of the site-grain crash-point space.
-    fn total_units(&self) -> u64;
+    fn total_units(&self) -> u64 {
+        self.unit_space().sites
+    }
     /// Crash trigger for a site-grain unit (`unit < total_units`).
     fn site_trigger(&self, unit: u64) -> CrashTrigger;
     /// Access-count spacing between dense (access-grain) crash points.
     fn dense_stride(&self) -> u64 {
-        2_000
+        self.unit_space().dense_stride
     }
     /// Crash trigger for any unit, dense units included.
     fn trigger_of(&self, unit: u64) -> CrashTrigger {
-        let sites = self.total_units();
-        if unit < sites {
-            self.site_trigger(unit)
-        } else {
-            CrashTrigger::AtAccessCount((unit - sites + 1) * self.dense_stride())
-        }
+        self.unit_space().trigger_of(unit, |u| self.site_trigger(u))
     }
     /// Inject one crash state, recover, classify. This is the reference
     /// (full-copy) path: one instrumented execution per unit, crash image
@@ -176,11 +313,18 @@ pub fn registry() -> Vec<Box<dyn Scenario>> {
     scenarios::all()
 }
 
-/// Build the distributed registry (`campaign run --dist`): the
+/// Build the distributed registry (`campaign run --registry dist`): the
 /// `adcc::dist` kernels under algorithm-directed local recovery and
 /// global checkpoint restart, same ordering guarantees as [`registry`].
 pub fn dist_registry() -> Vec<Box<dyn Scenario>> {
     scenarios::dist_all()
+}
+
+/// Build the persistent data-structure registry (`campaign run --registry
+/// ds`): the `adcc::ds` queue/hash op-stream workloads under undo-logged
+/// and baseline protection, same ordering guarantees as [`registry`].
+pub fn ds_registry() -> Vec<Box<dyn Scenario>> {
+    scenarios::ds_all()
 }
 
 #[cfg(test)]
@@ -188,9 +332,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_covers_every_kernel_with_two_mechanisms() {
+    fn registry_covers_every_compute_kernel_with_two_mechanisms() {
         let reg = registry();
-        for kernel in Kernel::ALL {
+        for kernel in Kernel::COMPUTE {
             let mechanisms: std::collections::BTreeSet<&str> = reg
                 .iter()
                 .filter(|s| s.kernel() == kernel)
@@ -206,15 +350,42 @@ mod tests {
 
     #[test]
     fn registry_names_are_unique_and_units_positive() {
-        let reg = registry();
-        let mut names: Vec<&str> = reg.iter().map(|s| s.name()).collect();
-        names.sort_unstable();
-        let before = names.len();
-        names.dedup();
-        assert_eq!(names.len(), before, "duplicate scenario names");
-        for s in &reg {
-            assert!(s.total_units() > 0, "{} has no crash points", s.name());
+        for registry in Registry::ALL {
+            let reg = registry.scenarios();
+            let mut names: Vec<&str> = reg.iter().map(|s| s.name()).collect();
+            names.sort_unstable();
+            let before = names.len();
+            names.dedup();
+            assert_eq!(names.len(), before, "duplicate scenario names");
+            for s in &reg {
+                assert!(s.total_units() > 0, "{} has no crash points", s.name());
+            }
         }
+    }
+
+    #[test]
+    fn registry_names_parse_and_roundtrip() {
+        for registry in Registry::ALL {
+            assert_eq!(Registry::parse(registry.name()), Ok(registry));
+        }
+        let err = Registry::parse("bogus").unwrap_err();
+        assert!(err.contains("unknown registry"), "{err}");
+        assert!(err.contains("kernel, dist, ds"), "{err}");
+    }
+
+    #[test]
+    fn unit_space_maps_site_and_dense_units() {
+        let space = UnitSpace::new(4, 100);
+        assert!(!space.is_dense(3));
+        assert!(space.is_dense(4));
+        assert_eq!(
+            space.trigger_of(2, CrashTrigger::AtSimTimePs),
+            CrashTrigger::AtSimTimePs(2)
+        );
+        assert_eq!(
+            space.trigger_of(5, CrashTrigger::AtSimTimePs),
+            CrashTrigger::AtAccessCount(200)
+        );
     }
 
     #[test]
@@ -237,6 +408,29 @@ mod tests {
         for s in &reg {
             assert!(s.name().starts_with("dist-"), "{}", s.name());
             assert_eq!(s.platform_name(), "dist-4rank");
+            assert!(s.total_units() > 0);
+        }
+    }
+
+    #[test]
+    fn ds_registry_pairs_both_protections_per_structure() {
+        let reg = ds_registry();
+        assert_eq!(reg.len(), 4);
+        for kernel in [Kernel::Queue, Kernel::Hash] {
+            let mechanisms: Vec<&str> = reg
+                .iter()
+                .filter(|s| s.kernel() == kernel)
+                .map(|s| s.mechanism().name())
+                .collect();
+            assert_eq!(
+                mechanisms,
+                vec!["pmem", "baseline"],
+                "kernel {} missing a protection mode",
+                kernel.name()
+            );
+        }
+        for s in &reg {
+            assert!(s.name().starts_with("ds-"), "{}", s.name());
             assert!(s.total_units() > 0);
         }
     }

@@ -12,7 +12,7 @@ use adcc_telemetry::{ExecutionProfile, Probe};
 use super::{harness, max_diff, trim_dram, verified_completion};
 use crate::memstats::ImageMemory;
 use crate::outcome::classify;
-use crate::scenario::{Kernel, Mechanism, Scenario, Trial};
+use crate::scenario::{Kernel, Mechanism, Scenario, Trial, UnitSpace};
 
 const ITERS: usize = 10;
 const WINDOW: usize = 4;
@@ -107,11 +107,8 @@ impl Scenario for BiExtended {
             Mechanism::ExtendedWindowed
         }
     }
-    fn total_units(&self) -> u64 {
-        (BI_PHASES.len() * ITERS) as u64
-    }
-    fn dense_stride(&self) -> u64 {
-        DENSE_STRIDE
+    fn unit_space(&self) -> UnitSpace {
+        UnitSpace::new((BI_PHASES.len() * ITERS) as u64, DENSE_STRIDE)
     }
 
     fn site_trigger(&self, unit: u64) -> CrashTrigger {

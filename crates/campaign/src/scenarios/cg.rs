@@ -15,7 +15,7 @@ use adcc_telemetry::{ExecutionProfile, Probe};
 use super::{harness, max_diff, trim_dram, verified_completion};
 use crate::memstats::ImageMemory;
 use crate::outcome::classify;
-use crate::scenario::{Kernel, Mechanism, Scenario, Trial};
+use crate::scenario::{Kernel, Mechanism, Scenario, Trial, UnitSpace};
 
 const ITERS: usize = 12;
 const TOL: f64 = 1e-9;
@@ -102,11 +102,8 @@ impl Scenario for CgExtended {
     fn mechanism(&self) -> Mechanism {
         Mechanism::Extended
     }
-    fn total_units(&self) -> u64 {
-        (CG_PHASES.len() * ITERS) as u64
-    }
-    fn dense_stride(&self) -> u64 {
-        DENSE_STRIDE
+    fn unit_space(&self) -> UnitSpace {
+        UnitSpace::new((CG_PHASES.len() * ITERS) as u64, DENSE_STRIDE)
     }
 
     fn site_trigger(&self, unit: u64) -> CrashTrigger {
@@ -241,11 +238,8 @@ impl Scenario for CgCkpt {
     fn mechanism(&self) -> Mechanism {
         Mechanism::Checkpoint
     }
-    fn total_units(&self) -> u64 {
-        2 * ITERS as u64
-    }
-    fn dense_stride(&self) -> u64 {
-        DENSE_STRIDE
+    fn unit_space(&self) -> UnitSpace {
+        UnitSpace::new(2 * ITERS as u64, DENSE_STRIDE)
     }
 
     fn site_trigger(&self, unit: u64) -> CrashTrigger {
@@ -481,11 +475,8 @@ impl Scenario for CgPmem {
     fn mechanism(&self) -> Mechanism {
         Mechanism::Pmem
     }
-    fn total_units(&self) -> u64 {
-        (PMEM_PHASES.len() * ITERS) as u64
-    }
-    fn dense_stride(&self) -> u64 {
-        DENSE_STRIDE
+    fn unit_space(&self) -> UnitSpace {
+        UnitSpace::new((PMEM_PHASES.len() * ITERS) as u64, DENSE_STRIDE)
     }
 
     fn site_trigger(&self, unit: u64) -> CrashTrigger {

@@ -29,7 +29,7 @@ use adcc_sim::crash::{CrashSite, CrashTrigger};
 use super::{max_diff, verified_completion};
 use crate::memstats::ImageMemory;
 use crate::outcome::classify;
-use crate::scenario::{Kernel, Mechanism, Scenario, Trial};
+use crate::scenario::{Kernel, Mechanism, Scenario, Trial, UnitSpace};
 
 const TOL: f64 = 1e-9;
 
@@ -253,11 +253,11 @@ impl<S: DistSpec> Scenario for Dist<S> {
     fn platform_name(&self) -> &'static str {
         "dist-4rank"
     }
-    fn total_units(&self) -> u64 {
-        self.spec.ranks() * self.spec.iters() * 2
-    }
-    fn dense_stride(&self) -> u64 {
-        self.spec.dense_stride()
+    fn unit_space(&self) -> UnitSpace {
+        UnitSpace::new(
+            self.spec.ranks() * self.spec.iters() * 2,
+            self.spec.dense_stride(),
+        )
     }
     fn site_trigger(&self, unit: u64) -> CrashTrigger {
         self.decode(unit).1

@@ -1,0 +1,293 @@
+//! Persistent data-structure (`adcc::ds`) scenarios: the seeded
+//! multi-client op-stream workloads — MSC queue and open-addressing hash
+//! table over the crash-consistent free-list allocator — under undo-logged
+//! (`pmem`) and unprotected-baseline protection.
+//!
+//! ## Unit space
+//!
+//! Each op in the stream polls exactly three phase sites in order —
+//! `PH_DS_PREP` (announced, nothing mutated), `PH_DS_MUT` (mid-mutation)
+//! and `PH_DS_COMMIT` (completion record + watermark stored) — so the
+//! site-grain unit space is `3 × ops`: unit `u` crashes op `u / 3 + 1` at
+//! phase `u % 3`. The allocator-metadata windows (`PH_DS_ALLOC`) are
+//! data-dependent (only Put/Del ops open them) and are reached through
+//! the dense access-grain tail instead of site-grain enumeration.
+//!
+//! ## Classification
+//!
+//! Every crash image goes through [`recover_verify_resume`]: recovery
+//! (undo rollback + watermark, or baseline audits + rebuild-on-dirt),
+//! prefix verification against the host oracle, full stream resumption,
+//! and final verification. `lost_units` counts the ops that had been
+//! applied at the crash instant but had to be re-executed.
+
+use std::cell::RefCell;
+
+use adcc_ds::sites::{PH_DS_COMMIT, PH_DS_MUT, PH_DS_PREP};
+use adcc_ds::{
+    recover_verify_resume, DsLayout, OpStream, OpStreamCfg, Protection, Structure, Workload,
+    WorkloadCfg,
+};
+use adcc_pmem::LogStats;
+use adcc_sim::crash::{CrashEmulator, CrashSite, CrashTrigger, RunOutcome};
+use adcc_sim::image::NvmImage;
+use adcc_sim::system::MemorySystem;
+use adcc_telemetry::{ExecutionProfile, Probe};
+
+use super::{harness, verified_completion};
+use crate::memstats::ImageMemory;
+use crate::outcome::classify;
+use crate::scenario::{Kernel, Mechanism, Scenario, Trial, UnitSpace};
+
+/// The three always-polled phases of one op, in poll order.
+const SITE_PHASES: [u32; 3] = [PH_DS_PREP, PH_DS_MUT, PH_DS_COMMIT];
+
+/// ~230 accesses per op under the default stream; stride 200 lands the
+/// dense tail roughly one crash point per op, phase-shifted from the
+/// site grain (so allocator windows are reachable).
+const DENSE_STRIDE: u64 = 200;
+
+/// One ds structure × protection pair.
+pub(crate) struct DsScenario {
+    name: &'static str,
+    kernel: Kernel,
+    mechanism: Mechanism,
+    cfg: WorkloadCfg,
+    stream: OpStream,
+    layout: DsLayout,
+}
+
+/// Every ds scenario, in report order.
+pub(super) fn all() -> Vec<Box<dyn Scenario>> {
+    vec![
+        Box::new(DsScenario::new(
+            "ds-queue-undo",
+            Structure::Queue,
+            Protection::Undo,
+        )),
+        Box::new(DsScenario::new(
+            "ds-queue-base",
+            Structure::Queue,
+            Protection::Baseline,
+        )),
+        Box::new(DsScenario::new(
+            "ds-hash-undo",
+            Structure::Hash,
+            Protection::Undo,
+        )),
+        Box::new(DsScenario::new(
+            "ds-hash-base",
+            Structure::Hash,
+            Protection::Baseline,
+        )),
+    ]
+}
+
+/// Ops durably past their effects when the crash fired at `site`: the
+/// `PH_DS_COMMIT` poll sits after the op's completion record, every other
+/// phase mid-op.
+fn applied_at(site: CrashSite) -> u64 {
+    if site.phase == PH_DS_COMMIT {
+        site.index
+    } else {
+        site.index - 1
+    }
+}
+
+impl DsScenario {
+    fn new(name: &'static str, structure: Structure, protection: Protection) -> DsScenario {
+        let stream_cfg = OpStreamCfg::default();
+        let cfg = match structure {
+            Structure::Queue => WorkloadCfg::queue(protection, stream_cfg),
+            Structure::Hash => WorkloadCfg::hash(protection, stream_cfg),
+        };
+        let stream = OpStream::generate(cfg.stream);
+        // Setup is deterministic, so every trial re-creates the same
+        // persistent layout; compute it once on a scratch system.
+        let mut sys = MemorySystem::new(cfg.system());
+        let layout = Workload::setup(&mut sys, cfg).layout();
+        DsScenario {
+            name,
+            kernel: match structure {
+                Structure::Queue => Kernel::Queue,
+                Structure::Hash => Kernel::Hash,
+            },
+            mechanism: match protection {
+                Protection::Undo => Mechanism::Pmem,
+                Protection::Baseline => Mechanism::Baseline,
+            },
+            cfg,
+            stream,
+            layout,
+        }
+    }
+
+    /// Recover one crash image and classify — shared by both paths.
+    fn crash_trial(
+        &self,
+        unit: u64,
+        site: CrashSite,
+        image: &NvmImage,
+        profile: Option<ExecutionProfile>,
+    ) -> Trial {
+        let r = recover_verify_resume(
+            self.cfg,
+            self.layout,
+            self.cfg.system(),
+            image,
+            &self.stream,
+        );
+        let lost = applied_at(site).saturating_sub(r.resume_from);
+        let profile = profile.map(|p| p.with_ds_ops(r.resume_from, r.replayed));
+        Trial {
+            unit,
+            outcome: classify(r.detected, r.matches, lost),
+            lost_units: lost,
+            sim_time_ps: r.sim_time_ps,
+            telemetry: profile,
+        }
+    }
+}
+
+impl Scenario for DsScenario {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+    fn mechanism(&self) -> Mechanism {
+        self.mechanism
+    }
+    fn unit_space(&self) -> UnitSpace {
+        UnitSpace::new(SITE_PHASES.len() as u64 * self.stream.len(), DENSE_STRIDE)
+    }
+
+    fn site_trigger(&self, unit: u64) -> CrashTrigger {
+        let seq = unit / SITE_PHASES.len() as u64 + 1;
+        let phase = SITE_PHASES[(unit % SITE_PHASES.len() as u64) as usize];
+        CrashTrigger::AtSite {
+            site: CrashSite::new(phase, seq),
+            occurrence: 1,
+        }
+    }
+
+    fn run_trial(&self, unit: u64, telemetry: bool) -> Trial {
+        let mut emu = CrashEmulator::new(self.cfg.system(), self.trigger_of(unit));
+        let mut w = Workload::setup(emu.system_mut(), self.cfg);
+        let probe = telemetry.then(|| Probe::attach(&emu));
+        let mut crash: Option<NvmImage> = None;
+        for op in self.stream.ops() {
+            if let RunOutcome::Crashed(image) = w.apply_op(&mut emu, op, None) {
+                crash = Some(image);
+                break;
+            }
+        }
+        let Some(image) = crash else {
+            // Audit before finishing the probe, mirroring the batch path
+            // (whose completion profile is measured after its audit too).
+            let matches = w.completed_matches(&mut emu, &self.stream);
+            let profile = probe.map(|p| {
+                p.finish(&emu)
+                    .with_log(w.log_stats())
+                    .with_ds_ops(self.stream.len(), 0)
+            });
+            return verified_completion(matches, unit, profile);
+        };
+        let profile = probe.map(|p| p.finish(&emu).with_image(&image).with_log(w.log_stats()));
+        let site = emu.fired_site().expect("crashed");
+        self.crash_trial(unit, site, &image, profile)
+    }
+
+    fn run_batch(&self, units: &[u64], telemetry: bool, mem: &ImageMemory) -> Option<Vec<Trial>> {
+        let mut emu = CrashEmulator::new(self.cfg.system(), CrashTrigger::Never);
+        let w = RefCell::new(Workload::setup(emu.system_mut(), self.cfg));
+        // Sidecar per-harvest undo-log counters (the emulator cannot see
+        // the pool): `logs[k]` is the log state at harvest `k`'s instant.
+        let logs: RefCell<Vec<LogStats>> = RefCell::new(Vec::new());
+        Some(harness::run_harvested(
+            units,
+            telemetry,
+            mem,
+            emu,
+            |u| self.trigger_of(u),
+            |e| {
+                let mut w = w.borrow_mut();
+                let mut logs = logs.borrow_mut();
+                for op in self.stream.ops() {
+                    match w.apply_op(e, op, Some(&mut logs)) {
+                        RunOutcome::Completed(()) => {}
+                        RunOutcome::Crashed(_) => unreachable!("Never trigger"),
+                    }
+                }
+                w.completed_matches(e, &self.stream)
+            },
+            |k, unit, site, image, profile| {
+                let profile = profile.map(|p| p.with_log(logs.borrow()[k]));
+                self.crash_trial(unit, site, image, profile)
+            },
+            |matches, _e, profile| {
+                let w = w.borrow();
+                let profile =
+                    profile.map(|p| p.with_log(w.log_stats()).with_ds_ops(self.stream.len(), 0));
+                verified_completion(matches, 0, profile)
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::Outcome;
+
+    #[test]
+    fn site_units_tile_ops_by_phase() {
+        let s = DsScenario::new("ds-queue-undo", Structure::Queue, Protection::Undo);
+        assert_eq!(s.total_units(), 3 * s.stream.len());
+        let CrashTrigger::AtSite { site, occurrence } = s.site_trigger(0) else {
+            panic!("site-grain units use AtSite");
+        };
+        assert_eq!((site.phase, site.index, occurrence), (PH_DS_PREP, 1, 1));
+        let CrashTrigger::AtSite { site, .. } = s.site_trigger(5) else {
+            panic!("site-grain units use AtSite");
+        };
+        assert_eq!((site.phase, site.index), (PH_DS_COMMIT, 2));
+    }
+
+    #[test]
+    fn undo_mut_crash_is_detected_and_commit_crash_is_exact() {
+        let s = DsScenario::new("ds-queue-undo", Structure::Queue, Protection::Undo);
+        // Unit 3*9+1: op 10, PH_DS_MUT — mid-mutation, active transaction.
+        let t = s.run_trial(28, false);
+        assert_eq!(t.outcome, Outcome::DetectedDirty);
+        // Unit 3*9+2: op 10, PH_DS_COMMIT — post-commit, nothing lost.
+        let t = s.run_trial(29, false);
+        assert_eq!(t.outcome, Outcome::RecoveredExact);
+        assert_eq!(t.lost_units, 0);
+    }
+
+    #[test]
+    fn baseline_trials_never_corrupt_silently() {
+        let s = DsScenario::new("ds-hash-base", Structure::Hash, Protection::Baseline);
+        for unit in [1, 40, 101, 260] {
+            let t = s.run_trial(unit, false);
+            assert_ne!(t.outcome, Outcome::SilentCorruption, "unit {unit}: {t:?}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_per_trial_with_telemetry() {
+        let s = DsScenario::new("ds-queue-undo", Structure::Queue, Protection::Undo);
+        let units: Vec<u64> = vec![4, 28, 29, 100, 3 * 160 + 2];
+        let mem = ImageMemory::default();
+        let batch = s.run_batch(&units, true, &mem).unwrap();
+        for (u, b) in units.iter().zip(&batch) {
+            let t = s.run_trial(*u, true);
+            assert_eq!(t.outcome, b.outcome, "unit {u}");
+            assert_eq!(t.lost_units, b.lost_units, "unit {u}");
+            assert_eq!(t.sim_time_ps, b.sim_time_ps, "unit {u}");
+            assert_eq!(t.telemetry, b.telemetry, "unit {u}");
+        }
+    }
+}

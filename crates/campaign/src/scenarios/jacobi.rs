@@ -14,7 +14,7 @@ use adcc_telemetry::{ExecutionProfile, Probe};
 use super::{harness, max_diff, trim_dram, verified_completion};
 use crate::memstats::ImageMemory;
 use crate::outcome::classify;
-use crate::scenario::{Kernel, Mechanism, Scenario, Trial};
+use crate::scenario::{Kernel, Mechanism, Scenario, Trial, UnitSpace};
 
 const ITERS: usize = 12;
 const TOL: f64 = 1e-9;
@@ -90,11 +90,8 @@ impl Scenario for JacobiExtended {
     fn mechanism(&self) -> Mechanism {
         Mechanism::Extended
     }
-    fn total_units(&self) -> u64 {
-        ITERS as u64
-    }
-    fn dense_stride(&self) -> u64 {
-        DENSE_STRIDE
+    fn unit_space(&self) -> UnitSpace {
+        UnitSpace::new(ITERS as u64, DENSE_STRIDE)
     }
 
     fn site_trigger(&self, unit: u64) -> CrashTrigger {
@@ -223,11 +220,8 @@ impl Scenario for JacobiCkpt {
     fn mechanism(&self) -> Mechanism {
         Mechanism::Checkpoint
     }
-    fn total_units(&self) -> u64 {
-        2 * ITERS as u64
-    }
-    fn dense_stride(&self) -> u64 {
-        DENSE_STRIDE
+    fn unit_space(&self) -> UnitSpace {
+        UnitSpace::new(2 * ITERS as u64, DENSE_STRIDE)
     }
 
     fn site_trigger(&self, unit: u64) -> CrashTrigger {

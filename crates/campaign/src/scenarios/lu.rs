@@ -14,7 +14,7 @@ use adcc_telemetry::{ExecutionProfile, Probe};
 use super::{harness, trim_dram, verified_completion};
 use crate::memstats::ImageMemory;
 use crate::outcome::classify;
-use crate::scenario::{Kernel, Mechanism, Scenario, Trial};
+use crate::scenario::{Kernel, Mechanism, Scenario, Trial, UnitSpace};
 
 const N: usize = 32;
 const BK: usize = 4;
@@ -120,11 +120,8 @@ impl Scenario for LuExtended {
     fn mechanism(&self) -> Mechanism {
         Mechanism::Extended
     }
-    fn total_units(&self) -> u64 {
-        N as u64 + blocks()
-    }
-    fn dense_stride(&self) -> u64 {
-        DENSE_STRIDE
+    fn unit_space(&self) -> UnitSpace {
+        UnitSpace::new(N as u64 + blocks(), DENSE_STRIDE)
     }
 
     fn site_trigger(&self, unit: u64) -> CrashTrigger {
@@ -255,11 +252,8 @@ impl Scenario for LuCkpt {
     fn mechanism(&self) -> Mechanism {
         Mechanism::Checkpoint
     }
-    fn total_units(&self) -> u64 {
-        N as u64 + blocks()
-    }
-    fn dense_stride(&self) -> u64 {
-        DENSE_STRIDE
+    fn unit_space(&self) -> UnitSpace {
+        UnitSpace::new(N as u64 + blocks(), DENSE_STRIDE)
     }
 
     fn site_trigger(&self, unit: u64) -> CrashTrigger {

@@ -18,7 +18,7 @@ use adcc_telemetry::{ExecutionProfile, Probe};
 use super::{harness, trim_dram, verified_completion};
 use crate::memstats::ImageMemory;
 use crate::outcome::classify;
-use crate::scenario::{Kernel, Mechanism, Scenario, Trial};
+use crate::scenario::{Kernel, Mechanism, Scenario, Trial, UnitSpace};
 
 const LOOKUPS: u64 = 1_200;
 const INTERVAL: u64 = 64;
@@ -145,11 +145,8 @@ impl Scenario for McCampaign {
     fn platform_name(&self) -> &'static str {
         self.platform
     }
-    fn total_units(&self) -> u64 {
-        LOOKUPS
-    }
-    fn dense_stride(&self) -> u64 {
-        DENSE_STRIDE
+    fn unit_space(&self) -> UnitSpace {
+        UnitSpace::new(LOOKUPS, DENSE_STRIDE)
     }
 
     fn site_trigger(&self, unit: u64) -> CrashTrigger {

@@ -4,6 +4,7 @@
 mod bicgstab;
 mod cg;
 mod dist;
+mod ds;
 mod harness;
 mod jacobi;
 mod lu;
@@ -16,10 +17,17 @@ use adcc_telemetry::ExecutionProfile;
 use crate::outcome::Outcome;
 use crate::scenario::{Scenario, Trial};
 
-/// Every distributed scenario (the `--dist` registry), in report order:
+/// Every distributed scenario (the `dist` registry), in report order:
 /// three kernel families × two recovery modes over a 4-rank cluster.
 pub fn dist_all() -> Vec<Box<dyn Scenario>> {
     dist::all()
+}
+
+/// Every persistent data-structure scenario (the `ds` registry), in
+/// report order: MSC queue and open-addressing hash table, each under
+/// undo-logged (`pmem`) and unprotected-baseline protection.
+pub fn ds_all() -> Vec<Box<dyn Scenario>> {
+    ds::all()
 }
 
 /// Every registered scenario, in report order. All six kernel families

@@ -13,7 +13,7 @@ use adcc_telemetry::{ExecutionProfile, Probe};
 use super::{harness, max_diff, trim_dram, verified_completion};
 use crate::memstats::ImageMemory;
 use crate::outcome::classify;
-use crate::scenario::{Kernel, Mechanism, Scenario, Trial};
+use crate::scenario::{Kernel, Mechanism, Scenario, Trial, UnitSpace};
 
 // A 24×24 grid makes one generation (4.6 KB) overflow the 4 KB CPU cache,
 // so older sweeps actually reach NVM and the extension's verified-restart
@@ -103,11 +103,8 @@ impl Scenario for StencilExtended {
     fn mechanism(&self) -> Mechanism {
         Mechanism::Extended
     }
-    fn total_units(&self) -> u64 {
-        2 * SWEEPS as u64
-    }
-    fn dense_stride(&self) -> u64 {
-        DENSE_STRIDE
+    fn unit_space(&self) -> UnitSpace {
+        UnitSpace::new(2 * SWEEPS as u64, DENSE_STRIDE)
     }
 
     fn site_trigger(&self, unit: u64) -> CrashTrigger {
@@ -254,11 +251,8 @@ impl Scenario for StencilCkpt {
     fn mechanism(&self) -> Mechanism {
         Mechanism::Checkpoint
     }
-    fn total_units(&self) -> u64 {
-        SWEEPS as u64 + ACCESS_POINTS
-    }
-    fn dense_stride(&self) -> u64 {
-        DENSE_STRIDE
+    fn unit_space(&self) -> UnitSpace {
+        UnitSpace::new(SWEEPS as u64 + ACCESS_POINTS, DENSE_STRIDE)
     }
 
     fn site_trigger(&self, unit: u64) -> CrashTrigger {

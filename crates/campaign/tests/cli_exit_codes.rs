@@ -42,6 +42,63 @@ fn unknown_flags_exit_nonzero_with_usage_on_stderr() {
 }
 
 #[test]
+fn unknown_registry_names_exit_nonzero_with_usage() {
+    for sub in ["run", "replay", "cost"] {
+        let out = campaign(&[sub, "--seed", "1", "--registry", "bogus"]);
+        assert_eq!(out.status.code(), Some(1), "{sub} --registry bogus");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("unknown registry") && stderr.contains("usage:"),
+            "{sub} stderr:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn incoherent_flag_combinations_exit_nonzero_with_usage() {
+    // --shard partitions the batched plan; --per-trial bypasses it. The
+    // builder-level validation must surface before any trial runs.
+    let out = campaign(&[
+        "run",
+        "--budget-states",
+        "2",
+        "--shard",
+        "0/2",
+        "--per-trial",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--shard") && stderr.contains("--per-trial") && stderr.contains("usage:"),
+        "stderr:\n{stderr}"
+    );
+}
+
+#[test]
+fn registry_flag_and_dist_alias_run_clean() {
+    for args in [
+        vec![
+            "run",
+            "--registry",
+            "ds",
+            "--budget-states",
+            "3",
+            "--threads",
+            "2",
+        ],
+        vec!["run", "--dist", "--budget-states", "3", "--threads", "2"],
+    ] {
+        let out = campaign(&args);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{args:?} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
 fn unknown_subcommand_exits_nonzero_with_usage() {
     let out = campaign(&["frobnicate"]);
     assert_eq!(out.status.code(), Some(1));

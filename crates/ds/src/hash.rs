@@ -1,0 +1,281 @@
+//! A persistent open-addressing (linear-probing) hash table.
+//!
+//! One slot per cache line — `[state, key, value, seq]` — so every slot
+//! update is old-or-new at crash granularity, and the `seq` tag rides in
+//! the same line as the data it describes. A separate tagged count line
+//! gives the recovery audit an independent invariant to cross-check
+//! (recount vs. counter), which is how unflushed slot/counter pairs are
+//! *detected* instead of silently diverging.
+
+use adcc_pmem::undo::UndoPool;
+use adcc_sim::parray::PArray;
+use adcc_sim::system::MemorySystem;
+
+/// Words per slot line.
+const SLOT_WORDS: usize = 8;
+
+/// Slot states.
+const EMPTY: u64 = 0;
+const FULL: u64 = 1;
+const TOMBSTONE: u64 = 2;
+
+/// Probe-slot read, decoded.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    state: u64,
+    key: u64,
+}
+
+/// The persistent hash table handle.
+#[derive(Clone)]
+pub struct PHash {
+    table: PArray<u64>,
+    /// One line: word 0 = live-entry count, word 1 = last-update seq tag.
+    count: PArray<u64>,
+    slots: u64,
+}
+
+/// Where a probe ended: the op to perform against that slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeHit {
+    /// The key occupies this slot index.
+    Found(u64),
+    /// The key is absent; inserts go to this slot index.
+    Insert(u64),
+}
+
+impl PHash {
+    /// Allocate a table with `slots` one-line slots (power of two), empty.
+    pub fn new(sys: &mut MemorySystem, slots: u64) -> Self {
+        assert!(slots.is_power_of_two(), "slot count must be a power of two");
+        let table = PArray::<u64>::alloc_nvm(sys, slots as usize * SLOT_WORDS);
+        let count = PArray::<u64>::alloc_nvm(sys, 8);
+        let h = PHash {
+            table,
+            count,
+            slots,
+        };
+        h.reinit(sys);
+        h
+    }
+
+    /// Re-attach at known addresses (post-crash).
+    pub fn attach(table_base: u64, count_base: u64, slots: u64) -> Self {
+        PHash {
+            table: PArray::new(table_base, slots as usize * SLOT_WORDS),
+            count: PArray::new(count_base, 8),
+            slots,
+        }
+    }
+
+    /// `(table_base, count_base, slots)`, for layouts and discovery.
+    pub fn layout(&self) -> (u64, u64, u64) {
+        (self.table.base(), self.count.base(), self.slots)
+    }
+
+    /// Zero every slot and the counter, persisted — initialization and
+    /// rebuild-from-scratch recovery share this path.
+    pub fn reinit(&self, sys: &mut MemorySystem) {
+        self.table.fill(sys, 0);
+        self.count.fill(sys, 0);
+        self.table.persist_all(sys);
+        self.count.persist_all(sys);
+        sys.sfence();
+    }
+
+    fn home(&self, key: u64) -> u64 {
+        // SplitMix64 finalizer as the hash.
+        let mut z = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z ^ (z >> 31)) & (self.slots - 1)
+    }
+
+    fn slot(&self, sys: &mut MemorySystem, i: u64) -> Slot {
+        let w = i as usize * SLOT_WORDS;
+        Slot {
+            state: self.table.get(sys, w),
+            key: self.table.get(sys, w + 1),
+        }
+    }
+
+    /// Linear-probe for `key`: `Found(i)` if present, else `Insert(i)` at
+    /// the first tombstone (or the empty slot that ended the probe).
+    pub fn probe(&self, sys: &mut MemorySystem, key: u64) -> ProbeHit {
+        let mut first_tombstone = None;
+        for d in 0..self.slots {
+            let i = (self.home(key) + d) & (self.slots - 1);
+            let s = self.slot(sys, i);
+            match s.state {
+                EMPTY => return ProbeHit::Insert(first_tombstone.unwrap_or(i)),
+                TOMBSTONE => {
+                    if first_tombstone.is_none() {
+                        first_tombstone = Some(i);
+                    }
+                }
+                _ => {
+                    if s.key == key {
+                        return ProbeHit::Found(i);
+                    }
+                }
+            }
+        }
+        ProbeHit::Insert(first_tombstone.expect("table cannot be fully occupied"))
+    }
+
+    /// Read the value stored in slot `i`.
+    pub fn slot_value(&self, sys: &mut MemorySystem, i: u64) -> u64 {
+        self.table.get(sys, i as usize * SLOT_WORDS + 2)
+    }
+
+    /// Slot `i`'s line address (for undo-log snapshotting).
+    pub fn slot_addr(&self, i: u64) -> u64 {
+        self.table.addr(i as usize * SLOT_WORDS)
+    }
+
+    /// The counter line's address.
+    pub fn count_addr(&self) -> u64 {
+        self.count.addr(0)
+    }
+
+    /// Write `(key, value)` into slot `i`, tagged with `seq`.
+    pub fn write_slot(
+        &self,
+        sys: &mut MemorySystem,
+        pool: Option<&mut UndoPool>,
+        i: u64,
+        key: u64,
+        value: u64,
+        seq: u64,
+    ) {
+        if let Some(pool) = pool {
+            pool.tx_add_range(sys, self.slot_addr(i), 32);
+        }
+        let w = i as usize * SLOT_WORDS;
+        self.table.set(sys, w, FULL);
+        self.table.set(sys, w + 1, key);
+        self.table.set(sys, w + 2, value);
+        self.table.set(sys, w + 3, seq);
+    }
+
+    /// Tombstone slot `i`, tagged with `seq`.
+    pub fn delete_slot(
+        &self,
+        sys: &mut MemorySystem,
+        pool: Option<&mut UndoPool>,
+        i: u64,
+        seq: u64,
+    ) {
+        if let Some(pool) = pool {
+            pool.tx_add_range(sys, self.slot_addr(i), 32);
+        }
+        let w = i as usize * SLOT_WORDS;
+        self.table.set(sys, w, TOMBSTONE);
+        self.table.set(sys, w + 3, seq);
+    }
+
+    /// Adjust the live-entry counter by `delta`, tagged with `seq`.
+    pub fn bump_count(
+        &self,
+        sys: &mut MemorySystem,
+        pool: Option<&mut UndoPool>,
+        delta: i64,
+        seq: u64,
+    ) {
+        if let Some(pool) = pool {
+            pool.tx_add_range(sys, self.count.addr(0), 16);
+        }
+        let c = self.count.get(sys, 0);
+        self.count.set(sys, 0, c.wrapping_add(delta as u64));
+        self.count.set(sys, 1, seq);
+    }
+
+    /// `(count, tag)` from the counter line.
+    pub fn count_and_tag(&self, sys: &mut MemorySystem) -> (u64, u64) {
+        (self.count.get(sys, 0), self.count.get(sys, 1))
+    }
+
+    /// Scan the table: sorted `(key, value, seq)` triples of live slots,
+    /// plus the maximum slot tag seen anywhere (live, tombstone — for
+    /// leaked-write detection).
+    #[allow(clippy::type_complexity)]
+    pub fn scan(&self, sys: &mut MemorySystem) -> (Vec<(u64, u64, u64)>, u64) {
+        let mut live = Vec::new();
+        let mut max_tag = 0;
+        for i in 0..self.slots {
+            let w = i as usize * SLOT_WORDS;
+            let state = self.table.get(sys, w);
+            let tag = self.table.get(sys, w + 3);
+            if state != EMPTY {
+                max_tag = max_tag.max(tag);
+            }
+            if state == FULL {
+                live.push((self.table.get(sys, w + 1), self.table.get(sys, w + 2), tag));
+            }
+        }
+        live.sort_unstable();
+        (live, max_tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcc_sim::system::SystemConfig;
+
+    fn sys() -> MemorySystem {
+        MemorySystem::new(SystemConfig::nvm_only(4096, 1 << 20))
+    }
+
+    fn put(h: &PHash, s: &mut MemorySystem, key: u64, value: u64, seq: u64) {
+        match h.probe(s, key) {
+            ProbeHit::Found(i) => h.write_slot(s, None, i, key, value, seq),
+            ProbeHit::Insert(i) => {
+                h.write_slot(s, None, i, key, value, seq);
+                h.bump_count(s, None, 1, seq);
+            }
+        }
+    }
+
+    #[test]
+    fn put_get_del_roundtrip() {
+        let mut s = sys();
+        let h = PHash::new(&mut s, 16);
+        put(&h, &mut s, 1, 100, 1);
+        put(&h, &mut s, 2, 200, 2);
+        put(&h, &mut s, 1, 101, 3); // overwrite
+        assert_eq!(h.count_and_tag(&mut s), (2, 2));
+        let (live, max_tag) = h.scan(&mut s);
+        assert_eq!(live, vec![(1, 101, 3), (2, 200, 2)]);
+        assert_eq!(max_tag, 3);
+
+        let ProbeHit::Found(i) = h.probe(&mut s, 1) else {
+            panic!("key 1 present");
+        };
+        h.delete_slot(&mut s, None, i, 4);
+        h.bump_count(&mut s, None, -1, 4);
+        assert_eq!(h.count_and_tag(&mut s), (1, 4));
+        assert!(matches!(h.probe(&mut s, 1), ProbeHit::Insert(_)));
+        // Tombstone slots are reused by the next insert of any key that
+        // probes through them.
+        put(&h, &mut s, 1, 102, 5);
+        let (live, _) = h.scan(&mut s);
+        assert_eq!(live, vec![(1, 102, 5), (2, 200, 2)]);
+    }
+
+    #[test]
+    fn colliding_keys_probe_linearly() {
+        let mut s = sys();
+        let h = PHash::new(&mut s, 8);
+        // Fill several slots; all keys must remain retrievable.
+        for k in 0..5u64 {
+            put(&h, &mut s, k, k * 10, k + 1);
+        }
+        for k in 0..5u64 {
+            let ProbeHit::Found(i) = h.probe(&mut s, k) else {
+                panic!("key {k} lost");
+            };
+            assert_eq!(h.slot_value(&mut s, i), k * 10);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! # adcc-ds — persistent data-structure workloads under crash injection
+//!
+//! Every crash point the campaign injected before this crate landed in a
+//! numeric kernel. The paper's crash-consistence argument also rests on
+//! pointer-based persistent structures — where store/flush-ordering bugs
+//! hide in allocator metadata and log appends, not in residual vectors.
+//! This crate provides that second scenario universe:
+//!
+//! * [`alloc::PAlloc`] — a Makalu/llfree-style free-list allocator over
+//!   simulated NVM whose metadata updates (free-list head, per-block link
+//!   words) are undo-logged through
+//!   [`UndoPool::tx_add_range_meta`](adcc_pmem::undo::UndoPool::tx_add_range_meta),
+//!   or left unprotected for the baseline variants.
+//! * [`detect::Checkpoint`] and [`detect::OpTable`] — the recoverable
+//!   checkpoint + compare-and-swap primitives (the Memento idiom): a
+//!   two-slot sequence-tagged value cell whose `store` is crash-atomic,
+//!   and a per-client announce/complete table that lets recovery *detect*
+//!   exactly which operation was in flight.
+//! * [`queue::PQueue`] — a persistent MSC-style linked queue on allocator
+//!   blocks; [`hash::PHash`] — a persistent open-addressing hash table.
+//! * [`ops::OpStream`] — a seeded multi-client op-stream generator
+//!   (skewed keys, mixed put/get/delete, deterministic per seed).
+//! * [`workload::Workload`] — the campaign-facing driver: applies the
+//!   stream with crash polls *inside* operations (including between the
+//!   allocator's two metadata writes), and
+//!   [`workload::recover_verify_resume`] — recovery that audits the
+//!   surviving structure, replays it against the op-stream prefix, and
+//!   resumes to completion.
+//! * [`replay::host_queue`] / [`replay::host_hash`] — the host-side
+//!   linearizable-replay oracle recovery is checked against.
+//!
+//! Every path is a pure function of the configuration seed, so ds trials
+//! carry the same byte-identical replay guarantee as the kernel and dist
+//! registries.
+
+#![deny(missing_docs)]
+
+pub mod alloc;
+pub mod detect;
+pub mod hash;
+pub mod ops;
+pub mod queue;
+pub mod replay;
+pub mod workload;
+
+pub use alloc::{AllocatorLayout, PAlloc};
+pub use detect::{Checkpoint, OpTable};
+pub use hash::PHash;
+pub use ops::{Op, OpKind, OpStream, OpStreamCfg};
+pub use queue::PQueue;
+pub use workload::{
+    recover_verify_resume, DsLayout, DsRecovery, Protection, Structure, Workload, WorkloadCfg,
+};
+
+/// Free-list terminator / "no block" marker.
+pub const NONE_BLOCK: u64 = u64::MAX;
+
+/// Link-word marker for a block that is allocated (off the free list).
+/// A free-list walk that runs into this value has found leaked metadata.
+pub const IN_USE: u64 = u64::MAX - 1;
+
+/// Crash-site phases polled inside ds operations.
+pub mod sites {
+    /// After the per-client announce persist, before the operation body.
+    pub const PH_DS_PREP: u32 = 60;
+    /// Between the allocator's two metadata writes (free-list head unlink
+    /// and the block's link-word mark) — reached by access-grain triggers.
+    pub const PH_DS_ALLOC: u32 = 61;
+    /// Mid-mutation: payload written, structure links not yet complete.
+    pub const PH_DS_MUT: u32 = 62;
+    /// After the operation committed (transaction commit or epoch sync).
+    pub const PH_DS_COMMIT: u32 = 63;
+}

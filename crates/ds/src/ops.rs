@@ -1,0 +1,212 @@
+//! The seeded multi-client op-stream generator.
+//!
+//! A stream is a deterministic function of its configuration: same seed,
+//! same clients, same mix → byte-identical operation sequence. Keys are
+//! drawn from a skewed (quadratic power-law) distribution so hot keys see
+//! repeated overwrites and deletes — the access pattern under which
+//! flush-ordering bugs in persistent structures actually surface.
+
+/// One operation kind. The queue workload maps `Put` to *enqueue*, `Del`
+/// to *dequeue*, and `Get` to a front peek, so a single generator drives
+/// both structures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Insert or overwrite `key` with `value` (enqueue for queues).
+    Put,
+    /// Read `key` (front peek for queues). Never mutates the structure.
+    Get,
+    /// Remove `key` (dequeue for queues). A no-op if absent/empty.
+    Del,
+}
+
+/// One generated operation. `seq` is the 1-based global position in the
+/// stream — the unit every ds crash site indexes by.
+#[derive(Debug, Clone, Copy)]
+pub struct Op {
+    /// 1-based global sequence number.
+    pub seq: u64,
+    /// Issuing client (0-based, `< OpStreamCfg::clients`).
+    pub client: u32,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Skew-drawn key (`< OpStreamCfg::keys`).
+    pub key: u64,
+    /// Payload value, unique per operation (`seq * 1000 + client`).
+    pub value: u64,
+}
+
+/// Generator knobs. All campaign scenarios derive their streams from a
+/// seed plus these, so a report header is enough to regenerate the exact
+/// workload.
+#[derive(Debug, Clone, Copy)]
+pub struct OpStreamCfg {
+    /// PRNG seed (split from the campaign seed per scenario).
+    pub seed: u64,
+    /// Number of interleaved clients.
+    pub clients: u32,
+    /// Operations in the stream.
+    pub ops: u64,
+    /// Key-space size; keys are drawn with quadratic skew toward 0.
+    pub keys: u64,
+    /// Percentage of read (`Get`) operations.
+    pub read_pct: u32,
+    /// Percentage of delete (`Del`) operations. The remainder are `Put`s.
+    pub del_pct: u32,
+}
+
+impl Default for OpStreamCfg {
+    fn default() -> Self {
+        OpStreamCfg {
+            seed: 42,
+            clients: 4,
+            ops: 160,
+            keys: 48,
+            read_pct: 30,
+            del_pct: 20,
+        }
+    }
+}
+
+/// SplitMix64 — the classic 64-bit seed expander; deterministic and
+/// dependency-free.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Seed the generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..n` (n > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// A fully generated operation stream.
+#[derive(Debug, Clone)]
+pub struct OpStream {
+    cfg: OpStreamCfg,
+    ops: Vec<Op>,
+}
+
+impl OpStream {
+    /// Generate the stream for `cfg`. Pure: same `cfg`, same stream.
+    pub fn generate(cfg: OpStreamCfg) -> Self {
+        let mut rng = SplitMix64::new(cfg.seed);
+        let mut ops = Vec::with_capacity(cfg.ops as usize);
+        for seq in 1..=cfg.ops {
+            let client = rng.below(cfg.clients as u64) as u32;
+            let roll = rng.below(100) as u32;
+            let kind = if roll < cfg.read_pct {
+                OpKind::Get
+            } else if roll < cfg.read_pct + cfg.del_pct {
+                OpKind::Del
+            } else {
+                OpKind::Put
+            };
+            // Quadratic skew: u² maps the uniform draw toward small keys.
+            let u = rng.below(1 << 20) as f64 / (1u64 << 20) as f64;
+            let key = ((u * u) * cfg.keys as f64) as u64;
+            let key = key.min(cfg.keys - 1);
+            ops.push(Op {
+                seq,
+                client,
+                kind,
+                key,
+                value: seq * 1000 + client as u64,
+            });
+        }
+        OpStream { cfg, ops }
+    }
+
+    /// The generator configuration this stream was drawn from.
+    pub fn cfg(&self) -> &OpStreamCfg {
+        &self.cfg
+    }
+
+    /// The operations, in global order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Stream length.
+    pub fn len(&self) -> u64 {
+        self.ops.len() as u64
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a = OpStream::generate(OpStreamCfg::default());
+        let b = OpStream::generate(OpStreamCfg::default());
+        for (x, y) in a.ops().iter().zip(b.ops()) {
+            assert_eq!(x.seq, y.seq);
+            assert_eq!(x.client, y.client);
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.key, y.key);
+            assert_eq!(x.value, y.value);
+        }
+        let c = OpStream::generate(OpStreamCfg {
+            seed: 43,
+            ..OpStreamCfg::default()
+        });
+        assert!(
+            a.ops().iter().zip(c.ops()).any(|(x, y)| x.key != y.key),
+            "different seeds must diverge"
+        );
+    }
+
+    #[test]
+    fn mix_and_bounds_respect_the_cfg() {
+        let cfg = OpStreamCfg {
+            ops: 2000,
+            ..OpStreamCfg::default()
+        };
+        let s = OpStream::generate(cfg);
+        let gets = s.ops().iter().filter(|o| o.kind == OpKind::Get).count();
+        let dels = s.ops().iter().filter(|o| o.kind == OpKind::Del).count();
+        assert!((400..800).contains(&gets), "~30% reads, got {gets}");
+        assert!((250..550).contains(&dels), "~20% deletes, got {dels}");
+        assert!(s.ops().iter().all(|o| o.key < cfg.keys));
+        assert!(s.ops().iter().all(|o| o.client < cfg.clients));
+        assert!(s
+            .ops()
+            .iter()
+            .enumerate()
+            .all(|(i, o)| o.seq == i as u64 + 1));
+    }
+
+    #[test]
+    fn keys_are_skewed_toward_zero() {
+        let s = OpStream::generate(OpStreamCfg {
+            ops: 4000,
+            ..OpStreamCfg::default()
+        });
+        let low = s.ops().iter().filter(|o| o.key < 12).count();
+        let high = s.ops().iter().filter(|o| o.key >= 36).count();
+        assert!(
+            low > 2 * high,
+            "quadratic skew: bottom quarter ({low}) must dominate top quarter ({high})"
+        );
+    }
+}

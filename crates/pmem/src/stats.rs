@@ -22,6 +22,12 @@ pub struct LogStats {
     /// Transactions rolled back in place (`tx_abort`), excluding post-crash
     /// recovery (which runs on a fresh pool handle).
     pub aborts: u64,
+    /// Subset of `appends` attributed to structure *metadata* (allocator
+    /// free-list words, directory slots) via `tx_add_range_meta`; lets the
+    /// telemetry layer separate bookkeeping traffic from payload traffic.
+    pub meta_appends: u64,
+    /// Subset of `bytes` attributed to metadata snapshots.
+    pub meta_bytes: u64,
 }
 
 impl LogStats {
@@ -32,6 +38,8 @@ impl LogStats {
         self.tx_begins += other.tx_begins;
         self.tx_commits += other.tx_commits;
         self.aborts += other.aborts;
+        self.meta_appends += other.meta_appends;
+        self.meta_bytes += other.meta_bytes;
     }
 }
 
@@ -47,6 +55,8 @@ mod tests {
             tx_begins: 1,
             tx_commits: 1,
             aborts: 0,
+            meta_appends: 1,
+            meta_bytes: 128,
         };
         let b = LogStats {
             appends: 2,
@@ -54,6 +64,8 @@ mod tests {
             tx_begins: 1,
             tx_commits: 0,
             aborts: 1,
+            meta_appends: 0,
+            meta_bytes: 0,
         };
         a.merge(&b);
         assert_eq!(a.appends, 3);
@@ -61,5 +73,7 @@ mod tests {
         assert_eq!(a.tx_begins, 2);
         assert_eq!(a.tx_commits, 1);
         assert_eq!(a.aborts, 1);
+        assert_eq!(a.meta_appends, 1);
+        assert_eq!(a.meta_bytes, 128);
     }
 }

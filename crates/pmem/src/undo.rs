@@ -139,6 +139,18 @@ impl UndoPool {
         self.stats.tx_begins += 1;
     }
 
+    /// [`tx_add_range`](Self::tx_add_range), with the newly-snapshotted
+    /// lines attributed to structure *metadata* in [`LogStats`] (allocator
+    /// free-list words, directory slots). Traffic and cost are identical;
+    /// only the telemetry attribution differs.
+    pub fn tx_add_range_meta(&mut self, sys: &mut MemorySystem, addr: u64, len: usize) {
+        let before = self.stats.appends;
+        self.tx_add_range(sys, addr, len);
+        let fresh = self.stats.appends - before;
+        self.stats.meta_appends += fresh;
+        self.stats.meta_bytes += fresh * ENTRY_BYTES as u64;
+    }
+
     /// Snapshot the current contents of `[addr, addr + len)` so the range
     /// may be modified. Must be called *before* the modification.
     pub fn tx_add_range(&mut self, sys: &mut MemorySystem, addr: u64, len: usize) {

@@ -69,6 +69,10 @@ impl Probe {
             net_bytes: now.net_bytes_sent - start.net_bytes_sent,
             net_ps: bucket(Bucket::Network),
             recovery_net_bytes: 0,
+            log_meta_appends: 0,
+            log_meta_bytes: 0,
+            ds_ops_applied: 0,
+            ds_ops_replayed: 0,
         }
     }
 }

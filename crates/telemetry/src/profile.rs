@@ -68,6 +68,21 @@ pub struct ExecutionProfile {
     /// between global restart and algorithm-directed local recovery. Filled
     /// by the dist trial driver, not by probes.
     pub recovery_net_bytes: u64,
+    /// Transaction-log entries attributed to structure *metadata*
+    /// (persistent-allocator free-list words, directory slots) — the
+    /// `adcc_ds` allocator's bookkeeping traffic, separated from payload
+    /// snapshots. Zero for kernel and dist executions.
+    pub log_meta_appends: u64,
+    /// Transaction-log payload bytes attributed to structure metadata.
+    pub log_meta_bytes: u64,
+    /// Data-structure operations durably applied when the window closed
+    /// (the committed op-stream prefix a crash left behind; the full
+    /// stream for completed runs). Filled by the ds trial driver.
+    pub ds_ops_applied: u64,
+    /// Data-structure operations re-executed against the recovered
+    /// structure to reach the end of the op stream (zero for completed
+    /// runs). Filled by the ds trial driver.
+    pub ds_ops_replayed: u64,
 }
 
 impl ExecutionProfile {
@@ -124,6 +139,16 @@ impl ExecutionProfile {
     pub fn with_log(mut self, log: LogStats) -> Self {
         self.log_appends += log.appends;
         self.log_bytes += log.bytes;
+        self.log_meta_appends += log.meta_appends;
+        self.log_meta_bytes += log.meta_bytes;
+        self
+    }
+
+    /// Attach the op-stream counters a ds trial measured: ops durably
+    /// applied at the window's close, and ops re-executed during recovery.
+    pub fn with_ds_ops(mut self, applied: u64, replayed: u64) -> Self {
+        self.ds_ops_applied = applied;
+        self.ds_ops_replayed = replayed;
         self
     }
 
@@ -157,6 +182,10 @@ impl ExecutionProfile {
         self.net_bytes += other.net_bytes;
         self.net_ps += other.net_ps;
         self.recovery_net_bytes += other.recovery_net_bytes;
+        self.log_meta_appends += other.log_meta_appends;
+        self.log_meta_bytes += other.log_meta_bytes;
+        self.ds_ops_applied += other.ds_ops_applied;
+        self.ds_ops_replayed += other.ds_ops_replayed;
     }
 }
 
@@ -205,6 +234,10 @@ mod tests {
             net_bytes: 6,
             net_ps: 7,
             recovery_net_bytes: 8,
+            log_meta_appends: 9,
+            log_meta_bytes: 10,
+            ds_ops_applied: 11,
+            ds_ops_replayed: 12,
             ..Default::default()
         };
         let b = a;
@@ -217,5 +250,9 @@ mod tests {
         assert_eq!(a.net_bytes, 12);
         assert_eq!(a.net_ps, 14);
         assert_eq!(a.recovery_net_bytes, 16);
+        assert_eq!(a.log_meta_appends, 18);
+        assert_eq!(a.log_meta_bytes, 20);
+        assert_eq!(a.ds_ops_applied, 22);
+        assert_eq!(a.ds_ops_replayed, 24);
     }
 }

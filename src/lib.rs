@@ -14,9 +14,10 @@
 //! | [`linalg`] | CSR/SPD sparse and dense blocked linear algebra, native (rayon) and simulated |
 //! | [`core`] | the paper's contribution — algorithm-directed CG, ABFT-MM and MC — plus four extension kernels (Jacobi, BiCGSTAB, checksum-LU, heat stencil) |
 //! | [`harness`] | platforms, the seven test cases, a runner per evaluation figure, extension tables, substrate ablations |
-//! | [`campaign`] | deterministic, seedable crash-injection campaign engine: scenario registry (6 kernels × mechanisms, plus the `--dist` multi-rank registry), crash-point schedules, parallel fan-out, JSON reports, the `campaign` CLI |
+//! | [`campaign`] | deterministic, seedable crash-injection campaign engine: named scenario registries (`kernel`, `dist`, `ds` — selected with `--registry`), crash-point schedules, parallel fan-out, JSON reports, the `campaign` CLI |
 //! | [`telemetry`] | crash-consistency cost accounting: flush/fence/log/network counters per execution, dirty-data residency at crash, consistency windows, the pluggable ADR/eADR `CostModel` |
 //! | [`dist`] | deterministic multi-rank execution: per-rank crash emulators joined by a seedable message fabric, halo-exchange/allreduce kernels, rank-granular crash injection, algorithm-directed local recovery vs global checkpoint restart |
+//! | [`ds`] | persistent data-structure workloads: crash-consistent free-list allocator, detectably-recoverable MSC queue and open-addressing hash table (checkpoint + announce/complete primitives), seeded multi-client op streams, linearizable-replay recovery checks |
 //!
 //! ## Quick start
 //!
@@ -50,6 +51,7 @@ pub use adcc_campaign as campaign;
 pub use adcc_ckpt as ckpt;
 pub use adcc_core as core;
 pub use adcc_dist as dist;
+pub use adcc_ds as ds;
 pub use adcc_harness as harness;
 pub use adcc_linalg as linalg;
 pub use adcc_pmem as pmem;
@@ -74,6 +76,9 @@ pub mod prelude {
     pub use adcc_core::stencil::{heat_host, ExtendedStencil, PlainStencil};
     pub use adcc_core::RecoveryReport;
     pub use adcc_dist::{run_dist_trial, Cluster, ClusterConfig, NetTiming, RecoveryMode};
+    pub use adcc_ds::{
+        recover_verify_resume, OpStream, OpStreamCfg, Protection, Structure, Workload, WorkloadCfg,
+    };
     pub use adcc_harness::{Case, Platform, Scale};
     pub use adcc_linalg::{CgClass, CsrMatrix, Matrix};
     pub use adcc_pmem::{LogStats, PersistentHeap, RedoPool, UndoPool};

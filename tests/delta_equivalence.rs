@@ -17,7 +17,7 @@
 
 use adcc::campaign::engine::{run_campaign, CampaignConfig};
 use adcc::campaign::memstats::ImageMemory;
-use adcc::campaign::scenario::{dist_registry, registry};
+use adcc::campaign::scenario::{dist_registry, ds_registry, registry, Registry};
 
 /// A spread of units across each scenario's site-grain space plus one
 /// dense (access-grain) point.
@@ -102,6 +102,80 @@ fn every_dist_scenario_batches_identically_to_per_trial() {
     }
 }
 
+/// The ds divergence gate: every persistent data-structure scenario's
+/// `run_batch` (one harvested op-stream execution, sidecar undo-log
+/// counters, delta images) must produce trials identical to `run_trial`
+/// per unit — outcome, loss, recovery clock, and the full telemetry
+/// profile (undo-log appends and op-replay counters included).
+#[test]
+fn every_ds_scenario_batches_identically_to_per_trial() {
+    for telemetry in [false, true] {
+        let mem = ImageMemory::default();
+        for s in ds_registry() {
+            let units = sample_units(s.total_units());
+            let batch = s
+                .run_batch(&units, telemetry, &mem)
+                .expect("ds scenarios support the batched delta path");
+            assert_eq!(batch.len(), units.len(), "{}", s.name());
+            for (&unit, b) in units.iter().zip(&batch) {
+                let t = s.run_trial(unit, telemetry);
+                assert_eq!(b.unit, t.unit, "{} unit {}", s.name(), unit);
+                assert_eq!(
+                    b.outcome,
+                    t.outcome,
+                    "{} unit {unit} (telemetry={telemetry})",
+                    s.name()
+                );
+                assert_eq!(b.lost_units, t.lost_units, "{} unit {unit}", s.name());
+                assert_eq!(b.sim_time_ps, t.sim_time_ps, "{} unit {unit}", s.name());
+                assert_eq!(b.telemetry.is_some(), telemetry, "{} unit {unit}", s.name());
+                assert_eq!(b.telemetry, t.telemetry, "{} unit {unit}", s.name());
+            }
+        }
+        let m = mem.summary();
+        assert!(m.images > 0);
+        assert!(
+            m.delta_bytes < m.full_copy_bytes / 10,
+            "ds deltas must be far below full copies: {m:?}"
+        );
+    }
+}
+
+/// The report-level ds gate: whole persistent data-structure campaigns
+/// are byte-identical in canonical form between the batched delta path
+/// and the legacy per-trial path, across 1 and 8 worker threads.
+#[test]
+fn ds_campaign_reports_byte_identical_across_code_paths_and_threads() {
+    let ds_config = |threads: usize, per_trial: bool| CampaignConfig {
+        seed: 42,
+        budget_states: 48,
+        threads,
+        telemetry: true,
+        per_trial,
+        registry: Registry::Ds,
+        ..CampaignConfig::default()
+    };
+    let batch1 = run_campaign(&ds_config(1, false));
+    let batch8 = run_campaign(&ds_config(8, false));
+    let legacy1 = run_campaign(&ds_config(1, true));
+    let legacy8 = run_campaign(&ds_config(8, true));
+    let canonical = batch1.canonical_string();
+    assert!(canonical.contains("\"registry\": \"ds\""));
+    assert_eq!(
+        canonical,
+        batch8.canonical_string(),
+        "batch, 1 vs 8 threads"
+    );
+    assert_eq!(canonical, legacy1.canonical_string(), "batch vs per-trial");
+    assert_eq!(
+        canonical,
+        legacy8.canonical_string(),
+        "per-trial, 8 threads"
+    );
+    assert!(batch1.image_memory.images > 0);
+    assert_eq!(legacy1.image_memory.images, 0);
+}
+
 /// The report-level dist gate: whole distributed campaigns are
 /// byte-identical in canonical form between the batched harvest path and
 /// the legacy per-trial path, across 1 and 8 worker threads.
@@ -113,7 +187,7 @@ fn dist_campaign_reports_byte_identical_across_code_paths_and_threads() {
         threads,
         telemetry: true,
         per_trial,
-        dist: true,
+        registry: Registry::Dist,
         ..CampaignConfig::default()
     };
     let batch1 = run_campaign(&dist_config(1, false));
@@ -138,18 +212,18 @@ fn dist_campaign_reports_byte_identical_across_code_paths_and_threads() {
 }
 
 /// Sharded campaigns tile the schedule: merging the complete shard set
-/// reproduces the unsharded canonical report byte-for-byte, for both
-/// registries and any shard count.
+/// reproduces the unsharded canonical report byte-for-byte, for every
+/// registry and any shard count.
 #[test]
 fn shard_merge_reproduces_the_unsharded_report() {
     use adcc::campaign::report::CampaignReport;
-    for dist in [false, true] {
+    for reg in Registry::ALL {
         let base = CampaignConfig {
             seed: 42,
-            budget_states: if dist { 48 } else { 96 },
+            budget_states: if reg == Registry::Kernel { 96 } else { 48 },
             threads: 2,
             telemetry: true,
-            dist,
+            registry: reg,
             ..CampaignConfig::default()
         };
         let full = run_campaign(&base);
@@ -168,7 +242,8 @@ fn shard_merge_reproduces_the_unsharded_report() {
             assert_eq!(
                 merged.canonical_string(),
                 full.canonical_string(),
-                "{n}-way merge (dist={dist})"
+                "{n}-way merge (registry={})",
+                reg.name()
             );
         }
     }

@@ -1,5 +1,6 @@
-//! The distributed campaign's acceptance gates: a `--dist` sweep (three
-//! kernel families × both recovery modes over a 4-rank cluster) is
+//! The distributed campaign's acceptance gates: a `--registry dist`
+//! sweep (three kernel families × both recovery modes over a 4-rank
+//! cluster) is
 //! deterministic — canonical report byte-identical across reruns and
 //! 1-vs-8 worker threads — shows zero silent corruption at the smoke
 //! budget, and its telemetry block proves the algorithm-directed mode
@@ -8,6 +9,7 @@
 
 use adcc::campaign::engine::{run_campaign, CampaignConfig};
 use adcc::campaign::report::CampaignReport;
+use adcc::campaign::scenario::Registry;
 use adcc::campaign::schedule::Schedule;
 
 /// The CI smoke budget (4 ranks, 500 states, seed 42).
@@ -21,7 +23,7 @@ fn config(threads: usize) -> CampaignConfig {
         threads,
         telemetry: true,
         dense_units: 20,
-        dist: true,
+        registry: Registry::Dist,
         ..CampaignConfig::default()
     }
 }
@@ -41,12 +43,12 @@ fn dist_smoke_campaign_is_deterministic_and_corruption_free() {
     assert_eq!(serial.totals.total(), SMOKE_BUDGET);
     assert_eq!(serial.silent_corruption_total(), 0, "no silent corruption");
     assert_eq!(serial.scenarios.len(), 6, "3 kernels x 2 recovery modes");
-    assert!(serial.dist);
+    assert_eq!(serial.registry, Registry::Dist);
 
     // The report round-trips, registry header and fabric telemetry
     // included.
     let parsed = CampaignReport::parse(&serial.to_string_pretty()).unwrap();
-    assert!(parsed.dist);
+    assert_eq!(parsed.registry, Registry::Dist);
     assert_eq!(parsed.canonical_string(), serial.canonical_string());
 }
 
@@ -85,10 +87,10 @@ fn algorithm_directed_recovery_traffic_beats_global_restart_per_kernel() {
 fn dist_and_single_rank_registries_share_one_engine_but_not_bytes() {
     let dist = run_campaign(&config(2));
     let single = run_campaign(&CampaignConfig {
-        dist: false,
+        registry: Registry::Kernel,
         ..config(2)
     });
-    assert!(!single.dist);
+    assert_eq!(single.registry, Registry::Kernel);
     assert!(single
         .scenarios
         .iter()

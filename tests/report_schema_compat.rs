@@ -1,15 +1,17 @@
 //! Report-schema compatibility: the committed fixtures for every schema
-//! generation (`adcc-campaign-report/v1`, `/v2`, `/v3`) must stay
+//! generation (`adcc-campaign-report/v1` through `/v4`) must stay
 //! parseable by everything `campaign replay`, `campaign merge`, and
 //! `campaign compare` use, and the current telemetry block must survive a
 //! full JSON round-trip bit-for-bit.
 
 use adcc::campaign::engine::{run_campaign, CampaignConfig};
-use adcc::campaign::report::{compare, CampaignReport, SCHEMA, SCHEMA_V1, SCHEMA_V2};
+use adcc::campaign::report::{compare, CampaignReport, SCHEMA, SCHEMA_V1, SCHEMA_V2, SCHEMA_V3};
+use adcc::campaign::scenario::Registry;
 
 const V1_FIXTURE: &str = include_str!("fixtures/campaign-report-v1.json");
 const V2_FIXTURE: &str = include_str!("fixtures/campaign-report-v2.json");
 const V3_FIXTURE: &str = include_str!("fixtures/campaign-report-v3.json");
+const V4_FIXTURE: &str = include_str!("fixtures/campaign-report-v4.json");
 
 fn v2_config() -> CampaignConfig {
     CampaignConfig {
@@ -76,7 +78,7 @@ fn v2_fixture_still_parses_without_fabric_keys() {
     let report = CampaignReport::parse(V2_FIXTURE).expect("v2 fixture must stay readable");
     assert_eq!(report.seed, 42);
     assert_eq!(report.budget_states, 26);
-    assert!(!report.dist);
+    assert_eq!(report.registry, Registry::Kernel);
     assert!(report.telemetry.is_some());
     let t = report.telemetry.unwrap();
     assert!(t.flush_total() > 0, "v2 telemetry carries real counters");
@@ -90,22 +92,61 @@ fn v2_fixture_still_parses_without_fabric_keys() {
 }
 
 #[test]
-fn v3_fixture_parses_and_roundtrips_bit_for_bit() {
-    // The v3 generation: dist registry header plus fabric telemetry keys.
-    // It is the current schema, so parse → emit must be byte-identical.
-    assert!(V3_FIXTURE.contains(SCHEMA));
+fn v3_fixture_still_parses_and_upgrades_cleanly() {
+    // The v3 generation: dist registry header plus fabric telemetry keys,
+    // but no ds op-replay or undo-log-metadata keys (they default to 0).
+    assert!(V3_FIXTURE.contains(SCHEMA_V3));
+    assert!(!V3_FIXTURE.contains("ds_ops_applied"));
     let report = CampaignReport::parse(V3_FIXTURE).expect("v3 fixture must stay readable");
-    assert!(report.dist, "v3 fixture sweeps the distributed registry");
+    assert_eq!(
+        report.registry,
+        Registry::Dist,
+        "v3 fixture sweeps the distributed registry"
+    );
     assert!(report.shard.is_none());
-    let t = report.telemetry.expect("v3 fixture carries telemetry");
+    let t = report.telemetry.as_ref().expect("v3 fixture telemetry");
     assert!(t.net_msgs > 0, "dist campaigns record fabric traffic");
     assert!(t.recovery_net_bytes > 0);
-    assert_eq!(report.to_string_pretty(), V3_FIXTURE);
+    assert_eq!(t.ds_ops_applied, 0);
+    // Re-emission upgrades to v4 (adding the zero-valued ds keys) but
+    // changes nothing else: the upgraded document parses back to the
+    // same report, registry header intact.
+    let upgraded = report.to_string_pretty();
+    assert!(upgraded.contains(SCHEMA) && !upgraded.contains(SCHEMA_V3));
+    assert!(upgraded.contains("\"registry\": \"dist\""));
+    let reparsed = CampaignReport::parse(&upgraded).unwrap();
+    assert_eq!(reparsed, report);
+    assert_eq!(reparsed.canonical_string(), report.canonical_string());
+}
+
+#[test]
+fn v4_fixture_parses_and_roundtrips_bit_for_bit() {
+    // The v4 generation: named registry headers (`ds` here) plus the
+    // op-replay and undo-log-metadata telemetry keys. It is the current
+    // schema, so parse → emit must be byte-identical.
+    assert!(V4_FIXTURE.contains(SCHEMA));
+    let report = CampaignReport::parse(V4_FIXTURE).expect("v4 fixture must stay readable");
+    assert_eq!(
+        report.registry,
+        Registry::Ds,
+        "v4 fixture sweeps the persistent data-structure registry"
+    );
+    assert!(report.shard.is_none());
+    let t = report.telemetry.expect("v4 fixture carries telemetry");
+    assert!(t.ds_ops_applied > 0, "ds campaigns count applied ops");
+    assert!(t.ds_ops_replayed > 0, "crash trials replay op suffixes");
+    assert!(t.log_meta_appends > 0, "undo transactions append metadata");
+    assert_eq!(report.to_string_pretty(), V4_FIXTURE);
 }
 
 #[test]
 fn every_fixture_generation_parses() {
-    for (name, text) in [("v1", V1_FIXTURE), ("v2", V2_FIXTURE), ("v3", V3_FIXTURE)] {
+    for (name, text) in [
+        ("v1", V1_FIXTURE),
+        ("v2", V2_FIXTURE),
+        ("v3", V3_FIXTURE),
+        ("v4", V4_FIXTURE),
+    ] {
         let report = CampaignReport::parse(text)
             .unwrap_or_else(|e| panic!("{name} fixture must parse: {e}"));
         assert!(report.totals.total() > 0, "{name}");
