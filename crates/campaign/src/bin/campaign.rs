@@ -34,6 +34,7 @@ use adcc_campaign::json::Json;
 use adcc_campaign::report::{compare, flush_audit, parse_shard, CampaignReport};
 use adcc_campaign::scenario::Registry;
 use adcc_campaign::schedule::Schedule;
+use adcc_dist::net::FaultProfile;
 use adcc_telemetry::{adr_eadr_costs, ExecutionProfile, Probe};
 
 fn main() -> ExitCode {
@@ -66,11 +67,13 @@ usage:
                    [--seed S] [--threads T]
                    [--schedule stratified|every-k:K|exhaustive:N]
                    [--dense D] [--max-batch B] [--per-trial]
-                   [--shard I/N] [--telemetry] [--out PATH]
+                   [--shard I/N] [--faults off|lossy|chaotic]
+                   [--telemetry] [--out PATH]
   campaign replay  --seed S [--registry NAME] [--budget-states N]
                    [--threads T] [--schedule SPEC] [--dense D]
                    [--max-batch B] [--per-trial] [--shard I/N]
-                   [--telemetry] [--expect PATH] [--out PATH]
+                   [--faults PROFILE] [--telemetry] [--expect PATH]
+                   [--out PATH]
   campaign merge   --out PATH SHARD.json SHARD.json ...
   campaign compare OLD.json NEW.json
   campaign cost    [--budget-states N] [--seed S] [--threads T]
@@ -92,6 +95,14 @@ site-grain space (recorded in the report; replays reproduce it).
 copy-on-write delta images); --per-trial forces the legacy
 one-execution-per-trial full-copy path (same canonical report, used as
 the bench baseline).
+--faults PROFILE (dist registry only) injects seeded fabric faults under
+every cluster's reliable transport: `off` (default) is the faultless
+fabric, `lossy` drops/duplicates/reorders a small fraction of messages,
+`chaotic` roughly quadruples the lossy rates AND swaps the dist presets
+to 16-rank 2-D grid clusters with a remote checkpoint level plus
+node-loss crash units (the failed rank's NVM image is unrecoverable and
+recovery restores from the remote level). Recorded in the report;
+replays reproduce it.
 --shard I/N runs the I-th of an N-way positional split of the schedule
 and emits a partial report carrying a shard marker; `campaign merge`
 folds the complete shard set back into a report byte-identical to an
@@ -155,6 +166,7 @@ fn cmd_run(args: &[String], replay: bool) -> Result<ExitCode, String> {
             "--dense",
             "--max-batch",
             "--shard",
+            "--faults",
             "--out",
             "--expect",
         ],
@@ -180,6 +192,7 @@ fn cmd_run(args: &[String], replay: bool) -> Result<ExitCode, String> {
         cfg.dense_units = exp.dense_units;
         cfg.registry = exp.registry;
         cfg.shard = exp.shard;
+        cfg.faults = exp.faults;
     }
     if let Some(v) = take_opt(args, "--seed")? {
         cfg.seed = parse_u64(&v, "seed")?;
@@ -212,6 +225,9 @@ fn cmd_run(args: &[String], replay: bool) -> Result<ExitCode, String> {
     }
     if let Some(v) = take_opt(args, "--registry")? {
         cfg.registry = Registry::parse(&v).map_err(|e| format!("{e}\n{USAGE}"))?;
+    }
+    if let Some(v) = take_opt(args, "--faults")? {
+        cfg.faults = FaultProfile::parse(&v).map_err(|e| format!("{e}\n{USAGE}"))?;
     }
     // A replay of a telemetry-carrying report must re-measure telemetry or
     // the canonical comparison could never match.
@@ -276,6 +292,9 @@ fn print_summary(report: &CampaignReport) {
         match report.registry {
             Registry::Kernel => String::new(),
             r => format!(" registry {}", r.name()),
+        } + &match report.faults {
+            FaultProfile::Off => String::new(),
+            f => format!(" faults {}", f.name()),
         },
         report.threads,
         report.wall_clock_ms
@@ -667,9 +686,9 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
         .transpose()?
         .unwrap_or(500);
     // Default to the *current* trajectory point: BENCH_0.json (v1)
-    // through BENCH_4.json (v5) are committed documents and must never be
-    // clobbered by a v6 emission.
-    let out = take_opt(args, "--out")?.unwrap_or_else(|| "BENCH_5.json".to_string());
+    // through BENCH_5.json (v6) are committed documents and must never be
+    // clobbered by a v7 emission.
+    let out = take_opt(args, "--out")?.unwrap_or_else(|| "BENCH_6.json".to_string());
 
     let class = adcc_linalg::CgClass {
         name: "bench",
@@ -841,6 +860,51 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
         results.push(e);
     }
 
+    // The faulted dist campaign: the same batched path under the lossy
+    // fabric profile. The retry/ack machinery perturbs every trial's
+    // clock, so the row pins both the surviving throughput and the fault
+    // volume the transport absorbed (drops, reorders, duplicates,
+    // retries) — a rerun that stops injecting faults is visible here.
+    {
+        let t0 = std::time::Instant::now();
+        let faulted_report = run_campaign(&CampaignConfig {
+            budget_states: dist_states,
+            telemetry: true,
+            registry: Registry::Dist,
+            faults: FaultProfile::Lossy,
+            ..CampaignConfig::default()
+        });
+        let faulted_secs = t0.elapsed().as_secs_f64();
+        let faulted_total = faulted_report.totals.total();
+        let faulted_sps = faulted_total as f64 / faulted_secs.max(1e-9);
+        let t = faulted_report.telemetry.as_ref();
+        let (dropped, reordered, duplicated, retries) = t.map_or((0, 0, 0, 0), |t| {
+            (
+                t.net_dropped,
+                t.net_reordered,
+                t.net_duplicated,
+                t.net_retries,
+            )
+        });
+        println!(
+            "{:<22} {faulted_total} states in {faulted_secs:>8.2} s | {faulted_sps:>8.0} states/s \
+             | net faults: {dropped} dropped, {reordered} reordered, {duplicated} duplicated, {retries} retries",
+            "campaign/dist-faults",
+        );
+        let mut e = Json::obj();
+        e.push("bench", Json::Str("campaign/dist-faults".into()));
+        e.push("faults", Json::Str(FaultProfile::Lossy.name().into()));
+        e.push("budget_states", Json::Int(dist_states));
+        e.push("states", Json::Int(faulted_total));
+        e.push("wall_ms", Json::Int((faulted_secs * 1e3) as u64));
+        e.push("states_per_sec", Json::Int(faulted_sps as u64));
+        e.push("net_dropped", Json::Int(dropped));
+        e.push("net_reordered", Json::Int(reordered));
+        e.push("net_duplicated", Json::Int(duplicated));
+        e.push("net_retries", Json::Int(retries));
+        results.push(e);
+    }
+
     // Persistent data-structure campaign throughput: crash-state rate and
     // the op-replay rate the recovery path sustains (each crash trial
     // replays the op-stream suffix against the recovered structure; the
@@ -888,10 +952,11 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
     config.push("dist_states", Json::Int(dist_states));
     config.push("ds_states", Json::Int(ds_states));
     let mut doc = Json::obj();
-    // v6 adds the campaign/ds row: persistent data-structure crash-state
-    // throughput plus the op-replay rate of its recovery path (v5 added
-    // the batched dist row and its per-trial baseline).
-    doc.push("schema", Json::Str("adcc-bench-trajectory/v6".into()));
+    // v7 adds the campaign/dist-faults row: dist throughput under the
+    // lossy fabric profile plus the injected fault volume (v6 added the
+    // campaign/ds row, v5 the batched dist row and its per-trial
+    // baseline).
+    doc.push("schema", Json::Str("adcc-bench-trajectory/v7".into()));
     doc.push("unit", Json::Str("ns_per_iter".into()));
     doc.push("config", config);
     doc.push("results", Json::Arr(results));

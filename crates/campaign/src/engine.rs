@@ -3,6 +3,7 @@
 
 use std::time::Instant;
 
+use adcc_dist::net::FaultProfile;
 use adcc_telemetry::ExecutionProfile;
 
 use crate::memstats::ImageMemory;
@@ -59,6 +60,12 @@ pub struct CampaignConfig {
     /// back into a report byte-identical to an unsharded run of the same
     /// `(seed, budget, schedule)`. `None` runs everything.
     pub shard: Option<(u64, u64)>,
+    /// Fabric fault profile injected under every dist-registry cluster
+    /// (`--faults <off|lossy|chaotic>`). The chaotic tier also swaps the
+    /// dist presets to 16-rank 2-D grids with a remote checkpoint level
+    /// and node-loss units. Ignored by the other registries. Recorded in
+    /// the canonical report when not `off`, so replays reproduce it.
+    pub faults: FaultProfile,
 }
 
 impl Default for CampaignConfig {
@@ -74,6 +81,7 @@ impl Default for CampaignConfig {
             per_trial: false,
             registry: Registry::Kernel,
             shard: None,
+            faults: FaultProfile::Off,
         }
     }
 }
@@ -114,6 +122,12 @@ impl CampaignConfig {
         }
         if self.max_batch == 0 {
             return Err("--max-batch must be at least 1".to_string());
+        }
+        if self.faults != FaultProfile::Off && self.registry != Registry::Dist {
+            return Err(format!(
+                "--faults {} applies to the dist registry only (pass --registry dist)",
+                self.faults.name()
+            ));
         }
         Ok(())
     }
@@ -187,6 +201,12 @@ impl CampaignConfigBuilder {
         self
     }
 
+    /// Fabric fault profile injected under every dist-registry cluster.
+    pub fn faults(mut self, faults: FaultProfile) -> Self {
+        self.cfg.faults = faults;
+        self
+    }
+
     /// Validate and produce the config. Errors name the offending flag
     /// combination exactly as the CLI reports it.
     pub fn build(self) -> Result<CampaignConfig, String> {
@@ -211,7 +231,7 @@ struct Task {
 /// so neither the thread count nor the batch size can reorder anything.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
     let start = Instant::now();
-    let scenarios = cfg.registry.scenarios();
+    let scenarios = cfg.registry.scenarios_with(cfg.faults);
     let points = plan(cfg, &scenarios);
 
     let mut tasks = Vec::new();
@@ -285,6 +305,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         schedule: cfg.schedule.name(),
         dense_units: cfg.dense_units,
         registry: cfg.registry,
+        faults: cfg.faults,
         shard: cfg.shard,
         scenarios: scenario_reports,
         totals,

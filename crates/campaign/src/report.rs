@@ -7,6 +7,7 @@
 //! legitimately vary between runs (wall-clock, thread count) live in the
 //! `host` object, which [`CampaignReport::canonical_string`] strips.
 
+use adcc_dist::net::FaultProfile;
 use adcc_telemetry::{adr_eadr_costs, ExecutionProfile};
 use serde::Serialize;
 
@@ -16,11 +17,16 @@ use crate::outcome::OutcomeCounts;
 use crate::scenario::Registry;
 
 /// Current report format identifier (bump on breaking schema changes).
-/// v4 generalizes the `registry` header to any named non-default registry
-/// (`"dist"`, `"ds"`) and adds the log-metadata / op-stream telemetry
-/// keys (`log_meta_appends`, `log_meta_bytes`, `ds_ops_applied`,
-/// `ds_ops_replayed`).
-pub const SCHEMA: &str = "adcc-campaign-report/v4";
+/// v5 adds the optional `faults` header (fault profile swept by a dist
+/// campaign, emitted when not `off`) and the fault/remote telemetry keys
+/// (`net_dropped`, `net_duplicated`, `net_reordered`, `net_retries`,
+/// `remote_restore_bytes`).
+pub const SCHEMA: &str = "adcc-campaign-report/v5";
+
+/// The v4 format (generalized `registry` header, log-metadata /
+/// op-stream telemetry keys), still accepted by
+/// [`CampaignReport::parse`].
+pub const SCHEMA_V4: &str = "adcc-campaign-report/v4";
 
 /// The v3 format (optional `"dist"` registry header, fabric telemetry
 /// keys), still accepted by [`CampaignReport::parse`].
@@ -80,6 +86,10 @@ pub struct CampaignReport {
     /// reports carry no extra header field (and `dist` reports keep their
     /// exact v3 bytes).
     pub registry: Registry,
+    /// Fabric fault profile the campaign injected (dist registry).
+    /// Emitted as `"faults": "<name>"` only when not `off`, so faultless
+    /// reports keep their pre-v5 header bytes.
+    pub faults: FaultProfile,
     /// `Some((i, n))` marks a partial report: shard `i` of an `n`-way
     /// positional split of the schedule (emitted as `"shard": "i/n"`).
     /// [`CampaignReport::merge_shards`] folds a complete shard set back
@@ -132,6 +142,11 @@ fn telemetry_json(t: &ExecutionProfile) -> Json {
     j.push("log_meta_bytes", Json::Int(t.log_meta_bytes));
     j.push("ds_ops_applied", Json::Int(t.ds_ops_applied));
     j.push("ds_ops_replayed", Json::Int(t.ds_ops_replayed));
+    j.push("net_dropped", Json::Int(t.net_dropped));
+    j.push("net_duplicated", Json::Int(t.net_duplicated));
+    j.push("net_reordered", Json::Int(t.net_reordered));
+    j.push("net_retries", Json::Int(t.net_retries));
+    j.push("remote_restore_bytes", Json::Int(t.remote_restore_bytes));
     j.push(
         "consistency_window_ps",
         Json::Int(t.consistency_window_ps()),
@@ -179,6 +194,11 @@ fn telemetry_from_json(j: &Json) -> Result<ExecutionProfile, String> {
         log_meta_bytes: opt("log_meta_bytes"),
         ds_ops_applied: opt("ds_ops_applied"),
         ds_ops_replayed: opt("ds_ops_replayed"),
+        net_dropped: opt("net_dropped"),
+        net_duplicated: opt("net_duplicated"),
+        net_reordered: opt("net_reordered"),
+        net_retries: opt("net_retries"),
+        remote_restore_bytes: opt("remote_restore_bytes"),
     })
 }
 
@@ -230,6 +250,7 @@ impl CampaignReport {
                 || p.schedule != first.schedule
                 || p.dense_units != first.dense_units
                 || p.registry != first.registry
+                || p.faults != first.faults
             {
                 return Err(format!(
                     "shard {i}/{n} is from a different campaign \
@@ -313,6 +334,7 @@ impl CampaignReport {
             schedule: first.schedule.clone(),
             dense_units: first.dense_units,
             registry: first.registry,
+            faults: first.faults,
             shard: None,
             scenarios,
             totals,
@@ -334,6 +356,9 @@ impl CampaignReport {
         }
         if self.registry != Registry::Kernel {
             j.push("registry", Json::Str(self.registry.name().into()));
+        }
+        if self.faults != FaultProfile::Off {
+            j.push("faults", Json::Str(self.faults.name().into()));
         }
         if let Some((i, n)) = self.shard {
             j.push("shard", Json::Str(format!("{i}/{n}")));
@@ -409,10 +434,15 @@ impl CampaignReport {
             .get("schema")
             .and_then(Json::as_str)
             .ok_or("missing schema")?;
-        if schema != SCHEMA && schema != SCHEMA_V3 && schema != SCHEMA_V2 && schema != SCHEMA_V1 {
+        if schema != SCHEMA
+            && schema != SCHEMA_V4
+            && schema != SCHEMA_V3
+            && schema != SCHEMA_V2
+            && schema != SCHEMA_V1
+        {
             return Err(format!(
-                "unsupported schema {schema:?} (want {SCHEMA:?}, {SCHEMA_V3:?}, \
-                 {SCHEMA_V2:?}, or {SCHEMA_V1:?})"
+                "unsupported schema {schema:?} (want {SCHEMA:?}, {SCHEMA_V4:?}, \
+                 {SCHEMA_V3:?}, {SCHEMA_V2:?}, or {SCHEMA_V1:?})"
             ));
         }
         let int = |key: &str| -> Result<u64, String> {
@@ -478,6 +508,10 @@ impl CampaignReport {
             registry: match j.get("registry").and_then(Json::as_str) {
                 None => Registry::Kernel,
                 Some(name) => Registry::parse(name)?,
+            },
+            faults: match j.get("faults").and_then(Json::as_str) {
+                None => FaultProfile::Off,
+                Some(name) => FaultProfile::parse(name)?,
             },
             shard: j
                 .get("shard")
@@ -609,6 +643,7 @@ mod tests {
             schedule: "stratified".into(),
             dense_units: 0,
             registry: Registry::Kernel,
+            faults: FaultProfile::Off,
             shard: None,
             scenarios: vec![ScenarioReport {
                 name: "cg-extended".into(),
@@ -696,7 +731,71 @@ mod tests {
     #[test]
     fn parse_rejects_other_schemas() {
         assert!(CampaignReport::parse(r#"{"schema": "bogus/v9"}"#).is_err());
-        assert!(CampaignReport::parse(r#"{"schema": "adcc-campaign-report/v5"}"#).is_err());
+        assert!(CampaignReport::parse(r#"{"schema": "adcc-campaign-report/v6"}"#).is_err());
+    }
+
+    #[test]
+    fn faults_header_roundtrips_and_is_canonical() {
+        let off = sample();
+        assert!(!off.canonical_string().contains("faults"));
+        for (faults, header) in [
+            (FaultProfile::Lossy, "lossy"),
+            (FaultProfile::Chaotic, "chaotic"),
+        ] {
+            let mut r = sample();
+            r.registry = Registry::Dist;
+            r.faults = faults;
+            assert!(
+                r.canonical_string()
+                    .contains(&format!("\"faults\": \"{header}\"")),
+                "{header}"
+            );
+            assert_ne!(off.canonical_string(), r.canonical_string());
+            let parsed = CampaignReport::parse(&r.to_string_pretty()).unwrap();
+            assert_eq!(parsed, r);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown_fault_profiles() {
+        let mut text = sample().to_string_pretty();
+        text = text.replace(
+            "\"schedule\": \"stratified\"",
+            "\"schedule\": \"stratified\",\n  \"faults\": \"bogus\"",
+        );
+        let err = CampaignReport::parse(&text).unwrap_err();
+        assert!(err.contains("unknown fault profile"), "{err}");
+    }
+
+    #[test]
+    fn fault_telemetry_keys_roundtrip() {
+        let mut r = sample_with_telemetry();
+        let profile = ExecutionProfile {
+            net_dropped: 9,
+            net_duplicated: 3,
+            net_reordered: 5,
+            net_retries: 9,
+            remote_restore_bytes: 2_048,
+            ..r.scenarios[0].telemetry.unwrap()
+        };
+        r.scenarios[0].telemetry = Some(profile);
+        r.telemetry = Some(profile);
+        let text = r.to_string_pretty();
+        assert!(text.contains("\"net_dropped\": 9"));
+        assert!(text.contains("\"remote_restore_bytes\": 2048"));
+        let parsed = CampaignReport::parse(&text).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn merge_rejects_mixed_fault_profiles() {
+        let mut a = sample();
+        let mut b = sample();
+        a.shard = Some((0, 2));
+        b.shard = Some((1, 2));
+        b.faults = FaultProfile::Chaotic;
+        let err = CampaignReport::merge_shards(&[a, b]).unwrap_err();
+        assert!(err.contains("different campaign"), "{err}");
     }
 
     #[test]

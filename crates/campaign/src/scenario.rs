@@ -1,6 +1,7 @@
 //! The scenario registry: every workload × persistence-mechanism pair the
 //! campaign engine can inject crashes into.
 
+use adcc_dist::net::FaultProfile;
 use adcc_sim::crash::CrashTrigger;
 use adcc_telemetry::ExecutionProfile;
 
@@ -149,15 +150,23 @@ impl Registry {
         }
     }
 
-    /// Build this registry's scenario list. Order is part of the report
-    /// format: reports list scenarios in registry order, and the
-    /// determinism suite compares reports byte-for-byte.
-    pub fn scenarios(self) -> Vec<Box<dyn Scenario>> {
+    /// Build this registry's scenario list with the fabric fault profile
+    /// every constituent cluster injects. Only the `dist` registry reacts
+    /// to the profile (its kernels own fabrics); the others ignore it.
+    /// Order is part of the report format: reports list scenarios in
+    /// registry order, and the determinism suite compares reports
+    /// byte-for-byte.
+    pub fn scenarios_with(self, faults: FaultProfile) -> Vec<Box<dyn Scenario>> {
         match self {
             Registry::Kernel => scenarios::all(),
-            Registry::Dist => scenarios::dist_all(),
+            Registry::Dist => scenarios::dist_all_with(faults),
             Registry::Ds => scenarios::ds_all(),
         }
+    }
+
+    /// Build this registry's scenario list under the faultless profile.
+    pub fn scenarios(self) -> Vec<Box<dyn Scenario>> {
+        self.scenarios_with(FaultProfile::Off)
     }
 }
 

@@ -1,23 +1,40 @@
 //! Distributed scenarios: the `adcc_dist` kernels under both recovery
 //! modes, unit-addressable so the schedule machinery enumerates
-//! `(rank, site)` crash points.
+//! rank-granular failure sets.
 //!
 //! ## Unit space
 //!
-//! Site-grain units interleave ranks fastest: unit `u` decodes to rank
-//! `u % ranks`, then `(u / ranks) / 2 + 1` as the superstep and
-//! `(u / ranks) % 2` as the phase (`PH_MID` / `PH_END`), so any schedule
-//! prefix already spreads crash points across ranks *and* supersteps.
-//! Dense units (at or above `total_units`) map to access-count triggers on
-//! rank `d % ranks` with thresholds spaced by the scenario's measured
+//! The site-grain space is laid out in three blocks:
+//!
+//! * **Block A — singleton crashes** (`ranks * iters * 2` units): unit `u`
+//!   decodes to rank `u % ranks`, then `(u / ranks) / 2 + 1` as the
+//!   superstep and `(u / ranks) % 2` as the phase (`PH_MID` / `PH_END`),
+//!   so any schedule prefix already spreads crash points across ranks
+//!   *and* supersteps. These harvest through the batch fast path.
+//! * **Block B — cascading failures** (`2 * ranks` units): a first crash
+//!   on rank `c % ranks` at a mid-run or late superstep, plus a second,
+//!   staggered crash on the next rank armed to fire *while the cluster is
+//!   still recovering or resuming* from the first. Occurrence counts are
+//!   chosen per recovery mode so the second trigger lands inside the
+//!   recovery re-execution (GlobalRestart) or the resumed superstep
+//!   (AlgorithmDirected). These run as dedicated trials.
+//! * **Block C — node loss** (`ranks` units, chaotic profile +
+//!   AlgorithmDirected only): the failed rank's NVM image is destroyed
+//!   with the process, forcing recovery to restore from the remote
+//!   checkpoint level end-to-end. Requires the profile to configure a
+//!   remote level, so the block exists only under `--faults chaotic`.
+//!
+//! Dense units (at or above `total_units`) map to access-count triggers
+//! on rank `d % ranks` with thresholds spaced by the scenario's measured
 //! stride — the same subdivision the single-rank scenarios use, per rank.
 
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
 use adcc_dist::cg::{CgConfig, DistCg};
-use adcc_dist::cluster::Cluster;
+use adcc_dist::cluster::{Cluster, RankFailure};
 use adcc_dist::jacobi::{DistJacobi, JacobiConfig};
+use adcc_dist::net::FaultProfile;
 use adcc_dist::sites;
 use adcc_dist::stencil::{DistStencil, StencilConfig};
 use adcc_dist::trial::{
@@ -34,21 +51,23 @@ use crate::scenario::{Kernel, Mechanism, Scenario, Trial, UnitSpace};
 const TOL: f64 = 1e-9;
 
 /// One distributed kernel family: how to name it and build a fresh
-/// cluster + program for one trial.
+/// cluster + program for one trial, under one fabric fault profile.
 trait DistSpec: Send + Sync {
     type K: DistKernel + Clone;
     fn kernel(&self) -> Kernel;
     fn name(&self, mode: RecoveryMode) -> &'static str;
+    fn faults(&self) -> FaultProfile;
     fn ranks(&self) -> u64;
     fn iters(&self) -> u64;
     /// Access-count spacing of dense crash points per rank (calibrated to
     /// the kernel's measured crash-free per-rank access count).
     fn dense_stride(&self) -> u64;
-    fn build(&self, mode: RecoveryMode, crash: Option<(usize, CrashTrigger)>)
-        -> (Cluster, Self::K);
+    fn build(&self, mode: RecoveryMode, failures: &[RankFailure]) -> (Cluster, Self::K);
 }
 
-struct StencilSpec;
+struct StencilSpec {
+    faults: FaultProfile,
+}
 
 impl DistSpec for StencilSpec {
     type K = DistStencil;
@@ -61,29 +80,30 @@ impl DistSpec for StencilSpec {
             RecoveryMode::GlobalRestart => "dist-stencil-restart",
         }
     }
+    fn faults(&self) -> FaultProfile {
+        self.faults
+    }
     fn ranks(&self) -> u64 {
-        StencilConfig::campaign(RecoveryMode::AlgorithmDirected).ranks as u64
+        StencilConfig::campaign_for(RecoveryMode::AlgorithmDirected, self.faults).ranks as u64
     }
     fn iters(&self) -> u64 {
-        StencilConfig::campaign(RecoveryMode::AlgorithmDirected).iters
+        StencilConfig::campaign_for(RecoveryMode::AlgorithmDirected, self.faults).iters
     }
     fn dense_stride(&self) -> u64 {
         // ~5.4k crash-free accesses per rank.
         100
     }
-    fn build(
-        &self,
-        mode: RecoveryMode,
-        crash: Option<(usize, CrashTrigger)>,
-    ) -> (Cluster, DistStencil) {
-        let cfg = StencilConfig::campaign(mode);
-        let mut cl = Cluster::new(cfg.cluster(), crash);
+    fn build(&self, mode: RecoveryMode, failures: &[RankFailure]) -> (Cluster, DistStencil) {
+        let cfg = StencilConfig::campaign_for(mode, self.faults);
+        let mut cl = Cluster::new_multi(cfg.cluster(), failures);
         let prog = DistStencil::setup(&mut cl, cfg);
         (cl, prog)
     }
 }
 
-struct JacobiSpec;
+struct JacobiSpec {
+    faults: FaultProfile,
+}
 
 impl DistSpec for JacobiSpec {
     type K = DistJacobi;
@@ -96,39 +116,40 @@ impl DistSpec for JacobiSpec {
             RecoveryMode::GlobalRestart => "dist-jacobi-restart",
         }
     }
+    fn faults(&self) -> FaultProfile {
+        self.faults
+    }
     fn ranks(&self) -> u64 {
-        JacobiConfig::campaign(RecoveryMode::AlgorithmDirected).ranks as u64
+        JacobiConfig::campaign_for(RecoveryMode::AlgorithmDirected, self.faults).ranks as u64
     }
     fn iters(&self) -> u64 {
-        JacobiConfig::campaign(RecoveryMode::AlgorithmDirected).iters
+        JacobiConfig::campaign_for(RecoveryMode::AlgorithmDirected, self.faults).iters
     }
     fn dense_stride(&self) -> u64 {
         // ~9.7k crash-free accesses per rank.
         150
     }
-    fn build(
-        &self,
-        mode: RecoveryMode,
-        crash: Option<(usize, CrashTrigger)>,
-    ) -> (Cluster, DistJacobi) {
-        let cfg = JacobiConfig::campaign(mode);
-        let mut cl = Cluster::new(cfg.cluster(), crash);
+    fn build(&self, mode: RecoveryMode, failures: &[RankFailure]) -> (Cluster, DistJacobi) {
+        let cfg = JacobiConfig::campaign_for(mode, self.faults);
+        let mut cl = Cluster::new_multi(cfg.cluster(), failures);
         let prog = DistJacobi::setup(&mut cl, cfg);
         (cl, prog)
     }
 }
 
 /// Caches the host-side SPD problem: it is a pure function of the fixed
-/// config, and rebuilding it per trial would dominate dist-CG setup.
+/// config (the fault profile changes ranks, never the matrix), and
+/// rebuilding it per trial would dominate dist-CG setup.
 struct CgSpec {
+    faults: FaultProfile,
     a: adcc_linalg::csr::CsrMatrix,
     b: Vec<f64>,
 }
 
 impl CgSpec {
-    fn new() -> Self {
+    fn new(faults: FaultProfile) -> Self {
         let (a, b) = CgConfig::campaign(RecoveryMode::AlgorithmDirected).problem();
-        CgSpec { a, b }
+        CgSpec { faults, a, b }
     }
 }
 
@@ -143,21 +164,45 @@ impl DistSpec for CgSpec {
             RecoveryMode::GlobalRestart => "dist-cg-restart",
         }
     }
+    fn faults(&self) -> FaultProfile {
+        self.faults
+    }
     fn ranks(&self) -> u64 {
-        CgConfig::campaign(RecoveryMode::AlgorithmDirected).ranks as u64
+        CgConfig::campaign_for(RecoveryMode::AlgorithmDirected, self.faults).ranks as u64
     }
     fn iters(&self) -> u64 {
-        CgConfig::campaign(RecoveryMode::AlgorithmDirected).iters
+        CgConfig::campaign_for(RecoveryMode::AlgorithmDirected, self.faults).iters
     }
     fn dense_stride(&self) -> u64 {
         // ~15k crash-free accesses per rank.
         250
     }
-    fn build(&self, mode: RecoveryMode, crash: Option<(usize, CrashTrigger)>) -> (Cluster, DistCg) {
-        let cfg = CgConfig::campaign(mode);
-        let mut cl = Cluster::new(cfg.cluster(), crash);
+    fn build(&self, mode: RecoveryMode, failures: &[RankFailure]) -> (Cluster, DistCg) {
+        let cfg = CgConfig::campaign_for(mode, self.faults);
+        let mut cl = Cluster::new_multi(cfg.cluster(), failures);
         let prog = DistCg::setup_with_problem(&mut cl, cfg, &self.a, &self.b);
         (cl, prog)
+    }
+}
+
+/// What one scheduled unit asks the cluster to survive.
+enum UnitKind {
+    /// Block A: one fail-stop crash — harvestable by the batch path.
+    Single(RankFailure),
+    /// Block B: a first crash plus a second one staggered to land during
+    /// recovery or the resumed tail — runs as a dedicated trial.
+    Cascade(RankFailure, RankFailure),
+    /// Block C: one crash whose NVM image dies with the node — runs as a
+    /// dedicated trial through the remote-restore path.
+    NodeLoss(RankFailure),
+    /// Access-grain dense tail — harvestable by the batch path.
+    Dense(RankFailure),
+}
+
+fn at_site(phase: u32, iter: u64, occurrence: u32) -> CrashTrigger {
+    CrashTrigger::AtSite {
+        site: CrashSite::new(phase, iter),
+        occurrence,
     }
 }
 
@@ -184,7 +229,7 @@ impl<S: DistSpec> Dist<S> {
 
     fn reference(&self) -> &ReferenceRun {
         self.reference.get_or_init(|| {
-            let (mut cl, mut kernel) = self.spec.build(self.mode, None);
+            let (mut cl, mut kernel) = self.spec.build(self.mode, &[]);
             reference_run(&mut cl, &mut kernel)
         })
     }
@@ -206,11 +251,62 @@ impl<S: DistSpec> Dist<S> {
         }
     }
 
-    /// Decode a scheduled unit into the rank to kill and its trigger.
-    fn decode(&self, unit: u64) -> (usize, CrashTrigger) {
+    /// Does this scenario enumerate node-loss units? Only the chaotic
+    /// profile configures the remote checkpoint level they restore from,
+    /// and only AlgorithmDirected recovery can use it.
+    fn has_node_loss(&self) -> bool {
+        self.spec.faults() == FaultProfile::Chaotic
+            && matches!(self.mode, RecoveryMode::AlgorithmDirected)
+    }
+
+    /// Site-grain block sizes `(singleton, cascade, node_loss)`.
+    fn blocks(&self) -> (u64, u64, u64) {
         let ranks = self.spec.ranks();
-        let total = self.total_units();
-        if unit < total {
+        (
+            ranks * self.spec.iters() * 2,
+            2 * ranks,
+            if self.has_node_loss() { ranks } else { 0 },
+        )
+    }
+
+    /// The second failure of a cascade led by a `PH_MID` crash on `rank1`
+    /// at `iter1`: the next rank up, armed to fire while the cluster is
+    /// still digesting the first crash.
+    ///
+    /// Occurrence counting keys off the poll protocol — polls sweep ranks
+    /// ascending and stop at the first firing rank, so ranks below
+    /// `rank1` have already consumed one occurrence of the first crash's
+    /// site when it fires, and ranks above it have not:
+    ///
+    /// * AlgorithmDirected resumes the crashed superstep itself, so the
+    ///   same `(PH_MID, iter1)` site is re-polled in the resumed tail.
+    /// * GlobalRestart re-executes from the last checkpoint up to the
+    ///   frontier (`iter1 - 1`), so that superstep's MID poll recurs
+    ///   *inside* recovery — the second occurrence lands mid-rollback.
+    fn cascade_second(&self, rank1: usize, iter1: u64) -> RankFailure {
+        let ranks = self.spec.ranks() as usize;
+        let rank2 = (rank1 + 1) % ranks;
+        let repolled_occurrence = if rank2 < rank1 { 2 } else { 1 };
+        match self.mode {
+            RecoveryMode::AlgorithmDirected => {
+                RankFailure::crash(rank2, at_site(sites::PH_MID, iter1, repolled_occurrence))
+            }
+            RecoveryMode::GlobalRestart => {
+                if iter1 >= 2 {
+                    RankFailure::crash(rank2, at_site(sites::PH_MID, iter1 - 1, 2))
+                } else {
+                    RankFailure::crash(rank2, at_site(sites::PH_MID, 1, repolled_occurrence))
+                }
+            }
+        }
+    }
+
+    /// Decode a scheduled unit into the failure set to arm.
+    fn decode(&self, unit: u64) -> UnitKind {
+        let ranks = self.spec.ranks();
+        let iters = self.spec.iters();
+        let (a, b, c) = self.blocks();
+        if unit < a {
             let rank = (unit % ranks) as usize;
             let rest = unit / ranks;
             let iter = rest / 2 + 1;
@@ -219,21 +315,39 @@ impl<S: DistSpec> Dist<S> {
             } else {
                 sites::PH_END
             };
-            (
-                rank,
-                CrashTrigger::AtSite {
-                    site: CrashSite::new(phase, iter),
-                    occurrence: 1,
-                },
+            UnitKind::Single(RankFailure::crash(rank, at_site(phase, iter, 1)))
+        } else if unit < a + b {
+            let d = unit - a;
+            let rank1 = (d % ranks) as usize;
+            let iter1 = if d / ranks == 0 {
+                (iters / 2).max(1)
+            } else {
+                (iters - 1).max(1)
+            };
+            UnitKind::Cascade(
+                RankFailure::crash(rank1, at_site(sites::PH_MID, iter1, 1)),
+                self.cascade_second(rank1, iter1),
             )
+        } else if unit < a + b + c {
+            let rank = ((unit - a - b) % ranks) as usize;
+            UnitKind::NodeLoss(RankFailure::node_loss(
+                rank,
+                at_site(sites::PH_END, (iters / 2).max(1), 1),
+            ))
         } else {
-            let d = unit - total;
+            let d = unit - (a + b + c);
             let rank = (d % ranks) as usize;
-            (
+            UnitKind::Dense(RankFailure::crash(
                 rank,
                 CrashTrigger::AtAccessCount((d / ranks + 1) * self.dense_stride()),
-            )
+            ))
         }
+    }
+
+    /// Run one unit's failure set as a dedicated trial (blocks B and C).
+    fn run_solo(&self, failures: &[RankFailure], telemetry: bool) -> DistTrial {
+        let (mut cl, mut kernel) = self.spec.build(self.mode, failures);
+        run_dist_trial(&mut cl, &mut kernel, telemetry)
     }
 }
 
@@ -251,58 +365,80 @@ impl<S: DistSpec> Scenario for Dist<S> {
         }
     }
     fn platform_name(&self) -> &'static str {
-        "dist-4rank"
+        match self.spec.faults() {
+            FaultProfile::Chaotic => "dist-16rank-grid",
+            _ => "dist-4rank",
+        }
     }
     fn unit_space(&self) -> UnitSpace {
-        UnitSpace::new(
-            self.spec.ranks() * self.spec.iters() * 2,
-            self.spec.dense_stride(),
-        )
+        let (a, b, c) = self.blocks();
+        UnitSpace::new(a + b + c, self.spec.dense_stride())
     }
     fn site_trigger(&self, unit: u64) -> CrashTrigger {
-        self.decode(unit).1
+        self.trigger_of(unit)
     }
     fn trigger_of(&self, unit: u64) -> CrashTrigger {
-        self.decode(unit).1
+        // The *first* failure's trigger: schedules only need a stable
+        // per-unit label, and cascades are keyed by their leading crash.
+        match self.decode(unit) {
+            UnitKind::Single(f)
+            | UnitKind::Cascade(f, _)
+            | UnitKind::NodeLoss(f)
+            | UnitKind::Dense(f) => f.trigger,
+        }
     }
 
     fn run_trial(&self, unit: u64, telemetry: bool) -> Trial {
-        let (rank, trigger) = self.decode(unit);
-        let (mut cl, mut kernel) = self.spec.build(self.mode, Some((rank, trigger)));
-        let t = run_dist_trial(&mut cl, &mut kernel, telemetry);
+        let t = match self.decode(unit) {
+            UnitKind::Single(f) | UnitKind::Dense(f) => self.run_solo(&[f], telemetry),
+            UnitKind::Cascade(first, second) => self.run_solo(&[first, second], telemetry),
+            UnitKind::NodeLoss(f) => self.run_solo(&[f], telemetry),
+        };
         self.classify_dist(unit, t)
     }
 
-    /// One forward cluster execution harvests every scheduled crash point
-    /// as a copy-on-write delta, replays each through recovery on a forked
-    /// cluster, and short-circuits resumed tails against the cached
-    /// reference run. Produces trials identical to per-unit `run_trial`
-    /// (the delta-equivalence suite pins this).
+    /// One forward cluster execution harvests every *singleton* crash
+    /// point of `units` as a copy-on-write delta, replays each through
+    /// recovery on a forked cluster, and short-circuits resumed tails
+    /// against the cached reference run. Cascade and node-loss units
+    /// cannot be harvested from a single execution (their failure sets
+    /// change the execution itself), so they run as dedicated trials
+    /// alongside the batch. Produces trials identical to per-unit
+    /// `run_trial` (the delta-equivalence suite pins this).
     fn run_batch(&self, units: &[u64], telemetry: bool, mem: &ImageMemory) -> Option<Vec<Trial>> {
         let reference = self.reference();
-        let points: Vec<BatchPoint> = units
-            .iter()
-            .map(|&unit| {
-                let (rank, trigger) = self.decode(unit);
-                BatchPoint {
+        let mut points: Vec<BatchPoint> = Vec::new();
+        let mut solo: Vec<(u64, Vec<RankFailure>)> = Vec::new();
+        for &unit in units {
+            match self.decode(unit) {
+                UnitKind::Single(f) | UnitKind::Dense(f) => points.push(BatchPoint {
                     unit,
-                    rank,
-                    trigger,
-                }
-            })
-            .collect();
-        let (mut cl, mut kernel) = self.spec.build(self.mode, None);
-        let (results, stats) = run_dist_batch(&mut cl, &mut kernel, &points, telemetry, reference);
-        mem.record_execution(
-            stats.base_bytes,
-            stats.delta_bytes,
-            stats.images,
-            stats.pool_bytes,
-        );
-        let mut by_unit: HashMap<u64, Trial> = results
-            .into_iter()
-            .map(|(unit, t)| (unit, self.classify_dist(unit, t)))
-            .collect();
+                    rank: f.rank,
+                    trigger: f.trigger,
+                }),
+                UnitKind::Cascade(first, second) => solo.push((unit, vec![first, second])),
+                UnitKind::NodeLoss(f) => solo.push((unit, vec![f])),
+            }
+        }
+        let mut by_unit: HashMap<u64, Trial> = HashMap::with_capacity(units.len());
+        if !points.is_empty() {
+            let (mut cl, mut kernel) = self.spec.build(self.mode, &[]);
+            let (results, stats) =
+                run_dist_batch(&mut cl, &mut kernel, &points, telemetry, reference);
+            mem.record_execution(
+                stats.base_bytes,
+                stats.delta_bytes,
+                stats.images,
+                stats.pool_bytes,
+            );
+            for (unit, t) in results {
+                by_unit.insert(unit, self.classify_dist(unit, t));
+            }
+        }
+        for (unit, failures) in solo {
+            let t = self.run_solo(&failures, telemetry);
+            by_unit.insert(unit, self.classify_dist(unit, t));
+        }
         Some(
             units
                 .iter()
@@ -312,17 +448,38 @@ impl<S: DistSpec> Scenario for Dist<S> {
     }
 }
 
-/// Every distributed scenario, in report order: each kernel family under
-/// algorithm-directed local recovery and global checkpoint restart.
-pub fn all() -> Vec<Box<dyn Scenario>> {
+/// Every distributed scenario under one fabric fault profile, in report
+/// order: each kernel family under algorithm-directed local recovery and
+/// global checkpoint restart.
+pub fn all_with(faults: FaultProfile) -> Vec<Box<dyn Scenario>> {
     vec![
-        Box::new(Dist::new(StencilSpec, RecoveryMode::AlgorithmDirected)),
-        Box::new(Dist::new(StencilSpec, RecoveryMode::GlobalRestart)),
-        Box::new(Dist::new(JacobiSpec, RecoveryMode::AlgorithmDirected)),
-        Box::new(Dist::new(JacobiSpec, RecoveryMode::GlobalRestart)),
-        Box::new(Dist::new(CgSpec::new(), RecoveryMode::AlgorithmDirected)),
-        Box::new(Dist::new(CgSpec::new(), RecoveryMode::GlobalRestart)),
+        Box::new(Dist::new(
+            StencilSpec { faults },
+            RecoveryMode::AlgorithmDirected,
+        )),
+        Box::new(Dist::new(
+            StencilSpec { faults },
+            RecoveryMode::GlobalRestart,
+        )),
+        Box::new(Dist::new(
+            JacobiSpec { faults },
+            RecoveryMode::AlgorithmDirected,
+        )),
+        Box::new(Dist::new(
+            JacobiSpec { faults },
+            RecoveryMode::GlobalRestart,
+        )),
+        Box::new(Dist::new(
+            CgSpec::new(faults),
+            RecoveryMode::AlgorithmDirected,
+        )),
+        Box::new(Dist::new(CgSpec::new(faults), RecoveryMode::GlobalRestart)),
     ]
+}
+
+/// The faultless registry (`campaign run --registry dist`).
+pub fn all() -> Vec<Box<dyn Scenario>> {
+    all_with(FaultProfile::Off)
 }
 
 #[cfg(test)]
@@ -330,41 +487,108 @@ mod tests {
     use super::*;
     use crate::outcome::Outcome;
 
+    fn stencil(mode: RecoveryMode) -> Dist<StencilSpec> {
+        Dist::new(
+            StencilSpec {
+                faults: FaultProfile::Off,
+            },
+            mode,
+        )
+    }
+
     #[test]
     fn unit_decode_interleaves_ranks_then_supersteps() {
-        let s = Dist::new(StencilSpec, RecoveryMode::AlgorithmDirected);
+        let s = stencil(RecoveryMode::AlgorithmDirected);
         let ranks = s.spec.ranks();
         // Units 0..ranks are the MID polls of superstep 1, one per rank.
         for u in 0..ranks {
-            let (rank, trigger) = s.decode(u);
-            assert_eq!(rank as u64, u);
-            assert_eq!(
-                trigger,
-                CrashTrigger::AtSite {
-                    site: CrashSite::new(sites::PH_MID, 1),
-                    occurrence: 1
-                }
-            );
+            let UnitKind::Single(f) = s.decode(u) else {
+                panic!("unit {u} should be a singleton");
+            };
+            assert_eq!(f.rank as u64, u);
+            assert!(!f.node_loss);
+            assert_eq!(f.trigger, at_site(sites::PH_MID, 1, 1));
         }
         // The next block is the END polls of superstep 1.
-        let (_, trigger) = s.decode(ranks);
-        assert_eq!(
-            trigger,
-            CrashTrigger::AtSite {
-                site: CrashSite::new(sites::PH_END, 1),
-                occurrence: 1
-            }
-        );
+        let UnitKind::Single(f) = s.decode(ranks) else {
+            panic!("should be a singleton");
+        };
+        assert_eq!(f.trigger, at_site(sites::PH_END, 1, 1));
         // Dense units spread across ranks with growing thresholds.
         let total = s.total_units();
-        let (rank, trigger) = s.decode(total + 5);
-        assert_eq!(rank as u64, 5 % ranks);
-        assert_eq!(trigger, CrashTrigger::AtAccessCount(200));
+        let UnitKind::Dense(f) = s.decode(total + 5) else {
+            panic!("should be dense");
+        };
+        assert_eq!(f.rank as u64, 5 % ranks);
+        assert_eq!(f.trigger, CrashTrigger::AtAccessCount(200));
+    }
+
+    #[test]
+    fn cascade_units_stagger_a_second_crash_onto_the_next_rank() {
+        let s = stencil(RecoveryMode::AlgorithmDirected);
+        let ranks = s.spec.ranks();
+        let iters = s.spec.iters();
+        let (a, b, _) = s.blocks();
+        assert_eq!(b, 2 * ranks);
+        // First cascade variant: mid-run crash.
+        let UnitKind::Cascade(first, second) = s.decode(a) else {
+            panic!("should be a cascade");
+        };
+        assert_eq!(first.rank, 0);
+        assert_eq!(first.trigger, at_site(sites::PH_MID, iters / 2, 1));
+        assert_eq!(second.rank, 1);
+        // Rank 1 sits above rank 0, so its re-polled site is occurrence 1.
+        assert_eq!(second.trigger, at_site(sites::PH_MID, iters / 2, 1));
+        // Wrap-around: the last rank's cascade partner is rank 0, which
+        // was polled once before the first crash fired.
+        let UnitKind::Cascade(first, second) = s.decode(a + ranks - 1) else {
+            panic!("should be a cascade");
+        };
+        assert_eq!(first.rank as u64, ranks - 1);
+        assert_eq!(second.rank, 0);
+        assert_eq!(second.trigger, at_site(sites::PH_MID, iters / 2, 2));
+        // GlobalRestart staggers the second crash into the rollback
+        // re-execution: one superstep earlier, second occurrence.
+        let s = stencil(RecoveryMode::GlobalRestart);
+        let UnitKind::Cascade(_, second) = s.decode(a + ranks) else {
+            panic!("should be a cascade");
+        };
+        assert_eq!(second.trigger, at_site(sites::PH_MID, iters - 2, 2));
+    }
+
+    #[test]
+    fn node_loss_units_exist_only_under_chaotic_local_recovery() {
+        let off = stencil(RecoveryMode::AlgorithmDirected);
+        assert_eq!(off.blocks().2, 0);
+        let chaotic = Dist::new(
+            StencilSpec {
+                faults: FaultProfile::Chaotic,
+            },
+            RecoveryMode::AlgorithmDirected,
+        );
+        let ranks = chaotic.spec.ranks();
+        assert_eq!(ranks, 16, "chaotic tier runs the 4x4 grid");
+        assert_eq!(chaotic.blocks().2, ranks);
+        assert_eq!(chaotic.platform_name(), "dist-16rank-grid");
+        let (a, b, _) = chaotic.blocks();
+        let UnitKind::NodeLoss(f) = chaotic.decode(a + b + 3) else {
+            panic!("should be node loss");
+        };
+        assert_eq!(f.rank, 3);
+        assert!(f.node_loss);
+        // GlobalRestart cannot use the remote level: no node-loss block.
+        let restart = Dist::new(
+            StencilSpec {
+                faults: FaultProfile::Chaotic,
+            },
+            RecoveryMode::GlobalRestart,
+        );
+        assert_eq!(restart.blocks().2, 0);
     }
 
     #[test]
     fn every_site_unit_of_one_superstep_recovers_exactly_under_local() {
-        let s = Dist::new(StencilSpec, RecoveryMode::AlgorithmDirected);
+        let s = stencil(RecoveryMode::AlgorithmDirected);
         let ranks = s.spec.ranks();
         // Superstep 4's MID and END units across all ranks.
         for u in (3 * 2 * ranks)..(4 * 2 * ranks) {
@@ -374,8 +598,34 @@ mod tests {
     }
 
     #[test]
+    fn cascade_units_recover_or_detect_under_both_modes() {
+        for mode in [RecoveryMode::AlgorithmDirected, RecoveryMode::GlobalRestart] {
+            let s = stencil(mode);
+            let (a, b, _) = s.blocks();
+            for u in [a, a + 1, a + b - 1] {
+                let t = s.run_trial(u, false);
+                assert!(
+                    matches!(
+                        t.outcome,
+                        Outcome::RecoveredExact
+                            | Outcome::RecoveredRecomputed
+                            | Outcome::DetectedDirty
+                    ),
+                    "{mode:?} unit {u}: {:?}",
+                    t.outcome
+                );
+            }
+        }
+    }
+
+    #[test]
     fn restart_units_recover_by_recomputation_between_checkpoints() {
-        let s = Dist::new(JacobiSpec, RecoveryMode::GlobalRestart);
+        let s = Dist::new(
+            JacobiSpec {
+                faults: FaultProfile::Off,
+            },
+            RecoveryMode::GlobalRestart,
+        );
         let ranks = s.spec.ranks();
         // Superstep 5 MID (frontier 4, checkpoint 3): one superstep of
         // cluster-wide re-execution.
@@ -389,8 +639,28 @@ mod tests {
 
     #[test]
     fn dense_units_past_the_run_complete_clean() {
-        let s = Dist::new(CgSpec::new(), RecoveryMode::AlgorithmDirected);
+        let s = Dist::new(
+            CgSpec::new(FaultProfile::Off),
+            RecoveryMode::AlgorithmDirected,
+        );
         let t = s.run_trial(s.total_units() + 100 * s.spec.ranks(), false);
         assert_eq!(t.outcome, Outcome::CompletedClean);
+    }
+
+    #[test]
+    fn node_loss_units_restore_from_the_remote_level_exactly() {
+        let s = Dist::new(
+            JacobiSpec {
+                faults: FaultProfile::Chaotic,
+            },
+            RecoveryMode::AlgorithmDirected,
+        );
+        let (a, b, c) = s.blocks();
+        assert!(c > 0);
+        let t = s.run_trial(a + b + 1, true);
+        assert_eq!(t.outcome, Outcome::RecoveredExact);
+        let p = t.telemetry.expect("telemetry requested");
+        assert!(p.remote_restore_bytes > 0, "remote level was read");
+        assert!(p.net_dropped > 0, "chaotic fabric dropped messages");
     }
 }

@@ -23,6 +23,14 @@ pub fn dist_all() -> Vec<Box<dyn Scenario>> {
     dist::all()
 }
 
+/// The distributed registry under a fabric fault profile (`campaign run
+/// --registry dist --faults <profile>`): the chaotic tier swaps every
+/// cluster to the 16-rank 2-D grid presets with a remote checkpoint
+/// level and appends node-loss units to the local-recovery scenarios.
+pub fn dist_all_with(faults: adcc_dist::net::FaultProfile) -> Vec<Box<dyn Scenario>> {
+    dist::all_with(faults)
+}
+
 /// Every persistent data-structure scenario (the `ds` registry), in
 /// report order: MSC queue and open-addressing hash table, each under
 /// undo-logged (`pmem`) and unprotected-baseline protection.

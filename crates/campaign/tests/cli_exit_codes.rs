@@ -55,6 +55,86 @@ fn unknown_registry_names_exit_nonzero_with_usage() {
 }
 
 #[test]
+fn unknown_fault_profiles_exit_nonzero_with_usage() {
+    for sub in ["run", "replay"] {
+        let out = campaign(&[
+            sub,
+            "--seed",
+            "1",
+            "--registry",
+            "dist",
+            "--faults",
+            "bogus",
+        ]);
+        assert_eq!(out.status.code(), Some(1), "{sub} --faults bogus");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("unknown fault profile") && stderr.contains("usage:"),
+            "{sub} stderr:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn faults_require_the_dist_registry() {
+    // The fault plan lives in the cluster fabric; single-rank kernel and
+    // ds campaigns have no fabric, so a profile there would be silently
+    // ignored — the CLI must reject it instead.
+    for registry in ["kernel", "ds"] {
+        let out = campaign(&[
+            "run",
+            "--budget-states",
+            "2",
+            "--registry",
+            registry,
+            "--faults",
+            "lossy",
+        ]);
+        assert_eq!(out.status.code(), Some(1), "--registry {registry} --faults");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("--faults") && stderr.contains("dist") && stderr.contains("usage:"),
+            "--registry {registry} stderr:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn every_fault_profile_runs_the_dist_registry_clean() {
+    for profile in ["off", "lossy", "chaotic"] {
+        let out = campaign(&[
+            "run",
+            "--registry",
+            "dist",
+            "--faults",
+            profile,
+            "--budget-states",
+            "3",
+            "--threads",
+            "2",
+        ]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "--faults {profile} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        if profile == "off" {
+            assert!(
+                !stdout.contains("faults"),
+                "--faults off is the default:\n{stdout}"
+            );
+        } else {
+            assert!(
+                stdout.contains(&format!("faults {profile}")),
+                "--faults {profile} summary:\n{stdout}"
+            );
+        }
+    }
+}
+
+#[test]
 fn incoherent_flag_combinations_exit_nonzero_with_usage() {
     // --shard partitions the batched plan; --per-trial bypasses it. The
     // builder-level validation must surface before any trial runs.

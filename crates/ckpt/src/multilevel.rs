@@ -151,31 +151,46 @@ impl MultilevelCheckpoint {
         self.taken += 1;
         let ship = self.taken.is_multiple_of(self.remote_period);
         if ship {
-            // Serialize the live regions (charged reads) and send.
-            let total: usize = regions.iter().map(|r| r.1).sum();
-            let prev = sys.clock_mut().set_bucket(Bucket::Io);
-            let mut payload = vec![0u8; total];
-            let mut off = 0usize;
-            let mut buf = [0u8; LINE_SIZE];
-            for &(addr, len) in regions {
-                let mut done = 0usize;
-                while done < len {
-                    let take = LINE_SIZE.min(len - done);
-                    sys.read_bytes(addr + done as u64, &mut buf[..take]);
-                    payload[off + done..off + done + take].copy_from_slice(&buf[..take]);
-                    done += take;
-                }
-                off += len;
-            }
-            sys.charge_io(self.timing.transfer_cost_ps(total as u64));
-            remote.payload = payload;
-            remote.seq = Some(seq);
-            sys.clock_mut().set_bucket(prev);
+            MultilevelCheckpoint::ship_to_remote(sys, regions, remote, self.timing, seq);
         }
         MultilevelReport {
             seq,
             shipped_remote: ship,
         }
+    }
+
+    /// Serialize the live `regions` (charged line reads) and ship them to
+    /// `remote` as checkpoint `seq`, charging the transfer to
+    /// [`Bucket::Io`]. This is the L2 half of [`Self::checkpoint`],
+    /// exposed for mechanisms whose L1 is *not* a [`MemCheckpoint`] —
+    /// e.g. the dist kernels' double-buffered iterate slots — but that
+    /// still need a node-loss fallback.
+    pub fn ship_to_remote(
+        sys: &mut MemorySystem,
+        regions: &[(u64, usize)],
+        remote: &mut RemoteStore,
+        timing: RemoteTiming,
+        seq: u64,
+    ) {
+        let total: usize = regions.iter().map(|r| r.1).sum();
+        let prev = sys.clock_mut().set_bucket(Bucket::Io);
+        let mut payload = vec![0u8; total];
+        let mut off = 0usize;
+        let mut buf = [0u8; LINE_SIZE];
+        for &(addr, len) in regions {
+            let mut done = 0usize;
+            while done < len {
+                let take = LINE_SIZE.min(len - done);
+                sys.read_bytes(addr + done as u64, &mut buf[..take]);
+                payload[off + done..off + done + take].copy_from_slice(&buf[..take]);
+                done += take;
+            }
+            off += len;
+        }
+        sys.charge_io(timing.transfer_cost_ps(total as u64));
+        remote.payload = payload;
+        remote.seq = Some(seq);
+        sys.clock_mut().set_bucket(prev);
     }
 
     /// Recover from the local level (process crash; node NVM intact).
@@ -304,6 +319,33 @@ mod tests {
             both_cost.ps() > 2 * local_cost.ps(),
             "remote ship {both_cost} should dominate local {local_cost}"
         );
+    }
+
+    #[test]
+    fn standalone_ship_roundtrips_without_a_local_level() {
+        // Mechanisms whose L1 is their own persistent slots still get the
+        // L2 path: ship live regions, then rebuild a blank node from them.
+        let mut s = sys();
+        let a = PArray::<u64>::alloc_nvm(&mut s, 8);
+        let regions = [(a.base(), a.byte_len())];
+        let mut remote = RemoteStore::new();
+        a.fill(&mut s, 7);
+        let t0 = s.now();
+        MultilevelCheckpoint::ship_to_remote(&mut s, &regions, &mut remote, RemoteTiming::pfs(), 5);
+        assert!(s.now() > t0, "shipping is charged");
+        assert_eq!(remote.seq(), Some(5));
+        assert_eq!(remote.bytes(), 64);
+
+        let mut fresh = sys();
+        let _a2 = PArray::<u64>::alloc_nvm(&mut fresh, 8);
+        let got = MultilevelCheckpoint::restore_from_remote(
+            &mut fresh,
+            &regions,
+            &remote,
+            RemoteTiming::pfs(),
+        );
+        assert_eq!(got, Some(5));
+        assert_eq!(a.get(&mut fresh, 0), 7);
     }
 
     #[test]

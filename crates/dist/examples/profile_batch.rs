@@ -149,6 +149,7 @@ fn dissect(mode: RecoveryMode) {
             iter: 5,
             site,
             image: h.image.materialize(),
+            node_loss: false,
         };
         std::hint::black_box(kf.recover(&mut f, crash));
     }
@@ -174,6 +175,7 @@ fn dissect(mode: RecoveryMode) {
             iter: 5,
             site,
             image: h.image.materialize(),
+            node_loss: false,
         },
     );
     let accesses: u64 = (0..f.ranks())

@@ -15,6 +15,7 @@
 //! re-execution under GlobalRestart.
 
 use adcc_ckpt::mem::{MemCheckpoint, MemCheckpointLayout};
+use adcc_ckpt::multilevel::{MultilevelCheckpoint, RemoteStore, RemoteTiming};
 use adcc_linalg::csr::CsrMatrix;
 use adcc_linalg::spd::random_spd;
 use adcc_sim::clock::Bucket;
@@ -22,7 +23,8 @@ use adcc_sim::parray::{PArray, PScalar};
 use adcc_sim::system::SystemConfig;
 
 use crate::cluster::{Cluster, ClusterConfig};
-use crate::net::NetTiming;
+use crate::grid::GridCfg;
+use crate::net::{FaultProfile, NetTiming};
 use crate::sites;
 use crate::trial::{CrashInfo, DistKernel, Recovery, RecoveryMode};
 
@@ -45,6 +47,13 @@ pub struct CgConfig {
     pub ckpt_period: u64,
     /// Fabric jitter seed.
     pub net_seed: u64,
+    /// Process-grid topology (CG's collectives are all-to-all, so the
+    /// grid only sizes the rank count; must cover exactly `ranks`).
+    pub grid: GridCfg,
+    /// Fabric fault profile injected under the reliable transport.
+    pub faults: FaultProfile,
+    /// Remote checkpoint level for node-loss recovery.
+    pub remote: Option<RemoteTiming>,
 }
 
 impl CgConfig {
@@ -59,6 +68,28 @@ impl CgConfig {
             mode,
             ckpt_period: 3,
             net_seed: 0xd157_0003,
+            grid: GridCfg::chain(4),
+            faults: FaultProfile::Off,
+            remote: None,
+        }
+    }
+
+    /// The campaign preset for a fault profile: the chaotic tier runs 16
+    /// ranks (4x4 grid) on the same n = 96 problem, with a remote
+    /// checkpoint level.
+    pub fn campaign_for(mode: RecoveryMode, faults: FaultProfile) -> Self {
+        match faults {
+            FaultProfile::Chaotic => CgConfig {
+                ranks: 16,
+                grid: GridCfg::grid(4, 4),
+                remote: Some(RemoteTiming::burst_buffer()),
+                faults,
+                ..CgConfig::campaign(mode)
+            },
+            _ => CgConfig {
+                faults,
+                ..CgConfig::campaign(mode)
+            },
         }
     }
 
@@ -71,6 +102,9 @@ impl CgConfig {
             sys,
             net: NetTiming::cluster_2017(),
             net_seed: self.net_seed,
+            faults: self
+                .faults
+                .plan(self.net_seed ^ crate::net::FAULT_SEED_SALT),
         }
     }
 
@@ -132,6 +166,8 @@ pub struct DistCg {
     ck_iters: Vec<PArray<u64>>,
     /// Checkpoint regions per rank.
     regions: Vec<Vec<(u64, usize)>>,
+    /// Per-rank remote checkpoint stores (host-side; survive node loss).
+    remotes: Vec<RemoteStore>,
 }
 
 impl DistCg {
@@ -150,6 +186,7 @@ impl DistCg {
         assert!(cfg.n.is_multiple_of(cfg.ranks), "n must split evenly");
         assert_eq!(cl.ranks(), cfg.ranks, "cluster/config rank mismatch");
         assert_eq!(a.n(), cfg.n, "problem/config dimension mismatch");
+        cfg.grid.validate(cfg.ranks);
         let m = cfg.n / cfg.ranks;
         let mut prog = DistCg {
             m,
@@ -171,6 +208,7 @@ impl DistCg {
             rho_cells: Vec::new(),
             ck_iters: Vec::new(),
             regions: Vec::new(),
+            remotes: vec![RemoteStore::new(); cfg.ranks],
             cfg,
         };
         for rank in 0..prog.cfg.ranks {
@@ -259,6 +297,7 @@ impl DistCg {
                     prog.slots.push(slots);
                     prog.slot_rho.push(slot_rho);
                     prog.counters.push(counter);
+                    prog.ship_remote(cl, rank, 0);
                 }
                 RecoveryMode::GlobalRestart => {
                     let rho_cell = PArray::<f64>::alloc_dram(sys, 1);
@@ -283,6 +322,42 @@ impl DistCg {
             }
         }
         prog
+    }
+
+    /// The NVM regions the remote level snapshots for `rank`: both ring
+    /// slots (`x‖r‖p` each), the per-parity `rho` pair, the counter, and —
+    /// unlike the stencil kernels — the static matrix block, because CG
+    /// re-reads `A`'s values from NVM every superstep and a lost node
+    /// comes back with blank NVM.
+    fn remote_regions(&self, rank: usize) -> Vec<(u64, usize)> {
+        let nnz = *self.rowptr[rank]
+            .last()
+            .expect("rebased row pointer is nonempty");
+        vec![
+            (self.a_vals[rank].base(), nnz * 8),
+            (self.a_cols[rank].base(), nnz * 4),
+            (self.slots[rank][0].base(), 3 * self.m * 8),
+            (self.slots[rank][1].base(), 3 * self.m * 8),
+            (self.slot_rho[rank].base(), 16),
+            (self.counters[rank].addr(), 8),
+        ]
+    }
+
+    /// Ship `rank`'s AlgorithmDirected ring to its remote store at `seq`
+    /// (a no-op without a configured remote level). Shipping at setup and
+    /// after every commit keeps `remote.seq` equal to the crash frontier.
+    fn ship_remote(&mut self, cl: &mut Cluster, rank: usize, seq: u64) {
+        let Some(timing) = self.cfg.remote else {
+            return;
+        };
+        let regions = self.remote_regions(rank);
+        MultilevelCheckpoint::ship_to_remote(
+            cl.system_mut(rank),
+            &regions,
+            &mut self.remotes[rank],
+            timing,
+            seq,
+        );
     }
 
     /// Allgather the `p` segments into every rank's replicated `p_full`,
@@ -442,6 +517,7 @@ impl DistKernel for DistCg {
                     self.counters[rank].set(sys, iter);
                     self.counters[rank].persist(sys);
                     sys.sfence();
+                    self.ship_remote(cl, rank, iter);
                 }
                 RecoveryMode::GlobalRestart => {
                     self.rho_cells[rank].set(sys, 0, self.rho);
@@ -484,7 +560,30 @@ impl DistKernel for DistCg {
 
     fn recover(&mut self, cl: &mut Cluster, crash: CrashInfo) -> Recovery {
         let frontier = crash.frontier();
-        cl.reboot_rank(crash.rank, &crash.image);
+        let remote_restore_bytes = if crash.node_loss {
+            assert!(
+                matches!(self.cfg.mode, RecoveryMode::AlgorithmDirected),
+                "node-loss trials require AlgorithmDirected recovery"
+            );
+            let timing = self
+                .cfg
+                .remote
+                .expect("node-loss trials require a remote level");
+            cl.reboot_rank_lost(crash.rank);
+            let regions = self.remote_regions(crash.rank);
+            let seq = MultilevelCheckpoint::restore_from_remote(
+                cl.system_mut(crash.rank),
+                &regions,
+                &self.remotes[crash.rank],
+                timing,
+            )
+            .expect("the remote level is shipped at setup");
+            debug_assert_eq!(seq, frontier, "the remote ships every commit");
+            self.remotes[crash.rank].bytes() as u64
+        } else {
+            cl.reboot_rank(crash.rank, &crash.image);
+            0
+        };
         match self.cfg.mode {
             RecoveryMode::AlgorithmDirected => {
                 let rank = crash.rank;
@@ -515,7 +614,9 @@ impl DistKernel for DistCg {
                     self.segment_assist(cl, rank);
                 }
                 cl.barrier();
-                crate::trial::algorithm_directed_plan(&crash)
+                let mut plan = crate::trial::algorithm_directed_plan(&crash);
+                plan.remote_restore_bytes = remote_restore_bytes;
+                plan
             }
             RecoveryMode::GlobalRestart => crate::trial::global_restart_recover(self, cl, &crash),
         }
@@ -607,6 +708,30 @@ mod tests {
                     "{mode:?} rank {rank} phase {phase:#x} iter {iter}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn node_loss_recovers_exactly_from_the_remote_level() {
+        let cfg = CgConfig {
+            remote: Some(RemoteTiming::burst_buffer()),
+            ..config(RecoveryMode::AlgorithmDirected)
+        };
+        let reference = {
+            let ref_cfg = cfg.clone();
+            let mut cl = Cluster::new(ref_cfg.cluster(), None);
+            let mut prog = DistCg::setup(&mut cl, ref_cfg);
+            run_dist_trial(&mut cl, &mut prog, true).solution
+        };
+        for (rank, phase, iter) in [(1, sites::PH_END, 7), (2, sites::PH_MID, 4)] {
+            let failure = crate::cluster::RankFailure::node_loss(rank, site_trigger(phase, iter));
+            let mut cl = Cluster::new_multi(cfg.cluster(), &[failure]);
+            let mut prog = DistCg::setup(&mut cl, cfg.clone());
+            let trial = run_dist_trial(&mut cl, &mut prog, true);
+            assert!(!trial.completed_clean);
+            assert_eq!(trial.solution, reference, "rank {rank} iter {iter}");
+            assert_eq!(trial.lost_units, 0, "node loss stays local-recoverable");
+            assert!(trial.remote_restore_bytes > 0, "the remote level was read");
         }
     }
 

@@ -22,7 +22,7 @@ use adcc_sim::crash::{CrashEmulator, CrashSite, CrashTrigger, Harvest};
 use adcc_sim::image::NvmImage;
 use adcc_sim::system::{MemorySystem, SystemConfig};
 
-use crate::net::{decode_f64s, encode_f64s, Fabric, NetTiming, NetTraffic};
+use crate::net::{decode_f64s, encode_f64s, Fabric, FaultPlan, NetTiming, NetTraffic};
 
 /// Static configuration of a [`Cluster`].
 #[derive(Debug, Clone)]
@@ -35,6 +35,42 @@ pub struct ClusterConfig {
     pub net: NetTiming,
     /// Seed for the fabric's latency jitter.
     pub net_seed: u64,
+    /// Adversarial perturbation of the fabric (see [`FaultPlan`];
+    /// [`FaultPlan::none`] keeps the fabric reliable).
+    pub faults: FaultPlan,
+}
+
+/// One armed failure: a rank, the trigger that fells it, and whether the
+/// failure takes the node's NVM with it (node loss — the local image is
+/// unrecoverable and recovery must restore from a remote store).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankFailure {
+    /// The rank to fell.
+    pub rank: usize,
+    /// When to fell it.
+    pub trigger: CrashTrigger,
+    /// Whether the rank's NVM image is lost with the process.
+    pub node_loss: bool,
+}
+
+impl RankFailure {
+    /// A plain fail-stop process crash (NVM survives).
+    pub fn crash(rank: usize, trigger: CrashTrigger) -> Self {
+        RankFailure {
+            rank,
+            trigger,
+            node_loss: false,
+        }
+    }
+
+    /// A whole-node loss: the process *and* its NVM are gone.
+    pub fn node_loss(rank: usize, trigger: CrashTrigger) -> Self {
+        RankFailure {
+            rank,
+            trigger,
+            node_loss: true,
+        }
+    }
 }
 
 /// A deterministic single-process cluster.
@@ -42,6 +78,9 @@ pub struct Cluster {
     cfg: ClusterConfig,
     emus: Vec<CrashEmulator>,
     fabric: Fabric,
+    /// Per-rank node-loss arming: a `true` rank that crashes loses its
+    /// NVM image too.
+    node_loss: Vec<bool>,
 }
 
 impl Cluster {
@@ -49,21 +88,41 @@ impl Cluster {
     /// other rank (or all of them, when `crash` is `None`) runs with
     /// [`CrashTrigger::Never`].
     pub fn new(cfg: ClusterConfig, crash: Option<(usize, CrashTrigger)>) -> Self {
-        assert!(cfg.ranks >= 2, "a cluster needs at least two ranks");
-        if let Some((rank, _)) = crash {
-            assert!(rank < cfg.ranks, "crash rank {rank} out of range");
-        }
-        let emus = (0..cfg.ranks)
-            .map(|r| {
-                let trigger = match crash {
-                    Some((rank, t)) if rank == r => t,
-                    _ => CrashTrigger::Never,
-                };
-                CrashEmulator::new(cfg.sys.clone(), trigger)
-            })
+        let failures: Vec<RankFailure> = crash
+            .into_iter()
+            .map(|(rank, trigger)| RankFailure::crash(rank, trigger))
             .collect();
-        let fabric = Fabric::new(cfg.ranks, cfg.net, cfg.net_seed);
-        Cluster { cfg, emus, fabric }
+        Cluster::new_multi(cfg, &failures)
+    }
+
+    /// Build a cold cluster with a failure *set*: each entry arms its rank
+    /// with a trigger (staggered sites make the failures cascade mid-trial
+    /// rather than fire together). At most one failure per rank.
+    pub fn new_multi(cfg: ClusterConfig, failures: &[RankFailure]) -> Self {
+        assert!(cfg.ranks >= 2, "a cluster needs at least two ranks");
+        let mut triggers = vec![CrashTrigger::Never; cfg.ranks];
+        let mut node_loss = vec![false; cfg.ranks];
+        for f in failures {
+            assert!(f.rank < cfg.ranks, "crash rank {} out of range", f.rank);
+            assert!(
+                matches!(triggers[f.rank], CrashTrigger::Never),
+                "rank {} armed twice",
+                f.rank
+            );
+            triggers[f.rank] = f.trigger;
+            node_loss[f.rank] = f.node_loss;
+        }
+        let emus = triggers
+            .iter()
+            .map(|&t| CrashEmulator::new(cfg.sys.clone(), t))
+            .collect();
+        let fabric = Fabric::with_faults(cfg.ranks, cfg.net, cfg.net_seed, cfg.faults);
+        Cluster {
+            cfg,
+            emus,
+            fabric,
+            node_loss,
+        }
     }
 
     /// Number of ranks.
@@ -98,18 +157,52 @@ impl Cluster {
         self.emus[rank].crash_now()
     }
 
+    /// Whether a crash on `rank` takes its NVM image down too (armed via
+    /// [`RankFailure::node_loss`]).
+    pub fn node_loss(&self, rank: usize) -> bool {
+        self.node_loss[rank]
+    }
+
+    /// The frontier a rebooted rank must re-join: the furthest *surviving*
+    /// clock. The crashed rank's own frozen clock is excluded — after a
+    /// rank that ran ahead during an earlier recovery crashes a second
+    /// time, its stale timestamp must not drag the whole cluster forward
+    /// (the double-reboot frontier drift the regression test pins).
+    fn survivor_frontier_ps(&self, rank: usize) -> u64 {
+        self.emus
+            .iter()
+            .enumerate()
+            .filter(|(r, _)| *r != rank)
+            .map(|(_, e)| e.system().now().ps())
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Reboot a crashed rank from its NVM image: a fresh process on the
     /// same node (cold caches, wiped DRAM scratch, NVM restored). The
-    /// rank's clock is re-aligned to the cluster frontier — the survivors
-    /// cannot observe a rank restarting in the past — with the gap charged
-    /// to [`Bucket::Detect`] as restart latency.
+    /// rank's clock is re-aligned to the survivors' frontier — the
+    /// survivors cannot observe a rank restarting in the past — with the
+    /// gap charged to [`Bucket::Detect`] as restart latency.
     pub fn reboot_rank(&mut self, rank: usize, image: &NvmImage) {
-        let frontier = self.max_now_ps();
+        let frontier = self.survivor_frontier_ps(rank);
         let sys = MemorySystem::from_image(self.cfg.sys.clone(), image);
         self.emus[rank] = CrashEmulator::from_system(sys, CrashTrigger::Never);
         let sys = self.emus[rank].system_mut();
         let behind = frontier.saturating_sub(sys.now().ps());
         sys.clock_mut().charge_to(Bucket::Detect, behind);
+    }
+
+    /// Reboot a rank whose NVM was lost with the node: a cold replacement
+    /// process over *blank* NVM, clock aligned to the survivors' frontier
+    /// (charged to [`Bucket::Detect`]). The caller must rebuild the rank's
+    /// persistent state — e.g. via
+    /// `adcc_ckpt::multilevel::restore_from_remote` — before resuming.
+    pub fn reboot_rank_lost(&mut self, rank: usize) {
+        let frontier = self.survivor_frontier_ps(rank);
+        let sys = MemorySystem::new(self.cfg.sys.clone());
+        self.emus[rank] = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        let sys = self.emus[rank].system_mut();
+        sys.clock_mut().charge_to(Bucket::Detect, frontier);
     }
 
     /// Arm a harvest plan on one rank: its polls capture copy-on-write
@@ -148,6 +241,7 @@ impl Cluster {
             cfg: self.cfg.clone(),
             emus,
             fabric: self.fabric.clone(),
+            node_loss: self.node_loss.clone(),
         }
     }
 
@@ -228,6 +322,7 @@ mod tests {
             sys: SystemConfig::nvm_only(4096, 1 << 16),
             net: NetTiming::cluster_2017(),
             net_seed: 42,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -285,6 +380,75 @@ mod tests {
             cl.system(1).clock().bucket_total(Bucket::Detect).ps() > 0,
             "restart latency charged to Detect"
         );
+    }
+
+    #[test]
+    fn double_reboot_aligns_to_the_survivors_frontier_not_the_stale_clock() {
+        let mut cl = Cluster::new(cfg(), None);
+        // First crash + reboot of rank 1.
+        let image = cl.crash_rank(1);
+        cl.reboot_rank(1, &image);
+        // Recovery work pushes rank 1 far past every survivor.
+        let a = PArray::<u64>::alloc_nvm(cl.system_mut(1), 64);
+        a.fill(cl.system_mut(1), 7);
+        let survivors = [0usize, 2, 3]
+            .iter()
+            .map(|&r| cl.system(r).now().ps())
+            .max()
+            .unwrap();
+        assert!(cl.system(1).now().ps() > survivors, "rank 1 ran ahead");
+        // A second crash lands mid-recovery: the reboot must align to the
+        // survivors' frontier, not rank 1's own stale pre-crash timestamp
+        // (which would drift the whole cluster forward through the next
+        // barrier).
+        let image = cl.crash_rank(1);
+        cl.reboot_rank(1, &image);
+        assert_eq!(cl.system(1).now().ps(), survivors);
+    }
+
+    #[test]
+    fn lost_node_reboots_blank_at_the_survivors_frontier() {
+        let mut cl = Cluster::new(cfg(), None);
+        let a = PArray::<u64>::alloc_nvm(cl.system_mut(1), 8);
+        a.store_slice(cl.system_mut(1), &[7; 8]);
+        a.persist_all(cl.system_mut(1));
+        // Advance rank 0 past rank 1.
+        let b = PArray::<u64>::alloc_nvm(cl.system_mut(0), 64);
+        b.fill(cl.system_mut(0), 5);
+        let _ = cl.crash_rank(1);
+        cl.reboot_rank_lost(1);
+        assert_eq!(a.peek(cl.system(1), 0), 0, "NVM went down with the node");
+        assert_eq!(cl.system(1).now().ps(), cl.system(0).now().ps());
+        assert!(cl.system(1).clock().bucket_total(Bucket::Detect).ps() > 0);
+    }
+
+    #[test]
+    fn failure_sets_arm_each_listed_rank() {
+        let early = CrashSite::new(crate::sites::PH_MID, 2);
+        let late = CrashSite::new(crate::sites::PH_MID, 5);
+        let mut cl = Cluster::new_multi(
+            cfg(),
+            &[
+                RankFailure::crash(
+                    1,
+                    CrashTrigger::AtSite {
+                        site: early,
+                        occurrence: 1,
+                    },
+                ),
+                RankFailure::node_loss(
+                    3,
+                    CrashTrigger::AtSite {
+                        site: late,
+                        occurrence: 1,
+                    },
+                ),
+            ],
+        );
+        assert!(!cl.node_loss(1) && cl.node_loss(3));
+        assert!(!cl.poll(0, early) && cl.poll(1, early));
+        assert!(!cl.poll(1, late), "a fired trigger stays quiet");
+        assert!(cl.poll(3, late));
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! Process-grid topology for the distributed kernels.
+//!
+//! The seed cluster hardwired a 1-D ring of ranks; this module makes the
+//! topology a config value. A [`GridCfg`] arranges `px * py` ranks in a
+//! 2-D grid (row-major: rank `r` sits at column `r % px`, row `r / px`)
+//! and answers the neighbor questions the kernels ask:
+//!
+//! * Jacobi decomposes its plate into `px x py` blocks and exchanges
+//!   halos with up to eight neighbors (edges for the 5-point stencil,
+//!   corners so the `halo` width generalizes past 1).
+//! * The 1-D kernels (heat rod, CG's chained segments) keep a linear
+//!   neighbor order but walk the grid **boustrophedon** — serpentine
+//!   through rows — so a 2-D grid still yields a Hamiltonian chain whose
+//!   hops are all grid edges. `px = 1` (or `py = 1`) degenerates to the
+//!   seed's ring ordering exactly.
+//!
+//! Everything here is pure topology arithmetic: no simulated cost, no
+//! fabric access, fully deterministic.
+
+/// A 2-D process grid: `px` columns by `py` rows, with halo width `halo`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridCfg {
+    /// Grid columns (fast axis; rank 0 and rank 1 are row neighbors).
+    pub px: usize,
+    /// Grid rows.
+    pub py: usize,
+    /// Halo width in cells exchanged across each edge (and corner).
+    pub halo: usize,
+}
+
+/// The eight 2-D neighbor directions, in the fixed exchange order every
+/// rank uses (deterministic message schedules depend on this order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Towards row 0.
+    North,
+    /// Towards row `py - 1`.
+    South,
+    /// Towards column 0.
+    West,
+    /// Towards column `px - 1`.
+    East,
+    /// The north-west corner diagonal.
+    NorthWest,
+    /// The north-east corner diagonal.
+    NorthEast,
+    /// The south-west corner diagonal.
+    SouthWest,
+    /// The south-east corner diagonal.
+    SouthEast,
+}
+
+impl Dir {
+    /// All eight directions in exchange order: edges first, then corners.
+    pub const ALL: [Dir; 8] = [
+        Dir::North,
+        Dir::South,
+        Dir::West,
+        Dir::East,
+        Dir::NorthWest,
+        Dir::NorthEast,
+        Dir::SouthWest,
+        Dir::SouthEast,
+    ];
+
+    /// The direction a neighbor sees this rank in: the message a rank
+    /// receives from its `d` neighbor was sent facing `d.opposite()`.
+    pub fn opposite(self) -> Dir {
+        match self {
+            Dir::North => Dir::South,
+            Dir::South => Dir::North,
+            Dir::West => Dir::East,
+            Dir::East => Dir::West,
+            Dir::NorthWest => Dir::SouthEast,
+            Dir::NorthEast => Dir::SouthWest,
+            Dir::SouthWest => Dir::NorthEast,
+            Dir::SouthEast => Dir::NorthWest,
+        }
+    }
+
+    /// Column/row offset of this direction. North = towards row 0.
+    pub fn offset(self) -> (isize, isize) {
+        match self {
+            Dir::North => (0, -1),
+            Dir::South => (0, 1),
+            Dir::West => (-1, 0),
+            Dir::East => (1, 0),
+            Dir::NorthWest => (-1, -1),
+            Dir::NorthEast => (1, -1),
+            Dir::SouthWest => (-1, 1),
+            Dir::SouthEast => (1, 1),
+        }
+    }
+}
+
+impl GridCfg {
+    /// A 1-D chain of `p` ranks — the seed topology.
+    pub const fn chain(p: usize) -> Self {
+        GridCfg {
+            px: 1,
+            py: p,
+            halo: 1,
+        }
+    }
+
+    /// A `px x py` grid with halo width 1.
+    pub const fn grid(px: usize, py: usize) -> Self {
+        GridCfg { px, py, halo: 1 }
+    }
+
+    /// Total ranks in the grid.
+    pub fn ranks(&self) -> usize {
+        self.px * self.py
+    }
+
+    /// Panics unless the grid is well-formed and covers exactly `ranks`.
+    pub fn validate(&self, ranks: usize) {
+        assert!(self.px >= 1 && self.py >= 1, "degenerate grid");
+        assert!(self.halo >= 1, "halo width must be at least 1");
+        assert_eq!(
+            self.ranks(),
+            ranks,
+            "grid {}x{} does not cover {} ranks",
+            self.px,
+            self.py,
+            ranks
+        );
+    }
+
+    /// Grid coordinates `(col, row)` of `rank` (row-major layout).
+    pub fn coords(&self, rank: usize) -> (usize, usize) {
+        debug_assert!(rank < self.ranks());
+        (rank % self.px, rank / self.px)
+    }
+
+    /// Rank at grid coordinates `(col, row)`.
+    pub fn rank_at(&self, col: usize, row: usize) -> usize {
+        debug_assert!(col < self.px && row < self.py);
+        row * self.px + col
+    }
+
+    /// The neighbor of `rank` in direction `dir`, or `None` at the grid
+    /// boundary.
+    pub fn neighbor(&self, rank: usize, dir: Dir) -> Option<usize> {
+        let (c, r) = self.coords(rank);
+        let (dc, dr) = dir.offset();
+        let nc = c.checked_add_signed(dc).filter(|&nc| nc < self.px)?;
+        let nr = r.checked_add_signed(dr).filter(|&nr| nr < self.py)?;
+        Some(self.rank_at(nc, nr))
+    }
+
+    /// Position of `rank` along the boustrophedon (serpentine) walk of the
+    /// grid: row 0 left-to-right, row 1 right-to-left, and so on. Every
+    /// consecutive pair of positions is a grid edge, so 1-D kernels chained
+    /// this way only ever talk to physical grid neighbors.
+    pub fn chain_pos(&self, rank: usize) -> usize {
+        let (c, r) = self.coords(rank);
+        if r.is_multiple_of(2) {
+            r * self.px + c
+        } else {
+            r * self.px + (self.px - 1 - c)
+        }
+    }
+
+    /// Rank at boustrophedon position `pos` — the inverse of
+    /// [`Self::chain_pos`].
+    pub fn chain_rank(&self, pos: usize) -> usize {
+        debug_assert!(pos < self.ranks());
+        let r = pos / self.px;
+        let c = pos % self.px;
+        if r.is_multiple_of(2) {
+            self.rank_at(c, r)
+        } else {
+            self.rank_at(self.px - 1 - c, r)
+        }
+    }
+
+    /// The chain predecessor of `rank` (the rank owning the previous 1-D
+    /// segment), or `None` at the head of the walk.
+    pub fn chain_prev(&self, rank: usize) -> Option<usize> {
+        let pos = self.chain_pos(rank);
+        (pos > 0).then(|| self.chain_rank(pos - 1))
+    }
+
+    /// The chain successor of `rank`, or `None` at the tail of the walk.
+    pub fn chain_next(&self, rank: usize) -> Option<usize> {
+        let pos = self.chain_pos(rank);
+        (pos + 1 < self.ranks()).then(|| self.chain_rank(pos + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_grid_is_the_identity_ordering() {
+        let g = GridCfg::chain(4);
+        assert_eq!(g.ranks(), 4);
+        for r in 0..4 {
+            assert_eq!(g.chain_pos(r), r);
+            assert_eq!(g.chain_rank(r), r);
+        }
+        assert_eq!(g.chain_prev(0), None);
+        assert_eq!(g.chain_next(3), None);
+        assert_eq!(g.chain_prev(2), Some(1));
+        assert_eq!(g.chain_next(2), Some(3));
+        // In a 1-column grid the chain hops are the North/South edges.
+        assert_eq!(g.neighbor(2, Dir::North), Some(1));
+        assert_eq!(g.neighbor(2, Dir::South), Some(3));
+        assert_eq!(g.neighbor(2, Dir::West), None);
+        assert_eq!(g.neighbor(2, Dir::East), None);
+    }
+
+    #[test]
+    fn four_by_four_coords_and_neighbors() {
+        let g = GridCfg::grid(4, 4);
+        assert_eq!(g.ranks(), 16);
+        assert_eq!(g.coords(0), (0, 0));
+        assert_eq!(g.coords(5), (1, 1));
+        assert_eq!(g.rank_at(1, 1), 5);
+        assert_eq!(g.neighbor(5, Dir::North), Some(1));
+        assert_eq!(g.neighbor(5, Dir::South), Some(9));
+        assert_eq!(g.neighbor(5, Dir::West), Some(4));
+        assert_eq!(g.neighbor(5, Dir::East), Some(6));
+        assert_eq!(g.neighbor(5, Dir::NorthWest), Some(0));
+        assert_eq!(g.neighbor(5, Dir::SouthEast), Some(10));
+        // Corner rank 0 has exactly three neighbors.
+        let n: Vec<_> = Dir::ALL.iter().filter_map(|&d| g.neighbor(0, d)).collect();
+        assert_eq!(n, vec![4, 1, 5]);
+        // Boundary rank 3 (top-right corner).
+        assert_eq!(g.neighbor(3, Dir::East), None);
+        assert_eq!(g.neighbor(3, Dir::NorthEast), None);
+        assert_eq!(g.neighbor(3, Dir::SouthWest), Some(6));
+    }
+
+    #[test]
+    fn boustrophedon_walk_covers_the_grid_along_edges() {
+        let g = GridCfg::grid(4, 4);
+        let walk: Vec<usize> = (0..16).map(|p| g.chain_rank(p)).collect();
+        // Serpentine: row 0 forward, row 1 backward, ...
+        assert_eq!(
+            walk,
+            vec![0, 1, 2, 3, 7, 6, 5, 4, 8, 9, 10, 11, 15, 14, 13, 12]
+        );
+        // The walk is a bijection and its inverse agrees.
+        for r in 0..16 {
+            assert_eq!(g.chain_rank(g.chain_pos(r)), r);
+        }
+        // Every consecutive hop is a physical grid edge (distance 1).
+        for w in walk.windows(2) {
+            let (c0, r0) = g.coords(w[0]);
+            let (c1, r1) = g.coords(w[1]);
+            assert_eq!(c0.abs_diff(c1) + r0.abs_diff(r1), 1, "hop {w:?}");
+        }
+        // chain_prev/chain_next agree with the walk.
+        for p in 1..16 {
+            assert_eq!(g.chain_prev(walk[p]), Some(walk[p - 1]));
+            assert_eq!(g.chain_next(walk[p - 1]), Some(walk[p]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not cover")]
+    fn validate_rejects_a_mismatched_rank_count() {
+        GridCfg::grid(4, 4).validate(8);
+    }
+}

@@ -1,21 +1,33 @@
-//! Distributed 2-D Jacobi (5-point Laplace smoothing): row-striped
-//! decomposition with full-row halo exchange, under both recovery modes.
+//! Distributed 2-D Jacobi (5-point Laplace smoothing): block
+//! decomposition over a [`GridCfg`] process grid with edge-and-corner
+//! halo exchange, under both recovery modes.
 //!
-//! The grid's interior (`rows × cols`) is striped across ranks; every
-//! superstep each rank averages its stripe's 5-point neighborhoods using
-//! one halo row per side, then persists per its mechanism — the same
-//! double-buffered-iterate (AlgorithmDirected) versus coordinated
-//! [`MemCheckpoint`] (GlobalRestart) pair as [`crate::stencil`], but with
-//! row-sized halos, so the traffic gap between the two recovery modes is
-//! measured on a genuinely 2-D workload.
+//! The plate's interior (`rows × cols`) is split into `py × px` blocks;
+//! every superstep each rank exchanges the halo ring around its block
+//! with up to eight neighbors (edges feed the 5-point update; corners are
+//! exchanged too so the halo ring is complete and the decomposition
+//! generalizes past 5-point), averages its block's neighborhoods, then
+//! persists per its mechanism — the same double-buffered-iterate
+//! (AlgorithmDirected) versus coordinated [`MemCheckpoint`]
+//! (GlobalRestart) pair as [`crate::stencil`], but with row/column-sized
+//! halos, so the traffic gap between the two recovery modes is measured
+//! on a genuinely 2-D workload. A `1 × p` grid degenerates to the seed's
+//! row striping with an identical message schedule.
+//!
+//! With a remote level configured, AlgorithmDirected also ships its
+//! slots and counter off-node every commit, so a whole-node loss falls
+//! back to [`MultilevelCheckpoint::restore_from_remote`] and still
+//! recovers exactly.
 
 use adcc_ckpt::mem::{MemCheckpoint, MemCheckpointLayout};
+use adcc_ckpt::multilevel::{MultilevelCheckpoint, RemoteStore, RemoteTiming};
 use adcc_sim::clock::Bucket;
 use adcc_sim::parray::{PArray, PScalar};
-use adcc_sim::system::SystemConfig;
+use adcc_sim::system::{MemorySystem, SystemConfig};
 
 use crate::cluster::{Cluster, ClusterConfig};
-use crate::net::NetTiming;
+use crate::grid::{Dir, GridCfg};
+use crate::net::{FaultProfile, NetTiming};
 use crate::sites;
 use crate::trial::{CrashInfo, DistKernel, Recovery, RecoveryMode};
 
@@ -32,9 +44,9 @@ pub struct JacobiConfig {
     pub ranks: usize,
     /// Supersteps.
     pub iters: u64,
-    /// Interior rows (must divide evenly by `ranks`).
+    /// Interior rows (must divide evenly by the grid's `py`).
     pub rows: usize,
-    /// Interior columns.
+    /// Interior columns (must divide evenly by the grid's `px`).
     pub cols: usize,
     /// Persistence mechanism and recovery mode.
     pub mode: RecoveryMode,
@@ -42,10 +54,16 @@ pub struct JacobiConfig {
     pub ckpt_period: u64,
     /// Fabric jitter seed.
     pub net_seed: u64,
+    /// Process-grid topology (must cover exactly `ranks`).
+    pub grid: GridCfg,
+    /// Fabric fault profile injected under the reliable transport.
+    pub faults: FaultProfile,
+    /// Remote checkpoint level for node-loss recovery.
+    pub remote: Option<RemoteTiming>,
 }
 
 impl JacobiConfig {
-    /// The campaign preset: 4 ranks, 10 supersteps, 16×24 interior.
+    /// The campaign preset: 4 ranks (row stripes), 10 supersteps, 16×24.
     pub fn campaign(mode: RecoveryMode) -> Self {
         JacobiConfig {
             ranks: 4,
@@ -55,6 +73,27 @@ impl JacobiConfig {
             mode,
             ckpt_period: 3,
             net_seed: 0xd157_0002,
+            grid: GridCfg::chain(4),
+            faults: FaultProfile::Off,
+            remote: None,
+        }
+    }
+
+    /// The campaign preset for a fault profile: the chaotic tier runs a
+    /// 16-rank 4x4 block grid with a remote checkpoint level.
+    pub fn campaign_for(mode: RecoveryMode, faults: FaultProfile) -> Self {
+        match faults {
+            FaultProfile::Chaotic => JacobiConfig {
+                ranks: 16,
+                grid: GridCfg::grid(4, 4),
+                remote: Some(RemoteTiming::burst_buffer()),
+                faults,
+                ..JacobiConfig::campaign(mode)
+            },
+            _ => JacobiConfig {
+                faults,
+                ..JacobiConfig::campaign(mode)
+            },
         }
     }
 
@@ -67,6 +106,9 @@ impl JacobiConfig {
             sys,
             net: NetTiming::cluster_2017(),
             net_seed: self.net_seed,
+            faults: self
+                .faults
+                .plan(self.net_seed ^ crate::net::FAULT_SEED_SALT),
         }
     }
 }
@@ -82,13 +124,14 @@ fn initial(global_row: usize, col: usize) -> f64 {
 #[derive(Clone)]
 pub struct DistJacobi {
     cfg: JacobiConfig,
-    /// Interior rows per rank.
-    rows_r: usize,
-    /// Volatile working stripe, `(rows_r + 2) × (cols + 2)` row-major
-    /// (halo rows at `0` and `rows_r + 1`, boundary columns at `0` and
-    /// `cols + 1`).
+    /// Interior rows per block.
+    rows_b: usize,
+    /// Interior columns per block.
+    cols_b: usize,
+    /// Volatile working block, `(rows_b + 2) × (cols_b + 2)` row-major
+    /// (halo ring: rows `0` / `rows_b + 1`, columns `0` / `cols_b + 1`).
     x: Vec<PArray<f64>>,
-    /// Volatile next iterate, `rows_r × cols`.
+    /// Volatile next iterate, `rows_b × cols_b`.
     x_new: Vec<PArray<f64>>,
     /// NVM double-buffered interior slots (AlgorithmDirected).
     slots: Vec<[PArray<f64>; 2]>,
@@ -100,45 +143,109 @@ pub struct DistJacobi {
     layouts: Vec<MemCheckpointLayout>,
     /// Volatile iterate markers in the checkpoint payload.
     ck_iters: Vec<PArray<u64>>,
-    /// Checkpoint regions per rank (the whole stripe + the marker).
+    /// Checkpoint regions per rank (the whole block + the marker).
     regions: Vec<Vec<(u64, usize)>>,
+    /// Per-rank remote checkpoint stores (host-side; survive node loss).
+    remotes: Vec<RemoteStore>,
 }
 
 impl DistJacobi {
     fn idx(&self, i: usize, j: usize) -> usize {
-        i * (self.cfg.cols + 2) + j
+        i * (self.cols_b + 2) + j
     }
 
-    /// Reset one rank's fixed boundary cells: left/right columns always,
-    /// plus the constant halo rows on the edge stripes.
-    fn set_boundaries(&self, cl: &mut Cluster, r: usize) {
-        let rows_r = self.rows_r;
-        let cols = self.cfg.cols;
-        let sys = cl.system_mut(r);
-        for i in 0..rows_r + 2 {
-            self.x[r].set(sys, self.idx(i, 0), LEFT_B);
-            self.x[r].set(sys, self.idx(i, cols + 1), RIGHT_B);
+    /// The cells rank `r` sends towards direction `d`: its interior
+    /// boundary row/column/corner on that side.
+    fn face_segment(&self, sys: &mut MemorySystem, r: usize, d: Dir) -> Vec<f64> {
+        let (rb, cb) = (self.rows_b, self.cols_b);
+        let cells: Vec<(usize, usize)> = match d {
+            Dir::North => (1..=cb).map(|j| (1, j)).collect(),
+            Dir::South => (1..=cb).map(|j| (rb, j)).collect(),
+            Dir::West => (1..=rb).map(|i| (i, 1)).collect(),
+            Dir::East => (1..=rb).map(|i| (i, cb)).collect(),
+            Dir::NorthWest => vec![(1, 1)],
+            Dir::NorthEast => vec![(1, cb)],
+            Dir::SouthWest => vec![(rb, 1)],
+            Dir::SouthEast => vec![(rb, cb)],
+        };
+        cells
+            .into_iter()
+            .map(|(i, j)| self.x[r].get(sys, self.idx(i, j)))
+            .collect()
+    }
+
+    /// Write the segment received from rank `r`'s `d` neighbor into its
+    /// halo ring on side `d`.
+    fn fill_halo(&self, sys: &mut MemorySystem, r: usize, d: Dir, vals: &[f64]) {
+        let (rb, cb) = (self.rows_b, self.cols_b);
+        let cells: Vec<(usize, usize)> = match d {
+            Dir::North => (1..=cb).map(|j| (0, j)).collect(),
+            Dir::South => (1..=cb).map(|j| (rb + 1, j)).collect(),
+            Dir::West => (1..=rb).map(|i| (i, 0)).collect(),
+            Dir::East => (1..=rb).map(|i| (i, cb + 1)).collect(),
+            Dir::NorthWest => vec![(0, 0)],
+            Dir::NorthEast => vec![(0, cb + 1)],
+            Dir::SouthWest => vec![(rb + 1, 0)],
+            Dir::SouthEast => vec![(rb + 1, cb + 1)],
+        };
+        debug_assert_eq!(cells.len(), vals.len());
+        for ((i, j), v) in cells.into_iter().zip(vals) {
+            self.x[r].set(sys, self.idx(i, j), *v);
         }
-        if r == 0 {
-            for j in 1..=cols {
+    }
+
+    /// Reset one rank's fixed boundary cells: the halo sides that face the
+    /// plate's physical boundary rather than a neighbor. Corner precedence
+    /// matches the serial host: left/right columns win over top/bottom
+    /// rows.
+    fn set_boundaries(&self, cl: &mut Cluster, r: usize) {
+        let (rb, cb) = (self.rows_b, self.cols_b);
+        let (c, rw) = self.cfg.grid.coords(r);
+        let (px, py) = (self.cfg.grid.px, self.cfg.grid.py);
+        let sys = cl.system_mut(r);
+        if c == 0 {
+            for i in 0..rb + 2 {
+                self.x[r].set(sys, self.idx(i, 0), LEFT_B);
+            }
+        }
+        if c == px - 1 {
+            for i in 0..rb + 2 {
+                self.x[r].set(sys, self.idx(i, cb + 1), RIGHT_B);
+            }
+        }
+        let (j0, j1) = (
+            if c == 0 { 1 } else { 0 },
+            if c == px - 1 { cb } else { cb + 1 },
+        );
+        if rw == 0 {
+            for j in j0..=j1 {
                 self.x[r].set(sys, self.idx(0, j), TOP_B);
             }
         }
-        if r == self.cfg.ranks - 1 {
-            for j in 1..=cols {
-                self.x[r].set(sys, self.idx(rows_r + 1, j), BOT_B);
+        if rw == py - 1 {
+            for j in j0..=j1 {
+                self.x[r].set(sys, self.idx(rb + 1, j), BOT_B);
             }
         }
     }
 
     /// Allocate and initialize the program on a fresh cluster.
     pub fn setup(cl: &mut Cluster, cfg: JacobiConfig) -> Self {
-        assert!(cfg.rows.is_multiple_of(cfg.ranks), "rows must split evenly");
         assert_eq!(cl.ranks(), cfg.ranks, "cluster/config rank mismatch");
-        let rows_r = cfg.rows / cfg.ranks;
-        let cols = cfg.cols;
+        cfg.grid.validate(cfg.ranks);
+        assert!(
+            cfg.rows.is_multiple_of(cfg.grid.py),
+            "rows must split evenly over grid rows"
+        );
+        assert!(
+            cfg.cols.is_multiple_of(cfg.grid.px),
+            "cols must split evenly over grid columns"
+        );
+        let rows_b = cfg.rows / cfg.grid.py;
+        let cols_b = cfg.cols / cfg.grid.px;
         let mut prog = DistJacobi {
-            rows_r,
+            rows_b,
+            cols_b,
             x: Vec::new(),
             x_new: Vec::new(),
             slots: Vec::new(),
@@ -147,18 +254,24 @@ impl DistJacobi {
             layouts: Vec::new(),
             ck_iters: Vec::new(),
             regions: Vec::new(),
+            remotes: vec![RemoteStore::new(); cfg.ranks],
             cfg,
         };
-        let interior = rows_r * cols;
+        let interior = rows_b * cols_b;
         for r in 0..prog.cfg.ranks {
+            let (c, rw) = prog.cfg.grid.coords(r);
             let sys = cl.system_mut(r);
-            let x = PArray::<f64>::alloc_dram(sys, (rows_r + 2) * (cols + 2));
+            let x = PArray::<f64>::alloc_dram(sys, (rows_b + 2) * (cols_b + 2));
             let x_new = PArray::<f64>::alloc_dram(sys, interior);
             prog.x.push(x);
             prog.x_new.push(x_new);
-            for i in 0..rows_r {
-                for j in 0..cols {
-                    x.set(sys, prog.idx(i + 1, j + 1), initial(r * rows_r + i, j));
+            for i in 0..rows_b {
+                for j in 0..cols_b {
+                    x.set(
+                        sys,
+                        prog.idx(i + 1, j + 1),
+                        initial(rw * rows_b + i, c * cols_b + j),
+                    );
                 }
             }
             prog.set_boundaries(cl, r);
@@ -169,10 +282,10 @@ impl DistJacobi {
                         PArray::<f64>::alloc_nvm(sys, interior),
                         PArray::<f64>::alloc_nvm(sys, interior),
                     ];
-                    for i in 0..rows_r {
-                        for j in 0..cols {
+                    for i in 0..rows_b {
+                        for j in 0..cols_b {
                             let v = x.get(sys, prog.idx(i + 1, j + 1));
-                            slots[0].set(sys, i * cols + j, v);
+                            slots[0].set(sys, i * cols_b + j, v);
                         }
                     }
                     slots[0].persist_all(sys);
@@ -183,6 +296,7 @@ impl DistJacobi {
                     sys.sfence();
                     prog.slots.push(slots);
                     prog.counters.push(counter);
+                    prog.ship_remote(cl, r, 0);
                 }
                 RecoveryMode::GlobalRestart => {
                     let ck_iter = PArray::<u64>::alloc_dram(sys, 1);
@@ -200,85 +314,83 @@ impl DistJacobi {
         prog
     }
 
-    /// Exchange boundary rows into the neighbors' halo rows, rank order.
+    /// The failed-rank state the remote level must rebuild: both iterate
+    /// slots plus the persisted counter (AlgorithmDirected).
+    fn remote_regions(&self, r: usize) -> Vec<(u64, usize)> {
+        let bytes = self.rows_b * self.cols_b * 8;
+        vec![
+            (self.slots[r][0].base(), bytes),
+            (self.slots[r][1].base(), bytes),
+            (self.counters[r].addr(), 8),
+        ]
+    }
+
+    /// Ship rank `r`'s slots + counter off-node as checkpoint `seq`, when
+    /// a remote level is configured (no-op otherwise).
+    fn ship_remote(&mut self, cl: &mut Cluster, r: usize, seq: u64) {
+        let Some(timing) = self.cfg.remote else {
+            return;
+        };
+        let regions = self.remote_regions(r);
+        MultilevelCheckpoint::ship_to_remote(
+            cl.system_mut(r),
+            &regions,
+            &mut self.remotes[r],
+            timing,
+            seq,
+        );
+    }
+
+    /// Exchange the halo ring with every grid neighbor: all sends in rank
+    /// order (directions in [`Dir::ALL`] order within a rank), then all
+    /// receives the same way — one message per `(src, dst)` pair.
     fn exchange(&mut self, cl: &mut Cluster) {
         let p = self.cfg.ranks;
-        let rows_r = self.rows_r;
-        let cols = self.cfg.cols;
         for r in 0..p {
-            let sys = cl.system_mut(r);
-            let first: Vec<f64> = (1..=cols)
-                .map(|j| self.x[r].get(sys, self.idx(1, j)))
-                .collect();
-            let last: Vec<f64> = (1..=cols)
-                .map(|j| self.x[r].get(sys, self.idx(rows_r, j)))
-                .collect();
-            if r > 0 {
-                cl.send(r, r - 1, &first);
-            }
-            if r + 1 < p {
-                cl.send(r, r + 1, &last);
+            for d in Dir::ALL {
+                if let Some(n) = self.cfg.grid.neighbor(r, d) {
+                    let seg = self.face_segment(cl.system_mut(r), r, d);
+                    cl.send(r, n, &seg);
+                }
             }
         }
         for r in 0..p {
-            if r > 0 {
-                let row = cl.recv(r - 1, r);
-                let sys = cl.system_mut(r);
-                for (j, v) in row.iter().enumerate() {
-                    self.x[r].set(sys, self.idx(0, j + 1), *v);
-                }
-            }
-            if r + 1 < p {
-                let row = cl.recv(r + 1, r);
-                let sys = cl.system_mut(r);
-                for (j, v) in row.iter().enumerate() {
-                    self.x[r].set(sys, self.idx(rows_r + 1, j + 1), *v);
+            for d in Dir::ALL {
+                if let Some(n) = self.cfg.grid.neighbor(r, d) {
+                    let vals = cl.recv(n, r);
+                    self.fill_halo(cl.system_mut(r), r, d, &vals);
                 }
             }
         }
         cl.barrier();
     }
 
-    /// Neighbor-assisted halo reconstruction: the survivors re-send the
-    /// failed rank's two halo rows from intact volatile state.
+    /// Neighbor-assisted halo reconstruction: every neighbor re-sends the
+    /// failed rank's halo segment from intact volatile state (the plate
+    /// boundary sides are re-derived by [`Self::set_boundaries`]).
     fn halo_assist(&mut self, cl: &mut Cluster, rank: usize) {
-        let p = self.cfg.ranks;
-        let rows_r = self.rows_r;
-        let cols = self.cfg.cols;
-        if rank > 0 {
-            let sys = cl.system_mut(rank - 1);
-            let row: Vec<f64> = (1..=cols)
-                .map(|j| self.x[rank - 1].get(sys, self.idx(rows_r, j)))
-                .collect();
-            cl.send(rank - 1, rank, &row);
-            let row = cl.recv(rank - 1, rank);
-            let sys = cl.system_mut(rank);
-            for (j, v) in row.iter().enumerate() {
-                self.x[rank].set(sys, self.idx(0, j + 1), *v);
-            }
-        }
-        if rank + 1 < p {
-            let sys = cl.system_mut(rank + 1);
-            let row: Vec<f64> = (1..=cols)
-                .map(|j| self.x[rank + 1].get(sys, self.idx(1, j)))
-                .collect();
-            cl.send(rank + 1, rank, &row);
-            let row = cl.recv(rank + 1, rank);
-            let sys = cl.system_mut(rank);
-            for (j, v) in row.iter().enumerate() {
-                self.x[rank].set(sys, self.idx(rows_r + 1, j + 1), *v);
+        for d in Dir::ALL {
+            if let Some(n) = self.cfg.grid.neighbor(rank, d) {
+                let seg = self.face_segment(cl.system_mut(n), n, d.opposite());
+                cl.send(n, rank, &seg);
+                let vals = cl.recv(n, rank);
+                self.fill_halo(cl.system_mut(rank), rank, d, &vals);
             }
         }
     }
 
-    /// Coordinated rollback (see [`crate::stencil`]): returns
-    /// `(detected, restored_iterate)`.
+    /// Reset one rank's block to the (re-derivable) initial profile.
     fn reinit_rank(&self, cl: &mut Cluster, r: usize) {
+        let (c, rw) = self.cfg.grid.coords(r);
         let sys = cl.system_mut(r);
         let prev = sys.clock_mut().set_bucket(Bucket::Resume);
-        for i in 0..self.rows_r {
-            for j in 0..self.cfg.cols {
-                self.x[r].set(sys, self.idx(i + 1, j + 1), initial(r * self.rows_r + i, j));
+        for i in 0..self.rows_b {
+            for j in 0..self.cols_b {
+                self.x[r].set(
+                    sys,
+                    self.idx(i + 1, j + 1),
+                    initial(rw * self.rows_b + i, c * self.cols_b + j),
+                );
             }
         }
         self.ck_iters[r].set(sys, 0, 0);
@@ -294,15 +406,14 @@ impl DistKernel for DistJacobi {
 
     fn compute(&mut self, cl: &mut Cluster, _iter: u64, exchange: bool) {
         let p = self.cfg.ranks;
-        let rows_r = self.rows_r;
-        let cols = self.cfg.cols;
+        let (rb, cb) = (self.rows_b, self.cols_b);
         if exchange {
             self.exchange(cl);
         }
         for r in 0..p {
             let sys = cl.system_mut(r);
-            for i in 1..=rows_r {
-                for j in 1..=cols {
+            for i in 1..=rb {
+                for j in 1..=cb {
                     let up = self.x[r].get(sys, self.idx(i - 1, j));
                     let down = self.x[r].get(sys, self.idx(i + 1, j));
                     let left = self.x[r].get(sys, self.idx(i, j - 1));
@@ -310,7 +421,7 @@ impl DistKernel for DistJacobi {
                     sys.charge_flops(4);
                     self.x_new[r].set(
                         sys,
-                        (i - 1) * cols + (j - 1),
+                        (i - 1) * cb + (j - 1),
                         0.25 * (up + down + left + right),
                     );
                 }
@@ -320,20 +431,19 @@ impl DistKernel for DistJacobi {
 
     fn commit(&mut self, cl: &mut Cluster, iter: u64) {
         let p = self.cfg.ranks;
-        let rows_r = self.rows_r;
-        let cols = self.cfg.cols;
+        let (rb, cb) = (self.rows_b, self.cols_b);
         for r in 0..p {
             let sys = cl.system_mut(r);
-            for i in 0..rows_r {
-                for j in 0..cols {
-                    let v = self.x_new[r].get(sys, i * cols + j);
+            for i in 0..rb {
+                for j in 0..cb {
+                    let v = self.x_new[r].get(sys, i * cb + j);
                     self.x[r].set(sys, self.idx(i + 1, j + 1), v);
                 }
             }
             match self.cfg.mode {
                 RecoveryMode::AlgorithmDirected => {
                     let slot = self.slots[r][(iter % 2) as usize];
-                    for k in 0..rows_r * cols {
+                    for k in 0..rb * cb {
                         let v = self.x_new[r].get(sys, k);
                         slot.set(sys, k, v);
                     }
@@ -342,6 +452,7 @@ impl DistKernel for DistJacobi {
                     self.counters[r].set(sys, iter);
                     self.counters[r].persist(sys);
                     sys.sfence();
+                    self.ship_remote(cl, r, iter);
                 }
                 RecoveryMode::GlobalRestart => {
                     if iter.is_multiple_of(self.cfg.ckpt_period) {
@@ -381,7 +492,30 @@ impl DistKernel for DistJacobi {
 
     fn recover(&mut self, cl: &mut Cluster, crash: CrashInfo) -> Recovery {
         let frontier = crash.frontier();
-        cl.reboot_rank(crash.rank, &crash.image);
+        let remote_restore_bytes = if crash.node_loss {
+            assert!(
+                matches!(self.cfg.mode, RecoveryMode::AlgorithmDirected),
+                "node-loss trials run the algorithm-directed mechanism"
+            );
+            let timing = self
+                .cfg
+                .remote
+                .expect("node-loss trials require a remote level");
+            cl.reboot_rank_lost(crash.rank);
+            let regions = self.remote_regions(crash.rank);
+            let seq = MultilevelCheckpoint::restore_from_remote(
+                cl.system_mut(crash.rank),
+                &regions,
+                &self.remotes[crash.rank],
+                timing,
+            )
+            .expect("the remote level is shipped at setup");
+            debug_assert_eq!(seq, frontier, "the remote ships every commit");
+            self.remotes[crash.rank].bytes() as u64
+        } else {
+            cl.reboot_rank(crash.rank, &crash.image);
+            0
+        };
         match self.cfg.mode {
             RecoveryMode::AlgorithmDirected => {
                 let rank = crash.rank;
@@ -391,20 +525,22 @@ impl DistKernel for DistJacobi {
                 debug_assert_eq!(c, frontier, "extended counter trails the frontier");
                 sys.clock_mut().set_bucket(Bucket::Resume);
                 let slot = self.slots[rank][(c % 2) as usize];
-                for i in 0..self.rows_r {
-                    for j in 0..self.cfg.cols {
-                        let v = slot.get(sys, i * self.cfg.cols + j);
+                for i in 0..self.rows_b {
+                    for j in 0..self.cols_b {
+                        let v = slot.get(sys, i * self.cols_b + j);
                         self.x[rank].set(sys, self.idx(i + 1, j + 1), v);
                     }
                 }
                 sys.clock_mut().set_bucket(prev);
-                // Fixed boundary cells are re-derivable; halo rows are not.
+                // Fixed boundary cells are re-derivable; halo cells are not.
                 self.set_boundaries(cl, rank);
                 if crash.site.phase == sites::PH_MID {
                     self.halo_assist(cl, rank);
                 }
                 cl.barrier();
-                crate::trial::algorithm_directed_plan(&crash)
+                let mut plan = crate::trial::algorithm_directed_plan(&crash);
+                plan.remote_restore_bytes = remote_restore_bytes;
+                plan
             }
             RecoveryMode::GlobalRestart => crate::trial::global_restart_recover(self, cl, &crash),
         }
@@ -412,22 +548,21 @@ impl DistKernel for DistJacobi {
 
     fn solution(&self, cl: &Cluster) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.cfg.rows * self.cfg.cols);
-        for r in 0..self.cfg.ranks {
-            let sys = cl.system(r);
-            for i in 0..self.rows_r {
-                for j in 0..self.cfg.cols {
-                    out.push(self.x[r].peek(sys, self.idx(i + 1, j + 1)));
-                }
+        for gi in 0..self.cfg.rows {
+            for gj in 0..self.cfg.cols {
+                let r = self.cfg.grid.rank_at(gj / self.cols_b, gi / self.rows_b);
+                let sys = cl.system(r);
+                out.push(self.x[r].peek(sys, self.idx(gi % self.rows_b + 1, gj % self.cols_b + 1)));
             }
         }
         out
     }
 
-    /// The full working stripe, halo rows and boundary columns included:
-    /// `x_new` is fully overwritten by the next compute before any read,
-    /// so `x` alone pins the tail.
+    /// The full working block, halo ring included: `x_new` is fully
+    /// overwritten by the next compute before any read, so `x` alone pins
+    /// the tail.
     fn resume_state(&self, cl: &Cluster) -> Vec<f64> {
-        let cells = (self.rows_r + 2) * (self.cfg.cols + 2);
+        let cells = (self.rows_b + 2) * (self.cols_b + 2);
         let mut out = Vec::with_capacity(self.cfg.ranks * cells);
         for r in 0..self.cfg.ranks {
             let sys = cl.system(r);
@@ -496,6 +631,21 @@ mod tests {
         run_dist_trial(&mut cl, &mut prog, true)
     }
 
+    fn run_grid(
+        crash: Option<(usize, CrashTrigger)>,
+        mode: RecoveryMode,
+    ) -> crate::trial::DistTrial {
+        let cfg = JacobiConfig {
+            rows: 8,
+            cols: 12,
+            grid: GridCfg::grid(2, 2),
+            ..JacobiConfig::campaign(mode)
+        };
+        let mut cl = Cluster::new(cfg.cluster(), crash);
+        let mut prog = DistJacobi::setup(&mut cl, cfg);
+        run_dist_trial(&mut cl, &mut prog, true)
+    }
+
     fn site_trigger(phase: u32, iter: u64) -> CrashTrigger {
         CrashTrigger::AtSite {
             site: CrashSite::new(phase, iter),
@@ -511,11 +661,22 @@ mod tests {
     }
 
     #[test]
-    fn both_recovery_modes_reproduce_the_crash_free_solution() {
+    fn two_d_block_grid_matches_the_serial_host_bitwise() {
+        // A 2x2 block grid exchanges edges *and* corners; the update
+        // arithmetic is unchanged, so the solution bits are the striped
+        // run's exactly.
+        let trial = run_grid(None, RecoveryMode::AlgorithmDirected);
+        assert!(trial.completed_clean);
+        assert_eq!(trial.solution, jacobi_host(8, 12, 10));
+    }
+
+    #[test]
+    fn two_d_block_recovery_reproduces_the_crash_free_solution() {
         let reference = jacobi_host(8, 12, 10);
         for mode in [RecoveryMode::AlgorithmDirected, RecoveryMode::GlobalRestart] {
-            for (rank, phase, iter) in [(0, sites::PH_MID, 5), (3, sites::PH_END, 9)] {
-                let trial = run(Some((rank, site_trigger(phase, iter))), mode);
+            // Rank 3 is the interior-corner block (1,1) of the 2x2 grid.
+            for (rank, phase, iter) in [(3, sites::PH_MID, 5), (0, sites::PH_END, 9)] {
+                let trial = run_grid(Some((rank, site_trigger(phase, iter))), mode);
                 assert!(!trial.completed_clean);
                 assert_eq!(
                     trial.solution, reference,
@@ -523,6 +684,41 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn chaotic_16rank_grid_matches_the_serial_host_bitwise() {
+        let cfg =
+            JacobiConfig::campaign_for(RecoveryMode::AlgorithmDirected, FaultProfile::Chaotic);
+        assert_eq!((cfg.ranks, cfg.grid.px, cfg.grid.py), (16, 4, 4));
+        let mut cl = Cluster::new(cfg.cluster(), None);
+        let mut prog = DistJacobi::setup(&mut cl, cfg);
+        let trial = run_dist_trial(&mut cl, &mut prog, true);
+        assert!(trial.completed_clean);
+        assert_eq!(trial.solution, jacobi_host(16, 24, 10));
+        let p = trial.profile.expect("telemetry on");
+        assert!(p.net_dropped > 0, "chaotic profile observed");
+    }
+
+    #[test]
+    fn node_loss_recovers_exactly_from_the_remote_level() {
+        use crate::cluster::RankFailure;
+        let cfg = JacobiConfig {
+            rows: 8,
+            cols: 12,
+            grid: GridCfg::grid(2, 2),
+            remote: Some(RemoteTiming::burst_buffer()),
+            ..JacobiConfig::campaign(RecoveryMode::AlgorithmDirected)
+        };
+        let reference = jacobi_host(8, 12, 10);
+        let failure = RankFailure::node_loss(2, site_trigger(sites::PH_END, 6));
+        let mut cl = Cluster::new_multi(cfg.cluster(), &[failure]);
+        let mut prog = DistJacobi::setup(&mut cl, cfg);
+        let trial = run_dist_trial(&mut cl, &mut prog, true);
+        assert!(!trial.completed_clean);
+        assert_eq!(trial.solution, reference);
+        assert_eq!(trial.lost_units, 0);
+        assert!(trial.remote_restore_bytes > 0);
     }
 
     #[test]

@@ -53,6 +53,7 @@
 
 pub mod cg;
 pub mod cluster;
+pub mod grid;
 pub mod jacobi;
 pub mod net;
 pub mod stencil;

@@ -1,29 +1,39 @@
 //! Distributed 1-D heat stencil: block decomposition with one-cell halo
 //! exchange, under both recovery modes.
 //!
-//! A rod of `cells` points is split into `ranks` equal chunks. Every
-//! superstep each rank updates its chunk from its own cells plus one halo
-//! cell per side (received from the neighbors at the superstep's opening
-//! exchange), then persists per its mechanism:
+//! A rod of `cells` points is split into `ranks` equal chunks, owned in
+//! **boustrophedon chain order** over the process grid
+//! ([`GridCfg::chain_pos`]): on a 1-column grid this is the seed's rank
+//! ordering exactly, and on a 2-D grid every chain hop is still a
+//! physical grid edge. Every superstep each rank updates its chunk from
+//! its own cells plus one halo cell per side (received from the chain
+//! neighbors at the superstep's opening exchange), then persists per its
+//! mechanism:
 //!
 //! * **AlgorithmDirected** — the new iterate is written into a
 //!   double-buffered NVM slot pair plus a persisted iteration counter (the
 //!   paper's "naturally consistent data, flushed where the algorithm says
 //!   so", lifted to a partition). Recovery rebuilds the failed rank's
 //!   partition from its own NVM residue; the neighbors re-send the one
-//!   halo cell each that the crash wiped.
+//!   halo cell each that the crash wiped. With a remote level configured,
+//!   the slots + counter are also shipped off-node every commit, so a
+//!   whole-**node** loss (NVM gone too) falls back to
+//!   [`MultilevelCheckpoint::restore_from_remote`] and still recovers
+//!   exactly.
 //! * **GlobalRestart** — a coordinated [`MemCheckpoint`] of the volatile
 //!   partition every `ckpt_period` supersteps. Recovery rolls the whole
 //!   cluster back and re-executes every lost superstep, halo exchanges
 //!   included.
 
 use adcc_ckpt::mem::{MemCheckpoint, MemCheckpointLayout};
+use adcc_ckpt::multilevel::{MultilevelCheckpoint, RemoteStore, RemoteTiming};
 use adcc_sim::clock::Bucket;
 use adcc_sim::parray::{PArray, PScalar};
 use adcc_sim::system::SystemConfig;
 
 use crate::cluster::{Cluster, ClusterConfig};
-use crate::net::NetTiming;
+use crate::grid::GridCfg;
+use crate::net::{FaultProfile, NetTiming};
 use crate::sites;
 use crate::trial::{CrashInfo, DistKernel, Recovery, RecoveryMode};
 
@@ -49,10 +59,17 @@ pub struct StencilConfig {
     pub ckpt_period: u64,
     /// Fabric jitter seed.
     pub net_seed: u64,
+    /// Process-grid topology (must cover exactly `ranks`).
+    pub grid: GridCfg,
+    /// Fabric fault profile injected under the reliable transport.
+    pub faults: FaultProfile,
+    /// Remote checkpoint level for node-loss recovery (AlgorithmDirected
+    /// ships its slots + counter off-node every commit when set).
+    pub remote: Option<RemoteTiming>,
 }
 
 impl StencilConfig {
-    /// The campaign preset: 4 ranks, 10 supersteps, 256 cells.
+    /// The campaign preset: 4 ranks (chain), 10 supersteps, 256 cells.
     pub fn campaign(mode: RecoveryMode) -> Self {
         StencilConfig {
             ranks: 4,
@@ -61,6 +78,28 @@ impl StencilConfig {
             mode,
             ckpt_period: 3,
             net_seed: 0xd157,
+            grid: GridCfg::chain(4),
+            faults: FaultProfile::Off,
+            remote: None,
+        }
+    }
+
+    /// The campaign preset for a fault profile: the chaotic tier moves to
+    /// a 16-rank 4x4 grid with a remote checkpoint level (node-loss
+    /// trials need it); the other tiers keep the 4-rank chain.
+    pub fn campaign_for(mode: RecoveryMode, faults: FaultProfile) -> Self {
+        match faults {
+            FaultProfile::Chaotic => StencilConfig {
+                ranks: 16,
+                grid: GridCfg::grid(4, 4),
+                remote: Some(RemoteTiming::burst_buffer()),
+                faults,
+                ..StencilConfig::campaign(mode)
+            },
+            _ => StencilConfig {
+                faults,
+                ..StencilConfig::campaign(mode)
+            },
         }
     }
 
@@ -73,6 +112,9 @@ impl StencilConfig {
             sys,
             net: NetTiming::cluster_2017(),
             net_seed: self.net_seed,
+            faults: self
+                .faults
+                .plan(self.net_seed ^ crate::net::FAULT_SEED_SALT),
         }
     }
 }
@@ -107,6 +149,9 @@ pub struct DistStencil {
     ck_iters: Vec<PArray<u64>>,
     /// Checkpoint regions per rank.
     regions: Vec<Vec<(u64, usize)>>,
+    /// Per-rank remote checkpoint stores (host-side: they model storage
+    /// *outside* the node, so they survive node loss by construction).
+    remotes: Vec<RemoteStore>,
 }
 
 impl DistStencil {
@@ -119,6 +164,7 @@ impl DistStencil {
             "cells must split evenly"
         );
         assert_eq!(cl.ranks(), cfg.ranks, "cluster/config rank mismatch");
+        cfg.grid.validate(cfg.ranks);
         let m = cfg.cells / cfg.ranks;
         let mut prog = DistStencil {
             m,
@@ -130,20 +176,22 @@ impl DistStencil {
             layouts: Vec::new(),
             ck_iters: Vec::new(),
             regions: Vec::new(),
+            remotes: vec![RemoteStore::new(); cfg.ranks],
             cfg,
         };
         for r in 0..prog.cfg.ranks {
+            let pos = prog.cfg.grid.chain_pos(r);
             let sys = cl.system_mut(r);
             let x = PArray::<f64>::alloc_dram(sys, m + 2);
             let x_new = PArray::<f64>::alloc_dram(sys, m);
             for j in 0..m {
-                x.set(sys, j + 1, initial(r * m + j));
+                x.set(sys, j + 1, initial(pos * m + j));
             }
-            x.set(sys, 0, if r == 0 { LEFT_B } else { 0.0 });
+            x.set(sys, 0, if pos == 0 { LEFT_B } else { 0.0 });
             x.set(
                 sys,
                 m + 1,
-                if r == prog.cfg.ranks - 1 {
+                if pos == prog.cfg.ranks - 1 {
                     RIGHT_B
                 } else {
                     0.0
@@ -169,6 +217,7 @@ impl DistStencil {
                     sys.sfence();
                     prog.slots.push(slots);
                     prog.counters.push(counter);
+                    prog.ship_remote(cl, r, 0);
                 }
                 RecoveryMode::GlobalRestart => {
                     let ck_iter = PArray::<u64>::alloc_dram(sys, 1);
@@ -186,8 +235,35 @@ impl DistStencil {
         prog
     }
 
-    /// Exchange boundary cells into the neighbors' halos (fixed rod
-    /// boundaries on the edge ranks), rank order, then synchronize.
+    /// The failed-rank state the remote level must be able to rebuild:
+    /// both iterate slots plus the persisted counter (AlgorithmDirected).
+    fn remote_regions(&self, r: usize) -> Vec<(u64, usize)> {
+        vec![
+            (self.slots[r][0].base(), self.m * 8),
+            (self.slots[r][1].base(), self.m * 8),
+            (self.counters[r].addr(), 8),
+        ]
+    }
+
+    /// Ship rank `r`'s slots + counter off-node as checkpoint `seq`, when
+    /// a remote level is configured (no-op otherwise, so default runs are
+    /// byte-identical to pre-remote builds).
+    fn ship_remote(&mut self, cl: &mut Cluster, r: usize, seq: u64) {
+        let Some(timing) = self.cfg.remote else {
+            return;
+        };
+        let regions = self.remote_regions(r);
+        MultilevelCheckpoint::ship_to_remote(
+            cl.system_mut(r),
+            &regions,
+            &mut self.remotes[r],
+            timing,
+            seq,
+        );
+    }
+
+    /// Exchange boundary cells into the chain neighbors' halos (fixed rod
+    /// boundaries on the chain's end ranks), rank order, then synchronize.
     fn exchange(&mut self, cl: &mut Cluster) {
         let p = self.cfg.ranks;
         let m = self.m;
@@ -195,22 +271,22 @@ impl DistStencil {
             let sys = cl.system_mut(r);
             let left = self.x[r].get(sys, 1);
             let right = self.x[r].get(sys, m);
-            if r > 0 {
-                cl.send(r, r - 1, &[left]);
+            if let Some(prev) = self.cfg.grid.chain_prev(r) {
+                cl.send(r, prev, &[left]);
             }
-            if r + 1 < p {
-                cl.send(r, r + 1, &[right]);
+            if let Some(next) = self.cfg.grid.chain_next(r) {
+                cl.send(r, next, &[right]);
             }
         }
         for r in 0..p {
-            if r > 0 {
-                let v = cl.recv(r - 1, r)[0];
+            if let Some(prev) = self.cfg.grid.chain_prev(r) {
+                let v = cl.recv(prev, r)[0];
                 self.x[r].set(cl.system_mut(r), 0, v);
             } else {
                 self.x[r].set(cl.system_mut(r), 0, LEFT_B);
             }
-            if r + 1 < p {
-                let v = cl.recv(r + 1, r)[0];
+            if let Some(next) = self.cfg.grid.chain_next(r) {
+                let v = cl.recv(next, r)[0];
                 self.x[r].set(cl.system_mut(r), m + 1, v);
             } else {
                 self.x[r].set(cl.system_mut(r), m + 1, RIGHT_B);
@@ -223,22 +299,21 @@ impl DistStencil {
     /// intact volatile state (the neighbor-assisted reconstruction of the
     /// in-flight superstep's halos).
     fn halo_assist(&mut self, cl: &mut Cluster, rank: usize) {
-        let p = self.cfg.ranks;
         let m = self.m;
-        if rank > 0 {
-            let sys = cl.system_mut(rank - 1);
-            let v = self.x[rank - 1].get(sys, m);
-            cl.send(rank - 1, rank, &[v]);
-            let v = cl.recv(rank - 1, rank)[0];
+        if let Some(prev) = self.cfg.grid.chain_prev(rank) {
+            let sys = cl.system_mut(prev);
+            let v = self.x[prev].get(sys, m);
+            cl.send(prev, rank, &[v]);
+            let v = cl.recv(prev, rank)[0];
             self.x[rank].set(cl.system_mut(rank), 0, v);
         } else {
             self.x[rank].set(cl.system_mut(rank), 0, LEFT_B);
         }
-        if rank + 1 < p {
-            let sys = cl.system_mut(rank + 1);
-            let v = self.x[rank + 1].get(sys, 1);
-            cl.send(rank + 1, rank, &[v]);
-            let v = cl.recv(rank + 1, rank)[0];
+        if let Some(next) = self.cfg.grid.chain_next(rank) {
+            let sys = cl.system_mut(next);
+            let v = self.x[next].get(sys, 1);
+            cl.send(next, rank, &[v]);
+            let v = cl.recv(next, rank)[0];
             self.x[rank].set(cl.system_mut(rank), m + 1, v);
         } else {
             self.x[rank].set(cl.system_mut(rank), m + 1, RIGHT_B);
@@ -247,10 +322,11 @@ impl DistStencil {
 
     /// Reset one rank's partition to the (re-derivable) initial profile.
     fn reinit_rank(&self, cl: &mut Cluster, r: usize) {
+        let pos = self.cfg.grid.chain_pos(r);
         let sys = cl.system_mut(r);
         let prev = sys.clock_mut().set_bucket(Bucket::Resume);
         for j in 0..self.m {
-            self.x[r].set(sys, j + 1, initial(r * self.m + j));
+            self.x[r].set(sys, j + 1, initial(pos * self.m + j));
         }
         self.ck_iters[r].set(sys, 0, 0);
         sys.clock_mut().set_bucket(prev);
@@ -306,6 +382,7 @@ impl DistKernel for DistStencil {
                     self.counters[r].set(sys, iter);
                     self.counters[r].persist(sys);
                     sys.sfence();
+                    self.ship_remote(cl, r, iter);
                 }
                 RecoveryMode::GlobalRestart => {
                     if iter.is_multiple_of(self.cfg.ckpt_period) {
@@ -345,7 +422,33 @@ impl DistKernel for DistStencil {
 
     fn recover(&mut self, cl: &mut Cluster, crash: CrashInfo) -> Recovery {
         let frontier = crash.frontier();
-        cl.reboot_rank(crash.rank, &crash.image);
+        let remote_restore_bytes = if crash.node_loss {
+            // The node took its NVM with it: reboot blank and rebuild the
+            // slots + counter from the remote level before the normal
+            // algorithm-directed restore below reads them.
+            assert!(
+                matches!(self.cfg.mode, RecoveryMode::AlgorithmDirected),
+                "node-loss trials run the algorithm-directed mechanism"
+            );
+            let timing = self
+                .cfg
+                .remote
+                .expect("node-loss trials require a remote level");
+            cl.reboot_rank_lost(crash.rank);
+            let regions = self.remote_regions(crash.rank);
+            let seq = MultilevelCheckpoint::restore_from_remote(
+                cl.system_mut(crash.rank),
+                &regions,
+                &self.remotes[crash.rank],
+                timing,
+            )
+            .expect("the remote level is shipped at setup");
+            debug_assert_eq!(seq, frontier, "the remote ships every commit");
+            self.remotes[crash.rank].bytes() as u64
+        } else {
+            cl.reboot_rank(crash.rank, &crash.image);
+            0
+        };
         match self.cfg.mode {
             RecoveryMode::AlgorithmDirected => {
                 let rank = crash.rank;
@@ -366,7 +469,9 @@ impl DistKernel for DistStencil {
                     self.halo_assist(cl, rank);
                 }
                 cl.barrier();
-                crate::trial::algorithm_directed_plan(&crash)
+                let mut plan = crate::trial::algorithm_directed_plan(&crash);
+                plan.remote_restore_bytes = remote_restore_bytes;
+                plan
             }
             RecoveryMode::GlobalRestart => crate::trial::global_restart_recover(self, cl, &crash),
         }
@@ -374,7 +479,8 @@ impl DistKernel for DistStencil {
 
     fn solution(&self, cl: &Cluster) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.cfg.cells);
-        for r in 0..self.cfg.ranks {
+        for pos in 0..self.cfg.ranks {
+            let r = self.cfg.grid.chain_rank(pos);
             let sys = cl.system(r);
             for j in 0..self.m {
                 out.push(self.x[r].peek(sys, j + 1));
@@ -479,6 +585,66 @@ mod tests {
         // whole cluster re-executed superstep 7.
         assert_eq!(trial.lost_units, 4);
         assert!(!trial.detected);
+    }
+
+    #[test]
+    fn boustrophedon_grid_run_matches_the_serial_host_bitwise() {
+        // A 4x2 grid walks its ranks serpentine; the chunk ownership
+        // reshuffles but the arithmetic (and thus the solution bits) is
+        // the 1-D rod's exactly.
+        let cfg = StencilConfig {
+            ranks: 8,
+            cells: 64,
+            grid: GridCfg::grid(4, 2),
+            ..StencilConfig::campaign(RecoveryMode::AlgorithmDirected)
+        };
+        let mut cl = Cluster::new(cfg.cluster(), None);
+        let mut prog = DistStencil::setup(&mut cl, cfg);
+        let trial = run_dist_trial(&mut cl, &mut prog, false);
+        assert!(trial.completed_clean);
+        assert_eq!(trial.solution, stencil_host(64, 10));
+    }
+
+    #[test]
+    fn chaotic_fabric_perturbs_time_but_never_the_solution() {
+        let cfg = StencilConfig {
+            cells: 64,
+            ..StencilConfig::campaign_for(RecoveryMode::AlgorithmDirected, FaultProfile::Chaotic)
+        };
+        assert_eq!(cfg.ranks, 16, "chaotic tier runs the 16-rank grid");
+        let mut cl = Cluster::new(cfg.cluster(), None);
+        let mut prog = DistStencil::setup(&mut cl, cfg);
+        let trial = run_dist_trial(&mut cl, &mut prog, true);
+        assert!(trial.completed_clean);
+        assert_eq!(trial.solution, stencil_host(64, 10));
+        let p = trial.profile.expect("telemetry on");
+        assert!(p.net_dropped > 0 && p.net_retries > 0, "faults observed");
+    }
+
+    #[test]
+    fn node_loss_recovers_exactly_from_the_remote_level() {
+        use crate::cluster::RankFailure;
+        let cfg = StencilConfig {
+            cells: 64,
+            remote: Some(adcc_ckpt::multilevel::RemoteTiming::burst_buffer()),
+            ..StencilConfig::campaign(RecoveryMode::AlgorithmDirected)
+        };
+        let reference = stencil_host(64, 10);
+        for (rank, phase, iter) in [(1, sites::PH_END, 7), (2, sites::PH_MID, 4)] {
+            let failure = RankFailure::node_loss(rank, site_trigger(phase, iter));
+            let mut cl = Cluster::new_multi(cfg.cluster(), &[failure]);
+            let mut prog = DistStencil::setup(&mut cl, cfg.clone());
+            let trial = run_dist_trial(&mut cl, &mut prog, true);
+            assert!(!trial.completed_clean);
+            assert_eq!(trial.solution, reference, "rank {rank} iter {iter}");
+            assert_eq!(trial.lost_units, 0, "the remote ships every commit");
+            assert!(
+                trial.remote_restore_bytes > 0,
+                "recovery pulled the remote payload"
+            );
+            let p = trial.profile.expect("telemetry on");
+            assert_eq!(p.remote_restore_bytes, trial.remote_restore_bytes);
+        }
     }
 
     #[test]

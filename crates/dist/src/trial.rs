@@ -44,6 +44,9 @@ pub struct CrashInfo {
     pub site: CrashSite,
     /// The failed rank's surviving NVM bytes.
     pub image: NvmImage,
+    /// Whole-node loss: the NVM in `image` went down with the node and
+    /// recovery must *not* read it (restore from a remote store instead).
+    pub node_loss: bool,
 }
 
 impl CrashInfo {
@@ -75,6 +78,9 @@ pub struct Recovery {
     /// recovery already reconstructed the failed rank's halos/segments and
     /// the survivors' volatile copies are still valid).
     pub resume_exchange: bool,
+    /// Payload bytes pulled from a remote checkpoint store (node-loss
+    /// recoveries only; zero when the local NVM image sufficed).
+    pub remote_restore_bytes: u64,
 }
 
 /// One distributed kernel under one persistence/recovery mode. Drivers
@@ -139,6 +145,7 @@ pub fn poll_phase(cl: &mut Cluster, phase: u32, iter: u64) -> Option<CrashInfo> 
                 iter,
                 site,
                 image: cl.crash_rank(rank),
+                node_loss: cl.node_loss(rank),
             });
         }
     }
@@ -183,6 +190,7 @@ pub fn algorithm_directed_plan(crash: &CrashInfo) -> Recovery {
             lost_units: 0,
             resume_iter: crash.iter,
             resume_exchange: false,
+            remote_restore_bytes: 0,
         }
     } else {
         Recovery {
@@ -190,6 +198,7 @@ pub fn algorithm_directed_plan(crash: &CrashInfo) -> Recovery {
             lost_units: 0,
             resume_iter: crash.iter + 1,
             resume_exchange: true,
+            remote_restore_bytes: 0,
         }
     }
 }
@@ -236,6 +245,11 @@ pub fn coordinated_restore(
 /// (the kernel's [`DistKernel::restart_rollback`] hook), then
 /// cluster-wide re-execution — full exchanges included, which is exactly
 /// the recovery traffic this mode pays — back to the pre-crash frontier.
+///
+/// Re-execution polls the same sites the lost forward window did, so a
+/// *second* armed failure can land mid-recovery. It is recovered
+/// recursively — each armed trigger fires at most once, so the cascade
+/// terminates — and its costs fold into the returned plan.
 pub fn global_restart_recover<K: DistKernel + ?Sized>(
     kernel: &mut K,
     cl: &mut Cluster,
@@ -245,16 +259,32 @@ pub fn global_restart_recover<K: DistKernel + ?Sized>(
     let ranks = cl.ranks() as u64;
     let (detected, cc) = kernel.restart_rollback(cl, crash.rank);
     debug_assert!(cc <= frontier);
-    for k in cc + 1..=frontier {
-        let again = run_superstep(kernel, cl, k, true);
-        debug_assert!(again.is_none(), "re-execution cannot crash");
-    }
-    Recovery {
+    let mut rec = Recovery {
         detected,
         lost_units: (frontier - cc) * ranks,
         resume_iter: frontier + 1,
         resume_exchange: true,
+        remote_restore_bytes: 0,
+    };
+    let mut k = cc + 1;
+    let mut exchange = true;
+    while k <= frontier {
+        match run_superstep(kernel, cl, k, exchange) {
+            None => {
+                k += 1;
+                exchange = true;
+            }
+            Some(again) => {
+                let inner = kernel.recover(cl, again);
+                rec.detected |= inner.detected;
+                rec.lost_units += inner.lost_units;
+                rec.remote_restore_bytes += inner.remote_restore_bytes;
+                k = inner.resume_iter;
+                exchange = inner.resume_exchange;
+            }
+        }
     }
+    rec
 }
 
 /// Outcome facts of one distributed trial, classified by the campaign.
@@ -278,6 +308,9 @@ pub struct DistTrial {
     /// Fabric payload bytes sent inside the recovery window — the
     /// headline cost the two recovery modes are compared on.
     pub recovery_net_bytes: u64,
+    /// Payload bytes pulled from a remote checkpoint store to rebuild a
+    /// rank whose NVM went down with its node (zero otherwise).
+    pub remote_restore_bytes: u64,
     /// Per-rank forward-execution profiles rolled into one cluster total
     /// (present when the trial ran with telemetry), with
     /// `recovery_net_bytes` and the failed rank's dirty residency attached.
@@ -294,9 +327,11 @@ fn roll_up(probes: &[Probe], cl: &Cluster) -> ExecutionProfile {
 }
 
 /// Drive one distributed trial: forward supersteps until completion or the
-/// armed crash, then recovery and resume. Telemetry probes are passive
-/// counter snapshots, so the `telemetry` flag never changes the simulated
-/// execution.
+/// first armed crash, then recovery and resume — looping, because with a
+/// failure *set* armed a second crash can land in the resumed tail (or,
+/// via [`global_restart_recover`], inside recovery itself). Telemetry
+/// probes are passive counter snapshots, so the `telemetry` flag never
+/// changes the simulated execution.
 pub fn run_dist_trial<K: DistKernel>(
     cl: &mut Cluster,
     kernel: &mut K,
@@ -315,7 +350,7 @@ pub fn run_dist_trial<K: DistKernel>(
             break;
         }
     }
-    let Some(crash) = crash else {
+    let Some(first) = crash else {
         return DistTrial {
             solution: kernel.solution(cl),
             completed_clean: true,
@@ -324,37 +359,64 @@ pub fn run_dist_trial<K: DistKernel>(
             sim_time_ps: 0,
             recovery_net_msgs: 0,
             recovery_net_bytes: 0,
+            remote_restore_bytes: 0,
             profile: probes.map(|p| roll_up(&p, cl)),
         };
     };
 
-    // The forward window ends at the crash instant: counters survive the
-    // crash, and the failed rank's system is still the crashed one (its
-    // replacement happens inside `recover`).
-    let dirty_lines = crash.image.dirty_lines_at_crash();
+    // The forward window ends at the first crash instant: counters survive
+    // the crash, and the failed rank's system is still the crashed one
+    // (its replacement happens inside `recover`).
+    let dirty_lines = first.image.dirty_lines_at_crash();
     let forward = probes.map(|p| roll_up(&p, cl).with_dirty_lines(dirty_lines));
 
-    let traffic_before = cl.traffic();
-    let now_before = cl.max_now_ps();
-    let recovery = kernel.recover(cl, crash);
-    let rec_traffic = cl.traffic().since(&traffic_before);
-    let sim_time_ps = cl.max_now_ps() - now_before;
+    let mut detected = false;
+    let mut lost_units = 0u64;
+    let mut remote_restore_bytes = 0u64;
+    let mut recovery_msgs = 0u64;
+    let mut recovery_bytes = 0u64;
+    let mut sim_time_ps = 0u64;
+    let mut pending = Some(first);
+    while let Some(c) = pending.take() {
+        let traffic_before = cl.traffic();
+        let now_before = cl.max_now_ps();
+        let recovery = kernel.recover(cl, c);
+        let w = cl.traffic().since(&traffic_before);
+        recovery_msgs += w.msgs;
+        recovery_bytes += w.bytes;
+        // Saturating: a reboot discards the crashed rank's clock, so when
+        // that rank had run ahead of every survivor the frontier itself
+        // steps back across the recovery window.
+        sim_time_ps += cl.max_now_ps().saturating_sub(now_before);
+        detected |= recovery.detected;
+        lost_units += recovery.lost_units;
+        remote_restore_bytes += recovery.remote_restore_bytes;
 
-    for iter in recovery.resume_iter..=iters {
-        let exchange = iter != recovery.resume_iter || recovery.resume_exchange;
-        let again = run_superstep(kernel, cl, iter, exchange);
-        debug_assert!(again.is_none(), "a fired trigger cannot fire again");
+        for iter in recovery.resume_iter..=iters {
+            let exchange = iter != recovery.resume_iter || recovery.resume_exchange;
+            if let Some(next) = run_superstep(kernel, cl, iter, exchange) {
+                // A cascading failure in the resumed tail: loop back into
+                // recovery (each armed trigger fires at most once, so the
+                // cascade terminates).
+                pending = Some(next);
+                break;
+            }
+        }
     }
 
     DistTrial {
         solution: kernel.solution(cl),
         completed_clean: false,
-        detected: recovery.detected,
-        lost_units: recovery.lost_units,
+        detected,
+        lost_units,
         sim_time_ps,
-        recovery_net_msgs: rec_traffic.msgs,
-        recovery_net_bytes: rec_traffic.bytes,
-        profile: forward.map(|p| p.with_recovery_net_bytes(rec_traffic.bytes)),
+        recovery_net_msgs: recovery_msgs,
+        recovery_net_bytes: recovery_bytes,
+        remote_restore_bytes,
+        profile: forward.map(|p| {
+            p.with_recovery_net_bytes(recovery_bytes)
+                .with_remote_restore_bytes(remote_restore_bytes)
+        }),
     }
 }
 
@@ -518,6 +580,7 @@ pub fn run_dist_batch<K: DistKernel + Clone>(
             sim_time_ps: 0,
             recovery_net_msgs: 0,
             recovery_net_bytes: 0,
+            remote_restore_bytes: 0,
             profile: probes.as_ref().map(|p| roll_up(p, cl)),
         };
         for unit in clean {
@@ -603,12 +666,15 @@ fn replay_recovery<K: DistKernel + Clone>(
         iter,
         site,
         image: image.materialize(),
+        node_loss: cl.node_loss(rank),
     };
     let traffic_before = cl.traffic();
     let now_before = cl.max_now_ps();
     let recovery = kernel.recover(&mut cl, crash);
     let rec_traffic = cl.traffic().since(&traffic_before);
-    let sim_time_ps = cl.max_now_ps() - now_before;
+    // Saturating, matching `run_dist_trial`: rebooting a rank that ran
+    // ahead of every survivor steps the frontier back.
+    let sim_time_ps = cl.max_now_ps().saturating_sub(now_before);
 
     let iters = kernel.iters();
     // Entry-state short-circuit: when recovery lands exactly on a
@@ -643,6 +709,10 @@ fn replay_recovery<K: DistKernel + Clone>(
         sim_time_ps,
         recovery_net_msgs: rec_traffic.msgs,
         recovery_net_bytes: rec_traffic.bytes,
-        profile: forward.map(|p| p.with_recovery_net_bytes(rec_traffic.bytes)),
+        remote_restore_bytes: recovery.remote_restore_bytes,
+        profile: forward.map(|p| {
+            p.with_recovery_net_bytes(rec_traffic.bytes)
+                .with_remote_restore_bytes(recovery.remote_restore_bytes)
+        }),
     }
 }

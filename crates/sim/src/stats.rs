@@ -60,6 +60,17 @@ pub struct MemStats {
     pub net_msgs_sent: u64,
     /// Fabric payload bytes sent by this rank.
     pub net_bytes_sent: u64,
+    /// Fabric send attempts lost to injected faults (each one implies a
+    /// retransmission charged on this rank's clock).
+    pub net_dropped: u64,
+    /// Fabric messages spuriously duplicated by injected faults (the
+    /// duplicate transmit is charged here; delivery stays exactly-once).
+    pub net_duplicated: u64,
+    /// Fabric messages delayed out of their nominal delivery order by
+    /// injected faults (resequencing latency lands on the receiver).
+    pub net_reordered: u64,
+    /// Retransmissions this rank performed to mask dropped attempts.
+    pub net_retries: u64,
 }
 
 impl MemStats {

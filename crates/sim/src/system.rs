@@ -707,6 +707,28 @@ impl MemorySystem {
         self.clock.charge_to(Bucket::Network, ps);
     }
 
+    /// Charge the cost of masking injected fabric faults on this rank:
+    /// `dropped` lost attempts retransmitted (`retries` of them), one
+    /// spurious `duplicated` transmit, a message marked `reordered`, and
+    /// `ps` of network time covering the extra wire work. The fabric's
+    /// fault plan computes the counts and the time; the memory system only
+    /// records them (multi-rank executions, `adcc::dist`).
+    #[inline]
+    pub fn charge_net_faults(
+        &mut self,
+        dropped: u64,
+        duplicated: u64,
+        reordered: u64,
+        retries: u64,
+        ps: u64,
+    ) {
+        self.stats.net_dropped += dropped;
+        self.stats.net_duplicated += duplicated;
+        self.stats.net_reordered += reordered;
+        self.stats.net_retries += retries;
+        self.clock.charge_to(Bucket::Network, ps);
+    }
+
     /// The simulated clock.
     pub fn clock(&self) -> &SimClock {
         &self.clock

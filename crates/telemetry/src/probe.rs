@@ -73,6 +73,11 @@ impl Probe {
             log_meta_bytes: 0,
             ds_ops_applied: 0,
             ds_ops_replayed: 0,
+            net_dropped: now.net_dropped - start.net_dropped,
+            net_duplicated: now.net_duplicated - start.net_duplicated,
+            net_reordered: now.net_reordered - start.net_reordered,
+            net_retries: now.net_retries - start.net_retries,
+            remote_restore_bytes: 0,
         }
     }
 }

@@ -83,6 +83,20 @@ pub struct ExecutionProfile {
     /// structure to reach the end of the op stream (zero for completed
     /// runs). Filled by the ds trial driver.
     pub ds_ops_replayed: u64,
+    /// Fabric send attempts lost to injected faults in the window (each
+    /// implies a retransmission; zero on reliable fabrics).
+    pub net_dropped: u64,
+    /// Fabric messages spuriously duplicated by injected faults.
+    pub net_duplicated: u64,
+    /// Fabric messages delivered out of their nominal order by injected
+    /// faults (resequenced by the transport before the program saw them).
+    pub net_reordered: u64,
+    /// Retransmissions performed to mask dropped attempts.
+    pub net_retries: u64,
+    /// Payload bytes pulled from a remote checkpoint store to rebuild a
+    /// rank whose local NVM image was unrecoverable (node loss). Filled by
+    /// the dist trial driver, not by probes.
+    pub remote_restore_bytes: u64,
 }
 
 impl ExecutionProfile {
@@ -160,6 +174,13 @@ impl ExecutionProfile {
         self
     }
 
+    /// Attach the remote-checkpoint bytes a node-loss recovery pulled to
+    /// rebuild a rank with no usable local NVM image.
+    pub fn with_remote_restore_bytes(mut self, bytes: u64) -> Self {
+        self.remote_restore_bytes = bytes;
+        self
+    }
+
     /// Field-wise accumulation (per-scenario aggregation over trials).
     pub fn merge(&mut self, other: &ExecutionProfile) {
         self.clflushes += other.clflushes;
@@ -186,6 +207,11 @@ impl ExecutionProfile {
         self.log_meta_bytes += other.log_meta_bytes;
         self.ds_ops_applied += other.ds_ops_applied;
         self.ds_ops_replayed += other.ds_ops_replayed;
+        self.net_dropped += other.net_dropped;
+        self.net_duplicated += other.net_duplicated;
+        self.net_reordered += other.net_reordered;
+        self.net_retries += other.net_retries;
+        self.remote_restore_bytes += other.remote_restore_bytes;
     }
 }
 
@@ -238,6 +264,11 @@ mod tests {
             log_meta_bytes: 10,
             ds_ops_applied: 11,
             ds_ops_replayed: 12,
+            net_dropped: 13,
+            net_duplicated: 14,
+            net_reordered: 15,
+            net_retries: 16,
+            remote_restore_bytes: 17,
             ..Default::default()
         };
         let b = a;
@@ -254,5 +285,10 @@ mod tests {
         assert_eq!(a.log_meta_bytes, 20);
         assert_eq!(a.ds_ops_applied, 22);
         assert_eq!(a.ds_ops_replayed, 24);
+        assert_eq!(a.net_dropped, 26);
+        assert_eq!(a.net_duplicated, 28);
+        assert_eq!(a.net_reordered, 30);
+        assert_eq!(a.net_retries, 32);
+        assert_eq!(a.remote_restore_bytes, 34);
     }
 }

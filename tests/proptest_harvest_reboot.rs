@@ -136,6 +136,7 @@ fn cluster_cfg() -> ClusterConfig {
         sys: SystemConfig::nvm_only(4 << 10, 1 << 16),
         net: NetTiming::cluster_2017(),
         net_seed: 42,
+        faults: adcc::dist::net::FaultPlan::none(),
     }
 }
 

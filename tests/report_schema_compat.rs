@@ -1,17 +1,21 @@
 //! Report-schema compatibility: the committed fixtures for every schema
-//! generation (`adcc-campaign-report/v1` through `/v4`) must stay
+//! generation (`adcc-campaign-report/v1` through `/v5`) must stay
 //! parseable by everything `campaign replay`, `campaign merge`, and
 //! `campaign compare` use, and the current telemetry block must survive a
 //! full JSON round-trip bit-for-bit.
 
 use adcc::campaign::engine::{run_campaign, CampaignConfig};
-use adcc::campaign::report::{compare, CampaignReport, SCHEMA, SCHEMA_V1, SCHEMA_V2, SCHEMA_V3};
+use adcc::campaign::report::{
+    compare, CampaignReport, SCHEMA, SCHEMA_V1, SCHEMA_V2, SCHEMA_V3, SCHEMA_V4,
+};
 use adcc::campaign::scenario::Registry;
+use adcc::dist::net::FaultProfile;
 
 const V1_FIXTURE: &str = include_str!("fixtures/campaign-report-v1.json");
 const V2_FIXTURE: &str = include_str!("fixtures/campaign-report-v2.json");
 const V3_FIXTURE: &str = include_str!("fixtures/campaign-report-v3.json");
 const V4_FIXTURE: &str = include_str!("fixtures/campaign-report-v4.json");
+const V5_FIXTURE: &str = include_str!("fixtures/campaign-report-v5.json");
 
 fn v2_config() -> CampaignConfig {
     CampaignConfig {
@@ -120,11 +124,13 @@ fn v3_fixture_still_parses_and_upgrades_cleanly() {
 }
 
 #[test]
-fn v4_fixture_parses_and_roundtrips_bit_for_bit() {
+fn v4_fixture_still_parses_and_upgrades_cleanly() {
     // The v4 generation: named registry headers (`ds` here) plus the
-    // op-replay and undo-log-metadata telemetry keys. It is the current
-    // schema, so parse → emit must be byte-identical.
-    assert!(V4_FIXTURE.contains(SCHEMA));
+    // op-replay and undo-log-metadata telemetry keys, but no fault-profile
+    // header or `net_dropped`-family keys (they default to off / zero).
+    assert!(V4_FIXTURE.contains(SCHEMA_V4));
+    assert!(!V4_FIXTURE.contains("\"faults\""));
+    assert!(!V4_FIXTURE.contains("net_dropped"));
     let report = CampaignReport::parse(V4_FIXTURE).expect("v4 fixture must stay readable");
     assert_eq!(
         report.registry,
@@ -132,11 +138,57 @@ fn v4_fixture_parses_and_roundtrips_bit_for_bit() {
         "v4 fixture sweeps the persistent data-structure registry"
     );
     assert!(report.shard.is_none());
-    let t = report.telemetry.expect("v4 fixture carries telemetry");
+    assert_eq!(report.faults, FaultProfile::Off);
+    let t = report
+        .telemetry
+        .as_ref()
+        .expect("v4 fixture carries telemetry");
     assert!(t.ds_ops_applied > 0, "ds campaigns count applied ops");
     assert!(t.ds_ops_replayed > 0, "crash trials replay op suffixes");
     assert!(t.log_meta_appends > 0, "undo transactions append metadata");
-    assert_eq!(report.to_string_pretty(), V4_FIXTURE);
+    assert_eq!(t.net_dropped, 0);
+    assert_eq!(t.net_retries, 0);
+    assert_eq!(t.remote_restore_bytes, 0);
+    // Re-emission upgrades to v5 (adding the zero-valued fault keys, but
+    // no `faults` header — the profile was off) and parses back to the
+    // same report.
+    let upgraded = report.to_string_pretty();
+    assert!(upgraded.contains(SCHEMA) && !upgraded.contains(SCHEMA_V4));
+    assert!(!upgraded.contains("\"faults\""));
+    let reparsed = CampaignReport::parse(&upgraded).unwrap();
+    assert_eq!(reparsed, report);
+    assert_eq!(reparsed.canonical_string(), report.canonical_string());
+}
+
+#[test]
+fn v5_fixture_parses_and_roundtrips_bit_for_bit() {
+    // The v5 generation: a `faults` header naming the fabric fault profile
+    // plus the injected-fault telemetry keys (`net_dropped`, `net_reordered`,
+    // `net_duplicated`, `net_retries`, `remote_restore_bytes`). It is the
+    // current schema, so parse → emit must be byte-identical.
+    assert!(V5_FIXTURE.contains(SCHEMA));
+    let report = CampaignReport::parse(V5_FIXTURE).expect("v5 fixture must stay readable");
+    assert_eq!(
+        report.registry,
+        Registry::Dist,
+        "v5 fixture sweeps the distributed registry"
+    );
+    assert_eq!(
+        report.faults,
+        FaultProfile::Lossy,
+        "v5 fixture ran under the lossy fabric profile"
+    );
+    let t = report
+        .telemetry
+        .as_ref()
+        .expect("v5 fixture carries telemetry");
+    assert!(t.net_dropped > 0, "the lossy fabric drops transmits");
+    assert!(t.net_retries > 0, "every drop forces a retransmission");
+    assert_eq!(
+        report.totals.silent_corruption, 0,
+        "fabric faults never corrupt results silently"
+    );
+    assert_eq!(report.to_string_pretty(), V5_FIXTURE);
 }
 
 #[test]
@@ -146,6 +198,7 @@ fn every_fixture_generation_parses() {
         ("v2", V2_FIXTURE),
         ("v3", V3_FIXTURE),
         ("v4", V4_FIXTURE),
+        ("v5", V5_FIXTURE),
     ] {
         let report = CampaignReport::parse(text)
             .unwrap_or_else(|e| panic!("{name} fixture must parse: {e}"));
