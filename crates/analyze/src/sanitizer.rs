@@ -1,0 +1,579 @@
+//! Layer 1: the persistency sanitizer.
+//!
+//! Replays a recorded persistency event stream (see `adcc_sim::events`)
+//! through a per-line state machine and reports two kinds of results:
+//!
+//! - **Protocol diagnostics** ([`Analysis::protocol`]): violations of the
+//!   declared persist protocol visible in the *completed* forward
+//!   execution — a store never persisted, a flush never fenced, a flush of
+//!   a clean line, a publish fenced ahead of its payload. A clean protocol
+//!   yields zero of these; CI gates on it.
+//! - **Crash facts** ([`Analysis::at_crashes`]): for every harvested crash
+//!   point, which tracked lines were dirty or flushed-but-unfenced at that
+//!   instant. Crash injection *explores* such states on purpose, so facts
+//!   are not bugs — they are the evidence triage (layer 2) matches against
+//!   inferred invariants to explain failing trials.
+//!
+//! The state machine tracks the *protocol's* ordering claims, not media
+//! ground truth: a dirty line may well be durable already via cache
+//! eviction. That asymmetry is safe for protocol checking — a protocol
+//! that relies on eviction for durability is exactly the bug the paper's
+//! motivating pitfall describes.
+
+use adcc_sim::events::{Event, EventKind};
+use std::collections::BTreeMap;
+
+/// Diagnostic categories, in the pmemcheck/PMTest tradition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Category {
+    /// A tracked store was never flushed before the end of the run (or
+    /// was still dirty at a crash point, for crash facts).
+    UnpersistedStore,
+    /// A flush was issued but no fence ordered it before the run ended
+    /// (or before the crash point): the publish window is open.
+    MissingFence,
+    /// A flush targeted a line with no store since its last fence —
+    /// wasted persist bandwidth, or (seeded mutants) a flush aimed at the
+    /// wrong line.
+    RedundantFlush,
+    /// A publishing store (`Role::Publish`) was made durable by a fence
+    /// while an older same-group payload store was still unpersisted:
+    /// recovery can observe the tag without the data it guards.
+    OrderingRace,
+}
+
+impl Category {
+    /// Stable kebab-case name used in reports and CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::UnpersistedStore => "unpersisted-store",
+            Category::MissingFence => "missing-fence",
+            Category::RedundantFlush => "redundant-flush",
+            Category::OrderingRace => "ordering-race",
+        }
+    }
+}
+
+/// How a region's stores participate in publish ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Plain data: other stores may depend on it being durable first.
+    Payload,
+    /// A publishing location (a tag, head pointer, or commit flag): once
+    /// durable, recovery trusts the same-group payload to be durable too.
+    Publish,
+}
+
+/// Which protocol checks apply to a region.
+///
+/// Not every region obeys every rule by design — e.g. a baseline
+/// (checkpoint-watermark) mechanism legally leaves post-watermark stores
+/// dirty at the end of a window — so each check is opt-out per region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checks {
+    /// Flag lines still dirty when the stream ends.
+    pub end_dirty: bool,
+    /// Flag lines flushed but never fenced when the stream ends.
+    pub missing_fence: bool,
+    /// Flag flushes of lines with no store since the last fence.
+    pub redundant_flush: bool,
+    /// Flag publish fences that overtake older same-group payload stores.
+    pub ordering_race: bool,
+}
+
+impl Checks {
+    /// Every check enabled.
+    pub const ALL: Checks = Checks {
+        end_dirty: true,
+        missing_fence: true,
+        redundant_flush: true,
+        ordering_race: true,
+    };
+
+    /// Every check disabled (the region is tracked for crash facts only).
+    pub const NONE: Checks = Checks {
+        end_dirty: false,
+        missing_fence: false,
+        redundant_flush: false,
+        ordering_race: false,
+    };
+}
+
+/// A declared protocol region: a named line range with a role and a set
+/// of enabled checks. Regions must not overlap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Allocation name carried into diagnostics (e.g. `ds/alloc-head`).
+    pub name: String,
+    /// Ordering group: `Publish` regions race only against `Payload`
+    /// regions of the same group.
+    pub group: u32,
+    /// First line of the region.
+    pub first_line: u64,
+    /// Number of lines.
+    pub line_count: u64,
+    /// Publish/payload role.
+    pub role: Role,
+    /// Enabled protocol checks.
+    pub checks: Checks,
+}
+
+impl Region {
+    /// Region covering every line of `[addr, addr + len)`.
+    pub fn from_range(
+        name: &str,
+        addr: u64,
+        len: usize,
+        role: Role,
+        group: u32,
+        checks: Checks,
+    ) -> Region {
+        let first_line = addr >> adcc_sim::line::LINE_SHIFT;
+        let last_line = (addr + len.max(1) as u64 - 1) >> adcc_sim::line::LINE_SHIFT;
+        Region {
+            name: name.to_string(),
+            group,
+            first_line,
+            line_count: last_line - first_line + 1,
+            role,
+            checks,
+        }
+    }
+
+    /// Whether `line` falls inside this region.
+    #[inline]
+    pub fn covers(&self, line: u64) -> bool {
+        line >= self.first_line && line < self.first_line + self.line_count
+    }
+}
+
+/// One sanitizer finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// What kind of violation.
+    pub category: Category,
+    /// The declared region (allocation) the line belongs to.
+    pub region: String,
+    /// The offending line.
+    pub line: u64,
+    /// Event index opening the window (e.g. the unpersisted store).
+    pub first_event: u64,
+    /// Event index closing the window (e.g. the fence or crash mark).
+    pub last_event: u64,
+    /// Journal epoch of the opening event.
+    pub epoch: u64,
+}
+
+/// The sanitizer's full output for one recorded execution.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    /// Protocol violations of the completed execution (clean tree: empty).
+    pub protocol: Vec<Diagnostic>,
+    /// Per-harvested-unit crash facts: tracked lines dirty or
+    /// flushed-but-unfenced at that crash point.
+    pub at_crashes: BTreeMap<u64, Vec<Diagnostic>>,
+}
+
+#[derive(Clone, Copy)]
+enum LineState {
+    Clean,
+    /// Stored, not yet flushed. Keeps the *first* store of the dirty
+    /// window so diagnostics point at the opening event.
+    Dirty {
+        store_seq: u64,
+        epoch: u64,
+    },
+    /// Flushed, not yet fenced.
+    Flushed {
+        store_seq: u64,
+        epoch: u64,
+    },
+}
+
+struct Tracker<'a> {
+    regions: &'a [Region],
+    /// line -> (region index, state)
+    lines: BTreeMap<u64, (usize, LineState)>,
+}
+
+impl<'a> Tracker<'a> {
+    fn new(regions: &'a [Region]) -> Self {
+        Tracker {
+            regions,
+            lines: BTreeMap::new(),
+        }
+    }
+
+    fn region_of(&self, line: u64) -> Option<usize> {
+        self.regions.iter().position(|r| r.covers(line))
+    }
+
+    fn state_mut(&mut self, line: u64) -> Option<&mut (usize, LineState)> {
+        if !self.lines.contains_key(&line) {
+            let ri = self.region_of(line)?;
+            self.lines.insert(line, (ri, LineState::Clean));
+        }
+        self.lines.get_mut(&line)
+    }
+}
+
+/// Run the sanitizer over one recorded event stream.
+///
+/// `regions` declares the protocol's tracked allocations; events on lines
+/// outside every region are ignored (the recorder normally filters these
+/// already). Returns protocol diagnostics plus per-crash-point facts.
+pub fn analyze(events: &[Event], regions: &[Region]) -> Analysis {
+    let mut t = Tracker::new(regions);
+    let mut out = Analysis::default();
+
+    for ev in events {
+        match ev.kind {
+            EventKind::Store { line } => {
+                if let Some((_, st)) = t.state_mut(line) {
+                    match *st {
+                        // Keep the first store of an open dirty window.
+                        LineState::Dirty { .. } => {}
+                        _ => {
+                            *st = LineState::Dirty {
+                                store_seq: ev.seq,
+                                epoch: ev.epoch,
+                            }
+                        }
+                    }
+                }
+            }
+            EventKind::Flush { line } | EventKind::FlushBatched { line } => {
+                let Some(&(ri, st)) = t.state_mut(line).map(|e| &*e) else {
+                    continue;
+                };
+                match st {
+                    LineState::Clean => {
+                        let r = &regions[ri];
+                        if r.checks.redundant_flush {
+                            out.protocol.push(Diagnostic {
+                                category: Category::RedundantFlush,
+                                region: r.name.clone(),
+                                line,
+                                first_event: ev.seq,
+                                last_event: ev.seq,
+                                epoch: ev.epoch,
+                            });
+                        }
+                    }
+                    LineState::Dirty { store_seq, epoch } => {
+                        t.lines
+                            .insert(line, (ri, LineState::Flushed { store_seq, epoch }));
+                    }
+                    // Double flush before the fence: keep the original
+                    // store attribution.
+                    LineState::Flushed { .. } => {}
+                }
+            }
+            EventKind::Fence => {
+                // Publish ordering: a Publish-role line made durable by
+                // this fence must not overtake an older, still-dirty
+                // same-group Payload store.
+                let mut races: Vec<Diagnostic> = Vec::new();
+                for (&line, &(ri, st)) in &t.lines {
+                    let LineState::Flushed { store_seq, epoch } = st else {
+                        continue;
+                    };
+                    let r = &t.regions[ri];
+                    if r.role != Role::Publish || !r.checks.ordering_race {
+                        continue;
+                    }
+                    for (&_pl, &(pri, pst)) in &t.lines {
+                        let LineState::Dirty {
+                            store_seq: payload_seq,
+                            ..
+                        } = pst
+                        else {
+                            continue;
+                        };
+                        let pr = &t.regions[pri];
+                        if pr.role == Role::Payload
+                            && pr.group == r.group
+                            && payload_seq < store_seq
+                        {
+                            races.push(Diagnostic {
+                                category: Category::OrderingRace,
+                                region: r.name.clone(),
+                                line,
+                                first_event: payload_seq,
+                                last_event: ev.seq,
+                                epoch,
+                            });
+                            break; // one race per published line per fence
+                        }
+                    }
+                }
+                out.protocol.append(&mut races);
+                // The fence retires every flushed line.
+                for (_, st) in t.lines.values_mut() {
+                    if matches!(st, LineState::Flushed { .. }) {
+                        *st = LineState::Clean;
+                    }
+                }
+            }
+            EventKind::Crash { unit } => {
+                let mut facts: Vec<Diagnostic> = Vec::new();
+                for (&line, &(ri, st)) in &t.lines {
+                    let r = &t.regions[ri];
+                    match st {
+                        LineState::Clean => {}
+                        LineState::Dirty { store_seq, epoch } => facts.push(Diagnostic {
+                            category: Category::UnpersistedStore,
+                            region: r.name.clone(),
+                            line,
+                            first_event: store_seq,
+                            last_event: ev.seq,
+                            epoch,
+                        }),
+                        LineState::Flushed { store_seq, epoch } => facts.push(Diagnostic {
+                            category: Category::MissingFence,
+                            region: r.name.clone(),
+                            line,
+                            first_event: store_seq,
+                            last_event: ev.seq,
+                            epoch,
+                        }),
+                    }
+                }
+                out.at_crashes.insert(unit, facts);
+            }
+        }
+    }
+
+    // End of stream: protocol-level windows still open.
+    let end_seq = events.len() as u64;
+    for (&line, &(ri, st)) in &t.lines {
+        let r = &t.regions[ri];
+        match st {
+            LineState::Clean => {}
+            LineState::Dirty { store_seq, epoch } => {
+                if r.checks.end_dirty {
+                    out.protocol.push(Diagnostic {
+                        category: Category::UnpersistedStore,
+                        region: r.name.clone(),
+                        line,
+                        first_event: store_seq,
+                        last_event: end_seq,
+                        epoch,
+                    });
+                }
+            }
+            LineState::Flushed { store_seq, epoch } => {
+                if r.checks.missing_fence {
+                    out.protocol.push(Diagnostic {
+                        category: Category::MissingFence,
+                        region: r.name.clone(),
+                        line,
+                        first_event: store_seq,
+                        last_event: end_seq,
+                        epoch,
+                    });
+                }
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, kind: EventKind) -> Event {
+        Event {
+            seq,
+            epoch: 1,
+            kind,
+        }
+    }
+
+    fn payload(name: &str, first_line: u64, lines: u64) -> Region {
+        Region {
+            name: name.into(),
+            group: 0,
+            first_line,
+            line_count: lines,
+            role: Role::Payload,
+            checks: Checks::ALL,
+        }
+    }
+
+    fn publish(name: &str, first_line: u64) -> Region {
+        Region {
+            role: Role::Publish,
+            ..payload(name, first_line, 1)
+        }
+    }
+
+    #[test]
+    fn clean_store_flush_fence_yields_nothing() {
+        let events = [
+            ev(0, EventKind::Store { line: 10 }),
+            ev(1, EventKind::Flush { line: 10 }),
+            ev(2, EventKind::Fence),
+        ];
+        let a = analyze(&events, &[payload("p", 10, 1)]);
+        assert!(a.protocol.is_empty(), "{:?}", a.protocol);
+        assert!(a.at_crashes.is_empty());
+    }
+
+    #[test]
+    fn unflushed_store_is_unpersisted_at_end() {
+        let events = [ev(0, EventKind::Store { line: 10 })];
+        let a = analyze(&events, &[payload("p", 10, 1)]);
+        assert_eq!(a.protocol.len(), 1);
+        let d = &a.protocol[0];
+        assert_eq!(d.category, Category::UnpersistedStore);
+        assert_eq!(d.region, "p");
+        assert_eq!(d.line, 10);
+        assert_eq!((d.first_event, d.last_event), (0, 1));
+    }
+
+    #[test]
+    fn flush_without_fence_is_missing_fence() {
+        let events = [
+            ev(0, EventKind::Store { line: 10 }),
+            ev(1, EventKind::Flush { line: 10 }),
+        ];
+        let a = analyze(&events, &[payload("p", 10, 1)]);
+        assert_eq!(a.protocol.len(), 1);
+        assert_eq!(a.protocol[0].category, Category::MissingFence);
+    }
+
+    #[test]
+    fn flush_of_clean_line_is_redundant() {
+        let events = [
+            ev(0, EventKind::Store { line: 10 }),
+            ev(1, EventKind::Flush { line: 10 }),
+            ev(2, EventKind::Fence),
+            ev(3, EventKind::Flush { line: 10 }),
+            ev(4, EventKind::Fence),
+        ];
+        let a = analyze(&events, &[payload("p", 10, 1)]);
+        assert_eq!(a.protocol.len(), 1);
+        let d = &a.protocol[0];
+        assert_eq!(d.category, Category::RedundantFlush);
+        assert_eq!((d.first_event, d.last_event), (3, 3));
+    }
+
+    #[test]
+    fn publish_overtaking_payload_is_an_ordering_race() {
+        // payload store (line 10) ... tag store+flush+fence (line 20):
+        // the tag is durable first.
+        let events = [
+            ev(0, EventKind::Store { line: 10 }),
+            ev(1, EventKind::Store { line: 20 }),
+            ev(2, EventKind::Flush { line: 20 }),
+            ev(3, EventKind::Fence),
+        ];
+        let regions = [
+            Region {
+                checks: Checks {
+                    end_dirty: false, // isolate the race
+                    ..Checks::ALL
+                },
+                ..payload("data", 10, 1)
+            },
+            publish("tag", 20),
+        ];
+        let a = analyze(&events, &regions);
+        assert_eq!(a.protocol.len(), 1, "{:?}", a.protocol);
+        let d = &a.protocol[0];
+        assert_eq!(d.category, Category::OrderingRace);
+        assert_eq!(d.region, "tag");
+        assert_eq!(d.line, 20);
+        assert_eq!((d.first_event, d.last_event), (0, 3));
+    }
+
+    #[test]
+    fn payload_first_publish_second_is_race_free() {
+        let events = [
+            ev(0, EventKind::Store { line: 10 }),
+            ev(1, EventKind::Flush { line: 10 }),
+            ev(2, EventKind::Fence),
+            ev(3, EventKind::Store { line: 20 }),
+            ev(4, EventKind::Flush { line: 20 }),
+            ev(5, EventKind::Fence),
+        ];
+        let a = analyze(&events, &[payload("data", 10, 1), publish("tag", 20)]);
+        assert!(a.protocol.is_empty(), "{:?}", a.protocol);
+    }
+
+    #[test]
+    fn publish_races_only_within_its_group() {
+        let events = [
+            ev(0, EventKind::Store { line: 10 }),
+            ev(1, EventKind::Store { line: 20 }),
+            ev(2, EventKind::Flush { line: 20 }),
+            ev(3, EventKind::Fence),
+        ];
+        let other_group = Region {
+            group: 7,
+            checks: Checks {
+                end_dirty: false,
+                ..Checks::ALL
+            },
+            ..payload("data", 10, 1)
+        };
+        let a = analyze(&events, &[other_group, publish("tag", 20)]);
+        assert!(a.protocol.is_empty(), "{:?}", a.protocol);
+    }
+
+    #[test]
+    fn crash_marks_capture_facts_without_protocol_noise() {
+        let events = [
+            ev(0, EventKind::Store { line: 10 }),
+            ev(1, EventKind::Store { line: 11 }),
+            ev(2, EventKind::Flush { line: 11 }),
+            ev(3, EventKind::Crash { unit: 42 }),
+            ev(4, EventKind::Flush { line: 10 }),
+            ev(5, EventKind::Fence),
+        ];
+        let a = analyze(&events, &[payload("p", 10, 2)]);
+        assert!(a.protocol.is_empty(), "{:?}", a.protocol);
+        let facts = &a.at_crashes[&42];
+        assert_eq!(facts.len(), 2);
+        assert_eq!(facts[0].category, Category::UnpersistedStore);
+        assert_eq!(facts[0].line, 10);
+        assert_eq!(facts[1].category, Category::MissingFence);
+        assert_eq!(facts[1].line, 11);
+    }
+
+    #[test]
+    fn disabled_checks_suppress_their_categories() {
+        let events = [
+            ev(0, EventKind::Store { line: 10 }),
+            ev(1, EventKind::Flush { line: 11 }),
+        ];
+        let quiet = Region {
+            checks: Checks::NONE,
+            ..payload("p", 10, 2)
+        };
+        let a = analyze(&events, &[quiet]);
+        assert!(a.protocol.is_empty(), "{:?}", a.protocol);
+    }
+
+    #[test]
+    fn from_range_covers_straddled_lines() {
+        let r = Region::from_range("x", 64 * 3 + 10, 60, Role::Payload, 0, Checks::ALL);
+        assert!(!r.covers(2));
+        assert!(r.covers(3));
+        assert!(r.covers(4));
+        assert!(!r.covers(5));
+    }
+
+    #[test]
+    fn untracked_lines_are_ignored() {
+        let events = [
+            ev(0, EventKind::Store { line: 999 }),
+            ev(1, EventKind::Flush { line: 999 }),
+        ];
+        let a = analyze(&events, &[payload("p", 10, 1)]);
+        assert!(a.protocol.is_empty());
+    }
+}

@@ -1,0 +1,357 @@
+//! Layer 2: WITCHER-style root-cause triage.
+//!
+//! WITCHER's observation: crash-consistency bugs are few, crash *states*
+//! are many. Infer likely persist-order invariants from the campaign's
+//! **passing** trials, then explain each **failing** trial by the
+//! invariant it violates — thousands of `(rank, site)` failure points
+//! collapse into a handful of root causes.
+//!
+//! The inference here is deliberately frequency-free: a passing trial is
+//! itself the evidence that the mechanism's persist protocol restored an
+//! exact prefix, so the invariant "holds in `N` passing trials" with the
+//! violated category and region set is the bug signature. Clustering is
+//! fully deterministic (BTreeMap-ordered, thread-count independent): the
+//! same campaign always triages to byte-identical reports.
+
+use crate::sanitizer::{Category, Diagnostic};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Everything triage needs to know about one trial.
+#[derive(Debug, Clone)]
+pub struct TrialDigest {
+    /// Scenario name (e.g. `ds-queue-undo`).
+    pub scenario: String,
+    /// Protection mechanism name (e.g. `undo`, `baseline`).
+    pub mechanism: String,
+    /// The scheduled campaign unit.
+    pub unit: u64,
+    /// Outcome name as reported by the campaign (e.g. `detected-dirty`).
+    pub outcome: String,
+    /// Whether the campaign counts this outcome as a failing state.
+    pub failed: bool,
+    /// Sanitizer crash facts at this unit's crash point (may be empty
+    /// when the scenario has no analyzed path).
+    pub facts: Vec<Diagnostic>,
+}
+
+/// One deduplicated root-cause report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RootCause {
+    /// The inferred invariant the clustered states violate.
+    pub invariant: String,
+    /// Mechanism the invariant was inferred for.
+    pub mechanism: String,
+    /// Dominant diagnostic category (or `outcome:<name>` when the
+    /// cluster has no sanitizer facts).
+    pub category: String,
+    /// Number of failing states explained by this cause.
+    pub states: u64,
+    /// Scenarios contributing states, sorted.
+    pub scenarios: Vec<String>,
+    /// Regions named by the clustered facts, sorted.
+    pub regions: Vec<String>,
+    /// Smallest and largest contributing unit.
+    pub unit_window: (u64, u64),
+    /// Event-index window spanned by the clustered facts
+    /// (`(0, 0)` when the cluster carries no event data).
+    pub event_window: (u64, u64),
+}
+
+fn dominant_category(facts: &[Diagnostic]) -> Option<Category> {
+    let mut counts: BTreeMap<&'static str, (u64, Category)> = BTreeMap::new();
+    for f in facts {
+        counts.entry(f.category.name()).or_insert((0, f.category)).0 += 1;
+    }
+    // Highest count wins; ties break on the kebab-case name (the BTreeMap
+    // iteration order), keeping the choice deterministic.
+    counts
+        .into_iter()
+        .max_by_key(|&(name, (n, _))| (n, std::cmp::Reverse(name)))
+        .map(|(_, (_, c))| c)
+}
+
+fn invariant_text(
+    mechanism: &str,
+    category: Option<Category>,
+    outcome: &str,
+    passing: u64,
+    regions: &BTreeSet<String>,
+) -> String {
+    let where_ = if regions.is_empty() {
+        "the tracked regions".to_string()
+    } else {
+        regions.iter().cloned().collect::<Vec<_>>().join(", ")
+    };
+    match category {
+        Some(Category::UnpersistedStore) => format!(
+            "every store to {where_} is durable by the crash point \
+             (held in {passing} passing '{mechanism}' trials)"
+        ),
+        Some(Category::MissingFence) => format!(
+            "every flush of {where_} is ordered by a fence before the \
+             crash point (held in {passing} passing '{mechanism}' trials)"
+        ),
+        Some(Category::RedundantFlush) => format!(
+            "flushes of {where_} always target lines dirtied since the \
+             last fence (held in {passing} passing '{mechanism}' trials)"
+        ),
+        Some(Category::OrderingRace) => format!(
+            "publishing stores to {where_} never become durable before \
+             their payload (held in {passing} passing '{mechanism}' trials)"
+        ),
+        None => format!(
+            "'{mechanism}' recovery restores an exact prefix of the \
+             operation stream (held in {passing} passing trials; these \
+             states end '{outcome}')"
+        ),
+    }
+}
+
+/// Cluster the failing digests into at most `cap` root causes.
+///
+/// `digests` may mix passing and failing trials; passing trials feed the
+/// per-mechanism invariant evidence counts, failing trials are clustered
+/// by `(mechanism, dominant category)`. When more than `cap` clusters
+/// emerge, the smallest ones merge into a single residual cause so the
+/// report stays readable without dropping states.
+pub fn cluster_failures(digests: &[TrialDigest], cap: usize) -> Vec<RootCause> {
+    let mut passing: BTreeMap<&str, u64> = BTreeMap::new();
+    for d in digests.iter().filter(|d| !d.failed) {
+        *passing.entry(d.mechanism.as_str()).or_default() += 1;
+    }
+
+    struct Cluster {
+        category: Option<Category>,
+        outcome: String,
+        states: u64,
+        scenarios: BTreeSet<String>,
+        regions: BTreeSet<String>,
+        unit_window: (u64, u64),
+        event_window: Option<(u64, u64)>,
+    }
+    let mut clusters: BTreeMap<(String, String), Cluster> = BTreeMap::new();
+
+    for d in digests.iter().filter(|d| d.failed) {
+        let cat = dominant_category(&d.facts);
+        let key_cat = match cat {
+            Some(c) => c.name().to_string(),
+            None => format!("outcome:{}", d.outcome),
+        };
+        let c = clusters
+            .entry((d.mechanism.clone(), key_cat))
+            .or_insert_with(|| Cluster {
+                category: cat,
+                outcome: d.outcome.clone(),
+                states: 0,
+                scenarios: BTreeSet::new(),
+                regions: BTreeSet::new(),
+                unit_window: (u64::MAX, 0),
+                event_window: None,
+            });
+        c.states += 1;
+        c.scenarios.insert(d.scenario.clone());
+        c.unit_window.0 = c.unit_window.0.min(d.unit);
+        c.unit_window.1 = c.unit_window.1.max(d.unit);
+        for f in &d.facts {
+            c.regions.insert(f.region.clone());
+            let w = c.event_window.get_or_insert((u64::MAX, 0));
+            w.0 = w.0.min(f.first_event);
+            w.1 = w.1.max(f.last_event);
+        }
+    }
+
+    let mut causes: Vec<RootCause> = clusters
+        .into_iter()
+        .map(|((mechanism, key_cat), c)| {
+            let p = passing.get(mechanism.as_str()).copied().unwrap_or(0);
+            RootCause {
+                invariant: invariant_text(&mechanism, c.category, &c.outcome, p, &c.regions),
+                mechanism,
+                category: key_cat,
+                states: c.states,
+                scenarios: c.scenarios.into_iter().collect(),
+                regions: c.regions.into_iter().collect(),
+                unit_window: c.unit_window,
+                event_window: c.event_window.unwrap_or((0, 0)),
+            }
+        })
+        .collect();
+
+    // Most states first; ties break on (mechanism, category) for
+    // determinism.
+    causes.sort_by(|a, b| {
+        b.states
+            .cmp(&a.states)
+            .then_with(|| a.mechanism.cmp(&b.mechanism))
+            .then_with(|| a.category.cmp(&b.category))
+    });
+
+    if causes.len() > cap && cap > 0 {
+        let tail: Vec<RootCause> = causes.split_off(cap - 1);
+        let states: u64 = tail.iter().map(|c| c.states).sum();
+        let scenarios: BTreeSet<String> = tail
+            .iter()
+            .flat_map(|c| c.scenarios.iter().cloned())
+            .collect();
+        let regions: BTreeSet<String> = tail
+            .iter()
+            .flat_map(|c| c.regions.iter().cloned())
+            .collect();
+        let unit_window = (
+            tail.iter().map(|c| c.unit_window.0).min().unwrap_or(0),
+            tail.iter().map(|c| c.unit_window.1).max().unwrap_or(0),
+        );
+        let event_window = (
+            tail.iter().map(|c| c.event_window.0).min().unwrap_or(0),
+            tail.iter().map(|c| c.event_window.1).max().unwrap_or(0),
+        );
+        causes.push(RootCause {
+            invariant: format!(
+                "residual: {} minor clusters ({} states) below the \
+                 per-cause reporting threshold",
+                tail.len(),
+                states
+            ),
+            mechanism: "mixed".to_string(),
+            category: "residual".to_string(),
+            states,
+            scenarios: scenarios.into_iter().collect(),
+            regions: regions.into_iter().collect(),
+            unit_window,
+            event_window,
+        });
+    }
+
+    causes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fact(category: Category, region: &str, first: u64, last: u64) -> Diagnostic {
+        Diagnostic {
+            category,
+            region: region.into(),
+            line: 7,
+            first_event: first,
+            last_event: last,
+            epoch: 1,
+        }
+    }
+
+    fn digest(mech: &str, unit: u64, failed: bool, facts: Vec<Diagnostic>) -> TrialDigest {
+        TrialDigest {
+            scenario: format!("ds-queue-{mech}"),
+            mechanism: mech.into(),
+            unit,
+            outcome: if failed {
+                "detected-dirty"
+            } else {
+                "recovered-exact"
+            }
+            .into(),
+            failed,
+            facts,
+        }
+    }
+
+    #[test]
+    fn failing_states_cluster_by_mechanism_and_category() {
+        let digests = vec![
+            digest("undo", 1, false, vec![]),
+            digest("undo", 2, false, vec![]),
+            digest(
+                "undo",
+                3,
+                true,
+                vec![fact(Category::UnpersistedStore, "ds/arena", 10, 20)],
+            ),
+            digest(
+                "undo",
+                9,
+                true,
+                vec![fact(Category::UnpersistedStore, "ds/queue-ctrl", 30, 40)],
+            ),
+            digest(
+                "base",
+                5,
+                true,
+                vec![fact(Category::MissingFence, "ds/watermark", 50, 60)],
+            ),
+        ];
+        let causes = cluster_failures(&digests, 10);
+        assert_eq!(causes.len(), 2);
+        assert_eq!(causes[0].states, 2);
+        assert_eq!(causes[0].mechanism, "undo");
+        assert_eq!(causes[0].category, "unpersisted-store");
+        assert_eq!(causes[0].unit_window, (3, 9));
+        assert_eq!(causes[0].event_window, (10, 40));
+        assert_eq!(causes[0].regions, vec!["ds/arena", "ds/queue-ctrl"]);
+        assert!(causes[0].invariant.contains("2 passing 'undo' trials"));
+        assert_eq!(causes[1].category, "missing-fence");
+    }
+
+    #[test]
+    fn factless_failures_cluster_by_outcome() {
+        let digests = vec![
+            digest("undo", 1, false, vec![]),
+            digest("undo", 4, true, vec![]),
+            digest("undo", 6, true, vec![]),
+        ];
+        let causes = cluster_failures(&digests, 10);
+        assert_eq!(causes.len(), 1);
+        assert_eq!(causes[0].category, "outcome:detected-dirty");
+        assert_eq!(causes[0].states, 2);
+        assert_eq!(causes[0].event_window, (0, 0));
+        assert!(causes[0].invariant.contains("exact prefix"));
+    }
+
+    #[test]
+    fn the_cap_merges_minor_clusters_into_a_residual() {
+        let mut digests = Vec::new();
+        for (i, mech) in ["a", "b", "c", "d", "e"].iter().enumerate() {
+            // Mechanism "a" dominates; the rest are singleton clusters.
+            let n = if i == 0 { 5 } else { 1 };
+            for u in 0..n {
+                digests.push(digest(
+                    mech,
+                    (i as u64) * 100 + u,
+                    true,
+                    vec![fact(Category::UnpersistedStore, "r", 1, 2)],
+                ));
+            }
+        }
+        let causes = cluster_failures(&digests, 3);
+        assert_eq!(causes.len(), 3);
+        assert_eq!(causes[0].states, 5);
+        let residual = causes.last().unwrap();
+        assert_eq!(residual.category, "residual");
+        assert_eq!(residual.states, 3, "three singleton clusters merged");
+        let total: u64 = causes.iter().map(|c| c.states).sum();
+        assert_eq!(total, 9, "no state dropped by the cap");
+    }
+
+    #[test]
+    fn clustering_is_input_order_independent() {
+        let mut digests = vec![
+            digest(
+                "undo",
+                3,
+                true,
+                vec![fact(Category::OrderingRace, "x", 1, 9)],
+            ),
+            digest(
+                "base",
+                2,
+                true,
+                vec![fact(Category::MissingFence, "y", 2, 8)],
+            ),
+            digest("undo", 1, false, vec![]),
+        ];
+        let a = cluster_failures(&digests, 10);
+        digests.reverse();
+        let b = cluster_failures(&digests, 10);
+        assert_eq!(a, b);
+    }
+}

@@ -31,9 +31,10 @@ use adcc_bench::{NativeCg, NativeMechanism};
 use adcc_campaign::cost::CostTable;
 use adcc_campaign::engine::{run_campaign, CampaignConfig};
 use adcc_campaign::json::Json;
-use adcc_campaign::report::{compare, flush_audit, parse_shard, CampaignReport};
+use adcc_campaign::report::{compare, flush_audit, parse_shard, CampaignReport, SCHEMA, SCHEMA_V5};
 use adcc_campaign::scenario::Registry;
 use adcc_campaign::schedule::Schedule;
+use adcc_campaign::triage::run_triage;
 use adcc_dist::net::FaultProfile;
 use adcc_telemetry::{adr_eadr_costs, ExecutionProfile, Probe};
 
@@ -43,6 +44,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..], false),
         Some("replay") => cmd_run(&args[1..], true),
         Some("merge") => cmd_merge(&args[1..]),
+        Some("triage") => cmd_triage(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("cost") => cmd_cost(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
@@ -75,6 +77,8 @@ usage:
                    [--faults PROFILE] [--telemetry] [--expect PATH]
                    [--out PATH]
   campaign merge   --out PATH SHARD.json SHARD.json ...
+  campaign triage  REPORT.json [--threads T] [--out PATH]
+                   [--fail-on-diagnostics]
   campaign compare OLD.json NEW.json
   campaign cost    [--budget-states N] [--seed S] [--threads T]
                    [--schedule SPEC] [--registry NAME] [--json] [--out PATH]
@@ -110,6 +114,15 @@ unsharded run of the same seed (partial campaigns are resumable: rerun
 only the missing shards, then merge).
 cost --json emits the cost table as a schema-versioned JSON document
 (adcc-cost-table/v1) instead of the text table, for CI diffing.
+triage re-runs REPORT.json's exact schedule with the persist-order event
+recorder attached, infers per-mechanism persist-order invariants from
+the passing trials, and clusters the failing states by violated
+invariant into a bounded root-cause list (adcc-triage-report/v1, no host
+section: byte-identical across reruns and thread counts). The re-run
+campaign report embeds the schema-v6 diagnostics block. Needs a v5+
+unsharded report (older schemas predate the analyzed unit spaces; merge
+shards first). --fail-on-diagnostics exits nonzero when the clean-tree
+gate is violated (any protocol finding).
 ";
 
 /// Pull `--flag value` out of an option list.
@@ -398,6 +411,105 @@ fn cmd_merge(args: &[String]) -> Result<ExitCode, String> {
             eprintln!("FLUSH AUDIT: {line}");
         }
         eprintln!("FAIL: flush-based mechanism(s) recorded zero flushes");
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Re-run a report's exact schedule under the persist-order analyzer and
+/// triage its failing states into clustered root causes. Rejects pre-v5
+/// schemas (their unit spaces predate the analyzed scenarios) and shard
+/// reports (triage needs the full schedule). `--fail-on-diagnostics` is
+/// the CI clean-tree gate: any protocol finding exits nonzero.
+fn cmd_triage(args: &[String]) -> Result<ExitCode, String> {
+    let (path, rest) = match args.split_first() {
+        Some((p, rest)) if !p.starts_with("--") => (p, rest),
+        _ => {
+            // Surface an unknown option before complaining about the
+            // missing positional, so typo'd flags get the right message.
+            check_known_flags(args, &["--threads", "--out"], &["--fail-on-diagnostics"])?;
+            return Err(format!("triage needs a report path\n{USAGE}"));
+        }
+    };
+    check_known_flags(rest, &["--threads", "--out"], &["--fail-on-diagnostics"])?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let raw = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let schema = raw.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != SCHEMA && schema != SCHEMA_V5 {
+        return Err(format!(
+            "{path}: triage needs a {SCHEMA:?} or {SCHEMA_V5:?} report, got {schema:?} \
+             (older schemas predate the analyzed scenario unit spaces)\n{USAGE}"
+        ));
+    }
+    let report = CampaignReport::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    if report.shard.is_some() {
+        return Err(format!(
+            "{path}: cannot triage a shard report — merge the full set first \
+             (campaign merge)\n{USAGE}"
+        ));
+    }
+
+    let mut cfg = CampaignConfig {
+        seed: report.seed,
+        budget_states: report.budget_states,
+        schedule: Schedule::parse(&report.schedule)?,
+        dense_units: report.dense_units,
+        registry: report.registry,
+        faults: report.faults,
+        ..CampaignConfig::default()
+    };
+    if let Some(v) = take_opt(rest, "--threads")? {
+        cfg.threads = parse_u64(&v, "threads")? as usize;
+    }
+    let out_path = take_opt(rest, "--out")?;
+    cfg.validate().map_err(|e| format!("{e}\n{USAGE}"))?;
+
+    let triaged = run_triage(&cfg);
+    let diags = triaged
+        .report
+        .diagnostics
+        .as_ref()
+        .expect("triage always analyzes");
+    println!(
+        "triage: seed {} budget {} registry {} — {} failing state(s), {} root cause(s), \
+         {} analyzed scenario(s), {} protocol finding(s)",
+        cfg.seed,
+        cfg.budget_states,
+        cfg.registry.name(),
+        triaged.failing_states,
+        triaged.root_causes.len(),
+        diags.analyzed.len(),
+        diags.findings.len(),
+    );
+    for c in &triaged.root_causes {
+        println!(
+            "  [{:>4} states] {}/{}: {} (units {}..{}, events {}..{})",
+            c.states,
+            c.mechanism,
+            c.category,
+            c.invariant,
+            c.unit_window.0,
+            c.unit_window.1,
+            c.event_window.0,
+            c.event_window.1,
+        );
+    }
+    for f in &diags.findings {
+        eprintln!(
+            "PROTOCOL FINDING: {} {} at {} line {} (events {}..{}, epoch {})",
+            f.scenario, f.category, f.region, f.line, f.first_event, f.last_event, f.epoch
+        );
+    }
+    if let Some(out) = out_path {
+        std::fs::write(&out, triaged.to_string_pretty())
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("triage report written to {out}");
+    }
+    if take_flag(rest, "--fail-on-diagnostics") && !diags.findings.is_empty() {
+        eprintln!(
+            "FAIL: {} protocol finding(s) on what should be a clean tree",
+            diags.findings.len()
+        );
         return Ok(ExitCode::FAILURE);
     }
     Ok(ExitCode::SUCCESS)

@@ -310,6 +310,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         scenarios: scenario_reports,
         totals,
         telemetry,
+        diagnostics: None,
         image_memory: mem.summary(),
         wall_clock_ms: start.elapsed().as_millis() as u64,
         threads,
@@ -321,7 +322,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
 /// `k % n == i` of each scenario's full plan — the partition is over the
 /// *planned* sequence, not the unit values, so it is stable under
 /// duplicate points and exactly tiles the unsharded plan.
-fn plan(cfg: &CampaignConfig, scenarios: &[Box<dyn Scenario>]) -> Vec<Vec<u64>> {
+pub(crate) fn plan(cfg: &CampaignConfig, scenarios: &[Box<dyn Scenario>]) -> Vec<Vec<u64>> {
     let n = scenarios.len() as u64;
     let base = cfg.budget_states / n;
     let rem = cfg.budget_states % n;
@@ -349,7 +350,7 @@ fn plan(cfg: &CampaignConfig, scenarios: &[Box<dyn Scenario>]) -> Vec<Vec<u64>> 
         .collect()
 }
 
-fn aggregate(s: &dyn Scenario, dense_units: u64, trials: &[Trial]) -> ScenarioReport {
+pub(crate) fn aggregate(s: &dyn Scenario, dense_units: u64, trials: &[Trial]) -> ScenarioReport {
     let mut outcomes = crate::outcome::OutcomeCounts::default();
     let mut lost_total = 0u64;
     let mut lost_max = 0u64;

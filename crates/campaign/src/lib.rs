@@ -63,13 +63,18 @@ pub mod report;
 pub mod scenario;
 pub mod scenarios;
 pub mod schedule;
+pub mod triage;
 
 pub use cost::{CostRow, CostTable};
 pub use engine::{run_campaign, CampaignConfig, CampaignConfigBuilder};
 pub use memstats::{ImageMemory, ImageMemorySummary};
 pub use outcome::{Outcome, OutcomeCounts};
-pub use report::{compare, flush_audit, CampaignReport, ScenarioReport};
+pub use report::{
+    compare, flush_audit, CampaignReport, DiagnosticRecord, DiagnosticsBlock, ScenarioReport,
+};
 pub use scenario::{
-    dist_registry, ds_registry, registry, Kernel, Mechanism, Registry, Scenario, Trial, UnitSpace,
+    dist_registry, ds_registry, registry, AnalyzedBatch, AnalyzedTrial, Kernel, Mechanism,
+    Registry, Scenario, Trial, UnitSpace,
 };
 pub use schedule::Schedule;
+pub use triage::{run_triage, TriageReport};

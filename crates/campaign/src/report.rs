@@ -17,11 +17,15 @@ use crate::outcome::OutcomeCounts;
 use crate::scenario::Registry;
 
 /// Current report format identifier (bump on breaking schema changes).
-/// v5 adds the optional `faults` header (fault profile swept by a dist
-/// campaign, emitted when not `off`) and the fault/remote telemetry keys
-/// (`net_dropped`, `net_duplicated`, `net_reordered`, `net_retries`,
-/// `remote_restore_bytes`).
-pub const SCHEMA: &str = "adcc-campaign-report/v5";
+/// v6 adds the optional `diagnostics` block: persist-order sanitizer
+/// findings from analyzer-instrumented scenario sweeps (see
+/// `adcc::analyze`), emitted only when a campaign ran with analysis
+/// enabled so plain reports keep their exact v5 bytes.
+pub const SCHEMA: &str = "adcc-campaign-report/v6";
+
+/// The v5 format (optional `faults` header, fault/remote telemetry
+/// keys), still accepted by [`CampaignReport::parse`].
+pub const SCHEMA_V5: &str = "adcc-campaign-report/v5";
 
 /// The v4 format (generalized `registry` header, log-metadata /
 /// op-stream telemetry keys), still accepted by
@@ -68,6 +72,110 @@ pub struct ScenarioReport {
     pub telemetry: Option<ExecutionProfile>,
 }
 
+/// One persist-order sanitizer finding, flattened to schema-plain
+/// fields (the category is its stable kebab-case name, e.g.
+/// `"unpersisted-store"`; event indices refer to the scenario's recorded
+/// event stream for the named crash unit sweep).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct DiagnosticRecord {
+    /// Scenario the finding came from.
+    pub scenario: String,
+    /// Stable diagnostic category name (`adcc_analyze::Category::name`).
+    pub category: String,
+    /// Declared region (allocation) the offending line belongs to.
+    pub region: String,
+    /// The offending cache line.
+    pub line: u64,
+    /// Event index opening the violation window.
+    pub first_event: u64,
+    /// Event index closing the window (fence, crash mark, or stream end).
+    pub last_event: u64,
+    /// Line-journal epoch of the opening event.
+    pub epoch: u64,
+}
+
+/// The v6 `diagnostics` block: which scenarios ran under the analyzer,
+/// and every protocol finding the sanitizer raised. A clean tree emits
+/// the block with an empty `findings` array, so CI can distinguish
+/// "analyzed and clean" from "not analyzed".
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize)]
+pub struct DiagnosticsBlock {
+    /// Names of the scenarios swept with the analyzer attached.
+    pub analyzed: Vec<String>,
+    /// Deduplicated protocol findings, in deterministic order.
+    pub findings: Vec<DiagnosticRecord>,
+}
+
+impl DiagnosticsBlock {
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.push(
+            "analyzed",
+            Json::Arr(self.analyzed.iter().map(|s| Json::Str(s.clone())).collect()),
+        );
+        let findings = self
+            .findings
+            .iter()
+            .map(|f| {
+                let mut e = Json::obj();
+                e.push("scenario", Json::Str(f.scenario.clone()));
+                e.push("category", Json::Str(f.category.clone()));
+                e.push("region", Json::Str(f.region.clone()));
+                e.push("line", Json::Int(f.line));
+                e.push("first_event", Json::Int(f.first_event));
+                e.push("last_event", Json::Int(f.last_event));
+                e.push("epoch", Json::Int(f.epoch));
+                e
+            })
+            .collect();
+        j.push("findings", Json::Arr(findings));
+        j
+    }
+
+    fn from_json(j: &Json) -> Result<DiagnosticsBlock, String> {
+        let analyzed = j
+            .get("analyzed")
+            .and_then(Json::as_arr)
+            .ok_or("diagnostics missing analyzed")?
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| "diagnostics analyzed entry is not a string".to_string())
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let findings = j
+            .get("findings")
+            .and_then(Json::as_arr)
+            .ok_or("diagnostics missing findings")?
+            .iter()
+            .map(|e| {
+                let s = |key: &str| -> Result<String, String> {
+                    e.get(key)
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("finding missing {key}"))
+                };
+                let n = |key: &str| -> Result<u64, String> {
+                    e.get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("finding missing {key}"))
+                };
+                Ok(DiagnosticRecord {
+                    scenario: s("scenario")?,
+                    category: s("category")?,
+                    region: s("region")?,
+                    line: n("line")?,
+                    first_event: n("first_event")?,
+                    last_event: n("last_event")?,
+                    epoch: n("epoch")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(DiagnosticsBlock { analyzed, findings })
+    }
+}
+
 /// One full campaign run.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct CampaignReport {
@@ -102,6 +210,10 @@ pub struct CampaignReport {
     pub totals: OutcomeCounts,
     /// Campaign-wide telemetry aggregate (when enabled).
     pub telemetry: Option<ExecutionProfile>,
+    /// Persist-order sanitizer findings (when the campaign ran with the
+    /// analyzer attached). Emitted only when present, so plain reports
+    /// keep their exact pre-v6 bytes.
+    pub diagnostics: Option<DiagnosticsBlock>,
     /// Crash-image memory accounting of the run's harness (host facts;
     /// excluded from the canonical form, deterministic nevertheless).
     pub image_memory: ImageMemorySummary,
@@ -339,6 +451,10 @@ impl CampaignReport {
             scenarios,
             totals,
             telemetry,
+            // Sharded runs never attach the analyzer (the `triage`
+            // subcommand rejects shard reports), so there is nothing to
+            // fold here.
+            diagnostics: None,
             image_memory,
             wall_clock_ms,
             threads,
@@ -389,6 +505,9 @@ impl CampaignReport {
         if let Some(t) = &self.telemetry {
             j.push("telemetry", telemetry_json(t));
         }
+        if let Some(d) = &self.diagnostics {
+            j.push("diagnostics", d.to_json());
+        }
         j
     }
 
@@ -435,14 +554,15 @@ impl CampaignReport {
             .and_then(Json::as_str)
             .ok_or("missing schema")?;
         if schema != SCHEMA
+            && schema != SCHEMA_V5
             && schema != SCHEMA_V4
             && schema != SCHEMA_V3
             && schema != SCHEMA_V2
             && schema != SCHEMA_V1
         {
             return Err(format!(
-                "unsupported schema {schema:?} (want {SCHEMA:?}, {SCHEMA_V4:?}, \
-                 {SCHEMA_V3:?}, {SCHEMA_V2:?}, or {SCHEMA_V1:?})"
+                "unsupported schema {schema:?} (want {SCHEMA:?}, {SCHEMA_V5:?}, \
+                 {SCHEMA_V4:?}, {SCHEMA_V3:?}, {SCHEMA_V2:?}, or {SCHEMA_V1:?})"
             ));
         }
         let int = |key: &str| -> Result<u64, String> {
@@ -521,6 +641,10 @@ impl CampaignReport {
             scenarios,
             totals: OutcomeCounts::from_json(j.get("totals").ok_or("missing totals")?)?,
             telemetry: j.get("telemetry").map(telemetry_from_json).transpose()?,
+            diagnostics: j
+                .get("diagnostics")
+                .map(DiagnosticsBlock::from_json)
+                .transpose()?,
             image_memory: ImageMemorySummary {
                 executions: im_int("executions"),
                 images: im_int("images"),
@@ -660,6 +784,7 @@ mod tests {
             }],
             totals: outcomes,
             telemetry: None,
+            diagnostics: None,
             image_memory: ImageMemorySummary {
                 executions: 2,
                 images: 2,
@@ -731,7 +856,39 @@ mod tests {
     #[test]
     fn parse_rejects_other_schemas() {
         assert!(CampaignReport::parse(r#"{"schema": "bogus/v9"}"#).is_err());
-        assert!(CampaignReport::parse(r#"{"schema": "adcc-campaign-report/v6"}"#).is_err());
+        assert!(CampaignReport::parse(r#"{"schema": "adcc-campaign-report/v7"}"#).is_err());
+    }
+
+    #[test]
+    fn diagnostics_block_roundtrips_and_is_canonical() {
+        let plain = sample();
+        assert!(!plain.canonical_string().contains("diagnostics"));
+        let mut r = sample();
+        r.diagnostics = Some(DiagnosticsBlock {
+            analyzed: vec!["ds-queue-undo".into(), "ds-queue-base".into()],
+            findings: vec![DiagnosticRecord {
+                scenario: "ds-queue-undo".into(),
+                category: "ordering-race".into(),
+                region: "ds/undo-state".into(),
+                line: 129,
+                first_event: 4,
+                last_event: 11,
+                epoch: 2,
+            }],
+        });
+        let text = r.to_string_pretty();
+        assert!(text.contains("\"diagnostics\""));
+        assert!(text.contains("\"ordering-race\""));
+        assert_ne!(plain.canonical_string(), r.canonical_string());
+        let parsed = CampaignReport::parse(&text).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.to_string_pretty(), text);
+        // Analyzed-and-clean still emits the block (empty findings), so
+        // CI can tell it apart from a campaign that never analyzed.
+        let mut clean = sample();
+        clean.diagnostics = Some(DiagnosticsBlock::default());
+        let parsed = CampaignReport::parse(&clean.to_string_pretty()).unwrap();
+        assert_eq!(parsed.diagnostics, Some(DiagnosticsBlock::default()));
     }
 
     #[test]

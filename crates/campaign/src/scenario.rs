@@ -170,6 +170,29 @@ impl Registry {
     }
 }
 
+/// One trial of an analyzer-instrumented batch: the classified
+/// [`Trial`] plus the persist-order sanitizer's crash facts at its crash
+/// point (tracked lines dirty or flushed-but-unfenced when the crash
+/// image was harvested). Completion trials carry no facts.
+#[derive(Debug, Clone)]
+pub struct AnalyzedTrial {
+    /// The classified trial, identical to the plain batch path's.
+    pub trial: Trial,
+    /// Sanitizer crash facts at this trial's crash point.
+    pub facts: Vec<adcc_analyze::Diagnostic>,
+}
+
+/// Output of one analyzer-instrumented batch execution
+/// ([`Scenario::run_analyzed`]).
+#[derive(Debug, Clone, Default)]
+pub struct AnalyzedBatch {
+    /// Per-unit analyzed trials, in engine (schedule) order.
+    pub trials: Vec<AnalyzedTrial>,
+    /// Protocol violations of the completed forward execution. A clean
+    /// tree reports none; the CI triage smoke gate enforces it.
+    pub protocol: Vec<adcc_analyze::Diagnostic>,
+}
+
 /// Result of injecting one crash state and attempting recovery.
 #[derive(Debug, Clone, Copy)]
 pub struct Trial {
@@ -311,6 +334,18 @@ pub trait Scenario: Send + Sync {
     /// the engine falls back to `run_trial` per unit.
     fn run_batch(&self, units: &[u64], telemetry: bool, mem: &ImageMemory) -> Option<Vec<Trial>> {
         let _ = (units, telemetry, mem);
+        None
+    }
+
+    /// Analyzer-instrumented batch: like [`Scenario::run_batch`] with an
+    /// [`adcc_sim::events::EventRecorder`] attached over the scenario's
+    /// declared protocol regions, returning the same trials (recording is
+    /// outcome-neutral, so they must equal the plain path's) plus the
+    /// sanitizer's per-crash facts and end-of-run protocol diagnostics.
+    /// Default: none — the scenario has no analyzed path and the triage
+    /// engine falls back to `run_batch` with empty facts.
+    fn run_analyzed(&self, units: &[u64], mem: &ImageMemory) -> Option<AnalyzedBatch> {
+        let _ = (units, mem);
         None
     }
 }

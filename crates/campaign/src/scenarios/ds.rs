@@ -23,6 +23,7 @@
 
 use std::cell::RefCell;
 
+use adcc_analyze::{analyze, Checks, Region, Role};
 use adcc_ds::sites::{PH_DS_COMMIT, PH_DS_MUT, PH_DS_PREP};
 use adcc_ds::{
     recover_verify_resume, DsLayout, OpStream, OpStreamCfg, Protection, Structure, Workload,
@@ -30,14 +31,18 @@ use adcc_ds::{
 };
 use adcc_pmem::LogStats;
 use adcc_sim::crash::{CrashEmulator, CrashSite, CrashTrigger, RunOutcome};
+use adcc_sim::events::EventRecorder;
 use adcc_sim::image::NvmImage;
+use adcc_sim::line::LINE_SIZE;
 use adcc_sim::system::MemorySystem;
 use adcc_telemetry::{ExecutionProfile, Probe};
 
 use super::{harness, verified_completion};
 use crate::memstats::ImageMemory;
 use crate::outcome::classify;
-use crate::scenario::{Kernel, Mechanism, Scenario, Trial, UnitSpace};
+use crate::scenario::{
+    AnalyzedBatch, AnalyzedTrial, Kernel, Mechanism, Scenario, Trial, UnitSpace,
+};
 
 /// The three always-polled phases of one op, in poll order.
 const SITE_PHASES: [u32; 3] = [PH_DS_PREP, PH_DS_MUT, PH_DS_COMMIT];
@@ -120,6 +125,90 @@ impl DsScenario {
             stream,
             layout,
         }
+    }
+
+    /// Declared protocol regions for the persist-order analyzer: the
+    /// workload's persistent-heap roots as named ranges with roles,
+    /// ordering groups, and per-mechanism check sets.
+    ///
+    /// Group 0 ties the undo pool's state line (`Role::Publish` — the
+    /// IDLE/ACTIVE flag recovery trusts) to the structure lines its
+    /// transactions snapshot; allocator metadata, watermark, and op table
+    /// persist under their own protocols, so they get their own groups
+    /// (no cross-protocol race claims). The baseline mechanism defers
+    /// structure persistence to epoch syncs, so lines are legitimately
+    /// dirty between syncs and at the end of the stream — its check set
+    /// keeps only `missing_fence` (an unfenced flush is a bug under
+    /// either mechanism). Both mechanisms re-flush watermark lines across
+    /// sync boundaries, so `redundant_flush` stays off (the directed
+    /// mutant tests in `crates/ds/tests/analyzer_mutants.rs` cover that
+    /// category instead).
+    fn protocol_regions(&self) -> Vec<Region> {
+        let checks = match self.mechanism {
+            Mechanism::Pmem => Checks {
+                redundant_flush: false,
+                ..Checks::ALL
+            },
+            _ => Checks {
+                missing_fence: true,
+                ..Checks::NONE
+            },
+        };
+        let l = &self.layout;
+        let region = |name: &str, addr: u64, len: usize, role: Role, group: u32| {
+            Region::from_range(name, addr, len, role, group, checks)
+        };
+        let mut regions = match self.kernel {
+            Kernel::Queue => vec![region(
+                "ds/queue-ctrl",
+                l.queue_ctrl,
+                2 * LINE_SIZE,
+                Role::Payload,
+                0,
+            )],
+            _ => vec![
+                region("ds/hash-table", l.hash_table, LINE_SIZE, Role::Payload, 0),
+                region("ds/hash-count", l.hash_count, LINE_SIZE, Role::Payload, 0),
+            ],
+        };
+        regions.push(region(
+            "ds/alloc-head",
+            l.alloc.head_base,
+            LINE_SIZE,
+            Role::Payload,
+            1,
+        ));
+        regions.push(region(
+            "ds/alloc-next",
+            l.alloc.next_base,
+            (l.alloc.blocks * 8) as usize,
+            Role::Payload,
+            1,
+        ));
+        regions.push(region(
+            "ds/watermark",
+            l.ckpt_base,
+            2 * LINE_SIZE,
+            Role::Payload,
+            2,
+        ));
+        regions.push(region(
+            "ds/op-table",
+            l.optable_base,
+            LINE_SIZE,
+            Role::Payload,
+            3,
+        ));
+        if let Some(undo) = &l.undo {
+            regions.push(region(
+                "ds/undo-state",
+                undo.state_addr,
+                8,
+                Role::Publish,
+                0,
+            ));
+        }
+        regions
     }
 
     /// Recover one crash image and classify — shared by both paths.
@@ -233,6 +322,58 @@ impl Scenario for DsScenario {
                 verified_completion(matches, 0, profile)
             },
         ))
+    }
+
+    fn run_analyzed(&self, units: &[u64], mem: &ImageMemory) -> Option<AnalyzedBatch> {
+        let mut emu = CrashEmulator::new(self.cfg.system(), CrashTrigger::Never);
+        let w = RefCell::new(Workload::setup(emu.system_mut(), self.cfg));
+        // Attach the recorder only after setup: the protocol under
+        // analysis starts at the op stream, not at heap construction.
+        let regions = self.protocol_regions();
+        let mut rec = EventRecorder::new();
+        for r in &regions {
+            rec.track_range(
+                r.first_line << adcc_sim::line::LINE_SHIFT,
+                r.line_count as usize * LINE_SIZE,
+            );
+        }
+        emu.system_mut().attach_recorder(rec);
+        let trials = harness::run_harvested_ref(
+            units,
+            false,
+            mem,
+            &mut emu,
+            |u| self.trigger_of(u),
+            |e| {
+                let mut w = w.borrow_mut();
+                for op in self.stream.ops() {
+                    match w.apply_op(e, op, None) {
+                        RunOutcome::Completed(()) => {}
+                        RunOutcome::Crashed(_) => unreachable!("Never trigger"),
+                    }
+                }
+                w.completed_matches(e, &self.stream)
+            },
+            |_k, unit, site, image, _profile| self.crash_trial(unit, site, image, None),
+            |matches, _e, _profile| verified_completion(matches, 0, None),
+        );
+        let rec = emu.system_mut().take_recorder().expect("recorder attached");
+        let analysis = analyze(rec.events(), &regions);
+        let trials = trials
+            .into_iter()
+            .map(|trial| AnalyzedTrial {
+                facts: analysis
+                    .at_crashes
+                    .get(&trial.unit)
+                    .cloned()
+                    .unwrap_or_default(),
+                trial,
+            })
+            .collect();
+        Some(AnalyzedBatch {
+            trials,
+            protocol: analysis.protocol,
+        })
     }
 }
 

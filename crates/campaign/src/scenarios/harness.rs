@@ -37,6 +37,32 @@ pub(crate) fn run_harvested<T>(
     mut emu: CrashEmulator,
     trigger_of: impl Fn(u64) -> CrashTrigger,
     run: impl FnOnce(&mut CrashEmulator) -> T,
+    crash_trial: impl FnMut(usize, u64, CrashSite, &NvmImage, Option<ExecutionProfile>) -> Trial,
+    complete_trial: impl FnOnce(T, &CrashEmulator, Option<ExecutionProfile>) -> Trial,
+) -> Vec<Trial> {
+    run_harvested_ref(
+        units,
+        telemetry,
+        mem,
+        &mut emu,
+        trigger_of,
+        run,
+        crash_trial,
+        complete_trial,
+    )
+}
+
+/// Like [`run_harvested`], but borrowing the emulator so the caller can
+/// inspect it afterwards — the analyzed batch path detaches the
+/// persist-order event recorder from the system once the run is done.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_harvested_ref<T>(
+    units: &[u64],
+    telemetry: bool,
+    mem: &ImageMemory,
+    emu: &mut CrashEmulator,
+    trigger_of: impl Fn(u64) -> CrashTrigger,
+    run: impl FnOnce(&mut CrashEmulator) -> T,
     mut crash_trial: impl FnMut(usize, u64, CrashSite, &NvmImage, Option<ExecutionProfile>) -> Trial,
     complete_trial: impl FnOnce(T, &CrashEmulator, Option<ExecutionProfile>) -> Trial,
 ) -> Vec<Trial> {
@@ -47,10 +73,10 @@ pub(crate) fn run_harvested<T>(
         "batch executions must run to completion"
     );
     emu.arm_harvest(units.iter().map(|&u| (trigger_of(u), u)));
-    let probe = telemetry.then(|| Probe::attach(&emu));
-    let end = run(&mut emu);
+    let probe = telemetry.then(|| Probe::attach(emu));
+    let end = run(emu);
     let harvests = emu.take_harvests();
-    record(mem, &emu, &harvests);
+    record(mem, emu, &harvests);
 
     let mut by_unit: Vec<Option<Trial>> = vec![None; units.len()];
     for (k, h) in harvests.iter().enumerate() {
@@ -66,8 +92,8 @@ pub(crate) fn run_harvested<T>(
         by_unit[idx] = Some(crash_trial(k, h.unit, h.site, &image, profile));
     }
     fill_completed(units, &mut by_unit, || {
-        let profile = probe.as_ref().map(|p| p.finish(&emu));
-        complete_trial(end, &emu, profile)
+        let profile = probe.as_ref().map(|p| p.finish(emu));
+        complete_trial(end, emu, profile)
     })
 }
 

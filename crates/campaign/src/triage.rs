@@ -1,0 +1,361 @@
+//! WITCHER-style root-cause triage over an analyzer-instrumented
+//! campaign.
+//!
+//! `run_triage` re-runs a campaign's exact schedule with the
+//! persist-order event recorder attached (scenarios exposing
+//! [`crate::scenario::Scenario::run_analyzed`]; the rest fall back to the plain batch
+//! path with empty facts), then:
+//!
+//! 1. infers per-mechanism persist-order invariants from the **passing**
+//!    trials (evidence counts: "N states of mechanism M crashed and
+//!    recovered with this protocol intact"),
+//! 2. checks every **failing** trial's sanitizer crash facts against
+//!    them, and
+//! 3. clusters the failing states by violated invariant into a bounded
+//!    list of [`RootCause`] reports (`adcc_analyze::cluster_failures`).
+//!
+//! The output is deterministic: trials merge in schedule order, protocol
+//! findings dedupe through ordered maps, and the emitted document
+//! carries no host section — reruns and any worker-thread count produce
+//! byte-identical text. The campaign report embedded in the triage
+//! document carries the schema-v6 `diagnostics` block.
+
+use std::collections::BTreeMap;
+
+use adcc_analyze::{cluster_failures, Diagnostic, RootCause, TrialDigest};
+use adcc_telemetry::ExecutionProfile;
+
+use crate::engine::{aggregate, plan, CampaignConfig};
+use crate::json::Json;
+use crate::memstats::ImageMemory;
+use crate::outcome::Outcome;
+use crate::report::{CampaignReport, DiagnosticRecord, DiagnosticsBlock, ScenarioReport};
+use crate::scenario::{AnalyzedBatch, AnalyzedTrial, Trial};
+
+/// Triage document format identifier.
+pub const TRIAGE_SCHEMA: &str = "adcc-triage-report/v1";
+
+/// Root causes reported before the remainder folds into one residual
+/// cluster (see `adcc_analyze::cluster_failures`).
+pub const ROOT_CAUSE_CAP: usize = 10;
+
+/// Outcomes the triage engine counts as failing states.
+fn failed(outcome: Outcome) -> bool {
+    matches!(outcome, Outcome::DetectedDirty | Outcome::SilentCorruption)
+}
+
+/// A triaged campaign: the analyzer-instrumented report plus the
+/// clustered root causes of its failing states.
+#[derive(Debug, Clone)]
+pub struct TriageReport {
+    /// The re-run campaign report, `diagnostics` block included.
+    pub report: CampaignReport,
+    /// Clustered root causes, most states first.
+    pub root_causes: Vec<RootCause>,
+    /// Failing states across the campaign (detected-dirty plus
+    /// silent-corruption).
+    pub failing_states: u64,
+}
+
+impl TriageReport {
+    /// The triage document: schema header, failing-state count, root
+    /// causes, and the canonical (host-less) campaign report. Carries no
+    /// host facts at all, so reruns are byte-identical regardless of
+    /// thread count.
+    pub fn to_string_pretty(&self) -> String {
+        let mut j = Json::obj();
+        j.push("schema", Json::Str(TRIAGE_SCHEMA.into()));
+        j.push("failing_states", Json::Int(self.failing_states));
+        let causes = self
+            .root_causes
+            .iter()
+            .map(|c| {
+                let mut e = Json::obj();
+                e.push("invariant", Json::Str(c.invariant.clone()));
+                e.push("mechanism", Json::Str(c.mechanism.clone()));
+                e.push("category", Json::Str(c.category.clone()));
+                e.push("states", Json::Int(c.states));
+                e.push(
+                    "scenarios",
+                    Json::Arr(c.scenarios.iter().map(|s| Json::Str(s.clone())).collect()),
+                );
+                e.push(
+                    "regions",
+                    Json::Arr(c.regions.iter().map(|r| Json::Str(r.clone())).collect()),
+                );
+                e.push(
+                    "unit_window",
+                    Json::Arr(vec![Json::Int(c.unit_window.0), Json::Int(c.unit_window.1)]),
+                );
+                e.push(
+                    "event_window",
+                    Json::Arr(vec![
+                        Json::Int(c.event_window.0),
+                        Json::Int(c.event_window.1),
+                    ]),
+                );
+                e
+            })
+            .collect();
+        j.push("root_causes", Json::Arr(causes));
+        let campaign = Json::parse(&self.report.canonical_string())
+            .expect("a report's own canonical emission parses");
+        j.push("campaign", campaign);
+        j.pretty()
+    }
+}
+
+/// One unit of parallel triage work (mirrors the engine's batched task
+/// shape: a scenario index plus the crash points one forward execution
+/// harvests).
+struct Task {
+    scenario: usize,
+    units: Vec<u64>,
+}
+
+/// What one task produced: its analyzed trials, the forward execution's
+/// protocol findings, and whether the scenario actually ran under the
+/// analyzer (fallback batches carry empty facts and don't count).
+struct TaskResult {
+    scenario: usize,
+    trials: Vec<AnalyzedTrial>,
+    protocol: Vec<Diagnostic>,
+    analyzed: bool,
+}
+
+/// Run the campaign described by `cfg` with the analyzer attached and
+/// triage its failing states. Deterministic in the config's canonical
+/// inputs; the thread count only affects wall-clock.
+pub fn run_triage(cfg: &CampaignConfig) -> TriageReport {
+    let start = std::time::Instant::now();
+    let scenarios = cfg.registry.scenarios_with(cfg.faults);
+    let points = plan(cfg, &scenarios);
+
+    let mut tasks = Vec::new();
+    for (idx, units) in points.iter().enumerate() {
+        if units.is_empty() {
+            continue;
+        }
+        tasks.extend(
+            units
+                .chunks(cfg.max_batch.max(1) as usize)
+                .map(|chunk| Task {
+                    scenario: idx,
+                    units: chunk.to_vec(),
+                }),
+        );
+    }
+
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(cfg.threads)
+        .build()
+        .expect("thread pool");
+    let threads = pool.current_num_threads() as u64;
+    let mem = ImageMemory::default();
+    let results: Vec<TaskResult> = pool.install_map(tasks, |_, task| {
+        let s = &scenarios[task.scenario];
+        match s.run_analyzed(&task.units, &mem) {
+            Some(batch) => TaskResult {
+                scenario: task.scenario,
+                trials: batch.trials,
+                protocol: batch.protocol,
+                analyzed: true,
+            },
+            None => {
+                // No analyzed path: classify through the plain batch (or
+                // per-trial) machinery with empty facts, so triage still
+                // covers the registry — just without sanitizer evidence.
+                let trials: Vec<Trial> = s
+                    .run_batch(&task.units, false, &mem)
+                    .unwrap_or_else(|| task.units.iter().map(|&u| s.run_trial(u, false)).collect());
+                TaskResult {
+                    scenario: task.scenario,
+                    trials: trials
+                        .into_iter()
+                        .map(|trial| AnalyzedTrial {
+                            trial,
+                            facts: Vec::new(),
+                        })
+                        .collect(),
+                    protocol: Vec::new(),
+                    analyzed: false,
+                }
+            }
+        }
+    });
+
+    // Merge in task order (results preserve submission order), so the
+    // assembly below is independent of which worker ran what.
+    let mut per_scenario: Vec<AnalyzedBatch> =
+        scenarios.iter().map(|_| AnalyzedBatch::default()).collect();
+    let mut analyzed_flags = vec![false; scenarios.len()];
+    for r in results {
+        per_scenario[r.scenario].trials.extend(r.trials);
+        per_scenario[r.scenario].protocol.extend(r.protocol);
+        analyzed_flags[r.scenario] |= r.analyzed;
+    }
+
+    // Protocol findings repeat once per chunk (each chunk is its own
+    // forward execution over the same deterministic op stream): dedupe by
+    // (scenario, category, region, line), keeping the first occurrence's
+    // event window. The ordered map also fixes the emission order.
+    let mut findings: BTreeMap<(String, String, String, u64), DiagnosticRecord> = BTreeMap::new();
+    for (s, batch) in scenarios.iter().zip(&per_scenario) {
+        for d in &batch.protocol {
+            let key = (
+                s.name().to_string(),
+                d.category.name().to_string(),
+                d.region.clone(),
+                d.line,
+            );
+            findings.entry(key).or_insert_with(|| DiagnosticRecord {
+                scenario: s.name().to_string(),
+                category: d.category.name().to_string(),
+                region: d.region.clone(),
+                line: d.line,
+                first_event: d.first_event,
+                last_event: d.last_event,
+                epoch: d.epoch,
+            });
+        }
+    }
+    let diagnostics = DiagnosticsBlock {
+        analyzed: scenarios
+            .iter()
+            .zip(&analyzed_flags)
+            .filter(|(_, &a)| a)
+            .map(|(s, _)| s.name().to_string())
+            .collect(),
+        findings: findings.into_values().collect(),
+    };
+
+    // Per-trial digests feed invariant inference: passing trials are the
+    // evidence base, failing trials the states to explain.
+    let mut digests: Vec<TrialDigest> = Vec::new();
+    for (s, batch) in scenarios.iter().zip(&per_scenario) {
+        for t in &batch.trials {
+            digests.push(TrialDigest {
+                scenario: s.name().to_string(),
+                mechanism: s.mechanism().name().to_string(),
+                unit: t.trial.unit,
+                outcome: t.trial.outcome.name().to_string(),
+                failed: failed(t.trial.outcome),
+                facts: t.facts.clone(),
+            });
+        }
+    }
+    let failing_states = digests.iter().filter(|d| d.failed).count() as u64;
+    let root_causes = cluster_failures(&digests, ROOT_CAUSE_CAP);
+
+    let scenario_reports: Vec<ScenarioReport> = scenarios
+        .iter()
+        .zip(&per_scenario)
+        .map(|(s, batch)| {
+            let trials: Vec<Trial> = batch.trials.iter().map(|t| t.trial).collect();
+            aggregate(s.as_ref(), cfg.dense_units, &trials)
+        })
+        .collect();
+    let mut totals = crate::outcome::OutcomeCounts::default();
+    let mut telemetry: Option<ExecutionProfile> = None;
+    for r in &scenario_reports {
+        totals.merge(&r.outcomes);
+        if let Some(t) = &r.telemetry {
+            telemetry
+                .get_or_insert_with(ExecutionProfile::default)
+                .merge(t);
+        }
+    }
+    let report = CampaignReport {
+        seed: cfg.seed,
+        budget_states: cfg.budget_states,
+        schedule: cfg.schedule.name(),
+        dense_units: cfg.dense_units,
+        registry: cfg.registry,
+        faults: cfg.faults,
+        shard: None,
+        scenarios: scenario_reports,
+        totals,
+        telemetry,
+        diagnostics: Some(diagnostics),
+        image_memory: mem.summary(),
+        wall_clock_ms: start.elapsed().as_millis() as u64,
+        threads,
+    };
+    TriageReport {
+        report,
+        root_causes,
+        failing_states,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Registry;
+    use crate::schedule::Schedule;
+
+    fn tiny_cfg(registry: Registry) -> CampaignConfig {
+        CampaignConfig {
+            seed: 42,
+            budget_states: 40,
+            schedule: Schedule::Stratified,
+            threads: 1,
+            registry,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn ds_triage_marks_every_scenario_analyzed_and_matches_the_plain_run() {
+        let cfg = tiny_cfg(Registry::Ds);
+        let triaged = run_triage(&cfg);
+        let diags = triaged.report.diagnostics.as_ref().unwrap();
+        assert_eq!(
+            diags.analyzed,
+            vec![
+                "ds-queue-undo",
+                "ds-queue-base",
+                "ds-hash-undo",
+                "ds-hash-base"
+            ],
+        );
+        // Recording is outcome-neutral: the triage run's outcomes must
+        // equal the plain engine's for the same inputs.
+        let plain = crate::engine::run_campaign(&cfg);
+        assert_eq!(triaged.report.totals, plain.totals);
+        for (a, b) in triaged.report.scenarios.iter().zip(&plain.scenarios) {
+            assert_eq!(a.outcomes, b.outcomes, "{}", a.name);
+            assert_eq!(a.sim_time_ps_total, b.sim_time_ps_total, "{}", a.name);
+        }
+        // A clean tree raises no protocol findings.
+        assert!(diags.findings.is_empty(), "{:?}", diags.findings);
+        // Failing states exist at this budget and every one is explained
+        // by a bounded root-cause list.
+        assert!(triaged.failing_states > 0);
+        assert!(triaged.root_causes.len() <= ROOT_CAUSE_CAP);
+        let explained: u64 = triaged.root_causes.iter().map(|c| c.states).sum();
+        assert_eq!(explained, triaged.failing_states);
+    }
+
+    #[test]
+    fn triage_document_is_thread_count_invariant() {
+        let mut cfg = tiny_cfg(Registry::Ds);
+        let one = run_triage(&cfg).to_string_pretty();
+        cfg.threads = 4;
+        let four = run_triage(&cfg).to_string_pretty();
+        assert_eq!(one, four);
+        assert!(one.contains(TRIAGE_SCHEMA));
+    }
+
+    #[test]
+    fn kernel_registry_triages_without_an_analyzed_path() {
+        let triaged = run_triage(&tiny_cfg(Registry::Kernel));
+        let diags = triaged.report.diagnostics.as_ref().unwrap();
+        assert!(diags.analyzed.is_empty());
+        assert!(diags.findings.is_empty());
+        // Root causes fall back to outcome clustering (no facts).
+        for c in &triaged.root_causes {
+            assert!(c.category.starts_with("outcome:"), "{c:?}");
+        }
+    }
+}

@@ -30,7 +30,7 @@ fn assert_usage_failure(args: &[&str]) {
 
 #[test]
 fn unknown_flags_exit_nonzero_with_usage_on_stderr() {
-    for sub in ["run", "replay", "cost", "bench"] {
+    for sub in ["run", "replay", "cost", "bench", "triage"] {
         let out = campaign(&[sub, "--bogus-flag"]);
         assert_eq!(out.status.code(), Some(1), "{sub} --bogus-flag");
         let stderr = String::from_utf8_lossy(&out.stderr);
@@ -312,6 +312,110 @@ fn bad_shard_specs_exit_nonzero() {
         let stderr = String::from_utf8_lossy(&out.stderr);
         assert!(stderr.contains("bad shard"), "--shard {spec}:\n{stderr}");
     }
+}
+
+/// Workspace-root schema fixture path (tests run from the crate dir).
+fn fixture(name: &str) -> String {
+    format!("{}/../../tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn triage_usage_errors_exit_nonzero() {
+    // No report path, unknown flags, and flag-without-path all exit 1
+    // with usage on stderr.
+    assert_usage_failure(&["triage"]);
+    assert_usage_failure(&["triage", "--threads", "2"]);
+    let path = fixture("campaign-report-v5.json");
+    assert_usage_failure(&["triage", &path, "--bogus"]);
+    // A missing report file is a read error, not a usage error.
+    let out = campaign(&["triage", "/nonexistent/report.json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"), "stderr:\n{stderr}");
+}
+
+#[test]
+fn triage_rejects_pre_v5_schema_generations() {
+    // v1–v4 reports predate the analyzed scenario unit spaces: their
+    // headers cannot be replayed under the analyzer, so triage must
+    // refuse them loudly rather than re-run the wrong schedule.
+    for v in 1..=4 {
+        let path = fixture(&format!("campaign-report-v{v}.json"));
+        let out = campaign(&["triage", &path]);
+        assert_eq!(out.status.code(), Some(1), "v{v} must be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("triage needs a") && stderr.contains("usage:"),
+            "v{v} stderr:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn triage_rejects_shard_reports() {
+    let dir = std::env::temp_dir().join("adcc-triage-exitcodes");
+    std::fs::create_dir_all(&dir).unwrap();
+    let shard = run_shard(&dir, "0/2", "11");
+    let out = campaign(&["triage", &shard]);
+    assert_eq!(out.status.code(), Some(1), "shard reports must be rejected");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("shard") && stderr.contains("merge"),
+        "stderr:\n{stderr}"
+    );
+}
+
+#[test]
+fn triage_of_a_clean_ds_run_exits_zero_even_failing_on_diagnostics() {
+    let dir = std::env::temp_dir().join("adcc-triage-exitcodes");
+    std::fs::create_dir_all(&dir).unwrap();
+    let report = dir.join("ds-clean.json").to_string_lossy().into_owned();
+    let out = campaign(&[
+        "run",
+        "--registry",
+        "ds",
+        "--budget-states",
+        "6",
+        "--seed",
+        "7",
+        "--threads",
+        "2",
+        "--out",
+        &report,
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let triage_out = dir
+        .join("ds-clean-triage.json")
+        .to_string_lossy()
+        .into_owned();
+    let out = campaign(&[
+        "triage",
+        &report,
+        "--threads",
+        "2",
+        "--fail-on-diagnostics",
+        "--out",
+        &triage_out,
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "clean tree must triage clean: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("0 protocol finding(s)"),
+        "stdout:\n{stdout}"
+    );
+    let doc = std::fs::read_to_string(&triage_out).unwrap();
+    assert!(doc.contains("adcc-triage-report/v1"));
+    assert!(doc.contains("\"diagnostics\""));
 }
 
 #[test]

@@ -1,0 +1,144 @@
+//! Mutation-testing half of the analyzer's validity proof, ds side.
+//!
+//! Two seeded mutants, each a classic persistent-data-structure bug:
+//!
+//! - `mutant-alloc-head`: `PAlloc::reinit` skips the ordered head
+//!   persist → the hottest metadata line is still dirty when the fence
+//!   retires (`unpersisted-store`).
+//! - `mutant-ckpt-slot`: `Checkpoint::store` persists the *stale* slot
+//!   line instead of the one it just wrote → the two-slot publish is
+//!   reordered (`redundant-flush` on the clean line, plus an
+//!   `unpersisted-store` on the written one).
+//!
+//! The clean tree must be silent on both protocols. The nightly
+//! `mutants` job runs this file three ways:
+//!
+//! ```text
+//! cargo test -p adcc_ds --test analyzer_mutants
+//! cargo test -p adcc_ds --features mutant-alloc-head --test analyzer_mutants
+//! cargo test -p adcc_ds --features mutant-ckpt-slot --test analyzer_mutants
+//! ```
+
+use adcc_analyze::{analyze, Checks, Diagnostic, Region, Role};
+use adcc_ds::{Checkpoint, PAlloc};
+use adcc_sim::events::EventRecorder;
+use adcc_sim::line::LINE_SIZE;
+use adcc_sim::system::{MemorySystem, SystemConfig};
+
+fn sys() -> MemorySystem {
+    MemorySystem::new(SystemConfig::nvm_only(4096, 1 << 20))
+}
+
+/// Reinitialize an 8-block allocator under the recorder and return the
+/// sanitizer's protocol diagnostics.
+fn alloc_reinit_diagnostics() -> Vec<Diagnostic> {
+    let mut s = sys();
+    let a = PAlloc::new(&mut s, 8);
+    let layout = a.layout();
+    let mut rec = EventRecorder::new();
+    rec.track_range(layout.head_base, LINE_SIZE);
+    rec.track_range(layout.next_base, 8 * 8);
+    s.attach_recorder(rec);
+    a.reinit(&mut s);
+    let rec = s.take_recorder().expect("recorder attached");
+    let regions = vec![
+        Region::from_range(
+            "ds/alloc-head",
+            layout.head_base,
+            LINE_SIZE,
+            Role::Payload,
+            0,
+            Checks::ALL,
+        ),
+        Region::from_range(
+            "ds/alloc-next",
+            layout.next_base,
+            8 * 8,
+            Role::Payload,
+            0,
+            Checks::ALL,
+        ),
+    ];
+    analyze(rec.events(), &regions).protocol
+}
+
+/// Store one value through the two-slot checkpoint under the recorder
+/// and return the sanitizer's protocol diagnostics.
+fn ckpt_store_diagnostics() -> Vec<Diagnostic> {
+    let mut s = sys();
+    let ck = Checkpoint::new(&mut s);
+    let [slot_a, slot_b] = ck.line_addrs();
+    let mut rec = EventRecorder::new();
+    rec.track_range(slot_a, LINE_SIZE);
+    rec.track_range(slot_b, LINE_SIZE);
+    s.attach_recorder(rec);
+    ck.store(&mut s, 7);
+    let rec = s.take_recorder().expect("recorder attached");
+    let regions = vec![
+        Region::from_range(
+            "ds/ckpt-slot-a",
+            slot_a,
+            LINE_SIZE,
+            Role::Payload,
+            0,
+            Checks::ALL,
+        ),
+        Region::from_range(
+            "ds/ckpt-slot-b",
+            slot_b,
+            LINE_SIZE,
+            Role::Payload,
+            0,
+            Checks::ALL,
+        ),
+    ];
+    analyze(rec.events(), &regions).protocol
+}
+
+#[cfg(not(any(feature = "mutant-alloc-head", feature = "mutant-ckpt-slot")))]
+mod clean {
+    use super::*;
+
+    #[test]
+    fn clean_alloc_reinit_reports_zero_diagnostics() {
+        let diags = alloc_reinit_diagnostics();
+        assert!(diags.is_empty(), "clean tree must be silent: {diags:?}");
+    }
+
+    #[test]
+    fn clean_ckpt_store_reports_zero_diagnostics() {
+        let diags = ckpt_store_diagnostics();
+        assert!(diags.is_empty(), "clean tree must be silent: {diags:?}");
+    }
+}
+
+#[cfg(feature = "mutant-alloc-head")]
+#[test]
+fn skipped_head_persist_is_flagged_as_unpersisted_store() {
+    use adcc_analyze::Category;
+    let diags = alloc_reinit_diagnostics();
+    assert!(!diags.is_empty(), "mutant must be caught");
+    assert!(
+        diags
+            .iter()
+            .all(|d| d.category == Category::UnpersistedStore && d.region == "ds/alloc-head"),
+        "wrong category or region: {diags:?}"
+    );
+}
+
+#[cfg(feature = "mutant-ckpt-slot")]
+#[test]
+fn reordered_two_slot_publish_is_flagged() {
+    use adcc_analyze::Category;
+    let diags = ckpt_store_diagnostics();
+    assert!(
+        diags.iter().any(|d| d.category == Category::RedundantFlush),
+        "the stale-slot flush must be flagged redundant: {diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.category == Category::UnpersistedStore),
+        "the written slot must be flagged unpersisted: {diags:?}"
+    );
+}

@@ -226,6 +226,11 @@ impl CrashEmulator {
         // the delta once and share it (dense access-grain points are often
         // spaced closer than the polls that can capture them).
         let image = self.sys.crash_fork_delta(&base);
+        // Mark each harvested crash point in the (optional) persistency
+        // event stream so the analyzer can tie diagnostics to units.
+        for &unit in &fired {
+            self.sys.record_crash_mark(unit);
+        }
         let h = self.harvest.as_mut().expect("harvest armed");
         for unit in fired {
             h.out.push(Harvest {

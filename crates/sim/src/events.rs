@@ -1,0 +1,313 @@
+//! Opt-in, outcome-neutral persistency event recording.
+//!
+//! A [`EventRecorder`] attached to a [`MemorySystem`](crate::system::MemorySystem)
+//! observes the persistency-relevant instruction stream — NVM stores,
+//! `CLFLUSH`/`CLFLUSHOPT`/`CLWB`, batched epoch persists, `SFENCE`, and
+//! harvested crash points — without charging a single picosecond or
+//! bumping any event counter. Recording on vs. off is therefore invisible
+//! to the simulated execution (the `proptest_analyze_neutrality` suite
+//! pins this), which is what lets the persist-order analyzer
+//! (`adcc::analyze`) run against the exact campaigns CI already replays
+//! byte-for-byte.
+//!
+//! Store and flush events are recorded only for *tracked* line ranges
+//! (registered via [`EventRecorder::track_range`]), keeping the stream
+//! proportional to the protocol under analysis rather than the whole
+//! working set. Fences and crash marks are global ordering points and are
+//! always recorded. Each event carries the NVM write-journal epoch
+//! current at record time (see `Backing::journal_epoch`), so analysis can
+//! segment the stream at delta-base boundaries.
+//!
+//! Cache evictions are deliberately **not** events: an evicted dirty line
+//! is durable without any flush instruction having touched it, so the
+//! analyzer must treat the event stream as the *protocol's* persist
+//! ordering claims, not as ground truth about media state.
+
+/// What a recorded event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A store dirtied this tracked NVM line.
+    Store {
+        /// The line written (line index, i.e. address >> LINE_SHIFT).
+        line: u64,
+    },
+    /// An explicit flush instruction (`CLFLUSH`/`CLFLUSHOPT`/`CLWB`)
+    /// targeted this tracked line.
+    Flush {
+        /// The line flushed.
+        line: u64,
+    },
+    /// A batched epoch persist (`persist_lines_batched`) wrote this
+    /// tracked line back; the batch's single fence follows as its own
+    /// [`EventKind::Fence`] event.
+    FlushBatched {
+        /// The line persisted by the batch.
+        line: u64,
+    },
+    /// An `SFENCE`: every earlier flush is ordered before later stores.
+    Fence,
+    /// A crash image was harvested for a scheduled campaign unit at this
+    /// point of the stream (see `CrashEmulator::arm_harvest`).
+    Crash {
+        /// The scheduled unit whose crash state was captured here.
+        unit: u64,
+    },
+}
+
+/// One recorded persistency event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Position in the recorded stream (0-based, dense).
+    pub seq: u64,
+    /// NVM write-journal epoch at record time.
+    pub epoch: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The recorder: tracked line ranges plus the event stream.
+///
+/// Construct one, register the protocol's line ranges with
+/// [`EventRecorder::track_range`], attach it with
+/// `MemorySystem::attach_recorder`, run, and take it back with
+/// `MemorySystem::take_recorder`. Recording never touches the clock,
+/// the stats, or the caches.
+#[derive(Debug, Clone, Default)]
+pub struct EventRecorder {
+    /// Inclusive tracked line ranges, `(first_line, last_line)`.
+    ranges: Vec<(u64, u64)>,
+    events: Vec<Event>,
+}
+
+impl EventRecorder {
+    /// Empty recorder tracking no lines (fences and crash marks are still
+    /// recorded once attached).
+    pub fn new() -> Self {
+        EventRecorder::default()
+    }
+
+    /// Track every line of `[addr, addr + len)`.
+    pub fn track_range(&mut self, addr: u64, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let first = crate::line::line_of(addr);
+        let last = crate::line::line_of(addr + len as u64 - 1);
+        self.ranges.push((first, last));
+    }
+
+    /// Whether store/flush events on `line` are recorded.
+    #[inline]
+    pub fn tracks_line(&self, line: u64) -> bool {
+        self.ranges.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// The recorded stream, in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Consume the recorder, returning the stream.
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    #[inline]
+    fn push(&mut self, epoch: u64, kind: EventKind) {
+        let seq = self.events.len() as u64;
+        self.events.push(Event { seq, epoch, kind });
+    }
+
+    /// Record a store to `line` if tracked.
+    #[inline]
+    pub(crate) fn store(&mut self, epoch: u64, line: u64) {
+        if self.tracks_line(line) {
+            self.push(epoch, EventKind::Store { line });
+        }
+    }
+
+    /// Record an explicit flush of `line` if tracked.
+    #[inline]
+    pub(crate) fn flush(&mut self, epoch: u64, line: u64) {
+        if self.tracks_line(line) {
+            self.push(epoch, EventKind::Flush { line });
+        }
+    }
+
+    /// Record a batched persist of `line` if tracked.
+    #[inline]
+    pub(crate) fn flush_batched(&mut self, epoch: u64, line: u64) {
+        if self.tracks_line(line) {
+            self.push(epoch, EventKind::FlushBatched { line });
+        }
+    }
+
+    /// Record a fence (always).
+    #[inline]
+    pub(crate) fn fence(&mut self, epoch: u64) {
+        self.push(epoch, EventKind::Fence);
+    }
+
+    /// Record a harvested crash point for `unit` (always).
+    #[inline]
+    pub(crate) fn crash(&mut self, epoch: u64, unit: u64) {
+        self.push(epoch, EventKind::Crash { unit });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::line::LINE_SIZE;
+    use crate::system::{MemorySystem, SystemConfig};
+
+    fn sys() -> MemorySystem {
+        MemorySystem::new(SystemConfig::nvm_only(4096, 1 << 20))
+    }
+
+    #[test]
+    fn untracked_lines_record_nothing() {
+        let mut rec = EventRecorder::new();
+        rec.track_range(0, 0);
+        assert!(!rec.tracks_line(0));
+        rec.store(0, 5);
+        rec.flush(0, 5);
+        assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn tracked_range_is_inclusive_of_straddled_lines() {
+        let mut rec = EventRecorder::new();
+        // 100 bytes starting 30 bytes into line 2: lines 2..=4.
+        rec.track_range(2 * LINE_SIZE as u64 + 30, 100);
+        assert!(!rec.tracks_line(1));
+        assert!(rec.tracks_line(2));
+        assert!(rec.tracks_line(4));
+        assert!(!rec.tracks_line(5));
+    }
+
+    #[test]
+    fn recording_is_outcome_neutral() {
+        // Identical executions with and without a recorder attached must
+        // agree on every deterministic counter and the clock.
+        let run = |record: bool| -> (u64, crate::stats::MemStats, Vec<Event>) {
+            let mut s = sys();
+            let a = s.alloc_nvm(4 * LINE_SIZE);
+            if record {
+                let mut rec = EventRecorder::new();
+                rec.track_range(a, 4 * LINE_SIZE);
+                s.attach_recorder(rec);
+            }
+            for i in 0..4u64 {
+                s.write_bytes(a + i * LINE_SIZE as u64, &[i as u8 + 1; 8]);
+            }
+            s.clflush(a);
+            s.clwb(a + LINE_SIZE as u64);
+            s.persist_lines_batched(&[(a >> 6) + 2, (a >> 6) + 3]);
+            s.sfence();
+            let events = s
+                .take_recorder()
+                .map(EventRecorder::into_events)
+                .unwrap_or_default();
+            (s.now().ps(), *s.stats(), events)
+        };
+        let (t_off, stats_off, ev_off) = run(false);
+        let (t_on, stats_on, ev_on) = run(true);
+        assert_eq!(t_off, t_on, "recording must not charge time");
+        assert_eq!(stats_off, stats_on, "recording must not bump counters");
+        assert!(ev_off.is_empty());
+        assert!(!ev_on.is_empty());
+    }
+
+    #[test]
+    fn the_stream_orders_stores_flushes_and_fences() {
+        let mut s = sys();
+        let a = s.alloc_nvm(2 * LINE_SIZE);
+        let line = a >> 6;
+        let mut rec = EventRecorder::new();
+        rec.track_range(a, 2 * LINE_SIZE);
+        s.attach_recorder(rec);
+        s.write_bytes(a, &[1; 8]);
+        s.clflushopt(a);
+        s.sfence();
+        let rec = s.take_recorder().expect("recorder attached");
+        let kinds: Vec<EventKind> = rec.events().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::Store { line },
+                EventKind::Flush { line },
+                EventKind::Fence,
+            ]
+        );
+        // Sequence numbers are dense and ordered.
+        for (i, e) in rec.events().iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn batched_persist_records_per_line_writebacks_then_one_fence() {
+        let mut s = sys();
+        let a = s.alloc_nvm(3 * LINE_SIZE);
+        let mut rec = EventRecorder::new();
+        rec.track_range(a, 3 * LINE_SIZE);
+        s.attach_recorder(rec);
+        for i in 0..3u64 {
+            s.write_bytes(a + i * LINE_SIZE as u64, &[7; 8]);
+        }
+        let lines: Vec<u64> = (0..3).map(|i| (a >> 6) + i).collect();
+        s.persist_lines_batched(&lines);
+        let rec = s.take_recorder().unwrap();
+        let tail: Vec<EventKind> = rec.events()[3..].iter().map(|e| e.kind).collect();
+        assert_eq!(
+            tail,
+            vec![
+                EventKind::FlushBatched { line: lines[0] },
+                EventKind::FlushBatched { line: lines[1] },
+                EventKind::FlushBatched { line: lines[2] },
+                EventKind::Fence,
+            ]
+        );
+    }
+
+    #[test]
+    fn events_carry_the_journal_epoch() {
+        let mut s = sys();
+        let a = s.alloc_nvm(LINE_SIZE);
+        let mut rec = EventRecorder::new();
+        rec.track_range(a, LINE_SIZE);
+        s.attach_recorder(rec);
+        s.write_bytes(a, &[1; 8]);
+        let _base = s.delta_base(); // bumps the journal epoch
+        s.write_bytes(a, &[2; 8]);
+        let rec = s.take_recorder().unwrap();
+        let epochs: Vec<u64> = rec.events().iter().map(|e| e.epoch).collect();
+        assert_eq!(epochs.len(), 2);
+        assert!(epochs[0] < epochs[1], "{epochs:?}");
+    }
+
+    #[test]
+    fn cloning_the_system_clones_the_recorder() {
+        let mut s = sys();
+        let a = s.alloc_nvm(LINE_SIZE);
+        let mut rec = EventRecorder::new();
+        rec.track_range(a, LINE_SIZE);
+        s.attach_recorder(rec);
+        s.write_bytes(a, &[1; 8]);
+        let mut s2 = s.clone();
+        s2.write_bytes(a, &[2; 8]);
+        assert_eq!(s.take_recorder().unwrap().len(), 1);
+        assert_eq!(s2.take_recorder().unwrap().len(), 2);
+    }
+}

@@ -41,6 +41,7 @@ pub mod backing;
 pub mod clock;
 pub mod crash;
 pub mod epoch;
+pub mod events;
 pub mod image;
 pub mod line;
 pub mod lru;
@@ -55,6 +56,7 @@ pub mod prelude {
     pub use crate::clock::{Bucket, SimClock, SimTime};
     pub use crate::crash::{CrashEmulator, CrashSite, CrashTrigger, Harvest, RunOutcome};
     pub use crate::epoch::EpochPersist;
+    pub use crate::events::{Event, EventKind, EventRecorder};
     pub use crate::image::{DeltaImage, NvmImage};
     pub use crate::line::LINE_SIZE;
     pub use crate::lru::CacheConfig;

@@ -3,7 +3,7 @@
 use serde::Serialize;
 
 /// Counters for one cache level.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct LevelStats {
     /// Lookups that found the line resident.
     pub hits: u64,
@@ -28,7 +28,7 @@ impl LevelStats {
 }
 
 /// Counters for the whole memory system.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct MemStats {
     /// CPU cache level.
     pub cpu: LevelStats,

@@ -216,6 +216,7 @@ pub struct MemorySystem {
     nvm_streams: StreamDetector,
     dram_streams: StreamDetector,
     access_count: u64,
+    events: Option<Box<crate::events::EventRecorder>>,
 }
 
 impl MemorySystem {
@@ -233,7 +234,80 @@ impl MemorySystem {
             nvm_streams: StreamDetector::new(),
             dram_streams: StreamDetector::new(),
             access_count: 0,
+            events: None,
             cfg,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Persistency event recording (opt-in, outcome-neutral)
+    // ------------------------------------------------------------------
+
+    /// Attach a persistency [`EventRecorder`](crate::events::EventRecorder).
+    /// Recording is outcome-neutral: it never charges time or bumps stats,
+    /// so an instrumented run stays bit-identical to an uninstrumented one.
+    pub fn attach_recorder(&mut self, rec: crate::events::EventRecorder) {
+        self.events = Some(Box::new(rec));
+    }
+
+    /// Detach and return the recorder, if one is attached.
+    pub fn take_recorder(&mut self) -> Option<crate::events::EventRecorder> {
+        self.events.take().map(|b| *b)
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&crate::events::EventRecorder> {
+        self.events.as_deref()
+    }
+
+    /// Record a harvested crash point for a scheduled campaign `unit`
+    /// (no-op without a recorder; called by the crash emulator).
+    pub fn record_crash_mark(&mut self, unit: u64) {
+        if self.events.is_some() {
+            let epoch = self.nvm.journal_epoch();
+            if let Some(r) = self.events.as_deref_mut() {
+                r.crash(epoch, unit);
+            }
+        }
+    }
+
+    #[inline]
+    fn record_store_event(&mut self, line: u64) {
+        if self.events.is_some() {
+            let epoch = self.nvm.journal_epoch();
+            if let Some(r) = self.events.as_deref_mut() {
+                r.store(epoch, line);
+            }
+        }
+    }
+
+    #[inline]
+    fn record_flush_event(&mut self, line: u64) {
+        if self.events.is_some() {
+            let epoch = self.nvm.journal_epoch();
+            if let Some(r) = self.events.as_deref_mut() {
+                r.flush(epoch, line);
+            }
+        }
+    }
+
+    #[inline]
+    fn record_flush_batched_event(&mut self, line: u64) {
+        if self.events.is_some() {
+            let epoch = self.nvm.journal_epoch();
+            if let Some(r) = self.events.as_deref_mut() {
+                r.flush_batched(epoch, line);
+            }
+        }
+    }
+
+    #[inline]
+    fn record_fence_event(&mut self) {
+        if self.events.is_some() {
+            let epoch = self.nvm.journal_epoch();
+            if let Some(r) = self.events.as_deref_mut() {
+                r.fence(epoch);
+            }
         }
     }
 
@@ -307,6 +381,7 @@ impl MemorySystem {
             let off = crate::line::offset_in_line(a);
             let take = (LINE_SIZE - off).min(src.len() - done);
             let line = line_of(a);
+            self.record_store_event(line);
             self.with_line(line, |data| {
                 data[off..off + take].copy_from_slice(&src[done..done + take]);
                 true
@@ -430,6 +505,7 @@ impl MemorySystem {
     pub fn clflush(&mut self, addr: u64) {
         self.stats.clflushes += 1;
         self.clock.charge(self.cfg.timing.clflush_ps);
+        self.record_flush_event(line_of(addr));
         if let Some(v) = self.cpu.remove(line_of(addr)) {
             self.writeback(v);
         }
@@ -440,6 +516,7 @@ impl MemorySystem {
     pub fn clflushopt(&mut self, addr: u64) {
         self.stats.clflushopts += 1;
         self.clock.charge(self.cfg.timing.clflushopt_ps);
+        self.record_flush_event(line_of(addr));
         if let Some(v) = self.cpu.remove(line_of(addr)) {
             self.writeback(v);
         }
@@ -450,6 +527,7 @@ impl MemorySystem {
     pub fn clwb(&mut self, addr: u64) {
         self.stats.clwbs += 1;
         self.clock.charge(self.cfg.timing.clwb_ps);
+        self.record_flush_event(line_of(addr));
         if let Some(v) = self.cpu.clean_line(line_of(addr)) {
             self.writeback(v);
         }
@@ -544,6 +622,7 @@ impl MemorySystem {
         for &line in &lines {
             self.stats.clflushopts += 1;
             self.clock.charge(t.clflushopt_ps);
+            self.record_flush_batched_event(line);
             let addr = line << LINE_SHIFT;
             let cpu_victim = self.cpu.remove(line);
             if is_dram_addr(addr) {
@@ -579,6 +658,7 @@ impl MemorySystem {
     /// `SFENCE`: order earlier flushes before later stores. Pure cost.
     pub fn sfence(&mut self) {
         self.stats.sfences += 1;
+        self.record_fence_event();
         self.clock
             .charge_to(Bucket::Fence, self.cfg.timing.sfence_ps);
     }

@@ -1,0 +1,66 @@
+//! Mutation-testing half of the analyzer's validity proof, sim side.
+//!
+//! The same epoch-publish protocol runs twice — in the clean tree and
+//! under the `mutant-epoch-fence` feature (the barrier flushes without
+//! its ordering fence). The persist-order sanitizer must stay silent on
+//! the clean tree and flag the mutant with the correct category
+//! (`missing-fence`). The nightly `mutants` job runs this file both ways:
+//!
+//! ```text
+//! cargo test -p adcc_sim --test analyzer_mutants
+//! cargo test -p adcc_sim --features mutant-epoch-fence --test analyzer_mutants
+//! ```
+
+use adcc_analyze::{analyze, Checks, Diagnostic, Region, Role};
+use adcc_sim::epoch::EpochPersist;
+use adcc_sim::events::EventRecorder;
+use adcc_sim::line::LINE_SIZE;
+use adcc_sim::system::{MemorySystem, SystemConfig};
+
+/// Dirty four lines, publish them through an epoch barrier, and return
+/// the sanitizer's protocol diagnostics.
+fn epoch_publish_diagnostics() -> Vec<Diagnostic> {
+    let mut s = MemorySystem::new(SystemConfig::nvm_only(4096, 1 << 20));
+    let a = s.alloc_nvm(4 * LINE_SIZE);
+    let mut rec = EventRecorder::new();
+    rec.track_range(a, 4 * LINE_SIZE);
+    s.attach_recorder(rec);
+
+    for i in 0..4u64 {
+        s.write_bytes(a + i * LINE_SIZE as u64, &[i as u8 + 1; 8]);
+    }
+    let mut e = EpochPersist::new();
+    e.note_range(a, 4 * LINE_SIZE);
+    e.barrier(&mut s);
+
+    let rec = s.take_recorder().expect("recorder attached");
+    let regions = vec![Region::from_range(
+        "epoch/payload",
+        a,
+        4 * LINE_SIZE,
+        Role::Payload,
+        0,
+        Checks::ALL,
+    )];
+    analyze(rec.events(), &regions).protocol
+}
+
+#[cfg(not(feature = "mutant-epoch-fence"))]
+#[test]
+fn clean_epoch_publish_reports_zero_diagnostics() {
+    let diags = epoch_publish_diagnostics();
+    assert!(diags.is_empty(), "clean tree must be silent: {diags:?}");
+}
+
+#[cfg(feature = "mutant-epoch-fence")]
+#[test]
+fn dropped_epoch_fence_is_flagged_as_missing_fence() {
+    use adcc_analyze::Category;
+    let diags = epoch_publish_diagnostics();
+    assert_eq!(diags.len(), 4, "one open window per line: {diags:?}");
+    assert!(
+        diags.iter().all(|d| d.category == Category::MissingFence),
+        "wrong category: {diags:?}"
+    );
+    assert!(diags.iter().all(|d| d.region == "epoch/payload"));
+}

@@ -8,7 +8,8 @@
 //!
 //! | crate | contents |
 //! |---|---|
-//! | [`sim`] | crash emulator: data-tracking write-back cache hierarchy (pluggable LRU/FIFO/PLRU/random replacement), NVM timing model, CLFLUSH/CLFLUSHOPT/CLWB, epoch persist barriers, crash triggers, NVM images |
+//! | [`sim`] | crash emulator: data-tracking write-back cache hierarchy (pluggable LRU/FIFO/PLRU/random replacement), NVM timing model, CLFLUSH/CLFLUSHOPT/CLWB, epoch persist barriers, crash triggers, NVM images, opt-in persistency event recording |
+//! | [`analyze`] | persist-order sanitizer + WITCHER-style triage: happens-before-persist checking over recorded event streams (unpersisted stores, missing fences, redundant flushes, ordering races), invariant inference from passing trials, root-cause clustering of failing crash states |
 //! | [`pmem`] | PMDK-style persistent heap + undo/redo-log transactions (the paper's Intel-PMEM baseline) |
 //! | [`ckpt`] | checkpoint/restart: double-buffered NVM slots, HDD model, page-incremental, two-level local+remote, diskless N+1 parity |
 //! | [`linalg`] | CSR/SPD sparse and dense blocked linear algebra, native (rayon) and simulated |
@@ -47,6 +48,7 @@
 //! assert!(recovery.report.lost_units <= 8);
 //! ```
 
+pub use adcc_analyze as analyze;
 pub use adcc_campaign as campaign;
 pub use adcc_ckpt as ckpt;
 pub use adcc_core as core;

@@ -1,0 +1,141 @@
+//! Analyzer outcome-neutrality: attaching the persist-order event
+//! recorder must never change what the simulated machine computes, when
+//! it computes it, or what a campaign reports.
+//!
+//! Two layers:
+//!
+//! 1. A sim-level property over random partially-persisted workloads:
+//!    the same op stream driven through a recorded and an unrecorded
+//!    `MemorySystem` reads the same values, lands on the same simulated
+//!    time, and accumulates identical `MemStats` — the recorder observes
+//!    stores, flushes, and fences without ever touching the clock.
+//! 2. A campaign-level property: `run_triage` (which re-runs the exact
+//!    schedule with the recorder attached to every analyzed scenario)
+//!    must reproduce the plain engine's report byte for byte once the
+//!    v6 `diagnostics` block is set aside — same outcomes, same
+//!    `sim_time_ps` totals, same canonical text.
+
+use proptest::prelude::*;
+
+use adcc::campaign::engine::{run_campaign, CampaignConfig};
+use adcc::campaign::scenario::Registry;
+use adcc::campaign::triage::run_triage;
+use adcc::dist::net::FaultProfile;
+use adcc::sim::events::EventRecorder;
+use adcc::sim::parray::PArray;
+use adcc::sim::system::{MemorySystem, SystemConfig};
+
+fn cfg() -> SystemConfig {
+    SystemConfig::nvm_only(4 << 10, 1 << 20)
+}
+
+/// One epoch of a random workload: per-element stores, a persisted
+/// prefix (flush + fence), and a dirty tail left in the cache — the
+/// shape where a perturbing observer would be easiest to catch.
+#[derive(Debug, Clone)]
+struct Epoch {
+    values: Vec<u64>,
+    persist_prefix: usize,
+}
+
+fn epoch_strategy() -> impl Strategy<Value = Epoch> {
+    (proptest::collection::vec(any::<u64>(), 16), 0usize..=16).prop_map(
+        |(values, persist_prefix)| Epoch {
+            values,
+            persist_prefix,
+        },
+    )
+}
+
+/// Drive `epochs` through `sys`, returning the final array contents.
+fn drive(sys: &mut MemorySystem, epochs: &[Epoch]) -> Vec<u64> {
+    let a = PArray::<u64>::alloc_nvm(sys, 16);
+    for ep in epochs {
+        a.store_slice(sys, &ep.values);
+        a.slice(0, ep.persist_prefix).persist_all(sys);
+    }
+    a.load_vec(sys)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn recording_never_perturbs_the_simulated_machine(
+        epochs in proptest::collection::vec(epoch_strategy(), 1..6),
+    ) {
+        let mut plain = MemorySystem::new(cfg());
+        let plain_vals = drive(&mut plain, &epochs);
+
+        let mut recorded = MemorySystem::new(cfg());
+        let mut rec = EventRecorder::new();
+        rec.track_range(0, 4 << 10);
+        recorded.attach_recorder(rec);
+        let recorded_vals = drive(&mut recorded, &epochs);
+        let rec = recorded.take_recorder().expect("recorder still attached");
+
+        prop_assert_eq!(plain_vals, recorded_vals);
+        prop_assert_eq!(plain.now().ps(), recorded.now().ps());
+        prop_assert_eq!(plain.stats(), recorded.stats());
+        // ... and the observation is real: every epoch stores 16 words.
+        prop_assert!(rec.len() >= epochs.len() * 16);
+    }
+
+    #[test]
+    fn triage_reproduces_the_plain_ds_campaign_byte_for_byte(
+        seed in 0u64..1000,
+        budget in 8u64..=32,
+        threads in 1usize..=4,
+    ) {
+        let cfg = CampaignConfig {
+            seed,
+            budget_states: budget,
+            threads,
+            registry: Registry::Ds,
+            ..CampaignConfig::default()
+        };
+        let plain = run_campaign(&cfg);
+        let triaged = run_triage(&cfg);
+
+        // Outcome-for-outcome and picosecond-for-picosecond identical.
+        prop_assert_eq!(&triaged.report.totals, &plain.totals);
+        for (a, b) in triaged.report.scenarios.iter().zip(&plain.scenarios) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(&a.outcomes, &b.outcomes, "{}", a.name);
+            prop_assert_eq!(a.sim_time_ps_total, b.sim_time_ps_total, "{}", a.name);
+            prop_assert_eq!(a.lost_units_total, b.lost_units_total, "{}", a.name);
+        }
+        // The only difference the recorder is allowed to make is the v6
+        // diagnostics block itself.
+        let mut stripped = triaged.report.clone();
+        prop_assert!(stripped.diagnostics.is_some());
+        stripped.diagnostics = None;
+        prop_assert_eq!(stripped.canonical_string(), plain.canonical_string());
+    }
+}
+
+#[test]
+fn lossy_dist_triage_documents_are_rerun_and_thread_count_invariant() {
+    // The injected-fault plan is part of the deterministic schedule, so
+    // triage under `--faults lossy` must stay byte-identical across
+    // reruns and worker-thread counts, exactly like the fault-free path.
+    let cfg = CampaignConfig {
+        seed: 42,
+        budget_states: 12,
+        threads: 1,
+        registry: Registry::Dist,
+        faults: FaultProfile::Lossy,
+        ..CampaignConfig::default()
+    };
+    let one = run_triage(&cfg).to_string_pretty();
+    let rerun = run_triage(&cfg).to_string_pretty();
+    assert_eq!(one, rerun, "rerun must be byte-identical");
+    let eight = run_triage(&CampaignConfig {
+        threads: 8,
+        ..cfg.clone()
+    })
+    .to_string_pretty();
+    assert_eq!(one, eight, "thread count must not leak into the document");
+    assert!(one.contains("adcc-triage-report/v1"));
+    assert!(one.contains("\"faults\": \"lossy\""));
+}

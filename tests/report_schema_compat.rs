@@ -1,12 +1,12 @@
 //! Report-schema compatibility: the committed fixtures for every schema
-//! generation (`adcc-campaign-report/v1` through `/v5`) must stay
+//! generation (`adcc-campaign-report/v1` through `/v6`) must stay
 //! parseable by everything `campaign replay`, `campaign merge`, and
-//! `campaign compare` use, and the current telemetry block must survive a
-//! full JSON round-trip bit-for-bit.
+//! `campaign compare` use, and the current telemetry and diagnostics
+//! blocks must survive a full JSON round-trip bit-for-bit.
 
 use adcc::campaign::engine::{run_campaign, CampaignConfig};
 use adcc::campaign::report::{
-    compare, CampaignReport, SCHEMA, SCHEMA_V1, SCHEMA_V2, SCHEMA_V3, SCHEMA_V4,
+    compare, CampaignReport, SCHEMA, SCHEMA_V1, SCHEMA_V2, SCHEMA_V3, SCHEMA_V4, SCHEMA_V5,
 };
 use adcc::campaign::scenario::Registry;
 use adcc::dist::net::FaultProfile;
@@ -16,6 +16,7 @@ const V2_FIXTURE: &str = include_str!("fixtures/campaign-report-v2.json");
 const V3_FIXTURE: &str = include_str!("fixtures/campaign-report-v3.json");
 const V4_FIXTURE: &str = include_str!("fixtures/campaign-report-v4.json");
 const V5_FIXTURE: &str = include_str!("fixtures/campaign-report-v5.json");
+const V6_FIXTURE: &str = include_str!("fixtures/campaign-report-v6.json");
 
 fn v2_config() -> CampaignConfig {
     CampaignConfig {
@@ -161,12 +162,13 @@ fn v4_fixture_still_parses_and_upgrades_cleanly() {
 }
 
 #[test]
-fn v5_fixture_parses_and_roundtrips_bit_for_bit() {
+fn v5_fixture_still_parses_and_upgrades_cleanly() {
     // The v5 generation: a `faults` header naming the fabric fault profile
     // plus the injected-fault telemetry keys (`net_dropped`, `net_reordered`,
-    // `net_duplicated`, `net_retries`, `remote_restore_bytes`). It is the
-    // current schema, so parse → emit must be byte-identical.
-    assert!(V5_FIXTURE.contains(SCHEMA));
+    // `net_duplicated`, `net_retries`, `remote_restore_bytes`), but no
+    // analyzer `diagnostics` block yet.
+    assert!(V5_FIXTURE.contains(SCHEMA_V5));
+    assert!(!V5_FIXTURE.contains("\"diagnostics\""));
     let report = CampaignReport::parse(V5_FIXTURE).expect("v5 fixture must stay readable");
     assert_eq!(
         report.registry,
@@ -178,6 +180,10 @@ fn v5_fixture_parses_and_roundtrips_bit_for_bit() {
         FaultProfile::Lossy,
         "v5 fixture ran under the lossy fabric profile"
     );
+    assert!(
+        report.diagnostics.is_none(),
+        "pre-v6 reports carry no block"
+    );
     let t = report
         .telemetry
         .as_ref()
@@ -188,7 +194,57 @@ fn v5_fixture_parses_and_roundtrips_bit_for_bit() {
         report.totals.silent_corruption, 0,
         "fabric faults never corrupt results silently"
     );
-    assert_eq!(report.to_string_pretty(), V5_FIXTURE);
+    // Re-emission upgrades to v6 (the schema string only — no
+    // `diagnostics` block appears, since the run never attached the
+    // analyzer) and parses back to the same report.
+    let upgraded = report.to_string_pretty();
+    assert!(upgraded.contains(SCHEMA) && !upgraded.contains(SCHEMA_V5));
+    assert!(!upgraded.contains("\"diagnostics\""));
+    let reparsed = CampaignReport::parse(&upgraded).unwrap();
+    assert_eq!(reparsed, report);
+    assert_eq!(reparsed.canonical_string(), report.canonical_string());
+}
+
+#[test]
+fn v6_fixture_parses_and_roundtrips_bit_for_bit() {
+    // The v6 generation: an optional `diagnostics` block recording which
+    // scenarios ran under the persist-order analyzer and what protocol
+    // findings the sanitizer raised (empty on a clean tree). It is the
+    // current schema, so parse → emit must be byte-identical.
+    assert!(V6_FIXTURE.contains(SCHEMA));
+    let report = CampaignReport::parse(V6_FIXTURE).expect("v6 fixture must stay readable");
+    assert_eq!(
+        report.registry,
+        Registry::Ds,
+        "v6 fixture triages the persistent data-structure registry"
+    );
+    let diags = report
+        .diagnostics
+        .as_ref()
+        .expect("v6 fixture carries the analyzer block");
+    assert_eq!(
+        diags.analyzed,
+        vec![
+            "ds-queue-undo",
+            "ds-queue-base",
+            "ds-hash-undo",
+            "ds-hash-base"
+        ],
+        "every ds scenario ran under the analyzer"
+    );
+    assert!(
+        diags.findings.is_empty(),
+        "a clean tree raises zero protocol findings"
+    );
+    assert_eq!(report.to_string_pretty(), V6_FIXTURE);
+    // Replaying the fixture's header inputs through the analyzer-attached
+    // engine reproduces it exactly: recording is outcome-neutral and the
+    // triage path is deterministic.
+    let rerun = adcc::campaign::triage::run_triage(&CampaignConfig {
+        registry: Registry::Ds,
+        ..v2_config()
+    });
+    assert_eq!(rerun.report.canonical_string(), report.canonical_string());
 }
 
 #[test]
@@ -199,6 +255,7 @@ fn every_fixture_generation_parses() {
         ("v3", V3_FIXTURE),
         ("v4", V4_FIXTURE),
         ("v5", V5_FIXTURE),
+        ("v6", V6_FIXTURE),
     ] {
         let report = CampaignReport::parse(text)
             .unwrap_or_else(|e| panic!("{name} fixture must parse: {e}"));
