@@ -5,10 +5,11 @@
 //! campaign run     [--registry kernel|dist|ds] [--budget-states N]
 //!                  [--seed S] [--threads T]
 //!                  [--schedule stratified|every-k:K|exhaustive:N]
-//!                  [--telemetry] [--out PATH]
+//!                  [--telemetry] [--resilience] [--out PATH]
 //! campaign replay  --seed S [--registry NAME] [--budget-states N]
 //!                  [--threads T] [--schedule SPEC] [--telemetry]
 //!                  [--expect PATH]
+//! campaign resilience REPORT.json [--threads T] [--out PATH]
 //! campaign compare OLD.json NEW.json
 //! campaign cost    [--budget-states N] [--seed S] [--threads T]
 //!                  [--schedule SPEC] [--out PATH]
@@ -16,9 +17,11 @@
 //! ```
 //!
 //! `--telemetry` embeds per-scenario flush/fence/log/dirty-residency
-//! aggregates in the report (`adcc-campaign-report/v2`); `campaign cost`
-//! runs a telemetry campaign and prints the per-scenario cost table under
-//! the ADR and eADR cost models.
+//! aggregates in the report; `campaign cost` runs a telemetry campaign
+//! and prints the per-scenario cost table under the ADR, NearPM, and
+//! eADR cost models. `--resilience` (and the `resilience` subcommand)
+//! fuses the EasyCrash-style dirty-restart sweep into the campaign,
+//! adding per-scenario `natural_resilience` blocks to the report.
 //!
 //! Exit codes: `run` fails (1) on any silent-corruption outcome and — with
 //! `--telemetry` — on a flush-based scenario recording zero flushes,
@@ -31,12 +34,15 @@ use adcc_bench::{NativeCg, NativeMechanism};
 use adcc_campaign::cost::CostTable;
 use adcc_campaign::engine::{run_campaign, CampaignConfig};
 use adcc_campaign::json::Json;
-use adcc_campaign::report::{compare, flush_audit, parse_shard, CampaignReport, SCHEMA, SCHEMA_V5};
+use adcc_campaign::report::{
+    compare, flush_audit, parse_shard, CampaignReport, SCHEMA, SCHEMA_V5, SCHEMA_V6,
+};
+use adcc_campaign::resilience::run_resilience;
 use adcc_campaign::scenario::Registry;
 use adcc_campaign::schedule::Schedule;
 use adcc_campaign::triage::run_triage;
 use adcc_dist::net::FaultProfile;
-use adcc_telemetry::{adr_eadr_costs, ExecutionProfile, Probe};
+use adcc_telemetry::{adr_eadr_costs, platform_costs, ExecutionProfile, Probe};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,6 +51,7 @@ fn main() -> ExitCode {
         Some("replay") => cmd_run(&args[1..], true),
         Some("merge") => cmd_merge(&args[1..]),
         Some("triage") => cmd_triage(&args[1..]),
+        Some("resilience") => cmd_resilience(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("cost") => cmd_cost(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
@@ -70,20 +77,22 @@ usage:
                    [--schedule stratified|every-k:K|exhaustive:N]
                    [--dense D] [--max-batch B] [--per-trial]
                    [--shard I/N] [--faults off|lossy|chaotic]
-                   [--telemetry] [--out PATH]
+                   [--telemetry] [--resilience] [--out PATH]
   campaign replay  --seed S [--registry NAME] [--budget-states N]
                    [--threads T] [--schedule SPEC] [--dense D]
                    [--max-batch B] [--per-trial] [--shard I/N]
-                   [--faults PROFILE] [--telemetry] [--expect PATH]
-                   [--out PATH]
+                   [--faults PROFILE] [--telemetry] [--resilience]
+                   [--expect PATH] [--out PATH]
   campaign merge   --out PATH SHARD.json SHARD.json ...
   campaign triage  REPORT.json [--threads T] [--out PATH]
                    [--fail-on-diagnostics]
+  campaign resilience REPORT.json [--threads T] [--out PATH]
   campaign compare OLD.json NEW.json
   campaign cost    [--budget-states N] [--seed S] [--threads T]
                    [--schedule SPEC] [--registry NAME] [--json] [--out PATH]
   campaign bench   [--samples N] [--iters K] [--n DIM]
-                   [--campaign-states N] [--dist-states N] [--out PATH]
+                   [--campaign-states N] [--dist-states N] [--ds-states N]
+                   [--resilience-states N] [--out PATH]
 
 --registry NAME selects the scenario registry to sweep (recorded in the
 report; replays reproduce it): `kernel` (default) is the single-rank
@@ -123,6 +132,19 @@ campaign report embeds the schema-v6 diagnostics block. Needs a v5+
 unsharded report (older schemas predate the analyzed unit spaces; merge
 shards first). --fail-on-diagnostics exits nonzero when the clean-tree
 gate is violated (any protocol finding).
+--resilience fuses an EasyCrash-style dirty-restart sweep into the run:
+every harvested crash state is additionally rebooted from its raw dirty
+NVM image with NO consistency mechanism (no undo replay, no checkpoint
+rollback, no detection pass), run to its natural termination bound, and
+classified converged-exact / converged-acceptable / converged-wrong /
+diverged / detected-dirty-again against the crash-free reference. The
+per-scenario aggregate lands in the schema-v7 natural_resilience block;
+scenarios without a dirty-restart path (the ds registry) carry no block.
+Incompatible with --shard and --per-trial (the sweep is batched and
+needs the full schedule).
+resilience re-runs REPORT.json's exact schedule in dirty-restart mode
+(same scheduled crash points, same registry and fault profile) and
+emits the fused v7 report. Needs a v5+ unsharded report.
 ";
 
 /// Pull `--flag value` out of an option list.
@@ -183,7 +205,7 @@ fn cmd_run(args: &[String], replay: bool) -> Result<ExitCode, String> {
             "--out",
             "--expect",
         ],
-        &["--telemetry", "--per-trial", "--dist"],
+        &["--telemetry", "--per-trial", "--dist", "--resilience"],
     )?;
     let expect_path = take_opt(args, "--expect")?;
     if expect_path.is_some() && !replay {
@@ -246,6 +268,24 @@ fn cmd_run(args: &[String], replay: bool) -> Result<ExitCode, String> {
     // the canonical comparison could never match.
     cfg.telemetry =
         take_flag(args, "--telemetry") || expected.as_ref().is_some_and(|e| e.telemetry.is_some());
+    // Same inheritance for the dirty-restart sweep: replaying a report
+    // that carries natural_resilience blocks must re-run the sweep.
+    let resilience = take_flag(args, "--resilience")
+        || expected
+            .as_ref()
+            .is_some_and(|e| e.scenarios.iter().any(|s| s.natural_resilience.is_some()));
+    if resilience && cfg.shard.is_some() {
+        return Err(format!(
+            "--resilience cannot be combined with --shard: the dirty-restart \
+             sweep needs the full schedule (merged reports drop the block)\n{USAGE}"
+        ));
+    }
+    if resilience && cfg.per_trial {
+        return Err(format!(
+            "--resilience cannot be combined with --per-trial: the dirty-restart \
+             sweep harvests through the batched delta-image path\n{USAGE}"
+        ));
+    }
     // Resolve the output path up front: a malformed --out must not cost a
     // completed (possibly multi-minute) campaign.
     let out_path = take_opt(args, "--out")?;
@@ -253,8 +293,13 @@ fn cmd_run(args: &[String], replay: bool) -> Result<ExitCode, String> {
     // before the campaign spends any time running.
     cfg.validate().map_err(|e| format!("{e}\n{USAGE}"))?;
 
-    let report = run_campaign(&cfg);
+    let report = if resilience {
+        run_resilience(&cfg)
+    } else {
+        run_campaign(&cfg)
+    };
     print_summary(&report);
+    print_resilience(&report);
 
     if let Some(out) = out_path {
         std::fs::write(&out, report.to_string_pretty())
@@ -357,6 +402,57 @@ fn print_summary(report: &CampaignReport) {
     );
 }
 
+/// Per-scenario natural-resilience table (printed only when the report
+/// carries dirty-restart sweeps — a plain run shows nothing extra).
+fn print_resilience(report: &CampaignReport) {
+    if !report
+        .scenarios
+        .iter()
+        .any(|s| s.natural_resilience.is_some())
+    {
+        return;
+    }
+    println!(
+        "{:<30} {:>6} {:>6} {:>6} {:>6} {:>7} {:>6} {:>5} {:>9}",
+        "natural resilience",
+        "trials",
+        "exact",
+        "accept",
+        "wrong",
+        "diverge",
+        "detect",
+        "ok%",
+        "extra/ok"
+    );
+    for s in &report.scenarios {
+        let Some(r) = &s.natural_resilience else {
+            continue;
+        };
+        let c = &r.classes;
+        let total = c.total();
+        let ok_pct = if total == 0 {
+            0.0
+        } else {
+            c.converged_ok() as f64 * 100.0 / total as f64
+        };
+        println!(
+            "{:<30} {:>6} {:>6} {:>6} {:>6} {:>7} {:>6} {:>5.1} {:>9}",
+            s.name,
+            total,
+            c.converged_exact,
+            c.converged_acceptable,
+            c.converged_wrong,
+            c.diverged,
+            c.detected_dirty_again,
+            ok_pct,
+            match r.mean_extra_units_milli() {
+                Some(m) => format!("{:.3}", m as f64 / 1e3),
+                None => "-".to_string(),
+            },
+        );
+    }
+}
+
 /// Fold a complete set of shard reports into the canonical unsharded
 /// report. Validation failures (overlap, gaps, mismatched campaigns,
 /// unsharded inputs) exit nonzero without writing anything; the merged
@@ -435,10 +531,10 @@ fn cmd_triage(args: &[String]) -> Result<ExitCode, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let raw = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
     let schema = raw.get("schema").and_then(Json::as_str).unwrap_or("");
-    if schema != SCHEMA && schema != SCHEMA_V5 {
+    if schema != SCHEMA && schema != SCHEMA_V6 && schema != SCHEMA_V5 {
         return Err(format!(
-            "{path}: triage needs a {SCHEMA:?} or {SCHEMA_V5:?} report, got {schema:?} \
-             (older schemas predate the analyzed scenario unit spaces)\n{USAGE}"
+            "{path}: triage needs a {SCHEMA:?}, {SCHEMA_V6:?}, or {SCHEMA_V5:?} report, \
+             got {schema:?} (older schemas predate the analyzed scenario unit spaces)\n{USAGE}"
         ));
     }
     let report = CampaignReport::parse(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -509,6 +605,93 @@ fn cmd_triage(args: &[String]) -> Result<ExitCode, String> {
         eprintln!(
             "FAIL: {} protocol finding(s) on what should be a clean tree",
             diags.findings.len()
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Re-run a report's exact schedule with the dirty-restart sweep fused in
+/// and emit the schema-v7 report with per-scenario natural_resilience
+/// blocks. Rejects pre-v5 schemas (their unit spaces predate the batched
+/// scenarios) and shard reports (the sweep needs the full schedule).
+fn cmd_resilience(args: &[String]) -> Result<ExitCode, String> {
+    let (path, rest) = match args.split_first() {
+        Some((p, rest)) if !p.starts_with("--") => (p, rest),
+        _ => {
+            // Surface an unknown option before complaining about the
+            // missing positional, so typo'd flags get the right message.
+            check_known_flags(args, &["--threads", "--out"], &[])?;
+            return Err(format!("resilience needs a report path\n{USAGE}"));
+        }
+    };
+    check_known_flags(rest, &["--threads", "--out"], &[])?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let raw = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let schema = raw.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != SCHEMA && schema != SCHEMA_V6 && schema != SCHEMA_V5 {
+        return Err(format!(
+            "{path}: resilience needs a {SCHEMA:?}, {SCHEMA_V6:?}, or {SCHEMA_V5:?} report, \
+             got {schema:?} (older schemas predate the batched scenario unit spaces)\n{USAGE}"
+        ));
+    }
+    let report = CampaignReport::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    if report.shard.is_some() {
+        return Err(format!(
+            "{path}: cannot sweep a shard report — merge the full set first \
+             (campaign merge)\n{USAGE}"
+        ));
+    }
+
+    let mut cfg = CampaignConfig {
+        seed: report.seed,
+        budget_states: report.budget_states,
+        schedule: Schedule::parse(&report.schedule)?,
+        dense_units: report.dense_units,
+        registry: report.registry,
+        faults: report.faults,
+        ..CampaignConfig::default()
+    };
+    if let Some(v) = take_opt(rest, "--threads")? {
+        cfg.threads = parse_u64(&v, "threads")? as usize;
+    }
+    let out_path = take_opt(rest, "--out")?;
+    cfg.validate().map_err(|e| format!("{e}\n{USAGE}"))?;
+
+    let swept = run_resilience(&cfg);
+    let swept_scenarios = swept
+        .scenarios
+        .iter()
+        .filter(|s| s.natural_resilience.is_some())
+        .count();
+    let (mut trials, mut ok) = (0u64, 0u64);
+    for s in &swept.scenarios {
+        if let Some(r) = &s.natural_resilience {
+            trials += r.trials();
+            ok += r.classes.converged_ok();
+        }
+    }
+    println!(
+        "resilience: seed {} budget {} registry {} — {} of {} scenario(s) swept, \
+         {} dirty restart(s), {} converged ok",
+        cfg.seed,
+        cfg.budget_states,
+        cfg.registry.name(),
+        swept_scenarios,
+        swept.scenarios.len(),
+        trials,
+        ok,
+    );
+    print_resilience(&swept);
+    if let Some(out) = out_path {
+        std::fs::write(&out, swept.to_string_pretty())
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("resilience report written to {out}");
+    }
+    if swept.silent_corruption_total() > 0 {
+        eprintln!(
+            "FAIL: {} silent-corruption outcome(s)",
+            swept.silent_corruption_total()
         );
         return Ok(ExitCode::FAILURE);
     }
@@ -603,7 +786,7 @@ fn cmd_cost(args: &[String]) -> Result<ExitCode, String> {
         report.scenarios.len()
     );
     println!(
-        "{:<30} {:>6} {:>8} {:>7} {:>9} {:>10} {:>10} {:>10} {:>10} {:>6}",
+        "{:<30} {:>6} {:>8} {:>7} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10} {:>6}",
         "scenario",
         "trials",
         "flush",
@@ -612,19 +795,20 @@ fn cmd_cost(args: &[String]) -> Result<ExitCode, String> {
         "dirty B",
         "window us",
         "adr ms",
+        "nearpm ms",
         "eadr ms",
         "save%"
     );
     for s in &report.scenarios {
         let Some(t) = &s.telemetry else { continue };
-        let (adr, eadr) = adr_eadr_costs(t);
+        let (adr, nearpm, eadr) = platform_costs(t);
         let save = if adr == 0 {
             0.0
         } else {
             (adr - eadr) as f64 * 100.0 / adr as f64
         };
         println!(
-            "{:<30} {:>6} {:>8} {:>7} {:>9.1} {:>10} {:>10.1} {:>10.3} {:>10.3} {:>6.1}",
+            "{:<30} {:>6} {:>8} {:>7} {:>9.1} {:>10} {:>10.1} {:>10.3} {:>10.3} {:>10.3} {:>6.1}",
             s.name,
             s.trials,
             t.flush_total(),
@@ -633,14 +817,15 @@ fn cmd_cost(args: &[String]) -> Result<ExitCode, String> {
             t.dirty_bytes_at_crash(),
             t.consistency_window_ps() as f64 / 1e6,
             adr as f64 / 1e9,
+            nearpm as f64 / 1e9,
             eadr as f64 / 1e9,
             save,
         );
     }
     if let Some(t) = &report.telemetry {
-        let (adr, eadr) = adr_eadr_costs(t);
+        let (adr, nearpm, eadr) = platform_costs(t);
         println!(
-            "{:<30} {:>6} {:>8} {:>7} {:>9.1} {:>10} {:>10} {:>10.3} {:>10.3} {:>6.1}",
+            "{:<30} {:>6} {:>8} {:>7} {:>9.1} {:>10} {:>10} {:>10.3} {:>10.3} {:>10.3} {:>6.1}",
             "TOTAL",
             report.totals.total(),
             t.flush_total(),
@@ -649,6 +834,7 @@ fn cmd_cost(args: &[String]) -> Result<ExitCode, String> {
             t.dirty_bytes_at_crash(),
             "-",
             adr as f64 / 1e9,
+            nearpm as f64 / 1e9,
             eadr as f64 / 1e9,
             if adr == 0 {
                 0.0
@@ -767,6 +953,7 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
             "--campaign-states",
             "--dist-states",
             "--ds-states",
+            "--resilience-states",
             "--out",
         ],
         &[],
@@ -797,10 +984,14 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
         .map(|v| parse_u64(&v, "ds-states"))
         .transpose()?
         .unwrap_or(500);
+    let resilience_states = take_opt(args, "--resilience-states")?
+        .map(|v| parse_u64(&v, "resilience-states"))
+        .transpose()?
+        .unwrap_or(500);
     // Default to the *current* trajectory point: BENCH_0.json (v1)
-    // through BENCH_5.json (v6) are committed documents and must never be
-    // clobbered by a v7 emission.
-    let out = take_opt(args, "--out")?.unwrap_or_else(|| "BENCH_6.json".to_string());
+    // through BENCH_6.json (v7) are committed documents and must never be
+    // clobbered by a v8 emission.
+    let out = take_opt(args, "--out")?.unwrap_or_else(|| "BENCH_7.json".to_string());
 
     let class = adcc_linalg::CgClass {
         name: "bench",
@@ -1053,6 +1244,49 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
         results.push(e);
     }
 
+    // The dirty-restart sweep: the fused resilience engine over the
+    // kernel registry (every harvested crash image additionally rebooted
+    // with no consistency mechanism and run to natural termination). The
+    // row tracks sweep throughput plus the natural-resilience outcome
+    // mix, so a kernel change that erodes dirty-restart convergence is
+    // visible in the trajectory.
+    {
+        let t0 = std::time::Instant::now();
+        let swept_report = run_resilience(&CampaignConfig {
+            budget_states: resilience_states,
+            ..CampaignConfig::default()
+        });
+        let swept_secs = t0.elapsed().as_secs_f64();
+        let (mut dirty, mut ok, mut extra) = (0u64, 0u64, 0u64);
+        for s in &swept_report.scenarios {
+            if let Some(r) = &s.natural_resilience {
+                dirty += r.trials();
+                ok += r.classes.converged_ok();
+                extra += r.extra_units_total;
+            }
+        }
+        let dps = dirty as f64 / swept_secs.max(1e-9);
+        println!(
+            "{:<22} {dirty} dirty restarts in {swept_secs:>8.2} s | {dps:>8.0} restarts/s \
+             | {ok} converged ok, {extra} extra units",
+            "campaign/resilience",
+        );
+        let mut e = Json::obj();
+        e.push("bench", Json::Str("campaign/resilience".into()));
+        e.push("budget_states", Json::Int(resilience_states));
+        e.push("states", Json::Int(swept_report.totals.total()));
+        e.push("wall_ms", Json::Int((swept_secs * 1e3) as u64));
+        e.push("dirty_restarts", Json::Int(dirty));
+        e.push("dirty_restarts_per_sec", Json::Int(dps as u64));
+        e.push("converged_ok", Json::Int(ok));
+        e.push(
+            "converged_ok_ppm",
+            Json::Int((ok * 1_000_000).checked_div(dirty).unwrap_or(0)),
+        );
+        e.push("extra_units_total", Json::Int(extra));
+        results.push(e);
+    }
+
     let mut config = Json::obj();
     config.push("kernel", Json::Str("native-cg".into()));
     config.push("n", Json::Int(n as u64));
@@ -1063,12 +1297,13 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
     config.push("campaign_states", Json::Int(campaign_states));
     config.push("dist_states", Json::Int(dist_states));
     config.push("ds_states", Json::Int(ds_states));
+    config.push("resilience_states", Json::Int(resilience_states));
     let mut doc = Json::obj();
-    // v7 adds the campaign/dist-faults row: dist throughput under the
-    // lossy fabric profile plus the injected fault volume (v6 added the
-    // campaign/ds row, v5 the batched dist row and its per-trial
-    // baseline).
-    doc.push("schema", Json::Str("adcc-bench-trajectory/v7".into()));
+    // v8 adds the campaign/resilience row: dirty-restart sweep
+    // throughput plus the natural-resilience outcome mix (v7 added the
+    // campaign/dist-faults row, v6 the campaign/ds row, v5 the batched
+    // dist row and its per-trial baseline).
+    doc.push("schema", Json::Str("adcc-bench-trajectory/v8".into()));
     doc.push("unit", Json::Str("ns_per_iter".into()));
     doc.push("config", config);
     doc.push("results", Json::Arr(results));

@@ -1,19 +1,26 @@
 //! The machine-readable cost table (`campaign cost --json`).
 //!
 //! The human-readable cost table prints per-scenario flush/fence/log
-//! volume and the modeled ADR vs eADR price; this module emits the same
+//! volume and the modeled ADR/NearPM/eADR prices; this module emits the same
 //! rows as a schema-versioned JSON document so CI can *diff* cost-model
 //! outputs instead of scraping a text table. Parsing and emission
 //! round-trip byte-for-byte (insertion-ordered objects, exact integers),
 //! the same replayability contract campaign reports carry.
 
-use adcc_telemetry::adr_eadr_costs;
+use adcc_telemetry::platform_costs;
 
 use crate::json::Json;
 use crate::report::CampaignReport;
 
 /// Cost-table document schema (bump on breaking changes).
-pub const COST_SCHEMA: &str = "adcc-cost-table/v1";
+///
+/// v2 adds the `nearpm_cost_ps` column (near-data persistence preset)
+/// between the ADR and eADR prices. v1 documents still parse; the
+/// missing column defaults to zero.
+pub const COST_SCHEMA: &str = "adcc-cost-table/v2";
+
+/// The previous cost-table generation, still accepted by [`CostTable::parse`].
+pub const COST_SCHEMA_V1: &str = "adcc-cost-table/v1";
 
 /// One scenario's cost row (or the campaign total).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +41,8 @@ pub struct CostRow {
     pub consistency_window_ps: u64,
     /// Modeled cost under the ADR preset, picoseconds.
     pub adr_cost_ps: u64,
+    /// Modeled cost under the NearPM near-data preset, picoseconds.
+    pub nearpm_cost_ps: u64,
     /// Modeled cost under the eADR preset, picoseconds.
     pub eadr_cost_ps: u64,
 }
@@ -52,6 +61,7 @@ impl CostRow {
             Json::Int(self.consistency_window_ps),
         );
         j.push("adr_cost_ps", Json::Int(self.adr_cost_ps));
+        j.push("nearpm_cost_ps", Json::Int(self.nearpm_cost_ps));
         j.push("eadr_cost_ps", Json::Int(self.eadr_cost_ps));
         j
     }
@@ -75,6 +85,8 @@ impl CostRow {
             dirty_bytes: n("dirty_bytes")?,
             consistency_window_ps: n("consistency_window_ps")?,
             adr_cost_ps: n("adr_cost_ps")?,
+            // v1 rows predate the NearPM column.
+            nearpm_cost_ps: j.get("nearpm_cost_ps").and_then(Json::as_u64).unwrap_or(0),
             eadr_cost_ps: n("eadr_cost_ps")?,
         })
     }
@@ -102,7 +114,7 @@ impl CostTable {
     /// Scenarios without a telemetry block are skipped.
     pub fn from_report(report: &CampaignReport) -> CostTable {
         let row = |name: &str, trials: u64, t: &adcc_telemetry::ExecutionProfile| -> CostRow {
-            let (adr, eadr) = adr_eadr_costs(t);
+            let (adr, nearpm, eadr) = platform_costs(t);
             CostRow {
                 name: name.to_string(),
                 trials,
@@ -112,6 +124,7 @@ impl CostTable {
                 dirty_bytes: t.dirty_bytes_at_crash(),
                 consistency_window_ps: t.consistency_window_ps(),
                 adr_cost_ps: adr,
+                nearpm_cost_ps: nearpm,
                 eadr_cost_ps: eadr,
             }
         };
@@ -155,7 +168,7 @@ impl CostTable {
             .get("schema")
             .and_then(Json::as_str)
             .ok_or("missing schema")?;
-        if schema != COST_SCHEMA {
+        if schema != COST_SCHEMA && schema != COST_SCHEMA_V1 {
             return Err(format!(
                 "unsupported schema {schema:?} (want {COST_SCHEMA:?})"
             ));
@@ -201,7 +214,10 @@ mod tests {
         let table = CostTable::from_report(&report);
         assert!(!table.rows.is_empty(), "telemetry campaign yields rows");
         let total = table.total.as_ref().expect("campaign total present");
-        assert!(total.adr_cost_ps >= total.eadr_cost_ps, "eADR prices less");
+        assert!(
+            total.adr_cost_ps >= total.nearpm_cost_ps && total.nearpm_cost_ps >= total.eadr_cost_ps,
+            "presets must price in ADR >= NearPM >= eADR order"
+        );
         let text = table.to_string_pretty();
         let parsed = CostTable::parse(&text).unwrap();
         assert_eq!(parsed, table);
@@ -225,6 +241,35 @@ mod tests {
 
     #[test]
     fn parse_rejects_other_schemas() {
-        assert!(CostTable::parse(r#"{"schema": "adcc-cost-table/v2"}"#).is_err());
+        assert!(CostTable::parse(r#"{"schema": "adcc-cost-table/v3"}"#).is_err());
+    }
+
+    #[test]
+    fn v1_documents_still_parse_with_a_zero_nearpm_column() {
+        let v1 = r#"{
+  "schema": "adcc-cost-table/v1",
+  "seed": 42,
+  "budget_states": 10,
+  "schedule": "stratified",
+  "scenarios": [
+    {
+      "name": "cg-ckpt",
+      "trials": 10,
+      "flushes": 16,
+      "sfences": 8,
+      "log_bytes": 1024,
+      "dirty_bytes": 64,
+      "consistency_window_ps": 9000,
+      "adr_cost_ps": 7000000,
+      "eadr_cost_ps": 49000
+    }
+  ]
+}"#;
+        let table = CostTable::parse(v1).unwrap();
+        assert_eq!(table.rows[0].nearpm_cost_ps, 0);
+        // Re-emission upgrades the document to the current schema.
+        let upgraded = table.to_string_pretty();
+        assert!(upgraded.contains(COST_SCHEMA));
+        assert!(upgraded.contains("\"nearpm_cost_ps\": 0"));
     }
 }

@@ -379,6 +379,7 @@ pub(crate) fn aggregate(s: &dyn Scenario, dense_units: u64, trials: &[Trial]) ->
         lost_units_max: lost_max,
         sim_time_ps_total: sim_total,
         telemetry,
+        natural_resilience: None,
     }
 }
 

@@ -60,6 +60,7 @@ pub mod json;
 pub mod memstats;
 pub mod outcome;
 pub mod report;
+pub mod resilience;
 pub mod scenario;
 pub mod scenarios;
 pub mod schedule;
@@ -72,9 +73,10 @@ pub use outcome::{Outcome, OutcomeCounts};
 pub use report::{
     compare, flush_audit, CampaignReport, DiagnosticRecord, DiagnosticsBlock, ScenarioReport,
 };
+pub use resilience::run_resilience;
 pub use scenario::{
     dist_registry, ds_registry, registry, AnalyzedBatch, AnalyzedTrial, Kernel, Mechanism,
-    Registry, Scenario, Trial, UnitSpace,
+    Registry, ResilienceBatch, Scenario, Trial, UnitSpace,
 };
 pub use schedule::Schedule;
 pub use triage::{run_triage, TriageReport};

@@ -8,6 +8,7 @@
 //! `host` object, which [`CampaignReport::canonical_string`] strips.
 
 use adcc_dist::net::FaultProfile;
+use adcc_resilience::{DirtyClass, DirtyClassCounts, NaturalResilience, Tolerance};
 use adcc_telemetry::{adr_eadr_costs, ExecutionProfile};
 use serde::Serialize;
 
@@ -17,11 +18,16 @@ use crate::outcome::OutcomeCounts;
 use crate::scenario::Registry;
 
 /// Current report format identifier (bump on breaking schema changes).
-/// v6 adds the optional `diagnostics` block: persist-order sanitizer
-/// findings from analyzer-instrumented scenario sweeps (see
-/// `adcc::analyze`), emitted only when a campaign ran with analysis
-/// enabled so plain reports keep their exact v5 bytes.
-pub const SCHEMA: &str = "adcc-campaign-report/v6";
+/// v7 adds the optional per-scenario `natural_resilience` block: the
+/// EasyCrash-style dirty-restart sweep aggregate (class histogram,
+/// per-class rates, extra-work pricing, tolerance ladder) from
+/// `adcc::resilience`, emitted only when a campaign ran the resilience
+/// sweep so plain reports keep their exact v6 bytes.
+pub const SCHEMA: &str = "adcc-campaign-report/v7";
+
+/// The v6 format (optional `diagnostics` block: persist-order sanitizer
+/// findings), still accepted by [`CampaignReport::parse`].
+pub const SCHEMA_V6: &str = "adcc-campaign-report/v6";
 
 /// The v5 format (optional `faults` header, fault/remote telemetry
 /// keys), still accepted by [`CampaignReport::parse`].
@@ -70,6 +76,11 @@ pub struct ScenarioReport {
     /// Forward-execution cost profile summed over trials (present when the
     /// campaign ran with telemetry enabled; the v2 schema's new block).
     pub telemetry: Option<ExecutionProfile>,
+    /// Dirty-restart sweep aggregate (present when the campaign ran the
+    /// resilience sweep; the v7 schema's new block). Scenarios without a
+    /// dirty-restart path (e.g. the `ds` op-stream workloads) carry no
+    /// block even in a resilience run.
+    pub natural_resilience: Option<NaturalResilience>,
 }
 
 /// One persist-order sanitizer finding, flattened to schema-plain
@@ -314,6 +325,85 @@ fn telemetry_from_json(j: &Json) -> Result<ExecutionProfile, String> {
     })
 }
 
+/// Serialize one natural-resilience aggregate as a JSON object. The
+/// derived fields (`trials`, the per-class `rate_ppm` map,
+/// `mean_extra_units_milli`) are recomputed from the counters on every
+/// emission, so parse → emit stays byte-identical without storing them.
+fn resilience_json(r: &NaturalResilience) -> Json {
+    let mut tol = Json::obj();
+    tol.push("exact", Json::Float(r.tolerance.exact));
+    tol.push("acceptable", Json::Float(r.tolerance.acceptable));
+    tol.push("divergence", Json::Float(r.tolerance.divergence));
+    let mut classes = Json::obj();
+    let mut rates = Json::obj();
+    for c in DirtyClass::ALL {
+        classes.push(c.name(), Json::Int(r.classes.get(c)));
+        rates.push(c.name(), Json::Int(r.rate_ppm(c)));
+    }
+    let mut j = Json::obj();
+    j.push("tolerance", tol);
+    j.push("trials", Json::Int(r.trials()));
+    j.push("classes", classes);
+    j.push("rate_ppm", rates);
+    j.push("extra_units_total", Json::Int(r.extra_units_total));
+    j.push(
+        "mean_extra_units_milli",
+        match r.mean_extra_units_milli() {
+            Some(v) => Json::Int(v),
+            None => Json::Null,
+        },
+    );
+    j.push("sim_time_ps_total", Json::Int(r.sim_time_ps_total));
+    j
+}
+
+/// Parse a block emitted by [`resilience_json`] (derived fields are
+/// ignored; they are recomputed at emission).
+fn resilience_from_json(j: &Json) -> Result<NaturalResilience, String> {
+    let tol = j
+        .get("tolerance")
+        .ok_or("natural_resilience missing tolerance")?;
+    let f = |key: &str| -> Result<f64, String> {
+        match tol.get(key) {
+            Some(Json::Float(v)) => Ok(*v),
+            Some(Json::Int(v)) => Ok(*v as f64),
+            _ => Err(format!("tolerance missing {key}")),
+        }
+    };
+    let tolerance = Tolerance {
+        exact: f("exact")?,
+        acceptable: f("acceptable")?,
+        divergence: f("divergence")?,
+    };
+    if !(tolerance.exact >= 0.0
+        && tolerance.exact <= tolerance.acceptable
+        && tolerance.acceptable <= tolerance.divergence)
+    {
+        return Err(format!("tolerance ladder out of order: {tolerance:?}"));
+    }
+    let cj = j
+        .get("classes")
+        .ok_or("natural_resilience missing classes")?;
+    let mut classes = DirtyClassCounts::default();
+    for c in DirtyClass::ALL {
+        *classes.slot_mut(c) = cj
+            .get(c.name())
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("classes missing {}", c.name()))?;
+    }
+    let n = |key: &str| -> Result<u64, String> {
+        j.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("natural_resilience missing {key}"))
+    };
+    Ok(NaturalResilience {
+        tolerance,
+        classes,
+        extra_units_total: n("extra_units_total")?,
+        sim_time_ps_total: n("sim_time_ps_total")?,
+    })
+}
+
 /// Parse a shard marker spelled `"i/n"` (shard `i` of `n`, `i < n`).
 pub fn parse_shard(text: &str) -> Result<(u64, u64), String> {
     let bad = || format!("bad shard {text:?} (want I/N with I < N)");
@@ -387,6 +477,12 @@ impl CampaignReport {
         }
 
         let mut scenarios: Vec<ScenarioReport> = first.scenarios.clone();
+        // Sharded runs never carry a resilience sweep (the `resilience`
+        // subcommand rejects shard reports), so merged scenarios carry no
+        // block.
+        for s in &mut scenarios {
+            s.natural_resilience = None;
+        }
         for p in &partials[1..] {
             if p.scenarios.len() != scenarios.len() {
                 return Err("shards disagree on the scenario registry".into());
@@ -497,6 +593,9 @@ impl CampaignReport {
                 if let Some(t) = &s.telemetry {
                     e.push("telemetry", telemetry_json(t));
                 }
+                if let Some(r) = &s.natural_resilience {
+                    e.push("natural_resilience", resilience_json(r));
+                }
                 e
             })
             .collect();
@@ -554,6 +653,7 @@ impl CampaignReport {
             .and_then(Json::as_str)
             .ok_or("missing schema")?;
         if schema != SCHEMA
+            && schema != SCHEMA_V6
             && schema != SCHEMA_V5
             && schema != SCHEMA_V4
             && schema != SCHEMA_V3
@@ -561,8 +661,8 @@ impl CampaignReport {
             && schema != SCHEMA_V1
         {
             return Err(format!(
-                "unsupported schema {schema:?} (want {SCHEMA:?}, {SCHEMA_V5:?}, \
-                 {SCHEMA_V4:?}, {SCHEMA_V3:?}, {SCHEMA_V2:?}, or {SCHEMA_V1:?})"
+                "unsupported schema {schema:?} (want {SCHEMA:?}, {SCHEMA_V6:?}, \
+                 {SCHEMA_V5:?}, {SCHEMA_V4:?}, {SCHEMA_V3:?}, {SCHEMA_V2:?}, or {SCHEMA_V1:?})"
             ));
         }
         let int = |key: &str| -> Result<u64, String> {
@@ -601,6 +701,10 @@ impl CampaignReport {
                     lost_units_max: n("lost_units_max")?,
                     sim_time_ps_total: n("sim_time_ps_total")?,
                     telemetry: e.get("telemetry").map(telemetry_from_json).transpose()?,
+                    natural_resilience: e
+                        .get("natural_resilience")
+                        .map(resilience_from_json)
+                        .transpose()?,
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
@@ -781,6 +885,7 @@ mod tests {
                 lost_units_max: 2,
                 sim_time_ps_total: 123_456,
                 telemetry: None,
+                natural_resilience: None,
             }],
             totals: outcomes,
             telemetry: None,
@@ -856,7 +961,74 @@ mod tests {
     #[test]
     fn parse_rejects_other_schemas() {
         assert!(CampaignReport::parse(r#"{"schema": "bogus/v9"}"#).is_err());
-        assert!(CampaignReport::parse(r#"{"schema": "adcc-campaign-report/v7"}"#).is_err());
+        assert!(CampaignReport::parse(r#"{"schema": "adcc-campaign-report/v8"}"#).is_err());
+    }
+
+    #[test]
+    fn natural_resilience_block_roundtrips_and_is_canonical() {
+        use adcc_resilience::DirtyTrial;
+        let plain = sample();
+        assert!(!plain.canonical_string().contains("natural_resilience"));
+        let mut r = sample();
+        let tol = Tolerance::new(1e-9, 1e-3, 1e3);
+        r.scenarios[0].natural_resilience = Some(NaturalResilience::from_trials(
+            tol,
+            &[
+                DirtyTrial {
+                    unit: 0,
+                    class: DirtyClass::ConvergedExact,
+                    extra_units: 3,
+                    sim_time_ps: 1_000,
+                },
+                DirtyTrial {
+                    unit: 5,
+                    class: DirtyClass::ConvergedWrong,
+                    extra_units: 9,
+                    sim_time_ps: 500,
+                },
+            ],
+        ));
+        let text = r.to_string_pretty();
+        assert!(text.contains("\"natural_resilience\""));
+        assert!(text.contains("\"converged-wrong\": 1"));
+        assert!(text.contains("\"rate_ppm\""));
+        assert_ne!(plain.canonical_string(), r.canonical_string());
+        let parsed = CampaignReport::parse(&text).unwrap();
+        assert_eq!(parsed, r);
+        // Derived fields are recomputed, so re-emission is byte-identical.
+        assert_eq!(parsed.to_string_pretty(), text);
+    }
+
+    #[test]
+    fn natural_resilience_with_nothing_converged_emits_null_mean() {
+        use adcc_resilience::DirtyTrial;
+        let mut r = sample();
+        r.scenarios[0].natural_resilience = Some(NaturalResilience::from_trials(
+            Tolerance::exact_only(0.0),
+            &[DirtyTrial {
+                unit: 2,
+                class: DirtyClass::Diverged,
+                extra_units: 0,
+                sim_time_ps: 10,
+            }],
+        ));
+        let text = r.to_string_pretty();
+        assert!(text.contains("\"mean_extra_units_milli\": null"));
+        let parsed = CampaignReport::parse(&text).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.to_string_pretty(), text);
+    }
+
+    #[test]
+    fn parse_rejects_unordered_tolerance_ladders() {
+        let mut r = sample();
+        r.scenarios[0].natural_resilience =
+            Some(NaturalResilience::new(Tolerance::new(1e-9, 1e-3, 1e3)));
+        let text = r
+            .to_string_pretty()
+            .replace("\"acceptable\": 0.001", "\"acceptable\": 1000000.0");
+        let err = CampaignReport::parse(&text).unwrap_err();
+        assert!(err.contains("out of order"), "{err}");
     }
 
     #[test]

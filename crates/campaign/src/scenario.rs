@@ -193,6 +193,17 @@ pub struct AnalyzedBatch {
     pub protocol: Vec<adcc_analyze::Diagnostic>,
 }
 
+/// Output of one dirty-restart batch execution
+/// ([`Scenario::run_resilience`]): the EasyCrash-style natural-resilience
+/// sweep over the scenario's scheduled crash points.
+#[derive(Debug, Clone)]
+pub struct ResilienceBatch {
+    /// Per-unit dirty-restart trials, in engine (schedule) order.
+    pub trials: Vec<adcc_resilience::DirtyTrial>,
+    /// The residual tolerance the classification ladder used.
+    pub tolerance: adcc_resilience::Tolerance,
+}
+
 /// Result of injecting one crash state and attempting recovery.
 #[derive(Debug, Clone, Copy)]
 pub struct Trial {
@@ -345,6 +356,22 @@ pub trait Scenario: Send + Sync {
     /// Default: none — the scenario has no analyzed path and the triage
     /// engine falls back to `run_batch` with empty facts.
     fn run_analyzed(&self, units: &[u64], mem: &ImageMemory) -> Option<AnalyzedBatch> {
+        let _ = (units, mem);
+        None
+    }
+
+    /// Dirty-restart (EasyCrash) batch: harvest every scheduled crash
+    /// point like [`Scenario::run_batch`], but instead of the scenario's
+    /// recovery mechanism, reboot each crash image from the raw dirty NVM
+    /// state — no invariant scan, no checkpoint rollback, no log replay —
+    /// re-enter the iteration loop from whatever counters/values survived,
+    /// run to the natural termination bound, and classify the answer
+    /// against the reference through the scenario's residual tolerance.
+    /// Units whose trigger never fires complete cleanly and classify as
+    /// `converged-exact` with zero extra work. Default: none — the
+    /// scenario has no dirty-restart path and the resilience engine
+    /// records it as unsupported.
+    fn run_resilience(&self, units: &[u64], mem: &ImageMemory) -> Option<ResilienceBatch> {
         let _ = (units, mem);
         None
     }

@@ -9,10 +9,12 @@ use adcc_sim::image::NvmImage;
 use adcc_sim::system::{MemorySystem, SystemConfig};
 use adcc_telemetry::{ExecutionProfile, Probe};
 
+use adcc_resilience::Tolerance;
+
 use super::{harness, max_diff, trim_dram, verified_completion};
 use crate::memstats::ImageMemory;
 use crate::outcome::classify;
-use crate::scenario::{Kernel, Mechanism, Scenario, Trial, UnitSpace};
+use crate::scenario::{Kernel, Mechanism, ResilienceBatch, Scenario, Trial, UnitSpace};
 
 const ITERS: usize = 10;
 const WINDOW: usize = 4;
@@ -21,6 +23,14 @@ const PROBLEM_SEED: u64 = 302;
 /// Access-count spacing of dense crash points (one full run issues
 /// ~156k element accesses; a 16-access stride carries ~9.7k points).
 const DENSE_STRIDE: u64 = 16;
+
+/// Dirty-restart residual tolerance. BiCGSTAB's recurrence has no
+/// self-correction: continuing on a torn `(x, r, p)` triple rarely comes
+/// back to the true solution, which is exactly the contrast the
+/// resilience sweep is meant to expose against the contractive kernels.
+fn dirty_tolerance() -> Tolerance {
+    Tolerance::new(TOL, 1e-4, 1e3)
+}
 
 /// Extended BiCGSTAB; `window == iters + 1` is the paper-style full
 /// history, smaller windows bound the recovery horizon.
@@ -163,5 +173,29 @@ impl Scenario for BiExtended {
                 verified_completion(max_diff(&sol, &self.reference) < TOL, 0, profile)
             },
         ))
+    }
+
+    fn run_resilience(&self, units: &[u64], mem: &ImageMemory) -> Option<ResilienceBatch> {
+        let cfg = self.config();
+        let mut sys = MemorySystem::new(cfg.clone());
+        let bi = ExtendedBiCgStab::setup_windowed(&mut sys, &self.a, &self.b, ITERS, self.window);
+        let emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        let tolerance = dirty_tolerance();
+        let trials = harness::run_dirty(
+            units,
+            mem,
+            emu,
+            |u| self.trigger_of(u),
+            |e| {
+                bi.run(e, 0, ITERS, self.rho0)
+                    .completed()
+                    .expect("Never trigger completes");
+            },
+            |unit, image| {
+                let d = bi.dirty_restart(image, cfg.clone());
+                harness::classify_dirty(unit, &d, &self.reference, &tolerance)
+            },
+        );
+        Some(ResilienceBatch { trials, tolerance })
     }
 }

@@ -12,10 +12,12 @@ use adcc_sim::image::NvmImage;
 use adcc_sim::system::{MemorySystem, SystemConfig};
 use adcc_telemetry::{ExecutionProfile, Probe};
 
+use adcc_resilience::Tolerance;
+
 use super::{harness, max_diff, trim_dram, verified_completion};
 use crate::memstats::ImageMemory;
 use crate::outcome::classify;
-use crate::scenario::{Kernel, Mechanism, Scenario, Trial, UnitSpace};
+use crate::scenario::{Kernel, Mechanism, ResilienceBatch, Scenario, Trial, UnitSpace};
 
 const ITERS: usize = 12;
 const TOL: f64 = 1e-9;
@@ -31,6 +33,14 @@ fn problem() -> (CsrMatrix, Vec<f64>, Vec<f64>) {
     let b = class.rhs(&a);
     let reference = cg_host(&a, &b, ITERS);
     (a, b, reference)
+}
+
+/// Dirty-restart residual tolerance. Krylov continuation on a torn
+/// history rarely lands back on the exact trajectory, so `acceptable` is
+/// loose relative to the verification tolerance; anything past the
+/// divergence bound is a blow-up, not an answer.
+fn dirty_tolerance() -> Tolerance {
+    Tolerance::new(TOL, 1e-4, 1e3)
 }
 
 fn config(a: &CsrMatrix) -> SystemConfig {
@@ -158,6 +168,30 @@ impl Scenario for CgExtended {
                 verified_completion(max_diff(&sol.z, &self.reference) < TOL, 0, profile)
             },
         ))
+    }
+
+    fn run_resilience(&self, units: &[u64], mem: &ImageMemory) -> Option<ResilienceBatch> {
+        let cfg = config(&self.a);
+        let mut sys = MemorySystem::new(cfg.clone());
+        let (cg, rho0) = ExtendedCg::setup(&mut sys, &self.a, &self.b, ITERS);
+        let emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        let tolerance = dirty_tolerance();
+        let trials = harness::run_dirty(
+            units,
+            mem,
+            emu,
+            |u| self.trigger_of(u),
+            |e| {
+                cg.run(e, 0, ITERS, rho0)
+                    .completed()
+                    .expect("Never trigger completes");
+            },
+            |unit, image| {
+                let d = cg.dirty_restart(image, cfg.clone());
+                harness::classify_dirty(unit, &d, &self.reference, &tolerance)
+            },
+        );
+        Some(ResilienceBatch { trials, tolerance })
     }
 }
 
@@ -310,6 +344,32 @@ impl Scenario for CgCkpt {
                 verified_completion(max_diff(&sol, &self.reference) < TOL, 0, profile)
             },
         ))
+    }
+
+    fn run_resilience(&self, units: &[u64], mem: &ImageMemory) -> Option<ResilienceBatch> {
+        let cfg = config(&self.a);
+        let mut sys = MemorySystem::new(cfg.clone());
+        let (cg, rho0) = PlainCg::setup(&mut sys, &self.a, &self.b, ITERS);
+        let mgr = CkptManager::new_nvm(&mut sys, cg.ckpt_regions(), false);
+        let mgr = std::cell::RefCell::new(mgr);
+        let emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        let tolerance = dirty_tolerance();
+        let trials = harness::run_dirty(
+            units,
+            mem,
+            emu,
+            |u| self.trigger_of(u),
+            |e| {
+                adcc_core::cg::variants::run_with_ckpt(e, &cg, rho0, &mut mgr.borrow_mut())
+                    .completed()
+                    .expect("Never trigger completes");
+            },
+            |unit, image| {
+                let d = cg.dirty_restart(image, cfg.clone(), rho0);
+                harness::classify_dirty(unit, &d, &self.reference, &tolerance)
+            },
+        );
+        Some(ResilienceBatch { trials, tolerance })
     }
 }
 
@@ -565,5 +625,36 @@ impl Scenario for CgPmem {
                 verified_completion(max_diff(&sol, &self.reference) < TOL, 0, profile)
             },
         ))
+    }
+
+    fn run_resilience(&self, units: &[u64], mem: &ImageMemory) -> Option<ResilienceBatch> {
+        let cfg = config(&self.a);
+        let mut sys = MemorySystem::new(cfg.clone());
+        let (cg, rho0) = PlainCg::setup(&mut sys, &self.a, &self.b, ITERS);
+        let lines = 3 * (cg.n * 8).div_ceil(64) + 8;
+        let pool = std::cell::RefCell::new(UndoPool::new(&mut sys, lines));
+        let emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        let tolerance = dirty_tolerance();
+        let trials = harness::run_dirty(
+            units,
+            mem,
+            emu,
+            |u| self.trigger_of(u),
+            |e| {
+                let mut pool = pool.borrow_mut();
+                let mut rho = rho0;
+                for i in 0..ITERS {
+                    match self.pmem_iteration(&cg, e, &mut pool, i, rho, None) {
+                        RunOutcome::Completed(r) => rho = r,
+                        RunOutcome::Crashed(_) => unreachable!("Never trigger"),
+                    }
+                }
+            },
+            |unit, image| {
+                let d = cg.dirty_restart(image, cfg.clone(), rho0);
+                harness::classify_dirty(unit, &d, &self.reference, &tolerance)
+            },
+        );
+        Some(ResilienceBatch { trials, tolerance })
     }
 }

@@ -38,15 +38,16 @@ use adcc_dist::net::FaultProfile;
 use adcc_dist::sites;
 use adcc_dist::stencil::{DistStencil, StencilConfig};
 use adcc_dist::trial::{
-    reference_run, run_dist_batch, run_dist_trial, BatchPoint, DistKernel, DistTrial, RecoveryMode,
-    ReferenceRun,
+    reference_run, run_dist_batch, run_dist_dirty_batch, run_dist_dirty_trial, run_dist_trial,
+    BatchPoint, DirtyReboot, DistKernel, DistTrial, RecoveryMode, ReferenceRun,
 };
+use adcc_resilience::{DirtyClass, DirtyTrial, Tolerance};
 use adcc_sim::crash::{CrashSite, CrashTrigger};
 
 use super::{max_diff, verified_completion};
 use crate::memstats::ImageMemory;
 use crate::outcome::classify;
-use crate::scenario::{Kernel, Mechanism, Scenario, Trial, UnitSpace};
+use crate::scenario::{Kernel, Mechanism, ResilienceBatch, Scenario, Trial, UnitSpace};
 
 const TOL: f64 = 1e-9;
 
@@ -62,6 +63,9 @@ trait DistSpec: Send + Sync {
     /// Access-count spacing of dense crash points per rank (calibrated to
     /// the kernel's measured crash-free per-rank access count).
     fn dense_stride(&self) -> u64;
+    /// Residual tolerance the resilience sweep classifies dirty
+    /// continuations against.
+    fn dirty_tolerance(&self) -> Tolerance;
     fn build(&self, mode: RecoveryMode, failures: &[RankFailure]) -> (Cluster, Self::K);
 }
 
@@ -92,6 +96,12 @@ impl DistSpec for StencilSpec {
     fn dense_stride(&self) -> u64 {
         // ~5.4k crash-free accesses per rank.
         100
+    }
+    fn dirty_tolerance(&self) -> Tolerance {
+        // The explicit diffusion update is contractive, so a dirty block
+        // heals toward the reference; 1e-3 on a unit-scale rod accepts a
+        // visibly-healed plate without waving through a cold one.
+        Tolerance::new(TOL, 1e-3, 1e3)
     }
     fn build(&self, mode: RecoveryMode, failures: &[RankFailure]) -> (Cluster, DistStencil) {
         let cfg = StencilConfig::campaign_for(mode, self.faults);
@@ -128,6 +138,12 @@ impl DistSpec for JacobiSpec {
     fn dense_stride(&self) -> u64 {
         // ~9.7k crash-free accesses per rank.
         150
+    }
+    fn dirty_tolerance(&self) -> Tolerance {
+        // Jacobi smoothing contracts faster than the 1-D rod (four
+        // neighbors average in), so a slightly looser acceptable band
+        // still tells healed blocks from cold ones.
+        Tolerance::new(TOL, 1e-2, 1e3)
     }
     fn build(&self, mode: RecoveryMode, failures: &[RankFailure]) -> (Cluster, DistJacobi) {
         let cfg = JacobiConfig::campaign_for(mode, self.faults);
@@ -176,6 +192,12 @@ impl DistSpec for CgSpec {
     fn dense_stride(&self) -> u64 {
         // ~15k crash-free accesses per rank.
         250
+    }
+    fn dirty_tolerance(&self) -> Tolerance {
+        // The Krylov recurrence has no self-correction: a dirty segment
+        // either resumes from naturally-consistent residue (exact) or
+        // derails, so the acceptable band mostly documents the cliff.
+        Tolerance::new(TOL, 1e-4, 1e3)
     }
     fn build(&self, mode: RecoveryMode, failures: &[RankFailure]) -> (Cluster, DistCg) {
         let cfg = CgConfig::campaign_for(mode, self.faults);
@@ -445,6 +467,70 @@ impl<S: DistSpec> Scenario for Dist<S> {
                 .map(|u| by_unit.remove(u).expect("batch covered every unit"))
                 .collect(),
         )
+    }
+
+    /// The dirty-restart sweep over the same schedule `run_batch` covers:
+    /// singleton and dense units harvest through one forward execution and
+    /// reboot dirty on forked clusters; cascade and node-loss units run as
+    /// dedicated dirty trials. Units whose trigger never fires completed
+    /// clean — nothing crashed, nothing rebooted — and classify as
+    /// converged-exact at zero cost.
+    fn run_resilience(&self, units: &[u64], mem: &ImageMemory) -> Option<ResilienceBatch> {
+        let tolerance = self.spec.dirty_tolerance();
+        let classify_dirty = |unit: u64, d: &DirtyReboot| {
+            let diff = max_diff(&d.solution, &self.reference().solution);
+            DirtyTrial {
+                unit,
+                class: tolerance.classify(false, diff),
+                extra_units: 0,
+                sim_time_ps: d.sim_time_ps,
+            }
+        };
+        let mut points: Vec<BatchPoint> = Vec::new();
+        let mut solo: Vec<(u64, Vec<RankFailure>)> = Vec::new();
+        for &unit in units {
+            match self.decode(unit) {
+                UnitKind::Single(f) | UnitKind::Dense(f) => points.push(BatchPoint {
+                    unit,
+                    rank: f.rank,
+                    trigger: f.trigger,
+                }),
+                UnitKind::Cascade(first, second) => solo.push((unit, vec![first, second])),
+                UnitKind::NodeLoss(f) => solo.push((unit, vec![f])),
+            }
+        }
+        let mut by_unit: HashMap<u64, DirtyTrial> = HashMap::with_capacity(units.len());
+        if !points.is_empty() {
+            let (mut cl, mut kernel) = self.spec.build(self.mode, &[]);
+            let (results, stats) = run_dist_dirty_batch(&mut cl, &mut kernel, &points);
+            mem.record_execution(
+                stats.base_bytes,
+                stats.delta_bytes,
+                stats.images,
+                stats.pool_bytes,
+            );
+            for (unit, d) in results {
+                by_unit.insert(unit, classify_dirty(unit, &d));
+            }
+        }
+        for (unit, failures) in solo {
+            let (mut cl, mut kernel) = self.spec.build(self.mode, &failures);
+            if let Some(d) = run_dist_dirty_trial(&mut cl, &mut kernel) {
+                by_unit.insert(unit, classify_dirty(unit, &d));
+            }
+        }
+        let trials = units
+            .iter()
+            .map(|&unit| {
+                by_unit.remove(&unit).unwrap_or(DirtyTrial {
+                    unit,
+                    class: DirtyClass::ConvergedExact,
+                    extra_units: 0,
+                    sim_time_ps: 0,
+                })
+            })
+            .collect();
+        Some(ResilienceBatch { trials, tolerance })
     }
 }
 

@@ -8,6 +8,8 @@
 //! carries). Units whose trigger never fired completed cleanly; they share
 //! one completion-classified trial template.
 
+use adcc_core::DirtyRestart;
+use adcc_resilience::{DirtyClass, DirtyTrial, Tolerance};
 use adcc_sim::crash::{CrashEmulator, CrashSite, CrashTrigger, Harvest};
 use adcc_sim::image::NvmImage;
 use adcc_telemetry::{ExecutionProfile, Probe};
@@ -95,6 +97,77 @@ pub(crate) fn run_harvested_ref<T>(
         let profile = probe.as_ref().map(|p| p.finish(emu));
         complete_trial(end, emu, profile)
     })
+}
+
+/// Run one harvested batch execution in dirty-restart mode.
+///
+/// Same harvest mechanics as [`run_harvested`], but each crash state is
+/// handed to `dirty_trial` (which reboots it dirty and classifies the
+/// outcome) instead of the scenario's recovery path. Units whose trigger
+/// never fires complete cleanly: nothing was lost, nothing rebooted, so
+/// they classify as [`DirtyClass::ConvergedExact`] with zero extra work.
+pub(crate) fn run_dirty(
+    units: &[u64],
+    mem: &ImageMemory,
+    mut emu: CrashEmulator,
+    trigger_of: impl Fn(u64) -> CrashTrigger,
+    run: impl FnOnce(&mut CrashEmulator),
+    mut dirty_trial: impl FnMut(u64, &NvmImage) -> DirtyTrial,
+) -> Vec<DirtyTrial> {
+    debug_assert!(units.windows(2).all(|w| w[0] < w[1]), "units unsorted");
+    debug_assert_eq!(
+        emu.trigger(),
+        CrashTrigger::Never,
+        "batch executions must run to completion"
+    );
+    emu.arm_harvest(units.iter().map(|&u| (trigger_of(u), u)));
+    run(&mut emu);
+    let harvests = emu.take_harvests();
+    record(mem, &emu, &harvests);
+
+    let mut by_unit: Vec<Option<DirtyTrial>> = vec![None; units.len()];
+    for h in harvests.iter() {
+        let idx = units
+            .binary_search(&h.unit)
+            .expect("harvested unit was scheduled");
+        // Materialize one image at a time: classification is streaming.
+        let image = h.image.materialize();
+        by_unit[idx] = Some(dirty_trial(h.unit, &image));
+    }
+    by_unit
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            t.unwrap_or(DirtyTrial {
+                unit: units[i],
+                class: DirtyClass::ConvergedExact,
+                extra_units: 0,
+                sim_time_ps: 0,
+            })
+        })
+        .collect()
+}
+
+/// Classify one kernel dirty-restart against the scenario reference: a
+/// restart the application's own audit rejected is `detected-dirty-again`;
+/// otherwise the max elementwise difference runs through the tolerance
+/// ladder (NaN anywhere maps to infinity, hence diverged).
+pub(crate) fn classify_dirty(
+    unit: u64,
+    d: &DirtyRestart,
+    reference: &[f64],
+    tol: &Tolerance,
+) -> DirtyTrial {
+    let (detected, diff) = match &d.solution {
+        None => (true, 0.0),
+        Some(sol) => (false, super::max_diff(sol, reference)),
+    };
+    DirtyTrial {
+        unit,
+        class: tol.classify(detected, diff),
+        extra_units: d.extra_units,
+        sim_time_ps: d.sim_time_ps,
+    }
 }
 
 /// Record one batched execution's crash-image memory facts.

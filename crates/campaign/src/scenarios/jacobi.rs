@@ -11,10 +11,12 @@ use adcc_sim::image::NvmImage;
 use adcc_sim::system::{MemorySystem, SystemConfig};
 use adcc_telemetry::{ExecutionProfile, Probe};
 
+use adcc_resilience::Tolerance;
+
 use super::{harness, max_diff, trim_dram, verified_completion};
 use crate::memstats::ImageMemory;
 use crate::outcome::classify;
-use crate::scenario::{Kernel, Mechanism, Scenario, Trial, UnitSpace};
+use crate::scenario::{Kernel, Mechanism, ResilienceBatch, Scenario, Trial, UnitSpace};
 
 const ITERS: usize = 12;
 const TOL: f64 = 1e-9;
@@ -29,6 +31,14 @@ fn problem() -> (CsrMatrix, Vec<f64>, Vec<f64>) {
     let b = class.rhs(&a);
     let reference = jacobi_host(&a, &b, ITERS);
     (a, b, reference)
+}
+
+/// Dirty-restart residual tolerance. Weighted Jacobi is a fixed-point
+/// contraction: stale or torn iterates are perturbations the remaining
+/// iterations damp, so a loose `acceptable` band captures the natural
+/// resilience the EasyCrash argument predicts.
+fn dirty_tolerance() -> Tolerance {
+    Tolerance::new(TOL, 1e-2, 1e3)
 }
 
 fn config(a: &CsrMatrix) -> SystemConfig {
@@ -144,6 +154,30 @@ impl Scenario for JacobiExtended {
                 verified_completion(max_diff(&sol, &self.reference) < TOL, 0, profile)
             },
         ))
+    }
+
+    fn run_resilience(&self, units: &[u64], mem: &ImageMemory) -> Option<ResilienceBatch> {
+        let cfg = config(&self.a);
+        let mut sys = MemorySystem::new(cfg.clone());
+        let jac = ExtendedJacobi::setup(&mut sys, &self.a, &self.b, ITERS);
+        let emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        let tolerance = dirty_tolerance();
+        let trials = harness::run_dirty(
+            units,
+            mem,
+            emu,
+            |u| self.trigger_of(u),
+            |e| {
+                jac.run(e, 0, ITERS)
+                    .completed()
+                    .expect("Never trigger completes");
+            },
+            |unit, image| {
+                let d = jac.dirty_restart(image, cfg.clone());
+                harness::classify_dirty(unit, &d, &self.reference, &tolerance)
+            },
+        );
+        Some(ResilienceBatch { trials, tolerance })
     }
 }
 
@@ -290,5 +324,30 @@ impl Scenario for JacobiCkpt {
                 verified_completion(max_diff(&sol, &self.reference) < TOL, 0, profile)
             },
         ))
+    }
+
+    fn run_resilience(&self, units: &[u64], mem: &ImageMemory) -> Option<ResilienceBatch> {
+        let cfg = config(&self.a);
+        let mut sys = MemorySystem::new(cfg.clone());
+        let jac = PlainJacobi::setup(&mut sys, &self.a, &self.b, ITERS);
+        let mgr = RefCell::new(CkptManager::new_nvm(&mut sys, jac.ckpt_regions(), false));
+        let emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        let tolerance = dirty_tolerance();
+        let trials = harness::run_dirty(
+            units,
+            mem,
+            emu,
+            |u| self.trigger_of(u),
+            |e| {
+                adcc_core::jacobi::variants::run_with_ckpt(e, &jac, &mut mgr.borrow_mut())
+                    .completed()
+                    .expect("Never trigger completes");
+            },
+            |unit, image| {
+                let d = jac.dirty_restart(image, cfg.clone());
+                harness::classify_dirty(unit, &d, &self.reference, &tolerance)
+            },
+        );
+        Some(ResilienceBatch { trials, tolerance })
     }
 }

@@ -11,10 +11,12 @@ use adcc_sim::image::NvmImage;
 use adcc_sim::system::{MemorySystem, SystemConfig};
 use adcc_telemetry::{ExecutionProfile, Probe};
 
+use adcc_resilience::Tolerance;
+
 use super::{harness, trim_dram, verified_completion};
 use crate::memstats::ImageMemory;
 use crate::outcome::classify;
-use crate::scenario::{Kernel, Mechanism, Scenario, Trial, UnitSpace};
+use crate::scenario::{Kernel, Mechanism, ResilienceBatch, Scenario, Trial, UnitSpace};
 
 const N: usize = 32;
 const BK: usize = 4;
@@ -32,6 +34,26 @@ fn config() -> SystemConfig {
 
 fn blocks() -> u64 {
     N.div_ceil(BK) as u64
+}
+
+/// Dirty-restart residual tolerance. Elimination has no damping at all —
+/// a torn column poisons every later column it eliminates into — so a
+/// dirty factorization either survived bitwise-consistent state (exact)
+/// or is garbage; the `acceptable` band is correspondingly razor thin.
+fn dirty_tolerance() -> Tolerance {
+    Tolerance::new(TOL, 1e-6, 1e6)
+}
+
+/// Row-major flattening of the reference factor, the layout
+/// [`ChecksumLu::dirty_restart`] reports its answer in.
+fn flat_factor(m: &Matrix) -> Vec<f64> {
+    let mut out = Vec::with_capacity(N * N);
+    for i in 0..N {
+        for j in 0..N {
+            out.push(m.get(i, j));
+        }
+    }
+    out
 }
 
 /// NaN-aware factor comparison (`Matrix::max_abs_diff` folds with
@@ -169,6 +191,29 @@ impl Scenario for LuExtended {
                 verified_completion(factor_matches(&factor, &self.reference), 0, profile)
             },
         ))
+    }
+
+    fn run_resilience(&self, units: &[u64], mem: &ImageMemory) -> Option<ResilienceBatch> {
+        let cfg = config();
+        let mut sys = MemorySystem::new(cfg.clone());
+        let lu = ChecksumLu::setup(&mut sys, &self.a, BK);
+        let emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        let want = flat_factor(&self.reference);
+        let tolerance = dirty_tolerance();
+        let trials = harness::run_dirty(
+            units,
+            mem,
+            emu,
+            |u| self.trigger_of(u),
+            |e| {
+                lu.run(e, 0).completed().expect("Never trigger completes");
+            },
+            |unit, image| {
+                let d = lu.dirty_restart(image, cfg.clone());
+                harness::classify_dirty(unit, &d, &want, &tolerance)
+            },
+        );
+        Some(ResilienceBatch { trials, tolerance })
     }
 }
 
@@ -319,5 +364,32 @@ impl Scenario for LuCkpt {
                 verified_completion(factor_matches(&factor, &self.reference), 0, profile)
             },
         ))
+    }
+
+    fn run_resilience(&self, units: &[u64], mem: &ImageMemory) -> Option<ResilienceBatch> {
+        let cfg = config();
+        let mut sys = MemorySystem::new(cfg.clone());
+        let lu = ChecksumLu::setup(&mut sys, &self.a, BK);
+        let regions = adcc_core::lu::variants::lu_ckpt_regions(&lu);
+        let mgr = RefCell::new(CkptManager::new_nvm(&mut sys, regions, false));
+        let emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        let want = flat_factor(&self.reference);
+        let tolerance = dirty_tolerance();
+        let trials = harness::run_dirty(
+            units,
+            mem,
+            emu,
+            |u| self.trigger_of(u),
+            |e| {
+                adcc_core::lu::variants::run_with_ckpt(e, &lu, &mut mgr.borrow_mut())
+                    .completed()
+                    .expect("Never trigger completes");
+            },
+            |unit, image| {
+                let d = lu.dirty_restart(image, cfg.clone());
+                harness::classify_dirty(unit, &d, &want, &tolerance)
+            },
+        );
+        Some(ResilienceBatch { trials, tolerance })
     }
 }

@@ -15,10 +15,12 @@ use adcc_sim::image::NvmImage;
 use adcc_sim::system::{MemorySystem, SystemConfig};
 use adcc_telemetry::{ExecutionProfile, Probe};
 
+use adcc_resilience::Tolerance;
+
 use super::{harness, trim_dram, verified_completion};
 use crate::memstats::ImageMemory;
 use crate::outcome::classify;
-use crate::scenario::{Kernel, Mechanism, Scenario, Trial, UnitSpace};
+use crate::scenario::{Kernel, Mechanism, ResilienceBatch, Scenario, Trial, UnitSpace};
 
 const LOOKUPS: u64 = 1_200;
 const INTERVAL: u64 = 64;
@@ -28,6 +30,13 @@ const PROBLEM_SEED: u64 = 305;
 /// issues ~444k element accesses; a 48-access stride carries ~9.2k
 /// points).
 const DENSE_STRIDE: u64 = 48;
+
+/// Dirty-restart tolerance: tallies are integers, so the only acceptable
+/// answer is the exact reference — everything the count-total audit does
+/// not already reject is either bit-exact or wrong.
+fn dirty_tolerance() -> Tolerance {
+    Tolerance::exact_only(0.0)
+}
 
 /// One MC workload × persistence-mode pair.
 pub struct McCampaign {
@@ -196,5 +205,29 @@ impl Scenario for McCampaign {
                 verified_completion(matches, 0, profile)
             },
         ))
+    }
+
+    fn run_resilience(&self, units: &[u64], mem: &ImageMemory) -> Option<ResilienceBatch> {
+        let mut sys = MemorySystem::new(self.cfg.clone());
+        let mc = McSim::setup(&mut sys, self.problem.clone(), LOOKUPS, MC_SEED, self.mode);
+        let emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        let want: Vec<f64> = self.reference.iter().map(|&c| c as f64).collect();
+        let tolerance = dirty_tolerance();
+        let trials = harness::run_dirty(
+            units,
+            mem,
+            emu,
+            |u| self.trigger_of(u),
+            |e| {
+                mc.run(e, 0, LOOKUPS)
+                    .completed()
+                    .expect("Never trigger completes");
+            },
+            |unit, image| {
+                let d = mc.dirty_restart(image, self.cfg.clone());
+                harness::classify_dirty(unit, &d, &want, &tolerance)
+            },
+        );
+        Some(ResilienceBatch { trials, tolerance })
     }
 }

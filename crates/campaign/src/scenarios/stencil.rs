@@ -10,10 +10,12 @@ use adcc_sim::image::NvmImage;
 use adcc_sim::system::{MemorySystem, SystemConfig};
 use adcc_telemetry::{ExecutionProfile, Probe};
 
+use adcc_resilience::Tolerance;
+
 use super::{harness, max_diff, trim_dram, verified_completion};
 use crate::memstats::ImageMemory;
 use crate::outcome::classify;
-use crate::scenario::{Kernel, Mechanism, Scenario, Trial, UnitSpace};
+use crate::scenario::{Kernel, Mechanism, ResilienceBatch, Scenario, Trial, UnitSpace};
 
 // A 24×24 grid makes one generation (4.6 KB) overflow the 4 KB CPU cache,
 // so older sweeps actually reach NVM and the extension's verified-restart
@@ -46,6 +48,14 @@ fn config() -> SystemConfig {
 
 fn reference() -> Vec<f64> {
     heat_host(GRID, GRID, SWEEPS)
+}
+
+/// Dirty-restart residual tolerance. Diffusion is self-damping (the
+/// maximum principle bounds any torn-cell perturbation and every sweep
+/// shrinks it), so dirty restarts land near the reference; `acceptable`
+/// reflects the damping available in the remaining sweeps.
+fn dirty_tolerance() -> Tolerance {
+    Tolerance::new(TOL, 1e-3, 1e3)
 }
 
 // ---------------------------------------------------------------------
@@ -170,6 +180,30 @@ impl Scenario for StencilExtended {
                 verified_completion(max_diff(&grid, &self.reference) < TOL, 0, profile)
             },
         ))
+    }
+
+    fn run_resilience(&self, units: &[u64], mem: &ImageMemory) -> Option<ResilienceBatch> {
+        let cfg = config();
+        let mut sys = MemorySystem::new(cfg.clone());
+        let st = ExtendedStencil::setup(&mut sys, GRID, GRID, SWEEPS, WINDOW, ROW_BLOCK);
+        let emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        let tolerance = dirty_tolerance();
+        let trials = harness::run_dirty(
+            units,
+            mem,
+            emu,
+            |u| self.trigger_of(u),
+            |e| {
+                st.run(e, 0, SWEEPS)
+                    .completed()
+                    .expect("Never trigger completes");
+            },
+            |unit, image| {
+                let d = st.dirty_restart(image, cfg.clone());
+                harness::classify_dirty(unit, &d, &self.reference, &tolerance)
+            },
+        );
+        Some(ResilienceBatch { trials, tolerance })
     }
 }
 
@@ -319,5 +353,30 @@ impl Scenario for StencilCkpt {
                 verified_completion(max_diff(&grid, &self.reference) < TOL, 0, profile)
             },
         ))
+    }
+
+    fn run_resilience(&self, units: &[u64], mem: &ImageMemory) -> Option<ResilienceBatch> {
+        let cfg = config();
+        let mut sys = MemorySystem::new(cfg.clone());
+        let st = PlainStencil::setup(&mut sys, GRID, GRID, SWEEPS);
+        let mgr = RefCell::new(CkptManager::new_nvm(&mut sys, st.ckpt_regions(), false));
+        let emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        let tolerance = dirty_tolerance();
+        let trials = harness::run_dirty(
+            units,
+            mem,
+            emu,
+            |u| self.trigger_of(u),
+            |e| {
+                adcc_core::stencil::variants::run_with_ckpt(e, &st, &mut mgr.borrow_mut())
+                    .completed()
+                    .expect("Never trigger completes");
+            },
+            |unit, image| {
+                let d = st.dirty_restart(image, cfg.clone());
+                harness::classify_dirty(unit, &d, &self.reference, &tolerance)
+            },
+        );
+        Some(ResilienceBatch { trials, tolerance })
     }
 }

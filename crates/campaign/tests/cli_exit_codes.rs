@@ -30,7 +30,7 @@ fn assert_usage_failure(args: &[&str]) {
 
 #[test]
 fn unknown_flags_exit_nonzero_with_usage_on_stderr() {
-    for sub in ["run", "replay", "cost", "bench", "triage"] {
+    for sub in ["run", "replay", "cost", "bench", "triage", "resilience"] {
         let out = campaign(&[sub, "--bogus-flag"]);
         assert_eq!(out.status.code(), Some(1), "{sub} --bogus-flag");
         let stderr = String::from_utf8_lossy(&out.stderr);
@@ -349,6 +349,16 @@ fn triage_rejects_pre_v5_schema_generations() {
             "v{v} stderr:\n{stderr}"
         );
     }
+    // The accepted generations span every schema since the batched unit
+    // spaces landed: a v6 report still triages clean after the v7 bump.
+    let path = fixture("campaign-report-v6.json");
+    let out = campaign(&["triage", &path, "--threads", "2"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "v6 stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }
 
 #[test]
@@ -416,6 +426,110 @@ fn triage_of_a_clean_ds_run_exits_zero_even_failing_on_diagnostics() {
     let doc = std::fs::read_to_string(&triage_out).unwrap();
     assert!(doc.contains("adcc-triage-report/v1"));
     assert!(doc.contains("\"diagnostics\""));
+}
+
+#[test]
+fn resilience_usage_errors_exit_nonzero() {
+    // No report path, unknown flags, and flag-without-path all exit 1
+    // with usage on stderr (the triage contract, mirrored).
+    assert_usage_failure(&["resilience"]);
+    assert_usage_failure(&["resilience", "--threads", "2"]);
+    let path = fixture("campaign-report-v7.json");
+    assert_usage_failure(&["resilience", &path, "--bogus"]);
+    // A missing report file is a read error, not a usage error.
+    let out = campaign(&["resilience", "/nonexistent/report.json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"), "stderr:\n{stderr}");
+}
+
+#[test]
+fn resilience_rejects_pre_v5_schema_generations() {
+    // v1–v4 reports predate the batched scenario unit spaces: their
+    // headers cannot be re-swept faithfully, so the subcommand must
+    // refuse them loudly rather than classify the wrong schedule.
+    for v in 1..=4 {
+        let path = fixture(&format!("campaign-report-v{v}.json"));
+        let out = campaign(&["resilience", &path]);
+        assert_eq!(out.status.code(), Some(1), "v{v} must be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("resilience needs a") && stderr.contains("usage:"),
+            "v{v} stderr:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn resilience_rejects_unmerged_shard_reports() {
+    let dir = std::env::temp_dir().join("adcc-resilience-exitcodes");
+    std::fs::create_dir_all(&dir).unwrap();
+    let shard = run_shard(&dir, "0/2", "12");
+    let out = campaign(&["resilience", &shard]);
+    assert_eq!(out.status.code(), Some(1), "shard reports must be rejected");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("shard") && stderr.contains("merge"),
+        "stderr:\n{stderr}"
+    );
+}
+
+#[test]
+fn resilience_and_shard_flags_are_mutually_exclusive_on_run() {
+    let out = campaign(&[
+        "run",
+        "--budget-states",
+        "2",
+        "--resilience",
+        "--shard",
+        "0/2",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--resilience") && stderr.contains("--shard") && stderr.contains("usage:"),
+        "stderr:\n{stderr}"
+    );
+}
+
+#[test]
+fn resilience_of_a_clean_kernel_run_exits_zero_and_writes_the_sweep() {
+    let dir = std::env::temp_dir().join("adcc-resilience-exitcodes");
+    std::fs::create_dir_all(&dir).unwrap();
+    let report = dir.join("kernel-clean.json").to_string_lossy().into_owned();
+    let out = campaign(&[
+        "run",
+        "--budget-states",
+        "6",
+        "--seed",
+        "7",
+        "--threads",
+        "2",
+        "--out",
+        &report,
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let swept_out = dir
+        .join("kernel-clean-swept.json")
+        .to_string_lossy()
+        .into_owned();
+    let out = campaign(&["resilience", &report, "--threads", "2", "--out", &swept_out]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "clean tree must sweep clean: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("dirty restart(s)"), "stdout:\n{stdout}");
+    let doc = std::fs::read_to_string(&swept_out).unwrap();
+    assert!(doc.contains("adcc-campaign-report/v7"));
+    assert!(doc.contains("\"natural_resilience\""));
 }
 
 #[test]

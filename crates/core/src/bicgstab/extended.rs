@@ -10,7 +10,7 @@ use adcc_sim::parray::{PArray, PMatrix, PScalar};
 use adcc_sim::system::{MemorySystem, SystemConfig};
 
 use super::sites;
-use crate::traits::RecoveryReport;
+use crate::traits::{DirtyRestart, RecoveryReport};
 
 /// Relative tolerance for the residual identity, scaled by ‖b‖.
 const TOL_RESID: f64 = 1e-6;
@@ -297,6 +297,32 @@ impl ExtendedBiCgStab {
                 restart_unit: resume_at as u64,
             },
             solution: self.peek_solution(&sys),
+        }
+    }
+
+    /// EasyCrash-style dirty restart: reboot from the raw image, trust the
+    /// surviving `iter_cell` verbatim (no invariant scan), recompute
+    /// `rho = r(c)·r̂` from whatever residual row survived, and run the
+    /// remaining iterations.
+    pub fn dirty_restart(&self, image: &NvmImage, cfg: SystemConfig) -> DirtyRestart {
+        let mut sys = MemorySystem::dirty_reboot(cfg, image);
+        let t0 = sys.now();
+        let c = self.iter_cell.get(&mut sys) as usize;
+        if c >= self.iters {
+            // The loop bound itself rejects a counter past the end.
+            return DirtyRestart::rejected((sys.now() - t0).ps());
+        }
+        // r̂ = b throughout, so the entering rho is r(c)ᵀ b.
+        let rho = simops::dot(&mut sys, self.r_row(c), self.b);
+        let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        self.run(&mut emu, c, self.iters, rho)
+            .completed()
+            .expect("trigger is Never");
+        let sys = emu.into_system();
+        DirtyRestart {
+            solution: Some(self.peek_solution(&sys)),
+            extra_units: (self.iters - c) as u64,
+            sim_time_ps: (sys.now() - t0).ps(),
         }
     }
 

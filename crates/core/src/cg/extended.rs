@@ -20,7 +20,7 @@ use adcc_sim::parray::{PArray, PMatrix, PScalar};
 use adcc_sim::system::{MemorySystem, SystemConfig};
 
 use super::sites;
-use crate::traits::RecoveryReport;
+use crate::traits::{DirtyRestart, RecoveryReport};
 
 /// Relative tolerance for the orthogonality invariant
 /// `|p(j+1)·q(j)| <= TOL_ORTH * ||p|| * ||q||`.
@@ -323,6 +323,35 @@ impl ExtendedCg {
                 restart_unit: resume_at as u64,
             },
             solution: self.peek_solution(&sys, rho),
+        }
+    }
+
+    /// EasyCrash-style dirty restart: reboot from the raw image, trust the
+    /// flushed iteration counter verbatim, recompute `rho` from whatever
+    /// residual row survived, and run to the termination bound — no
+    /// invariant scan, no restart-point search. The Krylov recurrences are
+    /// *not* self-correcting, so stale rows usually end converged-wrong;
+    /// this is exactly the contrast the natural-resilience sweep measures.
+    pub fn dirty_restart(&self, image: &NvmImage, cfg: SystemConfig) -> DirtyRestart {
+        let mut sys = MemorySystem::dirty_reboot(cfg, image);
+        let t0 = sys.now();
+        let c = self.iter_cell.get(&mut sys) as usize;
+        if c >= self.iters {
+            // The loop bound itself rejects a counter past the end.
+            return DirtyRestart::rejected((sys.now() - t0).ps());
+        }
+        let r_c = self.r_row(c);
+        let rho = simops::dot(&mut sys, r_c, r_c);
+        let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        let rho = self
+            .run(&mut emu, c, self.iters, rho)
+            .completed()
+            .expect("trigger is Never");
+        let sys = emu.into_system();
+        DirtyRestart {
+            solution: Some(self.peek_solution(&sys, rho).z),
+            extra_units: (self.iters - c) as u64,
+            sim_time_ps: (sys.now() - t0).ps(),
         }
     }
 

@@ -19,7 +19,7 @@ use adcc_sim::system::{MemorySystem, SystemConfig};
 
 use super::plain::inv_diag;
 use super::{sites, OMEGA};
-use crate::traits::RecoveryReport;
+use crate::traits::{DirtyRestart, RecoveryReport};
 
 /// Relative tolerance for the update-equation invariant, scaled by ‖b‖.
 const TOL_UPDATE: f64 = 1e-6;
@@ -212,6 +212,29 @@ impl ExtendedJacobi {
                 restart_unit: resume_at as u64,
             },
             solution: self.peek_solution(&sys),
+        }
+    }
+
+    /// EasyCrash-style dirty restart: reboot from the raw image, trust the
+    /// surviving `iter_cell` verbatim (no update-equation scan), and run
+    /// the remaining iterations on whatever ring contents survived.
+    pub fn dirty_restart(&self, image: &NvmImage, cfg: SystemConfig) -> DirtyRestart {
+        let mut sys = MemorySystem::dirty_reboot(cfg, image);
+        let t0 = sys.now();
+        let c = self.iter_cell.get(&mut sys) as usize;
+        if c >= self.iters {
+            // The loop bound itself rejects a counter past the end.
+            return DirtyRestart::rejected((sys.now() - t0).ps());
+        }
+        let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        self.run(&mut emu, c, self.iters)
+            .completed()
+            .expect("trigger is Never");
+        let sys = emu.into_system();
+        DirtyRestart {
+            solution: Some(self.peek_solution(&sys)),
+            extra_units: (self.iters - c) as u64,
+            sim_time_ps: (sys.now() - t0).ps(),
         }
     }
 

@@ -52,4 +52,4 @@ pub mod mc;
 pub mod stencil;
 pub mod traits;
 
-pub use traits::RecoveryReport;
+pub use traits::{DirtyRestart, RecoveryReport};

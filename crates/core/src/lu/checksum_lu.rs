@@ -16,7 +16,7 @@ use adcc_sim::parray::{PArray, PMatrix, PScalar};
 use adcc_sim::system::{MemorySystem, SystemConfig};
 
 use super::sites;
-use crate::traits::RecoveryReport;
+use crate::traits::{DirtyRestart, RecoveryReport};
 
 /// Relative tolerance for checksum verification (scaled by the column's
 /// absolute sum; covers elimination-order rounding drift).
@@ -106,6 +106,13 @@ impl ChecksumLu {
     /// record the `U` digest (not yet flushed). Public so the baseline
     /// variants can reuse the identical kernel arithmetic.
     pub fn process_column(&self, sys: &mut MemorySystem, c: usize) {
+        self.process_column_inner(sys, c, true);
+    }
+
+    /// The column kernel. `strict` guards the zero-pivot assert; the dirty
+    /// restart path passes `false` so exactly-cancelled garbage divides
+    /// into inf/NaN (classified as divergence) instead of panicking.
+    fn process_column_inner(&self, sys: &mut MemorySystem, c: usize, strict: bool) {
         let src = self.acf.row(c);
         let dst = self.f.row(c);
         for i in 0..=self.n {
@@ -125,7 +132,7 @@ impl ChecksumLu {
             sys.charge_flops(2 * (self.n - k) as u64);
         }
         let pivot = dst.get(sys, c);
-        assert!(pivot != 0.0, "zero pivot in column {c}");
+        assert!(!strict || pivot != 0.0, "zero pivot in column {c}");
         for i in c + 1..=self.n {
             let v = dst.get(sys, i) / pivot;
             dst.set(sys, i, v);
@@ -249,6 +256,46 @@ impl ChecksumLu {
                 restart_unit: crashed_blk as u64,
             },
             factor: self.peek_factor(&sys),
+        }
+    }
+
+    /// EasyCrash-style dirty restart: reboot from the raw image, trust the
+    /// surviving `blk_cell` verbatim (no checksum verification, no
+    /// refactoring of torn earlier blocks), and factor the remaining
+    /// blocks on top of whatever survived.
+    pub fn dirty_restart(&self, image: &NvmImage, cfg: SystemConfig) -> DirtyRestart {
+        let mut sys = MemorySystem::dirty_reboot(cfg, image);
+        let t0 = sys.now();
+        let blk = self.blk_cell.get(&mut sys) as usize;
+        if blk >= self.blocks() {
+            // The loop bound itself rejects a counter past the end.
+            return DirtyRestart::rejected((sys.now() - t0).ps());
+        }
+        for b in blk..self.blocks() {
+            self.blk_cell.set(&mut sys, b as u64);
+            self.blk_cell.persist(&mut sys);
+            sys.sfence();
+            let cols = self.block_cols(b);
+            for c in cols.clone() {
+                self.process_column_inner(&mut sys, c, false);
+            }
+            for c in cols.clone() {
+                sys.persist_line(self.f.row(c).addr(self.n));
+            }
+            sys.persist_range(self.cs_u.addr(cols.start), (cols.end - cols.start) * 8);
+            sys.sfence();
+        }
+        let m = self.peek_factor(&sys);
+        let mut flat = Vec::with_capacity(self.n * self.n);
+        for i in 0..self.n {
+            for j in 0..self.n {
+                flat.push(m.get(i, j));
+            }
+        }
+        DirtyRestart {
+            solution: Some(flat),
+            extra_units: (self.blocks() - blk) as u64,
+            sim_time_ps: (sys.now() - t0).ps(),
         }
     }
 

@@ -9,7 +9,7 @@ use adcc_sim::system::{MemorySystem, SystemConfig};
 use super::grids::{McProblem, SimMcGrids};
 use super::rng::{sample, unit_f64};
 use super::{sites, XS_CHANNELS};
-use crate::traits::RecoveryReport;
+use crate::traits::{DirtyRestart, RecoveryReport};
 
 /// Persistence mode of the MC loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -281,6 +281,42 @@ impl McSim {
             *o = self.counters.peek(sys, c);
         }
         out
+    }
+
+    /// EasyCrash-style dirty restart: reboot from the raw image, trust the
+    /// surviving `idx_cell` verbatim, and run the remaining lookups on top
+    /// of whatever counter values survived. The tally audit every MC run
+    /// ends with (Σ counts = lookups) rejects double- or under-counted
+    /// dirty totals.
+    pub fn dirty_restart(&self, image: &NvmImage, cfg: SystemConfig) -> DirtyRestart {
+        let mut sys = MemorySystem::dirty_reboot(cfg, image);
+        let t0 = sys.now();
+        let idx = self.idx_cell.get(&mut sys);
+        if idx > self.lookups {
+            // The loop bound itself rejects a counter past the end.
+            return DirtyRestart::rejected((sys.now() - t0).ps());
+        }
+        let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        self.run(&mut emu, idx, self.lookups)
+            .completed()
+            .expect("trigger is Never");
+        let sys = emu.into_system();
+        let counts = self.peek_counts(&sys);
+        let total: u64 = counts.iter().sum();
+        let extra = self.lookups - idx;
+        let time = (sys.now() - t0).ps();
+        if total != self.lookups {
+            return DirtyRestart {
+                solution: None,
+                extra_units: extra,
+                sim_time_ps: time,
+            };
+        }
+        DirtyRestart {
+            solution: Some(counts.iter().map(|&c| c as f64).collect()),
+            extra_units: extra,
+            sim_time_ps: time,
+        }
     }
 
     /// Reseeded recovery: like [`McSim::recover_and_resume`], but the

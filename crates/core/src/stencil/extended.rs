@@ -8,7 +8,7 @@ use adcc_sim::parray::{PMatrix, PScalar};
 use adcc_sim::system::{MemorySystem, SystemConfig};
 
 use super::{initial_value, sites, ALPHA};
-use crate::traits::RecoveryReport;
+use crate::traits::{DirtyRestart, RecoveryReport};
 
 /// How block sums are compared during recovery.
 ///
@@ -297,6 +297,29 @@ impl ExtendedStencil {
             }
         }
         out
+    }
+
+    /// EasyCrash-style dirty restart: reboot from the raw image, trust the
+    /// surviving `sweep_cell` verbatim (no checksum scan), and finish the
+    /// sweeps on whatever ring contents survived.
+    pub fn dirty_restart(&self, image: &NvmImage, cfg: SystemConfig) -> DirtyRestart {
+        let mut sys = MemorySystem::dirty_reboot(cfg, image);
+        let t0 = sys.now();
+        let c = self.sweep_cell.get(&mut sys) as usize;
+        if c >= self.sweeps {
+            // The loop bound itself rejects a counter past the end.
+            return DirtyRestart::rejected((sys.now() - t0).ps());
+        }
+        let mut emu = CrashEmulator::from_system(sys, CrashTrigger::Never);
+        self.run(&mut emu, c, self.sweeps)
+            .completed()
+            .expect("trigger is Never");
+        let sys = emu.into_system();
+        DirtyRestart {
+            solution: Some(self.peek_grid(&sys, self.sweeps)),
+            extra_units: (self.sweeps - c) as u64,
+            sim_time_ps: (sys.now() - t0).ps(),
+        }
     }
 
     /// Average per-sweep simulated time of a crash-free run.

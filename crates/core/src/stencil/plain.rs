@@ -1,9 +1,11 @@
 //! Plain heat stencil: host reference and simulated ping-pong baseline.
 
+use adcc_sim::image::NvmImage;
 use adcc_sim::parray::{PMatrix, PScalar};
-use adcc_sim::system::MemorySystem;
+use adcc_sim::system::{MemorySystem, SystemConfig};
 
 use super::{initial_value, ALPHA};
+use crate::traits::DirtyRestart;
 
 /// Host-side reference: `sweeps` explicit 5-point sweeps of the heat
 /// equation on a `rows × cols` grid with fixed boundary. Returns the final
@@ -112,6 +114,27 @@ impl PlainStencil {
             }
         }
         out
+    }
+
+    /// EasyCrash-style dirty restart: reboot from the raw image and finish
+    /// the sweeps from the surviving `sweep_cell` on whatever mix of
+    /// generations survived in the ping-pong buffers.
+    pub fn dirty_restart(&self, image: &NvmImage, cfg: SystemConfig) -> DirtyRestart {
+        let mut sys = MemorySystem::dirty_reboot(cfg, image);
+        let t0 = sys.now();
+        let c = self.sweep_cell.get(&mut sys) as usize;
+        if c > self.sweeps {
+            // The loop bound itself rejects a counter past the end.
+            return DirtyRestart::rejected((sys.now() - t0).ps());
+        }
+        for t in c..self.sweeps {
+            self.sweep(&mut sys, t);
+        }
+        DirtyRestart {
+            solution: Some(self.peek_grid(&sys, self.sweeps)),
+            extra_units: (self.sweeps - c) as u64,
+            sim_time_ps: (sys.now() - t0).ps(),
+        }
     }
 }
 

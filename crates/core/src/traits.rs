@@ -35,6 +35,35 @@ impl RecoveryReport {
     }
 }
 
+/// What an EasyCrash-style dirty restart produced: re-enter the iteration
+/// loop from whatever raw counters/values survived in NVM — no invariant
+/// scan, no checkpoint rollback, no log replay — and run to the natural
+/// termination bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirtyRestart {
+    /// The answer the restarted run terminated with, flattened to the
+    /// kernel's scalar result vector. `None` means the application's own
+    /// sanity audit (counter out of range, count total mismatch) rejected
+    /// the dirty image before producing an answer.
+    pub solution: Option<Vec<f64>>,
+    /// Work units the restart executed from the surviving counter to the
+    /// termination bound.
+    pub extra_units: u64,
+    /// Simulated time of the dirty continuation.
+    pub sim_time_ps: u64,
+}
+
+impl DirtyRestart {
+    /// A restart rejected by the application's own audit.
+    pub fn rejected(sim_time_ps: u64) -> DirtyRestart {
+        DirtyRestart {
+            solution: None,
+            extra_units: 0,
+            sim_time_ps,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -633,6 +633,39 @@ impl DistKernel for DistCg {
         out
     }
 
+    /// Dirty reboot: under AlgorithmDirected, load whatever parity slot
+    /// the raw counter names — no detection pass, no segment assist; the
+    /// global `rho` keeps the survivors' volatile copy. Under
+    /// GlobalRestart nothing is consulted: the segments stay as the reboot
+    /// left them (zeros) and the Krylov recurrence continues on the mixed
+    /// state — exactly the hazard the resilience sweep measures.
+    fn dirty_reboot(&mut self, cl: &mut Cluster, crash: &CrashInfo) -> u64 {
+        let rank = crash.rank;
+        if crash.node_loss {
+            cl.reboot_rank_lost(rank);
+        } else {
+            cl.reboot_rank(rank, &crash.image);
+        }
+        if let RecoveryMode::AlgorithmDirected = self.cfg.mode {
+            let m = self.m;
+            let sys = cl.system_mut(rank);
+            let prev = sys.clock_mut().set_bucket(Bucket::Resume);
+            let c = self.counters[rank].get(sys);
+            let slot = self.slots[rank][(c % 2) as usize];
+            for j in 0..m {
+                let x = slot.get(sys, j);
+                let r = slot.get(sys, m + j);
+                let pv = slot.get(sys, 2 * m + j);
+                self.x_r[rank].set(sys, j, x);
+                self.r_r[rank].set(sys, j, r);
+                self.p_r[rank].set(sys, j, pv);
+            }
+            sys.clock_mut().set_bucket(prev);
+        }
+        cl.barrier();
+        crash.frontier() + 1
+    }
+
     /// `x ‖ r ‖ p` per rank plus the global `rho`: `q` and the replicated
     /// `p_full` are fully rewritten (compute / allgather) before any read
     /// in the remaining supersteps, and the NVM ring is a pure function of

@@ -558,6 +558,37 @@ impl DistKernel for DistJacobi {
         out
     }
 
+    /// Dirty reboot: under AlgorithmDirected, load whatever parity slot
+    /// the raw counter names — no detection pass, no halo assist. Under
+    /// GlobalRestart the block stays as the reboot left it (zeros). The
+    /// plate's fixed boundary cells are constants of the program text, so
+    /// both modes re-set them; halo cells facing neighbors are refilled by
+    /// the resumed superstep's opening exchange.
+    fn dirty_reboot(&mut self, cl: &mut Cluster, crash: &CrashInfo) -> u64 {
+        let rank = crash.rank;
+        if crash.node_loss {
+            cl.reboot_rank_lost(rank);
+        } else {
+            cl.reboot_rank(rank, &crash.image);
+        }
+        if let RecoveryMode::AlgorithmDirected = self.cfg.mode {
+            let sys = cl.system_mut(rank);
+            let prev = sys.clock_mut().set_bucket(Bucket::Resume);
+            let c = self.counters[rank].get(sys);
+            let slot = self.slots[rank][(c % 2) as usize];
+            for i in 0..self.rows_b {
+                for j in 0..self.cols_b {
+                    let v = slot.get(sys, i * self.cols_b + j);
+                    self.x[rank].set(sys, self.idx(i + 1, j + 1), v);
+                }
+            }
+            sys.clock_mut().set_bucket(prev);
+        }
+        self.set_boundaries(cl, rank);
+        cl.barrier();
+        crash.frontier() + 1
+    }
+
     /// The full working block, halo ring included: `x_new` is fully
     /// overwritten by the next compute before any read, so `x` alone pins
     /// the tail.

@@ -489,6 +489,45 @@ impl DistKernel for DistStencil {
         out
     }
 
+    /// Dirty reboot: under AlgorithmDirected, load whatever parity slot
+    /// the raw counter names — no detection pass, no frontier
+    /// cross-check, no halo assist. Under GlobalRestart the checkpoint is
+    /// a mechanism and dirty restarts run without one, so the partition
+    /// stays as the reboot left it (zeros); only the fixed rod boundary —
+    /// a constant of the program text, not recovered state — is re-set.
+    fn dirty_reboot(&mut self, cl: &mut Cluster, crash: &CrashInfo) -> u64 {
+        let rank = crash.rank;
+        if crash.node_loss {
+            cl.reboot_rank_lost(rank);
+        } else {
+            cl.reboot_rank(rank, &crash.image);
+        }
+        let pos = self.cfg.grid.chain_pos(rank);
+        let sys = cl.system_mut(rank);
+        let prev = sys.clock_mut().set_bucket(Bucket::Resume);
+        if let RecoveryMode::AlgorithmDirected = self.cfg.mode {
+            let c = self.counters[rank].get(sys);
+            let slot = self.slots[rank][(c % 2) as usize];
+            for j in 0..self.m {
+                let v = slot.get(sys, j);
+                self.x[rank].set(sys, j + 1, v);
+            }
+        }
+        self.x[rank].set(sys, 0, if pos == 0 { LEFT_B } else { 0.0 });
+        self.x[rank].set(
+            sys,
+            self.m + 1,
+            if pos == self.cfg.ranks - 1 {
+                RIGHT_B
+            } else {
+                0.0
+            },
+        );
+        sys.clock_mut().set_bucket(prev);
+        cl.barrier();
+        crash.frontier() + 1
+    }
+
     /// The full working iterate, halos included: `x_new` is fully
     /// overwritten by the next compute before any read, and the NVM slots
     /// and counters are pure functions of the committed iterates, so `x`

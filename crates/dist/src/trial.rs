@@ -130,6 +130,17 @@ pub trait DistKernel {
     /// invariant [`ReferenceRun`] exploits to short-circuit resumed tails
     /// (and `tests/delta_equivalence.rs` pins against the per-trial path).
     fn resume_state(&self, cl: &Cluster) -> Vec<f64>;
+
+    /// EasyCrash-style dirty reboot: bring the crashed rank back from its
+    /// raw NVM image with **no** recovery mechanism — no checkpoint
+    /// rollback, no detection pass, no neighbor-assisted reconstruction —
+    /// install whatever counters/values survived into the volatile working
+    /// set, and return the superstep the dirty continuation resumes at
+    /// (always the frontier's successor, with a full opening exchange).
+    /// Survivor ranks keep their volatile state untouched. Nothing here
+    /// may assert on the state it finds: torn, stale, or blank residue is
+    /// the input, and the classification ladder is the judge.
+    fn dirty_reboot(&mut self, cl: &mut Cluster, crash: &CrashInfo) -> u64;
 }
 
 /// Poll one phase boundary on every rank, in rank order, returning the
@@ -715,4 +726,163 @@ fn replay_recovery<K: DistKernel + Clone>(
                 .with_remote_restore_bytes(recovery.remote_restore_bytes)
         }),
     }
+}
+
+/// Outcome facts of one dirty continuation, classified by the campaign's
+/// resilience sweep. Dirty reboots never roll back — the cluster resumes
+/// at the frontier's successor — so no completed work is re-executed and
+/// the only cost is the simulated time of the reboot plus the tail.
+#[derive(Debug, Clone)]
+pub struct DirtyReboot {
+    /// Gathered global solution after the dirty continuation terminated.
+    pub solution: Vec<f64>,
+    /// Simulated cluster time from the reboot through the tail's end,
+    /// picoseconds.
+    pub sim_time_ps: u64,
+}
+
+/// Reboot one harvested crash state dirty and run the scenario to its
+/// natural termination bound. The live cluster is forked so the survivors'
+/// volatile state — which the resumed exchanges read — is exactly what the
+/// crash instant left; the failed rank comes back from the raw image via
+/// [`DistKernel::dirty_reboot`] with no mechanism consulted.
+pub fn replay_dirty<K: DistKernel + Clone>(
+    cl: &Cluster,
+    kernel: &K,
+    rank: usize,
+    iter: u64,
+    site: CrashSite,
+    image: &DeltaImage,
+) -> DirtyReboot {
+    let mut cl = cl.fork();
+    let mut kernel = kernel.clone();
+    let crash = CrashInfo {
+        rank,
+        iter,
+        site,
+        image: image.materialize(),
+        node_loss: cl.node_loss(rank),
+    };
+    let now_before = cl.max_now_ps();
+    let entry = kernel.dirty_reboot(&mut cl, &crash);
+    let iters = kernel.iters();
+    for it in entry..=iters {
+        let again = run_superstep(&mut kernel, &mut cl, it, true);
+        debug_assert!(again.is_none(), "forked emulators have no triggers");
+    }
+    DirtyReboot {
+        solution: kernel.solution(&cl),
+        // Saturating, matching `replay_recovery`: rebooting a rank that
+        // ran ahead of every survivor steps the frontier back.
+        sim_time_ps: cl.max_now_ps().saturating_sub(now_before),
+    }
+}
+
+/// Run one batch of crash points through a single forward execution and a
+/// dirty continuation per harvested state — the resilience-sweep analogue
+/// of [`run_dist_batch`]. Points whose trigger never fires are absent from
+/// the results (the caller fills them as clean completions).
+pub fn run_dist_dirty_batch<K: DistKernel + Clone>(
+    cl: &mut Cluster,
+    kernel: &mut K,
+    points: &[BatchPoint],
+) -> (Vec<(u64, DirtyReboot)>, BatchStats) {
+    let ranks = cl.ranks();
+    let mut stats = BatchStats {
+        pool_bytes: cl.system(0).config().nvm_capacity as u64,
+        ..BatchStats::default()
+    };
+    for rank in 0..ranks {
+        let pts: Vec<(CrashTrigger, u64)> = points
+            .iter()
+            .filter(|p| p.rank == rank)
+            .map(|p| (p.trigger, p.unit))
+            .collect();
+        if !pts.is_empty() {
+            cl.arm_harvest(rank, pts);
+            stats.base_bytes += stats.pool_bytes;
+        }
+    }
+    let mut results: Vec<(u64, DirtyReboot)> = Vec::with_capacity(points.len());
+    let iters = kernel.iters();
+    for iter in 1..=iters {
+        kernel.compute(cl, iter, true);
+        let fired = poll_phase(cl, sites::PH_MID, iter);
+        debug_assert!(fired.is_none(), "harvest plans capture instead of crashing");
+        drain_and_replay_dirty(cl, kernel, iter, sites::PH_MID, &mut results, &mut stats);
+        kernel.commit(cl, iter);
+        let fired = poll_phase(cl, sites::PH_END, iter);
+        debug_assert!(fired.is_none(), "harvest plans capture instead of crashing");
+        drain_and_replay_dirty(cl, kernel, iter, sites::PH_END, &mut results, &mut stats);
+        cl.barrier();
+    }
+    (results, stats)
+}
+
+/// Drain one poll boundary's captured states and run each distinct
+/// machine state through a dirty continuation — all states drained for one
+/// rank here share one [`DeltaImage`], so one replay serves every unit.
+fn drain_and_replay_dirty<K: DistKernel + Clone>(
+    cl: &mut Cluster,
+    kernel: &K,
+    iter: u64,
+    phase: u32,
+    results: &mut Vec<(u64, DirtyReboot)>,
+    stats: &mut BatchStats,
+) {
+    let site = CrashSite::new(phase, iter);
+    for rank in 0..cl.ranks() {
+        let harvests = cl.drain_harvests(rank);
+        if harvests.is_empty() {
+            continue;
+        }
+        debug_assert!(harvests.iter().all(|h| h.site == site));
+        stats.images += harvests.len() as u64;
+        stats.delta_bytes += harvests.iter().map(|h| h.image.delta_bytes()).sum::<u64>();
+        let reboot = replay_dirty(cl, kernel, rank, iter, site, &harvests[0].image);
+        let mut units = harvests.into_iter().map(|h| h.unit);
+        let last = units.next_back();
+        for unit in units {
+            results.push((unit, reboot.clone()));
+        }
+        if let Some(unit) = last {
+            results.push((unit, reboot));
+        }
+    }
+}
+
+/// Drive one failure set through forward execution and dirty continuations
+/// — the per-trial analogue of [`run_dist_trial`] for failure sets the
+/// batch path cannot harvest (cascades, node loss). Returns `None` when no
+/// armed trigger fired (the run completed clean). A second crash landing
+/// in a dirty tail reboots dirty again; each armed trigger fires at most
+/// once, so the cascade terminates.
+pub fn run_dist_dirty_trial<K: DistKernel>(
+    cl: &mut Cluster,
+    kernel: &mut K,
+) -> Option<DirtyReboot> {
+    let iters = kernel.iters();
+    let mut crash = None;
+    for iter in 1..=iters {
+        if let Some(c) = run_superstep(kernel, cl, iter, true) {
+            crash = Some(c);
+            break;
+        }
+    }
+    let first = crash?;
+    let now_before = cl.max_now_ps();
+    let mut pending = Some(first);
+    while let Some(c) = pending.take() {
+        let entry = kernel.dirty_reboot(cl, &c);
+        for iter in entry..=iters {
+            if let Some(next) = run_superstep(kernel, cl, iter, true) {
+                pending = Some(next);
+                break;
+            }
+        }
+    }
+    Some(DirtyReboot {
+        solution: kernel.solution(cl),
+        sim_time_ps: cl.max_now_ps().saturating_sub(now_before),
+    })
 }

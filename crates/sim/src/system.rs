@@ -319,6 +319,17 @@ impl MemorySystem {
         sys
     }
 
+    /// Dirty reboot: boot from the raw post-crash image with **no**
+    /// consistency mechanism, leaving the clock in [`Bucket::Resume`] so
+    /// the whole dirty continuation is attributed as recovery-resume time
+    /// (EasyCrash-style restarts run *extra* iterations; this is where
+    /// their cost lands).
+    pub fn dirty_reboot(cfg: SystemConfig, image: &NvmImage) -> Self {
+        let mut sys = MemorySystem::from_image(cfg, image);
+        sys.clock_mut().set_bucket(Bucket::Resume);
+        sys
+    }
+
     // ------------------------------------------------------------------
     // Allocation
     // ------------------------------------------------------------------

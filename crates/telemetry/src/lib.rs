@@ -18,7 +18,11 @@
 //!   paper's ADR-class platform (every flush and fence paid in full); the
 //!   [`cost::EadrCost`] preset prices a flush-on-fail platform where the
 //!   cache hierarchy is inside the persistence domain. The gap between
-//!   them is the mechanism's *flush tax*.
+//!   them is the mechanism's *flush tax*. The [`cost::NearPmCost`] preset
+//!   sits between the two: an ADR-domain platform with a NearPM-style
+//!   near-data persistence engine that executes logging and checkpoint
+//!   copies inside the memory module, so log bytes are priced near-free
+//!   while the flush tax is still paid.
 //!
 //! Everything is integer arithmetic over deterministic counters, so
 //! telemetry-carrying campaign reports stay byte-for-byte replayable.
@@ -53,6 +57,6 @@ pub mod cost;
 pub mod probe;
 pub mod profile;
 
-pub use cost::{adr_eadr_costs, AdrCost, CostModel, EadrCost};
+pub use cost::{adr_eadr_costs, platform_costs, AdrCost, CostModel, EadrCost, NearPmCost};
 pub use probe::Probe;
 pub use profile::ExecutionProfile;

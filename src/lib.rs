@@ -18,6 +18,7 @@
 //! | [`campaign`] | deterministic, seedable crash-injection campaign engine: named scenario registries (`kernel`, `dist`, `ds` — selected with `--registry`), crash-point schedules, parallel fan-out, JSON reports, the `campaign` CLI |
 //! | [`telemetry`] | crash-consistency cost accounting: flush/fence/log/network counters per execution, dirty-data residency at crash, consistency windows, the pluggable ADR/eADR `CostModel` |
 //! | [`dist`] | deterministic multi-rank execution: per-rank crash emulators joined by a seedable message fabric, halo-exchange/allreduce kernels, rank-granular crash injection, algorithm-directed local recovery vs global checkpoint restart |
+//! | [`resilience`] | EasyCrash-style dirty restarts: the five-class outcome ladder, per-scenario tolerance configuration, and the `natural_resilience` aggregate rolled into campaign reports |
 //! | [`ds`] | persistent data-structure workloads: crash-consistent free-list allocator, detectably-recoverable MSC queue and open-addressing hash table (checkpoint + announce/complete primitives), seeded multi-client op streams, linearizable-replay recovery checks |
 //!
 //! ## Quick start
@@ -57,6 +58,7 @@ pub use adcc_ds as ds;
 pub use adcc_harness as harness;
 pub use adcc_linalg as linalg;
 pub use adcc_pmem as pmem;
+pub use adcc_resilience as resilience;
 pub use adcc_sim as sim;
 pub use adcc_telemetry as telemetry;
 
@@ -84,6 +86,9 @@ pub mod prelude {
     pub use adcc_harness::{Case, Platform, Scale};
     pub use adcc_linalg::{CgClass, CsrMatrix, Matrix};
     pub use adcc_pmem::{LogStats, PersistentHeap, RedoPool, UndoPool};
+    pub use adcc_resilience::{
+        DirtyClass, DirtyClassCounts, DirtyTrial, NaturalResilience, Tolerance,
+    };
     pub use adcc_sim::prelude::*;
     pub use adcc_telemetry::{
         adr_eadr_costs, AdrCost, CostModel, EadrCost, ExecutionProfile, Probe,

@@ -1,13 +1,16 @@
 //! Report-schema compatibility: the committed fixtures for every schema
-//! generation (`adcc-campaign-report/v1` through `/v6`) must stay
+//! generation (`adcc-campaign-report/v1` through `/v7`) must stay
 //! parseable by everything `campaign replay`, `campaign merge`, and
-//! `campaign compare` use, and the current telemetry and diagnostics
-//! blocks must survive a full JSON round-trip bit-for-bit.
+//! `campaign compare` use, and the current telemetry, diagnostics, and
+//! natural-resilience blocks must survive a full JSON round-trip
+//! bit-for-bit.
 
 use adcc::campaign::engine::{run_campaign, CampaignConfig};
 use adcc::campaign::report::{
     compare, CampaignReport, SCHEMA, SCHEMA_V1, SCHEMA_V2, SCHEMA_V3, SCHEMA_V4, SCHEMA_V5,
+    SCHEMA_V6,
 };
+use adcc::campaign::resilience::run_resilience;
 use adcc::campaign::scenario::Registry;
 use adcc::dist::net::FaultProfile;
 
@@ -17,6 +20,7 @@ const V3_FIXTURE: &str = include_str!("fixtures/campaign-report-v3.json");
 const V4_FIXTURE: &str = include_str!("fixtures/campaign-report-v4.json");
 const V5_FIXTURE: &str = include_str!("fixtures/campaign-report-v5.json");
 const V6_FIXTURE: &str = include_str!("fixtures/campaign-report-v6.json");
+const V7_FIXTURE: &str = include_str!("fixtures/campaign-report-v7.json");
 
 fn v2_config() -> CampaignConfig {
     CampaignConfig {
@@ -206,12 +210,13 @@ fn v5_fixture_still_parses_and_upgrades_cleanly() {
 }
 
 #[test]
-fn v6_fixture_parses_and_roundtrips_bit_for_bit() {
+fn v6_fixture_still_parses_and_upgrades_cleanly() {
     // The v6 generation: an optional `diagnostics` block recording which
     // scenarios ran under the persist-order analyzer and what protocol
-    // findings the sanitizer raised (empty on a clean tree). It is the
-    // current schema, so parse → emit must be byte-identical.
-    assert!(V6_FIXTURE.contains(SCHEMA));
+    // findings the sanitizer raised (empty on a clean tree), but no
+    // `natural_resilience` blocks yet.
+    assert!(V6_FIXTURE.contains(SCHEMA_V6));
+    assert!(!V6_FIXTURE.contains("natural_resilience"));
     let report = CampaignReport::parse(V6_FIXTURE).expect("v6 fixture must stay readable");
     assert_eq!(
         report.registry,
@@ -236,7 +241,22 @@ fn v6_fixture_parses_and_roundtrips_bit_for_bit() {
         diags.findings.is_empty(),
         "a clean tree raises zero protocol findings"
     );
-    assert_eq!(report.to_string_pretty(), V6_FIXTURE);
+    assert!(
+        report
+            .scenarios
+            .iter()
+            .all(|s| s.natural_resilience.is_none()),
+        "pre-v7 reports never carry a resilience block"
+    );
+    // Re-emission upgrades to v7 (the schema string only — the ds
+    // registry has no dirty-restart path, so no `natural_resilience`
+    // block appears) and parses back to the same report.
+    let upgraded = report.to_string_pretty();
+    assert!(upgraded.contains(SCHEMA) && !upgraded.contains(SCHEMA_V6));
+    assert!(!upgraded.contains("natural_resilience"));
+    let reparsed = CampaignReport::parse(&upgraded).unwrap();
+    assert_eq!(reparsed, report);
+    assert_eq!(reparsed.canonical_string(), report.canonical_string());
     // Replaying the fixture's header inputs through the analyzer-attached
     // engine reproduces it exactly: recording is outcome-neutral and the
     // triage path is deterministic.
@@ -248,6 +268,60 @@ fn v6_fixture_parses_and_roundtrips_bit_for_bit() {
 }
 
 #[test]
+fn v7_fixture_parses_and_roundtrips_bit_for_bit() {
+    // The v7 generation: per-scenario `natural_resilience` blocks from the
+    // EasyCrash-style dirty-restart sweep (`campaign run --resilience`),
+    // each carrying the tolerance ladder, the five-way class counts, and
+    // the derived rates. It is the current schema, so parse → emit must be
+    // byte-identical — including the float tolerances and the recomputed
+    // `rate_ppm` / `mean_extra_units_milli` fields.
+    assert!(V7_FIXTURE.contains(SCHEMA));
+    let report = CampaignReport::parse(V7_FIXTURE).expect("v7 fixture must stay readable");
+    assert_eq!(report.registry, Registry::Kernel);
+    assert!(report.telemetry.is_some());
+    for s in &report.scenarios {
+        let r = s
+            .natural_resilience
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}: kernel scenario without a resilience block", s.name));
+        assert_eq!(r.trials(), s.trials, "{}: every unit classifies", s.name);
+    }
+    assert!(
+        report.scenarios.iter().any(|s| s
+            .natural_resilience
+            .as_ref()
+            .unwrap()
+            .classes
+            .converged_ok()
+            > 0),
+        "iterative kernels absorb some dirty restarts"
+    );
+    assert_eq!(report.to_string_pretty(), V7_FIXTURE);
+    // Replaying the fixture's header inputs through the fused resilience
+    // engine reproduces it exactly — the `campaign replay --expect`
+    // guarantee extends to the dirty-restart sweep.
+    let rerun = run_resilience(&v2_config());
+    assert_eq!(rerun.canonical_string(), report.canonical_string());
+}
+
+#[test]
+fn merging_never_fabricates_resilience_blocks() {
+    // `campaign merge` unions shard reports, and shards never run the
+    // dirty-restart sweep — so even when fed full (unsharded) reports the
+    // merged scenarios must drop any `natural_resilience` block rather
+    // than pretend partial sweeps aggregated.
+    let report = CampaignReport::parse(V7_FIXTURE).unwrap();
+    let mut shard = report.clone();
+    shard.shard = Some((0, 1));
+    let merged = CampaignReport::merge_shards(&[shard]).expect("1-way merge succeeds");
+    assert!(merged
+        .scenarios
+        .iter()
+        .all(|s| s.natural_resilience.is_none()));
+    assert_eq!(merged.totals, report.totals);
+}
+
+#[test]
 fn every_fixture_generation_parses() {
     for (name, text) in [
         ("v1", V1_FIXTURE),
@@ -256,6 +330,7 @@ fn every_fixture_generation_parses() {
         ("v4", V4_FIXTURE),
         ("v5", V5_FIXTURE),
         ("v6", V6_FIXTURE),
+        ("v7", V7_FIXTURE),
     ] {
         let report = CampaignReport::parse(text)
             .unwrap_or_else(|e| panic!("{name} fixture must parse: {e}"));
